@@ -1,0 +1,149 @@
+//! Equation dependency graphs.
+//!
+//! One node per equation of the internal form (derivative equations and
+//! algebraic assignments). An edge `a → b` means *a depends on b*:
+//! equation `a`'s right-hand side reads the variable that equation `b`
+//! defines. For a derivative equation `der(x) = …`, "reading x" depends
+//! on the defining equation of `x` — mutual state coupling is exactly
+//! what creates the large strongly connected components of Figures 3
+//! and 6.
+
+use crate::graph::DiGraph;
+use om_expr::Symbol;
+use om_ir::OdeIr;
+use std::collections::HashMap;
+
+/// What a dependency-graph node stands for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EqNode {
+    /// Variable the equation defines (state for derivative equations).
+    pub defines: Symbol,
+    /// True if this is a `der(x) = …` equation.
+    pub is_state: bool,
+    /// Origin string from the model (instance path / class).
+    pub origin: String,
+}
+
+/// An equation dependency graph together with its node metadata.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    pub graph: DiGraph,
+    pub nodes: Vec<EqNode>,
+}
+
+impl DepGraph {
+    /// Index of the node defining `sym`, if any.
+    pub fn node_of(&self, sym: Symbol) -> Option<usize> {
+        self.nodes.iter().position(|n| n.defines == sym)
+    }
+}
+
+/// Build the dependency graph of an internal-form system.
+///
+/// Node order: derivative equations first (in state order), then
+/// algebraic assignments (in topological order) — stable and
+/// deterministic for golden tests.
+pub fn build_dependency_graph(ir: &OdeIr) -> DepGraph {
+    let mut nodes: Vec<EqNode> = Vec::with_capacity(ir.derivs.len() + ir.algebraics.len());
+    let mut def_index: HashMap<Symbol, usize> = HashMap::new();
+    for d in &ir.derivs {
+        def_index.insert(d.state, nodes.len());
+        nodes.push(EqNode {
+            defines: d.state,
+            is_state: true,
+            origin: d.origin.clone(),
+        });
+    }
+    for a in &ir.algebraics {
+        def_index.insert(a.var, nodes.len());
+        nodes.push(EqNode {
+            defines: a.var,
+            is_state: false,
+            origin: a.origin.clone(),
+        });
+    }
+
+    let mut graph = DiGraph::new(nodes.len());
+    let rhs_of = |i: usize| -> &om_expr::Expr {
+        if i < ir.derivs.len() {
+            &ir.derivs[i].rhs
+        } else {
+            &ir.algebraics[i - ir.derivs.len()].rhs
+        }
+    };
+    for i in 0..nodes.len() {
+        for v in rhs_of(i).free_vars() {
+            if let Some(&j) = def_index.get(&v) {
+                graph.add_edge(i, j);
+            }
+        }
+    }
+    DepGraph { graph, nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_ir::causalize;
+
+    fn dep(src: &str) -> DepGraph {
+        build_dependency_graph(&causalize(&om_lang::compile(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn coupled_oscillator_is_one_scc() {
+        let d = dep("model M; Real x; Real y;
+                     equation der(x) = y; der(y) = -x; end M;");
+        let scc = d.graph.tarjan_scc();
+        assert_eq!(scc.count(), 1);
+        assert_eq!(scc.components[0].len(), 2);
+    }
+
+    #[test]
+    fn independent_decays_are_separate_sccs() {
+        let d = dep("model M; Real a; Real b;
+                     equation der(a) = -a; der(b) = -2.0*b; end M;");
+        let scc = d.graph.tarjan_scc();
+        assert_eq!(scc.count(), 2);
+    }
+
+    #[test]
+    fn one_way_coupling_gives_two_sccs_with_dependency() {
+        // b is driven by a, but a does not see b.
+        let d = dep("model M; Real a; Real b;
+                     equation der(a) = -a; der(b) = a - b; end M;");
+        let scc = d.graph.tarjan_scc();
+        assert_eq!(scc.count(), 2);
+        let levels = scc.schedule_levels(&d.graph);
+        assert_eq!(levels.len(), 2);
+        // a's component is solved first (level 0).
+        let a_node = d.node_of(Symbol::intern("a")).unwrap();
+        assert!(levels[0].contains(&scc.comp[a_node]));
+    }
+
+    #[test]
+    fn algebraic_variables_join_their_users_component() {
+        // der(x) = f, f = -x: x and f form one cycle.
+        let d = dep("model M; Real x; Real f;
+                     equation der(x) = f; f = -x; end M;");
+        let scc = d.graph.tarjan_scc();
+        assert_eq!(scc.count(), 1);
+        assert_eq!(scc.components[0].len(), 2);
+    }
+
+    #[test]
+    fn node_metadata_is_populated() {
+        let d = dep("model M; Real x; Real f;
+                     equation der(x) = f; f = -x; end M;");
+        let x = d.node_of(Symbol::intern("x")).unwrap();
+        let f = d.node_of(Symbol::intern("f")).unwrap();
+        assert!(d.nodes[x].is_state);
+        assert!(!d.nodes[f].is_state);
+    }
+
+    #[test]
+    fn time_creates_no_dependency_edge() {
+        let d = dep("model M; Real x; equation der(x) = time; end M;");
+        assert_eq!(d.graph.edge_count(), 0);
+    }
+}

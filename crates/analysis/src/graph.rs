@@ -1,0 +1,356 @@
+//! A small directed-graph library: Tarjan SCC (iterative), condensation,
+//! topological levels.
+//!
+//! The paper cites Aho–Hopcroft–Ullman for the SCC algorithm; Tarjan's
+//! single-pass algorithm is implemented iteratively so that the deep
+//! dependency chains of large generated models cannot overflow the call
+//! stack.
+
+/// A directed graph over nodes `0..n` with adjacency lists.
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+/// The result of an SCC computation.
+#[derive(Clone, Debug)]
+pub struct SccResult {
+    /// `comp[v]` = component id of node `v`. Component ids are numbered
+    /// in *reverse topological order of discovery*; use
+    /// [`SccResult::condensation`] for an explicitly topological view.
+    pub comp: Vec<usize>,
+    /// Members of each component.
+    pub components: Vec<Vec<usize>>,
+}
+
+impl DiGraph {
+    /// An edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> DiGraph {
+        DiGraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Add a directed edge `from → to`. Parallel edges are deduplicated.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        if !self.adj[from].contains(&to) {
+            self.adj[from].push(to);
+        }
+    }
+
+    /// Successors of `v`.
+    pub fn successors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Strongly connected components via Tarjan's algorithm, implemented
+    /// iteratively with an explicit DFS stack.
+    pub fn tarjan_scc(&self) -> SccResult {
+        let n = self.len();
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut comp = vec![UNVISITED; n];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        let mut next_index = 0usize;
+
+        // DFS frame: (node, next child position).
+        let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            call_stack.push((root, 0));
+            index[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+                if *child_pos < self.adj[v].len() {
+                    let w = self.adj[v][*child_pos];
+                    *child_pos += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call_stack.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    // Post-order: pop v, propagate lowlink to parent.
+                    call_stack.pop();
+                    if let Some(&(parent, _)) = call_stack.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        // v is the root of an SCC.
+                        let id = components.len();
+                        let mut members = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack nonempty");
+                            on_stack[w] = false;
+                            comp[w] = id;
+                            members.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        members.sort_unstable();
+                        components.push(members);
+                    }
+                }
+            }
+        }
+        SccResult { comp, components }
+    }
+
+    /// Naive SCC via double reachability (Kosaraju-style set intersection).
+    /// O(V·E); used as the test oracle for `tarjan_scc`.
+    pub fn naive_scc_partition(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let reach = |starts: usize, adj: &dyn Fn(usize) -> Vec<usize>| -> Vec<bool> {
+            let mut seen = vec![false; n];
+            let mut stack = vec![starts];
+            seen[starts] = true;
+            while let Some(v) = stack.pop() {
+                for w in adj(v) {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            seen
+        };
+        let fwd = |v: usize| self.adj[v].clone();
+        let mut radj = vec![Vec::new(); n];
+        for (v, ws) in self.adj.iter().enumerate() {
+            for &w in ws {
+                radj[w].push(v);
+            }
+        }
+        let bwd = move |v: usize| radj[v].clone();
+
+        let mut assigned = vec![false; n];
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for v in 0..n {
+            if assigned[v] {
+                continue;
+            }
+            let f = reach(v, &fwd);
+            let b = reach(v, &bwd);
+            let mut members: Vec<usize> = (0..n).filter(|&w| f[w] && b[w]).collect();
+            for &m in &members {
+                assigned[m] = true;
+            }
+            members.sort_unstable();
+            out.push(members);
+        }
+        out
+    }
+}
+
+impl SccResult {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Build the reduced acyclic graph over components ("the reduced,
+    /// acyclic dependency graph" of paper §2.1).
+    pub fn condensation(&self, g: &DiGraph) -> DiGraph {
+        let mut out = DiGraph::new(self.count());
+        for v in 0..g.len() {
+            for &w in g.successors(v) {
+                let (cv, cw) = (self.comp[v], self.comp[w]);
+                if cv != cw {
+                    out.add_edge(cv, cw);
+                }
+            }
+        }
+        out
+    }
+
+    /// Topological levels of the condensation: components in level `k`
+    /// depend only on components in levels `< k`, so each level can be
+    /// solved in parallel and successive levels form a pipeline (paper
+    /// §2.1). Edges are interpreted as `a → b` meaning "a depends on b".
+    pub fn schedule_levels(&self, g: &DiGraph) -> Vec<Vec<usize>> {
+        let cond = self.condensation(g);
+        let n = cond.len();
+        // longest path from a node to a sink = its level
+        let mut level = vec![0usize; n];
+        // Process in reverse topological order via repeated relaxation
+        // (n is small — component counts, not equation counts).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in 0..n {
+                for &w in cond.successors(v) {
+                    if level[v] < level[w] + 1 {
+                        level[v] = level[w] + 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        let mut out = vec![Vec::new(); max_level + 1];
+        for (c, &l) in level.iter().enumerate() {
+            out[l].push(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.count(), 1);
+        assert_eq!(scc.components[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.count(), 4);
+    }
+
+    #[test]
+    fn mixed_graph() {
+        // Two 2-cycles joined by a one-way edge plus an isolated node.
+        let g = graph(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.count(), 3);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = scc.components.iter().map(Vec::len).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn tarjan_matches_naive_oracle_on_fixed_graphs() {
+        let cases: Vec<(usize, Vec<(usize, usize)>)> = vec![
+            (1, vec![]),
+            (2, vec![(0, 1)]),
+            (2, vec![(0, 1), (1, 0)]),
+            (6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]),
+            (4, vec![(0, 0), (1, 1), (2, 3)]),
+        ];
+        for (n, edges) in cases {
+            let g = graph(n, &edges);
+            let mut tarjan: Vec<Vec<usize>> = g.tarjan_scc().components;
+            let mut naive = g.naive_scc_partition();
+            tarjan.sort();
+            naive.sort();
+            assert_eq!(tarjan, naive, "graph n={n} edges={edges:?}");
+        }
+    }
+
+    #[test]
+    fn condensation_is_acyclic_and_correctly_shaped() {
+        let g = graph(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (2, 4)]);
+        let scc = g.tarjan_scc();
+        let cond = scc.condensation(&g);
+        assert_eq!(cond.len(), 3);
+        // Condensation of any graph must itself have only singleton SCCs.
+        assert_eq!(cond.tarjan_scc().count(), cond.len());
+    }
+
+    #[test]
+    fn schedule_levels_respect_dependencies() {
+        // a → b → c (a depends on b depends on c): c solves first.
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let scc = g.tarjan_scc();
+        let levels = scc.schedule_levels(&g);
+        assert_eq!(levels.len(), 3);
+        // Node 2's component must be in level 0, node 0's in level 2.
+        assert_eq!(levels[0], vec![scc.comp[2]]);
+        assert_eq!(levels[2], vec![scc.comp[0]]);
+    }
+
+    #[test]
+    fn parallel_branches_share_a_level() {
+        // 0 depends on 1 and 2; 1, 2 independent.
+        let g = graph(3, &[(0, 1), (0, 2)]);
+        let scc = g.tarjan_scc();
+        let levels = scc.schedule_levels(&g);
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].len(), 2);
+        assert_eq!(levels[1].len(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new(0);
+        assert!(g.is_empty());
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.count(), 0);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_component() {
+        let g = graph(2, &[(0, 0)]);
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.count(), 2);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 100k-node path: a recursive Tarjan would blow the stack.
+        let n = 100_000;
+        let mut g = DiGraph::new(n);
+        for v in 0..n - 1 {
+            g.add_edge(v, v + 1);
+        }
+        let scc = g.tarjan_scc();
+        assert_eq!(scc.count(), n);
+    }
+
+    #[test]
+    fn parallel_edges_are_deduplicated() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

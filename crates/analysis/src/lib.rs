@@ -1,0 +1,22 @@
+//! # om-analysis — dependency analysis of equation systems
+//!
+//! Implements the *equation-system-level* parallelism analysis of the
+//! paper (§2.1, §2.5): build the dependency graph between equations, find
+//! its strongly connected components with Tarjan's algorithm ("the
+//! standard algorithm for finding strongly connected components in a
+//! directed graph"), build the reduced acyclic condensation graph, and
+//! use it to schedule subsystems for parallel or pipelined solution.
+//!
+//! The same analysis powers the visualizations of Figures 3 and 6 (DOT
+//! export) that the paper highlights as "very helpful tools for the model
+//! implementor".
+
+pub mod depgraph;
+pub mod dot;
+pub mod graph;
+pub mod partition;
+
+pub use depgraph::{build_dependency_graph, DepGraph, EqNode};
+pub use dot::to_dot;
+pub use graph::{DiGraph, SccResult};
+pub use partition::{partition_by_scc, Partition, Subsystem};

@@ -1,0 +1,74 @@
+//! Property tests for the graph algorithms.
+
+use om_analysis::DiGraph;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (1usize..40).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..120).prop_map(move |edges| {
+            let mut g = DiGraph::new(n);
+            for (a, b) in edges {
+                g.add_edge(a, b);
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Tarjan's SCC partition equals the naive reachability-based oracle.
+    #[test]
+    fn tarjan_matches_naive_oracle(g in arb_graph()) {
+        let mut tarjan: Vec<Vec<usize>> = g.tarjan_scc().components;
+        let mut naive = g.naive_scc_partition();
+        tarjan.sort();
+        naive.sort();
+        prop_assert_eq!(tarjan, naive);
+    }
+
+    /// SCCs partition the node set: every node in exactly one component.
+    #[test]
+    fn sccs_partition_nodes(g in arb_graph()) {
+        let scc = g.tarjan_scc();
+        let mut seen = vec![0usize; g.len()];
+        for comp in &scc.components {
+            for &v in comp {
+                seen[v] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        for (v, &c) in scc.comp.iter().enumerate() {
+            prop_assert!(scc.components[c].contains(&v));
+        }
+    }
+
+    /// The condensation is always a DAG.
+    #[test]
+    fn condensation_is_acyclic(g in arb_graph()) {
+        let scc = g.tarjan_scc();
+        let cond = scc.condensation(&g);
+        prop_assert_eq!(cond.tarjan_scc().count(), cond.len());
+    }
+
+    /// Schedule levels are consistent: every edge of the condensation goes
+    /// from a higher level to a strictly lower level.
+    #[test]
+    fn schedule_levels_are_monotone(g in arb_graph()) {
+        let scc = g.tarjan_scc();
+        let cond = scc.condensation(&g);
+        let levels = scc.schedule_levels(&g);
+        let mut level_of = vec![0usize; cond.len()];
+        for (lvl, comps) in levels.iter().enumerate() {
+            for &c in comps {
+                level_of[c] = lvl;
+            }
+        }
+        for v in 0..cond.len() {
+            for &w in cond.successors(v) {
+                prop_assert!(level_of[v] > level_of[w]);
+            }
+        }
+    }
+}

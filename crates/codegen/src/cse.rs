@@ -1,0 +1,148 @@
+//! Common-subexpression elimination.
+//!
+//! With the hash-consed DAG, CSE is a *policy* question, not a search: a
+//! node that is referenced more than once and is worth a temporary gets
+//! one. The paper reports both flavors for the 2D bearing model (§3.3):
+//! per-equation CSE for the parallel code (4 642 common subexpressions)
+//! and global CSE for the serial code (1 840, in far fewer lines),
+//! because tasks scheduled on different processors cannot share
+//! subexpression values.
+
+use crate::dag::{Dag, DagNode, NodeId};
+use om_expr::CostModel;
+
+/// Where sharing is allowed to happen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CseMode {
+    /// No temporaries; every use re-evaluates the subtree (ablation
+    /// baseline).
+    Off,
+    /// Temporaries shared within one task only — the parallel-code mode.
+    PerTask,
+    /// Temporaries shared across the whole RHS — the serial-code mode.
+    Global,
+}
+
+/// The result of CSE over a DAG: which nodes become temporaries, in
+/// evaluation (topological) order.
+#[derive(Clone, Debug)]
+pub struct CseProgram {
+    /// Nodes that get a temporary, children-before-parents. The position
+    /// in this vector is the temporary's index (`t0, t1, …`).
+    pub temps: Vec<NodeId>,
+    /// Evaluation order of *all* reachable nodes (children first).
+    pub order: Vec<NodeId>,
+    /// The output expressions.
+    pub roots: Vec<NodeId>,
+}
+
+impl CseProgram {
+    /// Number of extracted common subexpressions — the statistic of the
+    /// paper's §3.3 code-size table.
+    pub fn cse_count(&self) -> usize {
+        self.temps.len()
+    }
+
+    /// Temporary index of `id`, if it was extracted.
+    pub fn temp_index(&self, id: NodeId) -> Option<usize> {
+        self.temps.iter().position(|&t| t == id)
+    }
+}
+
+/// Run CSE over the nodes reachable from `roots`.
+///
+/// A node becomes a temporary when it is used at least twice and its own
+/// evaluation is not free (constants and variable loads are never
+/// extracted — re-reading them costs nothing).
+pub fn eliminate(dag: &Dag, roots: &[NodeId], model: &CostModel) -> CseProgram {
+    let order = dag.topo_from(roots);
+    let temps: Vec<NodeId> = order
+        .iter()
+        .copied()
+        .filter(|&id| {
+            !matches!(dag.node(id), DagNode::Const(_) | DagNode::Var(_))
+                && dag.uses(id) >= 2
+                && dag.node_cost(id, model) > 0
+        })
+        .collect();
+    CseProgram {
+        temps,
+        order,
+        roots: roots.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_expr::expr::{Expr, Func};
+    use om_expr::{num, simplify, var};
+
+    fn program(exprs: &[Expr]) -> (Dag, CseProgram) {
+        let mut dag = Dag::new();
+        let roots: Vec<NodeId> = exprs
+            .iter()
+            .map(|e| {
+                let r = dag.import(&simplify(e));
+                dag.mark_root(r);
+                r
+            })
+            .collect();
+        let p = eliminate(&dag, &roots, &CostModel::default());
+        (dag, p)
+    }
+
+    #[test]
+    fn shared_transcendental_becomes_a_temp() {
+        let s = Expr::call1(Func::Sin, var("x"));
+        let (dag, p) = program(&[s.clone() + num(1.0), s.clone() * num(2.0)]);
+        assert_eq!(p.cse_count(), 1);
+        let t = p.temps[0];
+        assert!(matches!(dag.node(t), DagNode::Call(Func::Sin, _)));
+    }
+
+    #[test]
+    fn variables_and_constants_are_never_temps() {
+        let (_, p) = program(&[var("x") + num(1.0), var("x") + num(2.0)]);
+        assert_eq!(p.cse_count(), 0);
+    }
+
+    #[test]
+    fn unshared_subexpressions_are_not_extracted() {
+        let (_, p) = program(&[Expr::call1(Func::Sin, var("x")) + num(1.0)]);
+        assert_eq!(p.cse_count(), 0);
+    }
+
+    #[test]
+    fn temps_are_in_topological_order() {
+        // inner = x+y shared; outer = sin(inner) shared.
+        let inner = var("x") + var("y");
+        let outer = Expr::call1(Func::Sin, inner.clone());
+        let (dag, p) = program(&[
+            outer.clone() + inner.clone(),
+            outer.clone() * num(2.0) + inner.clone() * num(3.0),
+        ]);
+        assert_eq!(p.cse_count(), 2);
+        // inner must be assigned before outer.
+        let pos_inner = p
+            .temps
+            .iter()
+            .position(|&t| matches!(dag.node(t), DagNode::Add(_)))
+            .unwrap();
+        let pos_outer = p
+            .temps
+            .iter()
+            .position(|&t| matches!(dag.node(t), DagNode::Call(_, _)))
+            .unwrap();
+        assert!(pos_inner < pos_outer);
+    }
+
+    #[test]
+    fn root_shared_between_outputs_is_extracted() {
+        // Two outputs equal to the same nontrivial expression.
+        let e = var("x") * var("y") + num(1.0);
+        let (_, p) = program(&[e.clone(), e.clone()]);
+        assert_eq!(p.roots[0], p.roots[1]);
+        assert!(p.cse_count() >= 1);
+    }
+}

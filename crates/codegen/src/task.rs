@@ -1,0 +1,777 @@
+//! Task partitioning (paper §3.2).
+//!
+//! "The parallelization stage of the code generator groups all small
+//! assignments into one task and splits large assignments obtained from
+//! the equations into several tasks for computation. The dependence
+//! relation between the tasks determines the communication between them.
+//! This forms a directed acyclic graph which is the input to the
+//! scheduler."
+//!
+//! Pipeline implemented here:
+//!
+//! 1. [`equation_tasks`] — one task per derivative equation. In *inline*
+//!    mode every algebraic variable is substituted into its consumers, so
+//!    tasks are fully independent (the configuration the paper evaluates).
+//!    In *shared* mode algebraic assignments become tasks of their own
+//!    whose results flow to consumers, introducing dependencies.
+//! 2. [`split_large`] — a task whose right-hand side is a big top-level
+//!    sum is split into partial-sum producer tasks plus a cheap combine
+//!    task.
+//! 3. [`merge_small`] — independent tasks cheaper than the merge
+//!    threshold are grouped ("groups all small assignments into one
+//!    task").
+//! 4. [`extract_shared_cse`] — the paper's future-work optimization
+//!    (§3.3): large subexpressions common to *different* tasks are
+//!    extracted into producer tasks so the work is done once and
+//!    communicated, instead of re-done per task.
+//! 5. [`compile_tasks`] — compile every task body to bytecode, resolve
+//!    reads/writes, and derive the dependence edges.
+
+use crate::bytecode::{compile_roots, Program, VarRef};
+use crate::cse::{self, CseMode};
+use crate::dag::Dag;
+use om_expr::expr::Expr;
+use om_expr::{simplify, CostModel, Symbol};
+use om_ir::OdeIr;
+use std::collections::{BTreeMap, HashMap};
+
+/// Where a task output lands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutSlot {
+    /// Derivative slot `i` of the state vector.
+    Deriv(usize),
+    /// Shared intermediate value slot (consumed by other tasks).
+    Shared(usize),
+}
+
+/// A task before compilation: labeled outputs with symbolic bodies.
+#[derive(Clone, Debug)]
+pub struct SymbolicTask {
+    pub label: String,
+    pub outputs: Vec<(OutTarget, Expr)>,
+}
+
+/// Symbolic output target (shared slots are still symbols here; they are
+/// numbered by [`compile_tasks`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OutTarget {
+    Deriv(usize),
+    Shared(Symbol),
+}
+
+impl SymbolicTask {
+    /// Static cost of the task body (with intra-task sharing).
+    pub fn cost(&self, model: &CostModel) -> u64 {
+        let mut dag = Dag::new();
+        let roots: Vec<_> = self
+            .outputs
+            .iter()
+            .map(|(_, e)| {
+                let r = dag.import(e);
+                dag.mark_root(r);
+                r
+            })
+            .collect();
+        dag.shared_cost(&roots, model)
+    }
+}
+
+/// A compiled task ready for the runtime.
+#[derive(Clone, Debug)]
+pub struct CompiledTask {
+    pub id: usize,
+    pub label: String,
+    pub program: Program,
+    /// One slot per program output, in order.
+    pub writes: Vec<OutSlot>,
+    /// State indices the task reads.
+    pub reads_states: Vec<u32>,
+    /// Shared slots the task reads.
+    pub reads_shared: Vec<u32>,
+    /// Whether the task reads the free variable `t`.
+    pub reads_time: bool,
+    /// Static cost estimate (flops) used to seed the LPT schedule.
+    pub static_cost: u64,
+    /// Common subexpressions extracted within this task (statistics).
+    pub cse_count: usize,
+}
+
+/// The compiled task graph: tasks plus dependence edges.
+#[derive(Clone, Debug)]
+pub struct TaskGraph {
+    /// ODE dimension (number of derivative slots).
+    pub dim: usize,
+    /// Number of shared intermediate slots.
+    pub n_shared: usize,
+    pub tasks: Vec<CompiledTask>,
+    /// `deps[i]` — tasks that must complete before task `i` runs.
+    pub deps: Vec<Vec<usize>>,
+}
+
+impl TaskGraph {
+    /// True when no task depends on another (the paper's evaluated
+    /// configuration: "all tasks are currently independent of each
+    /// other").
+    pub fn is_independent(&self) -> bool {
+        self.deps.iter().all(Vec::is_empty)
+    }
+
+    /// Total static cost of all tasks.
+    pub fn total_cost(&self) -> u64 {
+        self.tasks.iter().map(|t| t.static_cost).sum()
+    }
+
+    /// Evaluate the whole task graph sequentially (reference semantics,
+    /// also the serial baseline of the benchmarks).
+    pub fn eval_serial(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        let mut shared = vec![0.0f64; self.n_shared];
+        let mut out_buf: Vec<f64> = Vec::new();
+        // Tasks are emitted in dependency order by construction; verify in
+        // debug builds.
+        for task in &self.tasks {
+            out_buf.resize(task.program.outputs.len(), 0.0);
+            crate::vm::execute(&task.program, t, y, &shared, &mut out_buf);
+            for (val, slot) in out_buf.iter().zip(&task.writes) {
+                match slot {
+                    OutSlot::Deriv(i) => dydt[*i] = *val,
+                    OutSlot::Shared(i) => shared[*i] = *val,
+                }
+            }
+        }
+    }
+}
+
+/// Create one task per derivative equation.
+///
+/// `inline = true` reproduces the paper's configuration: algebraic
+/// variables are substituted into consumers so that "the right hand sides
+/// … are independent of each other and can therefore be evaluated in
+/// parallel" (§2.3). `inline = false` keeps algebraic assignments as
+/// separate producer tasks (dependencies appear).
+pub fn equation_tasks(ir: &OdeIr, inline: bool) -> Vec<SymbolicTask> {
+    if inline {
+        ir.inlined_rhs()
+            .into_iter()
+            .enumerate()
+            .map(|(i, rhs)| SymbolicTask {
+                label: format!("d{}", ir.states[i].sym.name()),
+                outputs: vec![(OutTarget::Deriv(i), rhs)],
+            })
+            .collect()
+    } else {
+        let mut tasks: Vec<SymbolicTask> = ir
+            .algebraics
+            .iter()
+            .map(|a| SymbolicTask {
+                label: a.var.name().to_owned(),
+                outputs: vec![(OutTarget::Shared(a.var), a.rhs.clone())],
+            })
+            .collect();
+        tasks.extend(ir.derivs.iter().enumerate().map(|(i, d)| SymbolicTask {
+            label: format!("d{}", d.state.name()),
+            outputs: vec![(OutTarget::Deriv(i), d.rhs.clone())],
+        }));
+        tasks
+    }
+}
+
+/// Split tasks whose single output is a top-level sum more expensive than
+/// `threshold` into partial-sum producers plus a combine task.
+pub fn split_large(
+    tasks: Vec<SymbolicTask>,
+    threshold: u64,
+    model: &CostModel,
+) -> Vec<SymbolicTask> {
+    let mut out = Vec::with_capacity(tasks.len());
+    let mut split_counter = 0usize;
+    for task in tasks {
+        if task.outputs.len() != 1 || task.cost(model) <= threshold {
+            out.push(task);
+            continue;
+        }
+        let (target, expr) = task.outputs.into_iter().next().expect("one output");
+        // A splittable body is a top-level sum, possibly wrapped in a
+        // product with exactly one sum factor (canonical form of e.g.
+        // `-(Σ …)/M`): the sum is split and the wrapper factors stay in
+        // the combine task.
+        let (wrapper, terms): (Vec<Expr>, &Vec<Expr>) = match &expr {
+            Expr::Add(terms) => (Vec::new(), terms),
+            Expr::Mul(factors) => {
+                let sums: Vec<usize> = factors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| matches!(f, Expr::Add(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                if sums.len() == 1 {
+                    let rest: Vec<Expr> = factors
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != sums[0])
+                        .map(|(_, f)| f.clone())
+                        .collect();
+                    let Expr::Add(terms) = &factors[sums[0]] else {
+                        unreachable!("filtered on Add")
+                    };
+                    (rest, terms)
+                } else {
+                    out.push(SymbolicTask {
+                        label: task.label,
+                        outputs: vec![(target, expr.clone())],
+                    });
+                    continue;
+                }
+            }
+            _ => {
+                out.push(SymbolicTask {
+                    label: task.label,
+                    outputs: vec![(target, expr)],
+                });
+                continue;
+            }
+        };
+        // Expand nested sums with cheap multiplicative wrappers so e.g.
+        // `-1·(t₁ + … + tₙ)` contributes n separate terms — the canonical
+        // form the flattener produces for summed contact forces.
+        let expanded = expand_sum_terms(terms, threshold / 4, model);
+        // Greedily pack top-level terms into chunks of ≈ threshold cost.
+        let mut chunks: Vec<Vec<Expr>> = vec![Vec::new()];
+        let mut chunk_cost = 0u64;
+        for term in &expanded {
+            let c = model.cost(term);
+            if chunk_cost + c > threshold && !chunks.last().expect("nonempty").is_empty() {
+                chunks.push(Vec::new());
+                chunk_cost = 0;
+            }
+            chunks.last_mut().expect("nonempty").push(term.clone());
+            chunk_cost += c;
+        }
+        if chunks.len() < 2 {
+            out.push(SymbolicTask {
+                label: task.label,
+                outputs: vec![(target, expr.clone())],
+            });
+            continue;
+        }
+        let mut combine_terms = Vec::with_capacity(chunks.len());
+        for (k, chunk) in chunks.into_iter().enumerate() {
+            let part_sym =
+                Symbol::intern(&format!("om$part${split_counter}${k}"));
+            let body = simplify(&Expr::Add(chunk));
+            out.push(SymbolicTask {
+                label: format!("{}#part{k}", task.label),
+                outputs: vec![(OutTarget::Shared(part_sym), body)],
+            });
+            combine_terms.push(Expr::Var(part_sym));
+        }
+        let mut combined = Expr::Add(combine_terms);
+        if !wrapper.is_empty() {
+            let mut factors = wrapper;
+            factors.push(combined);
+            combined = Expr::Mul(factors);
+        }
+        out.push(SymbolicTask {
+            label: format!("{}#combine", task.label),
+            outputs: vec![(target, combined)],
+        });
+        split_counter += 1;
+    }
+    out
+}
+
+/// Merge independent tasks (deriv-only outputs, no shared reads) cheaper
+/// than `threshold` into grouped tasks of ≈ `threshold` cost.
+pub fn merge_small(
+    tasks: Vec<SymbolicTask>,
+    threshold: u64,
+    model: &CostModel,
+) -> Vec<SymbolicTask> {
+    let mut out: Vec<SymbolicTask> = Vec::new();
+    let mut bucket: Vec<SymbolicTask> = Vec::new();
+    let mut bucket_cost = 0u64;
+    let is_mergeable = |t: &SymbolicTask| {
+        t.outputs.iter().all(|(target, e)| {
+            matches!(target, OutTarget::Deriv(_))
+                && !e
+                    .free_vars()
+                    .iter()
+                    .any(|s| s.name().starts_with("om$"))
+        })
+    };
+    let flush =
+        |bucket: &mut Vec<SymbolicTask>, out: &mut Vec<SymbolicTask>| {
+            if bucket.is_empty() {
+                return;
+            }
+            if bucket.len() == 1 {
+                out.push(bucket.pop().expect("len 1"));
+                return;
+            }
+            let label = format!(
+                "group({})",
+                bucket
+                    .iter()
+                    .map(|t| t.label.as_str())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            let outputs = bucket
+                .drain(..)
+                .flat_map(|t| t.outputs)
+                .collect::<Vec<_>>();
+            out.push(SymbolicTask { label, outputs });
+        };
+    for task in tasks {
+        let c = task.cost(model);
+        if c >= threshold || !is_mergeable(&task) {
+            out.push(task);
+            continue;
+        }
+        if bucket_cost + c > threshold && !bucket.is_empty() {
+            flush(&mut bucket, &mut out);
+            bucket_cost = 0;
+        }
+        bucket_cost += c;
+        bucket.push(task);
+    }
+    flush(&mut bucket, &mut out);
+    out
+}
+
+/// Extract subexpressions shared between *different* tasks into producer
+/// tasks (paper §3.3: "we will have to extract some of the larger common
+/// subexpressions and compute them in parallel").
+///
+/// Candidates are subexpressions costing at least `min_cost` that occur
+/// in two or more tasks; the most expensive are extracted first.
+pub fn extract_shared_cse(
+    tasks: Vec<SymbolicTask>,
+    min_cost: u64,
+    model: &CostModel,
+) -> Vec<SymbolicTask> {
+    // Count, for each candidate subexpression, the set of tasks it
+    // appears in.
+    let mut seen_in: BTreeMap<u64, Vec<(Expr, Vec<usize>)>> = BTreeMap::new();
+    {
+        let mut occurrences: HashMap<Expr, Vec<usize>> = HashMap::new();
+        for (ti, task) in tasks.iter().enumerate() {
+            for (_, e) in &task.outputs {
+                e.walk(&mut |sub| {
+                    if model.cost(sub) >= min_cost {
+                        let entry = occurrences.entry(sub.clone()).or_default();
+                        if entry.last() != Some(&ti) {
+                            entry.push(ti);
+                        }
+                    }
+                });
+            }
+        }
+        for (e, ts) in occurrences {
+            if ts.len() >= 2 {
+                seen_in.entry(model.cost(&e)).or_default().push((e, ts));
+            }
+        }
+    }
+
+    let mut producers: Vec<SymbolicTask> = Vec::new();
+    let mut consumers = tasks;
+    let mut counter = 0usize;
+    // Most expensive candidates first.
+    for (_, group) in seen_in.into_iter().rev() {
+        for (candidate, _) in group {
+            // Re-check occurrence after earlier replacements.
+            let holders: Vec<usize> = consumers
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    t.outputs.iter().any(|(_, e)| contains_subexpr(e, &candidate))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let in_producers = producers
+                .iter()
+                .filter(|t| t.outputs.iter().any(|(_, e)| contains_subexpr(e, &candidate)))
+                .count();
+            if holders.len() + in_producers < 2 {
+                continue;
+            }
+            let sym = Symbol::intern(&format!("om$cse${counter}"));
+            counter += 1;
+            let replacement = Expr::Var(sym);
+            for &h in &holders {
+                for (_, e) in &mut consumers[h].outputs {
+                    *e = replace_subexpr(e, &candidate, &replacement);
+                }
+            }
+            for p in &mut producers {
+                for (_, e) in &mut p.outputs {
+                    *e = replace_subexpr(e, &candidate, &replacement);
+                }
+            }
+            producers.push(SymbolicTask {
+                label: format!("cse${}", sym.name()),
+                outputs: vec![(OutTarget::Shared(sym), candidate)],
+            });
+        }
+    }
+    // Producers must be evaluated before consumers; order producers so
+    // later-extracted (smaller, referenced by earlier producers) come
+    // first.
+    producers.reverse();
+    producers.extend(consumers);
+    producers
+}
+
+/// Flatten sum terms for splitting: a term `Mul[f…, Add[t…]]` whose
+/// non-sum factors are cheap (≤ `max_factor_cost`) is distributed into
+/// one term per addend. Recursion catches `-1·(a + (-1)·(b + c))` chains.
+fn expand_sum_terms(terms: &[Expr], max_factor_cost: u64, model: &CostModel) -> Vec<Expr> {
+    let mut out = Vec::with_capacity(terms.len());
+    for term in terms {
+        match term {
+            Expr::Add(inner) => out.extend(expand_sum_terms(inner, max_factor_cost, model)),
+            Expr::Mul(factors) => {
+                let sums: Vec<usize> = factors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| matches!(f, Expr::Add(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                let rest_cost: u64 = factors
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !sums.contains(i))
+                    .map(|(_, f)| model.cost(f))
+                    .sum();
+                if sums.len() == 1 && rest_cost <= max_factor_cost {
+                    let rest: Vec<Expr> = factors
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != sums[0])
+                        .map(|(_, f)| f.clone())
+                        .collect();
+                    let Expr::Add(inner) = &factors[sums[0]] else {
+                        unreachable!("filtered on Add")
+                    };
+                    for t in expand_sum_terms(inner, max_factor_cost, model) {
+                        let mut fs = rest.clone();
+                        fs.push(t);
+                        out.push(Expr::Mul(fs));
+                    }
+                } else {
+                    out.push(term.clone());
+                }
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+fn contains_subexpr(e: &Expr, sub: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |n| {
+        if n == sub {
+            found = true;
+        }
+    });
+    found
+}
+
+fn replace_subexpr(e: &Expr, from: &Expr, to: &Expr) -> Expr {
+    if e == from {
+        return to.clone();
+    }
+    e.map_children(|c| replace_subexpr(c, from, to))
+}
+
+/// Compile symbolic tasks into the executable task graph.
+///
+/// Panics if a task body references a symbol that is neither a state, the
+/// time variable, nor a shared intermediate produced by another task.
+pub fn compile_tasks(
+    tasks: &[SymbolicTask],
+    ir: &OdeIr,
+    mode: CseMode,
+    model: &CostModel,
+) -> TaskGraph {
+    // Allocate shared slots in deterministic (first-write) order.
+    let mut shared_slot: HashMap<Symbol, usize> = HashMap::new();
+    let mut writer_of_shared: HashMap<usize, usize> = HashMap::new();
+    for task in tasks {
+        for (target, _) in &task.outputs {
+            if let OutTarget::Shared(s) = target {
+                let next = shared_slot.len();
+                shared_slot.entry(*s).or_insert(next);
+            }
+        }
+    }
+
+    let mut vars: HashMap<Symbol, VarRef> = HashMap::new();
+    for (i, s) in ir.states.iter().enumerate() {
+        vars.insert(s.sym, VarRef::State(i as u32));
+    }
+    for (s, slot) in &shared_slot {
+        vars.insert(*s, VarRef::Shared(*slot as u32));
+    }
+    vars.insert(om_lang::flatten::time_symbol(), VarRef::Time);
+
+    let mut compiled: Vec<CompiledTask> = Vec::with_capacity(tasks.len());
+    for (id, task) in tasks.iter().enumerate() {
+        let mut dag = Dag::new();
+        let roots: Vec<_> = task
+            .outputs
+            .iter()
+            .map(|(_, e)| {
+                let r = dag.import(e);
+                dag.mark_root(r);
+                r
+            })
+            .collect();
+        let cse_program = cse::eliminate(&dag, &roots, model);
+        let program = compile_roots(&dag, &roots, &vars, mode);
+        let static_cost = match mode {
+            CseMode::Off => dag.tree_cost(&roots, model),
+            _ => dag.shared_cost(&roots, model),
+        };
+
+        let mut reads_states = Vec::new();
+        let mut reads_shared = Vec::new();
+        let mut reads_time = false;
+        for sym in dag.free_vars(&roots) {
+            match vars.get(&sym) {
+                Some(VarRef::State(i)) => reads_states.push(*i),
+                Some(VarRef::Shared(i)) => reads_shared.push(*i),
+                Some(VarRef::Time) => reads_time = true,
+                None => panic!("task `{}` reads unresolved symbol `{sym}`", task.label),
+            }
+        }
+        reads_states.sort_unstable();
+        reads_shared.sort_unstable();
+
+        let writes: Vec<OutSlot> = task
+            .outputs
+            .iter()
+            .map(|(target, _)| match target {
+                OutTarget::Deriv(i) => OutSlot::Deriv(*i),
+                OutTarget::Shared(s) => OutSlot::Shared(shared_slot[s]),
+            })
+            .collect();
+
+        for w in &writes {
+            if let OutSlot::Shared(slot) = w {
+                writer_of_shared.insert(*slot, id);
+            }
+        }
+
+        compiled.push(CompiledTask {
+            id,
+            label: task.label.clone(),
+            program,
+            writes,
+            reads_states,
+            reads_shared,
+            reads_time,
+            static_cost,
+            cse_count: cse_program.cse_count(),
+        });
+    }
+
+    // Dependence edges: a task depends on the writer of every shared slot
+    // it reads.
+    let deps: Vec<Vec<usize>> = compiled
+        .iter()
+        .map(|t| {
+            let mut d: Vec<usize> = t
+                .reads_shared
+                .iter()
+                .map(|slot| {
+                    *writer_of_shared
+                        .get(&(*slot as usize))
+                        .unwrap_or_else(|| panic!("shared slot {slot} has no writer"))
+                })
+                .collect();
+            d.sort_unstable();
+            d.dedup();
+            d
+        })
+        .collect();
+
+    TaskGraph {
+        dim: ir.dim(),
+        n_shared: shared_slot.len(),
+        tasks: compiled,
+        deps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_ir::causalize;
+
+    fn ir(src: &str) -> OdeIr {
+        causalize(&om_lang::compile(src).unwrap()).unwrap()
+    }
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    const COUPLED: &str = "model M;
+        Real x(start=1.0); Real v; Real f;
+        equation
+          der(x) = v;
+          der(v) = f;
+          f = -sin(x) - 0.2*v;
+        end M;";
+
+    #[test]
+    fn inline_tasks_are_independent() {
+        let sys = ir(COUPLED);
+        let tasks = equation_tasks(&sys, true);
+        assert_eq!(tasks.len(), 2);
+        let tg = compile_tasks(&tasks, &sys, CseMode::PerTask, &model());
+        assert!(tg.is_independent());
+        assert_eq!(tg.n_shared, 0);
+    }
+
+    #[test]
+    fn shared_tasks_have_dependencies() {
+        let sys = ir(COUPLED);
+        let tasks = equation_tasks(&sys, false);
+        assert_eq!(tasks.len(), 3);
+        let tg = compile_tasks(&tasks, &sys, CseMode::PerTask, &model());
+        assert!(!tg.is_independent());
+        assert_eq!(tg.n_shared, 1);
+        // dv depends on the f task.
+        let dv = tg.tasks.iter().find(|t| t.label == "dv").unwrap();
+        let f = tg.tasks.iter().find(|t| t.label == "f").unwrap();
+        assert_eq!(tg.deps[dv.id], vec![f.id]);
+    }
+
+    #[test]
+    fn serial_eval_matches_ir_evaluator() {
+        let sys = ir(COUPLED);
+        let reference = om_ir::IrEvaluator::new(&sys).unwrap();
+        for inline in [true, false] {
+            let tasks = equation_tasks(&sys, inline);
+            let tg = compile_tasks(&tasks, &sys, CseMode::PerTask, &model());
+            let y = [0.4, -1.1];
+            let mut expect = [0.0; 2];
+            let mut got = [0.0; 2];
+            reference.rhs(0.7, &y, &mut expect);
+            tg.eval_serial(0.7, &y, &mut got);
+            for i in 0..2 {
+                assert!(
+                    (expect[i] - got[i]).abs() < 1e-12,
+                    "inline={inline} slot {i}: {} vs {}",
+                    expect[i],
+                    got[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_large_produces_partials_and_combine() {
+        let sys = ir("model M;
+            Real x;
+            equation der(x) = sin(x) + cos(x) + exp(x) + tanh(x) + sinh(x) + x*x;
+            end M;");
+        let tasks = equation_tasks(&sys, true);
+        let m = model();
+        let split = split_large(tasks, 60, &m);
+        assert!(split.len() > 2, "expected a split, got {}", split.len());
+        assert!(split.iter().any(|t| t.label.contains("#combine")));
+        // Semantics preserved.
+        let tg = compile_tasks(&split, &sys, CseMode::PerTask, &m);
+        let reference = om_ir::IrEvaluator::new(&sys).unwrap();
+        let y = [0.35];
+        let mut expect = [0.0];
+        let mut got = [0.0];
+        reference.rhs(0.0, &y, &mut expect);
+        tg.eval_serial(0.0, &y, &mut got);
+        assert!((expect[0] - got[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_small_groups_cheap_tasks() {
+        let sys = ir("model M;
+            Real a; Real b; Real c; Real d;
+            equation
+              der(a) = -a; der(b) = -b; der(c) = -c; der(d) = -d;
+            end M;");
+        let tasks = equation_tasks(&sys, true);
+        let merged = merge_small(tasks, 1000, &model());
+        assert_eq!(merged.len(), 1);
+        assert!(merged[0].label.starts_with("group("));
+        assert_eq!(merged[0].outputs.len(), 4);
+        // Execution still correct.
+        let tg = compile_tasks(&merged, &sys, CseMode::PerTask, &model());
+        let mut got = [0.0; 4];
+        tg.eval_serial(0.0, &[1.0, 2.0, 3.0, 4.0], &mut got);
+        assert_eq!(got, [-1.0, -2.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn merge_respects_threshold() {
+        let sys = ir("model M;
+            Real a; Real b;
+            equation der(a) = sin(a); der(b) = cos(b);
+            end M;");
+        let tasks = equation_tasks(&sys, true);
+        // Threshold below one sin() keeps tasks separate.
+        let merged = merge_small(tasks, 10, &model());
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn extract_shared_cse_creates_producer() {
+        // Both derivatives contain the expensive common factor
+        // exp(sin(x) + cos(x)).
+        let sys = ir("model M;
+            Real x; Real y;
+            equation
+              der(x) = exp(sin(x) + cos(x)) * 2.0 + y;
+              der(y) = exp(sin(x) + cos(x)) * 3.0 - y;
+            end M;");
+        let tasks = equation_tasks(&sys, true);
+        let m = model();
+        let extracted = extract_shared_cse(tasks, 50, &m);
+        assert!(extracted.iter().any(|t| t.label.starts_with("cse$")));
+        let tg = compile_tasks(&extracted, &sys, CseMode::PerTask, &m);
+        assert!(!tg.is_independent());
+        // Semantics preserved.
+        let reference = om_ir::IrEvaluator::new(&sys).unwrap();
+        let y = [0.3, 0.8];
+        let mut expect = [0.0; 2];
+        let mut got = [0.0; 2];
+        reference.rhs(0.0, &y, &mut expect);
+        tg.eval_serial(0.0, &y, &mut got);
+        for i in 0..2 {
+            assert!((expect[i] - got[i]).abs() < 1e-12);
+        }
+        // The producer count: extraction reduced total task cost versus
+        // the plain inline tasks.
+        let plain = compile_tasks(
+            &equation_tasks(&sys, true),
+            &sys,
+            CseMode::PerTask,
+            &m,
+        );
+        assert!(tg.total_cost() < plain.total_cost());
+    }
+
+    #[test]
+    fn reads_and_writes_are_tracked() {
+        let sys = ir(COUPLED);
+        let tg = compile_tasks(&equation_tasks(&sys, true), &sys, CseMode::PerTask, &model());
+        let dx = tg.tasks.iter().find(|t| t.label == "dx").unwrap();
+        // der(x) = v reads only state 1 (v).
+        assert_eq!(dx.reads_states, vec![1]);
+        assert_eq!(dx.writes, vec![OutSlot::Deriv(0)]);
+        let dv = tg.tasks.iter().find(|t| t.label == "dv").unwrap();
+        assert_eq!(dv.reads_states, vec![0, 1]);
+    }
+}

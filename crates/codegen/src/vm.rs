@@ -1,0 +1,149 @@
+//! Bytecode interpreter.
+//!
+//! Straight-line execution over a register file; no jumps, no allocation
+//! in the hot loop when the caller supplies a scratch register file via
+//! [`execute_with_regs`].
+
+use crate::bytecode::{Instr, Program};
+
+/// Execute `p` with time `t`, state vector `y`, shared-values array
+/// `shared`; writes one value per program output into `out`.
+pub fn execute(p: &Program, t: f64, y: &[f64], shared: &[f64], out: &mut [f64]) {
+    let mut regs = vec![0.0f64; p.n_regs as usize];
+    execute_with_regs(p, t, y, shared, out, &mut regs);
+}
+
+/// Like [`execute`] but reusing a caller-provided register file
+/// (`regs.len() >= p.n_regs`).
+pub fn execute_with_regs(
+    p: &Program,
+    t: f64,
+    y: &[f64],
+    shared: &[f64],
+    out: &mut [f64],
+    regs: &mut [f64],
+) {
+    assert!(regs.len() >= p.n_regs as usize, "register file too small");
+    assert_eq!(out.len(), p.outputs.len(), "output buffer length mismatch");
+    for instr in &p.instrs {
+        match *instr {
+            Instr::Const { dst, idx } => regs[dst as usize] = p.consts[idx as usize],
+            Instr::State { dst, idx } => regs[dst as usize] = y[idx as usize],
+            Instr::Shared { dst, idx } => regs[dst as usize] = shared[idx as usize],
+            Instr::Time { dst } => regs[dst as usize] = t,
+            Instr::Add { dst, a, b } => {
+                regs[dst as usize] = regs[a as usize] + regs[b as usize]
+            }
+            Instr::Mul { dst, a, b } => {
+                regs[dst as usize] = regs[a as usize] * regs[b as usize]
+            }
+            Instr::PowI { dst, a, n } => {
+                regs[dst as usize] = powi(regs[a as usize], n);
+            }
+            Instr::Powf { dst, a, b } => {
+                regs[dst as usize] = regs[a as usize].powf(regs[b as usize])
+            }
+            Instr::Call1 { f, dst, a } => {
+                regs[dst as usize] = f.apply(&[regs[a as usize]]);
+            }
+            Instr::Call2 { f, dst, a, b } => {
+                regs[dst as usize] = f.apply(&[regs[a as usize], regs[b as usize]]);
+            }
+            Instr::Cmp { op, dst, a, b } => {
+                regs[dst as usize] = if op.apply(regs[a as usize], regs[b as usize]) {
+                    1.0
+                } else {
+                    0.0
+                };
+            }
+            Instr::BoolAnd { dst, a, b } => {
+                regs[dst as usize] =
+                    if regs[a as usize] != 0.0 && regs[b as usize] != 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    };
+            }
+            Instr::BoolOr { dst, a, b } => {
+                regs[dst as usize] =
+                    if regs[a as usize] != 0.0 || regs[b as usize] != 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    };
+            }
+            Instr::BoolNot { dst, a } => {
+                regs[dst as usize] = if regs[a as usize] == 0.0 { 1.0 } else { 0.0 };
+            }
+            Instr::Select { dst, c, a, b } => {
+                regs[dst as usize] = if regs[c as usize] != 0.0 {
+                    regs[a as usize]
+                } else {
+                    regs[b as usize]
+                };
+            }
+        }
+    }
+    for (o, &reg) in out.iter_mut().zip(&p.outputs) {
+        *o = regs[reg as usize];
+    }
+}
+
+/// Integer power by repeated multiplication, matching
+/// [`om_expr::eval::powf_like_codegen`].
+#[inline]
+fn powi(base: f64, n: i32) -> f64 {
+    let mut acc = 1.0;
+    for _ in 0..n.unsigned_abs() {
+        acc *= base;
+    }
+    if n < 0 {
+        1.0 / acc
+    } else {
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{compile_roots, VarRef};
+    use crate::cse::CseMode;
+    use crate::dag::Dag;
+    use om_expr::{num, simplify, var, Symbol};
+    use std::collections::HashMap;
+
+    #[test]
+    fn powi_matches_reference() {
+        assert_eq!(powi(2.0, 10), 1024.0);
+        assert_eq!(powi(2.0, -2), 0.25);
+        assert_eq!(powi(-3.0, 2), 9.0);
+        assert_eq!(powi(5.0, 0), 1.0);
+    }
+
+    #[test]
+    fn register_file_reuse() {
+        let mut dag = Dag::new();
+        let root = dag.import(&simplify(&(var("x") * num(3.0))));
+        let vars: HashMap<Symbol, VarRef> =
+            [(Symbol::intern("x"), VarRef::State(0))].into_iter().collect();
+        let p = compile_roots(&dag, &[root], &vars, CseMode::PerTask);
+        let mut regs = vec![0.0; p.n_regs as usize + 8];
+        let mut out = vec![0.0];
+        execute_with_regs(&p, 0.0, &[7.0], &[], &mut out, &mut regs);
+        assert_eq!(out[0], 21.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "register file too small")]
+    fn undersized_register_file_panics() {
+        let mut dag = Dag::new();
+        let root = dag.import(&simplify(&(var("x") * num(3.0))));
+        let vars: HashMap<Symbol, VarRef> =
+            [(Symbol::intern("x"), VarRef::State(0))].into_iter().collect();
+        let p = compile_roots(&dag, &[root], &vars, CseMode::PerTask);
+        let mut regs = vec![0.0; 0];
+        let mut out = vec![0.0];
+        execute_with_regs(&p, 0.0, &[7.0], &[], &mut out, &mut regs);
+    }
+}

@@ -1,0 +1,158 @@
+//! Flop-based cost model.
+//!
+//! The LPT scheduler (paper §3.2.3) needs a *predicted execution time* for
+//! every task. Statically we estimate it by counting floating-point
+//! operations, weighting transcendental functions by their typical latency
+//! relative to an add/multiply. At runtime the semi-dynamic scheduler
+//! replaces these predictions with measured times; the static model only
+//! seeds the first schedule.
+
+use crate::expr::{Expr, Func};
+
+/// Relative costs of operations, in units of one add/multiply.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Cost of `+`, `-`, `*`.
+    pub addmul: u64,
+    /// Cost of `/`.
+    pub div: u64,
+    /// Cost of a non-integer power.
+    pub powf: u64,
+    /// Cost of `sqrt`.
+    pub sqrt: u64,
+    /// Cost of a transcendental call (sin, exp, …).
+    pub transcendental: u64,
+    /// Cost of a comparison or boolean operation.
+    pub cmp: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Rough latency ratios of a mid-1990s superscalar RISC FPU
+        // (PowerPC 601-class, the Parsytec GC/PP node processor): divides
+        // ~15 cycles, sqrt ~20, library transcendentals ~40.
+        CostModel {
+            addmul: 1,
+            div: 15,
+            powf: 45,
+            sqrt: 20,
+            transcendental: 40,
+            cmp: 1,
+        }
+    }
+}
+
+impl CostModel {
+    fn func_cost(&self, f: Func) -> u64 {
+        match f {
+            Func::Sqrt => self.sqrt,
+            Func::Abs | Func::Sign | Func::Min | Func::Max => self.cmp,
+            Func::Hypot => self.sqrt + 3 * self.addmul,
+            _ => self.transcendental,
+        }
+    }
+
+    /// Estimated cost of evaluating `e` once.
+    ///
+    /// `If` is costed as condition + the *maximum* branch: the scheduler
+    /// must budget for the worst case, which is also why the paper moves to
+    /// semi-dynamic scheduling when conditionals make static prediction
+    /// unreliable (§3.2.3).
+    pub fn cost(&self, e: &Expr) -> u64 {
+        match e {
+            Expr::Const(_) | Expr::Var(_) | Expr::Der(_) => 0,
+            Expr::Add(xs) | Expr::Mul(xs) => {
+                let children: u64 = xs.iter().map(|x| self.cost(x)).sum();
+                children + (xs.len().saturating_sub(1) as u64) * self.addmul
+            }
+            Expr::Pow(a, b) => {
+                let inner = self.cost(a) + self.cost(b);
+                match b.as_const() {
+                    // Small integer powers lower to repeated multiplies.
+                    Some(c) if c.fract() == 0.0 && c.abs() <= 64.0 && c != 0.0 => {
+                        let mults = (c.abs() as u64).saturating_sub(1).max(1);
+                        let recip = if c < 0.0 { self.div } else { 0 };
+                        inner + mults * self.addmul + recip
+                    }
+                    Some(c) if c == 0.5 || c == -0.5 => {
+                        inner + self.sqrt + if c < 0.0 { self.div } else { 0 }
+                    }
+                    _ => inner + self.powf,
+                }
+            }
+            Expr::Call(f, args) => {
+                let inner: u64 = args.iter().map(|a| self.cost(a)).sum();
+                inner + self.func_cost(*f)
+            }
+            Expr::Cmp(_, a, b) => self.cost(a) + self.cost(b) + self.cmp,
+            Expr::And(xs) | Expr::Or(xs) => {
+                xs.iter().map(|x| self.cost(x)).sum::<u64>() + self.cmp
+            }
+            Expr::Not(a) => self.cost(a) + self.cmp,
+            Expr::If(c, t, e2) => self.cost(c) + self.cost(t).max(self.cost(e2)),
+            Expr::Tuple(xs) => xs.iter().map(|x| self.cost(x)).sum(),
+        }
+    }
+}
+
+/// Estimated flops of `e` under the default cost model.
+pub fn flops(e: &Expr) -> u64 {
+    CostModel::default().cost(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{num, var};
+
+    #[test]
+    fn leaves_are_free() {
+        assert_eq!(flops(&var("x")), 0);
+        assert_eq!(flops(&num(3.0)), 0);
+    }
+
+    #[test]
+    fn nary_ops_count_n_minus_one() {
+        let e = Expr::Add(vec![var("a"), var("b"), var("c"), var("d")]);
+        assert_eq!(flops(&e), 3);
+        let e = Expr::Mul(vec![var("a"), var("b")]);
+        assert_eq!(flops(&e), 1);
+    }
+
+    #[test]
+    fn division_is_more_expensive_than_multiplication() {
+        let m = CostModel::default();
+        assert!(m.cost(&(var("a") / var("b"))) > m.cost(&(var("a") * var("b"))));
+    }
+
+    #[test]
+    fn small_integer_powers_lower_to_multiplies() {
+        let m = CostModel::default();
+        // x^3 = two multiplies
+        assert_eq!(m.cost(&var("x").powi(3)), 2);
+        // x^0.5 = sqrt
+        assert_eq!(m.cost(&var("x").pow(num(0.5))), m.sqrt);
+        // x^2.7 = powf
+        assert_eq!(m.cost(&var("x").pow(num(2.7))), m.powf);
+    }
+
+    #[test]
+    fn transcendentals_dominate() {
+        let m = CostModel::default();
+        let e = Expr::call1(Func::Sin, var("x") + var("y"));
+        assert_eq!(m.cost(&e), m.transcendental + m.addmul);
+    }
+
+    #[test]
+    fn if_costs_worst_case_branch() {
+        let m = CostModel::default();
+        let heavy = Expr::call1(Func::Sin, var("x"));
+        let light = num(0.0);
+        let e = Expr::ite(
+            Expr::cmp(crate::expr::CmpOp::Gt, var("x"), num(0.0)),
+            heavy.clone(),
+            light,
+        );
+        assert_eq!(m.cost(&e), m.cmp + m.cost(&heavy));
+    }
+}

@@ -1,0 +1,322 @@
+//! Symbolic differentiation.
+//!
+//! Used by `om-codegen` to emit the dedicated Jacobian function that the
+//! paper (§3.2.1) recommends supplying to the implicit solver instead of
+//! letting it approximate ∂f/∂y by repeated RHS evaluations.
+//!
+//! Differentiation is purely structural; the result is passed through
+//! [`crate::simplify::simplify`] so that vanishing branches collapse.
+
+use crate::expr::{Expr, Func};
+use crate::simplify::simplify;
+use crate::symbol::Symbol;
+
+/// Differentiate `e` with respect to the variable `x`, returning the
+/// simplified derivative.
+///
+/// Non-smooth primitives are differentiated almost-everywhere:
+/// `abs'(u) = sign(u)·u'`, `sign'(u) = 0`, `min`/`max` select the active
+/// branch, and comparisons/booleans are treated as piecewise constant —
+/// the same convention LSODA-class solvers rely on when a user-supplied
+/// Jacobian ignores switching points.
+pub fn diff(e: &Expr, x: Symbol) -> Expr {
+    simplify(&diff_raw(e, x))
+}
+
+fn diff_raw(e: &Expr, x: Symbol) -> Expr {
+    match e {
+        Expr::Const(_) => Expr::zero(),
+        Expr::Var(s) => {
+            if *s == x {
+                Expr::one()
+            } else {
+                Expr::zero()
+            }
+        }
+        Expr::Der(_) => {
+            // Derivative markers never appear inside right-hand sides by the
+            // time the Jacobian is generated (the expression transformer has
+            // removed them); treat as an independent quantity.
+            Expr::zero()
+        }
+        Expr::Add(xs) => Expr::Add(xs.iter().map(|t| diff_raw(t, x)).collect()),
+        Expr::Mul(xs) => {
+            // Product rule over n factors.
+            let mut terms = Vec::with_capacity(xs.len());
+            for (i, f) in xs.iter().enumerate() {
+                let mut factors: Vec<Expr> = Vec::with_capacity(xs.len());
+                factors.push(diff_raw(f, x));
+                for (j, g) in xs.iter().enumerate() {
+                    if i != j {
+                        factors.push(g.clone());
+                    }
+                }
+                terms.push(Expr::Mul(factors));
+            }
+            Expr::Add(terms)
+        }
+        Expr::Pow(base, exp) => {
+            let (u, n) = (base.as_ref(), exp.as_ref());
+            match n.as_const() {
+                Some(c) => {
+                    // d/dx u^c = c·u^(c-1)·u'
+                    Expr::Mul(vec![
+                        Expr::Const(c),
+                        Expr::Pow(Box::new(u.clone()), Box::new(Expr::Const(c - 1.0))),
+                        diff_raw(u, x),
+                    ])
+                }
+                None => {
+                    // General case: d/dx u^v = u^v · (v'·ln u + v·u'/u)
+                    let v = n;
+                    let term1 = Expr::Mul(vec![
+                        diff_raw(v, x),
+                        Expr::call1(Func::Ln, u.clone()),
+                    ]);
+                    let term2 = Expr::Mul(vec![
+                        v.clone(),
+                        diff_raw(u, x),
+                        Expr::Pow(Box::new(u.clone()), Box::new(Expr::Const(-1.0))),
+                    ]);
+                    Expr::Mul(vec![e.clone(), Expr::Add(vec![term1, term2])])
+                }
+            }
+        }
+        Expr::Call(f, args) => diff_call(*f, args, e, x),
+        Expr::Cmp(_, _, _) | Expr::And(_) | Expr::Or(_) | Expr::Not(_) => Expr::zero(),
+        Expr::If(c, t, e2) => Expr::If(
+            c.clone(),
+            Box::new(diff_raw(t, x)),
+            Box::new(diff_raw(e2, x)),
+        ),
+        Expr::Tuple(xs) => Expr::Tuple(xs.iter().map(|t| diff_raw(t, x)).collect()),
+    }
+}
+
+fn diff_call(f: Func, args: &[Expr], original: &Expr, x: Symbol) -> Expr {
+    let u = &args[0];
+    let du = diff_raw(u, x);
+    let chain = |outer: Expr, du: Expr| Expr::Mul(vec![outer, du]);
+    match f {
+        Func::Sin => chain(Expr::call1(Func::Cos, u.clone()), du),
+        Func::Cos => chain(Expr::call1(Func::Sin, u.clone()).neg(), du),
+        Func::Tan => {
+            // 1/cos² u
+            let sec2 = Expr::Pow(
+                Box::new(Expr::call1(Func::Cos, u.clone())),
+                Box::new(Expr::Const(-2.0)),
+            );
+            chain(sec2, du)
+        }
+        Func::Asin => {
+            // 1/sqrt(1-u²)
+            let inner = Expr::Add(vec![
+                Expr::one(),
+                Expr::Mul(vec![Expr::Const(-1.0), u.clone().powi(2)]),
+            ]);
+            chain(
+                Expr::Pow(Box::new(inner), Box::new(Expr::Const(-0.5))),
+                du,
+            )
+        }
+        Func::Acos => {
+            let inner = Expr::Add(vec![
+                Expr::one(),
+                Expr::Mul(vec![Expr::Const(-1.0), u.clone().powi(2)]),
+            ]);
+            chain(
+                Expr::Pow(Box::new(inner), Box::new(Expr::Const(-0.5))).neg(),
+                du,
+            )
+        }
+        Func::Atan => {
+            // 1/(1+u²)
+            let inner = Expr::Add(vec![Expr::one(), u.clone().powi(2)]);
+            chain(
+                Expr::Pow(Box::new(inner), Box::new(Expr::Const(-1.0))),
+                du,
+            )
+        }
+        Func::Atan2 => {
+            // atan2(y, x): d = (y'·x − y·x') / (x² + y²)
+            let y = &args[0];
+            let xx = &args[1];
+            let dy = du;
+            let dx = diff_raw(xx, x);
+            let numer = Expr::Add(vec![
+                Expr::Mul(vec![dy, xx.clone()]),
+                Expr::Mul(vec![Expr::Const(-1.0), y.clone(), dx]),
+            ]);
+            let denom = Expr::Add(vec![xx.clone().powi(2), y.clone().powi(2)]);
+            Expr::Mul(vec![
+                numer,
+                Expr::Pow(Box::new(denom), Box::new(Expr::Const(-1.0))),
+            ])
+        }
+        Func::Sinh => chain(Expr::call1(Func::Cosh, u.clone()), du),
+        Func::Cosh => chain(Expr::call1(Func::Sinh, u.clone()), du),
+        Func::Tanh => {
+            // 1 - tanh² u
+            let inner = Expr::Add(vec![
+                Expr::one(),
+                Expr::Mul(vec![
+                    Expr::Const(-1.0),
+                    Expr::call1(Func::Tanh, u.clone()).powi(2),
+                ]),
+            ]);
+            chain(inner, du)
+        }
+        Func::Exp => chain(original.clone(), du),
+        Func::Ln => chain(
+            Expr::Pow(Box::new(u.clone()), Box::new(Expr::Const(-1.0))),
+            du,
+        ),
+        Func::Sqrt => {
+            // 1/(2·sqrt u)
+            let inner = Expr::Mul(vec![
+                Expr::Const(0.5),
+                Expr::Pow(Box::new(u.clone()), Box::new(Expr::Const(-0.5))),
+            ]);
+            chain(inner, du)
+        }
+        Func::Abs => chain(Expr::call1(Func::Sign, u.clone()), du),
+        Func::Sign => Expr::zero(),
+        Func::Min | Func::Max => {
+            // Select the derivative of the active branch.
+            let a = &args[0];
+            let b = &args[1];
+            let da = du;
+            let db = diff_raw(b, x);
+            let op = if f == Func::Min {
+                crate::expr::CmpOp::Le
+            } else {
+                crate::expr::CmpOp::Ge
+            };
+            Expr::If(
+                Box::new(Expr::cmp(op, a.clone(), b.clone())),
+                Box::new(da),
+                Box::new(db),
+            )
+        }
+        Func::Hypot => {
+            // d hypot(a,b) = (a·a' + b·b') / hypot(a,b)
+            let a = &args[0];
+            let b = &args[1];
+            let da = du;
+            let db = diff_raw(b, x);
+            let numer = Expr::Add(vec![
+                Expr::Mul(vec![a.clone(), da]),
+                Expr::Mul(vec![b.clone(), db]),
+            ]);
+            Expr::Mul(vec![
+                numer,
+                Expr::Pow(Box::new(original.clone()), Box::new(Expr::Const(-1.0))),
+            ])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{num, var};
+    use crate::eval::eval;
+    use std::collections::HashMap;
+
+    fn x() -> Symbol {
+        Symbol::intern("x")
+    }
+
+    #[test]
+    fn polynomial_rules() {
+        // d/dx (3x² + 2x + 7) = 6x + 2
+        let e = num(3.0) * var("x").powi(2) + num(2.0) * var("x") + num(7.0);
+        let d = diff(&e, x());
+        let expected = simplify(&(num(6.0) * var("x") + num(2.0)));
+        assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn product_rule() {
+        // d/dx (x·y) = y
+        let d = diff(&(var("x") * var("y")), x());
+        assert_eq!(d, var("y"));
+        // d/dx (x·x·x) = 3x²
+        let d = diff(&(var("x") * var("x") * var("x")), x());
+        assert_eq!(d, simplify(&(num(3.0) * var("x").powi(2))));
+    }
+
+    #[test]
+    fn chain_rule_through_functions() {
+        // d/dx sin(x²) = 2x·cos(x²)
+        let e = Expr::call1(Func::Sin, var("x").powi(2));
+        let d = diff(&e, x());
+        let expected = simplify(&(num(2.0) * var("x") * Expr::call1(Func::Cos, var("x").powi(2))));
+        assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn quotient_via_canonical_division() {
+        // d/dx (1/x) = -x⁻²
+        let d = diff(&(num(1.0) / var("x")), x());
+        assert_eq!(d, simplify(&(num(-1.0) * var("x").powi(-2))));
+    }
+
+    #[test]
+    fn derivative_of_unrelated_variable_is_zero() {
+        let d = diff(&(var("y").powi(3) + num(4.0)), x());
+        assert_eq!(d, num(0.0));
+    }
+
+    #[test]
+    fn conditional_differentiates_branchwise() {
+        let e = Expr::ite(
+            Expr::cmp(crate::expr::CmpOp::Gt, var("x"), num(0.0)),
+            var("x").powi(2),
+            num(0.0),
+        );
+        let d = diff(&e, x());
+        match d {
+            Expr::If(_, t, els) => {
+                assert_eq!(*t, simplify(&(num(2.0) * var("x"))));
+                assert_eq!(*els, num(0.0));
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    /// Central finite difference check on a battery of expressions.
+    #[test]
+    fn matches_finite_differences() {
+        let samples: Vec<Expr> = vec![
+            var("x").powi(3) - num(2.0) * var("x") + num(1.0),
+            Expr::call1(Func::Sin, var("x")) * Expr::call1(Func::Cos, var("x")),
+            Expr::call1(Func::Exp, var("x") * num(0.3)),
+            Expr::call1(Func::Ln, var("x").powi(2) + num(1.0)),
+            Expr::call1(Func::Sqrt, var("x").powi(2) + num(4.0)),
+            Expr::call1(Func::Tanh, var("x")),
+            Expr::call1(Func::Atan, var("x")),
+            Expr::call2(Func::Hypot, var("x"), num(2.0)),
+            Expr::call2(Func::Atan2, var("x"), num(2.0)),
+            var("x").pow(var("x")), // general power, x > 0
+        ];
+        for e in &samples {
+            let d = diff(e, x());
+            for &x0 in &[0.7, 1.3, 2.1] {
+                let mut env = HashMap::new();
+                env.insert(x(), x0);
+                let h = 1e-6;
+                let mut env_p = env.clone();
+                env_p.insert(x(), x0 + h);
+                let mut env_m = env.clone();
+                env_m.insert(x(), x0 - h);
+                let fd = (eval(e, &env_p).unwrap() - eval(e, &env_m).unwrap()) / (2.0 * h);
+                let sym = eval(&d, &env).unwrap();
+                assert!(
+                    (fd - sym).abs() <= 1e-4 * (1.0 + sym.abs()),
+                    "mismatch for {e:?} at x={x0}: fd={fd} sym={sym}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Numeric evaluation of expression trees.
+//!
+//! Tree-walking evaluation is the *reference* semantics: the bytecode VM in
+//! `om-runtime` and the emitted Fortran/C++ must agree with it. It is also
+//! what the property tests compare against.
+
+use crate::expr::Expr;
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced by evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable had no binding in the environment.
+    UnboundVariable(Symbol),
+    /// A derivative marker was encountered; RHS expressions must have had
+    /// derivatives removed by the expression transformer first.
+    DerivativeInExpression(Symbol),
+    /// Tuples must be scalarized before evaluation.
+    TupleInScalarContext,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(s) => write!(f, "unbound variable `{s}`"),
+            EvalError::DerivativeInExpression(s) => {
+                write!(f, "derivative marker der({s}) inside an expression")
+            }
+            EvalError::TupleInScalarContext => {
+                write!(f, "tuple value in scalar context (scalarize first)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Environment abstraction: anything that can resolve a symbol to a value.
+pub trait Env {
+    /// Value bound to `s`, or `None` if unbound.
+    fn get(&self, s: Symbol) -> Option<f64>;
+}
+
+impl Env for HashMap<Symbol, f64> {
+    fn get(&self, s: Symbol) -> Option<f64> {
+        HashMap::get(self, &s).copied()
+    }
+}
+
+impl<F: Fn(Symbol) -> Option<f64>> Env for F {
+    fn get(&self, s: Symbol) -> Option<f64> {
+        self(s)
+    }
+}
+
+/// Evaluate `e` in environment `env`.
+///
+/// Booleans are represented as `0.0` / `1.0`, matching the encoding the
+/// simplifier uses when folding comparisons.
+pub fn eval<E: Env>(e: &Expr, env: &E) -> Result<f64, EvalError> {
+    match e {
+        Expr::Const(c) => Ok(*c),
+        Expr::Var(s) => env.get(*s).ok_or(EvalError::UnboundVariable(*s)),
+        Expr::Der(s) => Err(EvalError::DerivativeInExpression(*s)),
+        Expr::Add(xs) => {
+            let mut acc = 0.0;
+            for x in xs {
+                acc += eval(x, env)?;
+            }
+            Ok(acc)
+        }
+        Expr::Mul(xs) => {
+            let mut acc = 1.0;
+            for x in xs {
+                acc *= eval(x, env)?;
+            }
+            Ok(acc)
+        }
+        Expr::Pow(a, b) => {
+            let base = eval(a, env)?;
+            let exp = eval(b, env)?;
+            Ok(powf_like_codegen(base, exp))
+        }
+        Expr::Call(f, args) => {
+            let mut vals = [0.0f64; 2];
+            debug_assert!(args.len() <= 2);
+            for (i, a) in args.iter().enumerate() {
+                vals[i] = eval(a, env)?;
+            }
+            Ok(f.apply(&vals[..args.len()]))
+        }
+        Expr::Cmp(op, a, b) => {
+            let (x, y) = (eval(a, env)?, eval(b, env)?);
+            Ok(if op.apply(x, y) { 1.0 } else { 0.0 })
+        }
+        Expr::And(xs) => {
+            for x in xs {
+                if eval(x, env)? == 0.0 {
+                    return Ok(0.0);
+                }
+            }
+            Ok(1.0)
+        }
+        Expr::Or(xs) => {
+            for x in xs {
+                if eval(x, env)? != 0.0 {
+                    return Ok(1.0);
+                }
+            }
+            Ok(0.0)
+        }
+        Expr::Not(a) => Ok(if eval(a, env)? == 0.0 { 1.0 } else { 0.0 }),
+        Expr::If(c, t, e2) => {
+            if eval(c, env)? != 0.0 {
+                eval(t, env)
+            } else {
+                eval(e2, env)
+            }
+        }
+        Expr::Tuple(_) => Err(EvalError::TupleInScalarContext),
+    }
+}
+
+/// `base^exp` with integer-exponent fast path, matching what the code
+/// generator emits (`x*x` for small integer powers, `powf` otherwise).
+/// Negative bases with integer exponents are well-defined here, unlike raw
+/// `powf` semantics in some target languages.
+pub fn powf_like_codegen(base: f64, exp: f64) -> f64 {
+    if exp.fract() == 0.0 && exp.abs() <= 64.0 {
+        let mut acc = 1.0;
+        let n = exp.abs() as u32;
+        for _ in 0..n {
+            acc *= base;
+        }
+        if exp < 0.0 {
+            1.0 / acc
+        } else {
+            acc
+        }
+    } else {
+        base.powf(exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Func};
+    use crate::{num, var};
+
+    fn env(pairs: &[(&str, f64)]) -> HashMap<Symbol, f64> {
+        pairs
+            .iter()
+            .map(|(n, v)| (Symbol::intern(n), *v))
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = (var("x") + num(1.0)) * var("y") - num(3.0);
+        let v = eval(&e, &env(&[("x", 2.0), ("y", 4.0)])).unwrap();
+        assert_eq!(v, 9.0);
+    }
+
+    #[test]
+    fn division_and_powers() {
+        let e = var("x") / var("y") + var("x").powi(3);
+        let v = eval(&e, &env(&[("x", 2.0), ("y", 8.0)])).unwrap();
+        assert_eq!(v, 0.25 + 8.0);
+    }
+
+    #[test]
+    fn negative_base_integer_power() {
+        let e = var("x").powi(2);
+        let v = eval(&e, &env(&[("x", -3.0)])).unwrap();
+        assert_eq!(v, 9.0);
+        let e = var("x").powi(-2);
+        let v = eval(&e, &env(&[("x", -2.0)])).unwrap();
+        assert_eq!(v, 0.25);
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let e = var("nope");
+        assert_eq!(
+            eval(&e, &env(&[])),
+            Err(EvalError::UnboundVariable(Symbol::intern("nope")))
+        );
+    }
+
+    #[test]
+    fn derivative_marker_errors() {
+        let e = crate::der("x");
+        assert!(matches!(
+            eval(&e, &env(&[("x", 1.0)])),
+            Err(EvalError::DerivativeInExpression(_))
+        ));
+    }
+
+    #[test]
+    fn conditionals_and_comparisons() {
+        let e = Expr::ite(
+            Expr::cmp(CmpOp::Gt, var("x"), num(0.0)),
+            var("x"),
+            var("x").neg(),
+        );
+        assert_eq!(eval(&e, &env(&[("x", -5.0)])).unwrap(), 5.0);
+        assert_eq!(eval(&e, &env(&[("x", 5.0)])).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn short_circuit_booleans() {
+        // And short-circuits: the unbound variable in the second operand is
+        // never evaluated when the first operand is false.
+        let e = Expr::And(vec![
+            Expr::cmp(CmpOp::Lt, num(2.0), num(1.0)),
+            var("unbound_in_and"),
+        ]);
+        assert_eq!(eval(&e, &env(&[])).unwrap(), 0.0);
+        let e = Expr::Or(vec![
+            Expr::cmp(CmpOp::Lt, num(1.0), num(2.0)),
+            var("unbound_in_or"),
+        ]);
+        assert_eq!(eval(&e, &env(&[])).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn functions() {
+        let e = Expr::call1(Func::Sin, var("t"));
+        let v = eval(&e, &env(&[("t", std::f64::consts::FRAC_PI_2)])).unwrap();
+        assert!((v - 1.0).abs() < 1e-15);
+        let e = Expr::call2(Func::Atan2, var("y"), var("x"));
+        let v = eval(&e, &env(&[("y", 1.0), ("x", 1.0)])).unwrap();
+        assert!((v - std::f64::consts::FRAC_PI_4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn closure_env_works() {
+        let f = |s: Symbol| {
+            if s.name() == "k" {
+                Some(10.0)
+            } else {
+                None
+            }
+        };
+        assert_eq!(eval(&(var("k") * num(2.0)), &f).unwrap(), 20.0);
+    }
+}

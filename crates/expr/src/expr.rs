@@ -1,0 +1,554 @@
+//! The core expression tree.
+//!
+//! Expressions use *canonical* forms so the simplifier and the CSE stage of
+//! the code generator can reason structurally:
+//!
+//! * subtraction is `Add[a, Mul[-1, b]]`,
+//! * division is `Mul[a, Pow[b, -1]]`,
+//! * negation is `Mul[-1, a]`,
+//! * sums and products are n-ary and (after simplification) sorted.
+//!
+//! `f64` constants compare and hash *bitwise*, so structurally equal trees
+//! are `Eq`-equal and hashable — the property the hash-consing DAG in
+//! `om-codegen` relies on.
+
+use crate::symbol::Symbol;
+use std::hash::{Hash, Hasher};
+
+/// Built-in scalar functions available in the compilable subset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Func {
+    Sin,
+    Cos,
+    Tan,
+    Asin,
+    Acos,
+    Atan,
+    /// Two-argument arctangent `atan2(y, x)`.
+    Atan2,
+    Sinh,
+    Cosh,
+    Tanh,
+    Exp,
+    /// Natural logarithm.
+    Ln,
+    Sqrt,
+    Abs,
+    /// Sign function: -1, 0, or 1.
+    Sign,
+    Min,
+    Max,
+    /// `hypot(x, y) = sqrt(x² + y²)` without undue overflow.
+    Hypot,
+}
+
+impl Func {
+    /// The ObjectMath / Mathematica-style `FullForm` head for this function.
+    pub fn full_form_name(self) -> &'static str {
+        match self {
+            Func::Sin => "Sin",
+            Func::Cos => "Cos",
+            Func::Tan => "Tan",
+            Func::Asin => "ArcSin",
+            Func::Acos => "ArcCos",
+            Func::Atan => "ArcTan",
+            Func::Atan2 => "ArcTan2",
+            Func::Sinh => "Sinh",
+            Func::Cosh => "Cosh",
+            Func::Tanh => "Tanh",
+            Func::Exp => "Exp",
+            Func::Ln => "Log",
+            Func::Sqrt => "Sqrt",
+            Func::Abs => "Abs",
+            Func::Sign => "Sign",
+            Func::Min => "Min",
+            Func::Max => "Max",
+            Func::Hypot => "Hypot",
+        }
+    }
+
+    /// Lower-case name used by the infix printer and the Fortran/C++
+    /// emitters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Func::Sin => "sin",
+            Func::Cos => "cos",
+            Func::Tan => "tan",
+            Func::Asin => "asin",
+            Func::Acos => "acos",
+            Func::Atan => "atan",
+            Func::Atan2 => "atan2",
+            Func::Sinh => "sinh",
+            Func::Cosh => "cosh",
+            Func::Tanh => "tanh",
+            Func::Exp => "exp",
+            Func::Ln => "log",
+            Func::Sqrt => "sqrt",
+            Func::Abs => "abs",
+            Func::Sign => "sign",
+            Func::Min => "min",
+            Func::Max => "max",
+            Func::Hypot => "hypot",
+        }
+    }
+
+    /// Number of arguments the function takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Func::Atan2 | Func::Min | Func::Max | Func::Hypot => 2,
+            _ => 1,
+        }
+    }
+
+    /// Look a function up by its lower-case source name.
+    pub fn from_name(name: &str) -> Option<Func> {
+        Some(match name {
+            "sin" => Func::Sin,
+            "cos" => Func::Cos,
+            "tan" => Func::Tan,
+            "asin" => Func::Asin,
+            "acos" => Func::Acos,
+            "atan" => Func::Atan,
+            "atan2" => Func::Atan2,
+            "sinh" => Func::Sinh,
+            "cosh" => Func::Cosh,
+            "tanh" => Func::Tanh,
+            "exp" => Func::Exp,
+            "log" | "ln" => Func::Ln,
+            "sqrt" => Func::Sqrt,
+            "abs" => Func::Abs,
+            "sign" => Func::Sign,
+            "min" => Func::Min,
+            "max" => Func::Max,
+            "hypot" => Func::Hypot,
+            _ => return None,
+        })
+    }
+
+    /// Evaluate the function on already-computed arguments.
+    pub fn apply(self, args: &[f64]) -> f64 {
+        match self {
+            Func::Sin => args[0].sin(),
+            Func::Cos => args[0].cos(),
+            Func::Tan => args[0].tan(),
+            Func::Asin => args[0].asin(),
+            Func::Acos => args[0].acos(),
+            Func::Atan => args[0].atan(),
+            Func::Atan2 => args[0].atan2(args[1]),
+            Func::Sinh => args[0].sinh(),
+            Func::Cosh => args[0].cosh(),
+            Func::Tanh => args[0].tanh(),
+            Func::Exp => args[0].exp(),
+            Func::Ln => args[0].ln(),
+            Func::Sqrt => args[0].sqrt(),
+            Func::Abs => args[0].abs(),
+            Func::Sign => {
+                if args[0] > 0.0 {
+                    1.0
+                } else if args[0] < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            Func::Min => args[0].min(args[1]),
+            Func::Max => args[0].max(args[1]),
+            Func::Hypot => args[0].hypot(args[1]),
+        }
+    }
+}
+
+/// Comparison operators usable in `if` conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqCmp,
+    Ne,
+}
+
+impl CmpOp {
+    /// Source-level spelling of the operator.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::EqCmp => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    /// Evaluate the comparison on numbers.
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::EqCmp => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+/// A symbolic expression.
+///
+/// See the module documentation for the canonical-form conventions.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// A numeric constant.
+    Const(f64),
+    /// A reference to a scalar variable, parameter, or the free variable
+    /// (time).
+    Var(Symbol),
+    /// The time derivative of a state variable; appears on equation
+    /// left-hand sides and is removed by the expression transformer.
+    Der(Symbol),
+    /// n-ary sum.
+    Add(Vec<Expr>),
+    /// n-ary product.
+    Mul(Vec<Expr>),
+    /// `base ^ exponent`.
+    Pow(Box<Expr>, Box<Expr>),
+    /// Application of a built-in function.
+    Call(Func, Vec<Expr>),
+    /// Numeric comparison, producing a boolean (used only inside `If`,
+    /// `And`, `Or`, `Not`).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Boolean conjunction.
+    And(Vec<Expr>),
+    /// Boolean disjunction.
+    Or(Vec<Expr>),
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// Conditional expression `if cond then a else b`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// A fixed-size vector value `{a, b, c}`. Only the language frontend
+    /// produces tuples; flattening scalarizes them away before code
+    /// generation.
+    Tuple(Vec<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for `Const(0.0)`.
+    pub fn zero() -> Expr {
+        Expr::Const(0.0)
+    }
+
+    /// Shorthand for `Const(1.0)`.
+    pub fn one() -> Expr {
+        Expr::Const(1.0)
+    }
+
+    /// True if this is a constant bitwise-equal to `v`.
+    pub fn is_const(&self, v: f64) -> bool {
+        matches!(self, Expr::Const(c) if c.to_bits() == v.to_bits())
+    }
+
+    /// The constant value, if this node is a constant.
+    pub fn as_const(&self) -> Option<f64> {
+        match self {
+            Expr::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The variable symbol, if this node is a plain variable reference.
+    pub fn as_var(&self) -> Option<Symbol> {
+        match self {
+            Expr::Var(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// `-e`, in canonical form.
+    pub fn neg(self) -> Expr {
+        Expr::Mul(vec![Expr::Const(-1.0), self])
+    }
+
+    /// `self ^ p` for an integer exponent.
+    pub fn powi(self, p: i32) -> Expr {
+        Expr::Pow(Box::new(self), Box::new(Expr::Const(f64::from(p))))
+    }
+
+    /// `self ^ p`.
+    pub fn pow(self, p: Expr) -> Expr {
+        Expr::Pow(Box::new(self), Box::new(p))
+    }
+
+    /// Apply a unary function.
+    pub fn call1(f: Func, a: Expr) -> Expr {
+        debug_assert_eq!(f.arity(), 1);
+        Expr::Call(f, vec![a])
+    }
+
+    /// Apply a binary function.
+    pub fn call2(f: Func, a: Expr, b: Expr) -> Expr {
+        debug_assert_eq!(f.arity(), 2);
+        Expr::Call(f, vec![a, b])
+    }
+
+    /// `if cond then a else b`.
+    pub fn ite(cond: Expr, then: Expr, otherwise: Expr) -> Expr {
+        Expr::If(Box::new(cond), Box::new(then), Box::new(otherwise))
+    }
+
+    /// Comparison helper.
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// A small integer used for discriminating node kinds in the canonical
+    /// term order (constants first, then variables, then compound terms).
+    pub(crate) fn kind_rank(&self) -> u8 {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(_) => 1,
+            Expr::Der(_) => 2,
+            Expr::Pow(_, _) => 3,
+            Expr::Call(_, _) => 4,
+            Expr::Mul(_) => 5,
+            Expr::Add(_) => 6,
+            Expr::Cmp(_, _, _) => 7,
+            Expr::And(_) => 8,
+            Expr::Or(_) => 9,
+            Expr::Not(_) => 10,
+            Expr::If(_, _, _) => 11,
+            Expr::Tuple(_) => 12,
+        }
+    }
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Expr) -> bool {
+        use Expr::*;
+        match (self, other) {
+            (Const(a), Const(b)) => a.to_bits() == b.to_bits(),
+            (Var(a), Var(b)) => a == b,
+            (Der(a), Der(b)) => a == b,
+            (Add(a), Add(b)) | (Mul(a), Mul(b)) | (And(a), And(b)) | (Or(a), Or(b)) => a == b,
+            (Tuple(a), Tuple(b)) => a == b,
+            (Pow(a1, a2), Pow(b1, b2)) => a1 == b1 && a2 == b2,
+            (Call(f, a), Call(g, b)) => f == g && a == b,
+            (Cmp(o1, a1, a2), Cmp(o2, b1, b2)) => o1 == o2 && a1 == b1 && a2 == b2,
+            (Not(a), Not(b)) => a == b,
+            (If(c1, t1, e1), If(c2, t2, e2)) => c1 == c2 && t1 == t2 && e1 == e2,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Expr {}
+
+impl Hash for Expr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.kind_rank().hash(state);
+        match self {
+            Expr::Const(c) => c.to_bits().hash(state),
+            Expr::Var(s) | Expr::Der(s) => s.hash(state),
+            Expr::Add(xs) | Expr::Mul(xs) | Expr::And(xs) | Expr::Or(xs) | Expr::Tuple(xs) => {
+                xs.hash(state)
+            }
+            Expr::Pow(a, b) => {
+                a.hash(state);
+                b.hash(state);
+            }
+            Expr::Call(f, args) => {
+                f.hash(state);
+                args.hash(state);
+            }
+            Expr::Cmp(op, a, b) => {
+                op.hash(state);
+                a.hash(state);
+                b.hash(state);
+            }
+            Expr::Not(a) => a.hash(state),
+            Expr::If(c, t, e) => {
+                c.hash(state);
+                t.hash(state);
+                e.hash(state);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator overloading for ergonomic model construction.
+// ---------------------------------------------------------------------------
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        match (self, rhs) {
+            (Expr::Add(mut a), Expr::Add(b)) => {
+                a.extend(b);
+                Expr::Add(a)
+            }
+            (Expr::Add(mut a), b) => {
+                a.push(b);
+                Expr::Add(a)
+            }
+            (a, Expr::Add(mut b)) => {
+                b.insert(0, a);
+                Expr::Add(b)
+            }
+            (a, b) => Expr::Add(vec![a, b]),
+        }
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        self + rhs.neg()
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        match (self, rhs) {
+            (Expr::Mul(mut a), Expr::Mul(b)) => {
+                a.extend(b);
+                Expr::Mul(a)
+            }
+            (Expr::Mul(mut a), b) => {
+                a.push(b);
+                Expr::Mul(a)
+            }
+            (a, Expr::Mul(mut b)) => {
+                b.insert(0, a);
+                Expr::Mul(b)
+            }
+            (a, b) => Expr::Mul(vec![a, b]),
+        }
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        self * rhs.powi(-1)
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::neg(self)
+    }
+}
+
+impl From<f64> for Expr {
+    fn from(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+impl From<i32> for Expr {
+    fn from(v: i32) -> Expr {
+        Expr::Const(f64::from(v))
+    }
+}
+
+impl From<Symbol> for Expr {
+    fn from(s: Symbol) -> Expr {
+        Expr::Var(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{num, var};
+
+    #[test]
+    fn operators_build_canonical_forms() {
+        let e = var("x") + var("y");
+        assert_eq!(e, Expr::Add(vec![var("x"), var("y")]));
+
+        let e = var("x") - var("y");
+        assert_eq!(
+            e,
+            Expr::Add(vec![var("x"), Expr::Mul(vec![num(-1.0), var("y")])])
+        );
+
+        let e = var("x") / var("y");
+        assert_eq!(e, Expr::Mul(vec![var("x"), var("y").powi(-1)]));
+    }
+
+    #[test]
+    fn nested_sums_flatten_on_construction() {
+        let e = (var("a") + var("b")) + var("c");
+        assert_eq!(e, Expr::Add(vec![var("a"), var("b"), var("c")]));
+    }
+
+    #[test]
+    fn structural_equality_is_bitwise_on_constants() {
+        assert_eq!(num(1.5), num(1.5));
+        assert_ne!(num(0.0), num(-0.0));
+        assert_eq!(num(f64::NAN), num(f64::NAN));
+    }
+
+    #[test]
+    fn hash_matches_equality() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |e: &Expr| {
+            let mut s = DefaultHasher::new();
+            e.hash(&mut s);
+            s.finish()
+        };
+        let a = var("x") * num(2.0) + Expr::call1(Func::Sin, var("t"));
+        let b = var("x") * num(2.0) + Expr::call1(Func::Sin, var("t"));
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn func_roundtrips_by_name() {
+        for f in [
+            Func::Sin,
+            Func::Cos,
+            Func::Tan,
+            Func::Asin,
+            Func::Acos,
+            Func::Atan,
+            Func::Atan2,
+            Func::Sinh,
+            Func::Cosh,
+            Func::Tanh,
+            Func::Exp,
+            Func::Sqrt,
+            Func::Abs,
+            Func::Sign,
+            Func::Min,
+            Func::Max,
+            Func::Hypot,
+        ] {
+            assert_eq!(Func::from_name(f.name()), Some(f), "{}", f.name());
+        }
+        assert_eq!(Func::from_name("log"), Some(Func::Ln));
+        assert_eq!(Func::from_name("nosuch"), None);
+    }
+
+    #[test]
+    fn func_apply_matches_std() {
+        assert!((Func::Atan2.apply(&[1.0, 2.0]) - 1.0f64.atan2(2.0)).abs() < 1e-15);
+        assert_eq!(Func::Sign.apply(&[-3.0]), -1.0);
+        assert_eq!(Func::Sign.apply(&[0.0]), 0.0);
+        assert_eq!(Func::Max.apply(&[2.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn cmp_apply() {
+        assert!(CmpOp::Lt.apply(1.0, 2.0));
+        assert!(!CmpOp::Ge.apply(1.0, 2.0));
+        assert!(CmpOp::Ne.apply(1.0, 2.0));
+        assert!(CmpOp::EqCmp.apply(2.0, 2.0));
+    }
+}

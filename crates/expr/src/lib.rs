@@ -1,0 +1,58 @@
+//! # om-expr — symbolic expression engine for ObjectMath-rs
+//!
+//! This crate is the algebraic substrate of the ObjectMath reproduction.
+//! The original system (Andersson & Fritzson, PPoPP'95) delegated symbolic
+//! work to Mathematica over the MathLink protocol; here the same
+//! capabilities are provided natively:
+//!
+//! * an expression tree ([`Expr`]) with canonical n-ary sums and products,
+//! * algebraic simplification ([`simplify::simplify`]),
+//! * symbolic differentiation ([`diff::diff`]) used for Jacobian generation,
+//! * substitution and linear equation solving ([`subst`], [`solve`]),
+//! * numeric evaluation ([`mod@eval`]),
+//! * a flop-based cost model ([`cost`]) feeding the LPT scheduler,
+//! * infix and Mathematica-`FullForm` printing with `om$Type` annotations
+//!   ([`mod@print`]), matching the intermediate form shown in Figure 11 of the
+//!   paper.
+//!
+//! Variables are interned [`Symbol`]s so that expressions stay small and
+//! hashable; the interner is process-global which lets symbols flow freely
+//! between the compiler crates exactly like the shared symbol table of the
+//! ObjectMath 4.0 architecture (Figure 8).
+
+pub mod cost;
+pub mod diff;
+pub mod eval;
+pub mod expr;
+pub mod print;
+pub mod simplify;
+pub mod solve;
+pub mod subst;
+pub mod symbol;
+pub mod visit;
+
+pub use cost::{flops, CostModel};
+pub use diff::diff;
+pub use eval::{eval, EvalError};
+pub use expr::{CmpOp, Expr, Func};
+pub use print::{full_form, full_form_typed, infix};
+pub use simplify::simplify;
+pub use solve::solve_linear;
+pub use subst::{substitute, substitute_map};
+pub use symbol::Symbol;
+
+/// Convenience constructor: an interned variable reference.
+pub fn var(name: &str) -> Expr {
+    Expr::Var(Symbol::intern(name))
+}
+
+/// Convenience constructor: a numeric constant.
+pub fn num(value: f64) -> Expr {
+    Expr::Const(value)
+}
+
+/// Convenience constructor: the derivative marker `der(x)` used on
+/// equation left-hand sides.
+pub fn der(name: &str) -> Expr {
+    Expr::Der(Symbol::intern(name))
+}

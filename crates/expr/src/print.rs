@@ -1,0 +1,483 @@
+//! Expression printing.
+//!
+//! Three surface syntaxes are produced, matching Figure 11 of the paper:
+//!
+//! 1. **Infix** — readable operator syntax, also used by the Fortran 90 and
+//!    C++ emitters in `om-codegen`.
+//! 2. **Normal form** — Mathematica-style equation text such as
+//!    `x'[t] == y[t]`, where time-dependent variables carry a `[t]` suffix.
+//! 3. **FullForm prefix** — `Plus[…]`, `Times[…]`, `Equal[…]`,
+//!    `Derivative[1][x][t]`, optionally wrapping symbols in
+//!    `om$Type[name, om$Real]` annotations like the ObjectMath intermediate
+//!    code.
+
+use crate::expr::{CmpOp, Expr};
+use crate::symbol::Symbol;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Print a floating point constant the way the code emitters do: integral
+/// values without a trailing `.0` noise beyond one digit, full precision
+/// otherwise.
+pub fn fmt_const(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        // Ryū-style shortest roundtrip via Display.
+        format!("{v}")
+    }
+}
+
+// Operator precedence levels for the infix printer.
+const PREC_ADD: u8 = 1;
+const PREC_MUL: u8 = 2;
+const PREC_UNARY: u8 = 3;
+const PREC_POW: u8 = 4;
+const PREC_ATOM: u8 = 5;
+
+/// Render `e` in infix syntax (`a + b*c`, `x^2`, `if c then a else b`).
+pub fn infix(e: &Expr) -> String {
+    let mut s = String::new();
+    write_infix(&mut s, e, 0);
+    s
+}
+
+fn write_infix(out: &mut String, e: &Expr, parent_prec: u8) {
+    let prec = infix_prec(e);
+    let need_parens = prec < parent_prec;
+    if need_parens {
+        out.push('(');
+    }
+    match e {
+        Expr::Const(c) => {
+            if *c < 0.0 {
+                // Negative constants bind like unary minus.
+                let _ = write!(out, "-{}", fmt_const(-*c));
+            } else {
+                out.push_str(&fmt_const(*c));
+            }
+        }
+        Expr::Var(s) => out.push_str(s.name()),
+        Expr::Der(s) => {
+            let _ = write!(out, "der({})", s.name());
+        }
+        Expr::Add(xs) => {
+            for (i, x) in xs.iter().enumerate() {
+                // Render `+ (-k)·y` as `- k·y`.
+                if i > 0 {
+                    if let Some(flipped) = strip_leading_minus(x) {
+                        out.push_str(" - ");
+                        write_infix(out, &flipped, PREC_ADD + 1);
+                        continue;
+                    }
+                    out.push_str(" + ");
+                }
+                write_infix(out, x, PREC_ADD);
+            }
+        }
+        Expr::Mul(xs) => {
+            // Split into numerator and denominator factors so `x·y⁻¹`
+            // prints as `x/y`.
+            let mut numer: Vec<Expr> = Vec::new();
+            let mut denom: Vec<Expr> = Vec::new();
+            for x in xs {
+                if let Expr::Pow(b, p) = x {
+                    if let Some(c) = p.as_const() {
+                        if c < 0.0 {
+                            if c == -1.0 {
+                                denom.push((**b).clone());
+                            } else {
+                                denom.push(Expr::Pow(b.clone(), Box::new(Expr::Const(-c))));
+                            }
+                            continue;
+                        }
+                    }
+                }
+                numer.push(x.clone());
+            }
+            if numer.is_empty() {
+                out.push_str("1.0");
+            } else {
+                for (i, x) in numer.iter().enumerate() {
+                    if i > 0 {
+                        out.push('*');
+                    }
+                    write_infix(out, x, PREC_MUL);
+                }
+            }
+            for d in &denom {
+                out.push('/');
+                write_infix(out, d, PREC_MUL + 1);
+            }
+        }
+        Expr::Pow(a, b) => {
+            write_infix(out, a, PREC_POW + 1);
+            out.push('^');
+            write_infix(out, b, PREC_POW);
+        }
+        Expr::Call(f, args) => {
+            out.push_str(f.name());
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_infix(out, a, 0);
+            }
+            out.push(')');
+        }
+        Expr::Cmp(op, a, b) => {
+            write_infix(out, a, PREC_ADD);
+            let _ = write!(out, " {} ", op.name());
+            write_infix(out, b, PREC_ADD);
+        }
+        Expr::And(xs) => {
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" and ");
+                }
+                write_infix(out, x, PREC_ATOM);
+            }
+        }
+        Expr::Or(xs) => {
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" or ");
+                }
+                write_infix(out, x, PREC_ATOM);
+            }
+        }
+        Expr::Not(a) => {
+            out.push_str("not ");
+            write_infix(out, a, PREC_ATOM);
+        }
+        Expr::If(c, t, e2) => {
+            out.push_str("if ");
+            write_infix(out, c, 0);
+            out.push_str(" then ");
+            write_infix(out, t, 0);
+            out.push_str(" else ");
+            write_infix(out, e2, 0);
+        }
+        Expr::Tuple(xs) => {
+            out.push('{');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_infix(out, x, 0);
+            }
+            out.push('}');
+        }
+    }
+    if need_parens {
+        out.push(')');
+    }
+}
+
+fn infix_prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Add(_) => PREC_ADD,
+        Expr::Mul(_) => PREC_MUL,
+        Expr::Pow(_, _) => PREC_POW,
+        Expr::Const(c) if *c < 0.0 => PREC_UNARY,
+        Expr::Cmp(_, _, _) | Expr::And(_) | Expr::Or(_) | Expr::Not(_) | Expr::If(_, _, _) => 0,
+        _ => PREC_ATOM,
+    }
+}
+
+/// If `e` is `(-k)·rest` or a negative constant, return the sign-flipped
+/// expression for nicer `a - b` rendering.
+fn strip_leading_minus(e: &Expr) -> Option<Expr> {
+    match e {
+        Expr::Const(c) if *c < 0.0 => Some(Expr::Const(-*c)),
+        Expr::Mul(xs) => match xs.first()?.as_const() {
+            Some(c) if c < 0.0 => {
+                let mut rest = xs[1..].to_vec();
+                if c != -1.0 {
+                    rest.insert(0, Expr::Const(-c));
+                }
+                Some(match rest.len() {
+                    0 => Expr::Const(1.0),
+                    1 => rest.pop().expect("nonempty"),
+                    _ => Expr::Mul(rest),
+                })
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Render `e` in Mathematica-style *normal form*: variables in `time_vars`
+/// are printed as `x[t]`, derivative markers as `x'[t]` (paper Fig. 11).
+pub fn normal_form(e: &Expr, time_vars: &BTreeSet<Symbol>) -> String {
+    let mut s = String::new();
+    write_normal(&mut s, e, 0, time_vars);
+    s
+}
+
+fn write_normal(out: &mut String, e: &Expr, parent_prec: u8, time_vars: &BTreeSet<Symbol>) {
+    match e {
+        Expr::Var(s) if time_vars.contains(s) => {
+            let _ = write!(out, "{}[t]", s.name());
+        }
+        Expr::Der(s) => {
+            let _ = write!(out, "{}'[t]", s.name());
+        }
+        Expr::Add(_) | Expr::Mul(_) | Expr::Pow(_, _) => {
+            // Reuse the infix writer for structure, recursing through this
+            // writer for leaves.
+            let prec = infix_prec(e);
+            let need_parens = prec < parent_prec;
+            if need_parens {
+                out.push('(');
+            }
+            match e {
+                Expr::Add(xs) => {
+                    for (i, x) in xs.iter().enumerate() {
+                        if i > 0 {
+                            if let Some(flipped) = strip_leading_minus(x) {
+                                out.push_str(" - ");
+                                write_normal(out, &flipped, PREC_ADD + 1, time_vars);
+                                continue;
+                            }
+                            out.push_str(" + ");
+                        }
+                        write_normal(out, x, PREC_ADD, time_vars);
+                    }
+                }
+                Expr::Mul(xs) => {
+                    if let Some(flipped) = strip_leading_minus(e) {
+                        out.push('-');
+                        write_normal(out, &flipped, PREC_MUL, time_vars);
+                    } else {
+                        for (i, x) in xs.iter().enumerate() {
+                            if i > 0 {
+                                out.push('*');
+                            }
+                            write_normal(out, x, PREC_MUL, time_vars);
+                        }
+                    }
+                }
+                Expr::Pow(a, b) => {
+                    write_normal(out, a, PREC_POW + 1, time_vars);
+                    out.push('^');
+                    write_normal(out, b, PREC_POW, time_vars);
+                }
+                _ => unreachable!(),
+            }
+            if need_parens {
+                out.push(')');
+            }
+        }
+        _ => {
+            // Constants, calls, conditionals: infix rendering is already in
+            // normal-form shape for these nodes.
+            write_infix(out, e, parent_prec);
+        }
+    }
+}
+
+/// Render `e` in Mathematica `FullForm` prefix syntax:
+/// `Plus[x, Times[-1.0, y]]`.
+pub fn full_form(e: &Expr) -> String {
+    let mut s = String::new();
+    write_full_form(&mut s, e, &mut |out, sym| out.push_str(sym.name()));
+    s
+}
+
+/// Render `e` in `FullForm` with every symbol wrapped in an
+/// `om$Type[name, om$Real]` annotation, reproducing the type-annotated
+/// intermediate code of paper Figure 11.
+pub fn full_form_typed(e: &Expr) -> String {
+    let mut s = String::new();
+    write_full_form(&mut s, e, &mut |out, sym| {
+        let _ = write!(out, "om$Type[{}, om$Real]", sym.name());
+    });
+    s
+}
+
+fn write_full_form(out: &mut String, e: &Expr, sym: &mut dyn FnMut(&mut String, Symbol)) {
+    match e {
+        Expr::Const(c) => {
+            if *c < 0.0 {
+                let _ = write!(out, "Minus[{}]", fmt_const(-*c));
+            } else {
+                out.push_str(&fmt_const(*c));
+            }
+        }
+        Expr::Var(s) => sym(out, *s),
+        Expr::Der(s) => {
+            out.push_str("Derivative[1][");
+            sym(out, *s);
+            out.push_str("][");
+            sym(out, Symbol::intern("t"));
+            out.push(']');
+        }
+        Expr::Add(xs) => write_head(out, "Plus", xs, sym),
+        Expr::Mul(xs) => {
+            // `Times[-1, x]` prints as `Minus[x]`, matching Mathematica's
+            // input form in the paper's example.
+            if xs.len() == 2 && xs[0].is_const(-1.0) {
+                out.push_str("Minus[");
+                write_full_form(out, &xs[1], sym);
+                out.push(']');
+            } else {
+                write_head(out, "Times", xs, sym);
+            }
+        }
+        Expr::Pow(a, b) => {
+            out.push_str("Power[");
+            write_full_form(out, a, sym);
+            out.push_str(", ");
+            write_full_form(out, b, sym);
+            out.push(']');
+        }
+        Expr::Call(f, args) => write_head(out, f.full_form_name(), args, sym),
+        Expr::Cmp(op, a, b) => {
+            let head = match op {
+                CmpOp::Lt => "Less",
+                CmpOp::Le => "LessEqual",
+                CmpOp::Gt => "Greater",
+                CmpOp::Ge => "GreaterEqual",
+                CmpOp::EqCmp => "Equal",
+                CmpOp::Ne => "Unequal",
+            };
+            let _ = write!(out, "{head}[");
+            write_full_form(out, a, sym);
+            out.push_str(", ");
+            write_full_form(out, b, sym);
+            out.push(']');
+        }
+        Expr::And(xs) => write_head(out, "And", xs, sym),
+        Expr::Or(xs) => write_head(out, "Or", xs, sym),
+        Expr::Not(a) => {
+            out.push_str("Not[");
+            write_full_form(out, a, sym);
+            out.push(']');
+        }
+        Expr::If(c, t, e2) => {
+            out.push_str("If[");
+            write_full_form(out, c, sym);
+            out.push_str(", ");
+            write_full_form(out, t, sym);
+            out.push_str(", ");
+            write_full_form(out, e2, sym);
+            out.push(']');
+        }
+        Expr::Tuple(xs) => write_head(out, "List", xs, sym),
+    }
+}
+
+fn write_head(
+    out: &mut String,
+    head: &str,
+    args: &[Expr],
+    sym: &mut dyn FnMut(&mut String, Symbol),
+) {
+    out.push_str(head);
+    out.push('[');
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_full_form(out, a, sym);
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Func;
+    use crate::{der, num, var};
+
+    #[test]
+    fn infix_basic() {
+        let e = var("x") + var("y") * num(2.0);
+        assert_eq!(infix(&e), "x + y*2.0");
+    }
+
+    #[test]
+    fn infix_parenthesizes_by_precedence() {
+        let e = (var("x") + var("y")) * var("z");
+        assert_eq!(infix(&e), "(x + y)*z");
+        let e = var("x").powi(2) + var("y");
+        assert_eq!(infix(&e), "x^2.0 + y");
+        let e = (var("x") + num(1.0)).powi(2);
+        assert_eq!(infix(&e), "(x + 1.0)^2.0");
+    }
+
+    #[test]
+    fn infix_renders_subtraction_and_division() {
+        let e = var("x") - var("y");
+        assert_eq!(infix(&e), "x - y");
+        let e = var("x") / var("y");
+        assert_eq!(infix(&e), "x/y");
+        let e = var("x") / (var("y") + num(1.0));
+        assert_eq!(infix(&e), "x/(y + 1.0)");
+    }
+
+    #[test]
+    fn infix_functions_and_conditionals() {
+        let e = Expr::call1(Func::Sin, var("t"));
+        assert_eq!(infix(&e), "sin(t)");
+        let e = Expr::ite(
+            Expr::cmp(crate::expr::CmpOp::Gt, var("d"), num(0.0)),
+            var("d").powi(2),
+            num(0.0),
+        );
+        assert_eq!(infix(&e), "if d > 0.0 then d^2.0 else 0.0");
+    }
+
+    #[test]
+    fn normal_form_matches_figure_11() {
+        // x'[t] and y[t] with x, y time-dependent.
+        let time_vars: BTreeSet<Symbol> =
+            [Symbol::intern("x"), Symbol::intern("y")].into_iter().collect();
+        assert_eq!(normal_form(&der("x"), &time_vars), "x'[t]");
+        assert_eq!(normal_form(&var("y"), &time_vars), "y[t]");
+        assert_eq!(
+            normal_form(&var("x").neg(), &time_vars),
+            "-x[t]"
+        );
+    }
+
+    #[test]
+    fn full_form_prefix() {
+        let e = var("x") + var("y").neg();
+        assert_eq!(full_form(&e), "Plus[x, Minus[y]]");
+        let e = var("x").powi(2);
+        assert_eq!(full_form(&e), "Power[x, 2.0]");
+        let e = Expr::call1(Func::Sin, var("t"));
+        assert_eq!(full_form(&e), "Sin[t]");
+    }
+
+    #[test]
+    fn full_form_typed_wraps_symbols() {
+        let e = der("x");
+        assert_eq!(
+            full_form_typed(&e),
+            "Derivative[1][om$Type[x, om$Real]][om$Type[t, om$Real]]"
+        );
+        assert_eq!(full_form_typed(&var("y")), "om$Type[y, om$Real]");
+    }
+
+    #[test]
+    fn constants_print_cleanly() {
+        assert_eq!(fmt_const(1.0), "1.0");
+        assert_eq!(fmt_const(-2.5), "-2.5");
+        assert_eq!(infix(&num(-2.0)), "-2.0");
+        // Negative constant inside a sum renders as subtraction.
+        assert_eq!(infix(&(var("x") + num(-3.0))), "x - 3.0");
+    }
+
+    #[test]
+    fn infix_roundtrip_through_eval_shape() {
+        // The printer must not change grouping semantics: `a - b - c` means
+        // a + (-b) + (-c).
+        let e = var("a") - var("b") - var("c");
+        assert_eq!(infix(&e), "a - b - c");
+    }
+}

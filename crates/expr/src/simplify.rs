@@ -1,0 +1,449 @@
+//! Algebraic simplification.
+//!
+//! The simplifier rewrites an expression into a *canonical form*:
+//!
+//! * nested sums/products are flattened,
+//! * constants are folded (including function applications on constants),
+//! * in a product, the numeric coefficient is collected into a single
+//!   leading constant and equal bases are merged into powers
+//!   (`x·x → x²`, `x^a·x^b → x^(a+b)` for constant exponents),
+//! * in a sum, structurally equal terms are collected
+//!   (`2x + 3x → 5x`),
+//! * n-ary operands are sorted by the canonical order of [`crate::visit::compare`],
+//! * trivial identities are applied (`x+0`, `x·1`, `x·0`, `x^1`, `x^0`,
+//!   `1^x`, `if true … `, boolean constant folding).
+//!
+//! Canonical form is what makes common-subexpression elimination effective
+//! in `om-codegen`: two occurrences of the same mathematical subterm hash
+//! identically after simplification.
+//!
+//! Simplification never changes the value of an expression (up to floating
+//! point re-association on *constant* operands only — variable terms are
+//! reordered but additions/multiplications of runtime values keep their
+//! grouping semantics because `Add`/`Mul` are n-ary and evaluated in
+//! canonical order both before and after).
+
+use crate::expr::{Expr, Func};
+use crate::visit::compare;
+use std::cmp::Ordering;
+
+/// Simplify an expression into canonical form. Idempotent.
+pub fn simplify(e: &Expr) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Der(_) => e.clone(),
+        Expr::Add(_) => simplify_add(e),
+        Expr::Mul(_) => simplify_mul(e),
+        Expr::Pow(a, b) => simplify_pow(simplify(a), simplify(b)),
+        Expr::Call(f, args) => simplify_call(*f, args.iter().map(simplify).collect()),
+        Expr::Cmp(op, a, b) => {
+            let (a, b) = (simplify(a), simplify(b));
+            if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+                return Expr::Const(if op.apply(x, y) { 1.0 } else { 0.0 });
+            }
+            Expr::Cmp(*op, Box::new(a), Box::new(b))
+        }
+        Expr::And(xs) => simplify_bool(xs, true),
+        Expr::Or(xs) => simplify_bool(xs, false),
+        Expr::Not(a) => {
+            let a = simplify(a);
+            match a.as_const() {
+                Some(c) => Expr::Const(if c != 0.0 { 0.0 } else { 1.0 }),
+                None => Expr::Not(Box::new(a)),
+            }
+        }
+        Expr::If(c, t, e2) => {
+            let c = simplify(c);
+            let (t, e2) = (simplify(t), simplify(e2));
+            match c.as_const() {
+                Some(v) if v != 0.0 => t,
+                Some(_) => e2,
+                None => {
+                    if t == e2 {
+                        t
+                    } else {
+                        Expr::If(Box::new(c), Box::new(t), Box::new(e2))
+                    }
+                }
+            }
+        }
+        Expr::Tuple(xs) => Expr::Tuple(xs.iter().map(simplify).collect()),
+    }
+}
+
+/// Flatten nested `Add`s, simplifying each operand on the way in.
+fn flatten_add(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Add(xs) = e {
+        for x in xs {
+            let s = simplify(x);
+            if let Expr::Add(_) = s {
+                flatten_add(&s, out);
+            } else {
+                out.push(s);
+            }
+        }
+    } else {
+        out.push(simplify(e));
+    }
+}
+
+fn simplify_add(e: &Expr) -> Expr {
+    let mut terms = Vec::new();
+    flatten_add(e, &mut terms);
+
+    // Collect like terms: map each term to (coefficient, core) and sum the
+    // coefficients of structurally equal cores.
+    let mut constant = 0.0;
+    let mut collected: Vec<(f64, Expr)> = Vec::new();
+    for t in terms {
+        if let Some(c) = t.as_const() {
+            constant += c;
+            continue;
+        }
+        let (coeff, core) = split_coefficient(t);
+        match collected.iter_mut().find(|(_, c)| *c == core) {
+            Some((existing, _)) => *existing += coeff,
+            None => collected.push((coeff, core)),
+        }
+    }
+
+    let mut result: Vec<Expr> = Vec::with_capacity(collected.len() + 1);
+    for (coeff, core) in collected {
+        if coeff == 0.0 {
+            continue;
+        }
+        result.push(attach_coefficient(coeff, core));
+    }
+    result.sort_by(compare);
+    if constant != 0.0 || result.is_empty() {
+        result.insert(0, Expr::Const(constant));
+    }
+    if result.len() == 1 {
+        result.pop().expect("nonempty")
+    } else {
+        Expr::Add(result)
+    }
+}
+
+/// Split a (simplified) term into `(numeric coefficient, residual core)`.
+/// `3·x·y → (3, x·y)`, `x → (1, x)`.
+fn split_coefficient(t: Expr) -> (f64, Expr) {
+    match t {
+        Expr::Mul(xs) => {
+            let mut coeff = 1.0;
+            let mut rest: Vec<Expr> = Vec::with_capacity(xs.len());
+            for x in xs {
+                match x.as_const() {
+                    Some(c) => coeff *= c,
+                    None => rest.push(x),
+                }
+            }
+            let core = match rest.len() {
+                0 => Expr::Const(1.0),
+                1 => rest.pop().expect("nonempty"),
+                _ => Expr::Mul(rest),
+            };
+            (coeff, core)
+        }
+        other => (1.0, other),
+    }
+}
+
+fn attach_coefficient(coeff: f64, core: Expr) -> Expr {
+    if core.is_const(1.0) {
+        return Expr::Const(coeff);
+    }
+    if coeff == 1.0 {
+        return core;
+    }
+    match core {
+        Expr::Mul(mut xs) => {
+            xs.insert(0, Expr::Const(coeff));
+            Expr::Mul(xs)
+        }
+        other => Expr::Mul(vec![Expr::Const(coeff), other]),
+    }
+}
+
+fn flatten_mul(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Mul(xs) = e {
+        for x in xs {
+            let s = simplify(x);
+            if let Expr::Mul(_) = s {
+                flatten_mul(&s, out);
+            } else {
+                out.push(s);
+            }
+        }
+    } else {
+        out.push(simplify(e));
+    }
+}
+
+fn simplify_mul(e: &Expr) -> Expr {
+    let mut factors = Vec::new();
+    flatten_mul(e, &mut factors);
+
+    // Merge equal bases: represent each factor as (base, constant exponent)
+    // where possible and sum exponents of structurally equal bases.
+    let mut coeff = 1.0;
+    let mut bases: Vec<(Expr, f64)> = Vec::new();
+    let mut opaque: Vec<Expr> = Vec::new(); // factors with non-constant exponents
+    for f in factors {
+        if let Some(c) = f.as_const() {
+            coeff *= c;
+            continue;
+        }
+        let (base, exp) = match f {
+            Expr::Pow(b, e2) => match e2.as_const() {
+                Some(c) => (*b, c),
+                None => {
+                    opaque.push(Expr::Pow(b, e2));
+                    continue;
+                }
+            },
+            other => (other, 1.0),
+        };
+        match bases.iter_mut().find(|(b, _)| *b == base) {
+            Some((_, existing)) => *existing += exp,
+            None => bases.push((base, exp)),
+        }
+    }
+
+    if coeff == 0.0 {
+        // 0 · x = 0. (The compilable subset excludes expressions whose
+        // value could be non-finite at this point; the numeric solvers
+        // detect non-finite states separately.)
+        return Expr::Const(0.0);
+    }
+
+    let mut result: Vec<Expr> = Vec::with_capacity(bases.len() + opaque.len() + 1);
+    for (base, exp) in bases {
+        if exp == 0.0 {
+            continue; // x^0 = 1
+        }
+        if exp == 1.0 {
+            result.push(base);
+        } else {
+            result.push(Expr::Pow(Box::new(base), Box::new(Expr::Const(exp))));
+        }
+    }
+    result.extend(opaque);
+    result.sort_by(compare);
+    if coeff != 1.0 || result.is_empty() {
+        result.insert(0, Expr::Const(coeff));
+    }
+    if result.len() == 1 {
+        result.pop().expect("nonempty")
+    } else {
+        Expr::Mul(result)
+    }
+}
+
+fn simplify_pow(base: Expr, exp: Expr) -> Expr {
+    if let (Some(b), Some(e)) = (base.as_const(), exp.as_const()) {
+        let v = b.powf(e);
+        if v.is_finite() {
+            return Expr::Const(v);
+        }
+    }
+    if exp.is_const(0.0) {
+        return Expr::Const(1.0);
+    }
+    if exp.is_const(1.0) {
+        return base;
+    }
+    if base.is_const(1.0) {
+        return Expr::Const(1.0);
+    }
+    // (x^a)^b = x^(a·b) for constant a, b (safe for integer exponents and
+    // for the positive bases produced by sqrt-like terms in our models).
+    if let Expr::Pow(inner_base, inner_exp) = &base {
+        if let (Some(a), Some(b)) = (inner_exp.as_const(), exp.as_const()) {
+            return simplify_pow((**inner_base).clone(), Expr::Const(a * b));
+        }
+    }
+    Expr::Pow(Box::new(base), Box::new(exp))
+}
+
+fn simplify_call(f: Func, args: Vec<Expr>) -> Expr {
+    let consts: Option<Vec<f64>> = args.iter().map(Expr::as_const).collect();
+    if let Some(vals) = consts {
+        let v = f.apply(&vals);
+        if v.is_finite() {
+            return Expr::Const(v);
+        }
+    }
+    // A few cheap structural identities.
+    match (f, args.first()) {
+        (Func::Sin | Func::Tan | Func::Sinh | Func::Tanh | Func::Asin | Func::Atan, Some(a))
+            if a.is_const(0.0) =>
+        {
+            return Expr::Const(0.0)
+        }
+        (Func::Cos | Func::Cosh, Some(a)) if a.is_const(0.0) => return Expr::Const(1.0),
+        (Func::Exp, Some(a)) if a.is_const(0.0) => return Expr::Const(1.0),
+        (Func::Ln, Some(a)) if a.is_const(1.0) => return Expr::Const(0.0),
+        _ => {}
+    }
+    Expr::Call(f, args)
+}
+
+fn simplify_bool(xs: &[Expr], is_and: bool) -> Expr {
+    let mut out: Vec<Expr> = Vec::with_capacity(xs.len());
+    for x in xs {
+        let s = simplify(x);
+        match s.as_const() {
+            Some(c) => {
+                let truthy = c != 0.0;
+                if is_and && !truthy {
+                    return Expr::Const(0.0);
+                }
+                if !is_and && truthy {
+                    return Expr::Const(1.0);
+                }
+                // Neutral element: drop.
+            }
+            None => out.push(s),
+        }
+    }
+    match out.len() {
+        0 => Expr::Const(if is_and { 1.0 } else { 0.0 }),
+        1 => out.pop().expect("nonempty"),
+        _ => {
+            out.sort_by(compare);
+            if is_and {
+                Expr::And(out)
+            } else {
+                Expr::Or(out)
+            }
+        }
+    }
+}
+
+/// Compare two expressions after simplification; equal canonical forms mean
+/// the expressions are structurally identical mathematics.
+pub fn canonical_eq(a: &Expr, b: &Expr) -> bool {
+    simplify(a) == simplify(b)
+}
+
+/// `Ordering` on canonical forms — useful for deterministic output.
+pub fn canonical_cmp(a: &Expr, b: &Expr) -> Ordering {
+    compare(&simplify(a), &simplify(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::{num, var};
+
+    fn s(e: Expr) -> Expr {
+        simplify(&e)
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(s(num(2.0) + num(3.0)), num(5.0));
+        assert_eq!(s(num(2.0) * num(3.0) * num(4.0)), num(24.0));
+        assert_eq!(s(num(2.0).powi(10)), num(1024.0));
+        assert_eq!(s(Expr::call1(Func::Cos, num(0.0))), num(1.0));
+    }
+
+    #[test]
+    fn additive_identities() {
+        assert_eq!(s(var("x") + num(0.0)), var("x"));
+        assert_eq!(s(var("x") - var("x")), num(0.0));
+        assert_eq!(s(num(0.0) + num(0.0)), num(0.0));
+    }
+
+    #[test]
+    fn multiplicative_identities() {
+        assert_eq!(s(var("x") * num(1.0)), var("x"));
+        assert_eq!(s(var("x") * num(0.0)), num(0.0));
+        assert_eq!(s(var("x") / var("x")), num(1.0));
+    }
+
+    #[test]
+    fn like_terms_collect() {
+        let e = var("x") * num(2.0) + var("x") * num(3.0);
+        assert_eq!(s(e), Expr::Mul(vec![num(5.0), var("x")]));
+        let e = var("x") + var("x");
+        assert_eq!(s(e), Expr::Mul(vec![num(2.0), var("x")]));
+    }
+
+    #[test]
+    fn like_factors_merge_into_powers() {
+        assert_eq!(s(var("x") * var("x")), var("x").powi(2));
+        let e = var("x").powi(2) * var("x").powi(3);
+        assert_eq!(s(e), var("x").powi(5));
+    }
+
+    #[test]
+    fn pow_identities() {
+        assert_eq!(s(var("x").powi(1)), var("x"));
+        assert_eq!(s(var("x").powi(0)), num(1.0));
+        assert_eq!(s(num(1.0).pow(var("x"))), num(1.0));
+        // (x^2)^3 = x^6
+        assert_eq!(s(var("x").powi(2).powi(3)), var("x").powi(6));
+    }
+
+    #[test]
+    fn sums_are_sorted_canonically() {
+        let a = var("b") + var("a") + num(1.0);
+        let b = num(1.0) + var("a") + var("b");
+        assert_eq!(s(a), s(b));
+    }
+
+    #[test]
+    fn conditional_folding() {
+        let e = Expr::ite(Expr::cmp(CmpOp::Lt, num(1.0), num(2.0)), var("x"), var("y"));
+        assert_eq!(s(e), var("x"));
+        let e = Expr::ite(var("c"), var("x"), var("x"));
+        assert_eq!(s(e), var("x"));
+    }
+
+    #[test]
+    fn boolean_folding() {
+        let t = Expr::cmp(CmpOp::Lt, num(0.0), num(1.0));
+        let f = Expr::cmp(CmpOp::Gt, num(0.0), num(1.0));
+        assert_eq!(s(Expr::And(vec![t.clone(), f.clone()])), num(0.0));
+        assert_eq!(s(Expr::Or(vec![t.clone(), f.clone()])), num(1.0));
+        assert_eq!(s(Expr::Not(Box::new(f))), num(1.0));
+        // Neutral constants drop out of mixed conjunctions.
+        let e = Expr::And(vec![t, Expr::cmp(CmpOp::Gt, var("x"), num(0.0))]);
+        assert_eq!(s(e), Expr::cmp(CmpOp::Gt, var("x"), num(0.0)));
+    }
+
+    #[test]
+    fn simplify_is_idempotent_on_samples() {
+        let samples = [
+            var("x") * num(2.0) + var("y") / var("x") - Expr::call1(Func::Sin, var("t")),
+            (var("a") + var("b")) * (var("a") - var("b")),
+            var("x").powi(2) * var("x") + var("x") * num(0.0),
+            Expr::ite(
+                Expr::cmp(CmpOp::Gt, var("p"), num(0.0)),
+                var("p").powi(3),
+                num(0.0),
+            ),
+        ];
+        for e in samples {
+            let once = simplify(&e);
+            let twice = simplify(&once);
+            assert_eq!(once, twice, "not idempotent for {e:?}");
+        }
+    }
+
+    #[test]
+    fn division_cancels() {
+        // (2x) / x = 2
+        let e = (num(2.0) * var("x")) / var("x");
+        assert_eq!(s(e), num(2.0));
+    }
+
+    #[test]
+    fn zero_coefficient_sum_collapses() {
+        // x·y - x·y + 7 = 7
+        let e = var("x") * var("y") - var("x") * var("y") + num(7.0);
+        assert_eq!(s(e), num(7.0));
+    }
+}

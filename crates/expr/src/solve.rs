@@ -1,0 +1,177 @@
+//! Symbolic linear equation solving.
+//!
+//! ObjectMath models are written as *acausal* equations — force and moment
+//! equilibria such as `F_I + F_E + F_ext = 0` (paper Figure 1) — while the
+//! code generator consumes equations in *solved form* `v = expr`. The
+//! causalization pass in `om-ir` matches each equation with a variable and
+//! calls [`solve_linear`] to isolate it; this is the small algebraic core
+//! that Mathematica provided in the original system.
+
+use crate::expr::Expr;
+use crate::simplify::simplify;
+use crate::symbol::Symbol;
+
+/// Decompose `e` as `a·x + b` with `a`, `b` free of `x`.
+///
+/// Returns `None` when `e` is not (structurally) linear in `x` — e.g. `x²`,
+/// `sin(x)`, `x·y·x` — or when `x` appears in a denominator, exponent, or
+/// condition.
+pub fn collect_linear(e: &Expr, x: Symbol) -> Option<(Expr, Expr)> {
+    if !e.depends_on(x) {
+        return Some((Expr::zero(), e.clone()));
+    }
+    match e {
+        Expr::Var(s) if *s == x => Some((Expr::one(), Expr::zero())),
+        Expr::Add(terms) => {
+            let mut a_parts = Vec::new();
+            let mut b_parts = Vec::new();
+            for t in terms {
+                let (a, b) = collect_linear(t, x)?;
+                a_parts.push(a);
+                b_parts.push(b);
+            }
+            Some((Expr::Add(a_parts), Expr::Add(b_parts)))
+        }
+        Expr::Mul(factors) => {
+            // Exactly one factor may depend on x, and it must be linear.
+            let mut dependent: Option<&Expr> = None;
+            let mut rest: Vec<Expr> = Vec::with_capacity(factors.len());
+            for f in factors {
+                if f.depends_on(x) {
+                    if dependent.is_some() {
+                        return None; // x·…·x — nonlinear
+                    }
+                    dependent = Some(f);
+                } else {
+                    rest.push(f.clone());
+                }
+            }
+            let dep = dependent.expect("depends_on was true");
+            let (a, b) = collect_linear(dep, x)?;
+            let rest_expr = match rest.len() {
+                0 => Expr::one(),
+                1 => rest.pop().expect("nonempty"),
+                _ => Expr::Mul(rest),
+            };
+            Some((
+                Expr::Mul(vec![a, rest_expr.clone()]),
+                Expr::Mul(vec![b, rest_expr]),
+            ))
+        }
+        Expr::If(c, t, e2) => {
+            // Piecewise-linear is fine as long as the condition is x-free.
+            if c.depends_on(x) {
+                return None;
+            }
+            let (at, bt) = collect_linear(t, x)?;
+            let (ae, be) = collect_linear(e2, x)?;
+            Some((
+                Expr::If(c.clone(), Box::new(at), Box::new(ae)),
+                Expr::If(c.clone(), Box::new(bt), Box::new(be)),
+            ))
+        }
+        // Pow, Call, Cmp, boolean nodes depending on x: nonlinear/opaque.
+        _ => None,
+    }
+}
+
+/// Solve the equation `lhs = rhs` for the variable `x`, assuming `x`
+/// occurs linearly. Returns the simplified solution expression, or `None`
+/// if the equation is not linear in `x` or the coefficient simplifies to
+/// zero (no unique solution).
+pub fn solve_linear(lhs: &Expr, rhs: &Expr, x: Symbol) -> Option<Expr> {
+    // Move everything to one side: residual = lhs - rhs = a·x + b = 0.
+    let residual = Expr::Add(vec![
+        lhs.clone(),
+        Expr::Mul(vec![Expr::Const(-1.0), rhs.clone()]),
+    ]);
+    let (a, b) = collect_linear(&residual, x)?;
+    let a = simplify(&a);
+    let b = simplify(&b);
+    if a.is_const(0.0) {
+        return None;
+    }
+    // x = -b / a
+    Some(simplify(&Expr::Mul(vec![
+        Expr::Const(-1.0),
+        b,
+        Expr::Pow(Box::new(a), Box::new(Expr::Const(-1.0))),
+    ])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{num, var};
+    use crate::expr::{CmpOp, Func};
+
+    fn x() -> Symbol {
+        Symbol::intern("x")
+    }
+
+    #[test]
+    fn solves_simple_linear_equation() {
+        // 2x + 6 = 0  →  x = -3
+        let lhs = num(2.0) * var("x") + num(6.0);
+        let sol = solve_linear(&lhs, &num(0.0), x()).unwrap();
+        assert_eq!(sol, num(-3.0));
+    }
+
+    #[test]
+    fn solves_equilibrium_form() {
+        // F1 + F2 + x = 0  →  x = -F1 - F2  (force equilibrium pattern)
+        let lhs = var("F1") + var("F2") + var("x");
+        let sol = solve_linear(&lhs, &num(0.0), x()).unwrap();
+        let expected = simplify(&(-(var("F1") + var("F2"))));
+        assert_eq!(sol, expected);
+    }
+
+    #[test]
+    fn solves_with_symbolic_coefficient() {
+        // m·x = f  →  x = f/m
+        let sol = solve_linear(&(var("m") * var("x")), &var("f"), x()).unwrap();
+        assert_eq!(sol, simplify(&(var("f") / var("m"))));
+    }
+
+    #[test]
+    fn rejects_nonlinear_occurrences() {
+        assert!(solve_linear(&var("x").powi(2), &num(4.0), x()).is_none());
+        assert!(solve_linear(&Expr::call1(Func::Sin, var("x")), &num(0.0), x()).is_none());
+        assert!(solve_linear(&(var("x") * var("x")), &num(1.0), x()).is_none());
+        // x in a condition
+        let e = Expr::ite(Expr::cmp(CmpOp::Gt, var("x"), num(0.0)), var("x"), num(0.0));
+        assert!(solve_linear(&e, &num(1.0), x()).is_none());
+    }
+
+    #[test]
+    fn rejects_vanishing_coefficient() {
+        // x - x = 5 has no unique solution.
+        let lhs = var("x") - var("x");
+        assert!(solve_linear(&lhs, &num(5.0), x()).is_none());
+    }
+
+    #[test]
+    fn solves_piecewise_linear() {
+        // if c > 0 then 2x else 4x  = 8   →  x = if c > 0 then 4 else 2
+        let lhs = Expr::ite(
+            Expr::cmp(CmpOp::Gt, var("c"), num(0.0)),
+            num(2.0) * var("x"),
+            num(4.0) * var("x"),
+        );
+        let sol = solve_linear(&lhs, &num(8.0), x()).unwrap();
+        // Verify numerically under both branches.
+        use std::collections::HashMap;
+        let mut env: HashMap<Symbol, f64> = HashMap::new();
+        env.insert(Symbol::intern("c"), 1.0);
+        assert_eq!(crate::eval(&sol, &env).unwrap(), 4.0);
+        env.insert(Symbol::intern("c"), -1.0);
+        assert_eq!(crate::eval(&sol, &env).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn collect_linear_on_free_expression() {
+        let (a, b) = collect_linear(&(var("p") * num(3.0)), x()).unwrap();
+        assert_eq!(simplify(&a), num(0.0));
+        assert_eq!(simplify(&b), simplify(&(var("p") * num(3.0))));
+    }
+}

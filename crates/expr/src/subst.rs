@@ -1,0 +1,84 @@
+//! Substitution of variables by expressions.
+//!
+//! The model flattener uses substitution heavily: inherited equations get
+//! their class-local names replaced by instance-qualified names, `for`
+//! loops get their index variable replaced by each concrete value, and
+//! algebraic variables are inlined into ODE right-hand sides before task
+//! generation.
+
+use crate::expr::Expr;
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+/// Replace every occurrence of variable `from` by the expression `to`.
+pub fn substitute(e: &Expr, from: Symbol, to: &Expr) -> Expr {
+    match e {
+        Expr::Var(s) if *s == from => to.clone(),
+        _ => e.map_children(|c| substitute(c, from, to)),
+    }
+}
+
+/// Replace every variable that has a binding in `map` simultaneously.
+///
+/// Simultaneous means the replacement expressions are *not* themselves
+/// rewritten: `{x → y, y → x}` swaps the two variables.
+pub fn substitute_map(e: &Expr, map: &HashMap<Symbol, Expr>) -> Expr {
+    match e {
+        Expr::Var(s) => match map.get(s) {
+            Some(to) => to.clone(),
+            None => e.clone(),
+        },
+        _ => e.map_children(|c| substitute_map(c, map)),
+    }
+}
+
+/// Rename variables (and derivative markers) according to `map`. Unlike
+/// [`substitute_map`], this also rewrites `Der` markers, which is what
+/// inheritance flattening needs when qualifying state names.
+pub fn rename_map(e: &Expr, map: &HashMap<Symbol, Symbol>) -> Expr {
+    match e {
+        Expr::Var(s) => Expr::Var(map.get(s).copied().unwrap_or(*s)),
+        Expr::Der(s) => Expr::Der(map.get(s).copied().unwrap_or(*s)),
+        _ => e.map_children(|c| rename_map(c, map)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{num, var};
+
+    #[test]
+    fn substitute_replaces_all_occurrences() {
+        let e = var("x") * var("x") + var("y");
+        let out = substitute(&e, Symbol::intern("x"), &(var("a") + num(1.0)));
+        let expected = (var("a") + num(1.0)) * (var("a") + num(1.0)) + var("y");
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn substitution_is_simultaneous() {
+        let mut map = HashMap::new();
+        map.insert(Symbol::intern("x"), var("y"));
+        map.insert(Symbol::intern("y"), var("x"));
+        let e = var("x") - var("y");
+        let out = substitute_map(&e, &map);
+        assert_eq!(out, var("y") - var("x"));
+    }
+
+    #[test]
+    fn rename_rewrites_der_markers() {
+        let mut map = HashMap::new();
+        map.insert(Symbol::intern("x"), Symbol::intern("W[1].x"));
+        let e = crate::der("x");
+        assert_eq!(rename_map(&e, &map), crate::der("W[1].x"));
+    }
+
+    #[test]
+    fn unmapped_variables_are_untouched() {
+        let mut map = HashMap::new();
+        map.insert(Symbol::intern("x"), var("z"));
+        let e = var("q") + var("x");
+        assert_eq!(substitute_map(&e, &map), var("q") + var("z"));
+    }
+}

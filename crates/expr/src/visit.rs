@@ -1,0 +1,251 @@
+//! Tree traversal utilities: children access, structural mapping, free
+//! variables, canonical ordering, and size metrics.
+
+use crate::expr::Expr;
+use crate::symbol::Symbol;
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+// `Pow`/`Cmp` store two separate boxes, so a contiguous `&[Expr]` view of
+// children is impossible; traversal goes through callbacks instead.
+impl Expr {
+    /// Invoke `f` on every direct child, in order.
+    pub fn for_each_child<'a>(&'a self, mut f: impl FnMut(&'a Expr)) {
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Der(_) => {}
+            Expr::Add(xs) | Expr::Mul(xs) | Expr::And(xs) | Expr::Or(xs) | Expr::Tuple(xs) => {
+                for x in xs {
+                    f(x);
+                }
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Expr::Pow(a, b) | Expr::Cmp(_, a, b) => {
+                f(a);
+                f(b);
+            }
+            Expr::Not(a) => f(a),
+            Expr::If(c, t, e) => {
+                f(c);
+                f(t);
+                f(e);
+            }
+        }
+    }
+
+    /// Rebuild this node with every direct child replaced by `f(child)`.
+    pub fn map_children(&self, mut f: impl FnMut(&Expr) -> Expr) -> Expr {
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Der(_) => self.clone(),
+            Expr::Add(xs) => Expr::Add(xs.iter().map(&mut f).collect()),
+            Expr::Mul(xs) => Expr::Mul(xs.iter().map(&mut f).collect()),
+            Expr::And(xs) => Expr::And(xs.iter().map(&mut f).collect()),
+            Expr::Or(xs) => Expr::Or(xs.iter().map(&mut f).collect()),
+            Expr::Tuple(xs) => Expr::Tuple(xs.iter().map(&mut f).collect()),
+            Expr::Call(func, args) => Expr::Call(*func, args.iter().map(&mut f).collect()),
+            Expr::Pow(a, b) => Expr::Pow(Box::new(f(a)), Box::new(f(b))),
+            Expr::Cmp(op, a, b) => Expr::Cmp(*op, Box::new(f(a)), Box::new(f(b))),
+            Expr::Not(a) => Expr::Not(Box::new(f(a))),
+            Expr::If(c, t, e) => Expr::If(Box::new(f(c)), Box::new(f(t)), Box::new(f(e))),
+        }
+    }
+
+    /// Walk the whole tree pre-order.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        self.for_each_child(|c| c.walk(f));
+    }
+
+    /// All variable symbols referenced anywhere in the tree (not counting
+    /// derivative markers). The set is ordered by interning index; use
+    /// [`Expr::free_vars_by_name`] when a run-independent order is needed.
+    pub fn free_vars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut out);
+        out
+    }
+
+    /// Free variables sorted lexicographically by name — deterministic
+    /// across runs regardless of interning order.
+    pub fn free_vars_by_name(&self) -> Vec<Symbol> {
+        let mut v: Vec<Symbol> = self.free_vars().into_iter().collect();
+        v.sort_by_key(|s| s.name());
+        v
+    }
+
+    /// Accumulate free variables into an existing set.
+    pub fn collect_free_vars(&self, out: &mut BTreeSet<Symbol>) {
+        self.walk(&mut |e| {
+            if let Expr::Var(s) = e {
+                out.insert(*s);
+            }
+        });
+    }
+
+    /// True if any `Der` marker occurs in the tree.
+    pub fn contains_der(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Der(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True if the variable `s` occurs anywhere in the tree.
+    pub fn depends_on(&self, s: Symbol) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Var(v) if *v == s) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+
+    /// Maximum depth of the tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        let mut max_child = 0;
+        self.for_each_child(|c| max_child = max_child.max(c.depth()));
+        max_child + 1
+    }
+}
+
+/// Total, deterministic structural order on expressions.
+///
+/// Constants come first (ordered by value), then variables (by name), then
+/// compound nodes by kind and recursively by children. The simplifier uses
+/// this order to sort n-ary sums and products into canonical form so that
+/// structurally equal terms become adjacent and `Eq`-comparable.
+pub fn compare(a: &Expr, b: &Expr) -> Ordering {
+    match (a, b) {
+        (Expr::Const(x), Expr::Const(y)) => x.partial_cmp(y).unwrap_or_else(|| {
+            // Order NaNs after everything, deterministically by bits.
+            x.to_bits().cmp(&y.to_bits())
+        }),
+        (Expr::Var(x), Expr::Var(y)) | (Expr::Der(x), Expr::Der(y)) => x.name().cmp(y.name()),
+        _ => {
+            let (ra, rb) = (a.kind_rank(), b.kind_rank());
+            if ra != rb {
+                return ra.cmp(&rb);
+            }
+            match (a, b) {
+                (Expr::Add(xs), Expr::Add(ys))
+                | (Expr::Mul(xs), Expr::Mul(ys))
+                | (Expr::And(xs), Expr::And(ys))
+                | (Expr::Or(xs), Expr::Or(ys))
+                | (Expr::Tuple(xs), Expr::Tuple(ys)) => compare_slices(xs, ys),
+                (Expr::Pow(a1, a2), Expr::Pow(b1, b2)) => {
+                    compare(a1, b1).then_with(|| compare(a2, b2))
+                }
+                (Expr::Call(f, xs), Expr::Call(g, ys)) => {
+                    f.cmp(g).then_with(|| compare_slices(xs, ys))
+                }
+                (Expr::Cmp(o1, a1, a2), Expr::Cmp(o2, b1, b2)) => o1
+                    .cmp(o2)
+                    .then_with(|| compare(a1, b1))
+                    .then_with(|| compare(a2, b2)),
+                (Expr::Not(x), Expr::Not(y)) => compare(x, y),
+                (Expr::If(c1, t1, e1), Expr::If(c2, t2, e2)) => compare(c1, c2)
+                    .then_with(|| compare(t1, t2))
+                    .then_with(|| compare(e1, e2)),
+                _ => Ordering::Equal,
+            }
+        }
+    }
+}
+
+fn compare_slices(xs: &[Expr], ys: &[Expr]) -> Ordering {
+    for (x, y) in xs.iter().zip(ys) {
+        let o = compare(x, y);
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    xs.len().cmp(&ys.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Func;
+    use crate::{num, var};
+
+    #[test]
+    fn free_vars_are_collected_and_sorted() {
+        let e = var("z") * var("a") + Expr::call1(Func::Sin, var("m"));
+        let names: Vec<&str> = e.free_vars_by_name().into_iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let e = var("x") + var("y") * num(2.0);
+        // Add[x, Mul[y, 2]] = 5 nodes, depth 3.
+        assert_eq!(e.size(), 5);
+        assert_eq!(e.depth(), 3);
+        assert_eq!(var("x").depth(), 1);
+    }
+
+    #[test]
+    fn depends_on_detects_nested_occurrence() {
+        let x = crate::symbol::Symbol::intern("x");
+        let e = Expr::ite(
+            Expr::cmp(crate::expr::CmpOp::Gt, var("x"), num(0.0)),
+            var("y"),
+            num(1.0),
+        );
+        assert!(e.depends_on(x));
+        assert!(!num(3.0).depends_on(x));
+    }
+
+    #[test]
+    fn contains_der_sees_marker() {
+        assert!(crate::der("x").contains_der());
+        assert!(!var("x").contains_der());
+    }
+
+    #[test]
+    fn map_children_rebuilds() {
+        let e = var("x") + var("y");
+        let doubled = e.map_children(|c| c.clone() * num(2.0));
+        assert_eq!(
+            doubled,
+            Expr::Add(vec![var("x") * num(2.0), var("y") * num(2.0)])
+        );
+    }
+
+    #[test]
+    fn compare_is_total_and_consistent() {
+        let exprs = [
+            num(1.0),
+            num(2.0),
+            var("a"),
+            var("b"),
+            var("a") + var("b"),
+            var("a") * var("b"),
+            var("a").powi(2),
+        ];
+        for x in &exprs {
+            assert_eq!(compare(x, x), Ordering::Equal);
+            for y in &exprs {
+                let xy = compare(x, y);
+                let yx = compare(y, x);
+                assert_eq!(xy, yx.reverse());
+            }
+        }
+        assert_eq!(compare(&num(1.0), &var("a")), Ordering::Less);
+        assert_eq!(compare(&var("a"), &var("b")), Ordering::Less);
+    }
+}

@@ -1,0 +1,514 @@
+//! Causalization: from acausal flat equations to solved internal form.
+//!
+//! ObjectMath models state physics acausally — equilibria like
+//! `F_I + F_E + F_ext = 0` (paper Figure 1) do not say which quantity is
+//! "computed from" which. The numerical solver, however, needs explicit
+//! form `ẏ = f(y, t)`. This pass performs the assignment:
+//!
+//! 1. Equations containing a `der(x)` marker become *differential*
+//!    equations and are solved for the derivative (which may occur inside
+//!    a larger expression, e.g. `m·der(v) = F`).
+//! 2. The remaining equations are matched one-to-one with the remaining
+//!    (algebraic) variables using bipartite matching with augmenting
+//!    paths; each matched equation is solved symbolically for its
+//!    variable ([`om_expr::solve_linear`]).
+//! 3. Algebraic assignments are ordered topologically. A dependency cycle
+//!    among algebraic variables is an *algebraic loop*; like the original
+//!    system, we reject those (the paper's applications are ODE systems,
+//!    not general DAEs).
+
+use crate::system::{AlgebraicEq, DerivEq, OdeIr, StateVar};
+use om_expr::expr::Expr;
+use om_expr::{simplify, solve_linear, Symbol};
+use om_lang::{FlatEquation, FlatModel};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors produced by causalization.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CausalizeError {
+    /// An equation contains derivatives of two or more different states.
+    MultipleDerivatives { origin: String, states: Vec<String> },
+    /// The derivative could not be isolated (nonlinear occurrence).
+    UnsolvableDerivative { origin: String, state: String },
+    /// Two equations define the derivative of the same state.
+    DuplicateDerivative { state: String },
+    /// `der(x)` of something that is not a declared variable.
+    UnknownState { state: String },
+    /// More algebraic equations than unknowns, or vice versa.
+    UnbalancedSystem {
+        equations: usize,
+        unknowns: usize,
+        details: String,
+    },
+    /// No perfect matching between algebraic equations and variables
+    /// exists (structurally singular system).
+    StructurallySingular { origin: String },
+    /// Cyclic dependency among algebraic variables.
+    AlgebraicLoop { variables: Vec<String> },
+}
+
+impl fmt::Display for CausalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CausalizeError::MultipleDerivatives { origin, states } => write!(
+                f,
+                "equation from `{origin}` contains derivatives of several states: {}",
+                states.join(", ")
+            ),
+            CausalizeError::UnsolvableDerivative { origin, state } => write!(
+                f,
+                "cannot isolate der({state}) in equation from `{origin}` (nonlinear occurrence)"
+            ),
+            CausalizeError::DuplicateDerivative { state } => {
+                write!(f, "der({state}) is defined by more than one equation")
+            }
+            CausalizeError::UnknownState { state } => {
+                write!(f, "der({state}) refers to an undeclared variable")
+            }
+            CausalizeError::UnbalancedSystem {
+                equations,
+                unknowns,
+                details,
+            } => write!(
+                f,
+                "system is unbalanced: {equations} algebraic equation(s) for {unknowns} algebraic unknown(s); {details}"
+            ),
+            CausalizeError::StructurallySingular { origin } => write!(
+                f,
+                "structurally singular: no assignment of equations to unknowns exists (near `{origin}`)"
+            ),
+            CausalizeError::AlgebraicLoop { variables } => write!(
+                f,
+                "algebraic loop among {{{}}} — simultaneous algebraic systems are not in the compilable subset",
+                variables.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CausalizeError {}
+
+/// Replace `Der(state)` markers by a fresh variable so the linear solver
+/// can treat the derivative as the unknown.
+fn replace_der(e: &Expr, state: Symbol, fresh: Symbol) -> Expr {
+    match e {
+        Expr::Der(s) if *s == state => Expr::Var(fresh),
+        _ => e.map_children(|c| replace_der(c, state, fresh)),
+    }
+}
+
+/// Distinct states whose derivative occurs in the equation.
+fn der_states(eq: &FlatEquation) -> Vec<Symbol> {
+    let mut found = Vec::new();
+    let mut push = |e: &Expr| {
+        e.walk(&mut |n| {
+            if let Expr::Der(s) = n {
+                if !found.contains(s) {
+                    found.push(*s);
+                }
+            }
+        });
+    };
+    push(&eq.lhs);
+    push(&eq.rhs);
+    found
+}
+
+/// Causalize a flattened model into the ODE internal form.
+pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
+    let declared: HashSet<Symbol> = model.variables.iter().map(|v| v.sym).collect();
+
+    // Phase 1: differential equations.
+    let mut deriv_rhs: HashMap<Symbol, (Expr, String)> = HashMap::new();
+    let mut algebraic_eqs: Vec<&FlatEquation> = Vec::new();
+    for eq in &model.equations {
+        let ders = der_states(eq);
+        match ders.len() {
+            0 => algebraic_eqs.push(eq),
+            1 => {
+                let state = ders[0];
+                if !declared.contains(&state) {
+                    return Err(CausalizeError::UnknownState {
+                        state: state.name().to_owned(),
+                    });
+                }
+                // Fast path: lhs is exactly der(x).
+                let rhs = if matches!(&eq.lhs, Expr::Der(s) if *s == state)
+                    && !eq.rhs.contains_der()
+                {
+                    eq.rhs.clone()
+                } else {
+                    let fresh = Symbol::intern(&format!("om$der${}", state.name()));
+                    let lhs = replace_der(&eq.lhs, state, fresh);
+                    let rhs = replace_der(&eq.rhs, state, fresh);
+                    solve_linear(&lhs, &rhs, fresh).ok_or_else(|| {
+                        CausalizeError::UnsolvableDerivative {
+                            origin: eq.origin.clone(),
+                            state: state.name().to_owned(),
+                        }
+                    })?
+                };
+                if deriv_rhs
+                    .insert(state, (simplify(&rhs), eq.origin.clone()))
+                    .is_some()
+                {
+                    return Err(CausalizeError::DuplicateDerivative {
+                        state: state.name().to_owned(),
+                    });
+                }
+            }
+            _ => {
+                return Err(CausalizeError::MultipleDerivatives {
+                    origin: eq.origin.clone(),
+                    states: ders.iter().map(|s| s.name().to_owned()).collect(),
+                })
+            }
+        }
+    }
+
+    // Phase 2: split variables into states and algebraic unknowns,
+    // preserving declaration order for a deterministic state layout.
+    let mut states: Vec<StateVar> = Vec::new();
+    let mut derivs: Vec<DerivEq> = Vec::new();
+    let mut alg_vars: Vec<Symbol> = Vec::new();
+    for v in &model.variables {
+        if let Some((rhs, origin)) = deriv_rhs.remove(&v.sym) {
+            states.push(StateVar {
+                sym: v.sym,
+                start: v.start,
+            });
+            derivs.push(DerivEq {
+                state: v.sym,
+                rhs,
+                origin,
+            });
+        } else {
+            alg_vars.push(v.sym);
+        }
+    }
+
+    if algebraic_eqs.len() != alg_vars.len() {
+        let details = if algebraic_eqs.len() < alg_vars.len() {
+            let defined: HashSet<Symbol> = states.iter().map(|s| s.sym).collect();
+            let undefined: Vec<&str> = alg_vars
+                .iter()
+                .filter(|v| !defined.contains(v))
+                .map(|v| v.name())
+                .take(5)
+                .collect();
+            format!("undefined variable(s) include: {}", undefined.join(", "))
+        } else {
+            "the model is over-determined".to_owned()
+        };
+        return Err(CausalizeError::UnbalancedSystem {
+            equations: algebraic_eqs.len(),
+            unknowns: alg_vars.len(),
+            details,
+        });
+    }
+
+    // Phase 3: bipartite matching equations ↔ unknowns. An edge exists
+    // when the unknown occurs in the equation and can be isolated
+    // symbolically; the solved expression is cached.
+    let n = algebraic_eqs.len();
+    let var_index: HashMap<Symbol, usize> =
+        alg_vars.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+    let mut edges: Vec<Vec<(usize, Expr)>> = Vec::with_capacity(n);
+    for eq in &algebraic_eqs {
+        let mut row = Vec::new();
+        let mut vars = eq.lhs.free_vars();
+        eq.rhs.collect_free_vars(&mut vars);
+        for v in vars {
+            if let Some(&j) = var_index.get(&v) {
+                if let Some(solved) = solve_linear(&eq.lhs, &eq.rhs, v) {
+                    row.push((j, solved));
+                }
+            }
+        }
+        edges.push(row);
+    }
+
+    // Augmenting-path maximum matching (Kuhn's algorithm).
+    let mut match_of_var: Vec<Option<usize>> = vec![None; n]; // var -> eq
+    fn try_augment(
+        eq: usize,
+        edges: &[Vec<(usize, Expr)>],
+        visited: &mut [bool],
+        match_of_var: &mut [Option<usize>],
+    ) -> bool {
+        for (j, _) in &edges[eq] {
+            if visited[*j] {
+                continue;
+            }
+            visited[*j] = true;
+            if match_of_var[*j].is_none()
+                || try_augment(match_of_var[*j].unwrap(), edges, visited, match_of_var)
+            {
+                match_of_var[*j] = Some(eq);
+                return true;
+            }
+        }
+        false
+    }
+    for eq in 0..n {
+        let mut visited = vec![false; n];
+        if !try_augment(eq, &edges, &mut visited, &mut match_of_var) {
+            return Err(CausalizeError::StructurallySingular {
+                origin: algebraic_eqs[eq].origin.clone(),
+            });
+        }
+    }
+
+    // Build assignments from the matching.
+    let mut assignments: Vec<AlgebraicEq> = Vec::with_capacity(n);
+    for (j, eq_opt) in match_of_var.iter().enumerate() {
+        let eq = eq_opt.expect("perfect matching");
+        let solved = edges[eq]
+            .iter()
+            .find(|(jj, _)| *jj == j)
+            .map(|(_, s)| s.clone())
+            .expect("edge existed during matching");
+        assignments.push(AlgebraicEq {
+            var: alg_vars[j],
+            rhs: solved,
+            origin: algebraic_eqs[eq].origin.clone(),
+        });
+    }
+
+    // Phase 4: topological order of algebraic assignments (Kahn).
+    let alg_set: HashMap<Symbol, usize> = assignments
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.var, i))
+        .collect();
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n]; // deps[i] = assignments i reads
+    let mut rdeps: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    for (i, a) in assignments.iter().enumerate() {
+        for v in a.rhs.free_vars() {
+            if let Some(&j) = alg_set.get(&v) {
+                deps[i].push(j);
+                rdeps[j].push(i);
+                indegree[i] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &k in &rdeps[i] {
+            indegree[k] -= 1;
+            if indegree[k] == 0 {
+                queue.push(k);
+            }
+        }
+    }
+    if order.len() != n {
+        let looped: Vec<String> = (0..n)
+            .filter(|i| !order.contains(i))
+            .map(|i| assignments[i].var.name().to_owned())
+            .collect();
+        return Err(CausalizeError::AlgebraicLoop { variables: looped });
+    }
+    let ordered: Vec<AlgebraicEq> = order.into_iter().map(|i| assignments[i].clone()).collect();
+
+    Ok(OdeIr {
+        name: model.name.clone(),
+        states,
+        derivs,
+        algebraics: ordered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_lang::compile;
+
+    fn ir(src: &str) -> OdeIr {
+        causalize(&compile(src).unwrap()).unwrap()
+    }
+
+    fn ir_err(src: &str) -> CausalizeError {
+        causalize(&compile(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn explicit_ode_passes_through() {
+        let sys = ir("model M; Real x(start=1.0); Real y;
+                      equation der(x) = y; der(y) = -x; end M;");
+        assert_eq!(sys.dim(), 2);
+        assert!(sys.algebraics.is_empty());
+        assert_eq!(sys.derivs[0].rhs, om_expr::var("y"));
+    }
+
+    #[test]
+    fn implicit_derivative_is_isolated() {
+        // m·der(v) = F with m = 2: der(v) = F/2 = 0.5·F
+        let sys = ir("model M;
+                        parameter Real m = 2.0;
+                        Real v; Real F;
+                        equation
+                          m * der(v) = F;
+                          F = -v;
+                      end M;");
+        assert_eq!(sys.states.len(), 1);
+        assert_eq!(
+            sys.derivs[0].rhs,
+            om_expr::simplify(&(om_expr::num(0.5) * om_expr::var("F")))
+        );
+    }
+
+    #[test]
+    fn equilibrium_equation_solved_for_matched_unknown() {
+        // F1 + F2 = 0 where F1 = 3x is known-form: matching must assign
+        // the equilibrium to F2.
+        let sys = ir("model M;
+                        Real x(start=1.0); Real F1; Real F2;
+                        equation
+                          der(x) = F2;
+                          F1 = 3.0 * x;
+                          F1 + F2 = 0.0;
+                      end M;");
+        let f2 = sys
+            .algebraics
+            .iter()
+            .find(|a| a.var.name() == "F2")
+            .unwrap();
+        assert_eq!(
+            om_expr::simplify(&f2.rhs),
+            om_expr::simplify(&om_expr::var("F1").neg())
+        );
+    }
+
+    #[test]
+    fn algebraics_are_topologically_ordered() {
+        let sys = ir("model M;
+                        Real x; Real a; Real b; Real c;
+                        equation
+                          der(x) = c;
+                          c = b * 2.0;
+                          b = a + 1.0;
+                          a = x;
+                      end M;");
+        let pos = |name: &str| {
+            sys.algebraics
+                .iter()
+                .position(|a| a.var.name() == name)
+                .unwrap()
+        };
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"));
+    }
+
+    #[test]
+    fn inlined_rhs_depends_only_on_states() {
+        let sys = ir("model M;
+                        Real x; Real a; Real b;
+                        equation
+                          der(x) = b;
+                          b = 2.0 * a;
+                          a = -x;
+                      end M;");
+        let rhs = sys.inlined_rhs();
+        assert_eq!(rhs[0], om_expr::simplify(&(om_expr::num(-2.0) * om_expr::var("x"))));
+    }
+
+    #[test]
+    fn rejects_two_derivatives_in_one_equation() {
+        let e = ir_err("model M; Real x; Real y;
+                        equation der(x) + der(y) = 1.0; der(y) = x; end M;");
+        assert!(matches!(e, CausalizeError::MultipleDerivatives { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_derivative_definitions() {
+        let e = ir_err("model M; Real x; Real y;
+                        equation der(x) = 1.0; der(x) = 2.0; y = x; end M;");
+        // The second der(x) makes the system unbalanced OR duplicate,
+        // depending on detection order; duplicate fires first.
+        assert!(matches!(e, CausalizeError::DuplicateDerivative { .. }));
+    }
+
+    #[test]
+    fn rejects_nonlinear_derivative_occurrence() {
+        let e = ir_err("model M; Real x; equation der(x)^2.0 = x; end M;");
+        assert!(matches!(e, CausalizeError::UnsolvableDerivative { .. }));
+    }
+
+    #[test]
+    fn rejects_underdetermined_model() {
+        let e = ir_err("model M; Real x; Real y; equation der(x) = y; end M;");
+        match e {
+            CausalizeError::UnbalancedSystem {
+                equations, unknowns, ..
+            } => {
+                assert_eq!((equations, unknowns), (0, 1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_overdetermined_model() {
+        let e = ir_err("model M; Real x;
+                        equation der(x) = 1.0; x + 1.0 = 2.0; end M;");
+        assert!(matches!(e, CausalizeError::UnbalancedSystem { .. }));
+    }
+
+    #[test]
+    fn rejects_algebraic_loop() {
+        let e = ir_err("model M; Real x; Real a; Real b;
+                        equation
+                          der(x) = a;
+                          a = b + x;
+                          b = a - x;
+                        end M;");
+        // a = b + x and b = a - x: the matching may pair either equation
+        // with either unknown, but every assignment is cyclic.
+        assert!(
+            matches!(e, CausalizeError::AlgebraicLoop { .. })
+                || matches!(e, CausalizeError::StructurallySingular { .. }),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_structurally_singular_system() {
+        // Two equations constrain only `a`; `b` appears in none.
+        let e = ir_err("model M; Real x; Real a; Real b;
+                        equation
+                          der(x) = a + b;
+                          a = x;
+                          a = 2.0 * x;
+                        end M;");
+        assert!(matches!(e, CausalizeError::StructurallySingular { .. }));
+    }
+
+    #[test]
+    fn matching_handles_permuted_definitions() {
+        // A chain written backwards still matches.
+        let sys = ir("model M;
+                        Real x; Real p; Real q; Real r;
+                        equation
+                          q + r = 0.0;
+                          p + q = x;
+                          p = 2.0 * x;
+                          der(x) = r;
+                      end M;");
+        assert_eq!(sys.algebraics.len(), 3);
+        // Evaluate the chain at x = 1: p = 2, q = x - p = -1, r = -q = 1.
+        let mut env: std::collections::HashMap<om_expr::Symbol, f64> =
+            std::collections::HashMap::new();
+        env.insert(Symbol::intern("x"), 1.0);
+        for a in &sys.algebraics {
+            let v = om_expr::eval(&a.rhs, &env).unwrap();
+            env.insert(a.var, v);
+        }
+        assert_eq!(env[&Symbol::intern("p")], 2.0);
+        assert_eq!(env[&Symbol::intern("q")], -1.0);
+        assert_eq!(env[&Symbol::intern("r")], 1.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Tree-walking reference evaluator for the internal form.
+//!
+//! `IrEvaluator` computes `ẏ = f(y, t)` directly from the symbolic IR.
+//! It is deliberately simple: the compiled bytecode in `om-codegen`, the
+//! parallel runtime in `om-runtime`, and the emitted Fortran/C++ text all
+//! claim to compute the same function, and this evaluator is the oracle
+//! they are tested against. It also serves as the sequential baseline in
+//! the benchmark harness.
+
+use crate::system::OdeIr;
+use om_expr::expr::Expr;
+use om_expr::{EvalError, Symbol};
+use std::collections::HashMap;
+
+/// Pre-resolved evaluator over an [`OdeIr`].
+pub struct IrEvaluator {
+    dim: usize,
+    /// Algebraic assignments with symbols resolved to slot indices.
+    algebraics: Vec<ResolvedExpr>,
+    derivs: Vec<ResolvedExpr>,
+    n_algebraic: usize,
+}
+
+/// An expression whose `Var` leaves have been rewritten into slot lookups:
+/// slot `< dim` → state vector, `dim..dim+n_alg` → algebraic scratch,
+/// `usize::MAX` → time.
+struct ResolvedExpr {
+    expr: Expr,
+}
+
+const TIME_SLOT: u32 = u32::MAX;
+
+/// Rewrite variables into internal `om$slot$k` symbols once, so evaluation
+/// does a vector index instead of a hash lookup. The rewritten tree still
+/// uses `Expr`, keeping the interpreter trivially correct.
+fn resolve(e: &Expr, slots: &HashMap<Symbol, u32>) -> Result<Expr, EvalError> {
+    Ok(match e {
+        Expr::Var(s) => {
+            let slot = slots.get(s).ok_or(EvalError::UnboundVariable(*s))?;
+            Expr::Var(slot_symbol(*slot))
+        }
+        _ => {
+            let mut err = None;
+            let out = e.map_children(|c| match resolve(c, slots) {
+                Ok(x) => x,
+                Err(e2) => {
+                    err = Some(e2);
+                    Expr::Const(f64::NAN)
+                }
+            });
+            if let Some(e2) = err {
+                return Err(e2);
+            }
+            out
+        }
+    })
+}
+
+fn slot_symbol(slot: u32) -> Symbol {
+    Symbol::intern(&format!("om$slot${slot}"))
+}
+
+fn slot_of(sym: Symbol) -> Option<u32> {
+    sym.name().strip_prefix("om$slot$")?.parse().ok()
+}
+
+impl IrEvaluator {
+    /// Build an evaluator; fails if any expression references an unknown
+    /// symbol (run [`crate::verify_compilable`] first for better errors).
+    pub fn new(ir: &OdeIr) -> Result<IrEvaluator, EvalError> {
+        let mut slots: HashMap<Symbol, u32> = HashMap::new();
+        for (i, s) in ir.states.iter().enumerate() {
+            slots.insert(s.sym, i as u32);
+        }
+        for (i, a) in ir.algebraics.iter().enumerate() {
+            slots.insert(a.var, (ir.states.len() + i) as u32);
+        }
+        slots.insert(om_lang::flatten::time_symbol(), TIME_SLOT);
+
+        let algebraics = ir
+            .algebraics
+            .iter()
+            .map(|a| Ok(ResolvedExpr { expr: resolve(&a.rhs, &slots)? }))
+            .collect::<Result<Vec<_>, EvalError>>()?;
+        let derivs = ir
+            .derivs
+            .iter()
+            .map(|d| Ok(ResolvedExpr { expr: resolve(&d.rhs, &slots)? }))
+            .collect::<Result<Vec<_>, EvalError>>()?;
+        Ok(IrEvaluator {
+            dim: ir.dim(),
+            algebraics,
+            derivs,
+            n_algebraic: ir.algebraics.len(),
+        })
+    }
+
+    /// The ODE dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Evaluate the right-hand sides: fills `dydt` from state `y` at time
+    /// `t`. This is the paper's `RHS` function.
+    pub fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        assert_eq!(y.len(), self.dim, "state vector length mismatch");
+        assert_eq!(dydt.len(), self.dim, "derivative vector length mismatch");
+        let mut scratch = vec![0.0f64; self.n_algebraic];
+        self.rhs_with_scratch(t, y, dydt, &mut scratch);
+    }
+
+    /// Like [`IrEvaluator::rhs`] but reusing a caller-provided scratch
+    /// buffer for algebraic values (hot-loop friendly).
+    pub fn rhs_with_scratch(&self, t: f64, y: &[f64], dydt: &mut [f64], scratch: &mut [f64]) {
+        assert!(scratch.len() >= self.n_algebraic);
+        for (i, a) in self.algebraics.iter().enumerate() {
+            scratch[i] = eval_slots(&a.expr, t, y, scratch, self.dim);
+        }
+        for (i, d) in self.derivs.iter().enumerate() {
+            dydt[i] = eval_slots(&d.expr, t, y, scratch, self.dim);
+        }
+    }
+}
+
+fn eval_slots(e: &Expr, t: f64, y: &[f64], scratch: &[f64], dim: usize) -> f64 {
+    let env = |s: Symbol| -> Option<f64> {
+        let slot = slot_of(s)?;
+        if slot == TIME_SLOT {
+            Some(t)
+        } else if (slot as usize) < dim {
+            Some(y[slot as usize])
+        } else {
+            Some(scratch[slot as usize - dim])
+        }
+    };
+    om_expr::eval(e, &env).expect("resolved expression evaluates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causalize::causalize;
+
+    fn evaluator(src: &str) -> (OdeIr, IrEvaluator) {
+        let ir = causalize(&om_lang::compile(src).unwrap()).unwrap();
+        let ev = IrEvaluator::new(&ir).unwrap();
+        (ir, ev)
+    }
+
+    #[test]
+    fn oscillator_rhs() {
+        let (_, ev) = evaluator(
+            "model M; Real x(start=1.0); Real y;
+             equation der(x) = y; der(y) = -x; end M;",
+        );
+        let mut dydt = [0.0; 2];
+        ev.rhs(0.0, &[3.0, 4.0], &mut dydt);
+        assert_eq!(dydt, [4.0, -3.0]);
+    }
+
+    #[test]
+    fn algebraic_chain_is_computed_in_order() {
+        let (_, ev) = evaluator(
+            "model M; Real x; Real a; Real b;
+             equation der(x) = b; b = 2.0*a; a = x + 1.0; end M;",
+        );
+        let mut dydt = [0.0; 1];
+        ev.rhs(0.0, &[4.0], &mut dydt);
+        assert_eq!(dydt, [10.0]);
+    }
+
+    #[test]
+    fn time_dependence() {
+        let (_, ev) = evaluator("model M; Real x; equation der(x) = 2.0*time; end M;");
+        let mut dydt = [0.0; 1];
+        ev.rhs(3.0, &[0.0], &mut dydt);
+        assert_eq!(dydt, [6.0]);
+    }
+
+    #[test]
+    fn matches_inlined_evaluation() {
+        // Evaluating via ordered algebraics must equal evaluating the
+        // fully inlined RHS.
+        let (ir, ev) = evaluator(
+            "model M;
+               Real x(start=0.3); Real v(start=-0.7);
+               Real e1; Real e2;
+               equation
+                 der(x) = v;
+                 der(v) = e2;
+                 e1 = sin(x) * 3.0;
+                 e2 = -e1 - 0.1*v;
+             end M;",
+        );
+        let inlined = ir.inlined_rhs();
+        let idx = ir.state_index();
+        let y = [0.3, -0.7];
+        let mut dydt = [0.0; 2];
+        ev.rhs(1.5, &y, &mut dydt);
+        let env: HashMap<Symbol, f64> = [
+            (Symbol::intern("x"), y[idx[&Symbol::intern("x")]]),
+            (Symbol::intern("v"), y[idx[&Symbol::intern("v")]]),
+            (om_lang::flatten::time_symbol(), 1.5),
+        ]
+        .into_iter()
+        .collect();
+        for i in 0..2 {
+            let direct = om_expr::eval(&inlined[i], &env).unwrap();
+            assert!((dydt[i] - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unknown_symbol_is_detected_at_build_time() {
+        let ir = causalize(
+            &om_lang::compile("model M; Real x; equation der(x) = x; end M;").unwrap(),
+        )
+        .unwrap();
+        let mut broken = ir.clone();
+        broken.derivs[0].rhs = om_expr::var("ghost");
+        assert!(IrEvaluator::new(&broken).is_err());
+    }
+}

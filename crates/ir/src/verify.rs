@@ -1,0 +1,264 @@
+//! The compilable-subset verifier (paper Figure 9).
+//!
+//! Before code generation, every right-hand side is checked against the
+//! subset the code generator can translate: scalar expressions over
+//! states, algebraic variables, and time, built from the supported
+//! operators and functions, with finite constants and no leftover
+//! derivative markers or tuples. The verifier also re-checks the
+//! structural invariants of [`crate::system::OdeIr`].
+
+use crate::system::OdeIr;
+use om_expr::expr::Expr;
+use om_expr::Symbol;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A violation of the compilable subset.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    /// A `Der` marker survived into a right-hand side.
+    DerivativeInRhs { context: String },
+    /// A tuple survived scalarization.
+    TupleInRhs { context: String },
+    /// A non-finite constant (inf/NaN) appears in an expression.
+    NonFiniteConstant { context: String, value: f64 },
+    /// An expression references a symbol that is neither a state, an
+    /// algebraic variable, nor time.
+    UnknownSymbol { context: String, symbol: String },
+    /// `states` and `derivs` are not parallel arrays.
+    LayoutMismatch { index: usize },
+    /// An algebraic assignment reads a *later* algebraic variable.
+    OrderViolation { var: String, reads: String },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::DerivativeInRhs { context } => {
+                write!(f, "{context}: derivative marker in right-hand side")
+            }
+            VerifyError::TupleInRhs { context } => {
+                write!(f, "{context}: tuple value survived scalarization")
+            }
+            VerifyError::NonFiniteConstant { context, value } => {
+                write!(f, "{context}: non-finite constant {value}")
+            }
+            VerifyError::UnknownSymbol { context, symbol } => {
+                write!(f, "{context}: unknown symbol `{symbol}`")
+            }
+            VerifyError::LayoutMismatch { index } => {
+                write!(f, "states/derivs arrays disagree at index {index}")
+            }
+            VerifyError::OrderViolation { var, reads } => {
+                write!(
+                    f,
+                    "algebraic `{var}` reads `{reads}` before it is computed"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn check_expr(
+    e: &Expr,
+    context: &str,
+    known: &HashSet<Symbol>,
+) -> Result<(), VerifyError> {
+    let mut err: Option<VerifyError> = None;
+    e.walk(&mut |n| {
+        if err.is_some() {
+            return;
+        }
+        match n {
+            Expr::Der(_) => {
+                err = Some(VerifyError::DerivativeInRhs {
+                    context: context.to_owned(),
+                })
+            }
+            Expr::Tuple(_) => {
+                err = Some(VerifyError::TupleInRhs {
+                    context: context.to_owned(),
+                })
+            }
+            Expr::Const(c) if !c.is_finite() => {
+                err = Some(VerifyError::NonFiniteConstant {
+                    context: context.to_owned(),
+                    value: *c,
+                })
+            }
+            Expr::Var(s) if !known.contains(s) => {
+                err = Some(VerifyError::UnknownSymbol {
+                    context: context.to_owned(),
+                    symbol: s.name().to_owned(),
+                })
+            }
+            _ => {}
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Verify that `ir` lies in the compilable subset. Returns all structural
+/// guarantees the code generator relies on.
+pub fn verify_compilable(ir: &OdeIr) -> Result<(), VerifyError> {
+    // Parallel layout.
+    for (i, (s, d)) in ir.states.iter().zip(&ir.derivs).enumerate() {
+        if s.sym != d.state {
+            return Err(VerifyError::LayoutMismatch { index: i });
+        }
+    }
+    if ir.states.len() != ir.derivs.len() {
+        return Err(VerifyError::LayoutMismatch {
+            index: ir.states.len().min(ir.derivs.len()),
+        });
+    }
+
+    let mut known: HashSet<Symbol> = ir.states.iter().map(|s| s.sym).collect();
+    known.insert(om_lang::flatten::time_symbol());
+
+    // Algebraic assignments may read only earlier algebraics (plus states
+    // and time); grow `known` as we walk the ordered list.
+    for a in &ir.algebraics {
+        let context = format!("algebraic `{}`", a.var.name());
+        for v in a.rhs.free_vars() {
+            if !known.contains(&v) {
+                // Distinguish order violations (the symbol IS a later
+                // algebraic) from plain unknown symbols.
+                if ir.algebraics.iter().any(|other| other.var == v) {
+                    return Err(VerifyError::OrderViolation {
+                        var: a.var.name().to_owned(),
+                        reads: v.name().to_owned(),
+                    });
+                }
+            }
+        }
+        check_expr(&a.rhs, &context, &known)?;
+        known.insert(a.var);
+    }
+
+    for d in &ir.derivs {
+        let context = format!("der({})", d.state.name());
+        check_expr(&d.rhs, &context, &known)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causalize::causalize;
+    use crate::system::{AlgebraicEq, DerivEq, StateVar};
+    use om_expr::{num, var};
+
+    fn good_ir() -> OdeIr {
+        causalize(
+            &om_lang::compile(
+                "model M; Real x(start=1.0); Real a;
+                 equation der(x) = a; a = -x; end M;",
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_wellformed_ir() {
+        verify_compilable(&good_ir()).unwrap();
+    }
+
+    #[test]
+    fn detects_der_in_rhs() {
+        let mut ir = good_ir();
+        ir.derivs[0].rhs = om_expr::der("x");
+        assert!(matches!(
+            verify_compilable(&ir),
+            Err(VerifyError::DerivativeInRhs { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_tuple_in_rhs() {
+        let mut ir = good_ir();
+        ir.derivs[0].rhs = om_expr::expr::Expr::Tuple(vec![num(1.0)]);
+        assert!(matches!(
+            verify_compilable(&ir),
+            Err(VerifyError::TupleInRhs { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_nonfinite_constant() {
+        let mut ir = good_ir();
+        ir.derivs[0].rhs = num(f64::INFINITY);
+        assert!(matches!(
+            verify_compilable(&ir),
+            Err(VerifyError::NonFiniteConstant { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_unknown_symbol() {
+        let mut ir = good_ir();
+        ir.derivs[0].rhs = var("phantom");
+        assert!(matches!(
+            verify_compilable(&ir),
+            Err(VerifyError::UnknownSymbol { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_layout_mismatch() {
+        let mut ir = good_ir();
+        ir.derivs[0].state = om_expr::Symbol::intern("other");
+        assert!(matches!(
+            verify_compilable(&ir),
+            Err(VerifyError::LayoutMismatch { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn detects_algebraic_order_violation() {
+        let ir = OdeIr {
+            name: "bad".into(),
+            states: vec![StateVar {
+                sym: om_expr::Symbol::intern("x"),
+                start: 0.0,
+            }],
+            derivs: vec![DerivEq {
+                state: om_expr::Symbol::intern("x"),
+                rhs: var("a"),
+                origin: String::new(),
+            }],
+            algebraics: vec![
+                AlgebraicEq {
+                    var: om_expr::Symbol::intern("a"),
+                    rhs: var("b"), // reads b before it is computed
+                    origin: String::new(),
+                },
+                AlgebraicEq {
+                    var: om_expr::Symbol::intern("b"),
+                    rhs: var("x"),
+                    origin: String::new(),
+                },
+            ],
+        };
+        assert!(matches!(
+            verify_compilable(&ir),
+            Err(VerifyError::OrderViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn time_is_a_known_symbol() {
+        let ir = causalize(
+            &om_lang::compile("model M; Real x; equation der(x) = time; end M;").unwrap(),
+        )
+        .unwrap();
+        verify_compilable(&ir).unwrap();
+    }
+}

@@ -1,0 +1,275 @@
+//! Abstract syntax tree for ObjectMath source.
+
+use crate::error::SourcePos;
+
+/// A compilation unit: class definitions followed by one model definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Unit {
+    pub classes: Vec<ClassDef>,
+    pub model: ClassDef,
+}
+
+/// A class (or the model itself, which shares the same body structure —
+/// the paper's `INSTANCE` sections map to `part` members of the model).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassDef {
+    pub name: String,
+    pub pos: SourcePos,
+    /// Superclass name and parameter overrides, for `extends Base(p = e)`.
+    pub extends: Option<Extends>,
+    pub members: Vec<Member>,
+    pub equations: Vec<Equation>,
+    /// `initial equation` section: constant-evaluable start-value
+    /// assignments applied at instantiation.
+    pub initial_equations: Vec<Equation>,
+}
+
+/// An `extends` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Extends {
+    pub base: String,
+    pub bindings: Vec<Binding>,
+    pub pos: SourcePos,
+}
+
+/// A named binding `name = expr` (parameter override or start value).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Binding {
+    pub name: String,
+    pub value: SExpr,
+    pub pos: SourcePos,
+}
+
+/// Declared type: scalar `Real` or vector `Real[n]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ty {
+    /// Vector dimension; 1 for scalars.
+    pub dim: usize,
+}
+
+impl Ty {
+    pub fn scalar() -> Ty {
+        Ty { dim: 1 }
+    }
+    pub fn vector(dim: usize) -> Ty {
+        Ty { dim }
+    }
+    pub fn is_scalar(self) -> bool {
+        self.dim == 1
+    }
+}
+
+/// A class body member.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Member {
+    /// `parameter Real g = 9.81;`
+    Parameter {
+        name: String,
+        ty: Ty,
+        default: Option<SExpr>,
+        pos: SourcePos,
+    },
+    /// `Real x(start = 1.0);` — a continuous-time variable. Whether it is
+    /// a *state* or an *algebraic* variable is decided later by which kind
+    /// of equation defines it.
+    Variable {
+        name: String,
+        ty: Ty,
+        start: Option<SExpr>,
+        pos: SourcePos,
+    },
+    /// `part Roller body[10] (r = 0.05);` — composition / instance arrays.
+    Part {
+        class: String,
+        name: String,
+        /// Number of instances; `None` for a scalar part.
+        count: Option<usize>,
+        bindings: Vec<Binding>,
+        pos: SourcePos,
+    },
+}
+
+impl Member {
+    pub fn name(&self) -> &str {
+        match self {
+            Member::Parameter { name, .. }
+            | Member::Variable { name, .. }
+            | Member::Part { name, .. } => name,
+        }
+    }
+
+    pub fn pos(&self) -> SourcePos {
+        match self {
+            Member::Parameter { pos, .. }
+            | Member::Variable { pos, .. }
+            | Member::Part { pos, .. } => *pos,
+        }
+    }
+}
+
+/// An equation or a `for` loop of equations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Equation {
+    /// `lhs = rhs;`
+    Simple {
+        lhs: SExpr,
+        rhs: SExpr,
+        pos: SourcePos,
+    },
+    /// `for i in 1:10 loop … end for;`
+    For {
+        index: String,
+        from: i64,
+        to: i64,
+        body: Vec<Equation>,
+        pos: SourcePos,
+    },
+}
+
+/// One segment of a dotted reference: `name` or `name[idx]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RefSeg {
+    pub name: String,
+    /// Index expressions; at most one supported (vectors and instance
+    /// arrays are one-dimensional).
+    pub indices: Vec<SExpr>,
+}
+
+/// A dotted reference path such as `rollers[i].contact.f[2]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RefPath {
+    pub segs: Vec<RefSeg>,
+    pub pos: SourcePos,
+}
+
+impl RefPath {
+    /// A single unindexed name.
+    pub fn simple(name: &str, pos: SourcePos) -> RefPath {
+        RefPath {
+            segs: vec![RefSeg {
+                name: name.to_owned(),
+                indices: Vec::new(),
+            }],
+            pos,
+        }
+    }
+
+    /// Render like the source (`a[i].b`) for error messages.
+    pub fn display(&self) -> String {
+        let mut s = String::new();
+        for (i, seg) in self.segs.iter().enumerate() {
+            if i > 0 {
+                s.push('.');
+            }
+            s.push_str(&seg.name);
+            for _ in &seg.indices {
+                s.push_str("[·]");
+            }
+        }
+        s
+    }
+}
+
+/// Binary operators in source expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+}
+
+/// Comparison operators in source expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// Source-level expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SExpr {
+    Num(f64),
+    /// Reference to a variable/parameter/loop index via a dotted path.
+    Ref(RefPath),
+    /// `der(ref)`.
+    Der(RefPath),
+    /// The built-in free variable `time`.
+    Time,
+    /// Function call `sin(x)`, `atan2(y, x)`, …
+    Call(String, Vec<SExpr>, SourcePos),
+    Bin(BinOp, Box<SExpr>, Box<SExpr>),
+    Neg(Box<SExpr>),
+    Rel(RelOp, Box<SExpr>, Box<SExpr>),
+    And(Box<SExpr>, Box<SExpr>),
+    Or(Box<SExpr>, Box<SExpr>),
+    Not(Box<SExpr>),
+    If(Box<SExpr>, Box<SExpr>, Box<SExpr>),
+    /// Vector literal `{a, b, c}`.
+    Tuple(Vec<SExpr>),
+}
+
+impl SExpr {
+    /// Walk all sub-expressions, pre-order.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a SExpr)) {
+        f(self);
+        match self {
+            SExpr::Num(_) | SExpr::Ref(_) | SExpr::Der(_) | SExpr::Time => {}
+            SExpr::Call(_, args, _) | SExpr::Tuple(args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            SExpr::Bin(_, a, b) | SExpr::Rel(_, a, b) | SExpr::And(a, b) | SExpr::Or(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            SExpr::Neg(a) | SExpr::Not(a) => a.walk(f),
+            SExpr::If(c, t, e) => {
+                c.walk(f);
+                t.walk(f);
+                e.walk(f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refpath_display() {
+        let p = RefPath {
+            segs: vec![
+                RefSeg {
+                    name: "rollers".into(),
+                    indices: vec![SExpr::Num(1.0)],
+                },
+                RefSeg {
+                    name: "x".into(),
+                    indices: vec![],
+                },
+            ],
+            pos: SourcePos::default(),
+        };
+        assert_eq!(p.display(), "rollers[·].x");
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = SExpr::Bin(
+            BinOp::Add,
+            Box::new(SExpr::Num(1.0)),
+            Box::new(SExpr::Neg(Box::new(SExpr::Time))),
+        );
+        let mut n = 0;
+        e.walk(&mut |_| n += 1);
+        assert_eq!(n, 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Diagnostics for the language frontend.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct SourcePos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl SourcePos {
+    pub fn new(line: u32, col: u32) -> SourcePos {
+        SourcePos { line, col }
+    }
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error produced while lexing, parsing, scope-checking, or flattening
+/// an ObjectMath model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LangError {
+    /// Which phase reported the error.
+    pub phase: Phase,
+    /// Position in the source, when known.
+    pub pos: Option<SourcePos>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Frontend phases, for error attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Scope,
+    Flatten,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Scope => "scope",
+            Phase::Flatten => "flatten",
+        };
+        f.write_str(s)
+    }
+}
+
+impl LangError {
+    pub fn new(phase: Phase, pos: Option<SourcePos>, message: impl Into<String>) -> LangError {
+        LangError {
+            phase,
+            pos,
+            message: message.into(),
+        }
+    }
+
+    pub fn lex(pos: SourcePos, message: impl Into<String>) -> LangError {
+        Self::new(Phase::Lex, Some(pos), message)
+    }
+
+    pub fn parse(pos: SourcePos, message: impl Into<String>) -> LangError {
+        Self::new(Phase::Parse, Some(pos), message)
+    }
+
+    pub fn scope(pos: Option<SourcePos>, message: impl Into<String>) -> LangError {
+        Self::new(Phase::Scope, pos, message)
+    }
+
+    pub fn flatten(message: impl Into<String>) -> LangError {
+        Self::new(Phase::Flatten, None, message)
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "{} error at {}: {}", self.phase, p, self.message),
+            None => write!(f, "{} error: {}", self.phase, self.message),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_phase() {
+        let e = LangError::parse(SourcePos::new(3, 14), "expected `;`");
+        assert_eq!(e.to_string(), "parse error at 3:14: expected `;`");
+        let e = LangError::flatten("bad model");
+        assert_eq!(e.to_string(), "flatten error: bad model");
+    }
+}

@@ -1,0 +1,1216 @@
+//! Model flattening: from the object-oriented equation model to a flat
+//! system of scalar equations.
+//!
+//! This is the reproduction of the ObjectMath compiler's transformation
+//! pipeline (paper Figures 8–9): inheritance expansion, composition,
+//! instance arrays, `for`-equation unrolling, vector scalarization, and
+//! parameter evaluation. The output — a [`FlatModel`] of scalar equations
+//! over fully-qualified interned symbols — is what the dependency
+//! analyzer and code generator consume.
+//!
+//! Design notes:
+//!
+//! * **Parameters are specialized to constants.** The generated code in
+//!   the paper is specialized per model too; only *start values* remain
+//!   runtime-settable ("it is essential that the start values for the
+//!   simulation can be changed without re-compilation", §3.2). Evaluated
+//!   parameter values are recorded in [`FlatModel::parameters`] for
+//!   reporting.
+//! * **Vectors are scalarized.** The paper notes the application arrays
+//!   are 1×3/3×3 — "too small to benefit from data parallelism" (§3.2) —
+//!   so components become independent scalar variables named `path.f[k]`.
+//! * Variable *kinds* (state vs algebraic) are not decided here; the
+//!   causalization pass in `om-ir` assigns them from the equations.
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::scope::ClassTable;
+use om_expr::expr::{CmpOp, Expr, Func};
+use om_expr::{simplify, Symbol};
+use std::collections::HashMap;
+
+/// The interned symbol for the free variable (simulation time).
+pub fn time_symbol() -> Symbol {
+    Symbol::intern("time")
+}
+
+/// A flattened continuous-time variable (one scalar component).
+#[derive(Clone, Debug)]
+pub struct FlatVar {
+    /// Fully qualified name, e.g. `rollers[3].v[2]`.
+    pub sym: Symbol,
+    /// Start (initial) value; defaults to 0.
+    pub start: f64,
+    /// Instance path and class for diagnostics, e.g. `rollers[3] : Roller`.
+    pub origin: String,
+}
+
+/// An evaluated model parameter (recorded for reporting; occurrences in
+/// equations have been replaced by the constant value).
+#[derive(Clone, Debug)]
+pub struct FlatParam {
+    pub sym: Symbol,
+    pub value: f64,
+}
+
+/// A flattened scalar equation `lhs = rhs`.
+///
+/// `lhs` is commonly `Der(x)` (explicit ODE) or `Var(v)` (algebraic
+/// definition) but may be a general expression (acausal equation, e.g. a
+/// force equilibrium); the causalization pass in `om-ir` solves those.
+#[derive(Clone, Debug)]
+pub struct FlatEquation {
+    pub lhs: Expr,
+    pub rhs: Expr,
+    /// Instance path and class the equation came from.
+    pub origin: String,
+}
+
+/// Variable classification produced later by causalization; defined here
+/// so both `om-lang` consumers and `om-ir` share one vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarKind {
+    /// Defined by a `der(x) = …` equation; part of the ODE state vector.
+    State,
+    /// Defined by an algebraic equation.
+    Algebraic,
+}
+
+/// A flat system of scalar equations.
+#[derive(Clone, Debug, Default)]
+pub struct FlatModel {
+    pub name: String,
+    pub variables: Vec<FlatVar>,
+    pub parameters: Vec<FlatParam>,
+    pub equations: Vec<FlatEquation>,
+}
+
+impl FlatModel {
+    /// Look up a variable by name.
+    pub fn variable(&self, name: &str) -> Option<&FlatVar> {
+        let sym = Symbol::intern(name);
+        self.variables.iter().find(|v| v.sym == sym)
+    }
+
+    /// Start values as a map.
+    pub fn start_map(&self) -> HashMap<Symbol, f64> {
+        self.variables.iter().map(|v| (v.sym, v.start)).collect()
+    }
+}
+
+/// Flatten a scope-checked unit into a [`FlatModel`].
+pub fn flatten(unit: &Unit) -> Result<FlatModel, LangError> {
+    let table = ClassTable::build(unit)?;
+    let mut out = FlatModel {
+        name: unit.model.name.clone(),
+        ..FlatModel::default()
+    };
+    let root = instantiate(&table, &unit.model, String::new(), &HashMap::new(), &mut out)?;
+    apply_initial_equations(&table, &root, &mut out)?;
+    emit_equations(&table, &root, &mut out)?;
+    Ok(out)
+}
+
+/// Apply `initial equation` sections: each equation `var = expr;` (or a
+/// `for` loop of them) sets start values. Right-hand sides must be
+/// compile-time constants over parameters and loop indices.
+///
+/// Precedence: initial equations run after instantiation, so they
+/// override both declaration defaults (`start = …`) and part-binding
+/// start overrides — they are the strongest way to pin a start value.
+fn apply_initial_equations(
+    table: &ClassTable<'_>,
+    inst: &Instance<'_>,
+    out: &mut FlatModel,
+) -> Result<(), LangError> {
+    let mut loop_env: HashMap<String, i64> = HashMap::new();
+    for eq in table.effective_initial_equations(inst.class) {
+        apply_initial_equation(inst, eq, &mut loop_env, out)?;
+    }
+    for slot in inst.parts.values() {
+        for child in &slot.instances {
+            apply_initial_equations(table, child, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn apply_initial_equation(
+    inst: &Instance<'_>,
+    eq: &Equation,
+    loop_env: &mut HashMap<String, i64>,
+    out: &mut FlatModel,
+) -> Result<(), LangError> {
+    match eq {
+        Equation::Simple { lhs, rhs, pos } => {
+            let SExpr::Ref(path) = lhs else {
+                return Err(LangError::flatten(format!(
+                    "initial equation at {pos} must assign to a variable"
+                )));
+            };
+            let Resolved::Components(syms) = resolve_ref(inst, path, loop_env)? else {
+                return Err(LangError::flatten(format!(
+                    "initial equation at {pos} assigns to a parameter"
+                )));
+            };
+            let value = eval_initial_rhs(inst, rhs, loop_env)?;
+            for sym in syms {
+                let var = out
+                    .variables
+                    .iter_mut()
+                    .find(|v| v.sym == sym)
+                    .expect("variable was instantiated");
+                var.start = value;
+            }
+            Ok(())
+        }
+        Equation::For {
+            index,
+            from,
+            to,
+            body,
+            ..
+        } => {
+            for value in *from..=*to {
+                loop_env.insert(index.clone(), value);
+                for e in body {
+                    apply_initial_equation(inst, e, loop_env, out)?;
+                }
+            }
+            loop_env.remove(index);
+            Ok(())
+        }
+    }
+}
+
+/// Evaluate an initial-equation right-hand side: constants, parameters,
+/// loop indices, and arithmetic/functions over them.
+fn eval_initial_rhs(
+    inst: &Instance<'_>,
+    e: &SExpr,
+    loop_env: &HashMap<String, i64>,
+) -> Result<f64, LangError> {
+    // Loop indices shadow parameters; extend the parameter map.
+    let mut params = inst.params.clone();
+    for (k, v) in loop_env {
+        params.insert(k.clone(), *v as f64);
+    }
+    eval_const(e, &params, "initial equation")
+}
+
+/// One instantiated object: parameter values, variable component symbols,
+/// and nested part instances.
+struct Instance<'u> {
+    path: String,
+    class: &'u ClassDef,
+    params: HashMap<String, f64>,
+    /// local variable name → (declared type, component symbols)
+    vars: HashMap<String, (Ty, Vec<Symbol>)>,
+    /// local part name → instances (singleton for scalar parts)
+    parts: HashMap<String, PartSlot<'u>>,
+}
+
+struct PartSlot<'u> {
+    is_array: bool,
+    instances: Vec<Instance<'u>>,
+}
+
+/// Values bound onto an instance from outside (part bindings / extends
+/// overrides), separated by what they target.
+#[derive(Default, Clone)]
+struct Overrides {
+    params: HashMap<String, f64>,
+    starts: HashMap<String, f64>,
+}
+
+fn qualified(path: &str, local: &str) -> String {
+    if path.is_empty() {
+        local.to_owned()
+    } else {
+        format!("{path}.{local}")
+    }
+}
+
+fn instantiate<'u>(
+    table: &ClassTable<'u>,
+    class: &'u ClassDef,
+    path: String,
+    overrides: &HashMap<String, f64>,
+    out: &mut FlatModel,
+) -> Result<Instance<'u>, LangError> {
+    // Split overrides by target member kind.
+    let members = table.effective_members(class);
+    let mut ov = Overrides::default();
+    for (name, value) in overrides {
+        let target = members.iter().find(|(m, _)| m.name() == *name);
+        match target {
+            Some((Member::Parameter { .. }, _)) => {
+                ov.params.insert(name.clone(), *value);
+            }
+            Some((Member::Variable { .. }, _)) => {
+                ov.starts.insert(name.clone(), *value);
+            }
+            _ => {
+                return Err(LangError::flatten(format!(
+                    "override `{name}` does not target a parameter or variable of `{}`",
+                    class.name
+                )))
+            }
+        }
+    }
+
+    // Merge `extends` overrides along the chain (derived classes win over
+    // bases; explicit part bindings win over everything). The bindings
+    // are evaluated lazily below, in parameter order, so they may
+    // reference parameters that are already evaluated at that point.
+    let extends_bindings: Vec<&Binding> = table.extends_bindings(class);
+
+    let mut inst = Instance {
+        path,
+        class,
+        params: HashMap::new(),
+        vars: HashMap::new(),
+        parts: HashMap::new(),
+    };
+
+    // Pass 1: parameters, in declaration order (base classes first), so
+    // defaults may reference previously declared parameters.
+    for (m, owner) in &members {
+        if let Member::Parameter { name, ty, default, .. } = m {
+            if !ty.is_scalar() {
+                return Err(LangError::flatten(format!(
+                    "vector parameters are not supported (`{}` in `{owner}`)",
+                    name
+                )));
+            }
+            let value = if let Some(v) = ov.params.get(name) {
+                *v
+            } else if let Some(b) = extends_bindings.iter().find(|b| b.name == *name) {
+                eval_const(&b.value, &inst.params, &format!("override of `{name}`"))?
+            } else if let Some(d) = default {
+                eval_const(d, &inst.params, &format!("default of `{name}`"))?
+            } else {
+                return Err(LangError::flatten(format!(
+                    "parameter `{}` of `{}` has no value (instance `{}`)",
+                    name, class.name, inst.path
+                )));
+            };
+            inst.params.insert(name.clone(), value);
+            out.parameters.push(FlatParam {
+                sym: Symbol::intern(&qualified(&inst.path, name)),
+                value,
+            });
+        }
+    }
+
+    // Pass 2: variables.
+    for (m, owner) in &members {
+        if let Member::Variable { name, ty, start, .. } = m {
+            let start_value = if let Some(v) = ov.starts.get(name) {
+                *v
+            } else if let Some(b) = extends_bindings.iter().find(|b| b.name == *name) {
+                eval_const(&b.value, &inst.params, &format!("start override of `{name}`"))?
+            } else if let Some(s) = start {
+                eval_const(s, &inst.params, &format!("start value of `{name}`"))?
+            } else {
+                0.0
+            };
+            let mut syms = Vec::with_capacity(ty.dim);
+            for k in 1..=ty.dim {
+                let qual = if ty.is_scalar() {
+                    qualified(&inst.path, name)
+                } else {
+                    format!("{}[{k}]", qualified(&inst.path, name))
+                };
+                let sym = Symbol::intern(&qual);
+                syms.push(sym);
+                out.variables.push(FlatVar {
+                    sym,
+                    start: start_value,
+                    origin: format!(
+                        "{} : {}",
+                        if inst.path.is_empty() { "<model>" } else { &inst.path },
+                        owner
+                    ),
+                });
+            }
+            inst.vars.insert(name.clone(), (*ty, syms));
+        }
+    }
+
+    // Pass 3: parts (composition / instance arrays).
+    for (m, _) in &members {
+        if let Member::Part {
+            class: part_class_name,
+            name,
+            count,
+            bindings,
+            ..
+        } = m
+        {
+            let part_class = table.get(part_class_name).ok_or_else(|| {
+                LangError::flatten(format!("unknown part class `{part_class_name}`"))
+            })?;
+            // Bindings evaluate in the *enclosing* instance's parameter
+            // scope.
+            let mut bound: HashMap<String, f64> = HashMap::new();
+            for b in bindings {
+                let v = eval_const(
+                    &b.value,
+                    &inst.params,
+                    &format!("binding `{}` of part `{name}`", b.name),
+                )?;
+                bound.insert(b.name.clone(), v);
+            }
+            let n = count.unwrap_or(1);
+            let mut instances = Vec::with_capacity(n);
+            for j in 1..=n {
+                let child_path = if count.is_some() {
+                    format!("{}[{j}]", qualified(&inst.path, name))
+                } else {
+                    qualified(&inst.path, name)
+                };
+                instances.push(instantiate(table, part_class, child_path, &bound, out)?);
+            }
+            inst.parts.insert(
+                name.clone(),
+                PartSlot {
+                    is_array: count.is_some(),
+                    instances,
+                },
+            );
+        }
+    }
+
+    Ok(inst)
+}
+
+/// Evaluate a source expression to a compile-time constant (parameters of
+/// the current instance are in scope; no variables, no time).
+fn eval_const(
+    e: &SExpr,
+    params: &HashMap<String, f64>,
+    what: &str,
+) -> Result<f64, LangError> {
+    match e {
+        SExpr::Num(n) => Ok(*n),
+        SExpr::Neg(a) => Ok(-eval_const(a, params, what)?),
+        SExpr::Bin(op, a, b) => {
+            let (x, y) = (eval_const(a, params, what)?, eval_const(b, params, what)?);
+            Ok(match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Pow => x.powf(y),
+            })
+        }
+        SExpr::Call(name, args, _) => {
+            let f = Func::from_name(name)
+                .ok_or_else(|| LangError::flatten(format!("unknown function in {what}")))?;
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_const(a, params, what)?);
+            }
+            Ok(f.apply(&vals))
+        }
+        SExpr::Ref(path) if path.segs.len() == 1 && path.segs[0].indices.is_empty() => {
+            let name = &path.segs[0].name;
+            params.get(name).copied().ok_or_else(|| {
+                LangError::flatten(format!(
+                    "{what}: `{name}` is not a constant parameter in scope"
+                ))
+            })
+        }
+        _ => Err(LangError::flatten(format!(
+            "{what} must be a constant expression"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Equation emission
+// ---------------------------------------------------------------------------
+
+/// A resolved reference: either a constant (parameter) or variable
+/// components.
+enum Resolved {
+    Const(f64),
+    Components(Vec<Symbol>),
+}
+
+fn emit_equations(
+    table: &ClassTable<'_>,
+    inst: &Instance<'_>,
+    out: &mut FlatModel,
+) -> Result<(), LangError> {
+    let origin = format!(
+        "{} : {}",
+        if inst.path.is_empty() { "<model>" } else { &inst.path },
+        inst.class.name
+    );
+    let equations = table.effective_equations(inst.class);
+    let mut loop_env: HashMap<String, i64> = HashMap::new();
+    for eq in equations {
+        emit_equation(inst, eq, &mut loop_env, &origin, out)?;
+    }
+    for slot in inst.parts.values() {
+        for child in &slot.instances {
+            emit_equations(table, child, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn emit_equation(
+    inst: &Instance<'_>,
+    eq: &Equation,
+    loop_env: &mut HashMap<String, i64>,
+    origin: &str,
+    out: &mut FlatModel,
+) -> Result<(), LangError> {
+    match eq {
+        Equation::Simple { lhs, rhs, pos } => {
+            let l = scalarize(inst, lhs, loop_env)?;
+            let r = scalarize(inst, rhs, loop_env)?;
+            let (l, r) = broadcast_pair(l, r).map_err(|(nl, nr)| {
+                LangError::flatten(format!(
+                    "{origin} at {pos}: equation sides have incompatible dimensions {nl} and {nr}"
+                ))
+            })?;
+            for (le, re) in l.into_iter().zip(r) {
+                out.equations.push(FlatEquation {
+                    lhs: simplify(&le),
+                    rhs: simplify(&re),
+                    origin: origin.to_owned(),
+                });
+            }
+            Ok(())
+        }
+        Equation::For {
+            index,
+            from,
+            to,
+            body,
+            ..
+        } => {
+            for value in *from..=*to {
+                loop_env.insert(index.clone(), value);
+                for e in body {
+                    emit_equation(inst, e, loop_env, origin, out)?;
+                }
+            }
+            loop_env.remove(index);
+            Ok(())
+        }
+    }
+}
+
+/// Broadcast two component vectors to a common length, or report the two
+/// lengths on failure.
+#[allow(clippy::type_complexity)]
+fn broadcast_pair(
+    l: Vec<Expr>,
+    r: Vec<Expr>,
+) -> Result<(Vec<Expr>, Vec<Expr>), (usize, usize)> {
+    match (l.len(), r.len()) {
+        (a, b) if a == b => Ok((l, r)),
+        (1, n) => Ok((vec![l[0].clone(); n], r)),
+        (_, 1) => {
+            let n = l.len();
+            Ok((l, vec![r[0].clone(); n]))
+        }
+        (a, b) => Err((a, b)),
+    }
+}
+
+/// Scalarize a source expression into its component expressions (length 1
+/// for scalars).
+fn scalarize(
+    inst: &Instance<'_>,
+    e: &SExpr,
+    loop_env: &HashMap<String, i64>,
+) -> Result<Vec<Expr>, LangError> {
+    match e {
+        SExpr::Num(n) => Ok(vec![Expr::Const(*n)]),
+        SExpr::Time => Ok(vec![Expr::Var(time_symbol())]),
+        SExpr::Ref(path) => match resolve_ref(inst, path, loop_env)? {
+            Resolved::Const(v) => Ok(vec![Expr::Const(v)]),
+            Resolved::Components(syms) => Ok(syms.into_iter().map(Expr::Var).collect()),
+        },
+        SExpr::Der(path) => match resolve_ref(inst, path, loop_env)? {
+            Resolved::Const(_) => Err(LangError::flatten(format!(
+                "cannot take der() of parameter `{}`",
+                path.display()
+            ))),
+            Resolved::Components(syms) => Ok(syms.into_iter().map(Expr::Der).collect()),
+        },
+        SExpr::Call(name, args, pos) => {
+            let f = Func::from_name(name).ok_or_else(|| {
+                LangError::flatten(format!("unknown function `{name}` at {pos}"))
+            })?;
+            let mut scalar_args = Vec::with_capacity(args.len());
+            for a in args {
+                let mut comps = scalarize(inst, a, loop_env)?;
+                if comps.len() != 1 {
+                    return Err(LangError::flatten(format!(
+                        "argument of `{name}` at {pos} must be scalar"
+                    )));
+                }
+                scalar_args.push(comps.pop().expect("len 1"));
+            }
+            Ok(vec![Expr::Call(f, scalar_args)])
+        }
+        SExpr::Bin(op, a, b) => {
+            let (l, r) = broadcast_pair(
+                scalarize(inst, a, loop_env)?,
+                scalarize(inst, b, loop_env)?,
+            )
+            .map_err(|(nl, nr)| {
+                LangError::flatten(format!(
+                    "operands have incompatible dimensions {nl} and {nr}"
+                ))
+            })?;
+            Ok(l.into_iter()
+                .zip(r)
+                .map(|(x, y)| match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Pow => x.pow(y),
+                })
+                .collect())
+        }
+        SExpr::Neg(a) => Ok(scalarize(inst, a, loop_env)?
+            .into_iter()
+            .map(|x| x.neg())
+            .collect()),
+        SExpr::Rel(op, a, b) => {
+            let l = expect_scalar(inst, a, loop_env, "comparison operand")?;
+            let r = expect_scalar(inst, b, loop_env, "comparison operand")?;
+            let c = match op {
+                RelOp::Lt => CmpOp::Lt,
+                RelOp::Le => CmpOp::Le,
+                RelOp::Gt => CmpOp::Gt,
+                RelOp::Ge => CmpOp::Ge,
+                RelOp::Eq => CmpOp::EqCmp,
+                RelOp::Ne => CmpOp::Ne,
+            };
+            Ok(vec![Expr::cmp(c, l, r)])
+        }
+        SExpr::And(a, b) => {
+            let l = expect_scalar(inst, a, loop_env, "boolean operand")?;
+            let r = expect_scalar(inst, b, loop_env, "boolean operand")?;
+            Ok(vec![Expr::And(vec![l, r])])
+        }
+        SExpr::Or(a, b) => {
+            let l = expect_scalar(inst, a, loop_env, "boolean operand")?;
+            let r = expect_scalar(inst, b, loop_env, "boolean operand")?;
+            Ok(vec![Expr::Or(vec![l, r])])
+        }
+        SExpr::Not(a) => {
+            let x = expect_scalar(inst, a, loop_env, "boolean operand")?;
+            Ok(vec![Expr::Not(Box::new(x))])
+        }
+        SExpr::If(c, t, e2) => {
+            let cond = expect_scalar(inst, c, loop_env, "if condition")?;
+            let (l, r) = broadcast_pair(
+                scalarize(inst, t, loop_env)?,
+                scalarize(inst, e2, loop_env)?,
+            )
+            .map_err(|(nl, nr)| {
+                LangError::flatten(format!(
+                    "if branches have incompatible dimensions {nl} and {nr}"
+                ))
+            })?;
+            Ok(l.into_iter()
+                .zip(r)
+                .map(|(x, y)| Expr::ite(cond.clone(), x, y))
+                .collect())
+        }
+        SExpr::Tuple(items) => {
+            let mut comps = Vec::with_capacity(items.len());
+            for item in items {
+                let mut c = scalarize(inst, item, loop_env)?;
+                if c.len() != 1 {
+                    return Err(LangError::flatten(
+                        "nested vector inside a vector literal".to_owned(),
+                    ));
+                }
+                comps.push(c.pop().expect("len 1"));
+            }
+            Ok(comps)
+        }
+    }
+}
+
+fn expect_scalar(
+    inst: &Instance<'_>,
+    e: &SExpr,
+    loop_env: &HashMap<String, i64>,
+    what: &str,
+) -> Result<Expr, LangError> {
+    let mut comps = scalarize(inst, e, loop_env)?;
+    if comps.len() != 1 {
+        return Err(LangError::flatten(format!("{what} must be scalar")));
+    }
+    Ok(comps.pop().expect("len 1"))
+}
+
+/// Evaluate an index expression to an integer using the loop environment
+/// and the instance's parameters.
+fn eval_index(
+    inst: &Instance<'_>,
+    e: &SExpr,
+    loop_env: &HashMap<String, i64>,
+) -> Result<i64, LangError> {
+    fn eval(
+        inst: &Instance<'_>,
+        e: &SExpr,
+        loop_env: &HashMap<String, i64>,
+    ) -> Result<f64, LangError> {
+        match e {
+            SExpr::Num(n) => Ok(*n),
+            SExpr::Neg(a) => Ok(-eval(inst, a, loop_env)?),
+            SExpr::Bin(op, a, b) => {
+                let (x, y) = (eval(inst, a, loop_env)?, eval(inst, b, loop_env)?);
+                Ok(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Pow => x.powf(y),
+                })
+            }
+            SExpr::Ref(p) if p.segs.len() == 1 && p.segs[0].indices.is_empty() => {
+                let name = &p.segs[0].name;
+                if let Some(v) = loop_env.get(name) {
+                    return Ok(*v as f64);
+                }
+                if let Some(v) = inst.params.get(name) {
+                    return Ok(*v);
+                }
+                Err(LangError::flatten(format!(
+                    "index expression references `{name}`, which is neither a loop index nor a parameter"
+                )))
+            }
+            _ => Err(LangError::flatten(
+                "index expression must be built from integers, loop indices, parameters, and arithmetic".to_owned(),
+            )),
+        }
+    }
+    let v = eval(inst, e, loop_env)?;
+    if v.fract() != 0.0 {
+        return Err(LangError::flatten(format!(
+            "index expression evaluated to non-integer {v}"
+        )));
+    }
+    Ok(v as i64)
+}
+
+/// Resolve a dotted reference within an instance.
+fn resolve_ref(
+    inst: &Instance<'_>,
+    path: &RefPath,
+    loop_env: &HashMap<String, i64>,
+) -> Result<Resolved, LangError> {
+    // Loop index used as a value.
+    let first = &path.segs[0];
+    if path.segs.len() == 1 && first.indices.is_empty() {
+        if let Some(v) = loop_env.get(&first.name) {
+            return Ok(Resolved::Const(*v as f64));
+        }
+    }
+
+    let mut current = inst;
+    for (i, seg) in path.segs.iter().enumerate() {
+        let is_last = i + 1 == path.segs.len();
+        if is_last {
+            // Parameter?
+            if seg.indices.is_empty() {
+                if let Some(v) = current.params.get(&seg.name) {
+                    return Ok(Resolved::Const(*v));
+                }
+            }
+            // Variable?
+            if let Some((ty, syms)) = current.vars.get(&seg.name) {
+                return match seg.indices.len() {
+                    0 => Ok(Resolved::Components(syms.clone())),
+                    1 => {
+                        let k = eval_index(inst, &seg.indices[0], loop_env)?;
+                        if k < 1 || k as usize > ty.dim {
+                            return Err(LangError::flatten(format!(
+                                "component index {k} out of bounds for `{}` (dim {})",
+                                seg.name, ty.dim
+                            )));
+                        }
+                        Ok(Resolved::Components(vec![syms[k as usize - 1]]))
+                    }
+                    _ => Err(LangError::flatten(format!(
+                        "too many indices on `{}`",
+                        seg.name
+                    ))),
+                };
+            }
+            return Err(LangError::flatten(format!(
+                "`{}` is not a parameter or variable of `{}` (in `{}`)",
+                seg.name,
+                current.class.name,
+                path.display()
+            )));
+        }
+        // Interior segment: must be a part.
+        let Some(slot) = current.parts.get(&seg.name) else {
+            return Err(LangError::flatten(format!(
+                "`{}` is not a part of `{}` (in `{}`)",
+                seg.name,
+                current.class.name,
+                path.display()
+            )));
+        };
+        current = match (slot.is_array, seg.indices.len()) {
+            (true, 1) => {
+                let k = eval_index(inst, &seg.indices[0], loop_env)?;
+                if k < 1 || k as usize > slot.instances.len() {
+                    return Err(LangError::flatten(format!(
+                        "instance index {k} out of bounds for `{}` (size {})",
+                        seg.name,
+                        slot.instances.len()
+                    )));
+                }
+                &slot.instances[k as usize - 1]
+            }
+            (false, 0) => &slot.instances[0],
+            (true, 0) => {
+                return Err(LangError::flatten(format!(
+                    "instance array `{}` requires an index",
+                    seg.name
+                )))
+            }
+            _ => {
+                return Err(LangError::flatten(format!(
+                    "scalar part `{}` cannot be indexed",
+                    seg.name
+                )))
+            }
+        };
+    }
+    unreachable!("path resolution always returns at the last segment")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    fn flat(src: &str) -> FlatModel {
+        let unit = parse_unit(src).unwrap();
+        crate::scope::check(&unit).unwrap();
+        flatten(&unit).unwrap()
+    }
+
+    fn flat_err(src: &str) -> LangError {
+        let unit = parse_unit(src).unwrap();
+        flatten(&unit).unwrap_err()
+    }
+
+    #[test]
+    fn flattens_simple_oscillator() {
+        let m = flat(
+            "model Osc;
+               Real x(start = 1.0);
+               Real y;
+               equation
+                 der(x) = y;
+                 der(y) = -x;
+             end Osc;",
+        );
+        assert_eq!(m.name, "Osc");
+        assert_eq!(m.variables.len(), 2);
+        assert_eq!(m.equations.len(), 2);
+        assert_eq!(m.variable("x").unwrap().start, 1.0);
+        assert_eq!(m.variable("y").unwrap().start, 0.0);
+        assert_eq!(m.equations[0].lhs, om_expr::der("x"));
+        assert_eq!(m.equations[0].rhs, om_expr::var("y"));
+    }
+
+    #[test]
+    fn parameters_fold_to_constants() {
+        let m = flat(
+            "model M;
+               parameter Real k = 2.5;
+               Real x;
+               equation der(x) = -k*x;
+             end M;",
+        );
+        assert_eq!(m.parameters.len(), 1);
+        assert_eq!(m.parameters[0].value, 2.5);
+        // -k*x with k folded: Mul[-2.5, x]
+        assert_eq!(
+            m.equations[0].rhs,
+            simplify(&(om_expr::num(-2.5) * om_expr::var("x")))
+        );
+    }
+
+    #[test]
+    fn parameter_defaults_may_reference_earlier_parameters() {
+        let m = flat(
+            "model M;
+               parameter Real a = 2.0;
+               parameter Real b = a * 3.0;
+               Real x;
+               equation der(x) = b;
+             end M;",
+        );
+        assert_eq!(m.parameters[1].value, 6.0);
+    }
+
+    #[test]
+    fn inheritance_brings_members_and_equations() {
+        let m = flat(
+            "class Base;
+               parameter Real k = 1.0;
+               Real x(start = 1.0);
+               equation der(x) = -k*x;
+             end Base;
+             class Fast extends Base (k = 10.0);
+             end Fast;
+             model M;
+               part Fast f;
+             end M;",
+        );
+        assert_eq!(m.variables.len(), 1);
+        assert_eq!(m.variables[0].sym.name(), "f.x");
+        assert_eq!(m.parameters[0].value, 10.0);
+        assert_eq!(
+            m.equations[0].rhs,
+            simplify(&(om_expr::num(-10.0) * om_expr::var("f.x")))
+        );
+    }
+
+    #[test]
+    fn part_bindings_override_parameters_and_starts() {
+        let m = flat(
+            "class Body;
+               parameter Real m = 1.0;
+               Real v(start = 0.0);
+               equation der(v) = 9.81/m;
+             end Body;
+             model M;
+               part Body b (m = 4.0, v = 7.0);
+             end M;",
+        );
+        assert_eq!(m.parameters[0].value, 4.0);
+        assert_eq!(m.variable("b.v").unwrap().start, 7.0);
+    }
+
+    #[test]
+    fn instance_arrays_expand() {
+        let m = flat(
+            "class A;
+               Real x(start = 1.0);
+               equation der(x) = -x;
+             end A;
+             model M;
+               part A a[3];
+             end M;",
+        );
+        assert_eq!(m.variables.len(), 3);
+        let names: Vec<&str> = m.variables.iter().map(|v| v.sym.name()).collect();
+        assert_eq!(names, vec!["a[1].x", "a[2].x", "a[3].x"]);
+        assert_eq!(m.equations.len(), 3);
+    }
+
+    #[test]
+    fn for_loops_unroll_with_index_arithmetic() {
+        let m = flat(
+            "class A; Real x; end A;
+             model M;
+               part A a[3];
+               equation
+                 for i in 1:2 loop
+                   der(a[i].x) = a[i+1].x;
+                 end for;
+                 der(a[3].x) = a[1].x;
+             end M;",
+        );
+        assert_eq!(m.equations.len(), 3);
+        assert_eq!(m.equations[0].lhs, om_expr::der("a[1].x"));
+        assert_eq!(m.equations[0].rhs, om_expr::var("a[2].x"));
+        assert_eq!(m.equations[1].rhs, om_expr::var("a[3].x"));
+        assert_eq!(m.equations[2].rhs, om_expr::var("a[1].x"));
+    }
+
+    #[test]
+    fn loop_index_as_value() {
+        let m = flat(
+            "class A; Real x; end A;
+             model M;
+               part A a[2];
+               equation
+                 for i in 1:2 loop
+                   der(a[i].x) = i * 10.0;
+                 end for;
+             end M;",
+        );
+        assert_eq!(m.equations[0].rhs, om_expr::num(10.0));
+        assert_eq!(m.equations[1].rhs, om_expr::num(20.0));
+    }
+
+    #[test]
+    fn vectors_scalarize_componentwise() {
+        let m = flat(
+            "model M;
+               Real[3] f;
+               Real[3] v;
+               equation
+                 f = {1.0, 2.0, 3.0};
+                 der(v) = f;
+             end M;",
+        );
+        assert_eq!(m.variables.len(), 6);
+        assert_eq!(m.equations.len(), 6);
+        assert_eq!(m.equations[0].lhs, om_expr::var("f[1]"));
+        assert_eq!(m.equations[0].rhs, om_expr::num(1.0));
+        assert_eq!(m.equations[3].lhs, om_expr::der("v[1]"));
+        assert_eq!(m.equations[3].rhs, om_expr::var("f[1]"));
+    }
+
+    #[test]
+    fn scalar_broadcasts_over_vector() {
+        let m = flat(
+            "model M;
+               Real[3] v;
+               equation der(v) = 0.0;
+             end M;",
+        );
+        assert_eq!(m.equations.len(), 3);
+        for eq in &m.equations {
+            assert_eq!(eq.rhs, om_expr::num(0.0));
+        }
+    }
+
+    #[test]
+    fn vector_component_access() {
+        let m = flat(
+            "model M;
+               Real[2] f;
+               Real s;
+               equation
+                 f = {3.0, 4.0};
+                 s = sqrt(f[1]^2 + f[2]^2);
+             end M;",
+        );
+        let eq = &m.equations[2];
+        assert_eq!(eq.lhs, om_expr::var("s"));
+        assert!(eq.rhs.depends_on(Symbol::intern("f[1]")));
+        assert!(eq.rhs.depends_on(Symbol::intern("f[2]")));
+    }
+
+    #[test]
+    fn nested_composition_qualifies_names() {
+        let m = flat(
+            "class Inner; Real q; end Inner;
+             class Outer; part Inner i; end Outer;
+             model M;
+               part Outer o;
+               equation der(o.i.q) = 1.0;
+             end M;",
+        );
+        assert_eq!(m.variables[0].sym.name(), "o.i.q");
+    }
+
+    #[test]
+    fn time_resolves_to_builtin() {
+        let m = flat("model M; Real x; equation der(x) = time; end M;");
+        assert_eq!(m.equations[0].rhs, Expr::Var(time_symbol()));
+    }
+
+    #[test]
+    fn acausal_equation_is_preserved() {
+        // Force equilibrium style: x + y = 0 stays as a general equation.
+        let m = flat(
+            "model M;
+               Real x; Real y;
+               equation
+                 der(x) = y;
+                 x + y = 0.0;
+             end M;",
+        );
+        assert_eq!(m.equations.len(), 2);
+        let eq = &m.equations[1];
+        assert!(eq.lhs.as_var().is_none() || eq.lhs.as_var().is_some());
+        assert_eq!(simplify(&eq.lhs), simplify(&(om_expr::var("x") + om_expr::var("y"))));
+    }
+
+    #[test]
+    fn errors_on_dimension_mismatch() {
+        let e = flat_err(
+            "model M; Real[3] v; Real[2] w; equation v = w; end M;",
+        );
+        assert!(e.message.contains("incompatible dimensions"));
+    }
+
+    #[test]
+    fn errors_on_out_of_bounds_instance_index() {
+        let e = flat_err(
+            "class A; Real x; end A;
+             model M; part A a[2]; equation der(a[3].x) = 0.0; end M;",
+        );
+        assert!(e.message.contains("out of bounds"));
+    }
+
+    #[test]
+    fn errors_on_missing_parameter_value() {
+        let e = flat_err(
+            "class A; parameter Real k; Real x; equation der(x) = k; end A;
+             model M; part A a; end M;",
+        );
+        assert!(e.message.contains("has no value"));
+    }
+
+    #[test]
+    fn errors_on_der_of_parameter() {
+        let e = flat_err(
+            "model M; parameter Real k = 1.0; Real x; equation der(k) = x; end M;",
+        );
+        assert!(e.message.contains("der() of parameter") || e.message.contains("parameter"));
+    }
+
+    #[test]
+    fn part_binding_evaluates_in_enclosing_scope() {
+        let m = flat(
+            "class A; parameter Real k = 0.0; Real x; equation der(x) = k; end A;
+             model M;
+               parameter Real base = 5.0;
+               part A a (k = base * 2.0);
+             end M;",
+        );
+        let a_k = m
+            .parameters
+            .iter()
+            .find(|p| p.sym.name() == "a.k")
+            .unwrap();
+        assert_eq!(a_k.value, 10.0);
+    }
+}
+
+#[cfg(test)]
+mod initial_equation_tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    fn flat(src: &str) -> FlatModel {
+        let unit = parse_unit(src).unwrap();
+        crate::scope::check(&unit).unwrap();
+        flatten(&unit).unwrap()
+    }
+
+    #[test]
+    fn initial_equation_sets_start_values() {
+        let m = flat(
+            "model M;
+               parameter Real amp = 3.0;
+               Real x; Real y;
+               initial equation
+                 x = amp * 2.0;
+                 y = -1.0;
+               equation
+                 der(x) = y; der(y) = -x;
+             end M;",
+        );
+        assert_eq!(m.variable("x").unwrap().start, 6.0);
+        assert_eq!(m.variable("y").unwrap().start, -1.0);
+    }
+
+    #[test]
+    fn initial_for_loop_sets_vector_profile() {
+        let m = flat(
+            "model M;
+               Real[5] u;
+               initial equation
+                 for i in 1:5 loop
+                   u[i] = i * 10.0;
+                 end for;
+               equation
+                 der(u) = 0.0;
+             end M;",
+        );
+        for i in 1..=5 {
+            assert_eq!(
+                m.variable(&format!("u[{i}]")).unwrap().start,
+                i as f64 * 10.0
+            );
+        }
+    }
+
+    #[test]
+    fn initial_equations_are_inherited() {
+        let m = flat(
+            "class Base;
+               Real x;
+               initial equation x = 7.0;
+               equation der(x) = -x;
+             end Base;
+             model M; part Base b; end M;",
+        );
+        assert_eq!(m.variable("b.x").unwrap().start, 7.0);
+    }
+
+    #[test]
+    fn initial_equation_overrides_declaration_and_binding() {
+        let m = flat(
+            "class A;
+               Real x(start = 1.0);
+               initial equation x = 9.0;
+               equation der(x) = -x;
+             end A;
+             model M; part A a (x = 5.0); end M;",
+        );
+        assert_eq!(m.variable("a.x").unwrap().start, 9.0);
+    }
+
+    #[test]
+    fn whole_vector_assignment_broadcasts() {
+        let m = flat(
+            "model M;
+               Real[3] v;
+               initial equation v = 4.0;
+               equation der(v) = 0.0;
+             end M;",
+        );
+        for i in 1..=3 {
+            assert_eq!(m.variable(&format!("v[{i}]")).unwrap().start, 4.0);
+        }
+    }
+
+    #[test]
+    fn rejects_nonconstant_initial_rhs() {
+        let unit = parse_unit(
+            "model M;
+               Real x; Real y;
+               initial equation x = y;
+               equation der(x) = -x; der(y) = -y;
+             end M;",
+        )
+        .unwrap();
+        let err = flatten(&unit).unwrap_err();
+        assert!(err.message.contains("constant"), "{err}");
+    }
+
+    #[test]
+    fn rejects_assignment_to_parameter() {
+        let unit = parse_unit(
+            "model M;
+               parameter Real k = 1.0;
+               Real x;
+               initial equation k = 2.0;
+               equation der(x) = -k*x;
+             end M;",
+        )
+        .unwrap();
+        let err = flatten(&unit).unwrap_err();
+        assert!(err.message.contains("parameter"), "{err}");
+    }
+}

@@ -1,0 +1,377 @@
+//! Hand-written lexer for the ObjectMath surface syntax.
+//!
+//! Comments are `//` to end of line; whitespace is insignificant.
+//! Keywords are reserved; everything else alphanumeric (plus `_`) is an
+//! identifier. Numbers are standard floating literals (`1`, `2.5`,
+//! `1e-3`, `0.5e2`).
+
+use crate::error::{LangError, SourcePos};
+
+/// Token kinds produced by the lexer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    // Literals & identifiers
+    Number(f64),
+    Ident(String),
+    // Keywords
+    KwModel,
+    KwClass,
+    KwExtends,
+    KwEnd,
+    KwParameter,
+    KwReal,
+    KwPart,
+    KwEquation,
+    KwInitial,
+    KwStart,
+    KwDer,
+    KwTime,
+    KwIf,
+    KwThen,
+    KwElse,
+    KwFor,
+    KwIn,
+    KwLoop,
+    KwAnd,
+    KwOr,
+    KwNot,
+    // Punctuation & operators
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semicolon,
+    Colon,
+    Dot,
+    Assign,  // '='
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,   // '=='
+    Ne,     // '<>'
+    /// End of input sentinel.
+    Eof,
+}
+
+impl Tok {
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Number(n) => format!("number `{n}`"),
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Eof => "end of input".to_owned(),
+            other => format!("`{}`", other.spelling()),
+        }
+    }
+
+    fn spelling(&self) -> &'static str {
+        match self {
+            Tok::KwModel => "model",
+            Tok::KwClass => "class",
+            Tok::KwExtends => "extends",
+            Tok::KwEnd => "end",
+            Tok::KwParameter => "parameter",
+            Tok::KwReal => "Real",
+            Tok::KwPart => "part",
+            Tok::KwEquation => "equation",
+            Tok::KwInitial => "initial",
+            Tok::KwStart => "start",
+            Tok::KwDer => "der",
+            Tok::KwTime => "time",
+            Tok::KwIf => "if",
+            Tok::KwThen => "then",
+            Tok::KwElse => "else",
+            Tok::KwFor => "for",
+            Tok::KwIn => "in",
+            Tok::KwLoop => "loop",
+            Tok::KwAnd => "and",
+            Tok::KwOr => "or",
+            Tok::KwNot => "not",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::Comma => ",",
+            Tok::Semicolon => ";",
+            Tok::Colon => ":",
+            Tok::Dot => ".",
+            Tok::Assign => "=",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Caret => "^",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::EqEq => "==",
+            Tok::Ne => "<>",
+            Tok::Number(_) | Tok::Ident(_) | Tok::Eof => unreachable!(),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub pos: SourcePos,
+}
+
+/// Lex `source` into a token stream terminated by [`Tok::Eof`].
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LangError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned {
+                tok: $tok,
+                pos: SourcePos::new(line, col),
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            '[' => push!(Tok::LBracket, 1),
+            ']' => push!(Tok::RBracket, 1),
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            ',' => push!(Tok::Comma, 1),
+            ';' => push!(Tok::Semicolon, 1),
+            ':' => push!(Tok::Colon, 1),
+            '.' if !bytes
+                .get(i + 1)
+                .is_some_and(|b| b.is_ascii_digit()) =>
+            {
+                push!(Tok::Dot, 1)
+            }
+            '+' => push!(Tok::Plus, 1),
+            '-' => push!(Tok::Minus, 1),
+            '*' => push!(Tok::Star, 1),
+            '/' => push!(Tok::Slash, 1),
+            '^' => push!(Tok::Caret, 1),
+            '=' if bytes.get(i + 1) == Some(&b'=') => push!(Tok::EqEq, 2),
+            '=' => push!(Tok::Assign, 1),
+            '<' if bytes.get(i + 1) == Some(&b'=') => push!(Tok::Le, 2),
+            '<' if bytes.get(i + 1) == Some(&b'>') => push!(Tok::Ne, 2),
+            '<' => push!(Tok::Lt, 1),
+            '>' if bytes.get(i + 1) == Some(&b'=') => push!(Tok::Ge, 2),
+            '>' => push!(Tok::Gt, 1),
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &source[start..i];
+                let value: f64 = text.parse().map_err(|_| {
+                    LangError::lex(
+                        SourcePos::new(line, col),
+                        format!("malformed number literal `{text}`"),
+                    )
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Number(value),
+                    pos: SourcePos::new(line, col),
+                });
+                col += (i - start) as u32;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let tok = match word {
+                    "model" => Tok::KwModel,
+                    "class" => Tok::KwClass,
+                    "extends" => Tok::KwExtends,
+                    "end" => Tok::KwEnd,
+                    "parameter" => Tok::KwParameter,
+                    "Real" => Tok::KwReal,
+                    "part" => Tok::KwPart,
+                    "equation" => Tok::KwEquation,
+                    "initial" => Tok::KwInitial,
+                    "start" => Tok::KwStart,
+                    "der" => Tok::KwDer,
+                    "time" => Tok::KwTime,
+                    "if" => Tok::KwIf,
+                    "then" => Tok::KwThen,
+                    "else" => Tok::KwElse,
+                    "for" => Tok::KwFor,
+                    "in" => Tok::KwIn,
+                    "loop" => Tok::KwLoop,
+                    "and" => Tok::KwAnd,
+                    "or" => Tok::KwOr,
+                    "not" => Tok::KwNot,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                out.push(Spanned {
+                    tok,
+                    pos: SourcePos::new(line, col),
+                });
+                col += (i - start) as u32;
+            }
+            other => {
+                return Err(LangError::lex(
+                    SourcePos::new(line, col),
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: SourcePos::new(line, col),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_identifiers() {
+        assert_eq!(
+            toks("model Foo; end Foo;"),
+            vec![
+                Tok::KwModel,
+                Tok::Ident("Foo".into()),
+                Tok::Semicolon,
+                Tok::KwEnd,
+                Tok::Ident("Foo".into()),
+                Tok::Semicolon,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("1 2.5 1e-3 0.5e2 7."),
+            vec![
+                Tok::Number(1.0),
+                Tok::Number(2.5),
+                Tok::Number(1e-3),
+                Tok::Number(0.5e2),
+                Tok::Number(7.0),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("a = b == c <= d <> e ^ 2"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Ident("b".into()),
+                Tok::EqEq,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::Ne,
+                Tok::Ident("e".into()),
+                Tok::Caret,
+                Tok::Number(2.0),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let spanned = lex("a // comment\n  b").unwrap();
+        assert_eq!(spanned[0].pos, SourcePos::new(1, 1));
+        assert_eq!(spanned[1].pos, SourcePos::new(2, 3));
+        assert_eq!(spanned[1].tok, Tok::Ident("b".into()));
+    }
+
+    #[test]
+    fn dotted_reference_lexes_as_dot() {
+        assert_eq!(
+            toks("a.b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("a ? b").unwrap_err();
+        assert!(err.message.contains('?'));
+        assert_eq!(err.pos.unwrap(), SourcePos::new(1, 3));
+    }
+
+    #[test]
+    fn der_and_time_are_keywords() {
+        assert_eq!(toks("der time")[..2], [Tok::KwDer, Tok::KwTime]);
+    }
+}

@@ -1,0 +1,39 @@
+//! # om-lang — the ObjectMath language frontend
+//!
+//! ObjectMath (paper §1, Figure 1) lets an engineer write a simulation
+//! problem as an *object-oriented system of mathematical equations*:
+//! classes carry variables, parameters, and equations; inheritance reuses
+//! equations; composition (`part`) builds structured models; instance
+//! arrays describe repeated machine elements such as the ten rollers of
+//! the 2D bearing.
+//!
+//! This crate contains the textual frontend of the reproduction:
+//!
+//! * [`lexer`] / [`parser`] — concrete syntax → AST ([`ast`]),
+//! * [`scope`] — name and scope analysis over the class table (the
+//!   ObjectMath 4.0 redesign moved this out of Mathematica's context
+//!   mechanism into a proper symbol table; same here),
+//! * [`mod@flatten`] — instantiation: inheritance expansion, composition,
+//!   instance arrays, `for`-equation unrolling, vector scalarization, and
+//!   parameter evaluation, producing a [`flatten::FlatModel`] of scalar
+//!   equations over interned symbols.
+//!
+//! The concrete grammar is documented in [`parser`].
+
+pub mod ast;
+pub mod error;
+pub mod flatten;
+pub mod lexer;
+pub mod parser;
+pub mod scope;
+
+pub use error::{LangError, SourcePos};
+pub use flatten::{flatten, FlatEquation, FlatModel, FlatVar, VarKind};
+pub use parser::parse_unit;
+
+/// Convenience: parse, scope-check, and flatten a source text in one step.
+pub fn compile(source: &str) -> Result<FlatModel, LangError> {
+    let unit = parser::parse_unit(source)?;
+    scope::check(&unit)?;
+    flatten::flatten(&unit)
+}

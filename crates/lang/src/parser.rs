@@ -1,0 +1,754 @@
+//! Recursive-descent parser.
+//!
+//! Concrete grammar (EBNF; `{}` repetition, `[]` option):
+//!
+//! ```text
+//! unit        := { class_def } model_def EOF
+//! class_def   := 'class' IDENT [ extends ] ';' body 'end' IDENT ';'
+//! model_def   := 'model' IDENT ';' body 'end' IDENT ';'
+//! extends     := 'extends' IDENT [ '(' bindings ')' ]
+//! body        := { member | 'equation' { equation }
+//!                 | 'initial' 'equation' { equation } }
+//! member      := 'parameter' 'Real' [ '[' INT ']' ] IDENT [ '=' expr ] ';'
+//!              | 'Real' [ '[' INT ']' ] IDENT [ '(' 'start' '=' expr ')' ] ';'
+//!              | 'part' IDENT IDENT [ '[' INT ']' ] [ '(' bindings ')' ] ';'
+//! equation    := 'for' IDENT 'in' INT ':' INT 'loop' { equation } 'end' 'for' ';'
+//!              | expr '=' expr ';'
+//! bindings    := IDENT '=' expr { ',' IDENT '=' expr }
+//!
+//! expr        := 'if' expr 'then' expr 'else' expr | or_expr
+//! or_expr     := and_expr { 'or' and_expr }
+//! and_expr    := not_expr { 'and' not_expr }
+//! not_expr    := 'not' not_expr | rel_expr
+//! rel_expr    := add_expr [ ('<'|'<='|'>'|'>='|'=='|'<>') add_expr ]
+//! add_expr    := mul_expr { ('+'|'-') mul_expr }
+//! mul_expr    := unary { ('*'|'/') unary }
+//! unary       := '-' unary | '+' unary | pow_expr
+//! pow_expr    := primary [ '^' unary ]
+//! primary     := NUMBER | 'time' | 'der' '(' ref ')' | IDENT '(' args ')'
+//!              | ref | '(' expr ')' | '{' expr { ',' expr } '}'
+//! ref         := IDENT [ '[' expr ']' ] { '.' IDENT [ '[' expr ']' ] }
+//! ```
+//!
+//! The paper's `INSTANCE BodyW[i] INHERITS Roller(W[i])` construct maps to
+//! a `part Roller BodyW[10] (…)` member plus `for`-equations over the
+//! instance index.
+
+use crate::ast::*;
+use crate::error::{LangError, SourcePos};
+use crate::lexer::{lex, Spanned, Tok};
+
+/// Parse a complete compilation unit.
+pub fn parse_unit(source: &str) -> Result<Unit, LangError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, at: 0 };
+    let unit = p.unit()?;
+    Ok(unit)
+}
+
+/// Parse a single expression (used by tests and by the interactive
+/// harness binaries).
+pub fn parse_expr(source: &str) -> Result<SExpr, LangError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, at: 0 };
+    let e = p.expr()?;
+    p.expect(Tok::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].tok
+    }
+
+    fn pos(&self) -> SourcePos {
+        self.toks[self.at].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].tok.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), LangError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                want.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn err(&self, message: String) -> LangError {
+        LangError::parse(self.pos(), message)
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, LangError> {
+        match *self.peek() {
+            Tok::Number(n) if n.fract() == 0.0 => {
+                self.bump();
+                Ok(n as i64)
+            }
+            ref other => Err(self.err(format!(
+                "expected integer literal, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    // -- unit structure ----------------------------------------------------
+
+    fn unit(&mut self) -> Result<Unit, LangError> {
+        let mut classes = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::KwClass => classes.push(self.class_def(Tok::KwClass)?),
+                Tok::KwModel => {
+                    let model = self.class_def(Tok::KwModel)?;
+                    self.expect(Tok::Eof)?;
+                    return Ok(Unit { classes, model });
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `class` or `model`, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn class_def(&mut self, intro: Tok) -> Result<ClassDef, LangError> {
+        let pos = self.pos();
+        self.expect(intro)?;
+        let name = self.ident()?;
+        let extends = if *self.peek() == Tok::KwExtends {
+            let epos = self.pos();
+            self.bump();
+            let base = self.ident()?;
+            let bindings = if *self.peek() == Tok::LParen {
+                self.bindings()?
+            } else {
+                Vec::new()
+            };
+            Some(Extends {
+                base,
+                bindings,
+                pos: epos,
+            })
+        } else {
+            None
+        };
+        self.expect(Tok::Semicolon)?;
+
+        let mut members = Vec::new();
+        let mut equations = Vec::new();
+        let mut initial_equations = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::KwParameter | Tok::KwReal | Tok::KwPart => members.push(self.member()?),
+                Tok::KwInitial => {
+                    self.bump();
+                    self.expect(Tok::KwEquation)?;
+                    while !matches!(
+                        self.peek(),
+                        Tok::KwEnd
+                            | Tok::KwParameter
+                            | Tok::KwReal
+                            | Tok::KwPart
+                            | Tok::KwEquation
+                            | Tok::KwInitial
+                    ) {
+                        initial_equations.push(self.equation()?);
+                    }
+                }
+                Tok::KwEquation => {
+                    self.bump();
+                    while !matches!(
+                        self.peek(),
+                        Tok::KwEnd
+                            | Tok::KwParameter
+                            | Tok::KwReal
+                            | Tok::KwPart
+                            | Tok::KwEquation
+                            | Tok::KwInitial
+                    ) {
+                        equations.push(self.equation()?);
+                    }
+                }
+                Tok::KwEnd => break,
+                other => {
+                    return Err(self.err(format!(
+                        "expected member declaration, `equation`, `initial equation`, or `end`, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+        self.expect(Tok::KwEnd)?;
+        let end_name = self.ident()?;
+        if end_name != name {
+            return Err(self.err(format!(
+                "`end {end_name}` does not match `{name}`"
+            )));
+        }
+        self.expect(Tok::Semicolon)?;
+        Ok(ClassDef {
+            name,
+            pos,
+            extends,
+            members,
+            equations,
+            initial_equations,
+        })
+    }
+
+    fn member(&mut self) -> Result<Member, LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::KwParameter => {
+                self.bump();
+                self.expect(Tok::KwReal)?;
+                let ty = self.opt_dims()?;
+                let name = self.ident()?;
+                let default = if *self.peek() == Tok::Assign {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Semicolon)?;
+                Ok(Member::Parameter {
+                    name,
+                    ty,
+                    default,
+                    pos,
+                })
+            }
+            Tok::KwReal => {
+                self.bump();
+                let ty = self.opt_dims()?;
+                let name = self.ident()?;
+                let start = if *self.peek() == Tok::LParen {
+                    self.bump();
+                    self.expect(Tok::KwStart)?;
+                    self.expect(Tok::Assign)?;
+                    let e = self.expr()?;
+                    self.expect(Tok::RParen)?;
+                    Some(e)
+                } else {
+                    None
+                };
+                self.expect(Tok::Semicolon)?;
+                Ok(Member::Variable {
+                    name,
+                    ty,
+                    start,
+                    pos,
+                })
+            }
+            Tok::KwPart => {
+                self.bump();
+                let class = self.ident()?;
+                let name = self.ident()?;
+                let count = if *self.peek() == Tok::LBracket {
+                    self.bump();
+                    let n = self.integer()?;
+                    if n < 1 {
+                        return Err(self.err("instance array size must be >= 1".into()));
+                    }
+                    self.expect(Tok::RBracket)?;
+                    Some(n as usize)
+                } else {
+                    None
+                };
+                let bindings = if *self.peek() == Tok::LParen {
+                    self.bindings()?
+                } else {
+                    Vec::new()
+                };
+                self.expect(Tok::Semicolon)?;
+                Ok(Member::Part {
+                    class,
+                    name,
+                    count,
+                    bindings,
+                    pos,
+                })
+            }
+            other => Err(self.err(format!(
+                "expected member declaration, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn opt_dims(&mut self) -> Result<Ty, LangError> {
+        if *self.peek() == Tok::LBracket {
+            self.bump();
+            let n = self.integer()?;
+            if n < 1 {
+                return Err(self.err("vector dimension must be >= 1".into()));
+            }
+            self.expect(Tok::RBracket)?;
+            Ok(Ty::vector(n as usize))
+        } else {
+            Ok(Ty::scalar())
+        }
+    }
+
+    fn bindings(&mut self) -> Result<Vec<Binding>, LangError> {
+        self.expect(Tok::LParen)?;
+        let mut out = Vec::new();
+        loop {
+            let pos = self.pos();
+            let name = self.ident()?;
+            self.expect(Tok::Assign)?;
+            let value = self.expr()?;
+            out.push(Binding { name, value, pos });
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(out)
+    }
+
+    fn equation(&mut self) -> Result<Equation, LangError> {
+        let pos = self.pos();
+        if *self.peek() == Tok::KwFor {
+            self.bump();
+            let index = self.ident()?;
+            self.expect(Tok::KwIn)?;
+            let from = self.integer()?;
+            self.expect(Tok::Colon)?;
+            let to = self.integer()?;
+            self.expect(Tok::KwLoop)?;
+            let mut body = Vec::new();
+            while *self.peek() != Tok::KwEnd {
+                body.push(self.equation()?);
+            }
+            self.expect(Tok::KwEnd)?;
+            self.expect(Tok::KwFor)?;
+            self.expect(Tok::Semicolon)?;
+            return Ok(Equation::For {
+                index,
+                from,
+                to,
+                body,
+                pos,
+            });
+        }
+        let lhs = self.expr()?;
+        self.expect(Tok::Assign)?;
+        let rhs = self.expr()?;
+        self.expect(Tok::Semicolon)?;
+        Ok(Equation::Simple { lhs, rhs, pos })
+    }
+
+    // -- expressions -------------------------------------------------------
+
+    fn expr(&mut self) -> Result<SExpr, LangError> {
+        if *self.peek() == Tok::KwIf {
+            self.bump();
+            let c = self.expr()?;
+            self.expect(Tok::KwThen)?;
+            let t = self.expr()?;
+            self.expect(Tok::KwElse)?;
+            let e = self.expr()?;
+            return Ok(SExpr::If(Box::new(c), Box::new(t), Box::new(e)));
+        }
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SExpr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::KwOr {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = SExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<SExpr, LangError> {
+        let mut lhs = self.not_expr()?;
+        while *self.peek() == Tok::KwAnd {
+            self.bump();
+            let rhs = self.not_expr()?;
+            lhs = SExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<SExpr, LangError> {
+        if *self.peek() == Tok::KwNot {
+            self.bump();
+            let inner = self.not_expr()?;
+            return Ok(SExpr::Not(Box::new(inner)));
+        }
+        self.rel_expr()
+    }
+
+    fn rel_expr(&mut self) -> Result<SExpr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Lt => RelOp::Lt,
+            Tok::Le => RelOp::Le,
+            Tok::Gt => RelOp::Gt,
+            Tok::Ge => RelOp::Ge,
+            Tok::EqEq => RelOp::Eq,
+            Tok::Ne => RelOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(SExpr::Rel(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<SExpr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = SExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<SExpr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = SExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> Result<SExpr, LangError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let inner = self.unary()?;
+                Ok(SExpr::Neg(Box::new(inner)))
+            }
+            Tok::Plus => {
+                self.bump();
+                self.unary()
+            }
+            _ => self.pow_expr(),
+        }
+    }
+
+    fn pow_expr(&mut self) -> Result<SExpr, LangError> {
+        let base = self.primary()?;
+        if *self.peek() == Tok::Caret {
+            self.bump();
+            // Right-associative; exponent may carry a unary minus.
+            let exp = self.unary()?;
+            return Ok(SExpr::Bin(BinOp::Pow, Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> Result<SExpr, LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Number(n) => {
+                self.bump();
+                Ok(SExpr::Num(n))
+            }
+            Tok::KwTime => {
+                self.bump();
+                Ok(SExpr::Time)
+            }
+            Tok::KwDer => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let r = self.ref_path()?;
+                self.expect(Tok::RParen)?;
+                Ok(SExpr::Der(r))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBrace => {
+                self.bump();
+                let mut items = vec![self.expr()?];
+                while *self.peek() == Tok::Comma {
+                    self.bump();
+                    items.push(self.expr()?);
+                }
+                self.expect(Tok::RBrace)?;
+                Ok(SExpr::Tuple(items))
+            }
+            Tok::Ident(name) => {
+                // Function call or reference. A call is `ident(` with no
+                // preceding dot/index.
+                if self.toks[self.at + 1].tok == Tok::LParen {
+                    self.bump(); // ident
+                    self.bump(); // (
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        args.push(self.expr()?);
+                        while *self.peek() == Tok::Comma {
+                            self.bump();
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(SExpr::Call(name, args, pos))
+                } else {
+                    let r = self.ref_path()?;
+                    Ok(SExpr::Ref(r))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+
+    fn ref_path(&mut self) -> Result<RefPath, LangError> {
+        let pos = self.pos();
+        let mut segs = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let mut indices = Vec::new();
+            if *self.peek() == Tok::LBracket {
+                self.bump();
+                indices.push(self.expr()?);
+                self.expect(Tok::RBracket)?;
+            }
+            segs.push(RefSeg { name, indices });
+            if *self.peek() == Tok::Dot {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(RefPath { segs, pos })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_model() {
+        let src = "model M; Real x; equation der(x) = 1; end M;";
+        let unit = parse_unit(src).unwrap();
+        assert_eq!(unit.model.name, "M");
+        assert_eq!(unit.model.members.len(), 1);
+        assert_eq!(unit.model.equations.len(), 1);
+    }
+
+    #[test]
+    fn parses_class_with_inheritance_and_override() {
+        let src = "
+            class Base;
+              parameter Real k = 1.0;
+              Real x(start = 2.0);
+              equation der(x) = -k*x;
+            end Base;
+            model M;
+              part Base b (k = 3.0);
+            end M;
+        ";
+        let unit = parse_unit(src).unwrap();
+        assert_eq!(unit.classes.len(), 1);
+        let c = &unit.classes[0];
+        assert_eq!(c.name, "Base");
+        assert_eq!(c.members.len(), 2);
+        match &unit.model.members[0] {
+            Member::Part {
+                class,
+                name,
+                count,
+                bindings,
+                ..
+            } => {
+                assert_eq!(class, "Base");
+                assert_eq!(name, "b");
+                assert_eq!(*count, None);
+                assert_eq!(bindings.len(), 1);
+                assert_eq!(bindings[0].name, "k");
+            }
+            other => panic!("expected part, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_extends_clause() {
+        let src = "
+            class A; Real x; end A;
+            class B extends A (x = 1.0); end B;
+            model M; part B b; end M;
+        ";
+        let unit = parse_unit(src).unwrap();
+        let b = &unit.classes[1];
+        let ext = b.extends.as_ref().unwrap();
+        assert_eq!(ext.base, "A");
+        assert_eq!(ext.bindings.len(), 1);
+    }
+
+    #[test]
+    fn parses_instance_arrays_and_for_equations() {
+        let src = "
+            class Roller; Real x; equation der(x) = 1; end Roller;
+            model M;
+              part Roller w[10];
+              Real total;
+              equation
+                for i in 1:10 loop
+                  der(w[i].x) = w[i].x * 2;
+                end for;
+                total = w[1].x;
+            end M;
+        ";
+        let unit = parse_unit(src).unwrap();
+        match &unit.model.equations[0] {
+            Equation::For {
+                index, from, to, body, ..
+            } => {
+                assert_eq!(index, "i");
+                assert_eq!((*from, *to), (1, 10));
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_vector_declarations_and_literals() {
+        let src = "
+            model M;
+              Real[3] f;
+              equation f = {1, 2, 3};
+            end M;
+        ";
+        let unit = parse_unit(src).unwrap();
+        match &unit.model.members[0] {
+            Member::Variable { ty, .. } => assert_eq!(ty.dim, 3),
+            other => panic!("{other:?}"),
+        }
+        match &unit.model.equations[0] {
+            Equation::Simple { rhs, .. } => {
+                assert!(matches!(rhs, SExpr::Tuple(v) if v.len() == 3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        // a + b*c^2 parses as a + (b*(c^2))
+        let e = parse_expr("a + b*c^2").unwrap();
+        match e {
+            SExpr::Bin(BinOp::Add, _, rhs) => match *rhs {
+                SExpr::Bin(BinOp::Mul, _, rhs2) => {
+                    assert!(matches!(*rhs2, SExpr::Bin(BinOp::Pow, _, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_is_right_associative_with_unary_exponent() {
+        let e = parse_expr("x^-2").unwrap();
+        match e {
+            SExpr::Bin(BinOp::Pow, _, exp) => assert!(matches!(*exp, SExpr::Neg(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_conditionals_and_booleans() {
+        let e = parse_expr("if d > 0 and not locked then d^1.5 else 0").unwrap();
+        assert!(matches!(e, SExpr::If(_, _, _)));
+    }
+
+    #[test]
+    fn parses_function_calls() {
+        let e = parse_expr("atan2(y, x) + sin(t)").unwrap();
+        match e {
+            SExpr::Bin(BinOp::Add, lhs, _) => match *lhs {
+                SExpr::Call(name, args, _) => {
+                    assert_eq!(name, "atan2");
+                    assert_eq!(args.len(), 2);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_end_name() {
+        let err = parse_unit("model M; end N;").unwrap_err();
+        assert!(err.message.contains("does not match"));
+    }
+
+    #[test]
+    fn rejects_garbage_after_model() {
+        let err = parse_unit("model M; end M; class X; end X;").unwrap_err();
+        assert!(err.message.contains("end of input"));
+    }
+
+    #[test]
+    fn reports_position_of_syntax_error() {
+        let err = parse_unit("model M;\n  Real ;\nend M;").unwrap_err();
+        assert_eq!(err.pos.unwrap().line, 2);
+    }
+
+    #[test]
+    fn dotted_indexed_reference() {
+        let e = parse_expr("w[i].contact.f[2]").unwrap();
+        match e {
+            SExpr::Ref(p) => {
+                assert_eq!(p.segs.len(), 3);
+                assert_eq!(p.segs[0].name, "w");
+                assert_eq!(p.segs[0].indices.len(), 1);
+                assert_eq!(p.segs[2].indices.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

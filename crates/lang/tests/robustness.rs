@@ -1,0 +1,81 @@
+//! Robustness property tests for the frontend: no input should ever
+//! panic the lexer or parser — they must either succeed or return a
+//! proper diagnostic.
+
+use om_lang::parser::{parse_expr, parse_unit};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary ASCII input never panics the pipeline front door.
+    #[test]
+    fn arbitrary_ascii_never_panics(src in "[ -~\n]{0,200}") {
+        let _ = parse_unit(&src);
+        let _ = parse_expr(&src);
+    }
+
+    /// Token soup from the language's own vocabulary never panics and
+    /// never loops forever.
+    #[test]
+    fn token_soup_never_panics(words in prop::collection::vec(
+        prop::sample::select(vec![
+            "model", "class", "extends", "end", "parameter", "Real",
+            "part", "equation", "initial", "start", "der", "time", "if",
+            "then", "else", "for", "in", "loop", "and", "or", "not",
+            "x", "y", "foo", "1", "2.5", "1e-3",
+            "(", ")", "[", "]", "{", "}", ",", ";", ":", ".",
+            "=", "==", "+", "-", "*", "/", "^", "<", "<=", ">", ">=", "<>",
+        ]),
+        0..40,
+    )) {
+        let src = words.join(" ");
+        let _ = parse_unit(&src);
+    }
+
+    /// Structured-but-randomized models parse, and parse errors (if any)
+    /// carry positions.
+    #[test]
+    fn randomized_models_roundtrip(
+        n_vars in 1usize..5,
+        k in -10i32..10,
+        use_vector in proptest::bool::ANY,
+    ) {
+        let mut src = String::from("model M;\n");
+        for i in 0..n_vars {
+            if use_vector && i == 0 {
+                src.push_str("  Real[3] v0;\n");
+            } else {
+                src.push_str(&format!("  Real x{i}(start = {k}.0);\n"));
+            }
+        }
+        src.push_str("equation\n");
+        for i in 0..n_vars {
+            if use_vector && i == 0 {
+                src.push_str("  der(v0) = 0.0;\n");
+            } else {
+                src.push_str(&format!("  der(x{i}) = -x{i} + {k}.0;\n"));
+            }
+        }
+        src.push_str("end M;\n");
+        let unit = parse_unit(&src).expect("generated model parses");
+        om_lang::scope::check(&unit).expect("scope-checks");
+        let flat = om_lang::flatten(&unit).expect("flattens");
+        prop_assert_eq!(
+            flat.variables.len(),
+            if use_vector { n_vars + 2 } else { n_vars }
+        );
+    }
+
+    /// Every reported error position is within the source bounds.
+    #[test]
+    fn error_positions_are_in_bounds(src in "[ -~\n]{1,120}") {
+        if let Err(e) = parse_unit(&src) {
+            if let Some(pos) = e.pos {
+                let line_count = src.lines().count().max(1) as u32;
+                prop_assert!(pos.line >= 1 && pos.line <= line_count + 1,
+                    "line {} of {line_count}", pos.line);
+            }
+        }
+    }
+}

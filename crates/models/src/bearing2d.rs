@@ -1,0 +1,321 @@
+//! The 2D cylindrical rolling bearing (paper §2.5, Figures 4–6, §3.3).
+//!
+//! "Figure 4 shows the geometry of the bearing, consisting of an outer
+//! ring, an inner ring and ten rolling elements." The outer ring is
+//! fixed; the inner ring rides on a driven shaft carrying a radial load;
+//! each roller has Hertz-like unilateral contacts with both rings.
+//!
+//! Mechanics (per roller `k` at angle `φ_k`, radial position `r_k`):
+//!
+//! * inner contact deflection `δi = (Ri + rr) − (r − (x·cosφ + y·sinφ))`
+//!   (small-displacement approximation of the center distance),
+//! * outer contact deflection `δo = (r + rr) − Ro`,
+//! * unilateral Kelvin–Hertz forces `F = max(0, k·δ^1.5 ± c·vr)` active
+//!   only on `δ > 0` — the conditional expressions that motivate the
+//!   paper's *semi-dynamic* scheduling (§3.2.3: "there may be conditional
+//!   expressions within the right-hand sides"),
+//! * roller angular motion follows the epicyclic cage speed with a small
+//!   force-dependent slip,
+//! * the inner ring translates under the external load and all contact
+//!   reactions, and its rotation feels contact friction — which closes
+//!   the dependency cycle so that *every equation except the
+//!   accumulated-revolutions counter falls into one strongly connected
+//!   component*, exactly the Figure 6 structure.
+//!
+//! [`BearingConfig::waviness`] superimposes surface-waviness harmonics on
+//! the inner contact force, multiplying the per-equation flop count —
+//! the stand-in for the much heavier 3D models of §6 ("potential speedup
+//! of 100–300 will be possible for large bearing problems").
+
+use om_ir::OdeIr;
+use std::fmt::Write as _;
+
+/// Bearing model parameters.
+#[derive(Clone, Debug)]
+pub struct BearingConfig {
+    /// Number of rolling elements (the paper's model has ten).
+    pub rollers: usize,
+    /// Number of surface-waviness harmonics in each contact force
+    /// (0 = the plain 2D model; larger values emulate 3D-model
+    /// granularity).
+    pub waviness: usize,
+    /// Radial load on the inner ring \[N\].
+    pub load: f64,
+    /// Drive torque on the inner ring \[N·m\].
+    pub drive_torque: f64,
+    /// Initial shaft speed \[rad/s\].
+    pub shaft_speed: f64,
+}
+
+impl Default for BearingConfig {
+    fn default() -> BearingConfig {
+        BearingConfig {
+            rollers: 10,
+            waviness: 0,
+            load: 100.0,
+            drive_torque: 0.1,
+            shaft_speed: 100.0,
+        }
+    }
+}
+
+/// Generate the ObjectMath source for a bearing with `cfg`.
+///
+/// Rollers are individual `part`s (not an instance array) because each
+/// needs its own angular start position `φ_k = 2π(k−1)/N`, bound through
+/// the part's start-value override — the same per-instance
+/// parameterisation the paper writes as `INSTANCE BodyW[i] INHERITS
+/// Roller(W[i])`.
+pub fn source(cfg: &BearingConfig) -> String {
+    let n = cfg.rollers;
+    assert!(n >= 2, "a bearing needs at least two rollers");
+
+    // Waviness factor: 1 + Σ_j a_j·cos(j·phi + j), written out term by
+    // term (distinct constants per harmonic defeat CSE, like real
+    // waviness tables).
+    let waviness_expr = |phi: &str| -> String {
+        let mut s = String::from("1.0");
+        for j in 1..=cfg.waviness {
+            let amp = 0.02 / j as f64;
+            let _ = write!(s, " + {amp}*cos({j}.0*{phi} + {j}.0)");
+        }
+        s
+    };
+
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        "
+    class Roller;
+      parameter Real rr = 0.01;         // roller radius
+      parameter Real ri = 0.04;         // inner raceway radius
+      parameter Real ro = 0.0601;       // outer raceway radius
+      parameter Real m = 0.02;          // roller mass
+      parameter Real kc = 1.0e8;        // Hertz stiffness
+      parameter Real cc = 50.0;         // contact damping
+      parameter Real slip = 1.0e-5;     // force-dependent cage slip
+      Real phi(start = 0.0);            // angular position
+      Real r(start = 0.05005);          // radial position of the center
+      Real vr(start = 0.0);             // radial velocity
+      Real di;                          // inner contact deflection
+      Real doo;                         // outer contact deflection
+      Real fi;                          // inner contact force
+      Real fo;                          // outer contact force
+      Real xin;                         // inner ring center x (supplied)
+      Real yin;                         // inner ring center y (supplied)
+      Real wc;                          // cage speed (supplied)
+      equation
+        di = (ri + rr) - (r - (xin*cos(phi) + yin*sin(phi)));
+        doo = (r + rr) - ro;
+        fi = max(0.0, if di > 0.0 then kc*di^1.5*({wavy}) - cc*vr else 0.0);
+        fo = max(0.0, if doo > 0.0 then kc*doo^1.5 + cc*vr else 0.0);
+        der(phi) = wc * (1.0 + slip*(fi - fo));
+        der(r) = vr;
+        m * der(vr) = fi - fo + m*r*wc*wc;
+    end Roller;
+
+    model Bearing2D;
+      parameter Real bigM = 1.0;        // inner ring + shaft mass
+      parameter Real bigJ = 0.002;      // inner ring inertia
+      parameter Real load = {load};     // radial load
+      parameter Real td = {td};         // drive torque
+      parameter Real cring = 800.0;     // ring translational damping
+      parameter Real bw = 1.0e-5;       // shaft viscous friction
+      parameter Real mu = 2.0e-4;       // contact friction coefficient
+      parameter Real rr = 0.01;
+      parameter Real ri = 0.04;
+      parameter Real ro = 0.0601;
+",
+        wavy = waviness_expr("phi"),
+        load = cfg.load,
+        td = cfg.drive_torque,
+    );
+
+    for k in 1..=n {
+        let phi0 = 2.0 * std::f64::consts::PI * (k - 1) as f64 / n as f64;
+        let _ = writeln!(src, "      part Roller w{k} (phi = {phi0});");
+    }
+
+    let _ = write!(
+        src,
+        "
+      Real x(start = 0.0);              // inner ring center
+      Real y(start = -4.0e-5);
+      Real vx(start = 0.0);
+      Real vy(start = 0.0);
+      Real wi(start = {w0});            // shaft angular speed
+      Real rev(start = 0.0);            // accumulated revolutions
+      Real wc;                          // cage speed
+      Real[{n}] sfx;                    // partial sums: Σ fi·cosφ
+      Real[{n}] sfy;                    // partial sums: Σ fi·sinφ
+      Real[{n}] sfm;                    // partial sums: Σ fi
+      equation
+        wc = wi * ri / (ri + ro);
+",
+        w0 = cfg.shaft_speed,
+        n = n,
+    );
+
+    for k in 1..=n {
+        let _ = writeln!(
+            src,
+            "        w{k}.xin = x; w{k}.yin = y; w{k}.wc = wc;"
+        );
+    }
+    let _ = writeln!(src, "        sfx[1] = w1.fi * cos(w1.phi);");
+    let _ = writeln!(src, "        sfy[1] = w1.fi * sin(w1.phi);");
+    let _ = writeln!(src, "        sfm[1] = w1.fi;");
+    for k in 2..=n {
+        let p = k - 1;
+        let _ = writeln!(
+            src,
+            "        sfx[{k}] = sfx[{p}] + w{k}.fi * cos(w{k}.phi);"
+        );
+        let _ = writeln!(
+            src,
+            "        sfy[{k}] = sfy[{p}] + w{k}.fi * sin(w{k}.phi);"
+        );
+        let _ = writeln!(src, "        sfm[{k}] = sfm[{p}] + w{k}.fi;");
+    }
+    let _ = write!(
+        src,
+        "
+        der(x) = vx;
+        der(y) = vy;
+        bigM * der(vx) = -sfx[{n}] - cring*vx;
+        bigM * der(vy) = -load - sfy[{n}] - cring*vy;
+        bigJ * der(wi) = td - bw*wi - mu*rr*sfm[{n}];
+        der(rev) = wi / 6.283185307179586;
+    end Bearing2D;
+",
+        n = n,
+    );
+    src
+}
+
+/// Compiled internal form for `cfg`.
+pub fn ir(cfg: &BearingConfig) -> OdeIr {
+    crate::compile_to_ir(&source(cfg)).expect("bearing model compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_analysis::{build_dependency_graph, partition_by_scc};
+    use om_solver::{dopri5, FnSystem, Tolerances};
+
+    #[test]
+    fn dimensions_scale_with_roller_count() {
+        for n in [2, 5, 10] {
+            let cfg = BearingConfig {
+                rollers: n,
+                ..BearingConfig::default()
+            };
+            let sys = ir(&cfg);
+            // 3 states per roller + x, y, vx, vy, wi, rev.
+            assert_eq!(sys.dim(), 3 * n + 6, "n = {n}");
+            // 7 algebraics per roller + wc + 3n partial sums.
+            assert_eq!(sys.algebraics.len(), 7 * n + 1 + 3 * n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn all_equations_strongly_connected_except_one() {
+        // Figure 6: "All equations are strongly connected except one."
+        let dep = build_dependency_graph(&ir(&BearingConfig::default()));
+        let part = partition_by_scc(&dep);
+        let sizes = part.scc_sizes();
+        assert_eq!(sizes.len(), 2, "expected exactly 2 SCCs: {sizes:?}");
+        assert_eq!(sizes[1], 1, "the small SCC is the rev counter");
+        let total: usize = sizes.iter().sum();
+        assert_eq!(sizes[0], total - 1);
+    }
+
+    #[test]
+    fn rollers_start_spread_around_the_bearing() {
+        let cfg = BearingConfig {
+            rollers: 4,
+            ..BearingConfig::default()
+        };
+        let sys = ir(&cfg);
+        let phi3 = sys.find_state("w3.phi").unwrap();
+        let y0 = sys.initial_state();
+        assert!((y0[phi3] - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_simulation_is_physical() {
+        let cfg = BearingConfig::default();
+        let sys = ir(&cfg);
+        let reference = om_ir::IrEvaluator::new(&sys).unwrap();
+        let mut wrapped = FnSystem::new(sys.dim(), move |t, y: &[f64], d: &mut [f64]| {
+            reference.rhs(t, y, d);
+        });
+        let tol = Tolerances {
+            rtol: 1e-6,
+            atol: 1e-10,
+            max_steps: 2_000_000,
+            ..Tolerances::default()
+        };
+        let sol = dopri5(&mut wrapped, 0.0, &sys.initial_state(), 5e-3, &tol).unwrap();
+        let yv = sol.y_end();
+        assert!(yv.iter().all(|v| v.is_finite()));
+        // The ring settles inside the clearance, pushed down by the load.
+        let y_idx = sys.find_state("y").unwrap();
+        assert!(yv[y_idx] < 0.0, "ring should sit below center: {}", yv[y_idx]);
+        assert!(yv[y_idx] > -3.0e-4, "ring fell through: {}", yv[y_idx]);
+        // The shaft keeps spinning and accumulates revolutions.
+        let wi_idx = sys.find_state("wi").unwrap();
+        assert!(yv[wi_idx] > 50.0);
+        let rev_idx = sys.find_state("rev").unwrap();
+        assert!(yv[rev_idx] > 0.0);
+    }
+
+    #[test]
+    fn load_is_carried_by_contact_forces() {
+        // After settling, the vertical contact sum must carry the load:
+        // evaluate the RHS at the settled state and check the ring's
+        // vertical acceleration is small.
+        let cfg = BearingConfig::default();
+        let sys = ir(&cfg);
+        let reference = om_ir::IrEvaluator::new(&sys).unwrap();
+        let mut wrapped = FnSystem::new(sys.dim(), {
+            let r2 = om_ir::IrEvaluator::new(&sys).unwrap();
+            move |t, y: &[f64], d: &mut [f64]| r2.rhs(t, y, d)
+        });
+        let tol = Tolerances {
+            rtol: 1e-6,
+            atol: 1e-10,
+            max_steps: 2_000_000,
+            ..Tolerances::default()
+        };
+        let sol = dopri5(&mut wrapped, 0.0, &sys.initial_state(), 5e-3, &tol).unwrap();
+        let mut d = vec![0.0; sys.dim()];
+        reference.rhs(sol.t_end(), sol.y_end(), &mut d);
+        let vy_idx = sys.find_state("vy").unwrap();
+        // der(vy) = (−load − Σfy − c·vy)/M; settled ⇒ |der(vy)| ≪ load/M.
+        assert!(
+            d[vy_idx].abs() < 0.5 * cfg.load,
+            "vertical residual acceleration {}",
+            d[vy_idx]
+        );
+    }
+
+    #[test]
+    fn waviness_increases_rhs_cost() {
+        let plain = ir(&BearingConfig::default());
+        let heavy = ir(&BearingConfig {
+            waviness: 8,
+            ..BearingConfig::default()
+        });
+        let cost = |sys: &OdeIr| -> u64 {
+            sys.inlined_rhs().iter().map(om_expr::flops).sum()
+        };
+        assert!(
+            cost(&heavy) > 2 * cost(&plain),
+            "heavy {} plain {}",
+            cost(&heavy),
+            cost(&plain)
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! A 3D cylindrical rolling bearing — the paper's industrial target.
+//!
+//! "The chosen bearing simulation application is based on a simple 2D
+//! model … The ObjectMath system currently generates serial code from
+//! the large 3D models, and will soon be able to generate parallel code
+//! from these models" (§3.3); the conclusions project 100–300× speedup
+//! for them (§6).
+//!
+//! This model extends [`crate::bearing2d`] with the mechanics that make
+//! the 3D models "computationally heavy":
+//!
+//! * each roller–raceway contact is resolved in **two slices** along the
+//!   roller length (the 1D discretization of the contact line real
+//!   bearing codes use), so roller **tilt** redistributes load between
+//!   slice forces and produces restoring moments;
+//! * rollers have **axial** position with unilateral flange contacts
+//!   against the (axially loaded, moving) inner ring;
+//! * a **ring misalignment** parameter skews the per-roller slice
+//!   deflections around the circumference — the classic 3D load
+//!   distribution effect;
+//! * skew-induced axial drift couples tilt into axial motion.
+//!
+//! Per roller: 7 states (φ, r, vr, z, vz, ψ, vψ) and 13 algebraic contact
+//! quantities; the inner ring adds 8 states (x, y, z, vx, vy, vz, ω,
+//! revolutions). All equations except the revolutions counter land in
+//! one SCC, like the 2D model — but each RHS is several times heavier.
+
+use om_ir::OdeIr;
+use std::fmt::Write as _;
+
+/// 3D bearing parameters.
+#[derive(Clone, Debug)]
+pub struct Bearing3dConfig {
+    /// Number of rolling elements.
+    pub rollers: usize,
+    /// Radial load on the inner ring \[N\].
+    pub radial_load: f64,
+    /// Axial load on the inner ring \[N\].
+    pub axial_load: f64,
+    /// Inner ring misalignment angle \[rad\].
+    pub misalignment: f64,
+    /// Drive torque \[N·m\].
+    pub drive_torque: f64,
+    /// Initial shaft speed \[rad/s\].
+    pub shaft_speed: f64,
+    /// Surface-waviness harmonics per slice force (RHS weight, like the
+    /// 2D model's knob).
+    pub waviness: usize,
+}
+
+impl Default for Bearing3dConfig {
+    fn default() -> Bearing3dConfig {
+        Bearing3dConfig {
+            rollers: 10,
+            radial_load: 100.0,
+            axial_load: 30.0,
+            misalignment: 2.0e-4,
+            drive_torque: 0.1,
+            shaft_speed: 100.0,
+            waviness: 0,
+        }
+    }
+}
+
+/// Generate the ObjectMath source for the 3D bearing.
+pub fn source(cfg: &Bearing3dConfig) -> String {
+    let n = cfg.rollers;
+    assert!(n >= 2, "a bearing needs at least two rollers");
+
+    let waviness_expr = |phi: &str| -> String {
+        let mut s = String::from("1.0");
+        for j in 1..=cfg.waviness {
+            let amp = 0.02 / j as f64;
+            let _ = write!(s, " + {amp}*cos({j}.0*{phi} + 0.{j})");
+        }
+        s
+    };
+
+    let mut src = String::new();
+    let _ = write!(
+        src,
+        "
+    class Roller3D;
+      parameter Real rr = 0.01;         // roller radius
+      parameter Real ri = 0.04;         // inner raceway radius
+      parameter Real ro = 0.0601;       // outer raceway radius
+      parameter Real hl = 0.008;        // contact half-length
+      parameter Real m = 0.02;          // roller mass
+      parameter Real jt = 5.0e-7;       // tilt inertia
+      parameter Real kc = 1.0e8;        // Hertz stiffness (per slice: kc/2)
+      parameter Real cc = 50.0;         // contact damping
+      parameter Real kf = 1.0e7;        // flange stiffness
+      parameter Real cf = 20.0;         // flange damping
+      parameter Real cz = 1.0e-5;       // axial clearance to the flanges
+      parameter Real ct = 0.02;         // tilt damping
+      parameter Real skew = 2.0e-4;     // skew-induced axial coupling
+      parameter Real slip = 1.0e-5;     // force-dependent cage slip
+      Real phi(start = 0.0);            // angular position
+      Real r(start = 0.05005);          // radial position
+      Real vr(start = 0.0);
+      Real z(start = 0.0);              // axial offset (relative to cage)
+      Real vz(start = 0.0);
+      Real tilt(start = 0.0);           // tilt angle about the tangent
+      Real vtilt(start = 0.0);
+      Real proj;                        // ring-center projection
+      Real basedi;                      // nominal inner deflection
+      Real e1; Real e2;                 // inner slice deflections
+      Real p1; Real p2;                 // outer slice deflections
+      Real fi1; Real fi2;               // inner slice forces
+      Real fo1; Real fo2;               // outer slice forces
+      Real fi; Real fo;                 // total contact forces
+      Real zrel;                        // axial position relative to ring
+      Real ov;                          // contact overlap factor
+      Real fz;                          // flange force
+      Real xin; Real yin;               // ring center (supplied)
+      Real zring;                       // ring axial position (supplied)
+      Real wc;                          // cage speed (supplied)
+      Real mis;                         // ring misalignment seen here (supplied)
+      equation
+        proj = xin*cos(phi) + yin*sin(phi);
+        basedi = (ri + rr) - (r - proj);
+        e1 = basedi + hl*(tilt - mis);
+        e2 = basedi - hl*(tilt - mis);
+        p1 = (r + rr) - ro + hl*tilt;
+        p2 = (r + rr) - ro - hl*tilt;
+        zrel = z - zring;
+        // Axial offset shortens the roller/raceway overlap, derating the
+        // line-contact stiffness — the coupling that puts the axial
+        // degrees of freedom in the same strongly connected component as
+        // the radial ones.
+        ov = max(0.2, 1.0 - abs(zrel)/(4.0*hl));
+        fi1 = max(0.0, if e1 > 0.0 then 0.5*kc*ov*e1^1.5*({wavy}) - 0.5*cc*vr else 0.0);
+        fi2 = max(0.0, if e2 > 0.0 then 0.5*kc*ov*e2^1.5*({wavy}) - 0.5*cc*vr else 0.0);
+        fo1 = max(0.0, if p1 > 0.0 then 0.5*kc*ov*p1^1.5 + 0.5*cc*vr else 0.0);
+        fo2 = max(0.0, if p2 > 0.0 then 0.5*kc*ov*p2^1.5 + 0.5*cc*vr else 0.0);
+        fi = fi1 + fi2;
+        fo = fo1 + fo2;
+        fz = if zrel > cz then -kf*(zrel - cz)^1.5 - cf*vz
+             else if zrel < -cz then kf*(0.0 - zrel - cz)^1.5 - cf*vz
+             else -cf*0.05*vz;
+        der(phi) = wc * (1.0 + slip*(fi - fo));
+        der(r) = vr;
+        m * der(vr) = fi - fo + m*r*wc*wc;
+        der(z) = vz;
+        m * der(vz) = fz + skew*(fi - fo)*tilt;
+        der(tilt) = vtilt;
+        jt * der(vtilt) = hl*((fi1 - fi2) - (fo1 - fo2)) - ct*vtilt;
+    end Roller3D;
+
+    model Bearing3D;
+      parameter Real bigM = 1.0;        // inner ring + shaft mass
+      parameter Real bigJ = 0.002;
+      parameter Real wrad = {wrad};     // radial load
+      parameter Real wax = {wax};       // axial load
+      parameter Real mis0 = {mis};      // ring misalignment amplitude
+      parameter Real td = {td};
+      parameter Real cring = 800.0;
+      parameter Real cax = 400.0;
+      parameter Real bw = 1.0e-5;
+      parameter Real mu = 2.0e-4;
+      parameter Real rr = 0.01;
+      parameter Real ri = 0.04;
+      parameter Real ro = 0.0601;
+",
+        wavy = waviness_expr("phi"),
+        wrad = cfg.radial_load,
+        wax = cfg.axial_load,
+        mis = cfg.misalignment,
+        td = cfg.drive_torque,
+    );
+
+    for k in 1..=n {
+        let phi0 = 2.0 * std::f64::consts::PI * (k - 1) as f64 / n as f64;
+        let _ = writeln!(src, "      part Roller3D w{k} (phi = {phi0});");
+    }
+
+    let _ = write!(
+        src,
+        "
+      Real x(start = 0.0);
+      Real y(start = -4.0e-5);
+      Real zr(start = 0.0);             // ring axial position
+      Real vx(start = 0.0);
+      Real vy(start = 0.0);
+      Real vzr(start = 0.0);
+      Real wi(start = {w0});
+      Real rev(start = 0.0);
+      Real wc;
+      Real[{n}] sfx;                    // Σ fi·cosφ
+      Real[{n}] sfy;                    // Σ fi·sinφ
+      Real[{n}] sfz;                    // Σ flange reactions
+      Real[{n}] sfm;                    // Σ fi (friction torque)
+      equation
+        wc = wi * ri / (ri + ro);
+",
+        w0 = cfg.shaft_speed,
+        n = n,
+    );
+
+    for k in 1..=n {
+        let _ = writeln!(
+            src,
+            "        w{k}.xin = x; w{k}.yin = y; w{k}.zring = zr; w{k}.wc = wc; \
+             w{k}.mis = mis0*cos(w{k}.phi);"
+        );
+    }
+    let _ = writeln!(src, "        sfx[1] = w1.fi * cos(w1.phi);");
+    let _ = writeln!(src, "        sfy[1] = w1.fi * sin(w1.phi);");
+    let _ = writeln!(src, "        sfz[1] = w1.fz;");
+    let _ = writeln!(src, "        sfm[1] = w1.fi;");
+    for k in 2..=n {
+        let p = k - 1;
+        let _ = writeln!(src, "        sfx[{k}] = sfx[{p}] + w{k}.fi * cos(w{k}.phi);");
+        let _ = writeln!(src, "        sfy[{k}] = sfy[{p}] + w{k}.fi * sin(w{k}.phi);");
+        let _ = writeln!(src, "        sfz[{k}] = sfz[{p}] + w{k}.fz;");
+        let _ = writeln!(src, "        sfm[{k}] = sfm[{p}] + w{k}.fi;");
+    }
+    let _ = write!(
+        src,
+        "
+        der(x) = vx;
+        der(y) = vy;
+        der(zr) = vzr;
+        bigM * der(vx) = -sfx[{n}] - cring*vx;
+        bigM * der(vy) = -wrad - sfy[{n}] - cring*vy;
+        bigM * der(vzr) = -wax - sfz[{n}] - cax*vzr;
+        bigJ * der(wi) = td - bw*wi - mu*rr*sfm[{n}];
+        der(rev) = wi / 6.283185307179586;
+    end Bearing3D;
+",
+        n = n,
+    );
+    src
+}
+
+/// Compiled internal form.
+pub fn ir(cfg: &Bearing3dConfig) -> OdeIr {
+    crate::compile_to_ir(&source(cfg)).expect("3D bearing compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_analysis::{build_dependency_graph, partition_by_scc};
+    use om_solver::{dopri5, FnSystem, Tolerances};
+
+    #[test]
+    fn dimensions() {
+        let cfg = Bearing3dConfig::default();
+        let sys = ir(&cfg);
+        // 7 states per roller + x, y, zr, vx, vy, vzr, wi, rev.
+        assert_eq!(sys.dim(), 7 * cfg.rollers + 8);
+        // Per roller: proj, basedi, e1, e2, p1, p2, fi1, fi2, fo1, fo2,
+        // fi, fo, zrel, ov, fz, xin, yin, zring, wc-in, mis = 20; plus wc
+        // and 4n partial sums.
+        assert_eq!(sys.algebraics.len(), 20 * cfg.rollers + 1 + 4 * cfg.rollers);
+    }
+
+    #[test]
+    fn scc_structure_matches_the_2d_story() {
+        // Like the 2D model (Fig. 6): everything but the revolutions
+        // counter in one SCC.
+        let dep = build_dependency_graph(&ir(&Bearing3dConfig::default()));
+        let part = partition_by_scc(&dep);
+        let sizes = part.scc_sizes();
+        assert_eq!(sizes.len(), 2, "{sizes:?}");
+        assert_eq!(sizes[1], 1);
+    }
+
+    #[test]
+    fn heavier_than_the_2d_model() {
+        let flops3d: u64 = ir(&Bearing3dConfig::default())
+            .inlined_rhs()
+            .iter()
+            .map(om_expr::flops)
+            .sum();
+        let flops2d: u64 = crate::bearing2d::ir(&crate::bearing2d::BearingConfig::default())
+            .inlined_rhs()
+            .iter()
+            .map(om_expr::flops)
+            .sum();
+        assert!(
+            flops3d > 2 * flops2d,
+            "3D {flops3d} flops vs 2D {flops2d}"
+        );
+    }
+
+    #[test]
+    fn short_simulation_is_physical() {
+        let cfg = Bearing3dConfig::default();
+        let sys = ir(&cfg);
+        let reference = om_ir::IrEvaluator::new(&sys).unwrap();
+        let mut wrapped = FnSystem::new(sys.dim(), move |t, y: &[f64], d: &mut [f64]| {
+            reference.rhs(t, y, d);
+        });
+        let tol = Tolerances {
+            rtol: 1e-6,
+            atol: 1e-10,
+            max_steps: 5_000_000,
+            ..Tolerances::default()
+        };
+        let sol = dopri5(&mut wrapped, 0.0, &sys.initial_state(), 2e-3, &tol).unwrap();
+        let yv = sol.y_end();
+        assert!(yv.iter().all(|v| v.is_finite()));
+        // Radial load pushes the ring down; axial load pushes it back
+        // against the flanges.
+        let y_idx = sys.find_state("y").unwrap();
+        assert!(yv[y_idx] < 0.0 && yv[y_idx] > -3.0e-4, "y = {}", yv[y_idx]);
+        let zr_idx = sys.find_state("zr").unwrap();
+        assert!(yv[zr_idx] < 0.0 && yv[zr_idx] > -3.0e-4, "zr = {}", yv[zr_idx]);
+        // The shaft keeps spinning.
+        let wi_idx = sys.find_state("wi").unwrap();
+        assert!(yv[wi_idx] > 50.0);
+    }
+
+    #[test]
+    fn misalignment_induces_tilt() {
+        // With misalignment the loaded rollers develop tilt; without it
+        // (and zero skew) they stay flat.
+        let run = |mis: f64| {
+            let cfg = Bearing3dConfig {
+                misalignment: mis,
+                ..Bearing3dConfig::default()
+            };
+            let sys = ir(&cfg);
+            let reference = om_ir::IrEvaluator::new(&sys).unwrap();
+            let mut wrapped = FnSystem::new(sys.dim(), move |t, y: &[f64], d: &mut [f64]| {
+                reference.rhs(t, y, d);
+            });
+            let tol = Tolerances {
+                rtol: 1e-6,
+                atol: 1e-10,
+                max_steps: 5_000_000,
+                ..Tolerances::default()
+            };
+            let sol =
+                dopri5(&mut wrapped, 0.0, &sys.initial_state(), 2e-3, &tol).unwrap();
+            (1..=cfg.rollers)
+                .map(|k| {
+                    let idx = sys.find_state(&format!("w{k}.tilt")).unwrap();
+                    sol.y_end()[idx].abs()
+                })
+                .fold(0.0f64, f64::max)
+        };
+        let tilted = run(5.0e-4);
+        let straight = run(0.0);
+        assert!(
+            tilted > 10.0 * straight.max(1e-12),
+            "tilt {tilted} vs straight {straight}"
+        );
+    }
+
+    #[test]
+    fn axial_load_is_carried_by_flanges() {
+        let cfg = Bearing3dConfig::default();
+        let sys = ir(&cfg);
+        let reference = om_ir::IrEvaluator::new(&sys).unwrap();
+        let r2 = om_ir::IrEvaluator::new(&sys).unwrap();
+        let mut wrapped = FnSystem::new(sys.dim(), move |t, y: &[f64], d: &mut [f64]| {
+            r2.rhs(t, y, d);
+        });
+        let tol = Tolerances {
+            rtol: 1e-6,
+            atol: 1e-10,
+            max_steps: 5_000_000,
+            ..Tolerances::default()
+        };
+        let sol = dopri5(&mut wrapped, 0.0, &sys.initial_state(), 3e-3, &tol).unwrap();
+        let mut d = vec![0.0; sys.dim()];
+        reference.rhs(sol.t_end(), sol.y_end(), &mut d);
+        let vzr = sys.find_state("vzr").unwrap();
+        // Settled axially: residual acceleration well below the load.
+        assert!(
+            d[vzr].abs() < 0.5 * cfg.axial_load,
+            "axial residual {}",
+            d[vzr]
+        );
+    }
+}

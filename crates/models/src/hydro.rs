@@ -1,0 +1,205 @@
+//! The hydroelectric power plant model (paper §2.5, Figure 3).
+//!
+//! "An ObjectMath model of a hydroelectric power plant has been created,
+//! including objects like turbines, spillways, dams, and regulators. The
+//! model is based on an actual Swedish power plant, Älvkarleby Kraftverk
+//! … The focus is on water levels and water flow through the plant."
+//!
+//! Structure engineered to reproduce the Figure 3 dependency shape:
+//!
+//! * **main SCC (~15 equations)** — dam surface level, plant regulator
+//!   (with integral part `Regulator.IPart`), six gate groups `G1..G6`
+//!   each contributing a throttle flow and a local governor integral
+//!   part (`Gi.IPart`), all coupled through the common head and the
+//!   regulating feedback;
+//! * **actuator SCC (5 equations)** — the `Gate.Angle` servo chain of
+//!   five mechanically linked actuator sections (ring coupling), feeding
+//!   the throttles one-way (so it sits upstream in the pipeline);
+//! * **peripheral singletons** — inflow relaxation state (upstream),
+//!   tail-race volume and produced-energy integrators (downstream).
+
+use om_ir::OdeIr;
+
+/// Number of gate/turbine groups (fixed by the plant).
+pub const N_GATES: usize = 6;
+
+/// Number of linked actuator sections in the gate-angle servo.
+pub const N_ANGLE_SECTIONS: usize = 5;
+
+/// ObjectMath source of the hydro plant model.
+pub fn source() -> String {
+    "
+    class Gate;
+      parameter Real cq = 1.1;          // discharge coefficient
+      parameter Real ki = 0.4;          // governor integral gain
+      parameter Real qref = 0.8;        // local flow set point
+      Real ipart(start = 0.0);          // governor integral part
+      Real throttle;                    // throttle opening, 0..1
+      Real q;                           // flow through the gate
+      Real head;                        // supplied by the dam
+      Real trim;                        // supplied by the plant regulator
+      Real angle;                       // supplied by the actuator chain
+      equation
+        q = cq * throttle * angle * sqrt(max(head, 0.0));
+        throttle = max(0.0, min(1.0, ipart));
+        der(ipart) = ki * (qref + trim - q);
+    end Gate;
+
+    class AngleServo;
+      parameter Real tau = 2.0;         // actuator time constant
+      parameter Real link = 0.6;        // mechanical linkage stiffness
+      parameter Real cmd = 1.0;         // commanded opening
+      Real[5] a(start = 1.0);           // linked section angles
+      equation
+        der(a[1]) = (cmd - a[1])/tau + link*(a[2] - a[1]);
+        for k in 2:4 loop
+          der(a[k]) = (cmd - a[k])/tau + link*(a[k+1] + a[k-1] - 2.0*a[k]);
+        end for;
+        der(a[5]) = (cmd - a[5])/tau + link*(a[4] - a[5]);
+    end AngleServo;
+
+    class Regulator;
+      parameter Real ki = 0.05;
+      parameter Real kp = 0.6;
+      parameter Real href = 10.0;       // level set point
+      Real ipart(start = 0.0);
+      Real out;
+      Real level;                       // supplied by the dam
+      equation
+        out = kp*(level - href) + ipart;
+        der(ipart) = ki * (level - href);
+    end Regulator;
+
+    model HydroPlant;
+      parameter Real area = 80.0;       // dam surface area
+      parameter Real qin0 = 5.0;        // nominal inflow
+      parameter Real tin = 20.0;        // inflow relaxation time
+      parameter Real eta = 8.5;         // energy conversion factor
+
+      part Gate g1; part Gate g2; part Gate g3;
+      part Gate g4; part Gate g5; part Gate g6;
+      part AngleServo servo;
+      part Regulator reg;
+
+      Real level(start = 10.5);         // dam surface level
+      Real inflow(start = 6.0);         // upstream inflow (relaxes to qin0)
+      Real qtotal;                      // total outflow
+      Real tailrace(start = 0.0);       // downstream volume integrator
+      Real energy(start = 0.0);         // produced energy integrator
+
+      equation
+        // Upstream singleton: inflow relaxation.
+        der(inflow) = (qin0 - inflow)/tin;
+
+        // Main coupled system: level <-> flows <-> regulators.
+        qtotal = g1.q + g2.q + g3.q + g4.q + g5.q + g6.q;
+        area * der(level) = inflow - qtotal;
+        reg.level = level;
+        g1.head = level; g2.head = level; g3.head = level;
+        g4.head = level; g5.head = level; g6.head = level;
+        g1.trim = reg.out; g2.trim = reg.out; g3.trim = reg.out;
+        g4.trim = reg.out; g5.trim = reg.out; g6.trim = reg.out;
+
+        // One-way feed from the actuator chain (averaged sections).
+        g1.angle = servo.a[1]; g2.angle = servo.a[2]; g3.angle = servo.a[3];
+        g4.angle = servo.a[4]; g5.angle = servo.a[5];
+        g6.angle = (servo.a[1] + servo.a[5])/2.0;
+
+        // Downstream singletons.
+        der(tailrace) = qtotal;
+        der(energy) = eta * qtotal * max(level, 0.0);
+    end HydroPlant;
+    "
+    .to_owned()
+}
+
+/// Compiled internal form.
+pub fn ir() -> OdeIr {
+    crate::compile_to_ir(&source()).expect("hydro plant compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_analysis::{build_dependency_graph, partition_by_scc};
+    use om_solver::{dopri5, FnSystem, Tolerances};
+
+    #[test]
+    fn dimensions() {
+        let sys = ir();
+        // States: 6 gate iparts + 5 servo sections + reg.ipart + level +
+        // inflow + tailrace + energy = 16.
+        assert_eq!(sys.dim(), 16);
+        // Algebraics: per gate q, throttle, head, trim, angle (5×6) +
+        // reg.out + reg.level + qtotal = 33.
+        assert_eq!(sys.algebraics.len(), 33);
+    }
+
+    #[test]
+    fn scc_structure_matches_figure_3() {
+        let dep = build_dependency_graph(&ir());
+        let part = partition_by_scc(&dep);
+        let sizes = part.scc_sizes();
+        // One dominant SCC in the mid-teens-to-thirties (level + flows +
+        // regulators with their algebraic equations), one 5-element
+        // actuator SCC, and several singletons.
+        assert!(sizes[0] >= 15, "main SCC too small: {sizes:?}");
+        assert!(
+            sizes.contains(&N_ANGLE_SECTIONS),
+            "no 5-element actuator SCC: {sizes:?}"
+        );
+        let singletons = sizes.iter().filter(|&&s| s == 1).count();
+        assert!(singletons >= 3, "expected peripheral singletons: {sizes:?}");
+        // Pipeline: actuator chain upstream of the main system.
+        assert!(part.levels.len() >= 2);
+    }
+
+    #[test]
+    fn plant_regulates_the_level_toward_the_set_point() {
+        let sys = ir();
+        let reference = om_ir::IrEvaluator::new(&sys).unwrap();
+        let mut wrapped = FnSystem::new(sys.dim(), move |t, y: &[f64], d: &mut [f64]| {
+            reference.rhs(t, y, d);
+        });
+        let tol = Tolerances {
+            rtol: 1e-6,
+            atol: 1e-8,
+            ..Tolerances::default()
+        };
+        let sol = dopri5(&mut wrapped, 0.0, &sys.initial_state(), 400.0, &tol).unwrap();
+        let level = sys.find_state("level").unwrap();
+        let l_end = sol.y_end()[level];
+        assert!(
+            (l_end - 10.0).abs() < 0.5,
+            "level did not regulate: {l_end}"
+        );
+        // Energy and tailrace integrals increase monotonically.
+        let energy = sys.find_state("energy").unwrap();
+        assert!(sol.y_end()[energy] > 0.0);
+    }
+
+    #[test]
+    fn angle_servo_settles_to_command() {
+        let sys = ir();
+        let reference = om_ir::IrEvaluator::new(&sys).unwrap();
+        let mut wrapped = FnSystem::new(sys.dim(), move |t, y: &[f64], d: &mut [f64]| {
+            reference.rhs(t, y, d);
+        });
+        let sol = dopri5(
+            &mut wrapped,
+            0.0,
+            &sys.initial_state(),
+            40.0,
+            &Tolerances::default(),
+        )
+        .unwrap();
+        for k in 1..=N_ANGLE_SECTIONS {
+            let idx = sys.find_state(&format!("servo.a[{k}]")).unwrap();
+            assert!(
+                (sol.y_end()[idx] - 1.0).abs() < 1e-2,
+                "section {k}: {}",
+                sol.y_end()[idx]
+            );
+        }
+    }
+}

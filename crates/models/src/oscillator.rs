@@ -1,0 +1,53 @@
+//! The Figure 11 example: `x'[t] == y[t], y'[t] == −x[t]`.
+
+use om_ir::OdeIr;
+
+/// ObjectMath source of the harmonic oscillator.
+pub fn source() -> String {
+    "model Oscillator;
+       Real x(start = 1.0);
+       Real y(start = 0.0);
+       equation
+         der(x) = y;
+         der(y) = -x;
+     end Oscillator;
+    "
+    .to_owned()
+}
+
+/// Compiled internal form.
+pub fn ir() -> OdeIr {
+    crate::compile_to_ir(&source()).expect("oscillator compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_solver::{rk4, FnSystem};
+
+    #[test]
+    fn has_two_states_and_no_algebraics() {
+        let sys = ir();
+        assert_eq!(sys.dim(), 2);
+        assert!(sys.algebraics.is_empty());
+        assert_eq!(sys.initial_state(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn solution_is_cosine() {
+        let sys = ir();
+        let reference = om_ir::IrEvaluator::new(&sys).unwrap();
+        let mut wrapped = FnSystem::new(2, move |t, y: &[f64], d: &mut [f64]| {
+            reference.rhs(t, y, d);
+        });
+        let t_end = std::f64::consts::PI; // half a period: x = −1
+        let sol = rk4(&mut wrapped, 0.0, &sys.initial_state(), t_end, 1e-3).unwrap();
+        assert!((sol.y_end()[0] + 1.0).abs() < 1e-8, "{:?}", sol.y_end());
+    }
+
+    #[test]
+    fn is_one_scc() {
+        let dep = om_analysis::build_dependency_graph(&ir());
+        assert_eq!(dep.graph.tarjan_scc().count(), 1);
+    }
+}

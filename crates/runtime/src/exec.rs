@@ -1,0 +1,440 @@
+//! Real-thread supervisor/worker executor.
+//!
+//! The supervisor (the thread driving the ODE solver) owns a pool of
+//! worker threads (paper Figure 10). Each RHS evaluation:
+//!
+//! 1. broadcast `(t, y)` to every worker (an `Arc`, standing in for the
+//!    shared-memory/message-passing state transfer),
+//! 2. workers execute their assigned bytecode tasks level by level
+//!    (levels only exist when the task graph has dependencies),
+//! 3. workers send `(slot, value)` results back; the supervisor scatters
+//!    them into the derivative vector and the shared-slot array.
+//!
+//! Workers time each task with a monotonic clock; the measurements feed
+//! the semi-dynamic LPT rescheduler ([`crate::sched_dyn`]).
+//!
+//! An artificial per-message spin latency can be injected to emulate a
+//! slower interconnect on the host machine (used by the latency-
+//! sensitivity experiments; the deterministic counterpart is
+//! [`crate::sim`]).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use om_codegen::task::{OutSlot, TaskGraph};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A job broadcast to one worker: evaluate `tasks` at `(t, y)` with the
+/// current shared-slot values.
+struct Job {
+    t: f64,
+    y: Arc<Vec<f64>>,
+    shared: Arc<Vec<f64>>,
+    tasks: Vec<usize>,
+}
+
+/// Worker → supervisor result message.
+struct Done {
+    worker: usize,
+    /// `(output slot, value)` pairs.
+    outputs: Vec<(OutSlot, f64)>,
+    /// `(task id, elapsed)` measurements.
+    timings: Vec<(usize, Duration)>,
+}
+
+struct WorkerHandle {
+    job_tx: Sender<Job>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The supervisor-side handle to the worker pool.
+pub struct WorkerPool {
+    graph: Arc<TaskGraph>,
+    workers: Vec<WorkerHandle>,
+    done_rx: Receiver<Done>,
+    /// task → worker.
+    assignment: Vec<usize>,
+    /// Tasks grouped by dependency level.
+    levels: Vec<Vec<usize>>,
+    /// Artificial one-way latency injected per message.
+    pub message_latency: Duration,
+    /// Last measured per-task times (seconds), EWMA-smoothed.
+    pub measured: Vec<f64>,
+    shared_scratch: Vec<f64>,
+}
+
+fn spin(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+impl WorkerPool {
+    /// Spawn `n_workers` workers for `graph` with the given initial
+    /// assignment.
+    pub fn new(graph: TaskGraph, n_workers: usize, assignment: Vec<usize>) -> WorkerPool {
+        assert!(n_workers >= 1);
+        assert_eq!(assignment.len(), graph.tasks.len());
+        assert!(assignment.iter().all(|&w| w < n_workers));
+        let graph = Arc::new(graph);
+        let (done_tx, done_rx) = unbounded::<Done>();
+        let mut workers = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let (job_tx, job_rx) = unbounded::<Job>();
+            let graph2 = Arc::clone(&graph);
+            let done_tx2 = done_tx.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("om-worker-{w}"))
+                .spawn(move || worker_main(w, &graph2, &job_rx, &done_tx2))
+                .expect("spawn worker thread");
+            workers.push(WorkerHandle {
+                job_tx,
+                join: Some(join),
+            });
+        }
+        let levels = level_order(&graph);
+        let measured = graph
+            .tasks
+            .iter()
+            .map(|t| t.static_cost as f64 * 1e-9)
+            .collect();
+        let n_shared = graph.n_shared;
+        WorkerPool {
+            graph,
+            workers,
+            done_rx,
+            assignment,
+            levels,
+            message_latency: Duration::ZERO,
+            measured,
+            shared_scratch: vec![0.0; n_shared],
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The task graph being executed.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// Current task → worker assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Replace the assignment (semi-dynamic rescheduling).
+    pub fn set_assignment(&mut self, assignment: Vec<usize>) {
+        assert_eq!(assignment.len(), self.graph.tasks.len());
+        assert!(assignment.iter().all(|&w| w < self.workers.len()));
+        self.assignment = assignment;
+    }
+
+    /// Evaluate the parallel RHS: fills `dydt` (length = ODE dimension).
+    pub fn rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        assert_eq!(y.len(), self.graph.dim);
+        assert_eq!(dydt.len(), self.graph.dim);
+        let y = Arc::new(y.to_vec());
+        self.shared_scratch.iter_mut().for_each(|v| *v = 0.0);
+
+        // Levels execute with a barrier between them; within a level,
+        // all workers run concurrently.
+        let n_levels = self.levels.len();
+        for lvl in 0..n_levels {
+            let shared = Arc::new(self.shared_scratch.clone());
+            let mut expected = 0usize;
+            for w in 0..self.workers.len() {
+                let tasks: Vec<usize> = self.levels[lvl]
+                    .iter()
+                    .copied()
+                    .filter(|&tid| self.assignment[tid] == w)
+                    .collect();
+                if tasks.is_empty() {
+                    continue;
+                }
+                spin(self.message_latency);
+                self.workers[w]
+                    .job_tx
+                    .send(Job {
+                        t,
+                        y: Arc::clone(&y),
+                        shared: Arc::clone(&shared),
+                        tasks,
+                    })
+                    .expect("worker alive");
+                expected += 1;
+            }
+            for _ in 0..expected {
+                let done = self.done_rx.recv().expect("worker alive");
+                spin(self.message_latency);
+                for (slot, value) in done.outputs {
+                    match slot {
+                        OutSlot::Deriv(i) => dydt[i] = value,
+                        OutSlot::Shared(i) => self.shared_scratch[i] = value,
+                    }
+                }
+                for (task, elapsed) in done.timings {
+                    // EWMA of measured task times (paper §3.2.3: elapsed
+                    // times from the previous iteration predict the next).
+                    let secs = elapsed.as_secs_f64();
+                    let old = self.measured[task];
+                    self.measured[task] = if old == 0.0 { secs } else { 0.8 * old + 0.2 * secs };
+                }
+                let _ = done.worker;
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the job channels, then join.
+        for w in &mut self.workers {
+            let (dead_tx, _) = unbounded();
+            w.job_tx = dead_tx;
+        }
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+fn worker_main(
+    worker_id: usize,
+    graph: &TaskGraph,
+    job_rx: &Receiver<Job>,
+    done_tx: &Sender<Done>,
+) {
+    // One register file sized for the largest task program.
+    let max_regs = graph
+        .tasks
+        .iter()
+        .map(|t| t.program.n_regs as usize)
+        .max()
+        .unwrap_or(0);
+    let mut regs = vec![0.0f64; max_regs];
+    let mut out_buf: Vec<f64> = Vec::new();
+    while let Ok(job) = job_rx.recv() {
+        let mut outputs = Vec::new();
+        let mut timings = Vec::with_capacity(job.tasks.len());
+        for &tid in &job.tasks {
+            let task = &graph.tasks[tid];
+            out_buf.resize(task.program.outputs.len(), 0.0);
+            let start = Instant::now();
+            om_codegen::vm::execute_with_regs(
+                &task.program,
+                job.t,
+                &job.y,
+                &job.shared,
+                &mut out_buf,
+                &mut regs,
+            );
+            timings.push((tid, start.elapsed()));
+            for (value, slot) in out_buf.iter().zip(&task.writes) {
+                outputs.push((*slot, *value));
+            }
+        }
+        if done_tx
+            .send(Done {
+                worker: worker_id,
+                outputs,
+                timings,
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// Group task ids by dependency level (level 0 = no deps).
+fn level_order(graph: &TaskGraph) -> Vec<Vec<usize>> {
+    let n = graph.tasks.len();
+    let mut level = vec![0usize; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            for &d in &graph.deps[i] {
+                if level[i] < level[d] + 1 {
+                    level[i] = level[d] + 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+    let n_levels = level.iter().copied().max().unwrap_or(0) + 1;
+    let mut out = vec![Vec::new(); n_levels];
+    for (i, &l) in level.iter().enumerate() {
+        out[l].push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_codegen::cse::CseMode;
+    use om_codegen::task::{compile_tasks, equation_tasks};
+    use om_codegen::{CodeGenerator, GenOptions};
+    use om_expr::CostModel;
+    use om_ir::causalize;
+
+    fn graph(src: &str, inline: bool) -> (om_ir::OdeIr, TaskGraph) {
+        let ir = causalize(&om_lang::compile(src).unwrap()).unwrap();
+        let g = compile_tasks(
+            &equation_tasks(&ir, inline),
+            &ir,
+            CseMode::PerTask,
+            &CostModel::default(),
+        );
+        (ir, g)
+    }
+
+    const MODEL: &str = "model M;
+        Real x(start=0.4); Real v(start=-0.3); Real f;
+        equation
+          der(x) = v;
+          der(v) = f;
+          f = -sin(x)*4.0 - 0.2*v + cos(time);
+        end M;";
+
+    #[test]
+    fn parallel_rhs_matches_reference() {
+        let (ir, g) = graph(MODEL, true);
+        let reference = om_ir::IrEvaluator::new(&ir).unwrap();
+        let costs: Vec<u64> = g.tasks.iter().map(|t| t.static_cost).collect();
+        let sched = om_codegen::lpt(&costs, 2);
+        let mut pool = WorkerPool::new(g, 2, sched.assignment);
+        let y = [0.4, -0.3];
+        let mut expect = [0.0; 2];
+        let mut got = [0.0; 2];
+        reference.rhs(1.1, &y, &mut expect);
+        pool.rhs(1.1, &y, &mut got);
+        for i in 0..2 {
+            assert!((expect[i] - got[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dependent_graph_executes_level_by_level() {
+        let (ir, g) = graph(MODEL, false);
+        assert!(!g.is_independent());
+        let reference = om_ir::IrEvaluator::new(&ir).unwrap();
+        let sched =
+            om_codegen::list_schedule(&g.tasks.iter().map(|t| t.static_cost).collect::<Vec<_>>(),
+                &g.deps, 3);
+        let mut pool = WorkerPool::new(g, 3, sched.assignment);
+        let y = [0.4, -0.3];
+        let mut expect = [0.0; 2];
+        let mut got = [0.0; 2];
+        reference.rhs(0.5, &y, &mut expect);
+        pool.rhs(0.5, &y, &mut got);
+        for i in 0..2 {
+            assert!((expect[i] - got[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn repeated_calls_are_stable_and_measure_timings() {
+        let (_, g) = graph(MODEL, true);
+        let n_tasks = g.tasks.len();
+        let mut pool = WorkerPool::new(g, 2, vec![0, 1]);
+        let mut dydt = [0.0; 2];
+        for k in 0..50 {
+            let t = k as f64 * 0.01;
+            pool.rhs(t, &[0.4, -0.3], &mut dydt);
+        }
+        assert_eq!(pool.measured.len(), n_tasks);
+        assert!(pool.measured.iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn reassignment_midstream_is_seamless() {
+        let (ir, g) = graph(MODEL, true);
+        let reference = om_ir::IrEvaluator::new(&ir).unwrap();
+        let mut pool = WorkerPool::new(g, 2, vec![0, 0]);
+        let y = [0.1, 0.9];
+        let mut expect = [0.0; 2];
+        reference.rhs(0.0, &y, &mut expect);
+        let mut got = [0.0; 2];
+        pool.rhs(0.0, &y, &mut got);
+        assert_eq!(got, expect);
+        pool.set_assignment(vec![1, 0]);
+        let mut got2 = [0.0; 2];
+        pool.rhs(0.0, &y, &mut got2);
+        assert_eq!(got2, expect);
+    }
+
+    #[test]
+    fn injected_latency_slows_the_call() {
+        let (_, g) = graph(MODEL, true);
+        let mut pool = WorkerPool::new(g, 2, vec![0, 1]);
+        let mut dydt = [0.0; 2];
+        // Warm up.
+        pool.rhs(0.0, &[0.1, 0.2], &mut dydt);
+        let start = Instant::now();
+        for _ in 0..20 {
+            pool.rhs(0.0, &[0.1, 0.2], &mut dydt);
+        }
+        let fast = start.elapsed();
+        pool.message_latency = Duration::from_micros(500);
+        let start = Instant::now();
+        for _ in 0..20 {
+            pool.rhs(0.0, &[0.1, 0.2], &mut dydt);
+        }
+        let slow = start.elapsed();
+        assert!(slow > fast, "latency had no effect: {fast:?} vs {slow:?}");
+    }
+
+    #[test]
+    fn many_workers_with_few_tasks() {
+        let (ir, g) = graph(MODEL, true);
+        let reference = om_ir::IrEvaluator::new(&ir).unwrap();
+        let mut pool = WorkerPool::new(g, 8, vec![3, 6]);
+        let y = [0.4, -0.3];
+        let mut expect = [0.0; 2];
+        let mut got = [0.0; 2];
+        reference.rhs(2.0, &y, &mut expect);
+        pool.rhs(2.0, &y, &mut got);
+        for i in 0..2 {
+            assert!((expect[i] - got[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn generator_pipeline_with_all_extensions_runs_in_pool() {
+        let src = "model M;
+            Real x(start=0.2); Real y(start=0.3);
+            equation
+              der(x) = exp(sin(x) + cos(y)) + y*y;
+              der(y) = exp(sin(x) + cos(y)) - x;
+            end M;";
+        let ir = causalize(&om_lang::compile(src).unwrap()).unwrap();
+        let reference = om_ir::IrEvaluator::new(&ir).unwrap();
+        let generator = CodeGenerator::new(GenOptions {
+            extract_shared_min_cost: Some(40),
+            split_threshold: Some(60),
+            ..GenOptions::default()
+        });
+        let program = generator.generate(&ir);
+        let sched = program.schedule(3);
+        let mut pool = WorkerPool::new(program.graph, 3, sched.assignment);
+        let y = [0.2, 0.3];
+        let mut expect = [0.0; 2];
+        let mut got = [0.0; 2];
+        reference.rhs(0.0, &y, &mut expect);
+        pool.rhs(0.0, &y, &mut got);
+        for i in 0..2 {
+            assert!((expect[i] - got[i]).abs() < 1e-10);
+        }
+    }
+}

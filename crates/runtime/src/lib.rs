@@ -1,0 +1,44 @@
+//! # om-runtime — the parallel runtime system
+//!
+//! Reproduces the runtime of paper §3.2 (Figure 10): a *supervisor*
+//! (the ODE solver process) farms the equation-level tasks of the
+//! generated `RHS` out to *workers*, gathers the derivative values, and
+//! re-balances the schedule semi-dynamically from measured task times.
+//!
+//! Two execution substrates:
+//!
+//! * [`exec`] — a real thread pool (crossbeam channels). Every RHS call
+//!   broadcasts the state vector to the workers, executes each worker's
+//!   tasks in the bytecode VM, and gathers derivatives. Artificial
+//!   per-message latency can be injected to emulate slower fabrics on a
+//!   fast host.
+//! * [`sim`] — a deterministic machine model that *computes* the time one
+//!   RHS call takes on a parametrized machine (per-message latency,
+//!   bandwidth, flop rate, core count, time-sharing). This replaces the
+//!   paper's Parsytec GC/PP and SPARCcenter 2000 hardware; see
+//!   [`machine`] for the calibrated presets and DESIGN.md for the
+//!   substitution argument.
+//!
+//! [`pipeline`] implements the paper's §2.1 pipeline parallelism between
+//! equation subsystems: stages on separate threads, continuously passing
+//! state snapshots downstream.
+//!
+//! [`sched_dyn`] implements the semi-dynamic LPT rescheduler ("we are
+//! using the elapsed times for right-hand side evaluations during the
+//! previous iteration step to predict the execution times during the
+//! next step", §3.2.3) and tracks its own overhead, which experiment E6
+//! compares against the paper's <1 % claim.
+
+pub mod exec;
+pub mod machine;
+pub mod pipeline;
+pub mod rhs;
+pub mod sched_dyn;
+pub mod sim;
+
+pub use exec::WorkerPool;
+pub use machine::MachineSpec;
+pub use pipeline::{run_pipeline, PipelineCoupling, PipelineResult, PipelineStage};
+pub use rhs::ParallelRhs;
+pub use sched_dyn::SemiDynamicScheduler;
+pub use sim::{simulate_rhs_time, SimBreakdown};

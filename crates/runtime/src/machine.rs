@@ -1,0 +1,143 @@
+//! Parametrized machine models.
+//!
+//! The paper's measurements (§3.2.2, §4) give the calibration points:
+//!
+//! * **Parsytec GC/PP** — distributed-memory MIMD, 64 nodes of two
+//!   PowerPC 601 processors; "a message of 1 byte takes … 140 µs … on
+//!   the distributed memory machine".
+//! * **SPARCcenter 2000** — shared-memory MIMD, 8 processors; 1-byte
+//!   message latency 4 µs; "since the computer have a time-sharing
+//!   operating system (UNIX) we can not exploit the whole machine —
+//!   hence the 'knee' at the end of the speedup curve".
+//!
+//! Flop rates are set to mid-1990s values for the respective CPUs; the
+//! experiments report *shapes* (speedup vs workers), which depend on the
+//! latency/compute ratio rather than the absolute rates.
+
+/// A machine description used by the simulated-time executor.
+#[derive(Clone, Debug)]
+pub struct MachineSpec {
+    pub name: &'static str,
+    /// One-way latency per message, seconds.
+    pub latency: f64,
+    /// Sender-side occupancy per message (serialization at the
+    /// supervisor), seconds.
+    pub send_overhead: f64,
+    /// Bytes per second on a link.
+    pub bandwidth: f64,
+    /// Seconds per flop of one processor.
+    pub sec_per_flop: f64,
+    /// Number of processors available to the application.
+    pub cores: usize,
+    /// Fraction of a processor stolen by the time-sharing OS and other
+    /// users once the machine is fully subscribed (the SPARC "knee").
+    pub timeshare_penalty: f64,
+    /// Whether the fabric implements collective operations as log-depth
+    /// trees (scatter/gather) instead of serializing all messages at the
+    /// supervisor. 1995 message-passing machines broadcast serially from
+    /// the host process, which is what the evaluated system did; set this
+    /// for projected large machines.
+    pub tree_collectives: bool,
+}
+
+impl MachineSpec {
+    /// The Parsytec GC/PP (distributed memory, 140 µs message latency).
+    pub fn parsytec_gcpp() -> MachineSpec {
+        MachineSpec {
+            name: "Parsytec GC/PP",
+            latency: 140e-6,
+            send_overhead: 30e-6,
+            // Effective T805 link throughput after store-and-forward
+            // routing; the raw link rate is ~1.7 MB/s per direction but
+            // several links run in parallel.
+            bandwidth: 4.5e6,
+            // PowerPC 601 @ 80 MHz, ~40 Mflop/s sustained on RHS code.
+            sec_per_flop: 1.0 / 40e6,
+            cores: 64,
+            timeshare_penalty: 0.0,
+            tree_collectives: false,
+        }
+    }
+
+    /// The SPARCcenter 2000 (shared memory, 4 µs message latency,
+    /// 8 processors, time-sharing UNIX).
+    pub fn sparc_center_2000() -> MachineSpec {
+        MachineSpec {
+            name: "SPARCcenter 2000",
+            latency: 4e-6,
+            send_overhead: 1e-6,
+            bandwidth: 100e6,
+            // SuperSPARC @ 50 MHz, ~25 Mflop/s sustained.
+            sec_per_flop: 1.0 / 25e6,
+            cores: 8,
+            timeshare_penalty: 0.35,
+            tree_collectives: false,
+        }
+    }
+
+    /// An idealized zero-latency machine (upper bound / ablation).
+    pub fn ideal(cores: usize) -> MachineSpec {
+        MachineSpec {
+            name: "ideal",
+            latency: 0.0,
+            send_overhead: 0.0,
+            bandwidth: f64::INFINITY,
+            sec_per_flop: 1.0 / 40e6,
+            cores,
+            timeshare_penalty: 0.0,
+            tree_collectives: true,
+        }
+    }
+
+    /// Time to move one message of `bytes` across a link (excluding
+    /// sender occupancy).
+    pub fn wire_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Effective compute slowdown when `used` processors are requested:
+    /// 1.0 while the machine has head-room, degraded when fully
+    /// subscribed (time-sharing OS, paper §4).
+    pub fn timeshare_factor(&self, used: usize) -> f64 {
+        if used < self.cores {
+            1.0
+        } else {
+            let oversub = used as f64 / self.cores as f64;
+            oversub * (1.0 + self.timeshare_penalty)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_latencies() {
+        assert_eq!(MachineSpec::parsytec_gcpp().latency, 140e-6);
+        assert_eq!(MachineSpec::sparc_center_2000().latency, 4e-6);
+        assert_eq!(MachineSpec::sparc_center_2000().cores, 8);
+    }
+
+    #[test]
+    fn wire_time_includes_bandwidth_term() {
+        let m = MachineSpec::parsytec_gcpp();
+        assert!(m.wire_time(8000) > m.wire_time(8));
+        assert!((m.wire_time(0) - m.latency).abs() < 1e-18);
+    }
+
+    #[test]
+    fn timesharing_kicks_in_at_full_subscription() {
+        let m = MachineSpec::sparc_center_2000();
+        assert_eq!(m.timeshare_factor(7), 1.0);
+        assert!(m.timeshare_factor(8) > 1.0);
+        assert!(m.timeshare_factor(12) > m.timeshare_factor(8));
+    }
+
+    #[test]
+    fn ideal_machine_is_free_to_communicate() {
+        let m = MachineSpec::ideal(16);
+        assert_eq!(m.wire_time(1_000_000), 0.0);
+        assert_eq!(m.timeshare_factor(100), 100.0 / 16.0);
+    }
+}

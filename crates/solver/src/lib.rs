@@ -1,0 +1,37 @@
+//! # om-solver — numerical ODE solvers
+//!
+//! The reproduction of the solver layer the paper takes from ODEPACK
+//! (§3.2.1): "We have used a solver named LSODA … one of the solvers
+//! which implements BDF (backward differentiation formulas) methods,
+//! which are usually used to solve stiff ODEs." LSODA couples an Adams
+//! predictor-corrector (non-stiff) with BDF (stiff) and switches
+//! automatically; this crate implements both families, the switching
+//! driver, explicit Runge-Kutta methods, the dense linear algebra the
+//! implicit methods need, and a partitioned co-simulation driver for the
+//! equation-system-level parallelism experiments:
+//!
+//! * [`ode`] — the [`ode::OdeSystem`] trait (`ẏ = f(y, t)`, optional
+//!   user-supplied Jacobian) and solution/statistics types,
+//! * [`linalg`] — dense matrices, LU decomposition with partial pivoting,
+//! * [`rk`] — fixed-step RK4 and adaptive Dormand–Prince 5(4),
+//! * [`adams`] — Adams-Bashforth-Moulton PECE predictor-corrector,
+//! * [`mod@bdf`] — variable-step BDF(1–5) with modified Newton iteration,
+//! * [`mod@lsoda`] — the stiff/non-stiff auto-switching driver,
+//! * [`partitioned`] — co-simulation of independently-stepped subsystems
+//!   (paper §2.3: independent step sizes, smaller Jacobians).
+
+pub mod adams;
+pub mod bdf;
+pub mod linalg;
+pub mod lsoda;
+pub mod ode;
+pub mod partitioned;
+pub mod rk;
+
+pub use adams::abm4;
+pub use bdf::{bdf, BdfOptions};
+pub use linalg::{LuFactors, Matrix};
+pub use lsoda::{lsoda, LsodaOptions, Phase};
+pub use ode::{FnSystem, OdeSystem, SolveError, SolveStats, Solution, Tolerances};
+pub use partitioned::{CoSimulation, Coupling, SubsystemSpec};
+pub use rk::{dopri5, rk4};

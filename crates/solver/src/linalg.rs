@@ -1,0 +1,226 @@
+//! Dense linear algebra for the implicit solvers.
+//!
+//! The Newton iteration of BDF methods solves `(I − h·β·J)·Δ = r` each
+//! iteration; LU factorization with partial pivoting is reused across
+//! iterations (and across steps until the Jacobian is refreshed), which
+//! is where the paper's "quadratic speedup thanks to a smaller Jacobian
+//! matrix" for partitioned systems comes from (§2.3) — factorization is
+//! O(n³), back-substitution O(n²).
+
+use crate::ode::SolveError;
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    pub n_rows: usize,
+    pub n_cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Matrix {
+        Matrix {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major slice.
+    pub fn from_rows(n_rows: usize, n_cols: usize, data: &[f64]) -> Matrix {
+        assert_eq!(data.len(), n_rows * n_cols);
+        Matrix {
+            n_rows,
+            n_cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols);
+        let mut out = vec![0.0; self.n_rows];
+        for i in 0..self.n_rows {
+            let row = &self.data[i * self.n_cols..(i + 1) * self.n_cols];
+            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// LU-factorize (destructive copy) for repeated solves.
+    pub fn lu(&self) -> Result<LuFactors, SolveError> {
+        assert_eq!(self.n_rows, self.n_cols, "LU requires a square matrix");
+        LuFactors::factor(self.clone())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n_cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n_cols + j]
+    }
+}
+
+/// LU factorization with partial pivoting: `P·A = L·U`.
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    lu: Matrix,
+    pivots: Vec<usize>,
+}
+
+impl LuFactors {
+    fn factor(mut a: Matrix) -> Result<LuFactors, SolveError> {
+        let n = a.n_rows;
+        let mut pivots: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Pivot: largest magnitude in the column at or below the
+            // diagonal.
+            let mut pivot_row = col;
+            let mut best = a[(col, col)].abs();
+            for row in col + 1..n {
+                let v = a[(row, col)].abs();
+                if v > best {
+                    best = v;
+                    pivot_row = row;
+                }
+            }
+            if best == 0.0 || !best.is_finite() {
+                return Err(SolveError::SingularJacobian { t: f64::NAN });
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.data.swap(col * n + j, pivot_row * n + j);
+                }
+                pivots.swap(col, pivot_row);
+            }
+            let diag = a[(col, col)];
+            for row in col + 1..n {
+                let factor = a[(row, col)] / diag;
+                a[(row, col)] = factor;
+                for j in col + 1..n {
+                    let sub = factor * a[(col, j)];
+                    a[(row, j)] -= sub;
+                }
+            }
+        }
+        Ok(LuFactors { lu: a, pivots })
+    }
+
+    /// Solve `A·x = b`, returning `x`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.n_rows;
+        assert_eq!(b.len(), n);
+        // Apply the row permutation.
+        let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solve in place.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        let x = self.solve(b);
+        b.copy_from_slice(&x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = Matrix::identity(3);
+        let lu = a.lu().unwrap();
+        let x = lu.solve(&[1.0, 2.0, 3.0]);
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_small_system_exactly() {
+        // [2 1; 1 3]·x = [5; 10] → x = [1; 3]
+        let a = Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, 3.0]);
+        let x = a.lu().unwrap().solve(&[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // a[0][0] = 0 requires a row swap.
+        let a = Matrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let x = a.lu().unwrap().solve(&[3.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(a.lu(), Err(SolveError::SingularJacobian { .. })));
+    }
+
+    #[test]
+    fn residual_is_small_for_random_like_matrix() {
+        // Fixed pseudo-random (deterministic) 5×5 system; check A·x ≈ b.
+        let n = 5;
+        let mut a = Matrix::zeros(n, n);
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 4.0; // diagonally dominant → nonsingular
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let x = a.lu().unwrap().solve(&b);
+        let r = a.mul_vec(&x);
+        for i in 0..n {
+            assert!((r[i] - b[i]).abs() < 1e-12, "residual {i}: {} vs {}", r[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let a = Matrix::from_rows(2, 2, &[3.0, 1.0, 1.0, 2.0]);
+        let lu = a.lu().unwrap();
+        let x = lu.solve(&[9.0, 8.0]);
+        let mut b = [9.0, 8.0];
+        lu.solve_in_place(&mut b);
+        assert_eq!(b.to_vec(), x);
+    }
+}

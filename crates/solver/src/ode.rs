@@ -1,0 +1,275 @@
+//! The ODE system interface and solution types.
+
+use std::fmt;
+
+/// An initial value problem `ẏ(t) = f(y(t), t)` (paper §2.4).
+///
+/// "The function should be side-effect free to allow as much parallelism
+/// as possible to be extracted" — side-effect free with respect to the
+/// mathematical state; `&mut self` only allows implementations to keep
+/// instrumentation and scratch buffers.
+pub trait OdeSystem {
+    /// Number of state variables.
+    fn dim(&self) -> usize;
+
+    /// Compute the derivatives: `dydt = f(y, t)`. This is the paper's
+    /// `RHS` function, the target of the parallelization.
+    fn rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]);
+
+    /// Optionally fill the dense row-major Jacobian `∂f/∂y` and return
+    /// `true`. Default: not provided; implicit solvers fall back to
+    /// finite differences ("usually very expensive", §3.2.1).
+    fn jacobian(&mut self, _t: f64, _y: &[f64], _jac: &mut [f64]) -> bool {
+        false
+    }
+}
+
+/// A plain-function system (for tests and closed-form benchmarks).
+pub struct FnSystem<F: FnMut(f64, &[f64], &mut [f64])> {
+    pub dim: usize,
+    pub f: F,
+}
+
+impl<F: FnMut(f64, &[f64], &mut [f64])> FnSystem<F> {
+    pub fn new(dim: usize, f: F) -> Self {
+        FnSystem { dim, f }
+    }
+}
+
+impl<F: FnMut(f64, &[f64], &mut [f64])> OdeSystem for FnSystem<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        (self.f)(t, y, dydt)
+    }
+}
+
+/// Error and step tolerances.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Relative tolerance.
+    pub rtol: f64,
+    /// Absolute tolerance.
+    pub atol: f64,
+    /// Initial step size (0 → pick automatically).
+    pub h0: f64,
+    /// Safety cap on the number of accepted+rejected steps.
+    pub max_steps: usize,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            rtol: 1e-6,
+            atol: 1e-9,
+            h0: 0.0,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+impl Tolerances {
+    /// Weighted RMS norm of an error vector against a state (the standard
+    /// ODEPACK error norm).
+    pub fn error_norm(&self, err: &[f64], y: &[f64]) -> f64 {
+        let n = err.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let w = self.atol + self.rtol * y[i].abs();
+            let e = err[i] / w;
+            acc += e * e;
+        }
+        (acc / n as f64).sqrt()
+    }
+}
+
+/// Counters describing the work a solve did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Accepted steps.
+    pub steps: usize,
+    /// Rejected (re-done) steps.
+    pub rejected: usize,
+    /// Calls to the `RHS` function.
+    pub rhs_calls: usize,
+    /// Jacobian evaluations (analytic or finite-difference sweeps).
+    pub jac_evals: usize,
+    /// Newton iterations (implicit methods).
+    pub newton_iters: usize,
+    /// LU factorizations performed.
+    pub lu_factorizations: usize,
+}
+
+impl SolveStats {
+    /// Merge counters (for partitioned solves).
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.steps += other.steps;
+        self.rejected += other.rejected;
+        self.rhs_calls += other.rhs_calls;
+        self.jac_evals += other.jac_evals;
+        self.newton_iters += other.newton_iters;
+        self.lu_factorizations += other.lu_factorizations;
+    }
+}
+
+/// Solver failure modes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// The step size underflowed while trying to meet the tolerance.
+    StepSizeUnderflow { t: f64 },
+    /// `max_steps` exceeded before reaching `tend`.
+    TooMuchWork { t: f64, steps: usize },
+    /// A non-finite value appeared in the state.
+    NonFiniteState { t: f64 },
+    /// Newton iteration failed to converge repeatedly (implicit methods).
+    NewtonFailure { t: f64 },
+    /// The Jacobian matrix was numerically singular.
+    SingularJacobian { t: f64 },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::StepSizeUnderflow { t } => {
+                write!(f, "step size underflow at t = {t}")
+            }
+            SolveError::TooMuchWork { t, steps } => {
+                write!(f, "exceeded {steps} steps at t = {t}")
+            }
+            SolveError::NonFiniteState { t } => {
+                write!(f, "non-finite state at t = {t}")
+            }
+            SolveError::NewtonFailure { t } => {
+                write!(f, "Newton iteration failed at t = {t}")
+            }
+            SolveError::SingularJacobian { t } => {
+                write!(f, "singular iteration matrix at t = {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A computed trajectory: accepted step points plus work counters.
+#[derive(Clone, Debug, Default)]
+pub struct Solution {
+    pub ts: Vec<f64>,
+    /// `ys[k]` is the state at `ts[k]`.
+    pub ys: Vec<Vec<f64>>,
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Final time.
+    pub fn t_end(&self) -> f64 {
+        *self.ts.last().expect("solution has at least the start point")
+    }
+
+    /// Final state.
+    pub fn y_end(&self) -> &[f64] {
+        self.ys.last().expect("solution has at least the start point")
+    }
+
+    /// Linear interpolation of the state at `t` (for comparisons between
+    /// solvers with different step points).
+    pub fn sample(&self, t: f64) -> Vec<f64> {
+        let n = self.ts.len();
+        if t <= self.ts[0] {
+            return self.ys[0].clone();
+        }
+        if t >= self.ts[n - 1] {
+            return self.ys[n - 1].clone();
+        }
+        let k = self.ts.partition_point(|&x| x < t).max(1);
+        let (t0, t1) = (self.ts[k - 1], self.ts[k]);
+        let w = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+        self.ys[k - 1]
+            .iter()
+            .zip(&self.ys[k])
+            .map(|(a, b)| a + w * (b - a))
+            .collect()
+    }
+
+    /// Average accepted step size.
+    pub fn mean_step(&self) -> f64 {
+        if self.ts.len() < 2 {
+            return 0.0;
+        }
+        (self.t_end() - self.ts[0]) / (self.ts.len() - 1) as f64
+    }
+}
+
+/// Check a state vector for non-finite entries.
+pub(crate) fn check_finite(t: f64, y: &[f64]) -> Result<(), SolveError> {
+    if y.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(SolveError::NonFiniteState { t })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_norm_weights_by_tolerance() {
+        let tol = Tolerances {
+            rtol: 0.1,
+            atol: 1.0,
+            ..Tolerances::default()
+        };
+        // err = weight → norm 1.
+        let y = [10.0];
+        let err = [1.0 + 0.1 * 10.0];
+        assert!((tol.error_norm(&err, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solution_sampling_interpolates() {
+        let sol = Solution {
+            ts: vec![0.0, 1.0, 2.0],
+            ys: vec![vec![0.0], vec![10.0], vec![20.0]],
+            stats: SolveStats::default(),
+        };
+        assert_eq!(sol.sample(0.5), vec![5.0]);
+        assert_eq!(sol.sample(1.5), vec![15.0]);
+        assert_eq!(sol.sample(-1.0), vec![0.0]);
+        assert_eq!(sol.sample(99.0), vec![20.0]);
+        assert_eq!(sol.mean_step(), 1.0);
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = SolveStats {
+            steps: 1,
+            rhs_calls: 4,
+            ..SolveStats::default()
+        };
+        let b = SolveStats {
+            steps: 2,
+            rhs_calls: 8,
+            newton_iters: 3,
+            ..SolveStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.steps, 3);
+        assert_eq!(a.rhs_calls, 12);
+        assert_eq!(a.newton_iters, 3);
+    }
+
+    #[test]
+    fn fn_system_wraps_closures() {
+        let mut sys = FnSystem::new(1, |_t, y: &[f64], dydt: &mut [f64]| {
+            dydt[0] = -y[0];
+        });
+        let mut d = [0.0];
+        sys.rhs(0.0, &[2.0], &mut d);
+        assert_eq!(d[0], -2.0);
+        assert_eq!(sys.dim(), 1);
+        let mut jac = [0.0];
+        assert!(!sys.jacobian(0.0, &[2.0], &mut jac));
+    }
+}

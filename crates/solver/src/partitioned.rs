@@ -1,0 +1,393 @@
+//! Partitioned co-simulation (equation-system-level parallelism).
+//!
+//! When the dependency analysis finds several strongly connected
+//! components, each becomes a subsystem that can be integrated by its
+//! own solver instance (paper §2.3). The gains the paper enumerates:
+//!
+//! * "The ODE-solver can, for each ODE system, choose its own step size
+//!   independently of the others … the average step size may increase."
+//! * "If the solver uses an implicit method we can get quadratic speedup
+//!   thanks to a smaller Jacobian matrix."
+//!
+//! Subsystems exchange values at *macro steps*: inputs are held constant
+//! (zero-order hold) during each macro step and refreshed Gauss–Seidel
+//! style in subsystem order, so listing subsystems in pipeline-level
+//! order (upstream first) reproduces the paper's pipeline parallelism
+//! pattern between subsystems.
+
+use crate::bdf::{bdf, BdfOptions};
+use crate::ode::{OdeSystem, SolveError, Solution, SolveStats, Tolerances};
+use crate::rk::dopri5;
+
+/// RHS of one subsystem: `(t, y, inputs, dydt)`.
+pub type SubRhs = Box<dyn FnMut(f64, &[f64], &[f64], &mut [f64])>;
+
+/// One subsystem of a partitioned model.
+pub struct SubsystemSpec {
+    pub name: String,
+    pub dim: usize,
+    pub n_inputs: usize,
+    pub rhs: SubRhs,
+    pub y0: Vec<f64>,
+}
+
+/// A coupling: input `dst_input` of subsystem `dst_sub` is fed by state
+/// `src_state` of subsystem `src_sub`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Coupling {
+    pub dst_sub: usize,
+    pub dst_input: usize,
+    pub src_sub: usize,
+    pub src_state: usize,
+}
+
+/// Inner integration method for each subsystem / the monolithic solve.
+#[derive(Clone, Copy, Debug)]
+pub enum CoMethod {
+    Dopri5(Tolerances),
+    Bdf(BdfOptions),
+}
+
+/// Result of a partitioned solve.
+pub struct CoSimResult {
+    /// Final state per subsystem.
+    pub finals: Vec<Vec<f64>>,
+    /// Work counters per subsystem.
+    pub stats: Vec<SolveStats>,
+    /// Mean accepted step size per subsystem — the paper's "independent
+    /// step size" claim is visible here.
+    pub mean_steps: Vec<f64>,
+}
+
+impl CoSimResult {
+    /// Combined counters.
+    pub fn total_stats(&self) -> SolveStats {
+        let mut total = SolveStats::default();
+        for s in &self.stats {
+            total.merge(s);
+        }
+        total
+    }
+}
+
+/// A partitioned model: subsystems plus couplings.
+pub struct CoSimulation {
+    pub subsystems: Vec<SubsystemSpec>,
+    pub couplings: Vec<Coupling>,
+}
+
+/// Adapter presenting a subsystem with frozen inputs as an [`OdeSystem`].
+struct WithInputs<'a> {
+    dim: usize,
+    inputs: &'a [f64],
+    rhs: &'a mut SubRhs,
+}
+
+impl OdeSystem for WithInputs<'_> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        (self.rhs)(t, y, self.inputs, dydt)
+    }
+}
+
+impl CoSimulation {
+    /// Validate coupling indices.
+    fn check(&self) {
+        for c in &self.couplings {
+            assert!(c.dst_sub < self.subsystems.len(), "bad dst_sub");
+            assert!(c.src_sub < self.subsystems.len(), "bad src_sub");
+            assert!(
+                c.dst_input < self.subsystems[c.dst_sub].n_inputs,
+                "bad dst_input"
+            );
+            assert!(
+                c.src_state < self.subsystems[c.src_sub].dim,
+                "bad src_state"
+            );
+        }
+    }
+
+    /// Partitioned solve with `macro_steps` communication points.
+    ///
+    /// Subsystems are integrated in order within each macro step
+    /// (Gauss–Seidel): downstream subsystems see the freshly updated
+    /// upstream states, matching the pipeline schedule of the
+    /// condensation graph.
+    pub fn solve(
+        &mut self,
+        t0: f64,
+        tend: f64,
+        macro_steps: usize,
+        method: CoMethod,
+    ) -> Result<CoSimResult, SolveError> {
+        assert!(macro_steps >= 1);
+        self.check();
+        let n_subs = self.subsystems.len();
+        let mut states: Vec<Vec<f64>> = self.subsystems.iter().map(|s| s.y0.clone()).collect();
+        let mut stats = vec![SolveStats::default(); n_subs];
+        let mut total_time = vec![0.0f64; n_subs];
+        let mut total_steps = vec![0usize; n_subs];
+
+        let dt = (tend - t0) / macro_steps as f64;
+        for k in 0..macro_steps {
+            let t_start = t0 + k as f64 * dt;
+            let t_stop = if k + 1 == macro_steps {
+                tend
+            } else {
+                t_start + dt
+            };
+            for s in 0..n_subs {
+                // Gather this subsystem's inputs (ZOH over the macro
+                // step, Gauss–Seidel fresh values from earlier
+                // subsystems).
+                let mut inputs = vec![0.0; self.subsystems[s].n_inputs];
+                for c in &self.couplings {
+                    if c.dst_sub == s {
+                        inputs[c.dst_input] = states[c.src_sub][c.src_state];
+                    }
+                }
+                let spec = &mut self.subsystems[s];
+                let mut sys = WithInputs {
+                    dim: spec.dim,
+                    inputs: &inputs,
+                    rhs: &mut spec.rhs,
+                };
+                let chunk = match method {
+                    CoMethod::Dopri5(tol) => dopri5(&mut sys, t_start, &states[s], t_stop, &tol)?,
+                    CoMethod::Bdf(opts) => bdf(&mut sys, t_start, &states[s], t_stop, &opts)?,
+                };
+                states[s] = chunk.y_end().to_vec();
+                stats[s].merge(&chunk.stats);
+                total_time[s] += t_stop - t_start;
+                total_steps[s] += chunk.stats.steps;
+            }
+        }
+        let mean_steps = (0..n_subs)
+            .map(|s| {
+                if total_steps[s] == 0 {
+                    0.0
+                } else {
+                    total_time[s] / total_steps[s] as f64
+                }
+            })
+            .collect();
+        Ok(CoSimResult {
+            finals: states,
+            stats,
+            mean_steps,
+        })
+    }
+
+    /// Monolithic reference solve: all subsystems glued into one system
+    /// with exact (continuous) coupling.
+    pub fn solve_monolithic(
+        &mut self,
+        t0: f64,
+        tend: f64,
+        method: CoMethod,
+    ) -> Result<(Vec<Vec<f64>>, Solution), SolveError> {
+        self.check();
+        let offsets: Vec<usize> = self
+            .subsystems
+            .iter()
+            .scan(0usize, |acc, s| {
+                let o = *acc;
+                *acc += s.dim;
+                Some(o)
+            })
+            .collect();
+        let total_dim: usize = self.subsystems.iter().map(|s| s.dim).sum();
+        let y0: Vec<f64> = self.subsystems.iter().flat_map(|s| s.y0.clone()).collect();
+
+        struct Glued<'a> {
+            subsystems: &'a mut [SubsystemSpec],
+            couplings: &'a [Coupling],
+            offsets: &'a [usize],
+            total_dim: usize,
+        }
+        impl OdeSystem for Glued<'_> {
+            fn dim(&self) -> usize {
+                self.total_dim
+            }
+            fn rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]) {
+                for (s, spec) in self.subsystems.iter_mut().enumerate() {
+                    let off = self.offsets[s];
+                    let mut inputs = vec![0.0; spec.n_inputs];
+                    for c in self.couplings {
+                        if c.dst_sub == s {
+                            inputs[c.dst_input] = y[self.offsets[c.src_sub] + c.src_state];
+                        }
+                    }
+                    (spec.rhs)(
+                        t,
+                        &y[off..off + spec.dim],
+                        &inputs,
+                        &mut dydt[off..off + spec.dim],
+                    );
+                }
+            }
+        }
+        let mut glued = Glued {
+            subsystems: &mut self.subsystems,
+            couplings: &self.couplings,
+            offsets: &offsets,
+            total_dim,
+        };
+        let sol = match method {
+            CoMethod::Dopri5(tol) => dopri5(&mut glued, t0, &y0, tend, &tol)?,
+            CoMethod::Bdf(opts) => bdf(&mut glued, t0, &y0, tend, &opts)?,
+        };
+        let finals = self
+            .subsystems
+            .iter()
+            .enumerate()
+            .map(|(s, spec)| sol.y_end()[offsets[s]..offsets[s] + spec.dim].to_vec())
+            .collect();
+        Ok((finals, sol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cascade: fast decay feeding a slow integrator.
+    ///   sub0: x' = -10 x            (fast)
+    ///   sub1: z' = u − z            (slow, u = x)
+    fn cascade() -> CoSimulation {
+        CoSimulation {
+            subsystems: vec![
+                SubsystemSpec {
+                    name: "fast".into(),
+                    dim: 1,
+                    n_inputs: 0,
+                    rhs: Box::new(|_t, y, _u, d| d[0] = -10.0 * y[0]),
+                    y0: vec![1.0],
+                },
+                SubsystemSpec {
+                    name: "slow".into(),
+                    dim: 1,
+                    n_inputs: 1,
+                    rhs: Box::new(|_t, y, u, d| d[0] = u[0] - y[0]),
+                    y0: vec![0.0],
+                },
+            ],
+            couplings: vec![Coupling {
+                dst_sub: 1,
+                dst_input: 0,
+                src_sub: 0,
+                src_state: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn cosim_approaches_monolithic_as_macro_steps_grow() {
+        let tol = Tolerances::default();
+        let mut reference = cascade();
+        let (mono, _) = reference
+            .solve_monolithic(0.0, 2.0, CoMethod::Dopri5(tol))
+            .unwrap();
+        let err_of = |macro_steps: usize| {
+            let mut cs = cascade();
+            let r = cs
+                .solve(0.0, 2.0, macro_steps, CoMethod::Dopri5(tol))
+                .unwrap();
+            (r.finals[1][0] - mono[1][0]).abs()
+        };
+        let coarse = err_of(4);
+        let fine = err_of(64);
+        assert!(
+            fine < coarse || fine < 1e-9,
+            "coarse {coarse} fine {fine}"
+        );
+        assert!(fine < 1e-2, "fine error {fine}");
+    }
+
+    #[test]
+    fn subsystems_choose_independent_step_sizes() {
+        // Fast subsystem forces small steps; slow one may take big ones.
+        let mut cs = CoSimulation {
+            subsystems: vec![
+                SubsystemSpec {
+                    name: "fast".into(),
+                    dim: 1,
+                    n_inputs: 0,
+                    rhs: Box::new(|t: f64, _y, _u, d: &mut [f64]| {
+                        d[0] = (50.0 * t).cos() * 50.0
+                    }),
+                    y0: vec![0.0],
+                },
+                SubsystemSpec {
+                    name: "slow".into(),
+                    dim: 1,
+                    n_inputs: 0,
+                    rhs: Box::new(|_t, y, _u, d| d[0] = -0.1 * y[0]),
+                    y0: vec![1.0],
+                },
+            ],
+            couplings: vec![],
+        };
+        let r = cs
+            .solve(0.0, 5.0, 4, CoMethod::Dopri5(Tolerances::default()))
+            .unwrap();
+        assert!(
+            r.mean_steps[1] > 3.0 * r.mean_steps[0],
+            "steps: {:?}",
+            r.mean_steps
+        );
+    }
+
+    #[test]
+    fn partitioned_bdf_factorizes_smaller_matrices() {
+        // Two independent stiff subsystems of size 2 each: partitioned
+        // BDF factorizes 2×2 matrices, monolithic factorizes 4×4. With a
+        // finite-difference Jacobian the monolithic solve needs more RHS
+        // calls per Jacobian (4 vs 2), visible in the counters.
+        let make_sub = |name: &str| SubsystemSpec {
+            name: name.into(),
+            dim: 2,
+            n_inputs: 0,
+            rhs: Box::new(|_t, y: &[f64], _u: &[f64], d: &mut [f64]| {
+                d[0] = -800.0 * y[0] + 799.0 * y[1];
+                d[1] = 799.0 * y[0] - 800.0 * y[1];
+            }),
+            y0: vec![2.0, 0.0],
+        };
+        let mut cs = CoSimulation {
+            subsystems: vec![make_sub("a"), make_sub("b")],
+            couplings: vec![],
+        };
+        let opts = BdfOptions::default();
+        let r = cs.solve(0.0, 1.0, 1, CoMethod::Bdf(opts)).unwrap();
+        let part_stats = r.total_stats();
+        let mut cs2 = CoSimulation {
+            subsystems: vec![make_sub("a"), make_sub("b")],
+            couplings: vec![],
+        };
+        let (_, mono) = cs2.solve_monolithic(0.0, 1.0, CoMethod::Bdf(opts)).unwrap();
+        // Same accuracy class…
+        let exact = (-1.0f64).exp() + (-1599.0f64).exp();
+        assert!((r.finals[0][0] - exact).abs() < 1e-2);
+        // …but the partitioned run pays ~2 RHS calls per Jacobian per
+        // subsystem, vs 4 per Jacobian for the glued system.
+        let rhs_per_jac_part = part_stats.rhs_calls as f64
+            / part_stats.jac_evals.max(1) as f64;
+        let rhs_per_jac_mono =
+            mono.stats.rhs_calls as f64 / mono.stats.jac_evals.max(1) as f64;
+        assert!(
+            rhs_per_jac_part < rhs_per_jac_mono,
+            "part {rhs_per_jac_part} mono {rhs_per_jac_mono}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad dst_input")]
+    fn invalid_coupling_is_rejected() {
+        let mut cs = cascade();
+        cs.couplings[0].dst_input = 7;
+        let _ = cs.solve(0.0, 1.0, 1, CoMethod::Dopri5(Tolerances::default()));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the solver suite on randomly generated *stable
+//! linear* systems `ẏ = A·y` (A diagonally dominant with negative
+//! diagonal), where the exact solution can be cross-checked between
+//! methods and against matrix-exponential behaviour (decay).
+
+use om_solver::{abm4, bdf, dopri5, rk4, BdfOptions, FnSystem, Matrix, Tolerances};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct StableSystem {
+    n: usize,
+    a: Vec<Vec<f64>>,
+    y0: Vec<f64>,
+}
+
+fn arb_system() -> impl Strategy<Value = StableSystem> {
+    (1usize..5).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::collection::vec(-10i32..=10, n), n),
+            prop::collection::vec(-8i32..=8, n),
+        )
+            .prop_map(move |(raw, y0)| {
+                let mut a = vec![vec![0.0; n]; n];
+                for i in 0..n {
+                    let mut off = 0.0;
+                    for j in 0..n {
+                        if i != j {
+                            a[i][j] = f64::from(raw[i][j]) / 8.0;
+                            off += a[i][j].abs();
+                        }
+                    }
+                    // Strict diagonal dominance with margin → stable.
+                    a[i][i] = -(off + 0.5 + f64::from(raw[i][i].unsigned_abs()) / 8.0);
+                }
+                StableSystem {
+                    n,
+                    a,
+                    y0: y0.into_iter().map(|v| f64::from(v) / 2.0).collect(),
+                }
+            })
+    })
+}
+
+impl StableSystem {
+    fn sys(&self) -> FnSystem<impl FnMut(f64, &[f64], &mut [f64]) + '_> {
+        let a = &self.a;
+        let n = self.n;
+        FnSystem::new(n, move |_t, y: &[f64], d: &mut [f64]| {
+            for i in 0..n {
+                d[i] = (0..n).map(|j| a[i][j] * y[j]).sum();
+            }
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All four integrators agree on the final state of a stable system.
+    #[test]
+    fn integrators_agree(sys in arb_system()) {
+        let t_end = 2.0;
+        let tol = Tolerances {
+            rtol: 1e-8,
+            atol: 1e-10,
+            ..Tolerances::default()
+        };
+        let mut s1 = sys.sys();
+        let reference = dopri5(&mut s1, 0.0, &sys.y0, t_end, &tol).unwrap();
+        let mut s2 = sys.sys();
+        let with_rk4 = rk4(&mut s2, 0.0, &sys.y0, t_end, 1e-3).unwrap();
+        let mut s3 = sys.sys();
+        let with_abm = abm4(&mut s3, 0.0, &sys.y0, t_end, &tol).unwrap();
+        let mut s4 = sys.sys();
+        let with_bdf = bdf(&mut s4, 0.0, &sys.y0, t_end, &BdfOptions {
+            tol: Tolerances { rtol: 1e-8, atol: 1e-10, ..Tolerances::default() },
+            ..BdfOptions::default()
+        }).unwrap();
+        for i in 0..sys.n {
+            let r = reference.y_end()[i];
+            prop_assert!((with_rk4.y_end()[i] - r).abs() < 1e-5, "rk4 [{i}]");
+            prop_assert!((with_abm.y_end()[i] - r).abs() < 1e-4, "abm [{i}]");
+            prop_assert!((with_bdf.y_end()[i] - r).abs() < 1e-3, "bdf [{i}]: {} vs {r}",
+                with_bdf.y_end()[i]);
+        }
+    }
+
+    /// Stable systems decay: the state norm never grows much beyond its
+    /// initial value along the trajectory, and shrinks by the end.
+    #[test]
+    fn stable_systems_decay(sys in arb_system()) {
+        let mut s = sys.sys();
+        let sol = dopri5(&mut s, 0.0, &sys.y0, 8.0, &Tolerances::default()).unwrap();
+        let norm0: f64 = sys.y0.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let norm_end: f64 = sol.y_end().iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(norm_end <= norm0 * 0.9 + 1e-9, "{norm0} -> {norm_end}");
+    }
+
+    /// Integrating in two halves equals integrating in one piece
+    /// (semigroup property, within tolerance).
+    #[test]
+    fn two_halves_equal_whole(sys in arb_system()) {
+        let tol = Tolerances {
+            rtol: 1e-9,
+            atol: 1e-12,
+            ..Tolerances::default()
+        };
+        let mut s = sys.sys();
+        let whole = dopri5(&mut s, 0.0, &sys.y0, 3.0, &tol).unwrap();
+        let mut s = sys.sys();
+        let first = dopri5(&mut s, 0.0, &sys.y0, 1.3, &tol).unwrap();
+        let mut s = sys.sys();
+        let second = dopri5(&mut s, 1.3, first.y_end(), 3.0, &tol).unwrap();
+        for i in 0..sys.n {
+            prop_assert!(
+                (whole.y_end()[i] - second.y_end()[i]).abs() < 1e-6,
+                "[{i}]: {} vs {}",
+                whole.y_end()[i],
+                second.y_end()[i]
+            );
+        }
+    }
+
+    /// LU solving reproduces b for random diagonally dominant matrices.
+    #[test]
+    fn lu_solve_residual_is_tiny(sys in arb_system(), rhs in prop::collection::vec(-4i32..4, 1..5)) {
+        let n = sys.n;
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = sys.a[i][j];
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| f64::from(rhs[i % rhs.len()])).collect();
+        let lu = m.lu().unwrap();
+        let x = lu.solve(&b);
+        let back = m.mul_vec(&x);
+        for i in 0..n {
+            prop_assert!((back[i] - b[i]).abs() < 1e-9, "[{i}]: {} vs {}", back[i], b[i]);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! `omc` — the ObjectMath-rs compiler driver.
+//!
+//! A command-line front door over the whole pipeline, in the spirit of
+//! the interactive environment of paper Figure 2 / the batch flow of
+//! Figure 7:
+//!
+//! ```text
+//! omc MODEL.om analyze                  # SCCs, pipeline levels, DOT
+//! omc MODEL.om emit --lang f90|cpp|mma  # generated code on stdout
+//! omc MODEL.om tasks --workers N        # task table + LPT schedule
+//! omc MODEL.om simulate --tend T [--workers N] [--solver dopri5|rk4|abm|bdf|lsoda]
+//!               [--set state=value]...  # run, print final state
+//! ```
+
+use objectmath::analysis::{build_dependency_graph, partition_by_scc, to_dot};
+use objectmath::codegen::{emit_cpp, emit_fortran, CodeGenerator};
+use objectmath::ir::{causalize, OdeIr};
+use objectmath::runtime::{ParallelRhs, WorkerPool};
+use objectmath::solver::{
+    abm4, bdf, dopri5, lsoda, rk4, BdfOptions, LsodaOptions, OdeSystem, Tolerances,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("omc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: omc <model.om> <analyze|emit|tasks|simulate> [options]\n\
+     \n\
+     commands:\n\
+       analyze                     dependency graph, SCCs, pipeline levels\n\
+         --dot                     print Graphviz instead of the table\n\
+       emit                        generated code on stdout\n\
+         --lang f90|cpp|mma        target language (default f90)\n\
+         --serial                  serial code with global CSE\n\
+         --workers N               workers for the parallel version (default 4)\n\
+       tasks                       task partitioning and LPT schedule\n\
+         --workers N               (default 4)\n\
+       simulate                    integrate and print the final state\n\
+         --tend T                  end time (default 1.0)\n\
+         --solver NAME             dopri5|rk4|abm|bdf|lsoda (default dopri5)\n\
+         --workers N               parallel RHS workers (default 1 = serial)\n\
+         --set state=value         override a start value (repeatable)\n\
+         --rtol R --atol A         tolerances (default 1e-6 / 1e-9)\n\
+         --h H                     fixed step for rk4 (default (tend-t0)/1000)"
+        .to_owned()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args.len() < 2 {
+        return Err(usage());
+    }
+    let path = &args[0];
+    let command = args[1].as_str();
+    let opts = parse_flags(&args[2..])?;
+
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let flat = objectmath::lang::compile(&source).map_err(|e| e.to_string())?;
+    let mut ir = causalize(&flat).map_err(|e| e.to_string())?;
+    objectmath::ir::verify_compilable(&ir).map_err(|e| e.to_string())?;
+
+    match command {
+        "analyze" => analyze(&ir, &opts),
+        "emit" => emit(&ir, &opts),
+        "tasks" => tasks(&ir, &opts),
+        "simulate" => simulate(&mut ir, &opts),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+#[derive(Default)]
+struct Flags {
+    dot: bool,
+    serial: bool,
+    lang: String,
+    solver: String,
+    workers: usize,
+    tend: f64,
+    rtol: f64,
+    atol: f64,
+    h: f64,
+    sets: Vec<(String, f64)>,
+}
+
+fn parse_flags(rest: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        lang: "f90".into(),
+        solver: "dopri5".into(),
+        workers: 0,
+        tend: 1.0,
+        rtol: 1e-6,
+        atol: 1e-9,
+        h: 0.0,
+        ..Flags::default()
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--dot" => f.dot = true,
+            "--serial" => f.serial = true,
+            "--lang" => f.lang = value("--lang")?,
+            "--solver" => f.solver = value("--solver")?,
+            "--workers" => {
+                f.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--tend" => {
+                f.tend = value("--tend")?
+                    .parse()
+                    .map_err(|e| format!("--tend: {e}"))?
+            }
+            "--rtol" => {
+                f.rtol = value("--rtol")?
+                    .parse()
+                    .map_err(|e| format!("--rtol: {e}"))?
+            }
+            "--atol" => {
+                f.atol = value("--atol")?
+                    .parse()
+                    .map_err(|e| format!("--atol: {e}"))?
+            }
+            "--h" => {
+                f.h = value("--h")?.parse().map_err(|e| format!("--h: {e}"))?
+            }
+            "--set" => {
+                let spec = value("--set")?;
+                let (name, val) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set expects state=value, got `{spec}`"))?;
+                let val: f64 = val.parse().map_err(|e| format!("--set {name}: {e}"))?;
+                f.sets.push((name.to_owned(), val));
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(f)
+}
+
+fn analyze(ir: &OdeIr, opts: &Flags) -> Result<(), String> {
+    let dep = build_dependency_graph(ir);
+    if opts.dot {
+        print!("{}", to_dot(&dep, &ir.name));
+        return Ok(());
+    }
+    let part = partition_by_scc(&dep);
+    println!(
+        "model `{}`: {} states, {} algebraic equations, {} dependencies",
+        ir.name,
+        ir.dim(),
+        ir.algebraics.len(),
+        dep.graph.edge_count()
+    );
+    println!("SCC sizes (largest first): {:?}", part.scc_sizes());
+    for (lvl, subs) in part.levels.iter().enumerate() {
+        let summary: Vec<String> = subs
+            .iter()
+            .map(|&s| {
+                let sub = &part.subsystems[s];
+                let size = sub.states.len() + sub.algebraics.len();
+                let head = sub
+                    .states
+                    .first()
+                    .or(sub.algebraics.first())
+                    .map(|x| x.name())
+                    .unwrap_or("?");
+                format!("[{size}: {head}…]")
+            })
+            .collect();
+        println!("level {lvl}: {}", summary.join(" "));
+    }
+    Ok(())
+}
+
+fn emit(ir: &OdeIr, opts: &Flags) -> Result<(), String> {
+    let generator = CodeGenerator::default();
+    let workers = if opts.workers == 0 { 4 } else { opts.workers };
+    match (opts.lang.as_str(), opts.serial) {
+        ("mma", _) => print!("{}", generator.intermediate_code(ir)),
+        ("f90", true) => print!(
+            "{}",
+            emit_fortran::emit_serial(ir, &generator.options.cost_model).text
+        ),
+        ("cpp", true) => print!(
+            "{}",
+            emit_cpp::emit_serial(ir, &generator.options.cost_model).text
+        ),
+        ("f90", false) | ("cpp", false) => {
+            let program = generator.generate(ir);
+            let sched = program.schedule(workers);
+            let src = if opts.lang == "f90" {
+                emit_fortran::emit_parallel(
+                    &program.tasks,
+                    &sched.assignment,
+                    workers,
+                    ir,
+                    &generator.options.cost_model,
+                )
+            } else {
+                emit_cpp::emit_parallel(
+                    &program.tasks,
+                    &sched.assignment,
+                    workers,
+                    ir,
+                    &generator.options.cost_model,
+                )
+            };
+            print!("{}", src.text);
+        }
+        (other, _) => return Err(format!("unknown --lang `{other}` (f90|cpp|mma)")),
+    }
+    Ok(())
+}
+
+fn tasks(ir: &OdeIr, opts: &Flags) -> Result<(), String> {
+    let workers = if opts.workers == 0 { 4 } else { opts.workers };
+    let program = CodeGenerator::default().generate(ir);
+    let sched = program.schedule(workers);
+    println!(
+        "{} tasks, total {} flops, schedule on {workers} workers \
+         (makespan {}, imbalance {:.3}):",
+        program.graph.tasks.len(),
+        program.graph.total_cost(),
+        sched.makespan,
+        sched.imbalance()
+    );
+    println!("{:<5} {:<28} {:>10} {:>7}", "id", "label", "flops", "worker");
+    for task in &program.graph.tasks {
+        println!(
+            "{:<5} {:<28} {:>10} {:>7}",
+            task.id,
+            truncate(&task.label, 28),
+            task.static_cost,
+            sched.assignment[task.id]
+        );
+    }
+    Ok(())
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_owned()
+    } else {
+        let cut: String = s.chars().take(n - 1).collect();
+        format!("{cut}…")
+    }
+}
+
+fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), String> {
+    for (name, value) in &opts.sets {
+        if !ir.set_start(name, *value) {
+            return Err(format!("--set: no state named `{name}`"));
+        }
+    }
+    let tol = Tolerances {
+        rtol: opts.rtol,
+        atol: opts.atol,
+        ..Tolerances::default()
+    };
+    let y0 = ir.initial_state();
+    let tend = opts.tend;
+    let h = if opts.h > 0.0 { opts.h } else { tend / 1000.0 };
+
+    // Serial (tree-walking) or parallel (bytecode worker pool) RHS.
+    let solve = |sys: &mut dyn OdeSystem| -> Result<objectmath::solver::Solution, String> {
+        match opts.solver.as_str() {
+            "dopri5" => dopri5(sys, 0.0, &y0, tend, &tol).map_err(|e| e.to_string()),
+            "rk4" => rk4(sys, 0.0, &y0, tend, h).map_err(|e| e.to_string()),
+            "abm" => abm4(sys, 0.0, &y0, tend, &tol).map_err(|e| e.to_string()),
+            "bdf" => bdf(
+                sys,
+                0.0,
+                &y0,
+                tend,
+                &BdfOptions {
+                    tol,
+                    ..BdfOptions::default()
+                },
+            )
+            .map_err(|e| e.to_string()),
+            "lsoda" => lsoda(
+                sys,
+                0.0,
+                &y0,
+                tend,
+                &LsodaOptions {
+                    tol,
+                    ..LsodaOptions::default()
+                },
+            )
+            .map(|s| s.solution)
+            .map_err(|e| e.to_string()),
+            other => Err(format!("unknown --solver `{other}`")),
+        }
+    };
+
+    let sol = if opts.workers <= 1 {
+        let evaluator = objectmath::ir::IrEvaluator::new(ir).map_err(|e| e.to_string())?;
+        let mut sys = objectmath::solver::FnSystem::new(ir.dim(), move |t, y: &[f64], d: &mut [f64]| {
+            evaluator.rhs(t, y, d);
+        });
+        solve(&mut sys)?
+    } else {
+        let program = CodeGenerator::default().generate(ir);
+        let sched = program.schedule(opts.workers);
+        let pool = WorkerPool::new(program.graph, opts.workers, sched.assignment);
+        let mut rhs = ParallelRhs::new(pool, 16);
+        let sol = solve(&mut rhs)?;
+        eprintln!(
+            "[parallel RHS: {} calls, {:.0} calls/s, scheduler overhead {:.3}%]",
+            rhs.calls,
+            rhs.rhs_calls_per_sec(),
+            100.0 * rhs.scheduler.overhead_fraction(rhs.rhs_time)
+        );
+        sol
+    };
+
+    println!(
+        "t = {:.6}: {} steps, {} RHS calls{}",
+        sol.t_end(),
+        sol.stats.steps,
+        sol.stats.rhs_calls,
+        if sol.stats.newton_iters > 0 {
+            format!(", {} Newton iterations", sol.stats.newton_iters)
+        } else {
+            String::new()
+        }
+    );
+    for (i, state) in ir.states.iter().enumerate() {
+        println!("  {:<24} = {:+.9e}", state.sym.name(), sol.y_end()[i]);
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! # ObjectMath-rs
+//!
+//! A Rust reproduction of *"Generating Parallel Code from Object Oriented
+//! Mathematical Models"* (Andersson & Fritzson, PPoPP 1995): an
+//! object-oriented equation-modeling language, a symbolic compilation
+//! pipeline that extracts parallelism from equation-based models, and a
+//! supervisor/worker parallel runtime driven by an ODE solver suite.
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names; see each crate's documentation for details:
+//!
+//! * [`expr`] — symbolic expression engine (the Mathematica replacement),
+//! * [`lang`] — ObjectMath language frontend and model flattening,
+//! * [`ir`] — ODE internal form and causalization,
+//! * [`analysis`] — dependency graphs, strongly connected components,
+//!   equation-system-level partitioning,
+//! * [`codegen`] — CSE, task partitioning, LPT scheduling, bytecode and
+//!   Fortran 90 / C++ emission,
+//! * [`runtime`] — supervisor/worker parallel runtime and machine models,
+//! * [`solver`] — ODE solvers (explicit, multistep, BDF, LSODA-style
+//!   switching, partitioned co-simulation),
+//! * [`models`] — the paper's application models.
+
+pub use om_analysis as analysis;
+pub use om_codegen as codegen;
+pub use om_expr as expr;
+pub use om_ir as ir;
+pub use om_lang as lang;
+pub use om_models as models;
+pub use om_runtime as runtime;
+pub use om_solver as solver;

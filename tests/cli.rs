@@ -1,0 +1,142 @@
+//! Integration tests for the `omc` compiler driver.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn omc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_omc"))
+}
+
+fn write_model(name: &str, body: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("omc_test_{}_{name}.om", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create model file");
+    f.write_all(body.as_bytes()).expect("write model");
+    path
+}
+
+const OSC: &str = "model Osc;
+  Real x(start = 1.0);
+  Real y;
+  equation
+    der(x) = y;
+    der(y) = -x;
+end Osc;
+";
+
+#[test]
+fn analyze_reports_sccs() {
+    let path = write_model("analyze", OSC);
+    let out = omc().arg(&path).arg("analyze").output().expect("run omc");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 states"), "{text}");
+    assert!(text.contains("SCC sizes"), "{text}");
+}
+
+#[test]
+fn analyze_dot_is_graphviz() {
+    let path = write_model("dot", OSC);
+    let out = omc()
+        .arg(&path)
+        .args(["analyze", "--dot"])
+        .output()
+        .expect("run omc");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph"), "{text}");
+}
+
+#[test]
+fn emit_f90_and_cpp_and_mma() {
+    let path = write_model("emit", OSC);
+    for (lang, needle) in [
+        ("f90", "subroutine RHS"),
+        ("cpp", "void rhs"),
+        ("mma", "Derivative[1]"),
+    ] {
+        let out = omc()
+            .arg(&path)
+            .args(["emit", "--lang", lang])
+            .output()
+            .expect("run omc");
+        assert!(out.status.success(), "--lang {lang}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(needle), "--lang {lang}: {text}");
+    }
+}
+
+#[test]
+fn simulate_solves_the_oscillator() {
+    let path = write_model("simulate", OSC);
+    let t = std::f64::consts::PI; // half period: x = -1
+    let out = omc()
+        .arg(&path)
+        .args(["simulate", "--tend", &t.to_string(), "--rtol", "1e-9"])
+        .output()
+        .expect("run omc");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let x_line = text.lines().find(|l| l.trim_start().starts_with("x ")).expect("x line");
+    let value: f64 = x_line.split('=').nth(1).unwrap().trim().parse().unwrap();
+    assert!((value + 1.0).abs() < 1e-5, "{value}");
+}
+
+#[test]
+fn simulate_with_parallel_workers_and_overrides() {
+    let path = write_model("parallel", OSC);
+    let out = omc()
+        .arg(&path)
+        .args([
+            "simulate",
+            "--tend",
+            "1.0",
+            "--workers",
+            "2",
+            "--set",
+            "x=0.0",
+            "--set",
+            "y=2.0",
+        ])
+        .output()
+        .expect("run omc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // x(t) = 2 sin t with x(0)=0, y(0)=2.
+    let x_line = text.lines().find(|l| l.trim_start().starts_with("x ")).expect("x line");
+    let value: f64 = x_line.split('=').nth(1).unwrap().trim().parse().unwrap();
+    assert!((value - 2.0 * 1.0f64.sin()).abs() < 1e-4, "{value}");
+}
+
+#[test]
+fn tasks_prints_schedule() {
+    let path = write_model("tasks", OSC);
+    let out = omc()
+        .arg(&path)
+        .args(["tasks", "--workers", "2"])
+        .output()
+        .expect("run omc");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("schedule on 2 workers"), "{text}");
+}
+
+#[test]
+fn bad_model_reports_position() {
+    let path = write_model("bad", "model M;\n  Real ;\nend M;");
+    let out = omc().arg(&path).arg("analyze").output().expect("run omc");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("2:"), "{text}");
+}
+
+#[test]
+fn unknown_state_override_fails_cleanly() {
+    let path = write_model("badset", OSC);
+    let out = omc()
+        .arg(&path)
+        .args(["simulate", "--set", "nope=1.0"])
+        .output()
+        .expect("run omc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nope"));
+}

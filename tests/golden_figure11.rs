@@ -1,0 +1,105 @@
+//! Golden tests pinning the textual outputs of Figure 11.
+
+use objectmath::codegen::{emit_fortran, CodeGenerator, GenOptions};
+use objectmath::expr::print::normal_form;
+use objectmath::expr::Expr;
+use objectmath::models::oscillator;
+use std::collections::BTreeSet;
+
+#[test]
+fn normal_form_matches_figure_11_top_panel() {
+    let sys = oscillator::ir();
+    let time_vars: BTreeSet<_> = sys.states.iter().map(|s| s.sym).collect();
+    let mut rendered = Vec::new();
+    for d in &sys.derivs {
+        rendered.push(format!(
+            "{} == {}",
+            normal_form(&Expr::Der(d.state), &time_vars),
+            normal_form(&d.rhs, &time_vars)
+        ));
+    }
+    assert_eq!(rendered, vec!["x'[t] == y[t]", "y'[t] == -x[t]"]);
+}
+
+#[test]
+fn prefix_form_matches_figure_11_middle_panel() {
+    let sys = oscillator::ir();
+    let text = CodeGenerator::default().intermediate_code(&sys);
+    let expected = "\
+List[
+  List[
+    Equal[Derivative[1][om$Type[x, om$Real]][om$Type[t, om$Real]], om$Type[y, om$Real]],
+    Equal[Derivative[1][om$Type[y, om$Real]][om$Type[t, om$Real]], Minus[om$Type[x, om$Real]]]
+  ],
+  List[t, om$Type[tstart, om$Real], om$Type[tend, om$Real]]
+]
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn fortran_matches_figure_11_bottom_panel_shape() {
+    let sys = oscillator::ir();
+    let generator = CodeGenerator::new(GenOptions {
+        merge_threshold: 0,
+        ..GenOptions::default()
+    });
+    let program = generator.generate(&sys);
+    let sched = program.schedule(2);
+    let src = emit_fortran::emit_parallel(
+        &program.tasks,
+        &sched.assignment,
+        2,
+        &sys,
+        &generator.options.cost_model,
+    );
+    // Both workers get exactly one equation; worker order depends on LPT
+    // tie-breaking, so check the per-case contents rather than order.
+    let text = &src.text;
+    let expected_lines = [
+        "subroutine RHS(workerid, yin, yout)",
+        "  integer workerid",
+        "  real(double) yin(2), yout(2)",
+        "  select case (workerid)",
+        "  case (1)",
+        "  case (2)",
+        "    y = yin(2)",
+        "    xdot = y",
+        "    yout(1) = xdot",
+        "    x = yin(1)",
+        "    ydot = -x",
+        "    yout(2) = ydot",
+        "  end select",
+        "end subroutine",
+    ];
+    for line in expected_lines {
+        assert!(text.contains(line), "missing line `{line}` in:\n{text}");
+    }
+    // One equation per case: the xdot and ydot assignments are in
+    // different cases.
+    let case2 = text.split("case (2)").nth(1).expect("has case 2");
+    let case1 = text
+        .split("case (1)")
+        .nth(1)
+        .expect("has case 1")
+        .split("case (2)")
+        .next()
+        .expect("case 1 body");
+    assert!(case1.contains("dot") && case2.contains("dot"));
+    assert_ne!(
+        case1.contains("xdot"),
+        case2.contains("xdot"),
+        "each worker computes exactly one derivative\n{text}"
+    );
+}
+
+#[test]
+fn generated_code_statistics_are_reported() {
+    let sys = oscillator::ir();
+    let stats = CodeGenerator::default().stats(&sys, 2);
+    assert_eq!(stats.n_states, 2);
+    assert_eq!(stats.n_equations, 2);
+    assert!(stats.intermediate_lines >= 7);
+    assert!(stats.parallel_f90.total_lines >= 14);
+    assert_eq!(stats.parallel_f90.cse_count, 0);
+}
