@@ -70,7 +70,7 @@ pub(crate) fn fmt_const(v: f64, lang: Lang) -> String {
         format!("{v}")
     };
     match lang {
-        Lang::F90 => body.replace('e', "d").replace('E', "d") + if body.contains('d') { "" } else { "d0" },
+        Lang::F90 => body.replace(['e', 'E'], "d") + if body.contains('d') { "" } else { "d0" },
         Lang::Cpp => body,
     }
 }
@@ -356,10 +356,8 @@ pub fn emit_parallel(
     // Render everything first so declarations can be collected.
     let mut per_worker: Vec<Vec<RenderedTask>> = (0..m).map(|_| Vec::new()).collect();
     let mut cse_total = 0usize;
-    let mut temp_counter = 0usize;
-    for (task, &w) in tasks.iter().zip(assignment) {
+    for (temp_counter, (task, &w)) in tasks.iter().zip(assignment).enumerate() {
         let rendered = render_task(task, model, Lang::F90, &format!("t{temp_counter}_"));
-        temp_counter += 1;
         cse_total += rendered.cse_count;
         per_worker[w].push(rendered);
     }

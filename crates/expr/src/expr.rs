@@ -266,6 +266,7 @@ impl Expr {
     }
 
     /// `-e`, in canonical form.
+    #[allow(clippy::should_implement_trait)] // by-value helper; `Neg` would force &Expr clones
     pub fn neg(self) -> Expr {
         Expr::Mul(vec![Expr::Const(-1.0), self])
     }
@@ -403,6 +404,7 @@ impl std::ops::Add for Expr {
 
 impl std::ops::Sub for Expr {
     type Output = Expr;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a - b is canonicalized as a + (-1)*b
     fn sub(self, rhs: Expr) -> Expr {
         self + rhs.neg()
     }

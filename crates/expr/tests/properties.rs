@@ -48,7 +48,7 @@ fn sample_envs() -> Vec<HashMap<Symbol, f64>> {
     let points: [[f64; 4]; 5] = [
         [0.0137, -0.0071, 0.0233, 0.0517],
         [1.0213, -1.0171, 0.5309, 2.0117],
-        [-0.3183, 0.7207, -1.5411, 0.1093],
+        [-0.3191, 0.7207, -1.5411, 0.1093],
         [2.5171, 1.1059, 0.9323, -0.4201],
         [-1.0313, -2.0219, 3.0157, 0.2683],
     ];

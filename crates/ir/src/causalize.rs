@@ -251,6 +251,7 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
         }
         false
     }
+    #[allow(clippy::needless_range_loop)] // `eq` is the matching ID, not just an index
     for eq in 0..n {
         let mut visited = vec![false; n];
         if !try_augment(eq, &edges, &mut visited, &mut match_of_var) {

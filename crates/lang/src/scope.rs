@@ -392,7 +392,7 @@ impl RefEnv<'_, '_> {
     fn check_ref(&mut self, path: &RefPath) -> Result<(), LangError> {
         let first = &path.segs[0];
         // Loop indices are scalar, unindexed, and terminate the path.
-        if self.loop_indices.iter().any(|i| *i == first.name) {
+        if self.loop_indices.contains(&first.name) {
             if path.segs.len() > 1 || !first.indices.is_empty() {
                 return Err(LangError::scope(
                     Some(path.pos),

@@ -198,8 +198,8 @@ mod tests {
         let lambda = cfg.discrete_eigenvalue(1);
         let decay = (-lambda * t_end).exp();
         let y0 = sys.initial_state();
-        for i in 0..sys.dim() {
-            let expect = y0[i] * decay;
+        for (i, &y0i) in y0.iter().enumerate() {
+            let expect = y0i * decay;
             assert!(
                 (sol.y_end()[i] - expect).abs() < 1e-6,
                 "cell {i}: {} vs {}",

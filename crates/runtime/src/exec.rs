@@ -1,4 +1,4 @@
-//! Real-thread supervisor/worker executor.
+//! Fault-tolerant real-thread supervisor/worker executor.
 //!
 //! The supervisor (the thread driving the ODE solver) owns a pool of
 //! worker threads (paper Figure 10). Each RHS evaluation:
@@ -13,19 +13,58 @@
 //! Workers time each task with a monotonic clock; the measurements feed
 //! the semi-dynamic LPT rescheduler ([`crate::sched_dyn`]).
 //!
+//! # Fault tolerance
+//!
+//! Unlike the original blocking design, the supervisor never waits
+//! unboundedly on a worker. Every gather uses `recv_timeout` with a short
+//! poll interval; on each timeout it checks worker liveness
+//! (`JoinHandle::is_finished`) and per-job deadlines. The recovery ladder
+//! is, in order:
+//!
+//! 1. **respawn** — a dead worker slot is restarted (bounded retries with
+//!    doubling backoff) and the lost jobs are re-dispatched,
+//! 2. **retry** — a timed-out job is resent once to its worker before the
+//!    worker is written off,
+//! 3. **reassign** — jobs of a permanently failed worker replay on the
+//!    survivors, and the task → worker assignment is re-balanced (LPT /
+//!    list scheduling) over the shrunken pool,
+//! 4. **degrade** — with zero live workers the supervisor evaluates the
+//!    level sequentially in its own thread (unless
+//!    [`FaultConfig::sequential_fallback`] is off, in which case
+//!    [`RuntimeError::PoolExhausted`] is returned).
+//!
+//! Because every task is a pure function of `(t, y, shared)` and levels
+//! are barriers, replaying a lost job on any worker (or inline) produces
+//! bitwise-identical results — recovery never perturbs the trajectory.
+//! Results from superseded jobs or previous worker incarnations are
+//! filtered by a `(sequence, epoch)` check and counted as stale.
+//! Non-finite outputs (e.g. a [`FaultKind::CorruptNaN`] injection) are
+//! repaired by deterministically recomputing the batch in the supervisor.
+//!
 //! An artificial per-message spin latency can be injected to emulate a
 //! slower interconnect on the host machine (used by the latency-
 //! sensitivity experiments; the deterministic counterpart is
 //! [`crate::sim`]).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::error::RuntimeError;
+use crate::fault::{FaultConfig, FaultKind, FaultPlan, RecoveryStats};
 use om_codegen::task::{OutSlot, TaskGraph};
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A job broadcast to one worker: evaluate `tasks` at `(t, y)` with the
-/// current shared-slot values.
-struct Job {
+/// Supervisor → worker message.
+enum Job {
+    Run(RunJob),
+    Shutdown,
+}
+
+/// One dispatched batch: evaluate `tasks` at `(t, y)` with the current
+/// shared-slot values. `seq` identifies the dispatch so late results from
+/// superseded sends can be recognised.
+struct RunJob {
+    seq: u64,
     t: f64,
     y: Arc<Vec<f64>>,
     shared: Arc<Vec<f64>>,
@@ -35,21 +74,51 @@ struct Job {
 /// Worker → supervisor result message.
 struct Done {
     worker: usize,
+    /// Worker incarnation that produced this result.
+    epoch: u64,
+    /// Dispatch this result answers.
+    seq: u64,
     /// `(output slot, value)` pairs.
     outputs: Vec<(OutSlot, f64)>,
     /// `(task id, elapsed)` measurements.
     timings: Vec<(usize, Duration)>,
 }
 
-struct WorkerHandle {
-    job_tx: Sender<Job>,
+struct WorkerSlot {
+    /// `None` once the worker is shut down or written off.
+    job_tx: Option<Sender<Job>>,
+    /// `None` once joined or detached (hung threads are detached).
     join: Option<std::thread::JoinHandle<()>>,
+    /// Bumped on every respawn or write-off; stale-result filter.
+    epoch: u64,
+    /// Respawns consumed by this slot.
+    respawns: usize,
+    /// Permanently failed: no further work is sent here.
+    failed: bool,
+}
+
+impl WorkerSlot {
+    fn is_live(&self) -> bool {
+        !self.failed && self.job_tx.is_some()
+    }
+}
+
+/// A job in flight: who has it, what it covers, when to give up.
+struct Pending {
+    worker: usize,
+    tasks: Vec<usize>,
+    deadline: Instant,
+    /// Already resent once; next expiry abandons the worker.
+    resent: bool,
 }
 
 /// The supervisor-side handle to the worker pool.
 pub struct WorkerPool {
     graph: Arc<TaskGraph>,
-    workers: Vec<WorkerHandle>,
+    workers: Vec<WorkerSlot>,
+    /// Kept so `done_rx` can never observe a disconnect while the pool
+    /// lives, and so respawned workers can be handed a sender.
+    done_tx: Sender<Done>,
     done_rx: Receiver<Done>,
     /// task → worker.
     assignment: Vec<usize>,
@@ -60,6 +129,17 @@ pub struct WorkerPool {
     /// Last measured per-task times (seconds), EWMA-smoothed.
     pub measured: Vec<f64>,
     shared_scratch: Vec<f64>,
+    /// Recovery policy knobs.
+    pub fault_config: FaultConfig,
+    /// What the recovery machinery has done so far.
+    pub recovery: RecoveryStats,
+    faults: Arc<FaultPlan>,
+    next_seq: u64,
+    /// Round-robin cursor for reassigning orphaned batches.
+    reassign_cursor: usize,
+    /// Supervisor-side scratch for inline (degraded / repair) execution.
+    inline_regs: Vec<f64>,
+    inline_out: Vec<f64>,
 }
 
 fn spin(d: Duration) {
@@ -72,27 +152,83 @@ fn spin(d: Duration) {
     }
 }
 
+fn spawn_worker(
+    worker_id: usize,
+    epoch: u64,
+    graph: &Arc<TaskGraph>,
+    done_tx: &Sender<Done>,
+    faults: &Arc<FaultPlan>,
+) -> Result<(Sender<Job>, std::thread::JoinHandle<()>), RuntimeError> {
+    let (job_tx, job_rx) = channel::<Job>();
+    let graph2 = Arc::clone(graph);
+    let done_tx2 = done_tx.clone();
+    let faults2 = Arc::clone(faults);
+    let join = std::thread::Builder::new()
+        .name(format!("om-worker-{worker_id}.{epoch}"))
+        .spawn(move || worker_main(worker_id, epoch, &graph2, &job_rx, &done_tx2, &faults2))
+        .map_err(|e| RuntimeError::SpawnFailed {
+            worker: worker_id,
+            reason: e.to_string(),
+        })?;
+    Ok((job_tx, join))
+}
+
 impl WorkerPool {
     /// Spawn `n_workers` workers for `graph` with the given initial
-    /// assignment.
+    /// assignment. Panics on an invalid configuration; use
+    /// [`WorkerPool::with_faults`] for the fallible constructor.
     pub fn new(graph: TaskGraph, n_workers: usize, assignment: Vec<usize>) -> WorkerPool {
-        assert!(n_workers >= 1);
-        assert_eq!(assignment.len(), graph.tasks.len());
-        assert!(assignment.iter().all(|&w| w < n_workers));
+        WorkerPool::with_faults(
+            graph,
+            n_workers,
+            assignment,
+            FaultPlan::none(),
+            FaultConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("worker pool construction failed: {e}"))
+    }
+
+    /// Fallible constructor with a fault-injection plan and recovery
+    /// policy. `faults` is consulted by every worker once per job; pass
+    /// [`FaultPlan::none`] for a production pool.
+    pub fn with_faults(
+        graph: TaskGraph,
+        n_workers: usize,
+        assignment: Vec<usize>,
+        faults: FaultPlan,
+        fault_config: FaultConfig,
+    ) -> Result<WorkerPool, RuntimeError> {
+        if n_workers < 1 {
+            return Err(RuntimeError::InvalidConfig {
+                reason: "worker pool needs at least one worker".into(),
+            });
+        }
+        if assignment.len() != graph.tasks.len() {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!(
+                    "assignment covers {} tasks but the graph has {}",
+                    assignment.len(),
+                    graph.tasks.len()
+                ),
+            });
+        }
+        if let Some(&w) = assignment.iter().find(|&&w| w >= n_workers) {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!("assignment references worker {w} of {n_workers}"),
+            });
+        }
         let graph = Arc::new(graph);
-        let (done_tx, done_rx) = unbounded::<Done>();
+        let faults = Arc::new(faults);
+        let (done_tx, done_rx) = channel::<Done>();
         let mut workers = Vec::with_capacity(n_workers);
         for w in 0..n_workers {
-            let (job_tx, job_rx) = unbounded::<Job>();
-            let graph2 = Arc::clone(&graph);
-            let done_tx2 = done_tx.clone();
-            let join = std::thread::Builder::new()
-                .name(format!("om-worker-{w}"))
-                .spawn(move || worker_main(w, &graph2, &job_rx, &done_tx2))
-                .expect("spawn worker thread");
-            workers.push(WorkerHandle {
-                job_tx,
+            let (job_tx, join) = spawn_worker(w, 0, &graph, &done_tx, &faults)?;
+            workers.push(WorkerSlot {
+                job_tx: Some(job_tx),
                 join: Some(join),
+                epoch: 0,
+                respawns: 0,
+                failed: false,
             });
         }
         let levels = level_order(&graph);
@@ -102,21 +238,34 @@ impl WorkerPool {
             .map(|t| t.static_cost as f64 * 1e-9)
             .collect();
         let n_shared = graph.n_shared;
-        WorkerPool {
+        Ok(WorkerPool {
             graph,
             workers,
+            done_tx,
             done_rx,
             assignment,
             levels,
             message_latency: Duration::ZERO,
             measured,
             shared_scratch: vec![0.0; n_shared],
-        }
+            fault_config,
+            recovery: RecoveryStats::default(),
+            faults,
+            next_seq: 0,
+            reassign_cursor: 0,
+            inline_regs: Vec::new(),
+            inline_out: Vec::new(),
+        })
     }
 
-    /// Number of workers.
+    /// Number of workers (including permanently failed slots).
     pub fn n_workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Number of workers still accepting work.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.is_live()).count()
     }
 
     /// The task graph being executed.
@@ -136,82 +285,455 @@ impl WorkerPool {
         self.assignment = assignment;
     }
 
+    /// Recompute the assignment from per-task costs over the *live*
+    /// workers only (LPT for independent graphs, list scheduling
+    /// otherwise). Used by the semi-dynamic scheduler and internally after
+    /// a worker is written off, so a shrunken pool stays balanced.
+    pub fn rebalance(&mut self, costs: &[u64]) {
+        let live: Vec<usize> = (0..self.workers.len())
+            .filter(|&w| self.workers[w].is_live())
+            .collect();
+        if live.is_empty() || costs.len() != self.graph.tasks.len() {
+            return;
+        }
+        let sched = if self.graph.is_independent() {
+            om_codegen::lpt(costs, live.len())
+        } else {
+            om_codegen::list_schedule(costs, &self.graph.deps, live.len())
+        };
+        self.assignment = sched.assignment.iter().map(|&k| live[k]).collect();
+    }
+
+    fn rebalance_from_measured(&mut self) {
+        let costs: Vec<u64> = self
+            .measured
+            .iter()
+            .map(|&s| (s * 1e9).max(1.0) as u64)
+            .collect();
+        self.rebalance(&costs);
+    }
+
     /// Evaluate the parallel RHS: fills `dydt` (length = ODE dimension).
+    ///
+    /// Infallible wrapper around [`WorkerPool::try_rhs`] for callers that
+    /// treat a dead pool as fatal (benchmarks, examples).
     pub fn rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]) {
-        assert_eq!(y.len(), self.graph.dim);
-        assert_eq!(dydt.len(), self.graph.dim);
+        if let Err(e) = self.try_rhs(t, y, dydt) {
+            panic!("worker pool RHS evaluation failed: {e}");
+        }
+    }
+
+    /// Evaluate the parallel RHS, surviving worker crashes, hangs, lost
+    /// messages, and corrupted results per the recovery ladder described
+    /// in the module docs.
+    pub fn try_rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]) -> Result<(), RuntimeError> {
+        if y.len() != self.graph.dim {
+            return Err(RuntimeError::DimensionMismatch {
+                expected: self.graph.dim,
+                got: y.len(),
+            });
+        }
+        if dydt.len() != self.graph.dim {
+            return Err(RuntimeError::DimensionMismatch {
+                expected: self.graph.dim,
+                got: dydt.len(),
+            });
+        }
         let y = Arc::new(y.to_vec());
         self.shared_scratch.iter_mut().for_each(|v| *v = 0.0);
 
         // Levels execute with a barrier between them; within a level,
         // all workers run concurrently.
-        let n_levels = self.levels.len();
-        for lvl in 0..n_levels {
-            let shared = Arc::new(self.shared_scratch.clone());
-            let mut expected = 0usize;
-            for w in 0..self.workers.len() {
-                let tasks: Vec<usize> = self.levels[lvl]
-                    .iter()
-                    .copied()
-                    .filter(|&tid| self.assignment[tid] == w)
-                    .collect();
-                if tasks.is_empty() {
-                    continue;
-                }
-                spin(self.message_latency);
-                self.workers[w]
-                    .job_tx
-                    .send(Job {
-                        t,
-                        y: Arc::clone(&y),
-                        shared: Arc::clone(&shared),
-                        tasks,
-                    })
-                    .expect("worker alive");
-                expected += 1;
-            }
-            for _ in 0..expected {
-                let done = self.done_rx.recv().expect("worker alive");
-                spin(self.message_latency);
-                for (slot, value) in done.outputs {
-                    match slot {
-                        OutSlot::Deriv(i) => dydt[i] = value,
-                        OutSlot::Shared(i) => self.shared_scratch[i] = value,
-                    }
-                }
-                for (task, elapsed) in done.timings {
-                    // EWMA of measured task times (paper §3.2.3: elapsed
-                    // times from the previous iteration predict the next).
-                    let secs = elapsed.as_secs_f64();
-                    let old = self.measured[task];
-                    self.measured[task] = if old == 0.0 { secs } else { 0.8 * old + 0.2 * secs };
-                }
-                let _ = done.worker;
+        let mut degraded = false;
+        for lvl in 0..self.levels.len() {
+            degraded |= self.run_level(lvl, t, &y, dydt)?;
+        }
+        if degraded {
+            self.recovery.degraded_calls += 1;
+        }
+        Ok(())
+    }
+
+    /// Execute one dependency level to completion. Returns whether any
+    /// batch fell back to in-supervisor evaluation.
+    fn run_level(
+        &mut self,
+        lvl: usize,
+        t: f64,
+        y: &Arc<Vec<f64>>,
+        dydt: &mut [f64],
+    ) -> Result<bool, RuntimeError> {
+        // Snapshot the shared slots produced by earlier levels.
+        let shared = Arc::new(self.shared_scratch.clone());
+        let mut degraded = false;
+
+        // Batch the level's tasks by their (preferred) assigned worker.
+        let mut queue: Vec<(usize, Vec<usize>)> = Vec::new();
+        for w in 0..self.workers.len() {
+            let tasks: Vec<usize> = self.levels[lvl]
+                .iter()
+                .copied()
+                .filter(|&tid| self.assignment[tid] == w)
+                .collect();
+            if !tasks.is_empty() {
+                queue.push((w, tasks));
             }
         }
+
+        let mut pending: HashMap<u64, Pending> = HashMap::new();
+        let poll = self.fault_config.poll_interval();
+        loop {
+            // Dispatch everything queued (initial batches + replays).
+            while let Some((preferred, tasks)) = queue.pop() {
+                match self.pick_live_worker(preferred) {
+                    Some(w) => {
+                        if let Some(seq) = self.send_job(w, t, y, &shared, tasks.clone()) {
+                            pending.insert(
+                                seq,
+                                Pending {
+                                    worker: w,
+                                    tasks,
+                                    deadline: Instant::now() + self.fault_config.task_timeout,
+                                    resent: false,
+                                },
+                            );
+                        } else {
+                            // Died between the liveness check and the send.
+                            self.note_worker_dead(w)?;
+                            queue.push((preferred, tasks));
+                        }
+                    }
+                    None => {
+                        if !self.fault_config.sequential_fallback {
+                            return Err(RuntimeError::PoolExhausted {
+                                workers: self.workers.len(),
+                            });
+                        }
+                        self.execute_inline(&tasks, t, y, &shared, dydt);
+                        degraded = true;
+                    }
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+
+            match self.done_rx.recv_timeout(poll) {
+                Ok(done) => {
+                    let fresh = pending.get(&done.seq).is_some_and(|p| {
+                        p.worker == done.worker && self.workers[done.worker].epoch == done.epoch
+                    });
+                    if !fresh {
+                        self.recovery.stale_results += 1;
+                        continue;
+                    }
+                    spin(self.message_latency);
+                    if let Some(p) = pending.remove(&done.seq) {
+                        self.scatter(&done, &p.tasks, t, y, &shared, dydt);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.handle_timeouts(&mut pending, &mut queue, t, y, &shared)?;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable while the pool holds `done_tx`, but typed
+                    // rather than panicking all the same.
+                    return Err(RuntimeError::ChannelClosed {
+                        what: "worker result channel",
+                    });
+                }
+            }
+        }
+        Ok(degraded)
+    }
+
+    /// Scatter a result into `dydt`/shared slots, repairing non-finite
+    /// outputs by recomputing the batch deterministically in-supervisor.
+    fn scatter(
+        &mut self,
+        done: &Done,
+        tasks: &[usize],
+        t: f64,
+        y: &[f64],
+        shared: &[f64],
+        dydt: &mut [f64],
+    ) {
+        let bad = done.outputs.iter().filter(|(_, v)| !v.is_finite()).count();
+        let outputs: Vec<(OutSlot, f64)> = if bad > 0 {
+            // A corrupted message and a genuine blow-up look the same from
+            // here; recomputing is correct for both (the recomputation of a
+            // genuine non-finite value reproduces it exactly).
+            self.recovery.nan_repairs += bad;
+            self.compute_outputs(tasks, t, y, shared)
+        } else {
+            done.outputs.clone()
+        };
+        for (slot, value) in outputs {
+            match slot {
+                OutSlot::Deriv(i) => dydt[i] = value,
+                OutSlot::Shared(i) => self.shared_scratch[i] = value,
+            }
+        }
+        for &(task, elapsed) in &done.timings {
+            // EWMA of measured task times (paper §3.2.3: elapsed times from
+            // the previous iteration predict the next).
+            let secs = elapsed.as_secs_f64();
+            let old = self.measured[task];
+            self.measured[task] = if old == 0.0 { secs } else { 0.8 * old + 0.2 * secs };
+        }
+    }
+
+    /// `preferred` if live, else the next live worker round-robin.
+    fn pick_live_worker(&mut self, preferred: usize) -> Option<usize> {
+        if self.workers.get(preferred).is_some_and(WorkerSlot::is_live) {
+            return Some(preferred);
+        }
+        let n = self.workers.len();
+        for k in 0..n {
+            let w = (self.reassign_cursor + k) % n;
+            if self.workers[w].is_live() {
+                self.reassign_cursor = (w + 1) % n;
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    /// Send a batch to worker `w`; `None` if the worker is gone.
+    fn send_job(
+        &mut self,
+        w: usize,
+        t: f64,
+        y: &Arc<Vec<f64>>,
+        shared: &Arc<Vec<f64>>,
+        tasks: Vec<usize>,
+    ) -> Option<u64> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        spin(self.message_latency);
+        let tx = self.workers[w].job_tx.as_ref()?;
+        let job = Job::Run(RunJob {
+            seq,
+            t,
+            y: Arc::clone(y),
+            shared: Arc::clone(shared),
+            tasks,
+        });
+        match tx.send(job) {
+            Ok(()) => Some(seq),
+            Err(_) => None,
+        }
+    }
+
+    /// A worker's thread has exited: respawn it if the budget allows,
+    /// otherwise mark it permanently failed and rebalance.
+    fn note_worker_dead(&mut self, w: usize) -> Result<(), RuntimeError> {
+        if let Some(join) = self.workers[w].join.take() {
+            if join.is_finished() {
+                // Reap; a panicked thread yields Err, which is the point.
+                let _ = join.join();
+            }
+            // Not finished: detached by dropping the handle.
+        }
+        self.workers[w].job_tx = None;
+        self.workers[w].epoch += 1;
+        if self.workers[w].respawns < self.fault_config.max_respawns {
+            let exp = self.workers[w].respawns.min(10) as u32;
+            std::thread::sleep(self.fault_config.respawn_backoff * 2u32.pow(exp));
+            self.workers[w].respawns += 1;
+            self.recovery.respawns += 1;
+            let (job_tx, join) = spawn_worker(
+                w,
+                self.workers[w].epoch,
+                &self.graph,
+                &self.done_tx,
+                &self.faults,
+            )?;
+            self.workers[w].job_tx = Some(job_tx);
+            self.workers[w].join = Some(join);
+        } else if !self.workers[w].failed {
+            self.workers[w].failed = true;
+            self.recovery.workers_lost += 1;
+            self.rebalance_from_measured();
+        }
+        Ok(())
+    }
+
+    /// Write off a hung worker without joining it.
+    fn abandon_worker(&mut self, w: usize) {
+        if self.workers[w].failed {
+            return;
+        }
+        self.workers[w].failed = true;
+        self.workers[w].epoch += 1; // late results become stale
+        self.workers[w].job_tx = None; // it sees a disconnect when it wakes
+        let _ = self.workers[w].join.take(); // detach: joining could block forever
+        self.recovery.workers_lost += 1;
+        self.rebalance_from_measured();
+    }
+
+    /// Liveness + deadline sweep, run on every gather timeout.
+    fn handle_timeouts(
+        &mut self,
+        pending: &mut HashMap<u64, Pending>,
+        queue: &mut Vec<(usize, Vec<usize>)>,
+        t: f64,
+        y: &Arc<Vec<f64>>,
+        shared: &Arc<Vec<f64>>,
+    ) -> Result<(), RuntimeError> {
+        // 1. Workers whose thread has exited while holding work.
+        let mut dead: Vec<usize> = pending
+            .values()
+            .map(|p| p.worker)
+            .filter(|&w| {
+                !self.workers[w].failed
+                    && self.workers[w]
+                        .join
+                        .as_ref()
+                        .is_none_or(|j| j.is_finished())
+            })
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        for w in dead {
+            let seqs: Vec<u64> = pending
+                .iter()
+                .filter(|(_, p)| p.worker == w)
+                .map(|(&s, _)| s)
+                .collect();
+            for s in seqs {
+                if let Some(p) = pending.remove(&s) {
+                    self.recovery.replayed_tasks += p.tasks.len();
+                    queue.push((w, p.tasks));
+                }
+            }
+            self.note_worker_dead(w)?;
+        }
+
+        // 2. Jobs past their deadline on live-but-unresponsive workers.
+        let now = Instant::now();
+        let expired: Vec<u64> = pending
+            .iter()
+            .filter(|(_, p)| now >= p.deadline)
+            .map(|(&s, _)| s)
+            .collect();
+        for seq in expired {
+            let Some(p) = pending.remove(&seq) else { continue };
+            if self.workers[p.worker].is_live()
+                && !p.resent
+                && self.fault_config.retry_before_failing
+            {
+                // One retry to the same worker: a straggler may just be
+                // slow, and the superseded job's eventual result is
+                // filtered as stale.
+                self.recovery.retries += 1;
+                if let Some(new_seq) = self.send_job(p.worker, t, y, shared, p.tasks.clone()) {
+                    pending.insert(
+                        new_seq,
+                        Pending {
+                            worker: p.worker,
+                            tasks: p.tasks,
+                            deadline: Instant::now() + self.fault_config.task_timeout,
+                            resent: true,
+                        },
+                    );
+                    continue;
+                }
+            }
+            // Out of patience: treat the worker as hung, replay elsewhere.
+            self.abandon_worker(p.worker);
+            self.recovery.replayed_tasks += p.tasks.len();
+            queue.push((p.worker, p.tasks));
+        }
+        Ok(())
+    }
+
+    /// Execute a batch in the supervisor thread (degraded mode / repair).
+    fn execute_inline(
+        &mut self,
+        tasks: &[usize],
+        t: f64,
+        y: &[f64],
+        shared: &[f64],
+        dydt: &mut [f64],
+    ) {
+        let outputs = self.compute_outputs(tasks, t, y, shared);
+        for (slot, value) in outputs {
+            match slot {
+                OutSlot::Deriv(i) => dydt[i] = value,
+                OutSlot::Shared(i) => self.shared_scratch[i] = value,
+            }
+        }
+    }
+
+    /// Run a batch of tasks in-supervisor and collect its outputs. This is
+    /// the same computation a worker performs, so the values are
+    /// bitwise-identical to an uninjured worker's.
+    fn compute_outputs(
+        &mut self,
+        tasks: &[usize],
+        t: f64,
+        y: &[f64],
+        shared: &[f64],
+    ) -> Vec<(OutSlot, f64)> {
+        let mut outputs = Vec::new();
+        for &tid in tasks {
+            let task = &self.graph.tasks[tid];
+            let n_regs = task.program.n_regs as usize;
+            if self.inline_regs.len() < n_regs {
+                self.inline_regs.resize(n_regs, 0.0);
+            }
+            self.inline_out.resize(task.program.outputs.len(), 0.0);
+            om_codegen::vm::execute_with_regs(
+                &task.program,
+                t,
+                y,
+                shared,
+                &mut self.inline_out,
+                &mut self.inline_regs,
+            );
+            for (value, slot) in self.inline_out.iter().zip(&task.writes) {
+                outputs.push((*slot, *value));
+            }
+        }
+        outputs
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Close the job channels, then join.
-        for w in &mut self.workers {
-            let (dead_tx, _) = unbounded();
-            w.job_tx = dead_tx;
+        // Ask every live worker to exit, then join with a bounded wait so a
+        // hung worker cannot wedge the supervisor on shutdown.
+        for slot in &mut self.workers {
+            if let Some(tx) = slot.job_tx.take() {
+                let _ = tx.send(Job::Shutdown);
+            }
         }
-        for w in &mut self.workers {
-            if let Some(join) = w.join.take() {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for slot in &mut self.workers {
+            let Some(join) = slot.join.take() else { continue };
+            while !join.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            if join.is_finished() {
                 let _ = join.join();
             }
+            // else: handle dropped → hung thread detached.
         }
     }
 }
 
+/// Zero-sized panic payload for injected worker deaths; `resume_unwind`
+/// with it skips the global panic hook, keeping chaos tests quiet.
+struct InjectedWorkerPanic;
+
 fn worker_main(
     worker_id: usize,
+    epoch: u64,
     graph: &TaskGraph,
     job_rx: &Receiver<Job>,
     done_tx: &Sender<Done>,
+    faults: &FaultPlan,
 ) {
     // One register file sized for the largest task program.
     let max_regs = graph
@@ -222,18 +744,32 @@ fn worker_main(
         .unwrap_or(0);
     let mut regs = vec![0.0f64; max_regs];
     let mut out_buf: Vec<f64> = Vec::new();
+    let mut jobs_done: u64 = 0;
     while let Ok(job) = job_rx.recv() {
+        let run = match job {
+            Job::Run(run) => run,
+            Job::Shutdown => break,
+        };
+        jobs_done += 1;
+        let fault = faults.fire(worker_id, jobs_done);
+        match fault {
+            Some(FaultKind::Straggle(delay)) => std::thread::sleep(delay),
+            Some(FaultKind::Panic) => {
+                std::panic::resume_unwind(Box::new(InjectedWorkerPanic));
+            }
+            _ => {}
+        }
         let mut outputs = Vec::new();
-        let mut timings = Vec::with_capacity(job.tasks.len());
-        for &tid in &job.tasks {
+        let mut timings = Vec::with_capacity(run.tasks.len());
+        for &tid in &run.tasks {
             let task = &graph.tasks[tid];
             out_buf.resize(task.program.outputs.len(), 0.0);
             let start = Instant::now();
             om_codegen::vm::execute_with_regs(
                 &task.program,
-                job.t,
-                &job.y,
-                &job.shared,
+                run.t,
+                &run.y,
+                &run.shared,
                 &mut out_buf,
                 &mut regs,
             );
@@ -242,9 +778,20 @@ fn worker_main(
                 outputs.push((*slot, *value));
             }
         }
+        match fault {
+            Some(FaultKind::CorruptNaN) => {
+                if let Some(first) = outputs.first_mut() {
+                    first.1 = f64::NAN;
+                }
+            }
+            Some(FaultKind::DropResult) => continue,
+            _ => {}
+        }
         if done_tx
             .send(Done {
                 worker: worker_id,
+                epoch,
+                seq: run.seq,
                 outputs,
                 timings,
             })
@@ -436,5 +983,174 @@ mod tests {
         for i in 0..2 {
             assert!((expect[i] - got[i]).abs() < 1e-10);
         }
+    }
+
+    // ---- fault-injection & recovery ------------------------------------
+
+    /// Reference derivative at (t, y) for MODEL with inline tasks.
+    fn reference_rhs(ir: &om_ir::OdeIr, t: f64, y: &[f64]) -> Vec<f64> {
+        let reference = om_ir::IrEvaluator::new(ir).unwrap();
+        let mut out = vec![0.0; y.len()];
+        reference.rhs(t, y, &mut out);
+        out
+    }
+
+    #[test]
+    fn killed_worker_is_respawned_and_result_identical() {
+        let (ir, g) = graph(MODEL, true);
+        let expect = reference_rhs(&ir, 1.1, &[0.4, -0.3]);
+        let mut pool = WorkerPool::with_faults(
+            g,
+            2,
+            vec![0, 1],
+            FaultPlan::kill(0, 1),
+            FaultConfig::default(),
+        )
+        .unwrap();
+        let mut got = [0.0; 2];
+        pool.try_rhs(1.1, &[0.4, -0.3], &mut got).unwrap();
+        assert_eq!(&got[..], &expect[..], "recovery must not perturb values");
+        assert!(pool.recovery.respawns >= 1, "{:?}", pool.recovery);
+        assert!(pool.recovery.replayed_tasks >= 1, "{:?}", pool.recovery);
+        assert_eq!(pool.live_workers(), 2, "worker 0 respawned");
+        // The pool keeps working afterwards.
+        pool.try_rhs(1.1, &[0.4, -0.3], &mut got).unwrap();
+        assert_eq!(&got[..], &expect[..]);
+    }
+
+    #[test]
+    fn dropped_result_is_retried() {
+        let (ir, g) = graph(MODEL, true);
+        let expect = reference_rhs(&ir, 0.7, &[0.4, -0.3]);
+        let config = FaultConfig {
+            task_timeout: Duration::from_millis(60),
+            ..FaultConfig::default()
+        };
+        let mut pool = WorkerPool::with_faults(
+            g,
+            2,
+            vec![0, 1],
+            FaultPlan::none().inject(1, 1, FaultKind::DropResult),
+            config,
+        )
+        .unwrap();
+        let mut got = [0.0; 2];
+        pool.try_rhs(0.7, &[0.4, -0.3], &mut got).unwrap();
+        assert_eq!(&got[..], &expect[..]);
+        assert!(pool.recovery.retries >= 1, "{:?}", pool.recovery);
+    }
+
+    #[test]
+    fn corrupted_output_is_repaired_deterministically() {
+        let (ir, g) = graph(MODEL, true);
+        let expect = reference_rhs(&ir, 0.3, &[0.4, -0.3]);
+        let mut pool = WorkerPool::with_faults(
+            g,
+            2,
+            vec![0, 1],
+            FaultPlan::none().inject(0, 1, FaultKind::CorruptNaN),
+            FaultConfig::default(),
+        )
+        .unwrap();
+        let mut got = [0.0; 2];
+        pool.try_rhs(0.3, &[0.4, -0.3], &mut got).unwrap();
+        assert_eq!(&got[..], &expect[..]);
+        assert!(got.iter().all(|v| v.is_finite()));
+        assert!(pool.recovery.nan_repairs >= 1, "{:?}", pool.recovery);
+    }
+
+    #[test]
+    fn straggler_is_detected_and_the_call_completes() {
+        let (ir, g) = graph(MODEL, true);
+        let expect = reference_rhs(&ir, 0.9, &[0.4, -0.3]);
+        let config = FaultConfig {
+            task_timeout: Duration::from_millis(40),
+            ..FaultConfig::default()
+        };
+        let mut pool = WorkerPool::with_faults(
+            g,
+            2,
+            vec![0, 1],
+            FaultPlan::none().inject(1, 1, FaultKind::Straggle(Duration::from_millis(400))),
+            config,
+        )
+        .unwrap();
+        let mut got = [0.0; 2];
+        pool.try_rhs(0.9, &[0.4, -0.3], &mut got).unwrap();
+        assert_eq!(&got[..], &expect[..]);
+        assert!(
+            pool.recovery.retries >= 1 || pool.recovery.workers_lost >= 1,
+            "{:?}",
+            pool.recovery
+        );
+    }
+
+    #[test]
+    fn exhausted_pool_without_fallback_returns_err() {
+        let (_, g) = graph(MODEL, true);
+        let config = FaultConfig {
+            max_respawns: 0,
+            sequential_fallback: false,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::none()
+            .inject(0, 1, FaultKind::Panic)
+            .inject(1, 1, FaultKind::Panic);
+        let mut pool = WorkerPool::with_faults(g, 2, vec![0, 1], plan, config).unwrap();
+        let mut got = [0.0; 2];
+        let err = pool.try_rhs(0.0, &[0.4, -0.3], &mut got).unwrap_err();
+        assert_eq!(err, RuntimeError::PoolExhausted { workers: 2 });
+    }
+
+    #[test]
+    fn exhausted_pool_degrades_to_sequential_evaluation() {
+        let (ir, g) = graph(MODEL, true);
+        let expect = reference_rhs(&ir, 0.2, &[0.4, -0.3]);
+        let config = FaultConfig {
+            max_respawns: 0,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::none()
+            .inject(0, 1, FaultKind::Panic)
+            .inject(1, 1, FaultKind::Panic);
+        let mut pool = WorkerPool::with_faults(g, 2, vec![0, 1], plan, config).unwrap();
+        let mut got = [0.0; 2];
+        pool.try_rhs(0.2, &[0.4, -0.3], &mut got).unwrap();
+        assert_eq!(&got[..], &expect[..]);
+        assert_eq!(pool.recovery.workers_lost, 2, "{:?}", pool.recovery);
+        assert!(pool.recovery.degraded_calls >= 1, "{:?}", pool.recovery);
+        assert_eq!(pool.live_workers(), 0);
+        // Subsequent calls keep working in degraded mode.
+        pool.try_rhs(0.2, &[0.4, -0.3], &mut got).unwrap();
+        assert_eq!(&got[..], &expect[..]);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_a_typed_error() {
+        let (_, g) = graph(MODEL, true);
+        let mut pool = WorkerPool::new(g, 2, vec![0, 1]);
+        let mut got = [0.0; 3];
+        let err = pool.try_rhs(0.0, &[0.4, -0.3, 0.0], &mut got).unwrap_err();
+        assert_eq!(err, RuntimeError::DimensionMismatch { expected: 2, got: 3 });
+    }
+
+    #[test]
+    fn rebalance_only_uses_live_workers() {
+        let (ir, g) = graph(MODEL, true);
+        let expect = reference_rhs(&ir, 0.6, &[0.4, -0.3]);
+        let config = FaultConfig {
+            max_respawns: 0,
+            ..FaultConfig::default()
+        };
+        let mut pool =
+            WorkerPool::with_faults(g, 3, vec![0, 1], FaultPlan::kill(1, 1), config).unwrap();
+        let mut got = [0.0; 2];
+        pool.try_rhs(0.6, &[0.4, -0.3], &mut got).unwrap();
+        assert_eq!(&got[..], &expect[..]);
+        assert_eq!(pool.live_workers(), 2);
+        // After the loss the assignment must avoid the failed worker.
+        assert!(pool.assignment().iter().all(|&w| w != 1), "{:?}", pool.assignment());
+        pool.rebalance(&[100, 100]);
+        assert!(pool.assignment().iter().all(|&w| w != 1), "{:?}", pool.assignment());
     }
 }

@@ -7,11 +7,16 @@
 //!
 //! Two execution substrates:
 //!
-//! * [`exec`] — a real thread pool (crossbeam channels). Every RHS call
+//! * [`exec`] — a real thread pool (std mpsc channels). Every RHS call
 //!   broadcasts the state vector to the workers, executes each worker's
 //!   tasks in the bytecode VM, and gathers derivatives. Artificial
 //!   per-message latency can be injected to emulate slower fabrics on a
-//!   fast host.
+//!   fast host. The supervisor is fault-tolerant: all waits are
+//!   timeout-bounded, dead workers are respawned (bounded retries), hung
+//!   workers are written off and their work replayed on survivors, and a
+//!   fully failed pool degrades to sequential in-supervisor evaluation.
+//!   [`fault`] provides the deterministic fault-injection plan used by
+//!   the chaos tests, and [`error`] the typed failure taxonomy.
 //! * [`sim`] — a deterministic machine model that *computes* the time one
 //!   RHS call takes on a parametrized machine (per-message latency,
 //!   bandwidth, flop rate, core count, time-sharing). This replaces the
@@ -29,14 +34,18 @@
 //! next step", §3.2.3) and tracks its own overhead, which experiment E6
 //! compares against the paper's <1 % claim.
 
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod machine;
 pub mod pipeline;
 pub mod rhs;
 pub mod sched_dyn;
 pub mod sim;
 
+pub use error::RuntimeError;
 pub use exec::WorkerPool;
+pub use fault::{FaultConfig, FaultKind, FaultPlan, RecoveryStats};
 pub use machine::MachineSpec;
 pub use pipeline::{run_pipeline, PipelineCoupling, PipelineResult, PipelineStage};
 pub use rhs::ParallelRhs;

@@ -15,14 +15,26 @@
 //! Coupling semantics: inputs are zero-order-held over each macro step at
 //! the upstream value from the *start* of the step — the same one-step
 //! transport delay any pipelined integrator exhibits.
+//!
+//! Failure semantics: nothing here panics across the API boundary. Bad
+//! couplings or configuration return [`RuntimeError`] before any thread
+//! starts; a stage whose solver fails returns the [`SolveError`] (wrapped
+//! in [`RuntimeError::Solve`]); a stage that panics is reported as
+//! [`RuntimeError::StagePanicked`]. A failing stage drops its channel
+//! endpoints, which unblocks every peer with a disconnect — so one dead
+//! stage winds the whole pipeline down instead of deadlocking it.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use om_solver::{dopri5, SolveError, SolveStats, Tolerances};
+use crate::error::RuntimeError;
+use om_solver::{dopri5, SolveStats, Tolerances};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::time::{Duration, Instant};
 
 /// RHS of one pipeline stage: `(t, y, inputs, dydt)`. Must be `Send`
 /// because every stage runs on its own thread.
 pub type StageRhs = Box<dyn FnMut(f64, &[f64], &[f64], &mut [f64]) + Send>;
+
+/// What one stage thread produces: final state, solver stats, busy time.
+type StageOutcome = Result<(Vec<f64>, SolveStats, Duration), RuntimeError>;
 
 /// One stage of the pipeline.
 pub struct PipelineStage {
@@ -57,12 +69,60 @@ pub struct PipelineResult {
     pub busy_total: Duration,
 }
 
+fn validate(
+    stages: &[PipelineStage],
+    couplings: &[PipelineCoupling],
+    macro_steps: usize,
+) -> Result<(), RuntimeError> {
+    if macro_steps < 1 {
+        return Err(RuntimeError::InvalidConfig {
+            reason: "pipeline needs at least one macro step".into(),
+        });
+    }
+    let n = stages.len();
+    for c in couplings {
+        if c.src_stage >= c.dst_stage {
+            return Err(RuntimeError::InvalidCoupling {
+                reason: format!(
+                    "couplings must point downstream (src_stage {} >= dst_stage {})",
+                    c.src_stage, c.dst_stage
+                ),
+            });
+        }
+        if c.dst_stage >= n {
+            return Err(RuntimeError::InvalidCoupling {
+                reason: format!("dst_stage {} out of range ({n} stages)", c.dst_stage),
+            });
+        }
+        if c.dst_input >= stages[c.dst_stage].n_inputs {
+            return Err(RuntimeError::InvalidCoupling {
+                reason: format!(
+                    "dst_input {} out of range for stage '{}' ({} inputs)",
+                    c.dst_input,
+                    stages[c.dst_stage].name,
+                    stages[c.dst_stage].n_inputs
+                ),
+            });
+        }
+        if c.src_state >= stages[c.src_stage].dim {
+            return Err(RuntimeError::InvalidCoupling {
+                reason: format!(
+                    "src_state {} out of range for stage '{}' (dim {})",
+                    c.src_state,
+                    stages[c.src_stage].name,
+                    stages[c.src_stage].dim
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Run `stages` as a thread pipeline over `[t0, tend]` with
 /// `macro_steps` communication points.
 ///
-/// # Panics
-/// If a coupling points downstream-to-upstream (`src_stage >= dst_stage`)
-/// or indices are out of range.
+/// Invalid couplings or configuration are rejected with a typed error
+/// before any stage thread starts.
 pub fn run_pipeline(
     mut stages: Vec<PipelineStage>,
     couplings: &[PipelineCoupling],
@@ -70,15 +130,10 @@ pub fn run_pipeline(
     tend: f64,
     macro_steps: usize,
     tol: Tolerances,
-) -> Result<PipelineResult, SolveError> {
-    assert!(macro_steps >= 1);
+) -> Result<PipelineResult, RuntimeError> {
+    validate(&stages, couplings, macro_steps)?;
     let n = stages.len();
-    for c in couplings {
-        assert!(c.src_stage < c.dst_stage, "couplings must point downstream");
-        assert!(c.dst_stage < n, "bad dst_stage");
-        assert!(c.dst_input < stages[c.dst_stage].n_inputs, "bad dst_input");
-        assert!(c.src_state < stages[c.src_stage].dim, "bad src_state");
-    }
+    let names: Vec<String> = stages.iter().map(|s| s.name.clone()).collect();
 
     // One channel per (src, dst) stage pair that actually communicates.
     let mut pairs: Vec<(usize, usize)> = couplings
@@ -87,27 +142,27 @@ pub fn run_pipeline(
         .collect();
     pairs.sort_unstable();
     pairs.dedup();
-    let mut senders: Vec<Vec<(usize, Sender<Vec<f64>>)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut senders: Vec<Vec<(usize, SyncSender<Vec<f64>>)>> =
+        (0..n).map(|_| Vec::new()).collect();
     let mut receivers: Vec<Vec<(usize, Receiver<Vec<f64>>)>> =
         (0..n).map(|_| Vec::new()).collect();
     for &(src, dst) in &pairs {
         // Capacity 1: classic pipeline back-pressure (a stage may run at
         // most one macro step ahead of its consumers).
-        let (tx, rx) = bounded::<Vec<f64>>(1);
+        let (tx, rx) = sync_channel::<Vec<f64>>(1);
         senders[src].push((dst, tx));
         receivers[dst].push((src, rx));
     }
 
     let couplings: Vec<PipelineCoupling> = couplings.to_vec();
     let wall_start = Instant::now();
-    let results: Vec<Result<(Vec<f64>, SolveStats, Duration), SolveError>> =
-        crossbeam::thread::scope(|scope| {
+    let results: Vec<StageOutcome> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (idx, stage) in stages.drain(..).enumerate() {
                 let my_senders = std::mem::take(&mut senders[idx]);
                 let my_receivers = std::mem::take(&mut receivers[idx]);
                 let couplings = &couplings;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     stage_main(
                         idx,
                         stage,
@@ -123,17 +178,36 @@ pub fn run_pipeline(
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("stage thread panicked"))
+                .enumerate()
+                .map(|(idx, h)| match h.join() {
+                    Ok(r) => r,
+                    // A panicking stage drops its channel endpoints, which
+                    // unblocks its peers; here we just type the report.
+                    Err(_) => Err(RuntimeError::StagePanicked {
+                        stage: names[idx].clone(),
+                    }),
+                })
                 .collect()
-        })
-        .expect("pipeline scope");
+        });
     let wall = wall_start.elapsed();
+
+    // A stage failure makes its peers see channel disconnects; report the
+    // root cause (solver error / panic) in preference to the knock-ons.
+    if results.iter().any(|r| r.is_err()) {
+        let mut errors: Vec<RuntimeError> =
+            results.into_iter().filter_map(Result::err).collect();
+        let root = errors
+            .iter()
+            .position(|e| !matches!(e, RuntimeError::ChannelClosed { .. }))
+            .unwrap_or(0);
+        return Err(errors.swap_remove(root));
+    }
 
     let mut finals = Vec::with_capacity(n);
     let mut stats = Vec::with_capacity(n);
     let mut busy_total = Duration::ZERO;
-    for r in results {
-        let (y, s, busy) = r?;
+    // Errors were handled above; this collects the successes.
+    for (y, s, busy) in results.into_iter().flatten() {
         finals.push(y);
         stats.push(s);
         busy_total += busy;
@@ -150,14 +224,14 @@ pub fn run_pipeline(
 fn stage_main(
     idx: usize,
     mut stage: PipelineStage,
-    senders: Vec<(usize, Sender<Vec<f64>>)>,
+    senders: Vec<(usize, SyncSender<Vec<f64>>)>,
     receivers: Vec<(usize, Receiver<Vec<f64>>)>,
     couplings: &[PipelineCoupling],
     t0: f64,
     tend: f64,
     macro_steps: usize,
     tol: Tolerances,
-) -> Result<(Vec<f64>, SolveStats, Duration), SolveError> {
+) -> StageOutcome {
     let mut y = stage.y0.clone();
     let mut stats = SolveStats::default();
     let mut busy = Duration::ZERO;
@@ -169,13 +243,18 @@ fn stage_main(
 
     // Send own initial state downstream before the first step.
     for (_, tx) in &senders {
-        tx.send(y.clone()).expect("downstream alive");
+        tx.send(y.clone()).map_err(|_| RuntimeError::ChannelClosed {
+            what: "pipeline downstream stage",
+        })?;
     }
 
     for step in 0..macro_steps {
-        // Receive upstream states for the start of this step.
+        // Receive upstream states for the start of this step. A dead
+        // upstream stage surfaces as a disconnect, not a hang.
         for (src, rx) in &receivers {
-            let snapshot = rx.recv().expect("upstream alive");
+            let snapshot = rx.recv().map_err(|_| RuntimeError::ChannelClosed {
+                what: "pipeline upstream stage",
+            })?;
             upstream.insert(*src, snapshot);
         }
         let mut inputs = vec![0.0; stage.n_inputs];
@@ -216,7 +295,9 @@ fn stage_main(
         // Send the new state downstream (not needed after the last step).
         if step + 1 < macro_steps {
             for (_, tx) in &senders {
-                tx.send(y.clone()).expect("downstream alive");
+                tx.send(y.clone()).map_err(|_| RuntimeError::ChannelClosed {
+                    what: "pipeline downstream stage",
+                })?;
             }
         }
     }
@@ -329,12 +410,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "couplings must point downstream")]
-    fn upstream_coupling_is_rejected() {
+    fn upstream_coupling_is_rejected_with_typed_error() {
         let (stages, mut couplings) = cascade(Duration::ZERO);
         couplings[0].src_stage = 2;
         couplings[0].dst_stage = 0;
-        let _ = run_pipeline(stages, &couplings, 0.0, 1.0, 2, Tolerances::default());
+        let err = run_pipeline(stages, &couplings, 0.0, 1.0, 2, Tolerances::default())
+            .unwrap_err();
+        match err {
+            RuntimeError::InvalidCoupling { reason } => {
+                assert!(reason.contains("downstream"), "{reason}");
+            }
+            other => panic!("expected InvalidCoupling, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_stage_is_reported_not_deadlocked() {
+        let (mut stages, couplings) = cascade(Duration::ZERO);
+        stages[1].rhs = Box::new(|_t, _y, _u, _d| panic!("stage blew up"));
+        let err = run_pipeline(stages, &couplings, 0.0, 1.0, 4, Tolerances::default())
+            .unwrap_err();
+        match err {
+            RuntimeError::StagePanicked { stage } => assert_eq!(stage, "s1"),
+            other => panic!("expected StagePanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failing_stage_solver_error_propagates() {
+        let (mut stages, couplings) = cascade(Duration::ZERO);
+        // NaN derivatives force the adaptive solver to shrink h to death.
+        stages[2].rhs = Box::new(|_t, _y, _u, d: &mut [f64]| d[0] = f64::NAN);
+        let err = run_pipeline(stages, &couplings, 0.0, 1.0, 4, Tolerances::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Solve(_)),
+            "expected Solve, got {err:?}"
+        );
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! `om-solver` can drive the worker pool; the semi-dynamic scheduler
 //! rebalances between calls.
 
+use crate::error::RuntimeError;
 use crate::exec::WorkerPool;
 use crate::sched_dyn::SemiDynamicScheduler;
-use om_solver::OdeSystem;
+use om_solver::{OdeSystem, RhsError};
 use std::time::Instant;
 
 /// A parallel right-hand side: worker pool + semi-dynamic scheduler,
@@ -20,6 +21,9 @@ pub struct ParallelRhs {
     pub calls: usize,
     /// Wall-clock spent inside RHS evaluations (incl. communication).
     pub rhs_time: std::time::Duration,
+    /// The most recent runtime failure, if any. Set by both the fallible
+    /// and the infallible evaluation paths.
+    pub last_error: Option<RuntimeError>,
 }
 
 impl ParallelRhs {
@@ -31,6 +35,7 @@ impl ParallelRhs {
             scheduler: SemiDynamicScheduler::new(resched_every),
             calls: 0,
             rhs_time: std::time::Duration::ZERO,
+            last_error: None,
         }
     }
 
@@ -41,6 +46,17 @@ impl ParallelRhs {
         }
         self.calls as f64 / self.rhs_time.as_secs_f64()
     }
+
+    fn eval(&mut self, t: f64, y: &[f64], dydt: &mut [f64]) -> Result<(), RuntimeError> {
+        self.calls += 1;
+        let start = Instant::now();
+        let result = self.pool.try_rhs(t, y, dydt);
+        self.rhs_time += start.elapsed();
+        if result.is_ok() {
+            self.scheduler.after_rhs_call(&mut self.pool);
+        }
+        result
+    }
 }
 
 impl OdeSystem for ParallelRhs {
@@ -49,11 +65,21 @@ impl OdeSystem for ParallelRhs {
     }
 
     fn rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]) {
-        let start = Instant::now();
-        self.pool.rhs(t, y, dydt);
-        self.rhs_time += start.elapsed();
-        self.calls += 1;
-        self.scheduler.after_rhs_call(&mut self.pool);
+        if let Err(e) = self.eval(t, y, dydt) {
+            // Legacy infallible path: poison the derivatives so any
+            // step-size controller rejects the step, and keep the error
+            // for inspection instead of panicking.
+            dydt.fill(f64::NAN);
+            self.last_error = Some(e);
+        }
+    }
+
+    fn try_rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]) -> Result<(), RhsError> {
+        self.eval(t, y, dydt).map_err(|e| {
+            let rhs_err = RhsError::from(e.clone());
+            self.last_error = Some(e);
+            rhs_err
+        })
     }
 }
 
@@ -118,5 +144,42 @@ mod tests {
                 "component {i}"
             );
         }
+    }
+
+    #[test]
+    fn dead_pool_surfaces_as_solver_error_not_panic() {
+        use crate::fault::{FaultConfig, FaultKind, FaultPlan};
+        let src = "model Osc;
+            Real x(start=1.0); Real y;
+            equation der(x) = y; der(y) = -x; end Osc;";
+        let ir = causalize(&om_lang::compile(src).unwrap()).unwrap();
+        let program = CodeGenerator::default().generate(&ir);
+        let sched = program.schedule(2);
+        let plan = FaultPlan::none()
+            .inject(0, 1, FaultKind::Panic)
+            .inject(1, 1, FaultKind::Panic);
+        let config = FaultConfig {
+            max_respawns: 0,
+            sequential_fallback: false,
+            ..FaultConfig::default()
+        };
+        let pool =
+            WorkerPool::with_faults(program.graph, 2, sched.assignment, plan, config).unwrap();
+        let mut rhs = ParallelRhs::new(pool, 0);
+        let err = dopri5(
+            &mut rhs,
+            0.0,
+            &ir.initial_state(),
+            1.0,
+            &Tolerances::default(),
+        )
+        .unwrap_err();
+        match err {
+            om_solver::SolveError::RhsFailure { reason, .. } => {
+                assert!(reason.contains("exhausted"), "{reason}");
+            }
+            other => panic!("expected RhsFailure, got {other:?}"),
+        }
+        assert!(rhs.last_error.is_some());
     }
 }

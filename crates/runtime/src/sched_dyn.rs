@@ -14,7 +14,6 @@
 //! so experiment E6 can report the overhead fraction.
 
 use crate::exec::WorkerPool;
-use om_codegen::{list_schedule, lpt};
 use std::time::{Duration, Instant};
 
 /// Semi-dynamic scheduler state.
@@ -51,19 +50,15 @@ impl SemiDynamicScheduler {
         }
         self.calls_since = 0;
         let start = Instant::now();
-        // Measured seconds → integer nanoseconds for the scheduler.
+        // Measured seconds → integer nanoseconds for the scheduler. The
+        // pool runs LPT / list scheduling over its *live* workers only, so
+        // rescheduling composes with fault recovery.
         let costs: Vec<u64> = pool
             .measured
             .iter()
             .map(|&s| (s * 1e9).max(1.0) as u64)
             .collect();
-        let m = pool.n_workers();
-        let schedule = if pool.graph().is_independent() {
-            lpt(&costs, m)
-        } else {
-            list_schedule(&costs, &pool.graph().deps.clone(), m)
-        };
-        pool.set_assignment(schedule.assignment);
+        pool.rebalance(&costs);
         self.sched_time += start.elapsed();
         self.reschedules += 1;
         true

@@ -73,13 +73,10 @@ pub fn simulate_rhs_time(
 
     // Level structure for dependent graphs (level = longest dep chain).
     let n = graph.tasks.len();
+    // deps are producer tasks with smaller construction order but not
+    // necessarily smaller index; iterate to fixpoint (graphs are small
+    // DAGs).
     let mut level = vec![0usize; n];
-    for i in 0..n {
-        // deps are producer tasks with smaller construction order but not
-        // necessarily smaller index; iterate to fixpoint (graphs are
-        // small DAGs).
-        level[i] = 0;
-    }
     let mut changed = true;
     while changed {
         changed = false;
@@ -101,18 +98,18 @@ pub fn simulate_rhs_time(
     let downlink_done;
     if machine.tree_collectives {
         let depth = (workers + 1).next_power_of_two().trailing_zeros() as f64;
-        for w in 0..workers {
-            let bytes = plan.send_down[w] as f64 * f64_bytes;
-            worker_ready[w] = depth
+        for (ready, &down) in worker_ready.iter_mut().zip(&plan.send_down) {
+            let bytes = down as f64 * f64_bytes;
+            *ready = depth
                 * (machine.send_overhead + bytes / machine.bandwidth + machine.latency);
         }
         downlink_done = machine.send_overhead;
     } else {
         let mut send_clock = 0.0f64;
-        for w in 0..workers {
-            let bytes = plan.send_down[w] as f64 * f64_bytes;
+        for (ready, &down) in worker_ready.iter_mut().zip(&plan.send_down) {
+            let bytes = down as f64 * f64_bytes;
             send_clock += machine.send_overhead + bytes / machine.bandwidth;
-            worker_ready[w] = send_clock + machine.latency;
+            *ready = send_clock + machine.latency;
         }
         downlink_done = send_clock;
     }
@@ -177,7 +174,7 @@ pub fn simulate_rhs_time(
                 worker_done[w] + machine.latency + bytes / machine.bandwidth
             })
             .collect();
-        arrivals.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        arrivals.sort_by(f64::total_cmp);
         let mut clock: f64 = 0.0;
         for a in arrivals {
             clock = clock.max(a) + machine.send_overhead;

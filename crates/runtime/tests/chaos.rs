@@ -1,0 +1,149 @@
+//! Chaos tests: the supervisor must survive injected worker faults with a
+//! bitwise-identical trajectory, and a permanently failed pool must return
+//! a typed error instead of deadlocking.
+//!
+//! Every task is a pure function of `(t, y, shared)` and levels are
+//! barriers, so any replay — on a respawned worker, a survivor, or inline
+//! in the supervisor — reproduces exactly the same floating-point values.
+//! That makes "identical trajectory" an `assert_eq!`, not a tolerance.
+
+use om_runtime::{FaultConfig, FaultKind, FaultPlan, ParallelRhs, RuntimeError, WorkerPool};
+use om_solver::{dopri5, Tolerances};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const MODEL: &str = "model Chaos;
+    Real x(start=0.4); Real v(start=-0.3); Real f;
+    equation
+      der(x) = v;
+      der(v) = f;
+      f = -sin(x)*4.0 - 0.2*v + cos(time);
+    end Chaos;";
+
+fn build_rhs(n_workers: usize, plan: FaultPlan, config: FaultConfig) -> (ParallelRhs, Vec<f64>) {
+    let ir = om_ir::causalize(&om_lang::compile(MODEL).unwrap()).unwrap();
+    let program = om_codegen::CodeGenerator::default().generate(&ir);
+    let sched = program.schedule(n_workers);
+    let pool =
+        WorkerPool::with_faults(program.graph, n_workers, sched.assignment, plan, config).unwrap();
+    (ParallelRhs::new(pool, 0), ir.initial_state())
+}
+
+/// Integrate the model and return the full `(ts, ys)` trajectory.
+fn trajectory(plan: FaultPlan, config: FaultConfig, tend: f64) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let (mut rhs, y0) = build_rhs(3, plan, config);
+    let sol = dopri5(&mut rhs, 0.0, &y0, tend, &Tolerances::default()).unwrap();
+    assert!(
+        rhs.last_error.is_none(),
+        "unexpected runtime error: {:?}",
+        rhs.last_error
+    );
+    (sol.ts, sol.ys)
+}
+
+fn short_timeout() -> FaultConfig {
+    FaultConfig {
+        task_timeout: Duration::from_millis(50),
+        ..FaultConfig::default()
+    }
+}
+
+#[test]
+fn killed_worker_mid_integration_trajectory_is_bitwise_identical() {
+    let clean = trajectory(FaultPlan::none(), FaultConfig::default(), 2.0);
+    // Kill worker 0 after its 5th job — mid-integration, not at startup.
+    let faulty = trajectory(FaultPlan::kill(0, 5), FaultConfig::default(), 2.0);
+    assert_eq!(clean.0, faulty.0, "time grids differ");
+    assert_eq!(clean.1, faulty.1, "states differ");
+}
+
+#[test]
+fn dropped_result_trajectory_is_bitwise_identical() {
+    let clean = trajectory(FaultPlan::none(), short_timeout(), 1.0);
+    let plan = FaultPlan::none().inject(1, 3, FaultKind::DropResult);
+    let faulty = trajectory(plan, short_timeout(), 1.0);
+    assert_eq!(clean.0, faulty.0);
+    assert_eq!(clean.1, faulty.1);
+}
+
+#[test]
+fn straggling_worker_trajectory_is_bitwise_identical() {
+    let clean = trajectory(FaultPlan::none(), short_timeout(), 1.0);
+    let plan = FaultPlan::none().inject(2, 2, FaultKind::Straggle(Duration::from_millis(200)));
+    let faulty = trajectory(plan, short_timeout(), 1.0);
+    assert_eq!(clean.0, faulty.0);
+    assert_eq!(clean.1, faulty.1);
+}
+
+#[test]
+fn corrupted_output_trajectory_is_bitwise_identical() {
+    let clean = trajectory(FaultPlan::none(), FaultConfig::default(), 1.0);
+    let plan = FaultPlan::none().inject(0, 4, FaultKind::CorruptNaN);
+    let faulty = trajectory(plan, FaultConfig::default(), 1.0);
+    assert_eq!(clean.0, faulty.0);
+    assert_eq!(clean.1, faulty.1);
+}
+
+#[test]
+fn losing_every_worker_mid_run_still_finishes_identically() {
+    let clean = trajectory(FaultPlan::none(), FaultConfig::default(), 1.0);
+    let config = FaultConfig {
+        max_respawns: 0,
+        ..FaultConfig::default()
+    };
+    let plan = FaultPlan::none()
+        .inject(0, 2, FaultKind::Panic)
+        .inject(1, 4, FaultKind::Panic)
+        .inject(2, 6, FaultKind::Panic);
+    let faulty = trajectory(plan, config, 1.0);
+    assert_eq!(clean.0, faulty.0);
+    assert_eq!(clean.1, faulty.1);
+}
+
+#[test]
+fn exhausted_pool_returns_err_not_deadlock() {
+    // The whole point of timeout-bounded supervision: this must *return*.
+    // Guard the test itself with a timeout so a regression fails instead
+    // of hanging the suite.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let config = FaultConfig {
+            max_respawns: 0,
+            sequential_fallback: false,
+            task_timeout: Duration::from_millis(100),
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::none()
+            .inject(0, 1, FaultKind::Panic)
+            .inject(1, 1, FaultKind::Panic)
+            .inject(2, 1, FaultKind::Panic);
+        let (mut rhs, y0) = build_rhs(3, plan, config);
+        let mut dydt = vec![0.0; y0.len()];
+        let result = rhs.pool.try_rhs(0.0, &y0, &mut dydt);
+        let _ = tx.send(result);
+    });
+    let result = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("supervisor deadlocked: no answer within 10 s");
+    assert_eq!(result, Err(RuntimeError::PoolExhausted { workers: 3 }));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seedable fault plan — arbitrary mixes of kills, stragglers,
+    /// dropped messages, and corrupted outputs — leaves the trajectory
+    /// bitwise-identical to the fault-free run.
+    #[test]
+    fn any_seeded_fault_plan_preserves_trajectory(seed in 0u64..10_000) {
+        let config = FaultConfig {
+            task_timeout: Duration::from_millis(80),
+            ..FaultConfig::default()
+        };
+        let clean = trajectory(FaultPlan::none(), config.clone(), 0.5);
+        let plan = FaultPlan::from_seed(seed, 3, 4);
+        let faulty = trajectory(plan, config, 0.5);
+        prop_assert_eq!(&clean.0, &faulty.0);
+        prop_assert_eq!(&clean.1, &faulty.1);
+    }
+}

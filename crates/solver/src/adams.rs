@@ -15,7 +15,7 @@
 //! (paper §2.4: "extrapolation of … previously calculated points
 //! (multi-step methods)").
 
-use crate::ode::{check_finite, OdeSystem, SolveError, Solution, SolveStats, Tolerances};
+use crate::ode::{check_finite, eval_rhs, OdeSystem, SolveError, Solution, SolveStats, Tolerances};
 use crate::rk::rk4;
 
 /// Integrate with adaptive 4th-order Adams–Bashforth–Moulton.
@@ -71,8 +71,7 @@ pub fn abm4(
         if history.len() < 4 {
             history.clear();
             let mut f = vec![0.0; n];
-            sys.rhs(t, &y, &mut f);
-            sol.stats.rhs_calls += 1;
+            eval_rhs(sys, t, &y, &mut f, &mut sol.stats)?;
             history.push(f);
             // Three RK4 priming steps (only if room remains).
             let mut prime_t = t;
@@ -90,8 +89,7 @@ pub fn abm4(
                 sol.ts.push(prime_t);
                 sol.ys.push(prime_y.clone());
                 let mut f = vec![0.0; n];
-                sys.rhs(prime_t, &prime_y, &mut f);
-                sol.stats.rhs_calls += 1;
+                eval_rhs(sys, prime_t, &prime_y, &mut f, &mut sol.stats)?;
                 history.insert(0, f);
             }
             t = prime_t;
@@ -119,8 +117,7 @@ pub fn abm4(
                 + h / 24.0 * (55.0 * f0[i] - 59.0 * f1[i] + 37.0 * f2[i] - 9.0 * f3[i]);
         }
         // Evaluate.
-        sys.rhs(t + h, &yp, &mut fp);
-        sol.stats.rhs_calls += 1;
+        eval_rhs(sys, t + h, &yp, &mut fp, &mut sol.stats)?;
         // Correct (AM4).
         for i in 0..n {
             yc[i] = y[i] + h / 24.0 * (9.0 * fp[i] + 19.0 * f0[i] - 5.0 * f1[i] + f2[i]);
@@ -139,8 +136,7 @@ pub fn abm4(
             sol.ys.push(y.clone());
             // Final evaluation for the history (PECE).
             let mut f_new = vec![0.0; n];
-            sys.rhs(t, &y, &mut f_new);
-            sol.stats.rhs_calls += 1;
+            eval_rhs(sys, t, &y, &mut f_new, &mut sol.stats)?;
             history.insert(0, f_new);
             history.truncate(4);
             // Hysteretic step doubling.

@@ -17,7 +17,7 @@
 //! mirroring the fixed-leading-coefficient restarts of production codes.
 
 use crate::linalg::{LuFactors, Matrix};
-use crate::ode::{check_finite, OdeSystem, SolveError, Solution, SolveStats, Tolerances};
+use crate::ode::{check_finite, eval_rhs, OdeSystem, SolveError, Solution, SolveStats, Tolerances};
 
 /// `(a-coefficients, b)` for BDF-k, k = 1..=5.
 const BDF_COEFFS: [(&[f64], f64); 5] = [
@@ -117,8 +117,7 @@ pub fn bdf(
         // predictor instead — a constant predictor would make the
         // corrector-predictor error estimate O(h) and stall the solver.
         let y_pred = if order == 1 {
-            sys.rhs(t, &history[0], &mut f_buf);
-            sol.stats.rhs_calls += 1;
+            eval_rhs(sys, t, &history[0], &mut f_buf, &mut sol.stats)?;
             (0..n).map(|i| history[0][i] + h * f_buf[i]).collect()
         } else {
             extrapolate(&history[..order], n)
@@ -139,8 +138,7 @@ pub fn bdf(
             let mut norm_prev = f64::INFINITY;
             converged = false;
             for _ in 0..opts.max_newton {
-                sys.rhs(t_new, &y_new, &mut f_buf);
-                sol.stats.rhs_calls += 1;
+                eval_rhs(sys, t_new, &y_new, &mut f_buf, &mut sol.stats)?;
                 sol.stats.newton_iters += 1;
                 // Residual G(y).
                 let mut g: Vec<f64> = (0..n)
@@ -265,15 +263,13 @@ impl JacCache {
             // Finite differences: n extra RHS calls — the expensive path
             // the paper's user-supplied Jacobian avoids.
             let mut f0 = vec![0.0; n];
-            sys.rhs(t, y, &mut f0);
-            stats.rhs_calls += 1;
+            eval_rhs(sys, t, y, &mut f0, stats)?;
             let mut yp = y.to_vec();
             let mut fp = vec![0.0; n];
             for col in 0..n {
                 let dy = 1e-8 * y[col].abs().max(1e-8);
                 yp[col] = y[col] + dy;
-                sys.rhs(t, &yp, &mut fp);
-                stats.rhs_calls += 1;
+                eval_rhs(sys, t, &yp, &mut fp, stats)?;
                 yp[col] = y[col];
                 for row in 0..n {
                     jac[row * n + col] = (fp[row] - f0[row]) / dy;

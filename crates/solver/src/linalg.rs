@@ -7,6 +7,10 @@
 //! matrix" for partitioned systems comes from (§2.3) — factorization is
 //! O(n³), back-substitution O(n²).
 
+// Dense kernels are written with explicit indices on purpose: the i/j/k
+// triple-loop form mirrors the textbook algorithms.
+#![allow(clippy::needless_range_loop)]
+
 use crate::ode::SolveError;
 
 /// A dense row-major matrix.

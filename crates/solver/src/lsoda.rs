@@ -178,7 +178,7 @@ pub fn lsoda(
                 let lazy = chunk.stats.steps > 0
                     && chunk.stats.newton_iters < 2 * chunk.stats.steps
                     && chunk.stats.rejected == 0;
-                if nonstiff_cheaper || (lazy && cost_nonstiff.map_or(true, |ns| ns < 4 * cost)) {
+                if nonstiff_cheaper || (lazy && cost_nonstiff.is_none_or(|ns| ns < 4 * cost)) {
                     phase = Phase::NonStiff;
                 }
             }

@@ -16,6 +16,16 @@ pub trait OdeSystem {
     /// `RHS` function, the target of the parallelization.
     fn rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]);
 
+    /// Fallible variant of [`rhs`](OdeSystem::rhs). Systems whose RHS can
+    /// fail at runtime (e.g. a parallel worker pool losing all of its
+    /// workers) override this; the solvers call it exclusively, mapping an
+    /// error into [`SolveError::RhsFailure`] so the step is rejected with
+    /// a diagnosis instead of aborting the process.
+    fn try_rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]) -> Result<(), RhsError> {
+        self.rhs(t, y, dydt);
+        Ok(())
+    }
+
     /// Optionally fill the dense row-major Jacobian `∂f/∂y` and return
     /// `true`. Default: not provided; implicit solvers fall back to
     /// finite differences ("usually very expensive", §3.2.1).
@@ -113,6 +123,28 @@ impl SolveStats {
     }
 }
 
+/// A failure reported by an [`OdeSystem::try_rhs`] implementation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RhsError {
+    pub reason: String,
+}
+
+impl RhsError {
+    pub fn new(reason: impl Into<String>) -> Self {
+        RhsError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for RhsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RHS evaluation failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for RhsError {}
+
 /// Solver failure modes.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SolveError {
@@ -126,6 +158,9 @@ pub enum SolveError {
     NewtonFailure { t: f64 },
     /// The Jacobian matrix was numerically singular.
     SingularJacobian { t: f64 },
+    /// The RHS function itself failed (e.g. a worker pool with no live
+    /// workers left). The step is rejected; the caller sees the reason.
+    RhsFailure { t: f64, reason: String },
 }
 
 impl fmt::Display for SolveError {
@@ -145,6 +180,9 @@ impl fmt::Display for SolveError {
             }
             SolveError::SingularJacobian { t } => {
                 write!(f, "singular iteration matrix at t = {t}")
+            }
+            SolveError::RhsFailure { t, reason } => {
+                write!(f, "RHS evaluation failed at t = {t}: {reason}")
             }
         }
     }
@@ -208,6 +246,20 @@ pub(crate) fn check_finite(t: f64, y: &[f64]) -> Result<(), SolveError> {
     } else {
         Err(SolveError::NonFiniteState { t })
     }
+}
+
+/// The one RHS call site shared by every stepper: counts the call and
+/// maps an [`RhsError`] into [`SolveError::RhsFailure`].
+pub(crate) fn eval_rhs(
+    sys: &mut dyn OdeSystem,
+    t: f64,
+    y: &[f64],
+    dydt: &mut [f64],
+    stats: &mut SolveStats,
+) -> Result<(), SolveError> {
+    stats.rhs_calls += 1;
+    sys.try_rhs(t, y, dydt)
+        .map_err(|e| SolveError::RhsFailure { t, reason: e.reason })
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! several `RHS` calls (4 for RK4, 6–7 for DOPRI5), so the RHS-calls/s
 //! throughput measured in Figure 12 directly bounds simulation speed.
 
-use crate::ode::{check_finite, OdeSystem, SolveError, Solution, SolveStats, Tolerances};
+use crate::ode::{check_finite, eval_rhs, OdeSystem, SolveError, Solution, SolveStats, Tolerances};
 
 /// Integrate with the classic fourth-order Runge–Kutta method at fixed
 /// step `h`.
@@ -33,24 +33,23 @@ pub fn rk4(
     let mut tmp = vec![0.0; n];
     while t < tend - 1e-14 * tend.abs().max(1.0) {
         let h_step = h.min(tend - t);
-        sys.rhs(t, &y, &mut k1);
+        eval_rhs(sys, t, &y, &mut k1, &mut sol.stats)?;
         for i in 0..n {
             tmp[i] = y[i] + 0.5 * h_step * k1[i];
         }
-        sys.rhs(t + 0.5 * h_step, &tmp, &mut k2);
+        eval_rhs(sys, t + 0.5 * h_step, &tmp, &mut k2, &mut sol.stats)?;
         for i in 0..n {
             tmp[i] = y[i] + 0.5 * h_step * k2[i];
         }
-        sys.rhs(t + 0.5 * h_step, &tmp, &mut k3);
+        eval_rhs(sys, t + 0.5 * h_step, &tmp, &mut k3, &mut sol.stats)?;
         for i in 0..n {
             tmp[i] = y[i] + h_step * k3[i];
         }
-        sys.rhs(t + h_step, &tmp, &mut k4);
+        eval_rhs(sys, t + h_step, &tmp, &mut k4, &mut sol.stats)?;
         for i in 0..n {
             y[i] += h_step / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }
         t += h_step;
-        sol.stats.rhs_calls += 4;
         sol.stats.steps += 1;
         check_finite(t, &y)?;
         sol.ts.push(t);
@@ -131,13 +130,12 @@ pub fn dopri5(
     let mut t = t0;
     let mut y = y0.to_vec();
     let mut k: Vec<Vec<f64>> = vec![vec![0.0; n]; 7];
-    sys.rhs(t, &y, &mut k[0]);
-    sol.stats.rhs_calls += 1;
+    eval_rhs(sys, t, &y, &mut k[0], &mut sol.stats)?;
 
     let mut h = if tol.h0 > 0.0 {
         tol.h0
     } else {
-        initial_step(sys, t, &y, &k[0].clone(), tend, tol, &mut sol.stats)
+        initial_step(sys, t, &y, &k[0].clone(), tend, tol, &mut sol.stats)?
     };
     let mut err_prev: f64 = 1.0;
     let mut tmp = vec![0.0; n];
@@ -164,8 +162,7 @@ pub fn dopri5(
                 }
                 tmp[i] = y[i] + h * acc;
             }
-            sys.rhs(t + C[s] * h, &tmp, &mut k[s + 1]);
-            sol.stats.rhs_calls += 1;
+            eval_rhs(sys, t + C[s] * h, &tmp, &mut k[s + 1], &mut sol.stats)?;
         }
         // 5th order solution and embedded error.
         for i in 0..n {
@@ -211,7 +208,7 @@ fn initial_step(
     tend: f64,
     tol: &Tolerances,
     stats: &mut SolveStats,
-) -> f64 {
+) -> Result<f64, SolveError> {
     let n = y.len();
     let d0 = tol.error_norm(y, y);
     let d1 = tol.error_norm(f0, y);
@@ -225,8 +222,7 @@ fn initial_step(
         y1[i] = y[i] + h0 * f0[i];
     }
     let mut f1 = vec![0.0; n];
-    sys.rhs(t + h0, &y1, &mut f1);
-    stats.rhs_calls += 1;
+    eval_rhs(sys, t + h0, &y1, &mut f1, stats)?;
     let mut diff = vec![0.0; n];
     for i in 0..n {
         diff[i] = f1[i] - f0[i];
@@ -237,7 +233,7 @@ fn initial_step(
     } else {
         (0.01 / d1.max(d2)).powf(1.0 / 5.0)
     };
-    (100.0 * h0).min(h1).min(tend - t)
+    Ok((100.0 * h0).min(h1).min(tend - t))
 }
 
 #[cfg(test)]
@@ -343,6 +339,46 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn failing_rhs_surfaces_as_rhs_failure_not_panic() {
+        use crate::ode::RhsError;
+        struct Flaky {
+            calls: usize,
+        }
+        impl OdeSystem for Flaky {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn rhs(&mut self, _t: f64, _y: &[f64], dydt: &mut [f64]) {
+                dydt[0] = f64::NAN;
+            }
+            fn try_rhs(
+                &mut self,
+                _t: f64,
+                y: &[f64],
+                dydt: &mut [f64],
+            ) -> Result<(), RhsError> {
+                self.calls += 1;
+                if self.calls > 10 {
+                    return Err(RhsError::new("injected failure"));
+                }
+                dydt[0] = -y[0];
+                Ok(())
+            }
+        }
+        let mut sys = Flaky { calls: 0 };
+        let err = dopri5(&mut sys, 0.0, &[1.0], 10.0, &Tolerances::default());
+        match err {
+            Err(SolveError::RhsFailure { reason, .. }) => {
+                assert!(reason.contains("injected failure"))
+            }
+            other => panic!("expected RhsFailure, got {other:?}"),
+        }
+        let mut sys = Flaky { calls: 0 };
+        let err = rk4(&mut sys, 0.0, &[1.0], 1.0, 1e-2);
+        assert!(matches!(err, Err(SolveError::RhsFailure { .. })), "{err:?}");
     }
 
     #[test]

@@ -56,7 +56,7 @@ fn main() {
     // the known discrete rate, so the PDE solve has an exact answer.
     let lambda = cfg.discrete_eigenvalue(1);
     let decay = (-lambda * t_end).exp();
-    let mid = sys.find_state(&format!("u[{}]", (cells + 1) / 2)).expect("state");
+    let mid = sys.find_state(&format!("u[{}]", cells.div_ceil(2))).expect("state");
     println!(
         "peak temperature: computed {:.8}, analytic {:.8} (λ₁ = {lambda:.3})",
         sol.y_end()[mid],

@@ -15,19 +15,58 @@
 use objectmath::analysis::{build_dependency_graph, partition_by_scc, to_dot};
 use objectmath::codegen::{emit_cpp, emit_fortran, CodeGenerator};
 use objectmath::ir::{causalize, OdeIr};
-use objectmath::runtime::{ParallelRhs, WorkerPool};
+use objectmath::runtime::{FaultConfig, FaultPlan, ParallelRhs, RuntimeError, WorkerPool};
 use objectmath::solver::{
-    abm4, bdf, dopri5, lsoda, rk4, BdfOptions, LsodaOptions, OdeSystem, Tolerances,
+    abm4, bdf, dopri5, lsoda, rk4, BdfOptions, LsodaOptions, OdeSystem, SolveError, Tolerances,
 };
+use std::fmt;
 use std::process::ExitCode;
+
+/// Typed CLI failure; each class maps to a distinct exit code so scripts
+/// can tell a user error from a numerical failure from a runtime fault.
+enum CliError {
+    /// Bad command line (exit 2).
+    Usage(String),
+    /// File system problem (exit 1).
+    Io(String),
+    /// Model does not compile (exit 1).
+    Compile(String),
+    /// The integration failed numerically (exit 3).
+    Solve(SolveError),
+    /// The parallel runtime failed (exit 4).
+    Runtime(RuntimeError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) | CliError::Compile(_) => 1,
+            CliError::Solve(_) => 3,
+            CliError::Runtime(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(m) => write!(f, "{m}"),
+            CliError::Compile(m) => write!(f, "error: {m}"),
+            CliError::Solve(e) => write!(f, "solver error: {e}"),
+            CliError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("omc: {message}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("omc: {error}");
+            ExitCode::from(error.exit_code())
         }
     }
 }
@@ -54,26 +93,29 @@ fn usage() -> String {
         .to_owned()
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     if args.len() < 2 {
-        return Err(usage());
+        return Err(CliError::Usage(usage()));
     }
     let path = &args[0];
     let command = args[1].as_str();
     let opts = parse_flags(&args[2..])?;
 
     let source = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let flat = objectmath::lang::compile(&source).map_err(|e| e.to_string())?;
-    let mut ir = causalize(&flat).map_err(|e| e.to_string())?;
-    objectmath::ir::verify_compilable(&ir).map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
+    let flat = objectmath::lang::compile(&source).map_err(|e| CliError::Compile(e.to_string()))?;
+    let mut ir = causalize(&flat).map_err(|e| CliError::Compile(e.to_string()))?;
+    objectmath::ir::verify_compilable(&ir).map_err(|e| CliError::Compile(e.to_string()))?;
 
     match command {
         "analyze" => analyze(&ir, &opts),
         "emit" => emit(&ir, &opts),
         "tasks" => tasks(&ir, &opts),
         "simulate" => simulate(&mut ir, &opts),
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -91,7 +133,7 @@ struct Flags {
     sets: Vec<(String, f64)>,
 }
 
-fn parse_flags(rest: &[String]) -> Result<Flags, String> {
+fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
     let mut f = Flags {
         lang: "f90".into(),
         solver: "dopri5".into(),
@@ -107,7 +149,7 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
         let mut value = |name: &str| {
             it.next()
                 .cloned()
-                .ok_or_else(|| format!("flag {name} needs a value"))
+                .ok_or_else(|| CliError::Usage(format!("flag {name} needs a value")))
         };
         match flag.as_str() {
             "--dot" => f.dot = true,
@@ -117,41 +159,50 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
             "--workers" => {
                 f.workers = value("--workers")?
                     .parse()
-                    .map_err(|e| format!("--workers: {e}"))?
+                    .map_err(|e| CliError::Usage(format!("--workers: {e}")))?
             }
             "--tend" => {
                 f.tend = value("--tend")?
                     .parse()
-                    .map_err(|e| format!("--tend: {e}"))?
+                    .map_err(|e| CliError::Usage(format!("--tend: {e}")))?
             }
             "--rtol" => {
                 f.rtol = value("--rtol")?
                     .parse()
-                    .map_err(|e| format!("--rtol: {e}"))?
+                    .map_err(|e| CliError::Usage(format!("--rtol: {e}")))?
             }
             "--atol" => {
                 f.atol = value("--atol")?
                     .parse()
-                    .map_err(|e| format!("--atol: {e}"))?
+                    .map_err(|e| CliError::Usage(format!("--atol: {e}")))?
             }
             "--h" => {
-                f.h = value("--h")?.parse().map_err(|e| format!("--h: {e}"))?
+                f.h = value("--h")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--h: {e}")))?
             }
             "--set" => {
                 let spec = value("--set")?;
-                let (name, val) = spec
-                    .split_once('=')
-                    .ok_or_else(|| format!("--set expects state=value, got `{spec}`"))?;
-                let val: f64 = val.parse().map_err(|e| format!("--set {name}: {e}"))?;
+                let (name, val) = spec.split_once('=').ok_or_else(|| {
+                    CliError::Usage(format!("--set expects state=value, got `{spec}`"))
+                })?;
+                let val: f64 = val
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--set {name}: {e}")))?;
                 f.sets.push((name.to_owned(), val));
             }
-            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag `{other}`\n{}",
+                    usage()
+                )))
+            }
         }
     }
     Ok(f)
 }
 
-fn analyze(ir: &OdeIr, opts: &Flags) -> Result<(), String> {
+fn analyze(ir: &OdeIr, opts: &Flags) -> Result<(), CliError> {
     let dep = build_dependency_graph(ir);
     if opts.dot {
         print!("{}", to_dot(&dep, &ir.name));
@@ -186,7 +237,7 @@ fn analyze(ir: &OdeIr, opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn emit(ir: &OdeIr, opts: &Flags) -> Result<(), String> {
+fn emit(ir: &OdeIr, opts: &Flags) -> Result<(), CliError> {
     let generator = CodeGenerator::default();
     let workers = if opts.workers == 0 { 4 } else { opts.workers };
     match (opts.lang.as_str(), opts.serial) {
@@ -221,12 +272,16 @@ fn emit(ir: &OdeIr, opts: &Flags) -> Result<(), String> {
             };
             print!("{}", src.text);
         }
-        (other, _) => return Err(format!("unknown --lang `{other}` (f90|cpp|mma)")),
+        (other, _) => {
+            return Err(CliError::Usage(format!(
+                "unknown --lang `{other}` (f90|cpp|mma)"
+            )))
+        }
     }
     Ok(())
 }
 
-fn tasks(ir: &OdeIr, opts: &Flags) -> Result<(), String> {
+fn tasks(ir: &OdeIr, opts: &Flags) -> Result<(), CliError> {
     let workers = if opts.workers == 0 { 4 } else { opts.workers };
     let program = CodeGenerator::default().generate(ir);
     let sched = program.schedule(workers);
@@ -260,10 +315,10 @@ fn truncate(s: &str, n: usize) -> String {
     }
 }
 
-fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), String> {
+fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), CliError> {
     for (name, value) in &opts.sets {
         if !ir.set_start(name, *value) {
-            return Err(format!("--set: no state named `{name}`"));
+            return Err(CliError::Usage(format!("--set: no state named `{name}`")));
         }
     }
     let tol = Tolerances {
@@ -276,11 +331,11 @@ fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), String> {
     let h = if opts.h > 0.0 { opts.h } else { tend / 1000.0 };
 
     // Serial (tree-walking) or parallel (bytecode worker pool) RHS.
-    let solve = |sys: &mut dyn OdeSystem| -> Result<objectmath::solver::Solution, String> {
+    let solve = |sys: &mut dyn OdeSystem| -> Result<objectmath::solver::Solution, CliError> {
         match opts.solver.as_str() {
-            "dopri5" => dopri5(sys, 0.0, &y0, tend, &tol).map_err(|e| e.to_string()),
-            "rk4" => rk4(sys, 0.0, &y0, tend, h).map_err(|e| e.to_string()),
-            "abm" => abm4(sys, 0.0, &y0, tend, &tol).map_err(|e| e.to_string()),
+            "dopri5" => dopri5(sys, 0.0, &y0, tend, &tol).map_err(CliError::Solve),
+            "rk4" => rk4(sys, 0.0, &y0, tend, h).map_err(CliError::Solve),
+            "abm" => abm4(sys, 0.0, &y0, tend, &tol).map_err(CliError::Solve),
             "bdf" => bdf(
                 sys,
                 0.0,
@@ -291,7 +346,7 @@ fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), String> {
                     ..BdfOptions::default()
                 },
             )
-            .map_err(|e| e.to_string()),
+            .map_err(CliError::Solve),
             "lsoda" => lsoda(
                 sys,
                 0.0,
@@ -303,13 +358,14 @@ fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), String> {
                 },
             )
             .map(|s| s.solution)
-            .map_err(|e| e.to_string()),
-            other => Err(format!("unknown --solver `{other}`")),
+            .map_err(CliError::Solve),
+            other => Err(CliError::Usage(format!("unknown --solver `{other}`"))),
         }
     };
 
     let sol = if opts.workers <= 1 {
-        let evaluator = objectmath::ir::IrEvaluator::new(ir).map_err(|e| e.to_string())?;
+        let evaluator =
+            objectmath::ir::IrEvaluator::new(ir).map_err(|e| CliError::Compile(e.to_string()))?;
         let mut sys = objectmath::solver::FnSystem::new(ir.dim(), move |t, y: &[f64], d: &mut [f64]| {
             evaluator.rhs(t, y, d);
         });
@@ -317,9 +373,26 @@ fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), String> {
     } else {
         let program = CodeGenerator::default().generate(ir);
         let sched = program.schedule(opts.workers);
-        let pool = WorkerPool::new(program.graph, opts.workers, sched.assignment);
+        let pool = WorkerPool::with_faults(
+            program.graph,
+            opts.workers,
+            sched.assignment,
+            FaultPlan::none(),
+            FaultConfig::default(),
+        )
+        .map_err(CliError::Runtime)?;
         let mut rhs = ParallelRhs::new(pool, 16);
-        let sol = solve(&mut rhs)?;
+        let sol = match solve(&mut rhs) {
+            Ok(sol) => sol,
+            Err(e) => {
+                // A solver failure caused by the pool dying is more usefully
+                // reported as the underlying runtime fault.
+                if let Some(runtime_error) = rhs.last_error.take() {
+                    return Err(CliError::Runtime(runtime_error));
+                }
+                return Err(e);
+            }
+        };
         eprintln!(
             "[parallel RHS: {} calls, {:.0} calls/s, scheduler overhead {:.3}%]",
             rhs.calls,

@@ -13,17 +13,13 @@ use std::io::Write as _;
 use std::process::Command;
 
 fn cxx() -> Option<&'static str> {
-    for candidate in ["g++", "clang++", "c++"] {
-        if Command::new(candidate)
+    ["g++", "clang++", "c++"].into_iter().find(|candidate| {
+        Command::new(candidate)
             .arg("--version")
             .output()
             .map(|o| o.status.success())
             .unwrap_or(false)
-        {
-            return Some(candidate);
-        }
-    }
-    None
+    })
 }
 
 fn compile_and_run(source_cpp: &str, dim: usize, t: f64, y: &[f64]) -> Vec<f64> {
