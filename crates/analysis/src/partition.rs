@@ -64,6 +64,7 @@ impl Partition {
 /// Partition the equations of `dep` into subsystems by strongly connected
 /// component.
 pub fn partition_by_scc(dep: &DepGraph) -> Partition {
+    let _span = om_obs::span("analysis.partition", "analysis");
     let scc = dep.graph.tarjan_scc();
     let levels_by_comp = scc.schedule_levels(&dep.graph);
     // comp id -> level
@@ -107,7 +108,17 @@ pub fn partition_by_scc(dep: &DepGraph) -> Partition {
     for (i, s) in subsystems.iter().enumerate() {
         levels[s.level].push(i);
     }
-    Partition { subsystems, levels }
+    let partition = Partition { subsystems, levels };
+    if om_obs::is_enabled() {
+        let m = om_obs::metrics();
+        m.gauge("analysis.scc_count").set(partition.subsystems.len() as f64);
+        m.gauge("analysis.scc_largest")
+            .set(partition.scc_sizes().first().copied().unwrap_or(0) as f64);
+        m.gauge("analysis.pipeline_levels").set(partition.levels.len() as f64);
+        m.gauge("analysis.max_parallel_width")
+            .set(partition.max_parallel_width() as f64);
+    }
+    partition
 }
 
 #[cfg(test)]

@@ -81,15 +81,27 @@ fn main() {
     }
 
     // Real-thread measurement on this host (correctness demo, not a
-    // period-hardware reproduction).
+    // period-hardware reproduction). Worker utilization comes from the
+    // om-obs per-worker busy-time counters: busy_ns / (wall_ns × workers).
     println!("\n== real-thread throughput on this host ==");
     let ir = om_models::bearing2d::ir(&cfg);
     let y0 = ir.initial_state();
     let host_cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(4);
+    let busy_total = || -> u64 {
+        om_obs::metrics()
+            .counter_values()
+            .iter()
+            .filter(|(name, _)| name.starts_with("runtime.worker") && name.ends_with(".busy_ns"))
+            .map(|&(_, v)| v)
+            .sum()
+    };
     let mut host_rows = Vec::new();
     for w in [1, 2, 4, host_cores.min(8)] {
+        // Fresh registry per configuration; enable *before* the pool is
+        // built so worker threads resolve their busy-ns counters.
+        om_obs::init(&om_obs::ObsConfig::enabled());
         let costs: Vec<u64> = graph.tasks.iter().map(|t| t.static_cost).collect();
         let sched = om_codegen::lpt(&costs, w);
         let pool = WorkerPool::new(graph.clone(), w, sched.assignment);
@@ -100,13 +112,22 @@ fn main() {
             rhs.rhs(0.0, &y0, &mut dydt);
         }
         let calls = 2000;
+        let busy_before = busy_total();
         let start = Instant::now();
         for k in 0..calls {
             rhs.rhs(k as f64 * 1e-6, &y0, &mut dydt);
         }
-        let rate = calls as f64 / start.elapsed().as_secs_f64();
-        println!("  {w} worker(s): {rate:>10.0} RHS calls/s");
-        host_rows.push(format!("{w},{rate:.0}"));
+        let wall = start.elapsed();
+        let busy = busy_total().saturating_sub(busy_before);
+        let util = busy as f64 / (wall.as_nanos() as f64 * w as f64);
+        let rate = calls as f64 / wall.as_secs_f64();
+        println!("  {w} worker(s): {rate:>10.0} RHS calls/s, {:>5.1}% worker utilization", 100.0 * util);
+        host_rows.push(format!("{w},{rate:.0},{util:.4}"));
     }
-    om_bench::write_csv("fig12_host_threads", "workers,calls_per_s", &host_rows);
+    om_obs::init(&om_obs::ObsConfig::disabled());
+    om_bench::write_csv(
+        "fig12_host_threads",
+        "workers,calls_per_s,worker_utilization",
+        &host_rows,
+    );
 }

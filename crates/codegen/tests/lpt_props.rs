@@ -1,0 +1,124 @@
+//! Property tests for the LPT scheduler (paper §3.2.3).
+//!
+//! Graham's classical result: LPT list scheduling of independent tasks on
+//! `m` identical machines has makespan ≤ (4/3 − 1/(3m))·OPT. The bound
+//! test compares against the *true* optimum (branch-and-bound over all
+//! assignments) — comparing against a lower bound instead would assert a
+//! stronger, false property.
+
+use om_codegen::{list_schedule, lpt};
+use proptest::prelude::*;
+
+/// Exact minimum makespan by branch-and-bound over all assignments.
+/// Exponential, so keep task counts small in the strategies below.
+fn opt_makespan(costs: &[u64], m: usize) -> u64 {
+    fn rec(costs: &[u64], loads: &mut [u64], i: usize, best: &mut u64) {
+        let current = loads.iter().copied().max().unwrap_or(0);
+        if current >= *best {
+            return; // can only get worse
+        }
+        if i == costs.len() {
+            *best = current;
+            return;
+        }
+        // Workers with equal load are symmetric: trying one is enough.
+        let mut seen = Vec::with_capacity(loads.len());
+        for w in 0..loads.len() {
+            if seen.contains(&loads[w]) {
+                continue;
+            }
+            seen.push(loads[w]);
+            loads[w] += costs[i];
+            rec(costs, loads, i + 1, best);
+            loads[w] -= costs[i];
+        }
+    }
+    let mut best = costs.iter().sum::<u64>().max(1);
+    let mut loads = vec![0u64; m];
+    rec(costs, &mut loads, 0, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every task is assigned exactly once, to a valid worker, and the
+    /// derived metrics are consistent with the assignment.
+    #[test]
+    fn every_task_assigned_exactly_once(costs in prop::collection::vec(1u64..=100, 1..=9), m in 1usize..=4) {
+        let sched = lpt(&costs, m);
+        prop_assert_eq!(sched.assignment.len(), costs.len());
+        prop_assert!(sched.assignment.iter().all(|&w| w < m));
+        // per_worker() partitions 0..n: each task appears exactly once.
+        let mut seen = vec![false; costs.len()];
+        for (w, tasks) in sched.per_worker().iter().enumerate() {
+            for &t in tasks {
+                prop_assert!(!seen[t], "task {} assigned twice", t);
+                seen[t] = true;
+                prop_assert_eq!(sched.assignment[t], w);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some task never assigned");
+        // Loads are exactly the per-worker cost sums; makespan is the max.
+        for w in 0..m {
+            let sum: u64 = (0..costs.len())
+                .filter(|&t| sched.assignment[t] == w)
+                .map(|t| costs[t])
+                .sum();
+            prop_assert_eq!(sched.loads[w], sum);
+        }
+        prop_assert_eq!(sched.makespan, sched.loads.iter().copied().max().unwrap());
+        prop_assert_eq!(sched.loads.iter().sum::<u64>(), costs.iter().sum::<u64>());
+    }
+
+    /// Graham's bound: makespan(LPT) ≤ (4/3 − 1/(3m))·OPT, i.e.
+    /// 3·m·LPT ≤ (4m−1)·OPT in exact integer arithmetic.
+    #[test]
+    fn lpt_within_graham_bound_of_optimum(costs in prop::collection::vec(1u64..=100, 1..=9), m in 1usize..=4) {
+        let sched = lpt(&costs, m);
+        let opt = opt_makespan(&costs, m);
+        prop_assert!(sched.makespan >= opt, "LPT beat the optimum?!");
+        prop_assert!(
+            3 * m as u64 * sched.makespan <= (4 * m as u64 - 1) * opt,
+            "LPT makespan {} vs OPT {} breaks (4/3 - 1/3m) on m={}",
+            sched.makespan, opt, m
+        );
+    }
+
+    /// The scheduler is a pure function: identical inputs give identical
+    /// schedules (ties are broken by index, so there is no hidden state).
+    #[test]
+    fn schedule_is_deterministic(costs in prop::collection::vec(1u64..=100, 1..=9), m in 1usize..=4) {
+        let a = lpt(&costs, m);
+        let b = lpt(&costs, m);
+        prop_assert_eq!(a, b);
+    }
+
+    /// List scheduling with no dependencies also assigns every task
+    /// exactly once and never beats the dependency-free optimum.
+    #[test]
+    fn list_schedule_reduces_to_valid_assignment(costs in prop::collection::vec(1u64..=100, 1..=9), m in 1usize..=4) {
+        let deps = vec![Vec::new(); costs.len()];
+        let sched = list_schedule(&costs, &deps, m);
+        prop_assert_eq!(sched.assignment.len(), costs.len());
+        prop_assert!(sched.assignment.iter().all(|&w| w < m));
+        prop_assert_eq!(sched.loads.iter().sum::<u64>(), costs.iter().sum::<u64>());
+        prop_assert!(sched.makespan >= opt_makespan(&costs, m));
+    }
+}
+
+#[test]
+fn opt_makespan_brute_force_is_right_on_known_cases() {
+    // 2 workers, {3,3,2,2,2}: OPT = 6 (3+3 / 2+2+2).
+    assert_eq!(opt_makespan(&[3, 3, 2, 2, 2], 2), 6);
+    // The classic LPT-adversarial case meets the bound exactly at m=2:
+    // {3,3,2,2,2} → LPT puts 3,3 apart: loads (3+2+2, 3+2) → makespan 7.
+    let sched = lpt(&[3, 3, 2, 2, 2], 2);
+    assert_eq!(sched.makespan, 7);
+    // 7/6 ≤ (4·2−1)/(3·2) = 7/6 — tight.
+    assert_eq!(3 * 2 * 7, (4 * 2 - 1) * 6);
+    // One worker: OPT is the total.
+    assert_eq!(opt_makespan(&[5, 1, 9], 1), 15);
+    // More workers than tasks: OPT is the largest task.
+    assert_eq!(opt_makespan(&[4, 7], 4), 7);
+}

@@ -1,0 +1,363 @@
+//! Counters, gauges, histograms, and the global [`MetricsRegistry`].
+//!
+//! Handles are `Arc`s over atomics: look one up once (registry access
+//! takes a lock) and update it lock-free afterwards. All updates are
+//! gated on the master switch, so a disabled configuration records
+//! exactly nothing. Counters saturate instead of wrapping.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonic saturating counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`, saturating at `u64::MAX`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::is_enabled() {
+            return;
+        }
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge holding an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if !crate::is_enabled() {
+            return;
+        }
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-boundary histogram. Bucket `i` counts observations
+/// `v <= bounds[i]`; one extra overflow bucket counts the rest.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Histogram over explicit ascending upper bounds.
+    pub fn new(bounds: Vec<f64>) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            buckets: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// `count` exponential bounds: `start, start*factor, …`.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Histogram {
+        assert!(start > 0.0 && factor > 1.0 && count > 0);
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Histogram::new(bounds)
+    }
+
+    /// Index of the bucket that would count `v`.
+    pub fn bucket_index(&self, v: f64) -> usize {
+        self.bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len())
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if !crate::is_enabled() {
+            return;
+        }
+        self.buckets[self.bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Relaxed CAS loop to accumulate the f64 sum.
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+    }
+
+    /// Upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, overflow last.
+    pub fn counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+}
+
+/// Named metric store. One global instance lives behind [`metrics`];
+/// tests may build their own.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create a counter. While disabled this returns a detached
+    /// handle that is not registered (and whose updates are no-ops), so a
+    /// disabled run leaves the registry truly empty.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if !crate::is_enabled() {
+            return Arc::new(Counter::default());
+        }
+        let mut map = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Get or create a gauge (detached while disabled).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if !crate::is_enabled() {
+            return Arc::new(Gauge::default());
+        }
+        let mut map = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// Get or create a histogram with the given bounds (bounds are only
+    /// used on first creation; detached while disabled).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if !crate::is_enabled() {
+            return Arc::new(Histogram::new(bounds.to_vec()));
+        }
+        let mut map = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds.to_vec()))),
+        )
+    }
+
+    /// Snapshot of all counters as `(name, value)`.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let map = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Snapshot of all gauges as `(name, value)`.
+    pub fn gauge_values(&self) -> Vec<(String, f64)> {
+        let map = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Number of registered metrics of all kinds.
+    pub fn len(&self) -> usize {
+        self.counters.lock().unwrap_or_else(|p| p.into_inner()).len()
+            + self.gauges.lock().unwrap_or_else(|p| p.into_inner()).len()
+            + self
+                .histograms
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every registered metric. Handles already held elsewhere keep
+    /// working but are no longer visible here.
+    pub fn reset(&self) {
+        self.counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+        self.gauges.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        self.histograms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+    }
+
+    /// Plain-text rendering, one metric per line, sorted by name.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counter_values() {
+            let _ = writeln!(out, "counter   {name:<40} {v}");
+        }
+        for (name, v) in self.gauge_values() {
+            let _ = writeln!(out, "gauge     {name:<40} {v}");
+        }
+        let hists = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
+        for (name, h) in hists.iter() {
+            let _ = writeln!(
+                out,
+                "histogram {name:<40} count={} mean={:.3e}",
+                h.count(),
+                h.mean()
+            );
+        }
+        out
+    }
+}
+
+static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-global metrics registry.
+pub fn metrics() -> &'static MetricsRegistry {
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::TEST_LOCK;
+    use crate::ObsConfig;
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        crate::init(&ObsConfig::enabled());
+        let c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.add(5);
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        crate::init(&ObsConfig::disabled());
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        crate::init(&ObsConfig::enabled());
+        let h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        // On-boundary values land in the bucket they bound.
+        assert_eq!(h.bucket_index(0.5), 0);
+        assert_eq!(h.bucket_index(1.0), 0);
+        assert_eq!(h.bucket_index(1.0001), 1);
+        assert_eq!(h.bucket_index(10.0), 1);
+        assert_eq!(h.bucket_index(100.0), 2);
+        assert_eq!(h.bucket_index(100.1), 3); // overflow bucket
+        for v in [0.5, 1.0, 5.0, 50.0, 5000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 5056.5).abs() < 1e-9);
+        assert!((h.mean() - 5056.5 / 5.0).abs() < 1e-9);
+        crate::init(&ObsConfig::disabled());
+    }
+
+    #[test]
+    fn exponential_bounds_multiply() {
+        let h = Histogram::exponential(1e-6, 10.0, 4);
+        let b = h.bounds();
+        assert_eq!(b.len(), 4);
+        assert!((b[0] - 1e-6).abs() < 1e-18);
+        assert!((b[3] - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Histogram::new(vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn disabled_registry_stays_empty_and_updates_are_noops() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        crate::init(&ObsConfig::disabled());
+        let c = metrics().counter("ghost.counter");
+        let g = metrics().gauge("ghost.gauge");
+        let h = metrics().histogram("ghost.hist", &[1.0]);
+        c.add(10);
+        g.set(3.5);
+        h.observe(0.5);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert!(metrics().is_empty(), "{}", metrics().render());
+    }
+
+    #[test]
+    fn registry_returns_the_same_handle_for_a_name() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        crate::init(&ObsConfig::enabled());
+        let a = metrics().counter("same.counter");
+        let b = metrics().counter("same.counter");
+        a.add(2);
+        assert_eq!(b.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        crate::init(&ObsConfig::disabled());
+    }
+}

@@ -1,0 +1,321 @@
+//! Span events and per-thread event buffers.
+//!
+//! Each recording thread owns a plain `Vec<Event>` behind a
+//! `thread_local!`; pushing an event takes no lock. The buffer drains
+//! into the global sink when the thread exits (TLS destructor) or when
+//! [`flush_thread`] / [`collect`] runs on that thread. Timestamps are
+//! nanoseconds since the first event of the process, from a monotonic
+//! clock, so they are non-decreasing per thread by construction.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Chrome-trace event phase subset used by this layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Duration begin (`"B"`). Paired with [`Phase::End`] LIFO per thread.
+    Begin,
+    /// Duration end (`"E"`).
+    End,
+    /// Instant event (`"i"`), thread scope.
+    Instant,
+    /// Counter sample (`"C"`); `value` carries the sample.
+    Counter,
+}
+
+/// One trace event. Names and categories are `&'static str` so recording
+/// never allocates; variable data goes in `arg`/`value`.
+#[derive(Clone, Debug)]
+pub struct Event {
+    pub name: &'static str,
+    pub cat: &'static str,
+    pub ph: Phase,
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Small per-thread id assigned at first use (1-based).
+    pub tid: u64,
+    /// Counter payload (Phase::Counter only).
+    pub value: f64,
+    /// Optional single structured argument.
+    pub arg: Option<(&'static str, i64)>,
+}
+
+/// A drained set of events plus the thread-name table.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Events sorted by timestamp (stable, so per-thread order is kept).
+    pub events: Vec<Event>,
+    /// `(tid, thread name)` for every thread that recorded anything.
+    pub threads: Vec<(u64, String)>,
+}
+
+struct Sink {
+    events: Vec<Event>,
+    threads: Vec<(u64, String)>,
+}
+
+static SINK: Mutex<Sink> = Mutex::new(Sink {
+    events: Vec::new(),
+    threads: Vec::new(),
+});
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+struct ThreadBuf {
+    tid: u64,
+    events: Vec<Event>,
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        if !self.events.is_empty() {
+            if let Ok(mut sink) = SINK.lock() {
+                sink.events.append(&mut self.events);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<Option<ThreadBuf>> = const { RefCell::new(None) };
+}
+
+fn record(make: impl FnOnce(u64, u64) -> Event) {
+    let ts = now_ns();
+    // A TLS buffer being torn down (thread exit) silently drops the event.
+    let _ = BUF.try_with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let buf = slot.get_or_insert_with(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current()
+                .name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("thread-{tid}"));
+            if let Ok(mut sink) = SINK.lock() {
+                sink.threads.push((tid, name));
+            }
+            ThreadBuf {
+                tid,
+                events: Vec::with_capacity(256),
+            }
+        });
+        let tid = buf.tid;
+        buf.events.push(make(tid, ts));
+    });
+}
+
+/// RAII guard recording a `Begin` now and the matching `End` on drop.
+#[must_use = "dropping the guard immediately ends the span"]
+pub struct SpanGuard {
+    name: &'static str,
+    cat: &'static str,
+    armed: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let (name, cat) = (self.name, self.cat);
+            record(|tid, ts| Event {
+                name,
+                cat,
+                ph: Phase::End,
+                ts_ns: ts,
+                tid,
+                value: 0.0,
+                arg: None,
+            });
+        }
+    }
+}
+
+/// Open a span. Records nothing (and the guard is inert) while disabled.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    span_impl(name, cat, None)
+}
+
+/// Open a span carrying one structured argument (e.g. a level index).
+#[inline]
+pub fn span_arg(name: &'static str, cat: &'static str, key: &'static str, val: i64) -> SpanGuard {
+    span_impl(name, cat, Some((key, val)))
+}
+
+fn span_impl(name: &'static str, cat: &'static str, arg: Option<(&'static str, i64)>) -> SpanGuard {
+    if !crate::is_enabled() {
+        return SpanGuard {
+            name,
+            cat,
+            armed: false,
+        };
+    }
+    record(|tid, ts| Event {
+        name,
+        cat,
+        ph: Phase::Begin,
+        ts_ns: ts,
+        tid,
+        value: 0.0,
+        arg,
+    });
+    SpanGuard {
+        name,
+        cat,
+        armed: true,
+    }
+}
+
+/// Record an instant event (a point in time on the calling thread).
+#[inline]
+pub fn instant(name: &'static str, cat: &'static str) {
+    if !crate::is_enabled() {
+        return;
+    }
+    record(|tid, ts| Event {
+        name,
+        cat,
+        ph: Phase::Instant,
+        ts_ns: ts,
+        tid,
+        value: 0.0,
+        arg: None,
+    });
+}
+
+/// Record a counter sample (renders as a counter track in Perfetto).
+#[inline]
+pub fn counter_value(name: &'static str, value: f64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    record(|tid, ts| Event {
+        name,
+        cat: "counter",
+        ph: Phase::Counter,
+        ts_ns: ts,
+        tid,
+        value,
+        arg: None,
+    });
+}
+
+/// Push the calling thread's buffered events into the global sink.
+pub fn flush_thread() {
+    let _ = BUF.try_with(|cell| {
+        if let Some(buf) = cell.borrow_mut().as_mut() {
+            if !buf.events.is_empty() {
+                if let Ok(mut sink) = SINK.lock() {
+                    sink.events.append(&mut buf.events);
+                }
+            }
+        }
+    });
+}
+
+/// Drain everything recorded so far (this thread's buffer plus the global
+/// sink) into a [`Trace`]. Other *live* threads' unflushed buffers are
+/// not included — join or drop worker pools before collecting.
+pub fn collect() -> Trace {
+    flush_thread();
+    let (mut events, threads) = {
+        let mut sink = SINK.lock().unwrap_or_else(|p| p.into_inner());
+        (
+            std::mem::take(&mut sink.events),
+            sink.threads.clone(),
+        )
+    };
+    // Stable by timestamp: per-thread chunks are chronological already, so
+    // relative order within a thread survives.
+    events.sort_by_key(|e| e.ts_ns);
+    Trace { events, threads }
+}
+
+/// Clear the sink, the calling thread's buffer, and the thread table.
+/// (Other live threads keep their tids; ids are never reused.)
+pub(crate) fn reset_buffers() {
+    let _ = BUF.try_with(|cell| {
+        if let Some(buf) = cell.borrow_mut().as_mut() {
+            buf.events.clear();
+        }
+    });
+    let mut sink = SINK.lock().unwrap_or_else(|p| p.into_inner());
+    sink.events.clear();
+    sink.threads.clear();
+    // Re-register the calling thread on next record so collect() after a
+    // reset still maps its tid to a name.
+    drop(sink);
+    let _ = BUF.try_with(|cell| {
+        *cell.borrow_mut() = None;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::TEST_LOCK;
+    use crate::ObsConfig;
+
+    #[test]
+    fn spans_nest_and_cross_threads() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        crate::init(&ObsConfig::enabled());
+        {
+            let _outer = span("outer", "test");
+            instant("mark", "test");
+            let handle = std::thread::Builder::new()
+                .name("obs-test-worker".into())
+                .spawn(|| {
+                    let _inner = span("inner", "test");
+                    counter_value("depth", 2.0);
+                })
+                .unwrap();
+            handle.join().unwrap();
+        }
+        let trace = collect();
+        assert!(trace.events.len() >= 6, "{:?}", trace.events);
+        // Two distinct threads registered.
+        assert_eq!(trace.threads.len(), 2, "{:?}", trace.threads);
+        assert!(trace
+            .threads
+            .iter()
+            .any(|(_, n)| n == "obs-test-worker"));
+        // Per-thread timestamps non-decreasing.
+        use std::collections::BTreeMap;
+        let mut last: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in &trace.events {
+            let prev = last.entry(e.tid).or_insert(0);
+            assert!(e.ts_ns >= *prev);
+            *prev = e.ts_ns;
+        }
+        crate::init(&ObsConfig::disabled());
+    }
+
+    #[test]
+    fn disabled_records_exactly_zero_events() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        crate::init(&ObsConfig::disabled());
+        {
+            let _s = span("ghost", "test");
+            instant("ghost", "test");
+            counter_value("ghost", 1.0);
+        }
+        let trace = collect();
+        assert!(trace.events.is_empty(), "{:?}", trace.events);
+    }
+
+    #[test]
+    fn collect_drains_so_second_collect_is_empty() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        crate::init(&ObsConfig::enabled());
+        instant("once", "test");
+        assert_eq!(collect().events.len(), 1);
+        assert!(collect().events.is_empty());
+        crate::init(&ObsConfig::disabled());
+    }
+}

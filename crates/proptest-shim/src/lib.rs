@@ -567,14 +567,19 @@ pub mod prelude {
 /// Declare property tests. Supports the same surface syntax as real
 /// proptest for the forms used in this workspace:
 ///
-/// ```ignore
+/// ```
+/// use proptest::prelude::*;
+///
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(64))]
-///     #[test]
+///     // In a test module this would carry #[test]; bare functions are
+///     // also accepted and can be driven by hand:
 ///     fn my_property(x in 0u32..100, v in prop::collection::vec(0i32..5, 1..4)) {
 ///         prop_assert!(x < 100);
+///         prop_assert!(!v.is_empty());
 ///     }
 /// }
+/// my_property(); // runs all 64 cases, panicking on the first failure
 /// ```
 #[macro_export]
 macro_rules! proptest {

@@ -54,6 +54,40 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Cached handles into the global metrics registry, resolved once per
+/// pool so the per-call hot path never takes the registry lock.
+struct PoolMetrics {
+    rhs_calls: Arc<om_obs::Counter>,
+    tasks_executed: Arc<om_obs::Counter>,
+    task_seconds: Arc<om_obs::Histogram>,
+    live_workers: Arc<om_obs::Gauge>,
+}
+
+impl PoolMetrics {
+    fn new() -> PoolMetrics {
+        let m = om_obs::metrics();
+        PoolMetrics {
+            rhs_calls: m.counter("runtime.rhs_calls"),
+            tasks_executed: m.counter("runtime.tasks_executed"),
+            // 100ns .. ~1s exponential task-time buckets.
+            task_seconds: m.histogram("runtime.task_seconds", &exp_bounds(1e-7, 4.0, 12)),
+            live_workers: m.gauge("runtime.live_workers"),
+        }
+    }
+}
+
+/// Exponential histogram bounds `start, start*factor, …` (helper kept
+/// local so the pool does not depend on om-obs constructors directly).
+fn exp_bounds(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        out.push(b);
+        b *= factor;
+    }
+    out
+}
+
 /// Supervisor → worker message.
 enum Job {
     Run(RunJob),
@@ -69,6 +103,9 @@ struct RunJob {
     y: Arc<Vec<f64>>,
     shared: Arc<Vec<f64>>,
     tasks: Vec<usize>,
+    /// Record fine-grained trace spans for this batch (detail-sampled by
+    /// the supervisor, see `om_obs::detail_every`).
+    detailed: bool,
 }
 
 /// Worker → supervisor result message.
@@ -140,6 +177,10 @@ pub struct WorkerPool {
     /// Supervisor-side scratch for inline (degraded / repair) execution.
     inline_regs: Vec<f64>,
     inline_out: Vec<f64>,
+    /// Cached observability handles (see [`PoolMetrics`]).
+    obs: PoolMetrics,
+    /// RHS calls seen, driving the deterministic detail-sampling schedule.
+    obs_calls: u64,
 }
 
 fn spin(d: Duration) {
@@ -170,6 +211,8 @@ fn spawn_worker(
             worker: worker_id,
             reason: e.to_string(),
         })?;
+    om_obs::instant("worker.spawn", "runtime");
+    om_obs::metrics().counter("runtime.worker_spawns").inc();
     Ok((job_tx, join))
 }
 
@@ -238,6 +281,8 @@ impl WorkerPool {
             .map(|t| t.static_cost as f64 * 1e-9)
             .collect();
         let n_shared = graph.n_shared;
+        let obs = PoolMetrics::new();
+        obs.live_workers.set(n_workers as f64);
         Ok(WorkerPool {
             graph,
             workers,
@@ -255,6 +300,8 @@ impl WorkerPool {
             reassign_cursor: 0,
             inline_regs: Vec::new(),
             inline_out: Vec::new(),
+            obs,
+            obs_calls: 0,
         })
     }
 
@@ -296,6 +343,7 @@ impl WorkerPool {
         if live.is_empty() || costs.len() != self.graph.tasks.len() {
             return;
         }
+        let _span = om_obs::span("sched.rebalance", "sched");
         let sched = if self.graph.is_independent() {
             om_codegen::lpt(costs, live.len())
         } else {
@@ -339,6 +387,15 @@ impl WorkerPool {
                 got: dydt.len(),
             });
         }
+        let _span = om_obs::span("rhs.eval", "runtime");
+        self.obs.rhs_calls.inc();
+        // Fine-grained spans (per-level, per-worker-batch) are recorded on
+        // a deterministic sampling schedule; the always-on signals above
+        // keep every call visible at low cost.
+        #[allow(clippy::manual_is_multiple_of)] // is_multiple_of is past our 1.85 MSRV
+        let detailed = om_obs::is_enabled()
+            && self.obs_calls % u64::from(om_obs::detail_every()) == 0;
+        self.obs_calls += 1;
         let y = Arc::new(y.to_vec());
         self.shared_scratch.iter_mut().for_each(|v| *v = 0.0);
 
@@ -346,10 +403,11 @@ impl WorkerPool {
         // all workers run concurrently.
         let mut degraded = false;
         for lvl in 0..self.levels.len() {
-            degraded |= self.run_level(lvl, t, &y, dydt)?;
+            degraded |= self.run_level(lvl, t, &y, dydt, detailed)?;
         }
         if degraded {
             self.recovery.degraded_calls += 1;
+            om_obs::metrics().counter("runtime.degraded_calls").inc();
         }
         Ok(())
     }
@@ -362,7 +420,12 @@ impl WorkerPool {
         t: f64,
         y: &Arc<Vec<f64>>,
         dydt: &mut [f64],
+        detailed: bool,
     ) -> Result<bool, RuntimeError> {
+        // Detail-sampled: a single-level graph's `level` span would exactly
+        // duplicate the enclosing `rhs.eval` span, so it is skipped too.
+        let _span = (detailed && self.levels.len() > 1)
+            .then(|| om_obs::span_arg("level", "runtime", "level", lvl as i64));
         // Snapshot the shared slots produced by earlier levels.
         let shared = Arc::new(self.shared_scratch.clone());
         let mut degraded = false;
@@ -382,12 +445,14 @@ impl WorkerPool {
 
         let mut pending: HashMap<u64, Pending> = HashMap::new();
         let poll = self.fault_config.poll_interval();
+        let mut depth_recorded = false;
         loop {
             // Dispatch everything queued (initial batches + replays).
             while let Some((preferred, tasks)) = queue.pop() {
                 match self.pick_live_worker(preferred) {
                     Some(w) => {
-                        if let Some(seq) = self.send_job(w, t, y, &shared, tasks.clone()) {
+                        if let Some(seq) = self.send_job(w, t, y, &shared, tasks.clone(), detailed)
+                        {
                             pending.insert(
                                 seq,
                                 Pending {
@@ -409,10 +474,17 @@ impl WorkerPool {
                                 workers: self.workers.len(),
                             });
                         }
+                        om_obs::instant("pool.degraded", "runtime");
                         self.execute_inline(&tasks, t, y, &shared, dydt);
                         degraded = true;
                     }
                 }
+            }
+            // Queue depth after the level's initial dispatch — once per
+            // level on detail-sampled calls, to keep the hot path cheap.
+            if detailed && !depth_recorded {
+                om_obs::counter_value("runtime.pending_jobs", pending.len() as f64);
+                depth_recorded = true;
             }
             if pending.is_empty() {
                 break;
@@ -425,11 +497,12 @@ impl WorkerPool {
                     });
                     if !fresh {
                         self.recovery.stale_results += 1;
+                        om_obs::metrics().counter("runtime.stale_results").inc();
                         continue;
                     }
                     spin(self.message_latency);
                     if let Some(p) = pending.remove(&done.seq) {
-                        self.scatter(&done, &p.tasks, t, y, &shared, dydt);
+                        self.scatter(&done, &p.tasks, t, y, &shared, dydt, detailed);
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
@@ -449,6 +522,7 @@ impl WorkerPool {
 
     /// Scatter a result into `dydt`/shared slots, repairing non-finite
     /// outputs by recomputing the batch deterministically in-supervisor.
+    #[allow(clippy::too_many_arguments)] // internal: mirrors the gather-loop locals
     fn scatter(
         &mut self,
         done: &Done,
@@ -457,6 +531,7 @@ impl WorkerPool {
         y: &[f64],
         shared: &[f64],
         dydt: &mut [f64],
+        detailed: bool,
     ) {
         let bad = done.outputs.iter().filter(|(_, v)| !v.is_finite()).count();
         let outputs: Vec<(OutSlot, f64)> = if bad > 0 {
@@ -464,6 +539,8 @@ impl WorkerPool {
             // here; recomputing is correct for both (the recomputation of a
             // genuine non-finite value reproduces it exactly).
             self.recovery.nan_repairs += bad;
+            om_obs::instant("result.nan_repair", "runtime");
+            om_obs::metrics().counter("runtime.nan_repairs").add(bad as u64);
             self.compute_outputs(tasks, t, y, shared)
         } else {
             done.outputs.clone()
@@ -478,9 +555,16 @@ impl WorkerPool {
             // EWMA of measured task times (paper §3.2.3: elapsed times from
             // the previous iteration predict the next).
             let secs = elapsed.as_secs_f64();
+            if detailed {
+                // Per-task histogram updates are detail-sampled: at ~50 ns
+                // per observation they would dominate the obs budget on
+                // graphs with many small tasks.
+                self.obs.task_seconds.observe(secs);
+            }
             let old = self.measured[task];
             self.measured[task] = if old == 0.0 { secs } else { 0.8 * old + 0.2 * secs };
         }
+        self.obs.tasks_executed.add(done.timings.len() as u64);
     }
 
     /// `preferred` if live, else the next live worker round-robin.
@@ -507,6 +591,7 @@ impl WorkerPool {
         y: &Arc<Vec<f64>>,
         shared: &Arc<Vec<f64>>,
         tasks: Vec<usize>,
+        detailed: bool,
     ) -> Option<u64> {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -518,6 +603,7 @@ impl WorkerPool {
             y: Arc::clone(y),
             shared: Arc::clone(shared),
             tasks,
+            detailed,
         });
         match tx.send(job) {
             Ok(()) => Some(seq),
@@ -542,6 +628,8 @@ impl WorkerPool {
             std::thread::sleep(self.fault_config.respawn_backoff * 2u32.pow(exp));
             self.workers[w].respawns += 1;
             self.recovery.respawns += 1;
+            om_obs::instant("worker.respawn", "runtime");
+            om_obs::metrics().counter("runtime.respawns").inc();
             let (job_tx, join) = spawn_worker(
                 w,
                 self.workers[w].epoch,
@@ -554,6 +642,9 @@ impl WorkerPool {
         } else if !self.workers[w].failed {
             self.workers[w].failed = true;
             self.recovery.workers_lost += 1;
+            om_obs::instant("worker.failed", "runtime");
+            om_obs::metrics().counter("runtime.workers_lost").inc();
+            self.obs.live_workers.set(self.live_workers() as f64);
             self.rebalance_from_measured();
         }
         Ok(())
@@ -569,6 +660,9 @@ impl WorkerPool {
         self.workers[w].job_tx = None; // it sees a disconnect when it wakes
         let _ = self.workers[w].join.take(); // detach: joining could block forever
         self.recovery.workers_lost += 1;
+        om_obs::instant("worker.abandoned", "runtime");
+        om_obs::metrics().counter("runtime.workers_lost").inc();
+        self.obs.live_workers.set(self.live_workers() as f64);
         self.rebalance_from_measured();
     }
 
@@ -627,7 +721,12 @@ impl WorkerPool {
                 // slow, and the superseded job's eventual result is
                 // filtered as stale.
                 self.recovery.retries += 1;
-                if let Some(new_seq) = self.send_job(p.worker, t, y, shared, p.tasks.clone()) {
+                om_obs::instant("job.retry", "runtime");
+                om_obs::metrics().counter("runtime.retries").inc();
+                // Retries are rare fault-path sends: always record their
+                // batch spans so recovery incidents show up in the trace.
+                if let Some(new_seq) = self.send_job(p.worker, t, y, shared, p.tasks.clone(), true)
+                {
                     pending.insert(
                         new_seq,
                         Pending {
@@ -643,6 +742,9 @@ impl WorkerPool {
             // Out of patience: treat the worker as hung, replay elsewhere.
             self.abandon_worker(p.worker);
             self.recovery.replayed_tasks += p.tasks.len();
+            om_obs::metrics()
+                .counter("runtime.replayed_tasks")
+                .add(p.tasks.len() as u64);
             queue.push((p.worker, p.tasks));
         }
         Ok(())
@@ -745,6 +847,10 @@ fn worker_main(
     let mut regs = vec![0.0f64; max_regs];
     let mut out_buf: Vec<f64> = Vec::new();
     let mut jobs_done: u64 = 0;
+    // Per-worker utilization metrics, resolved once per incarnation. The
+    // name is keyed by worker id (not epoch) so respawns keep accumulating
+    // into the same counter.
+    let busy_ns = om_obs::metrics().counter(&format!("runtime.worker{worker_id}.busy_ns"));
     while let Ok(job) = job_rx.recv() {
         let run = match job {
             Job::Run(run) => run,
@@ -761,6 +867,10 @@ fn worker_main(
         }
         let mut outputs = Vec::new();
         let mut timings = Vec::with_capacity(run.tasks.len());
+        let batch_span = run
+            .detailed
+            .then(|| om_obs::span_arg("job.execute", "worker", "tasks", run.tasks.len() as i64));
+        let batch_start = Instant::now();
         for &tid in &run.tasks {
             let task = &graph.tasks[tid];
             out_buf.resize(task.program.outputs.len(), 0.0);
@@ -778,6 +888,8 @@ fn worker_main(
                 outputs.push((*slot, *value));
             }
         }
+        busy_ns.add(batch_start.elapsed().as_nanos() as u64);
+        drop(batch_span);
         match fault {
             Some(FaultKind::CorruptNaN) => {
                 if let Some(first) = outputs.first_mut() {

@@ -49,6 +49,7 @@ impl SemiDynamicScheduler {
             return false;
         }
         self.calls_since = 0;
+        let _span = om_obs::span("sched.lpt", "sched");
         let start = Instant::now();
         // Measured seconds → integer nanoseconds for the scheduler. The
         // pool runs LPT / list scheduling over its *live* workers only, so
@@ -61,6 +62,7 @@ impl SemiDynamicScheduler {
         pool.rebalance(&costs);
         self.sched_time += start.elapsed();
         self.reschedules += 1;
+        om_obs::metrics().counter("sched.reschedules").inc();
         true
     }
 

@@ -15,7 +15,9 @@
 //! (paper §2.4: "extrapolation of … previously calculated points
 //! (multi-step methods)").
 
-use crate::ode::{check_finite, eval_rhs, OdeSystem, SolveError, Solution, SolveStats, Tolerances};
+use crate::ode::{
+    check_finite, eval_rhs, obs_step, OdeSystem, SolveError, Solution, SolveStats, Tolerances,
+};
 use crate::rk::rk4;
 
 /// Integrate with adaptive 4th-order Adams–Bashforth–Moulton.
@@ -132,6 +134,7 @@ pub fn abm4(
             y.copy_from_slice(&yc);
             check_finite(t, &y)?;
             sol.stats.steps += 1;
+            obs_step("abm4.reject", true, h);
             sol.ts.push(t);
             sol.ys.push(y.clone());
             // Final evaluation for the history (PECE).
@@ -146,6 +149,7 @@ pub fn abm4(
             }
         } else {
             sol.stats.rejected += 1;
+            obs_step("abm4.reject", false, h);
             h *= 0.5;
             history.clear();
         }

@@ -17,7 +17,9 @@
 //! mirroring the fixed-leading-coefficient restarts of production codes.
 
 use crate::linalg::{LuFactors, Matrix};
-use crate::ode::{check_finite, eval_rhs, OdeSystem, SolveError, Solution, SolveStats, Tolerances};
+use crate::ode::{
+    check_finite, eval_rhs, obs_step, OdeSystem, SolveError, Solution, SolveStats, Tolerances,
+};
 
 /// `(a-coefficients, b)` for BDF-k, k = 1..=5.
 const BDF_COEFFS: [(&[f64], f64); 5] = [
@@ -174,6 +176,7 @@ pub fn bdf(
         if !converged {
             // Halve the step and restart at order 1.
             sol.stats.rejected += 1;
+            obs_step("bdf.newton_failure", false, h);
             h *= 0.5;
             history.truncate(1);
             jac = None;
@@ -193,6 +196,7 @@ pub fn bdf(
             t = t_new;
             check_finite(t, &y_new)?;
             sol.stats.steps += 1;
+            obs_step("bdf.reject", true, h);
             sol.ts.push(t);
             sol.ys.push(y_new.clone());
             history.insert(0, y_new);
@@ -210,6 +214,7 @@ pub fn bdf(
             }
         } else {
             sol.stats.rejected += 1;
+            obs_step("bdf.reject", false, h);
             let factor = (0.9 / err_norm.powf(1.0 / (order as f64 + 1.0))).clamp(0.1, 0.9);
             h *= factor;
             history.truncate(1);

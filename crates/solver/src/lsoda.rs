@@ -72,6 +72,22 @@ impl LsodaSolution {
     }
 }
 
+/// Record a method switch in the observability layer (no-op unless
+/// enabled): an instant on the timeline plus a running counter.
+fn obs_switch(to: Phase) {
+    if !om_obs::is_enabled() {
+        return;
+    }
+    om_obs::instant(
+        match to {
+            Phase::NonStiff => "lsoda.switch_nonstiff",
+            Phase::Stiff => "lsoda.switch_stiff",
+        },
+        "solver",
+    );
+    om_obs::metrics().counter("solver.lsoda_switches").inc();
+}
+
 /// Integrate with automatic stiff/non-stiff switching.
 pub fn lsoda(
     sys: &mut dyn OdeSystem,
@@ -122,6 +138,7 @@ pub fn lsoda(
                 // The non-stiff method died: classic stiffness signature.
                 // Redo the window with BDF.
                 phase = Phase::Stiff;
+                obs_switch(phase);
                 *phases.last_mut().expect("pushed above") = (t, phase);
                 let bo = BdfOptions {
                     tol: opts.tol,
@@ -160,11 +177,13 @@ pub fn lsoda(
                 };
                 if rejection_storm || stiff_cheaper {
                     phase = Phase::Stiff;
+                    obs_switch(phase);
                 } else if cost_stiff.is_none() && chunk.stats.steps > 60 {
                     // Suspiciously many steps for one window and BDF has
                     // never been probed: probe it once. If it is not
                     // actually cheaper, the cost comparison flips back.
                     phase = Phase::Stiff;
+                    obs_switch(phase);
                 }
             }
             Phase::Stiff => {
@@ -180,6 +199,7 @@ pub fn lsoda(
                     && chunk.stats.rejected == 0;
                 if nonstiff_cheaper || (lazy && cost_nonstiff.is_none_or(|ns| ns < 4 * cost)) {
                     phase = Phase::NonStiff;
+                    obs_switch(phase);
                 }
             }
         }

@@ -258,8 +258,34 @@ pub(crate) fn eval_rhs(
     stats: &mut SolveStats,
 ) -> Result<(), SolveError> {
     stats.rhs_calls += 1;
+    if om_obs::is_enabled() {
+        om_obs::metrics().counter("solver.rhs_calls").inc();
+    }
     sys.try_rhs(t, y, dydt)
         .map_err(|e| SolveError::RhsFailure { t, reason: e.reason })
+}
+
+/// Step-size histogram bounds shared by every adaptive stepper: 1e-12 s
+/// up through ~4e3 s in decade buckets plus an overflow bucket.
+const STEP_BOUNDS: [f64; 16] = [
+    1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3,
+];
+
+/// Record a step-accept/reject decision in the global metrics registry
+/// (no-op unless observability is enabled). Shared by every stepper so
+/// the metric names stay uniform across methods.
+pub(crate) fn obs_step(method: &'static str, accepted: bool, h: f64) {
+    if !om_obs::is_enabled() {
+        return;
+    }
+    let m = om_obs::metrics();
+    if accepted {
+        m.counter("solver.steps_accepted").inc();
+        m.histogram("solver.step_size", &STEP_BOUNDS).observe(h);
+    } else {
+        m.counter("solver.steps_rejected").inc();
+        om_obs::instant(method, "solver");
+    }
 }
 
 #[cfg(test)]

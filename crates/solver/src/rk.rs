@@ -5,7 +5,9 @@
 //! several `RHS` calls (4 for RK4, 6–7 for DOPRI5), so the RHS-calls/s
 //! throughput measured in Figure 12 directly bounds simulation speed.
 
-use crate::ode::{check_finite, eval_rhs, OdeSystem, SolveError, Solution, SolveStats, Tolerances};
+use crate::ode::{
+    check_finite, eval_rhs, obs_step, OdeSystem, SolveError, Solution, SolveStats, Tolerances,
+};
 
 /// Integrate with the classic fourth-order Runge–Kutta method at fixed
 /// step `h`.
@@ -51,6 +53,7 @@ pub fn rk4(
         }
         t += h_step;
         sol.stats.steps += 1;
+        obs_step("rk4.reject", true, h_step);
         check_finite(t, &y)?;
         sol.ts.push(t);
         sol.ys.push(y.clone());
@@ -182,6 +185,7 @@ pub fn dopri5(
             y.copy_from_slice(&y5);
             check_finite(t, &y)?;
             sol.stats.steps += 1;
+            obs_step("dopri5.reject", true, h);
             sol.ts.push(t);
             sol.ys.push(y.clone());
             // FSAL: k7 is the RHS at the new point.
@@ -192,6 +196,7 @@ pub fn dopri5(
             err_prev = err_norm;
         } else {
             sol.stats.rejected += 1;
+            obs_step("dopri5.reject", false, h);
             let factor = 0.9 * err_norm.powf(-1.0 / 5.0);
             h *= factor.clamp(0.1, 0.9);
         }

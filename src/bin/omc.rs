@@ -24,6 +24,7 @@ use std::process::ExitCode;
 
 /// Typed CLI failure; each class maps to a distinct exit code so scripts
 /// can tell a user error from a numerical failure from a runtime fault.
+#[derive(Debug)]
 enum CliError {
     /// Bad command line (exit 2).
     Usage(String),
@@ -89,7 +90,11 @@ fn usage() -> String {
          --workers N               parallel RHS workers (default 1 = serial)\n\
          --set state=value         override a start value (repeatable)\n\
          --rtol R --atol A         tolerances (default 1e-6 / 1e-9)\n\
-         --h H                     fixed step for rk4 (default (tend-t0)/1000)"
+         --h H                     fixed step for rk4 (default (tend-t0)/1000)\n\
+     \n\
+     observability (any command):\n\
+       --trace FILE.json           write a chrome://tracing / Perfetto trace\n\
+       --metrics                   print span totals and metrics to stderr"
         .to_owned()
 }
 
@@ -101,13 +106,19 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let command = args[1].as_str();
     let opts = parse_flags(&args[2..])?;
 
+    // Switch recording on before any instrumented object is built (pools
+    // cache their metric handles at construction time).
+    if opts.trace.is_some() || opts.metrics {
+        om_obs::init(&om_obs::ObsConfig::enabled());
+    }
+
     let source = std::fs::read_to_string(path)
         .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
     let flat = objectmath::lang::compile(&source).map_err(|e| CliError::Compile(e.to_string()))?;
     let mut ir = causalize(&flat).map_err(|e| CliError::Compile(e.to_string()))?;
     objectmath::ir::verify_compilable(&ir).map_err(|e| CliError::Compile(e.to_string()))?;
 
-    match command {
+    let result = match command {
         "analyze" => analyze(&ir, &opts),
         "emit" => emit(&ir, &opts),
         "tasks" => tasks(&ir, &opts),
@@ -116,7 +127,36 @@ fn run(args: &[String]) -> Result<(), CliError> {
             "unknown command `{other}`\n{}",
             usage()
         ))),
+    };
+    // Export even after a failed command — a trace of a failing run is
+    // exactly when you want one — but keep the command's error.
+    let export = export_obs(&opts);
+    result.and(export)
+}
+
+/// Write `--trace` / print `--metrics` output. Worker pools have been
+/// dropped by the time the command returns, so every worker thread has
+/// flushed its span buffer.
+fn export_obs(opts: &Flags) -> Result<(), CliError> {
+    if opts.trace.is_none() && !opts.metrics {
+        return Ok(());
     }
+    om_obs::flush_thread();
+    let trace = om_obs::collect();
+    if let Some(path) = &opts.trace {
+        let json = om_obs::chrome::to_chrome_json(&trace);
+        std::fs::write(path, &json)
+            .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+        eprintln!(
+            "[trace: {} events on {} threads -> {path}]",
+            trace.events.len(),
+            trace.threads.len()
+        );
+    }
+    if opts.metrics {
+        eprint!("{}", om_obs::summary(&trace));
+    }
+    Ok(())
 }
 
 #[derive(Default)]
@@ -131,6 +171,8 @@ struct Flags {
     atol: f64,
     h: f64,
     sets: Vec<(String, f64)>,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
@@ -154,6 +196,8 @@ fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
         match flag.as_str() {
             "--dot" => f.dot = true,
             "--serial" => f.serial = true,
+            "--metrics" => f.metrics = true,
+            "--trace" => f.trace = Some(value("--trace")?),
             "--lang" => f.lang = value("--lang")?,
             "--solver" => f.solver = value("--solver")?,
             "--workers" => {
@@ -417,4 +461,52 @@ fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), CliError> {
         println!("  {:<24} = {:+.9e}", state.sym.name(), sol.y_end()[i]);
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_defaults() {
+        let f = parse_flags(&[]).expect("empty flags");
+        assert_eq!(f.lang, "f90");
+        assert_eq!(f.solver, "dopri5");
+        assert_eq!(f.workers, 0);
+        assert!(f.trace.is_none());
+        assert!(!f.metrics);
+    }
+
+    #[test]
+    fn parse_flags_observability() {
+        let f = parse_flags(&args(&["--trace", "out.json", "--metrics"])).expect("parse");
+        assert_eq!(f.trace.as_deref(), Some("out.json"));
+        assert!(f.metrics);
+    }
+
+    #[test]
+    fn parse_flags_simulate_options() {
+        let f = parse_flags(&args(&[
+            "--workers", "4", "--tend", "2.5", "--set", "x=1.5", "--set", "y=-2",
+        ]))
+        .expect("parse");
+        assert_eq!(f.workers, 4);
+        assert_eq!(f.tend, 2.5);
+        assert_eq!(
+            f.sets,
+            vec![("x".to_owned(), 1.5), ("y".to_owned(), -2.0)]
+        );
+    }
+
+    #[test]
+    fn parse_flags_rejects_bad_input() {
+        assert!(matches!(parse_flags(&args(&["--trace"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse_flags(&args(&["--workers", "no"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse_flags(&args(&["--set", "novalue"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse_flags(&args(&["--bogus"])), Err(CliError::Usage(_))));
+    }
 }

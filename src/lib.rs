@@ -20,6 +20,22 @@
 //! * [`solver`] — ODE solvers (explicit, multistep, BDF, LSODA-style
 //!   switching, partitioned co-simulation),
 //! * [`models`] — the paper's application models.
+//!
+//! The whole pipeline in one breath — compile a model, causalize it,
+//! and integrate:
+//!
+//! ```
+//! let src = "model Osc;
+//!   Real x(start = 1.0);
+//!   Real y;
+//!   equation
+//!     der(x) = y;
+//!     der(y) = -x;
+//! end Osc;";
+//! let flat = objectmath::lang::compile(src).unwrap();
+//! let ir = objectmath::ir::causalize(&flat).unwrap();
+//! assert_eq!(ir.initial_state(), vec![1.0, 0.0]);
+//! ```
 
 pub use om_analysis as analysis;
 pub use om_codegen as codegen;
@@ -29,3 +45,26 @@ pub use om_lang as lang;
 pub use om_models as models;
 pub use om_runtime as runtime;
 pub use om_solver as solver;
+
+#[cfg(test)]
+mod tests {
+    const OSC: &str = "model Osc;
+      Real x(start = 1.0);
+      Real y;
+      equation
+        der(x) = y;
+        der(y) = -x;
+    end Osc;";
+
+    /// The facade re-exports compose: source → flatten → causalize →
+    /// codegen → LPT schedule, all through the `objectmath::*` paths.
+    #[test]
+    fn facade_pipeline_composes() {
+        let flat = crate::lang::compile(OSC).expect("compile");
+        let ir = crate::ir::causalize(&flat).expect("causalize");
+        assert_eq!(ir.initial_state().len(), 2);
+        let program = crate::codegen::CodeGenerator::default().generate(&ir);
+        let sched = program.schedule(2);
+        assert_eq!(sched.assignment.len(), program.graph.tasks.len());
+    }
+}

@@ -140,3 +140,58 @@ fn unknown_state_override_fails_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("nope"));
 }
+
+#[test]
+fn simulate_trace_writes_valid_chrome_json() {
+    let path = write_model("trace", OSC);
+    let trace_path = std::env::temp_dir().join(format!("omc_test_{}.trace.json", std::process::id()));
+    let out = omc()
+        .arg(&path)
+        .args(["simulate", "--tend", "0.5", "--workers", "2", "--trace"])
+        .arg(&trace_path)
+        .args(["--metrics"])
+        .output()
+        .expect("run omc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("== metrics =="), "{stderr}");
+    assert!(stderr.contains("runtime.rhs_calls"), "{stderr}");
+
+    let doc = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let check = om_obs::chrome::validate_chrome_json(&doc).expect("valid chrome trace");
+    assert!(check.events > 0, "trace has no events");
+    // Supervisor spans and both worker tracks are present.
+    let names: Vec<&str> = check
+        .tracks
+        .values()
+        .filter_map(|t| t.name.as_deref())
+        .collect();
+    // At least one worker track (the tiny model's tasks may all fuse
+    // onto one worker) plus the supervisor track.
+    assert!(
+        names.iter().any(|n| n.starts_with("om-worker-")),
+        "{names:?}"
+    );
+    assert!(
+        check
+            .tracks
+            .values()
+            .any(|t| t.sequence.iter().any(|(_, n)| n == "rhs.eval")),
+        "no rhs.eval spans in the trace"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn metrics_without_workers_reports_solver_counters() {
+    let path = write_model("metrics_serial", OSC);
+    let out = omc()
+        .arg(&path)
+        .args(["simulate", "--tend", "0.5", "--metrics"])
+        .output()
+        .expect("run omc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("solver.rhs_calls"), "{stderr}");
+    assert!(stderr.contains("solver.steps_accepted"), "{stderr}");
+}

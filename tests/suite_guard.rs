@@ -1,0 +1,83 @@
+//! Suite guard: every test file must actually contain tests.
+//!
+//! An integration-test file that compiles to zero `#[test]` functions
+//! silently shrinks the suite (cargo happily reports `0 passed`). This
+//! meta-test scans every `tests/*.rs` file in the workspace — the root
+//! package and every crate — and fails loudly if one defines no tests,
+//! so a refactor that strips or `cfg`s-away tests cannot land unnoticed.
+
+use std::path::{Path, PathBuf};
+
+/// Collect `tests/*.rs` for the root package and every workspace crate.
+fn test_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut dirs = vec![root.join("tests")];
+    if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
+        for entry in crates.flatten() {
+            dirs.push(entry.path().join("tests"));
+        }
+    }
+    let mut files = Vec::new();
+    for dir in dirs {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Does the source define at least one runnable test? `#[test]` functions
+/// and `proptest!` blocks (which expand to `#[test]` functions) count.
+fn defines_tests(src: &str) -> bool {
+    src.contains("#[test]") || src.contains("proptest!")
+}
+
+#[test]
+fn every_test_file_defines_at_least_one_test() {
+    let files = test_files();
+    assert!(
+        files.len() >= 10,
+        "suite guard found only {} test files — the scan itself is broken",
+        files.len()
+    );
+    let mut empty = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        if !defines_tests(&src) {
+            empty.push(path.display().to_string());
+        }
+    }
+    assert!(
+        empty.is_empty(),
+        "test files that compile to ZERO tests (add tests or delete the file): {empty:#?}"
+    );
+}
+
+/// `#[ignore]` is for tests that cannot run in this environment, not a
+/// parking lot. Keep the suite honest: every ignore must carry a reason
+/// string (`#[ignore = "why"]`).
+#[test]
+fn ignored_tests_carry_a_reason() {
+    let mut bare = Vec::new();
+    for path in &test_files() {
+        let src = std::fs::read_to_string(path).expect("readable test file");
+        for (i, line) in src.lines().enumerate() {
+            let t = line.trim();
+            if t == "#[ignore]" {
+                bare.push(format!("{}:{}", path.display(), i + 1));
+            }
+        }
+    }
+    assert!(
+        bare.is_empty(),
+        "bare #[ignore] without a reason: {bare:#?}"
+    );
+}
