@@ -36,7 +36,7 @@ use om_ir::OdeIr;
 use std::collections::{BTreeMap, HashMap};
 
 /// Where a task output lands.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum OutSlot {
     /// Derivative slot `i` of the state vector.
     Deriv(usize),
@@ -119,6 +119,37 @@ impl TaskGraph {
     /// Total static cost of all tasks.
     pub fn total_cost(&self) -> u64 {
         self.tasks.iter().map(|t| t.static_cost).sum()
+    }
+
+    /// Group task ids by dependency level: a task's level is the longest
+    /// dependency path below it, so level 0 tasks have no deps and every
+    /// task's deps live in strictly earlier levels.
+    ///
+    /// These are exactly the barrier-separated waves the parallel runtime
+    /// executes, and the granularity at which the lint race detector
+    /// checks for conflicts — tasks in the same level may run
+    /// concurrently.
+    pub fn levels(&self) -> Vec<Vec<usize>> {
+        let n = self.tasks.len();
+        let mut level = vec![0usize; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                for &d in &self.deps[i] {
+                    if level[i] < level[d] + 1 {
+                        level[i] = level[d] + 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let n_levels = level.iter().copied().max().unwrap_or(0) + 1;
+        let mut out = vec![Vec::new(); n_levels];
+        for (i, &l) in level.iter().enumerate() {
+            out[l].push(i);
+        }
+        out
     }
 
     /// Evaluate the whole task graph sequentially (reference semantics,

@@ -20,7 +20,7 @@
 use crate::system::{AlgebraicEq, DerivEq, OdeIr, StateVar};
 use om_expr::expr::Expr;
 use om_expr::{simplify, solve_linear, Symbol};
-use om_lang::{FlatEquation, FlatModel};
+use om_lang::{FlatEquation, FlatModel, SourcePos};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -28,13 +28,21 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq)]
 pub enum CausalizeError {
     /// An equation contains derivatives of two or more different states.
-    MultipleDerivatives { origin: String, states: Vec<String> },
+    MultipleDerivatives {
+        origin: String,
+        states: Vec<String>,
+        pos: SourcePos,
+    },
     /// The derivative could not be isolated (nonlinear occurrence).
-    UnsolvableDerivative { origin: String, state: String },
+    UnsolvableDerivative {
+        origin: String,
+        state: String,
+        pos: SourcePos,
+    },
     /// Two equations define the derivative of the same state.
-    DuplicateDerivative { state: String },
+    DuplicateDerivative { state: String, pos: SourcePos },
     /// `der(x)` of something that is not a declared variable.
-    UnknownState { state: String },
+    UnknownState { state: String, pos: SourcePos },
     /// More algebraic equations than unknowns, or vice versa.
     UnbalancedSystem {
         equations: usize,
@@ -43,27 +51,47 @@ pub enum CausalizeError {
     },
     /// No perfect matching between algebraic equations and variables
     /// exists (structurally singular system).
-    StructurallySingular { origin: String },
+    StructurallySingular { origin: String, pos: SourcePos },
     /// Cyclic dependency among algebraic variables.
     AlgebraicLoop { variables: Vec<String> },
+    /// An internal invariant of the matching algorithm was violated.
+    /// Reported as an error instead of panicking so malformed input can
+    /// never take the compiler down.
+    Internal { detail: String },
+}
+
+impl CausalizeError {
+    /// Source position associated with the error, when one is known.
+    pub fn pos(&self) -> Option<SourcePos> {
+        match self {
+            CausalizeError::MultipleDerivatives { pos, .. }
+            | CausalizeError::UnsolvableDerivative { pos, .. }
+            | CausalizeError::DuplicateDerivative { pos, .. }
+            | CausalizeError::UnknownState { pos, .. }
+            | CausalizeError::StructurallySingular { pos, .. } => Some(*pos),
+            CausalizeError::UnbalancedSystem { .. }
+            | CausalizeError::AlgebraicLoop { .. }
+            | CausalizeError::Internal { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for CausalizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CausalizeError::MultipleDerivatives { origin, states } => write!(
+            CausalizeError::MultipleDerivatives { origin, states, .. } => write!(
                 f,
                 "equation from `{origin}` contains derivatives of several states: {}",
                 states.join(", ")
             ),
-            CausalizeError::UnsolvableDerivative { origin, state } => write!(
+            CausalizeError::UnsolvableDerivative { origin, state, .. } => write!(
                 f,
                 "cannot isolate der({state}) in equation from `{origin}` (nonlinear occurrence)"
             ),
-            CausalizeError::DuplicateDerivative { state } => {
+            CausalizeError::DuplicateDerivative { state, .. } => {
                 write!(f, "der({state}) is defined by more than one equation")
             }
-            CausalizeError::UnknownState { state } => {
+            CausalizeError::UnknownState { state, .. } => {
                 write!(f, "der({state}) refers to an undeclared variable")
             }
             CausalizeError::UnbalancedSystem {
@@ -74,7 +102,7 @@ impl fmt::Display for CausalizeError {
                 f,
                 "system is unbalanced: {equations} algebraic equation(s) for {unknowns} algebraic unknown(s); {details}"
             ),
-            CausalizeError::StructurallySingular { origin } => write!(
+            CausalizeError::StructurallySingular { origin, .. } => write!(
                 f,
                 "structurally singular: no assignment of equations to unknowns exists (near `{origin}`)"
             ),
@@ -83,6 +111,9 @@ impl fmt::Display for CausalizeError {
                 "algebraic loop among {{{}}} — simultaneous algebraic systems are not in the compilable subset",
                 variables.join(", ")
             ),
+            CausalizeError::Internal { detail } => {
+                write!(f, "internal causalization invariant violated: {detail}")
+            }
         }
     }
 }
@@ -120,7 +151,7 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
     let declared: HashSet<Symbol> = model.variables.iter().map(|v| v.sym).collect();
 
     // Phase 1: differential equations.
-    let mut deriv_rhs: HashMap<Symbol, (Expr, String)> = HashMap::new();
+    let mut deriv_rhs: HashMap<Symbol, (Expr, String, SourcePos)> = HashMap::new();
     let mut algebraic_eqs: Vec<&FlatEquation> = Vec::new();
     for eq in &model.equations {
         let ders = der_states(eq);
@@ -131,6 +162,7 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
                 if !declared.contains(&state) {
                     return Err(CausalizeError::UnknownState {
                         state: state.name().to_owned(),
+                        pos: eq.pos,
                     });
                 }
                 // Fast path: lhs is exactly der(x).
@@ -146,15 +178,17 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
                         CausalizeError::UnsolvableDerivative {
                             origin: eq.origin.clone(),
                             state: state.name().to_owned(),
+                            pos: eq.pos,
                         }
                     })?
                 };
                 if deriv_rhs
-                    .insert(state, (simplify(&rhs), eq.origin.clone()))
+                    .insert(state, (simplify(&rhs), eq.origin.clone(), eq.pos))
                     .is_some()
                 {
                     return Err(CausalizeError::DuplicateDerivative {
                         state: state.name().to_owned(),
+                        pos: eq.pos,
                     });
                 }
             }
@@ -162,6 +196,7 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
                 return Err(CausalizeError::MultipleDerivatives {
                     origin: eq.origin.clone(),
                     states: ders.iter().map(|s| s.name().to_owned()).collect(),
+                    pos: eq.pos,
                 })
             }
         }
@@ -173,7 +208,7 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
     let mut derivs: Vec<DerivEq> = Vec::new();
     let mut alg_vars: Vec<Symbol> = Vec::new();
     for v in &model.variables {
-        if let Some((rhs, origin)) = deriv_rhs.remove(&v.sym) {
+        if let Some((rhs, origin, pos)) = deriv_rhs.remove(&v.sym) {
             states.push(StateVar {
                 sym: v.sym,
                 start: v.start,
@@ -182,6 +217,7 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
                 state: v.sym,
                 rhs,
                 origin,
+                pos,
             });
         } else {
             alg_vars.push(v.sym);
@@ -242,11 +278,17 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
                 continue;
             }
             visited[*j] = true;
-            if match_of_var[*j].is_none()
-                || try_augment(match_of_var[*j].unwrap(), edges, visited, match_of_var)
-            {
-                match_of_var[*j] = Some(eq);
-                return true;
+            match match_of_var[*j] {
+                None => {
+                    match_of_var[*j] = Some(eq);
+                    return true;
+                }
+                Some(other) => {
+                    if try_augment(other, edges, visited, match_of_var) {
+                        match_of_var[*j] = Some(eq);
+                        return true;
+                    }
+                }
             }
         }
         false
@@ -257,6 +299,7 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
         if !try_augment(eq, &edges, &mut visited, &mut match_of_var) {
             return Err(CausalizeError::StructurallySingular {
                 origin: algebraic_eqs[eq].origin.clone(),
+                pos: algebraic_eqs[eq].pos,
             });
         }
     }
@@ -264,16 +307,31 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
     // Build assignments from the matching.
     let mut assignments: Vec<AlgebraicEq> = Vec::with_capacity(n);
     for (j, eq_opt) in match_of_var.iter().enumerate() {
-        let eq = eq_opt.expect("perfect matching");
-        let solved = edges[eq]
+        let Some(eq) = *eq_opt else {
+            return Err(CausalizeError::Internal {
+                detail: format!(
+                    "unknown `{}` left unmatched after a perfect matching was found",
+                    alg_vars[j].name()
+                ),
+            });
+        };
+        let Some(solved) = edges[eq]
             .iter()
             .find(|(jj, _)| *jj == j)
             .map(|(_, s)| s.clone())
-            .expect("edge existed during matching");
+        else {
+            return Err(CausalizeError::Internal {
+                detail: format!(
+                    "matched edge for unknown `{}` vanished after matching",
+                    alg_vars[j].name()
+                ),
+            });
+        };
         assignments.push(AlgebraicEq {
             var: alg_vars[j],
             rhs: solved,
             origin: algebraic_eqs[eq].origin.clone(),
+            pos: algebraic_eqs[eq].pos,
         });
     }
 

@@ -53,6 +53,7 @@ impl SymbolicJacobian {
                     state: om_expr::Symbol::intern(&format!("om$jac${i}_{j}")),
                     rhs: e.clone(),
                     origin: String::new(),
+                    pos: om_lang::SourcePos::default(),
                 });
             }
         }

@@ -22,6 +22,9 @@
 //!   (the paper's §3.2.1 "extra function dedicated to computing the
 //!   Jacobian").
 
+// Malformed models must surface as typed diagnostics, never panics.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod causalize;
 pub mod evalr;
 pub mod jacobian;
@@ -31,4 +34,4 @@ pub mod verify;
 pub use causalize::{causalize, CausalizeError};
 pub use evalr::IrEvaluator;
 pub use system::{AlgebraicEq, DerivEq, OdeIr, StateVar};
-pub use verify::{verify_compilable, VerifyError};
+pub use verify::{verify_all, verify_compilable, VerifyError, Violation};

@@ -1,6 +1,7 @@
 //! The ODE internal form data structures.
 
 use om_expr::{Expr, Symbol};
+use om_lang::SourcePos;
 use std::collections::HashMap;
 
 /// A state variable: one slot of the solver's state vector `y`.
@@ -19,6 +20,8 @@ pub struct DerivEq {
     /// Where the equation came from (instance path / class), for
     /// diagnostics and for grouping in the dependency visualization.
     pub origin: String,
+    /// Source position of the defining equation (for diagnostics).
+    pub pos: SourcePos,
 }
 
 /// A solved algebraic assignment `var = rhs`.
@@ -27,6 +30,8 @@ pub struct AlgebraicEq {
     pub var: Symbol,
     pub rhs: Expr,
     pub origin: String,
+    /// Source position of the defining equation (for diagnostics).
+    pub pos: SourcePos,
 }
 
 /// The internal form of a model: a system of explicit first-order ODEs
@@ -134,17 +139,20 @@ mod tests {
                     state: Symbol::intern("x"),
                     rhs: var("v"),
                     origin: String::new(),
-                },
+                    pos: SourcePos::default(),
+},
                 DerivEq {
                     state: Symbol::intern("v"),
                     rhs: var("a"),
                     origin: String::new(),
-                },
+                    pos: SourcePos::default(),
+},
             ],
             algebraics: vec![AlgebraicEq {
                 var: Symbol::intern("a"),
                 rhs: om_expr::simplify(&(num(-4.0) * var("x"))),
                 origin: String::new(),
+                pos: SourcePos::default(),
             }],
         }
     }
@@ -174,6 +182,7 @@ mod tests {
             var: Symbol::intern("b"),
             rhs: om_expr::simplify(&(num(2.0) * var("a"))),
             origin: String::new(),
+            pos: SourcePos::default(),
         });
         ir.derivs[1].rhs = var("b");
         let rhs = ir.inlined_rhs();

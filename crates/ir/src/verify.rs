@@ -10,6 +10,7 @@
 use crate::system::OdeIr;
 use om_expr::expr::Expr;
 use om_expr::Symbol;
+use om_lang::SourcePos;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -61,6 +62,24 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// A verify error annotated with the source position of the equation it
+/// was found in (the defaulted `0:0` when the equation is synthetic).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    pub error: VerifyError,
+    pub pos: SourcePos,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pos == SourcePos::default() {
+            write!(f, "{}", self.error)
+        } else {
+            write!(f, "{} (at {})", self.error, self.pos)
+        }
+    }
+}
+
 fn check_expr(
     e: &Expr,
     context: &str,
@@ -105,16 +124,36 @@ fn check_expr(
 
 /// Verify that `ir` lies in the compilable subset. Returns all structural
 /// guarantees the code generator relies on.
+///
+/// Stops at the first violation; [`verify_all`] collects every one.
 pub fn verify_compilable(ir: &OdeIr) -> Result<(), VerifyError> {
+    match verify_all(ir).into_iter().next() {
+        Some(v) => Err(v.error),
+        None => Ok(()),
+    }
+}
+
+/// Run every compilable-subset check, collecting all violations (one per
+/// equation at most) instead of stopping at the first. Used by the lint
+/// framework, which folds these checks in as a pass.
+pub fn verify_all(ir: &OdeIr) -> Vec<Violation> {
+    let mut out: Vec<Violation> = Vec::new();
+
     // Parallel layout.
     for (i, (s, d)) in ir.states.iter().zip(&ir.derivs).enumerate() {
         if s.sym != d.state {
-            return Err(VerifyError::LayoutMismatch { index: i });
+            out.push(Violation {
+                error: VerifyError::LayoutMismatch { index: i },
+                pos: d.pos,
+            });
         }
     }
     if ir.states.len() != ir.derivs.len() {
-        return Err(VerifyError::LayoutMismatch {
-            index: ir.states.len().min(ir.derivs.len()),
+        out.push(Violation {
+            error: VerifyError::LayoutMismatch {
+                index: ir.states.len().min(ir.derivs.len()),
+            },
+            pos: SourcePos::default(),
         });
     }
 
@@ -125,27 +164,36 @@ pub fn verify_compilable(ir: &OdeIr) -> Result<(), VerifyError> {
     // and time); grow `known` as we walk the ordered list.
     for a in &ir.algebraics {
         let context = format!("algebraic `{}`", a.var.name());
+        let mut found: Option<VerifyError> = None;
         for v in a.rhs.free_vars() {
             if !known.contains(&v) {
                 // Distinguish order violations (the symbol IS a later
                 // algebraic) from plain unknown symbols.
                 if ir.algebraics.iter().any(|other| other.var == v) {
-                    return Err(VerifyError::OrderViolation {
+                    found = Some(VerifyError::OrderViolation {
                         var: a.var.name().to_owned(),
                         reads: v.name().to_owned(),
                     });
+                    break;
                 }
             }
         }
-        check_expr(&a.rhs, &context, &known)?;
+        if found.is_none() {
+            found = check_expr(&a.rhs, &context, &known).err();
+        }
+        if let Some(error) = found {
+            out.push(Violation { error, pos: a.pos });
+        }
         known.insert(a.var);
     }
 
     for d in &ir.derivs {
         let context = format!("der({})", d.state.name());
-        check_expr(&d.rhs, &context, &known)?;
+        if let Err(error) = check_expr(&d.rhs, &context, &known) {
+            out.push(Violation { error, pos: d.pos });
+        }
     }
-    Ok(())
+    out
 }
 
 #[cfg(test)]
@@ -233,17 +281,20 @@ mod tests {
                 state: om_expr::Symbol::intern("x"),
                 rhs: var("a"),
                 origin: String::new(),
+                pos: SourcePos::default(),
             }],
             algebraics: vec![
                 AlgebraicEq {
                     var: om_expr::Symbol::intern("a"),
                     rhs: var("b"), // reads b before it is computed
                     origin: String::new(),
+                    pos: SourcePos::default(),
                 },
                 AlgebraicEq {
                     var: om_expr::Symbol::intern("b"),
                     rhs: var("x"),
                     origin: String::new(),
+                    pos: SourcePos::default(),
                 },
             ],
         };

@@ -78,6 +78,14 @@ impl LangError {
     pub fn flatten(message: impl Into<String>) -> LangError {
         Self::new(Phase::Flatten, None, message)
     }
+
+    /// A flatten-phase error carrying the source position it arose from.
+    /// Prefer this over [`LangError::flatten`] wherever a position is in
+    /// hand, so diagnostics on inherited equations point at the defining
+    /// class line.
+    pub fn flatten_at(pos: SourcePos, message: impl Into<String>) -> LangError {
+        Self::new(Phase::Flatten, Some(pos), message)
+    }
 }
 
 impl fmt::Display for LangError {

@@ -23,7 +23,7 @@
 //!   causalization pass in `om-ir` assigns them from the equations.
 
 use crate::ast::*;
-use crate::error::LangError;
+use crate::error::{LangError, SourcePos};
 use crate::scope::ClassTable;
 use om_expr::expr::{CmpOp, Expr, Func};
 use om_expr::{simplify, Symbol};
@@ -43,6 +43,12 @@ pub struct FlatVar {
     pub start: f64,
     /// Instance path and class for diagnostics, e.g. `rollers[3] : Roller`.
     pub origin: String,
+    /// Declaration site in the source (the defining class, which for
+    /// inherited members is the base class line).
+    pub pos: SourcePos,
+    /// Whether the start value was given explicitly (declaration,
+    /// binding, or initial equation) rather than defaulted to 0.
+    pub explicit_start: bool,
 }
 
 /// An evaluated model parameter (recorded for reporting; occurrences in
@@ -64,6 +70,8 @@ pub struct FlatEquation {
     pub rhs: Expr,
     /// Instance path and class the equation came from.
     pub origin: String,
+    /// Source position of the equation in its defining class.
+    pub pos: SourcePos,
 }
 
 /// Variable classification produced later by causalization; defined here
@@ -144,14 +152,16 @@ fn apply_initial_equation(
     match eq {
         Equation::Simple { lhs, rhs, pos } => {
             let SExpr::Ref(path) = lhs else {
-                return Err(LangError::flatten(format!(
-                    "initial equation at {pos} must assign to a variable"
-                )));
+                return Err(LangError::flatten_at(
+                    *pos,
+                    "initial equation must assign to a variable",
+                ));
             };
             let Resolved::Components(syms) = resolve_ref(inst, path, loop_env)? else {
-                return Err(LangError::flatten(format!(
-                    "initial equation at {pos} assigns to a parameter"
-                )));
+                return Err(LangError::flatten_at(
+                    *pos,
+                    "initial equation assigns to a parameter",
+                ));
             };
             let value = eval_initial_rhs(inst, rhs, loop_env)?;
             for sym in syms {
@@ -161,6 +171,7 @@ fn apply_initial_equation(
                     .find(|v| v.sym == sym)
                     .expect("variable was instantiated");
                 var.start = value;
+                var.explicit_start = true;
             }
             Ok(())
         }
@@ -305,7 +316,8 @@ fn instantiate<'u>(
 
     // Pass 2: variables.
     for (m, owner) in &members {
-        if let Member::Variable { name, ty, start, .. } = m {
+        if let Member::Variable { name, ty, start, pos } = m {
+            let mut explicit_start = true;
             let start_value = if let Some(v) = ov.starts.get(name) {
                 *v
             } else if let Some(b) = extends_bindings.iter().find(|b| b.name == *name) {
@@ -313,6 +325,7 @@ fn instantiate<'u>(
             } else if let Some(s) = start {
                 eval_const(s, &inst.params, &format!("start value of `{name}`"))?
             } else {
+                explicit_start = false;
                 0.0
             };
             let mut syms = Vec::with_capacity(ty.dim);
@@ -332,6 +345,8 @@ fn instantiate<'u>(
                         if inst.path.is_empty() { "<model>" } else { &inst.path },
                         owner
                     ),
+                    pos: *pos,
+                    explicit_start,
                 });
             }
             inst.vars.insert(name.clone(), (*ty, syms));
@@ -474,15 +489,19 @@ fn emit_equation(
             let l = scalarize(inst, lhs, loop_env)?;
             let r = scalarize(inst, rhs, loop_env)?;
             let (l, r) = broadcast_pair(l, r).map_err(|(nl, nr)| {
-                LangError::flatten(format!(
-                    "{origin} at {pos}: equation sides have incompatible dimensions {nl} and {nr}"
-                ))
+                LangError::flatten_at(
+                    *pos,
+                    format!(
+                        "{origin}: equation sides have incompatible dimensions {nl} and {nr}"
+                    ),
+                )
             })?;
             for (le, re) in l.into_iter().zip(r) {
                 out.equations.push(FlatEquation {
                     lhs: simplify(&le),
                     rhs: simplify(&re),
                     origin: origin.to_owned(),
+                    pos: *pos,
                 });
             }
             Ok(())
@@ -539,23 +558,24 @@ fn scalarize(
             Resolved::Components(syms) => Ok(syms.into_iter().map(Expr::Var).collect()),
         },
         SExpr::Der(path) => match resolve_ref(inst, path, loop_env)? {
-            Resolved::Const(_) => Err(LangError::flatten(format!(
-                "cannot take der() of parameter `{}`",
-                path.display()
-            ))),
+            Resolved::Const(_) => Err(LangError::flatten_at(
+                path.pos,
+                format!("cannot take der() of parameter `{}`", path.display()),
+            )),
             Resolved::Components(syms) => Ok(syms.into_iter().map(Expr::Der).collect()),
         },
         SExpr::Call(name, args, pos) => {
             let f = Func::from_name(name).ok_or_else(|| {
-                LangError::flatten(format!("unknown function `{name}` at {pos}"))
+                LangError::flatten_at(*pos, format!("unknown function `{name}`"))
             })?;
             let mut scalar_args = Vec::with_capacity(args.len());
             for a in args {
                 let mut comps = scalarize(inst, a, loop_env)?;
                 if comps.len() != 1 {
-                    return Err(LangError::flatten(format!(
-                        "argument of `{name}` at {pos} must be scalar"
-                    )));
+                    return Err(LangError::flatten_at(
+                        *pos,
+                        format!("argument of `{name}` must be scalar"),
+                    ));
                 }
                 scalar_args.push(comps.pop().expect("len 1"));
             }
@@ -740,59 +760,71 @@ fn resolve_ref(
                     1 => {
                         let k = eval_index(inst, &seg.indices[0], loop_env)?;
                         if k < 1 || k as usize > ty.dim {
-                            return Err(LangError::flatten(format!(
-                                "component index {k} out of bounds for `{}` (dim {})",
-                                seg.name, ty.dim
-                            )));
+                            return Err(LangError::flatten_at(
+                                path.pos,
+                                format!(
+                                    "component index {k} out of bounds for `{}` (dim {})",
+                                    seg.name, ty.dim
+                                ),
+                            ));
                         }
                         Ok(Resolved::Components(vec![syms[k as usize - 1]]))
                     }
-                    _ => Err(LangError::flatten(format!(
-                        "too many indices on `{}`",
-                        seg.name
-                    ))),
+                    _ => Err(LangError::flatten_at(
+                        path.pos,
+                        format!("too many indices on `{}`", seg.name),
+                    )),
                 };
             }
-            return Err(LangError::flatten(format!(
-                "`{}` is not a parameter or variable of `{}` (in `{}`)",
-                seg.name,
-                current.class.name,
-                path.display()
-            )));
+            return Err(LangError::flatten_at(
+                path.pos,
+                format!(
+                    "`{}` is not a parameter or variable of `{}` (in `{}`)",
+                    seg.name,
+                    current.class.name,
+                    path.display()
+                ),
+            ));
         }
         // Interior segment: must be a part.
         let Some(slot) = current.parts.get(&seg.name) else {
-            return Err(LangError::flatten(format!(
-                "`{}` is not a part of `{}` (in `{}`)",
-                seg.name,
-                current.class.name,
-                path.display()
-            )));
+            return Err(LangError::flatten_at(
+                path.pos,
+                format!(
+                    "`{}` is not a part of `{}` (in `{}`)",
+                    seg.name,
+                    current.class.name,
+                    path.display()
+                ),
+            ));
         };
         current = match (slot.is_array, seg.indices.len()) {
             (true, 1) => {
                 let k = eval_index(inst, &seg.indices[0], loop_env)?;
                 if k < 1 || k as usize > slot.instances.len() {
-                    return Err(LangError::flatten(format!(
-                        "instance index {k} out of bounds for `{}` (size {})",
-                        seg.name,
-                        slot.instances.len()
-                    )));
+                    return Err(LangError::flatten_at(
+                        path.pos,
+                        format!(
+                            "instance index {k} out of bounds for `{}` (size {})",
+                            seg.name,
+                            slot.instances.len()
+                        ),
+                    ));
                 }
                 &slot.instances[k as usize - 1]
             }
             (false, 0) => &slot.instances[0],
             (true, 0) => {
-                return Err(LangError::flatten(format!(
-                    "instance array `{}` requires an index",
-                    seg.name
-                )))
+                return Err(LangError::flatten_at(
+                    path.pos,
+                    format!("instance array `{}` requires an index", seg.name),
+                ))
             }
             _ => {
-                return Err(LangError::flatten(format!(
-                    "scalar part `{}` cannot be indexed",
-                    seg.name
-                )))
+                return Err(LangError::flatten_at(
+                    path.pos,
+                    format!("scalar part `{}` cannot be indexed", seg.name),
+                ))
             }
         };
     }

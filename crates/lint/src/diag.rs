@@ -1,0 +1,277 @@
+//! Span-carrying diagnostics: stable codes, severities, and the text and
+//! JSON renderers.
+//!
+//! Every diagnostic carries a stable `OM0xx` code so fixtures, CI greps,
+//! and downstream tooling can match on them; the human-readable message
+//! is free to improve without breaking anything.
+
+use om_lang::SourcePos;
+use std::fmt;
+
+/// Diagnostic severity, ordered `Info < Warn < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Info,
+    Warn,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Registry entry for one diagnostic code.
+#[derive(Clone, Copy, Debug)]
+pub struct CodeInfo {
+    pub code: &'static str,
+    pub severity: Severity,
+    pub summary: &'static str,
+}
+
+/// The full table of diagnostic codes. The default severity here is what
+/// [`Diagnostic::new`] assigns; it is part of the stable interface
+/// documented in DESIGN.md.
+pub const CODES: &[CodeInfo] = &[
+    CodeInfo { code: "OM001", severity: Severity::Error, summary: "parse error" },
+    CodeInfo { code: "OM002", severity: Severity::Error, summary: "flattening failed" },
+    CodeInfo { code: "OM010", severity: Severity::Error, summary: "unresolved reference or unknown function" },
+    CodeInfo { code: "OM011", severity: Severity::Error, summary: "duplicate member in one class" },
+    CodeInfo { code: "OM012", severity: Severity::Error, summary: "member shadows an inherited member" },
+    CodeInfo { code: "OM013", severity: Severity::Error, summary: "structurally singular (unmatched equations/unknowns)" },
+    CodeInfo { code: "OM014", severity: Severity::Error, summary: "unbalanced system (equations vs unknowns)" },
+    CodeInfo { code: "OM015", severity: Severity::Error, summary: "duplicate derivative definition" },
+    CodeInfo { code: "OM020", severity: Severity::Warn, summary: "unused variable (affects no derivative)" },
+    CodeInfo { code: "OM021", severity: Severity::Warn, summary: "dead equation (defines an unused variable)" },
+    CodeInfo { code: "OM022", severity: Severity::Info, summary: "state has no explicit start value" },
+    CodeInfo { code: "OM030", severity: Severity::Warn, summary: "division by a constant zero" },
+    CodeInfo { code: "OM031", severity: Severity::Warn, summary: "sqrt/log of a provably negative constant" },
+    CodeInfo { code: "OM032", severity: Severity::Info, summary: "constant-foldable subexpression" },
+    CodeInfo { code: "OM040", severity: Severity::Error, summary: "write-write race between same-level tasks" },
+    CodeInfo { code: "OM041", severity: Severity::Error, summary: "read-write race between same-level tasks" },
+    CodeInfo { code: "OM042", severity: Severity::Error, summary: "coverage violation (slot not written exactly once)" },
+    CodeInfo { code: "OM043", severity: Severity::Warn, summary: "false dependency (edge not justified by dataflow)" },
+    CodeInfo { code: "OM050", severity: Severity::Error, summary: "compilable-subset violation" },
+    CodeInfo { code: "OM051", severity: Severity::Error, summary: "causalization failed" },
+];
+
+/// Look up the registry entry for a code.
+pub fn code_info(code: &str) -> Option<&'static CodeInfo> {
+    CODES.iter().find(|c| c.code == code)
+}
+
+/// One finding: stable code, severity, position, message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    pub code: &'static str,
+    pub severity: Severity,
+    /// `0:0` (the `SourcePos` default) means "no source position" —
+    /// schedule-level diagnostics refer to generated tasks, not lines.
+    pub pos: SourcePos,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic with the code's registered default severity.
+    ///
+    /// Panics in debug builds if `code` is not in [`CODES`]; unknown
+    /// codes fall back to `Error` in release builds.
+    pub fn new(code: &'static str, pos: SourcePos, message: impl Into<String>) -> Diagnostic {
+        let severity = match code_info(code) {
+            Some(info) => info.severity,
+            None => {
+                debug_assert!(false, "diagnostic code `{code}` is not registered");
+                Severity::Error
+            }
+        };
+        Diagnostic {
+            code,
+            severity,
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+/// The result of a lint run: an ordered list of diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Does any diagnostic carry this code?
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Sorted, deduplicated list of codes present in the report.
+    pub fn distinct_codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = self.diagnostics.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+
+    /// Order diagnostics by source position (position-less ones last),
+    /// then by code. The sort is stable, so same-position diagnostics
+    /// keep pass order.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by_key(|d| (d.pos == SourcePos::default(), d.pos.line, d.pos.col, d.code));
+    }
+
+    /// Render as one `file:line:col: severity[CODE]: message` line per
+    /// diagnostic plus a summary line.
+    pub fn render_text(&self, file: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            if d.pos == SourcePos::default() {
+                out.push_str(&format!(
+                    "{file}: {}[{}]: {}\n",
+                    d.severity, d.code, d.message
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{file}:{}:{}: {}[{}]: {}\n",
+                    d.pos.line, d.pos.col, d.severity, d.code, d.message
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{file}: {} error(s), {} warning(s), {} info\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        ));
+        out
+    }
+
+    /// Render as a single machine-readable JSON object (schema in
+    /// DESIGN.md): `{"file", "diagnostics": [...], "summary": {...}}`.
+    /// Positions use 1-based line/col; 0 means "no position".
+    pub fn render_json(&self, file: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\"file\":\"");
+        out.push_str(&json_escape(file));
+        out.push_str("\",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+                d.code,
+                d.severity,
+                d.pos.line,
+                d.pos.col,
+                json_escape(&d.message)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"summary\":{{\"error\":{},\"warning\":{},\"info\":{}}}}}",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for c in CODES {
+            assert!(seen.insert(c.code), "duplicate code {}", c.code);
+            assert!(c.code.starts_with("OM") && c.code.len() == 5, "{}", c.code);
+        }
+    }
+
+    #[test]
+    fn new_uses_registered_severity() {
+        let d = Diagnostic::new("OM030", SourcePos::new(3, 7), "1/0");
+        assert_eq!(d.severity, Severity::Warn);
+        let d = Diagnostic::new("OM013", SourcePos::default(), "singular");
+        assert_eq!(d.severity, Severity::Error);
+    }
+
+    #[test]
+    fn text_render_includes_position_and_summary() {
+        let mut r = Report::default();
+        r.push(Diagnostic::new("OM030", SourcePos::new(3, 7), "division by zero"));
+        let text = r.render_text("m.om");
+        assert!(text.contains("m.om:3:7: warning[OM030]: division by zero"));
+        assert!(text.contains("0 error(s), 1 warning(s), 0 info"));
+    }
+
+    #[test]
+    fn json_render_escapes_and_counts() {
+        let mut r = Report::default();
+        r.push(Diagnostic::new("OM010", SourcePos::new(1, 2), "bad \"name\""));
+        let json = r.render_json("a\\b.om");
+        assert!(json.contains("\"file\":\"a\\\\b.om\""));
+        assert!(json.contains("\"message\":\"bad \\\"name\\\"\""));
+        assert!(json.contains("\"summary\":{\"error\":1,\"warning\":0,\"info\":0}"));
+    }
+
+    #[test]
+    fn sort_puts_positionless_last() {
+        let mut r = Report::default();
+        r.push(Diagnostic::new("OM040", SourcePos::default(), "race"));
+        r.push(Diagnostic::new("OM030", SourcePos::new(2, 1), "hazard"));
+        r.sort();
+        assert_eq!(r.diagnostics[0].code, "OM030");
+        assert_eq!(r.diagnostics[1].code, "OM040");
+    }
+}

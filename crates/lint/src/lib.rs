@@ -1,0 +1,282 @@
+//! # om-lint — whole-model static analyzer and schedule race detector
+//!
+//! The compiler pipeline (parse → flatten → causalize → verify →
+//! codegen → schedule) trusts its own analysis; this crate is the
+//! independent check. It runs two analyzer families over a model and
+//! reports span-carrying diagnostics with stable `OM0xx` codes
+//! (see [`diag::CODES`]):
+//!
+//! * **Model passes** ([`model`]) on the AST, the flattened system, and
+//!   the causalized IR: symbol resolution, duplicate/shadowed members,
+//!   structural singularity via bipartite matching (reporting the
+//!   unmatched set), balance, duplicate derivatives, uninitialized
+//!   states, unused variables / dead equations, and expression hazards.
+//!   The existing `om_ir::verify` checks fold in as a pass
+//!   ([`om_ir::verify_all`] → `OM050`).
+//! * **Schedule passes** ([`schedule`]) on the generated task DAG: a
+//!   race detector over per-task read/write sets at barrier-level
+//!   granularity, an exactly-once coverage check, and a
+//!   false-dependency report.
+//!
+//! Entry point: [`lint_source`]. Every diagnostic is also counted into
+//! the `om-obs` metrics registry (`lint.code.*`, `lint.severity.*`) so
+//! `--metrics` output covers compile-time analysis.
+
+pub mod diag;
+pub mod model;
+pub mod schedule;
+
+pub use diag::{code_info, CodeInfo, Diagnostic, Report, Severity, CODES};
+pub use schedule::{check_schedule, ScheduleView, TaskAccess};
+
+use om_codegen::{CodeGenerator, GenOptions};
+use om_ir::causalize::CausalizeError;
+use om_lang::SourcePos;
+
+/// A stage of the lint pipeline, for the pass registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    Parse,
+    Ast,
+    Flat,
+    Ir,
+    Schedule,
+}
+
+/// Registry entry describing one pass: which stage it runs in and which
+/// codes it can emit. Documented in DESIGN.md; kept in code so the docs
+/// cannot drift silently (a test cross-checks codes against
+/// [`diag::CODES`]).
+pub struct PassInfo {
+    pub name: &'static str,
+    pub stage: Stage,
+    pub codes: &'static [&'static str],
+    pub description: &'static str,
+}
+
+/// All passes, in execution order.
+pub const PASSES: &[PassInfo] = &[
+    PassInfo {
+        name: "parse",
+        stage: Stage::Parse,
+        codes: &["OM001"],
+        description: "lex + parse; a failure stops the run",
+    },
+    PassInfo {
+        name: "symbols",
+        stage: Stage::Ast,
+        codes: &["OM010", "OM011", "OM012"],
+        description: "reference resolution, duplicate and shadowed members across inheritance/composition",
+    },
+    PassInfo {
+        name: "hazards",
+        stage: Stage::Ast,
+        codes: &["OM030", "OM031", "OM032"],
+        description: "syntactic division by zero, sqrt/log of negative constants, constant-foldable subexpressions",
+    },
+    PassInfo {
+        name: "structure",
+        stage: Stage::Flat,
+        codes: &["OM013", "OM014", "OM015", "OM022"],
+        description: "equation/unknown balance, bipartite matching (unmatched set), duplicate derivatives, uninitialized states",
+    },
+    PassInfo {
+        name: "flatten",
+        stage: Stage::Flat,
+        codes: &["OM002"],
+        description: "flattening failures (positions point at the defining class)",
+    },
+    PassInfo {
+        name: "causalize",
+        stage: Stage::Ir,
+        codes: &["OM051"],
+        description: "causalization failures not already reported structurally",
+    },
+    PassInfo {
+        name: "verify",
+        stage: Stage::Ir,
+        codes: &["OM050"],
+        description: "compilable-subset verifier (om_ir::verify_all) folded in as a pass",
+    },
+    PassInfo {
+        name: "liveness",
+        stage: Stage::Ir,
+        codes: &["OM020", "OM021"],
+        description: "variables that feed no derivative; the equations that define them",
+    },
+    PassInfo {
+        name: "schedule",
+        stage: Stage::Schedule,
+        codes: &["OM040", "OM041", "OM042", "OM043"],
+        description: "race detection at barrier-level granularity, exactly-once coverage, false dependencies",
+    },
+];
+
+/// Lint a source text end to end. Never panics on malformed input: every
+/// failure mode is a diagnostic. Later stages are skipped once an
+/// earlier stage reports an error (their input would be meaningless).
+pub fn lint_source(source: &str) -> Report {
+    let mut report = Report::default();
+    run_pipeline(source, &mut report);
+    report.sort();
+    record_metrics(&report);
+    report
+}
+
+fn run_pipeline(source: &str, report: &mut Report) {
+    // Stage 1: parse.
+    let unit = match om_lang::parse_unit(source) {
+        Ok(u) => u,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                "OM001",
+                e.pos.unwrap_or_default(),
+                e.message,
+            ));
+            return;
+        }
+    };
+
+    // Stage 2: AST passes (symbols, member conflicts, hazards).
+    model::ast_passes(&unit, report);
+    if report.has_errors() {
+        return;
+    }
+
+    // The collecting resolver covers references and calls; scope::check
+    // additionally validates binding targets, loop ranges, and index
+    // shapes. Anything it finds that we missed becomes an OM010.
+    if let Err(e) = om_lang::scope::check(&unit) {
+        report.push(Diagnostic::new(
+            "OM010",
+            e.pos.unwrap_or_default(),
+            e.message,
+        ));
+        return;
+    }
+
+    // Stage 3: flatten + structural passes.
+    let flat = match om_lang::flatten(&unit) {
+        Ok(f) => f,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                "OM002",
+                e.pos.unwrap_or_default(),
+                e.message,
+            ));
+            return;
+        }
+    };
+    model::flat_passes(&flat, report);
+
+    // Stage 4: causalize + IR passes.
+    let ir = match om_ir::causalize(&flat) {
+        Ok(ir) => ir,
+        Err(e) => {
+            // The structural passes already report these three richer
+            // (with the unmatched set and positions); don't double up.
+            let already = match &e {
+                CausalizeError::UnbalancedSystem { .. } => report.has_code("OM014"),
+                CausalizeError::StructurallySingular { .. } => report.has_code("OM013"),
+                CausalizeError::DuplicateDerivative { .. } => report.has_code("OM015"),
+                _ => false,
+            };
+            if !already {
+                report.push(Diagnostic::new(
+                    "OM051",
+                    e.pos().unwrap_or_default(),
+                    e.to_string(),
+                ));
+            }
+            return;
+        }
+    };
+
+    for v in om_ir::verify_all(&ir) {
+        report.push(Diagnostic::new("OM050", v.pos, v.error.to_string()));
+    }
+    model::liveness_passes(&ir, &flat, report);
+    if report.has_code("OM050") {
+        return; // don't generate code from unverified IR
+    }
+
+    // Stage 5: schedule passes on the generated task DAG.
+    let program = CodeGenerator::new(GenOptions::default()).generate(&ir);
+    let view = ScheduleView::from_graph(&program.graph);
+    check_schedule(&view, report);
+}
+
+/// Count diagnostics per code and per severity into the om-obs metrics
+/// registry, so `--metrics` covers compile-time analysis too.
+fn record_metrics(report: &Report) {
+    if !om_obs::is_enabled() {
+        return;
+    }
+    let m = om_obs::metrics();
+    for d in &report.diagnostics {
+        m.counter(&format!("lint.code.{}", d.code)).inc();
+        m.counter(&format!("lint.severity.{}", d.severity.as_str()))
+            .inc();
+    }
+}
+
+/// Convenience for tests: lint and assert a code fires at a position.
+pub fn find(report: &Report, code: &str) -> Vec<(SourcePos, String)> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == code)
+        .map(|d| (d.pos, d.message.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_registry_codes_are_all_registered_and_covered() {
+        // Every code a pass claims must exist in the code table…
+        for p in PASSES {
+            for c in p.codes {
+                assert!(code_info(c).is_some(), "pass {} claims unknown {c}", p.name);
+            }
+        }
+        // …and every code in the table must belong to some pass.
+        for info in CODES {
+            assert!(
+                PASSES.iter().any(|p| p.codes.contains(&info.code)),
+                "code {} belongs to no pass",
+                info.code
+            );
+        }
+    }
+
+    #[test]
+    fn clean_model_produces_no_diagnostics_above_info() {
+        let report = lint_source(
+            "model M; Real x(start=1.0); Real v;
+             equation der(x) = v; der(v) = -x; end M;",
+        );
+        assert_eq!(report.count(Severity::Error), 0, "{:?}", report.diagnostics);
+        assert_eq!(report.count(Severity::Warn), 0, "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn parse_error_is_om001() {
+        let report = lint_source("model M Real x; end M;");
+        assert!(report.has_code("OM001"));
+    }
+
+    #[test]
+    fn multiple_findings_in_one_run() {
+        // An unused variable chain AND an uninitialized state.
+        let report = lint_source(
+            "model M; Real x; Real dead;
+             equation der(x) = -x; dead = x * 2.0; end M;",
+        );
+        assert!(report.has_code("OM020"), "{:?}", report.diagnostics);
+        assert!(report.has_code("OM021"));
+        assert!(report.has_code("OM022"));
+    }
+}

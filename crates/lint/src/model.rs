@@ -1,0 +1,603 @@
+//! Model passes: symbol analysis on the AST, expression hazards, and
+//! structural analysis (balance, bipartite matching, duplicate
+//! derivatives, uninitialized states) on the flattened system.
+//!
+//! Unlike `scope::check`, which stops at the first problem, these passes
+//! collect every finding so one lint run shows the whole picture.
+
+use crate::diag::{Diagnostic, Report};
+use om_expr::expr::{Expr, Func};
+use om_expr::Symbol;
+use om_lang::ast::{BinOp, ClassDef, Equation, Member, RefPath, SExpr, Unit};
+use om_lang::scope::ClassTable;
+use om_lang::{FlatModel, SourcePos};
+use std::collections::{HashMap, HashSet};
+
+// ---------------------------------------------------------------------------
+// AST symbol passes: OM010 (unresolved), OM011 (duplicate), OM012 (shadowed)
+// ---------------------------------------------------------------------------
+
+/// Run all AST-level passes over the unit.
+pub fn ast_passes(unit: &Unit, out: &mut Report) {
+    let table = match ClassTable::build(unit) {
+        Ok(t) => t,
+        Err(e) => {
+            // Duplicate class names / cycles: report and stop the symbol
+            // passes (member resolution needs a well-formed table).
+            out.push(Diagnostic::new(
+                "OM010",
+                e.pos.unwrap_or_default(),
+                e.message,
+            ));
+            hazard_passes(unit, out);
+            return;
+        }
+    };
+
+    for class in unit.classes.iter().chain(std::iter::once(&unit.model)) {
+        member_passes(&table, class, out);
+        let mut resolver = Resolver {
+            table: &table,
+            class,
+            loop_indices: Vec::new(),
+            out: &mut *out,
+        };
+        resolver.check_class();
+    }
+    hazard_passes(unit, out);
+}
+
+/// OM011/OM012: duplicate members within one class, and members that
+/// shadow an inherited member of the same name.
+fn member_passes(table: &ClassTable<'_>, class: &ClassDef, out: &mut Report) {
+    // Own-class duplicates.
+    let mut own: HashMap<&str, SourcePos> = HashMap::new();
+    for m in &class.members {
+        if let Some(first) = own.get(m.name()) {
+            out.push(Diagnostic::new(
+                "OM011",
+                m.pos(),
+                format!(
+                    "duplicate member `{}` in class `{}` (first declared at {})",
+                    m.name(),
+                    class.name,
+                    first
+                ),
+            ));
+        } else {
+            own.insert(m.name(), m.pos());
+        }
+    }
+    // Shadowing: an own member with the same name as an inherited one.
+    // `effective_members` lists base-class members first.
+    for (m, owner) in table.effective_members(class) {
+        if *owner == *class.name {
+            continue;
+        }
+        if own.contains_key(m.name()) {
+            let own_pos = own[m.name()];
+            out.push(Diagnostic::new(
+                "OM012",
+                own_pos,
+                format!(
+                    "member `{}` of `{}` shadows the inherited member declared in `{}`",
+                    m.name(),
+                    class.name,
+                    owner
+                ),
+            ));
+        }
+    }
+}
+
+/// Collecting reference resolver (the lint twin of `scope::check_ref`):
+/// reports every unresolved reference and bad call instead of stopping at
+/// the first.
+struct Resolver<'a, 'u> {
+    table: &'a ClassTable<'u>,
+    class: &'u ClassDef,
+    loop_indices: Vec<String>,
+    out: &'a mut Report,
+}
+
+impl Resolver<'_, '_> {
+    fn check_class(&mut self) {
+        for m in &self.class.members {
+            match m {
+                Member::Parameter {
+                    default: Some(e), ..
+                } => self.check_expr(e),
+                Member::Variable { start: Some(e), .. } => self.check_expr(e),
+                _ => {}
+            }
+        }
+        // Only the class's *own* equations: inherited ones are linted in
+        // their defining class, so each problem is reported once.
+        for eq in self.class.equations.iter().chain(&self.class.initial_equations) {
+            self.check_equation(eq);
+        }
+    }
+
+    fn check_equation(&mut self, eq: &Equation) {
+        match eq {
+            Equation::Simple { lhs, rhs, .. } => {
+                self.check_expr(lhs);
+                self.check_expr(rhs);
+            }
+            Equation::For { index, body, .. } => {
+                self.loop_indices.push(index.clone());
+                for e in body {
+                    self.check_equation(e);
+                }
+                self.loop_indices.pop();
+            }
+        }
+    }
+
+    fn check_expr(&mut self, e: &SExpr) {
+        match e {
+            SExpr::Num(_) | SExpr::Time => {}
+            SExpr::Ref(path) | SExpr::Der(path) => self.check_ref(path),
+            SExpr::Call(name, args, pos) => {
+                match Func::from_name(name) {
+                    None => self.out.push(Diagnostic::new(
+                        "OM010",
+                        *pos,
+                        format!("unknown function `{name}`"),
+                    )),
+                    Some(f) if args.len() != f.arity() => self.out.push(Diagnostic::new(
+                        "OM010",
+                        *pos,
+                        format!(
+                            "function `{name}` takes {} argument(s), got {}",
+                            f.arity(),
+                            args.len()
+                        ),
+                    )),
+                    Some(_) => {}
+                }
+                for a in args {
+                    self.check_expr(a);
+                }
+            }
+            SExpr::Bin(_, a, b) | SExpr::Rel(_, a, b) | SExpr::And(a, b) | SExpr::Or(a, b) => {
+                self.check_expr(a);
+                self.check_expr(b);
+            }
+            SExpr::Neg(a) | SExpr::Not(a) => self.check_expr(a),
+            SExpr::If(c, t, e2) => {
+                self.check_expr(c);
+                self.check_expr(t);
+                self.check_expr(e2);
+            }
+            SExpr::Tuple(xs) => {
+                for x in xs {
+                    self.check_expr(x);
+                }
+            }
+        }
+    }
+
+    /// Walk a dotted path through the member structure; any failure is
+    /// OM010 at the path's position.
+    fn check_ref(&mut self, path: &RefPath) {
+        let first = &path.segs[0];
+        if self.loop_indices.contains(&first.name) {
+            return; // loop index; shape errors are scope::check's business
+        }
+        let mut current = self.class;
+        for (i, seg) in path.segs.iter().enumerate() {
+            for idx in &seg.indices {
+                self.check_expr(idx);
+            }
+            let members = self.table.effective_members(current);
+            let Some((member, _)) = members.iter().find(|(m, _)| m.name() == seg.name) else {
+                self.out.push(Diagnostic::new(
+                    "OM010",
+                    path.pos,
+                    format!(
+                        "`{}` is not a member of class `{}` (in reference `{}`)",
+                        seg.name,
+                        current.name,
+                        path.display()
+                    ),
+                ));
+                return;
+            };
+            let is_last = i + 1 == path.segs.len();
+            match member {
+                Member::Parameter { .. } | Member::Variable { .. } => {
+                    if !is_last {
+                        self.out.push(Diagnostic::new(
+                            "OM010",
+                            path.pos,
+                            format!(
+                                "cannot select into scalar/vector `{}` in `{}`",
+                                seg.name,
+                                path.display()
+                            ),
+                        ));
+                        return;
+                    }
+                }
+                Member::Part { class, .. } => {
+                    if is_last {
+                        self.out.push(Diagnostic::new(
+                            "OM010",
+                            path.pos,
+                            format!("reference `{}` names a part, not a variable", path.display()),
+                        ));
+                        return;
+                    }
+                    match self.table.get(class) {
+                        Some(c) => current = c,
+                        None => return, // unknown part class: reported by table build
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression hazards: OM030 (div by 0), OM031 (sqrt/log < 0), OM032 (foldable)
+// ---------------------------------------------------------------------------
+
+/// Walk every equation of every class looking for syntactic hazards.
+fn hazard_passes(unit: &Unit, out: &mut Report) {
+    for class in unit.classes.iter().chain(std::iter::once(&unit.model)) {
+        for eq in &class.equations {
+            hazard_equation(eq, false, out);
+        }
+        // Initial equations assign constants by design: the
+        // constant-foldable pass (OM032) would flag every one of them,
+        // so only the genuine hazards run there.
+        for eq in &class.initial_equations {
+            hazard_equation(eq, true, out);
+        }
+    }
+}
+
+fn hazard_equation(eq: &Equation, in_initial: bool, out: &mut Report) {
+    match eq {
+        Equation::Simple { lhs, rhs, pos } => {
+            hazard_expr(lhs, *pos, in_initial, out);
+            hazard_expr(rhs, *pos, in_initial, out);
+        }
+        Equation::For { body, .. } => {
+            for e in body {
+                hazard_equation(e, in_initial, out);
+            }
+        }
+    }
+}
+
+/// `pos` is the nearest enclosing position (the equation, or an inner
+/// call) — `SExpr::Bin` nodes carry none of their own.
+fn hazard_expr(e: &SExpr, pos: SourcePos, in_initial: bool, out: &mut Report) {
+    // Topmost constant-foldable operation: flag once, don't descend.
+    if !in_initial && is_foldable_op(e) {
+        if let Some(v) = const_eval(e) {
+            out.push(Diagnostic::new(
+                "OM032",
+                pos,
+                format!("subexpression is constant (folds to {v}); consider writing the value directly"),
+            ));
+            return;
+        }
+    }
+    match e {
+        SExpr::Bin(BinOp::Div, a, b) => {
+            if const_eval(b) == Some(0.0) {
+                out.push(Diagnostic::new(
+                    "OM030",
+                    pos,
+                    "division by zero: denominator is the constant 0".to_string(),
+                ));
+            }
+            hazard_expr(a, pos, in_initial, out);
+            hazard_expr(b, pos, in_initial, out);
+        }
+        SExpr::Call(name, args, cpos) => {
+            if let Some(arg) = args.first() {
+                if let Some(v) = const_eval(arg) {
+                    match name.as_str() {
+                        "sqrt" if v < 0.0 => out.push(Diagnostic::new(
+                            "OM031",
+                            *cpos,
+                            format!("sqrt of the negative constant {v}"),
+                        )),
+                        "log" | "ln" if v <= 0.0 => out.push(Diagnostic::new(
+                            "OM031",
+                            *cpos,
+                            format!("log of the non-positive constant {v}"),
+                        )),
+                        _ => {}
+                    }
+                }
+            }
+            for a in args {
+                hazard_expr(a, *cpos, in_initial, out);
+            }
+        }
+        SExpr::Num(_) | SExpr::Ref(_) | SExpr::Der(_) | SExpr::Time => {}
+        SExpr::Bin(_, a, b) | SExpr::Rel(_, a, b) | SExpr::And(a, b) | SExpr::Or(a, b) => {
+            hazard_expr(a, pos, in_initial, out);
+            hazard_expr(b, pos, in_initial, out);
+        }
+        SExpr::Neg(a) | SExpr::Not(a) => hazard_expr(a, pos, in_initial, out),
+        SExpr::If(c, t, e2) => {
+            hazard_expr(c, pos, in_initial, out);
+            hazard_expr(t, pos, in_initial, out);
+            hazard_expr(e2, pos, in_initial, out);
+        }
+        SExpr::Tuple(xs) => {
+            for x in xs {
+                hazard_expr(x, pos, in_initial, out);
+            }
+        }
+    }
+}
+
+/// An *operation* node, not a bare literal or a negated literal — those
+/// are how constants are written, not foldable work.
+fn is_foldable_op(e: &SExpr) -> bool {
+    matches!(e, SExpr::Bin(..))
+}
+
+/// Literal constant folding over `Num`/`Neg`/`Bin`. No parameter
+/// resolution: only what is provably constant from the source text alone.
+fn const_eval(e: &SExpr) -> Option<f64> {
+    match e {
+        SExpr::Num(v) => Some(*v),
+        SExpr::Neg(a) => const_eval(a).map(|v| -v),
+        SExpr::Bin(op, a, b) => {
+            let (a, b) = (const_eval(a)?, const_eval(b)?);
+            Some(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return None; // leave it to OM030
+                    }
+                    a / b
+                }
+                BinOp::Pow => a.powf(b),
+            })
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flat-system passes: OM013, OM014, OM015, OM022
+// ---------------------------------------------------------------------------
+
+/// Structural passes on the flattened scalar system.
+pub fn flat_passes(flat: &FlatModel, out: &mut Report) {
+    // Distinct states whose derivative occurs in an equation.
+    let der_targets = |lhs: &Expr, rhs: &Expr| -> Vec<Symbol> {
+        let mut found = Vec::new();
+        let mut push = |e: &Expr| {
+            e.walk(&mut |n| {
+                if let Expr::Der(s) = n {
+                    if !found.contains(s) {
+                        found.push(*s);
+                    }
+                }
+            });
+        };
+        push(lhs);
+        push(rhs);
+        found
+    };
+
+    // OM015: two equations defining der of the same state.
+    let mut deriv_def: HashMap<Symbol, SourcePos> = HashMap::new();
+    let mut states: HashSet<Symbol> = HashSet::new();
+    for eq in &flat.equations {
+        let ders = der_targets(&eq.lhs, &eq.rhs);
+        if ders.len() == 1 {
+            let s = ders[0];
+            states.insert(s);
+            if let Some(first) = deriv_def.get(&s) {
+                out.push(Diagnostic::new(
+                    "OM015",
+                    eq.pos,
+                    format!(
+                        "der({}) is already defined by the equation at {}",
+                        s.name(),
+                        first
+                    ),
+                ));
+            } else {
+                deriv_def.insert(s, eq.pos);
+            }
+        }
+    }
+
+    // OM022: states without an explicit start value.
+    for v in &flat.variables {
+        if states.contains(&v.sym) && !v.explicit_start {
+            out.push(Diagnostic::new(
+                "OM022",
+                v.pos,
+                format!(
+                    "state `{}` has no explicit start value (defaults to 0)",
+                    v.sym.name()
+                ),
+            ));
+        }
+    }
+
+    // OM014: equation/unknown balance over the whole flat system.
+    let n_eq = flat.equations.len();
+    let n_var = flat.variables.len();
+    if n_eq != n_var {
+        let mut detail = String::new();
+        if n_eq < n_var {
+            // Variables occurring in no equation are certainly undefined.
+            let mut occurring: HashSet<Symbol> = HashSet::new();
+            for eq in &flat.equations {
+                eq.lhs.walk(&mut |n| collect_syms(n, &mut occurring));
+                eq.rhs.walk(&mut |n| collect_syms(n, &mut occurring));
+            }
+            let missing: Vec<&str> = flat
+                .variables
+                .iter()
+                .filter(|v| !occurring.contains(&v.sym))
+                .map(|v| v.sym.name())
+                .take(5)
+                .collect();
+            if !missing.is_empty() {
+                detail = format!("; variable(s) in no equation: {}", missing.join(", "));
+            }
+        }
+        out.push(Diagnostic::new(
+            "OM014",
+            SourcePos::default(),
+            format!("system is unbalanced: {n_eq} equation(s) for {n_var} unknown(s){detail}"),
+        ));
+        return; // matching over an unbalanced system would double-report
+    }
+
+    // OM013: bipartite maximum matching equations ↔ unknowns on the
+    // occurrence graph (Kuhn's augmenting paths). A deficiency means the
+    // system is structurally singular even though it is balanced; report
+    // the unmatched equations *and* the unmatched unknowns.
+    let var_index: HashMap<Symbol, usize> = flat
+        .variables
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.sym, i))
+        .collect();
+    let n = n_eq;
+    let mut edges: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for eq in &flat.equations {
+        let mut occurring: HashSet<Symbol> = HashSet::new();
+        eq.lhs.walk(&mut |e| collect_syms(e, &mut occurring));
+        eq.rhs.walk(&mut |e| collect_syms(e, &mut occurring));
+        let mut row: Vec<usize> = occurring
+            .iter()
+            .filter_map(|s| var_index.get(s).copied())
+            .collect();
+        row.sort_unstable();
+        edges.push(row);
+    }
+    let mut match_of_var: Vec<Option<usize>> = vec![None; n];
+    fn try_augment(
+        eq: usize,
+        edges: &[Vec<usize>],
+        visited: &mut [bool],
+        match_of_var: &mut [Option<usize>],
+    ) -> bool {
+        for &j in &edges[eq] {
+            if visited[j] {
+                continue;
+            }
+            visited[j] = true;
+            match match_of_var[j] {
+                None => {
+                    match_of_var[j] = Some(eq);
+                    return true;
+                }
+                Some(other) => {
+                    if try_augment(other, edges, visited, match_of_var) {
+                        match_of_var[j] = Some(eq);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+    let mut unmatched_eqs: Vec<usize> = Vec::new();
+    for eq in 0..n {
+        let mut visited = vec![false; n];
+        if !try_augment(eq, &edges, &mut visited, &mut match_of_var) {
+            unmatched_eqs.push(eq);
+        }
+    }
+    if !unmatched_eqs.is_empty() {
+        let unmatched_vars: Vec<&str> = match_of_var
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_none())
+            .map(|(j, _)| flat.variables[j].sym.name())
+            .collect();
+        for &i in &unmatched_eqs {
+            let eq = &flat.equations[i];
+            out.push(Diagnostic::new(
+                "OM013",
+                eq.pos,
+                format!(
+                    "structurally singular: equation from `{}` cannot be assigned an unknown; unmatched unknown(s): {}",
+                    eq.origin,
+                    unmatched_vars.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Collect variable symbols (`Var` and `Der` targets) into `set`.
+fn collect_syms(e: &Expr, set: &mut HashSet<Symbol>) {
+    match e {
+        Expr::Var(s) | Expr::Der(s) => {
+            set.insert(*s);
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IR liveness passes: OM020 (unused variable), OM021 (dead equation)
+// ---------------------------------------------------------------------------
+
+/// Variables that do not (transitively) feed any derivative.
+pub fn liveness_passes(ir: &om_ir::OdeIr, flat: &FlatModel, out: &mut Report) {
+    let mut live: HashSet<Symbol> = ir.states.iter().map(|s| s.sym).collect();
+    for d in &ir.derivs {
+        for v in d.rhs.free_vars() {
+            live.insert(v);
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for a in &ir.algebraics {
+            if live.contains(&a.var) {
+                for v in a.rhs.free_vars() {
+                    if live.insert(v) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    for a in &ir.algebraics {
+        if !live.contains(&a.var) {
+            let pos = flat
+                .variable(a.var.name())
+                .map(|v| v.pos)
+                .unwrap_or_default();
+            out.push(Diagnostic::new(
+                "OM020",
+                pos,
+                format!(
+                    "variable `{}` does not affect any derivative",
+                    a.var.name()
+                ),
+            ));
+            out.push(Diagnostic::new(
+                "OM021",
+                a.pos,
+                format!(
+                    "dead equation: defines `{}`, which is never used",
+                    a.var.name()
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Schedule passes: race detection, exactly-once coverage, and false
+//! dependencies on the generated task DAG.
+//!
+//! The parallel runtime executes the task graph level by level with a
+//! barrier between levels ([`om_codegen::task::TaskGraph::levels`] — the
+//! same function the executor calls), so *tasks within one level may run
+//! concurrently*. These passes check that the generated schedule is
+//! hazard-free at exactly that granularity:
+//!
+//! * **OM040** — two same-level tasks write the same slot (write-write),
+//! * **OM041** — a same-level pair writes and reads the same shared slot
+//!   (read-write; state reads never conflict, `y` is input-only during a
+//!   right-hand-side evaluation),
+//! * **OM042** — a derivative or shared slot is not written exactly once
+//!   across the whole graph (coverage: every equation in exactly one
+//!   task),
+//! * **OM043** — a dependency edge not justified by dataflow (the
+//!   dependent task reads nothing its dependency writes), which throttles
+//!   parallelism for no correctness gain.
+
+use crate::diag::{Diagnostic, Report};
+use om_codegen::task::{OutSlot, TaskGraph};
+use om_lang::SourcePos;
+use std::collections::HashMap;
+
+/// Per-task access sets, decoupled from compiled bytecode so synthetic
+/// schedules can be checked in tests.
+#[derive(Clone, Debug)]
+pub struct TaskAccess {
+    pub label: String,
+    /// Output slots this task writes.
+    pub writes: Vec<OutSlot>,
+    /// Shared slots this task reads.
+    pub reads_shared: Vec<usize>,
+}
+
+/// A schedule as the race detector sees it: access sets, the dependency
+/// edges, and the barrier levels derived from them.
+#[derive(Clone, Debug)]
+pub struct ScheduleView {
+    /// Number of derivative slots (the ODE dimension).
+    pub dim: usize,
+    /// Number of shared intermediate slots.
+    pub n_shared: usize,
+    pub tasks: Vec<TaskAccess>,
+    /// `deps[i]` = tasks that must complete before task `i`.
+    pub deps: Vec<Vec<usize>>,
+    /// Barrier levels; tasks within one level may run concurrently.
+    pub levels: Vec<Vec<usize>>,
+}
+
+impl ScheduleView {
+    /// Extract the view from a compiled task graph, using the *same*
+    /// level computation the parallel executor uses.
+    pub fn from_graph(graph: &TaskGraph) -> ScheduleView {
+        ScheduleView {
+            dim: graph.dim,
+            n_shared: graph.n_shared,
+            tasks: graph
+                .tasks
+                .iter()
+                .map(|t| TaskAccess {
+                    label: t.label.clone(),
+                    writes: t.writes.clone(),
+                    reads_shared: t.reads_shared.iter().map(|&s| s as usize).collect(),
+                })
+                .collect(),
+            deps: graph.deps.clone(),
+            levels: graph.levels(),
+        }
+    }
+
+    /// Build a synthetic view from access sets and dependency edges,
+    /// deriving `dim`/`n_shared` from the slots used and the levels with
+    /// the executor's longest-path rule.
+    pub fn from_parts(tasks: Vec<TaskAccess>, deps: Vec<Vec<usize>>) -> ScheduleView {
+        let mut dim = 0;
+        let mut n_shared = 0;
+        for t in &tasks {
+            for w in &t.writes {
+                match w {
+                    OutSlot::Deriv(i) => dim = dim.max(i + 1),
+                    OutSlot::Shared(s) => n_shared = n_shared.max(s + 1),
+                }
+            }
+            for &s in &t.reads_shared {
+                n_shared = n_shared.max(s + 1);
+            }
+        }
+        let levels = compute_levels(tasks.len(), &deps);
+        ScheduleView {
+            dim,
+            n_shared,
+            tasks,
+            deps,
+            levels,
+        }
+    }
+
+    /// Replace the levels (for sensitivity tests that merge levels).
+    pub fn with_levels(mut self, levels: Vec<Vec<usize>>) -> ScheduleView {
+        self.levels = levels;
+        self
+    }
+}
+
+/// Longest-path levels, identical to `TaskGraph::levels`.
+fn compute_levels(n: usize, deps: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut level = vec![0usize; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            for &d in &deps[i] {
+                if level[i] < level[d] + 1 {
+                    level[i] = level[d] + 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+    let n_levels = level.iter().copied().max().unwrap_or(0) + 1;
+    let mut out = vec![Vec::new(); n_levels];
+    for (i, &l) in level.iter().enumerate() {
+        out[l].push(i);
+    }
+    out
+}
+
+fn slot_name(s: OutSlot) -> String {
+    match s {
+        OutSlot::Deriv(i) => format!("deriv[{i}]"),
+        OutSlot::Shared(i) => format!("shared[{i}]"),
+    }
+}
+
+/// Run all schedule passes, appending findings to `out`.
+pub fn check_schedule(view: &ScheduleView, out: &mut Report) {
+    let pos = SourcePos::default(); // generated code has no source span
+
+    // OM040 + OM041: conflicts within each barrier level.
+    for level in &view.levels {
+        for (k, &a) in level.iter().enumerate() {
+            for &b in &level[k + 1..] {
+                let ta = &view.tasks[a];
+                let tb = &view.tasks[b];
+                for &wa in &ta.writes {
+                    if tb.writes.contains(&wa) {
+                        out.push(Diagnostic::new(
+                            "OM040",
+                            pos,
+                            format!(
+                                "write-write race: tasks `{}` and `{}` both write {} in the same parallel level",
+                                ta.label, tb.label, slot_name(wa)
+                            ),
+                        ));
+                    }
+                }
+                // Read-write in either direction; only shared slots are
+                // readable cross-task.
+                for (writer, reader) in [(ta, tb), (tb, ta)] {
+                    for &w in &writer.writes {
+                        if let OutSlot::Shared(s) = w {
+                            if reader.reads_shared.contains(&s) {
+                                out.push(Diagnostic::new(
+                                    "OM041",
+                                    pos,
+                                    format!(
+                                        "read-write race: task `{}` reads shared[{s}] while task `{}` writes it in the same parallel level",
+                                        reader.label, writer.label
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // OM042: every slot written exactly once across the whole graph.
+    let mut writers: HashMap<OutSlot, Vec<usize>> = HashMap::new();
+    for (i, t) in view.tasks.iter().enumerate() {
+        for &w in &t.writes {
+            writers.entry(w).or_default().push(i);
+        }
+    }
+    for i in 0..view.dim {
+        check_coverage(view, &writers, OutSlot::Deriv(i), out);
+    }
+    for s in 0..view.n_shared {
+        check_coverage(view, &writers, OutSlot::Shared(s), out);
+    }
+
+    // OM043: edges not justified by dataflow.
+    for (i, deps) in view.deps.iter().enumerate() {
+        for &d in deps {
+            let justified = view.tasks[d].writes.iter().any(|w| {
+                matches!(w, OutSlot::Shared(s) if view.tasks[i].reads_shared.contains(s))
+            });
+            if !justified {
+                out.push(Diagnostic::new(
+                    "OM043",
+                    pos,
+                    format!(
+                        "false dependency: task `{}` depends on `{}` but reads nothing it writes",
+                        view.tasks[i].label, view.tasks[d].label
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_coverage(
+    view: &ScheduleView,
+    writers: &HashMap<OutSlot, Vec<usize>>,
+    slot: OutSlot,
+    out: &mut Report,
+) {
+    match writers.get(&slot).map(Vec::as_slice) {
+        None | Some([]) => out.push(Diagnostic::new(
+            "OM042",
+            SourcePos::default(),
+            format!("coverage violation: no task writes {}", slot_name(slot)),
+        )),
+        Some([_]) => {}
+        Some(many) => {
+            let labels: Vec<&str> = many
+                .iter()
+                .map(|&i| view.tasks[i].label.as_str())
+                .collect();
+            out.push(Diagnostic::new(
+                "OM042",
+                SourcePos::default(),
+                format!(
+                    "coverage violation: {} is written by {} tasks ({})",
+                    slot_name(slot),
+                    many.len(),
+                    labels.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(label: &str, writes: Vec<OutSlot>, reads_shared: Vec<usize>) -> TaskAccess {
+        TaskAccess {
+            label: label.into(),
+            writes,
+            reads_shared,
+        }
+    }
+
+    /// producer writes shared[0]; two consumers read it into derivs.
+    fn pipeline_view() -> ScheduleView {
+        ScheduleView::from_parts(
+            vec![
+                task("p", vec![OutSlot::Shared(0)], vec![]),
+                task("c0", vec![OutSlot::Deriv(0)], vec![0]),
+                task("c1", vec![OutSlot::Deriv(1)], vec![0]),
+            ],
+            vec![vec![], vec![0], vec![0]],
+        )
+    }
+
+    #[test]
+    fn clean_pipeline_passes_all_checks() {
+        let mut r = Report::default();
+        check_schedule(&pipeline_view(), &mut r);
+        assert!(r.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn merged_level_is_a_read_write_race() {
+        let v = pipeline_view().with_levels(vec![vec![0, 1, 2]]);
+        let mut r = Report::default();
+        check_schedule(&v, &mut r);
+        assert!(r.has_code("OM041"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn double_writer_is_both_race_and_coverage_violation() {
+        let v = ScheduleView::from_parts(
+            vec![
+                task("a", vec![OutSlot::Deriv(0)], vec![]),
+                task("b", vec![OutSlot::Deriv(0)], vec![]),
+            ],
+            vec![vec![], vec![]],
+        );
+        let mut r = Report::default();
+        check_schedule(&v, &mut r);
+        assert!(r.has_code("OM040"));
+        assert!(r.has_code("OM042"));
+    }
+
+    #[test]
+    fn missing_writer_is_a_coverage_violation() {
+        let mut v = pipeline_view();
+        v.dim = 3; // deriv[2] exists but nobody writes it
+        let mut r = Report::default();
+        check_schedule(&v, &mut r);
+        assert!(r.has_code("OM042"));
+    }
+
+    #[test]
+    fn unjustified_edge_is_a_false_dependency() {
+        let v = ScheduleView::from_parts(
+            vec![
+                task("a", vec![OutSlot::Deriv(0)], vec![]),
+                task("b", vec![OutSlot::Deriv(1)], vec![]), // depends on a, reads nothing
+            ],
+            vec![vec![], vec![0]],
+        );
+        let mut r = Report::default();
+        check_schedule(&v, &mut r);
+        assert!(r.has_code("OM043"));
+        assert!(!r.has_code("OM040"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Every shipped model and example must lint clean at `--deny warnings`
+//! level: no errors, no warnings (info diagnostics are advisory and
+//! allowed).
+
+use om_lint::{lint_source, Severity};
+
+fn assert_clean(name: &str, source: &str) {
+    let report = lint_source(source);
+    let noisy: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity >= Severity::Warn)
+        .collect();
+    assert!(
+        noisy.is_empty(),
+        "{name} should lint clean, got:\n{}",
+        report.render_text(name)
+    );
+}
+
+#[test]
+fn builtin_models_lint_clean() {
+    assert_clean("oscillator", &om_models::oscillator::source());
+    assert_clean("servo", &om_models::servo::source());
+    assert_clean("hydro", &om_models::hydro::source());
+    assert_clean(
+        "bearing2d",
+        &om_models::bearing2d::source(&om_models::bearing2d::BearingConfig::default()),
+    );
+    assert_clean(
+        "heat1d",
+        &om_models::heat1d::source(&om_models::heat1d::HeatConfig::default()),
+    );
+    assert_clean(
+        "bearing3d",
+        &om_models::bearing3d::source(&om_models::bearing3d::Bearing3dConfig::default()),
+    );
+}
+
+#[test]
+fn shipped_examples_lint_clean() {
+    for entry in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples")).unwrap()
+    {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) == Some("om") {
+            let src = std::fs::read_to_string(&path).unwrap();
+            assert_clean(path.to_str().unwrap(), &src);
+        }
+    }
+}

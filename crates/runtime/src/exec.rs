@@ -274,7 +274,7 @@ impl WorkerPool {
                 failed: false,
             });
         }
-        let levels = level_order(&graph);
+        let levels = graph.levels();
         let measured = graph
             .tasks
             .iter()
@@ -912,30 +912,6 @@ fn worker_main(
             break;
         }
     }
-}
-
-/// Group task ids by dependency level (level 0 = no deps).
-fn level_order(graph: &TaskGraph) -> Vec<Vec<usize>> {
-    let n = graph.tasks.len();
-    let mut level = vec![0usize; n];
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for i in 0..n {
-            for &d in &graph.deps[i] {
-                if level[i] < level[d] + 1 {
-                    level[i] = level[d] + 1;
-                    changed = true;
-                }
-            }
-        }
-    }
-    let n_levels = level.iter().copied().max().unwrap_or(0) + 1;
-    let mut out = vec![Vec::new(); n_levels];
-    for (i, &l) in level.iter().enumerate() {
-        out[l].push(i);
-    }
-    out
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! omc MODEL.om analyze                  # SCCs, pipeline levels, DOT
+//! omc MODEL.om lint [--json] [--deny warnings|info]   # static analysis
 //! omc MODEL.om emit --lang f90|cpp|mma  # generated code on stdout
 //! omc MODEL.om tasks --workers N        # task table + LPT schedule
 //! omc MODEL.om simulate --tend T [--workers N] [--solver dopri5|rk4|abm|bdf|lsoda]
@@ -36,6 +37,9 @@ enum CliError {
     Solve(SolveError),
     /// The parallel runtime failed (exit 4).
     Runtime(RuntimeError),
+    /// `lint` found problems; the code separates errors (5) from denied
+    /// warnings (6) and denied info (7) so CI can gate on each class.
+    Lint { code: u8, summary: String },
 }
 
 impl CliError {
@@ -45,6 +49,7 @@ impl CliError {
             CliError::Io(_) | CliError::Compile(_) => 1,
             CliError::Solve(_) => 3,
             CliError::Runtime(_) => 4,
+            CliError::Lint { code, .. } => *code,
         }
     }
 }
@@ -57,6 +62,7 @@ impl fmt::Display for CliError {
             CliError::Compile(m) => write!(f, "error: {m}"),
             CliError::Solve(e) => write!(f, "solver error: {e}"),
             CliError::Runtime(e) => write!(f, "runtime error: {e}"),
+            CliError::Lint { summary, .. } => write!(f, "lint: {summary}"),
         }
     }
 }
@@ -78,6 +84,10 @@ fn usage() -> String {
      commands:\n\
        analyze                     dependency graph, SCCs, pipeline levels\n\
          --dot                     print Graphviz instead of the table\n\
+       lint                        static analysis + schedule race detection\n\
+         --json                    machine-readable JSON report on stdout\n\
+         --deny warnings|info      also fail on warnings (exit 6) or on\n\
+                                   warnings+info (exit 7); errors always exit 5\n\
        emit                        generated code on stdout\n\
          --lang f90|cpp|mma        target language (default f90)\n\
          --serial                  serial code with global CSE\n\
@@ -114,6 +124,15 @@ fn run(args: &[String]) -> Result<(), CliError> {
 
     let source = std::fs::read_to_string(path)
         .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
+
+    // `lint` runs before (and instead of) the normal compile: its whole
+    // point is producing diagnostics for models the pipeline rejects.
+    if command == "lint" {
+        let result = lint(path, &source, &opts);
+        let export = export_obs(&opts);
+        return result.and(export);
+    }
+
     let flat = objectmath::lang::compile(&source).map_err(|e| CliError::Compile(e.to_string()))?;
     let mut ir = causalize(&flat).map_err(|e| CliError::Compile(e.to_string()))?;
     objectmath::ir::verify_compilable(&ir).map_err(|e| CliError::Compile(e.to_string()))?;
@@ -163,6 +182,8 @@ fn export_obs(opts: &Flags) -> Result<(), CliError> {
 struct Flags {
     dot: bool,
     serial: bool,
+    json: bool,
+    deny: Option<String>,
     lang: String,
     solver: String,
     workers: usize,
@@ -196,6 +217,8 @@ fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
         match flag.as_str() {
             "--dot" => f.dot = true,
             "--serial" => f.serial = true,
+            "--json" => f.json = true,
+            "--deny" => f.deny = Some(value("--deny")?),
             "--metrics" => f.metrics = true,
             "--trace" => f.trace = Some(value("--trace")?),
             "--lang" => f.lang = value("--lang")?,
@@ -244,6 +267,53 @@ fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
         }
     }
     Ok(f)
+}
+
+/// Run the whole-model static analyzer and the generated-schedule race
+/// detector, print the report (text or `--json`), and turn the severity
+/// classes into exit codes: errors → 5; with `--deny warnings` any
+/// warning → 6; with `--deny info` any warning or info → 6/7.
+fn lint(path: &str, source: &str, opts: &Flags) -> Result<(), CliError> {
+    use objectmath::lint::Severity;
+
+    let deny_warnings = matches!(opts.deny.as_deref(), Some("warnings") | Some("info"));
+    let deny_info = opts.deny.as_deref() == Some("info");
+    if let Some(other) = opts.deny.as_deref() {
+        if other != "warnings" && other != "info" {
+            return Err(CliError::Usage(format!(
+                "--deny expects `warnings` or `info`, got `{other}`"
+            )));
+        }
+    }
+
+    let report = objectmath::lint::lint_source(source);
+    if opts.json {
+        println!("{}", report.render_json(path));
+    } else {
+        print!("{}", report.render_text(path));
+    }
+
+    let errors = report.count(Severity::Error);
+    let warnings = report.count(Severity::Warn);
+    let info = report.count(Severity::Info);
+    if errors > 0 {
+        Err(CliError::Lint {
+            code: 5,
+            summary: format!("{errors} error(s)"),
+        })
+    } else if deny_warnings && warnings > 0 {
+        Err(CliError::Lint {
+            code: 6,
+            summary: format!("{warnings} warning(s) denied by --deny"),
+        })
+    } else if deny_info && info > 0 {
+        Err(CliError::Lint {
+            code: 7,
+            summary: format!("{info} info diagnostic(s) denied by --deny info"),
+        })
+    } else {
+        Ok(())
+    }
 }
 
 fn analyze(ir: &OdeIr, opts: &Flags) -> Result<(), CliError> {
@@ -500,6 +570,14 @@ mod tests {
             f.sets,
             vec![("x".to_owned(), 1.5), ("y".to_owned(), -2.0)]
         );
+    }
+
+    #[test]
+    fn parse_flags_lint_options() {
+        let f = parse_flags(&args(&["--json", "--deny", "warnings"])).expect("parse");
+        assert!(f.json);
+        assert_eq!(f.deny.as_deref(), Some("warnings"));
+        assert!(matches!(parse_flags(&args(&["--deny"])), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   equation-system-level partitioning,
 //! * [`codegen`] — CSE, task partitioning, LPT scheduling, bytecode and
 //!   Fortran 90 / C++ emission,
+//! * [`lint`] — whole-model static analyzer and generated-schedule race
+//!   detector (`omc lint`),
 //! * [`runtime`] — supervisor/worker parallel runtime and machine models,
 //! * [`solver`] — ODE solvers (explicit, multistep, BDF, LSODA-style
 //!   switching, partitioned co-simulation),
@@ -42,6 +44,7 @@ pub use om_codegen as codegen;
 pub use om_expr as expr;
 pub use om_ir as ir;
 pub use om_lang as lang;
+pub use om_lint as lint;
 pub use om_models as models;
 pub use om_runtime as runtime;
 pub use om_solver as solver;

@@ -121,6 +121,105 @@ fn tasks_prints_schedule() {
 }
 
 #[test]
+fn lint_clean_model_exits_zero() {
+    let path = write_model("lint_clean", OSC);
+    let out = omc().arg(&path).arg("lint").output().expect("run omc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
+}
+
+#[test]
+fn lint_errors_exit_5() {
+    // Unresolved reference: a lint error.
+    let path = write_model(
+        "lint_err",
+        "model M;\n  Real x(start=1.0);\nequation\n  der(x) = -x + nope;\nend M;\n",
+    );
+    let out = omc().arg(&path).arg("lint").output().expect("run omc");
+    assert_eq!(out.status.code(), Some(5));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error[OM010]"), "{text}");
+    assert!(text.contains("4:17"), "{text}");
+}
+
+const WARNY: &str = "model W;
+  Real x(start=1.0);
+  Real dead;
+equation
+  der(x) = -x;
+  dead = x * 2.0;
+end W;
+";
+
+#[test]
+fn lint_deny_warnings_exits_6() {
+    let path = write_model("lint_warn", WARNY);
+    // Without --deny, warnings do not fail the run…
+    let out = omc().arg(&path).arg("lint").output().expect("run omc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    // …with it, they do.
+    let out = omc()
+        .arg(&path)
+        .args(["lint", "--deny", "warnings"])
+        .output()
+        .expect("run omc");
+    assert_eq!(out.status.code(), Some(6));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("warning[OM020]"), "{text}");
+    assert!(text.contains("warning[OM021]"), "{text}");
+}
+
+#[test]
+fn lint_deny_info_exits_7() {
+    // A state without a start value: info-level only.
+    let path = write_model(
+        "lint_info",
+        "model I;\n  Real x;\nequation\n  der(x) = -x;\nend I;\n",
+    );
+    let out = omc()
+        .arg(&path)
+        .args(["lint", "--deny", "warnings"])
+        .output()
+        .expect("run omc");
+    assert!(out.status.success(), "info must pass --deny warnings");
+    let out = omc()
+        .arg(&path)
+        .args(["lint", "--deny", "info"])
+        .output()
+        .expect("run omc");
+    assert_eq!(out.status.code(), Some(7));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("info[OM022]"));
+}
+
+#[test]
+fn lint_json_is_machine_readable() {
+    let path = write_model("lint_json", WARNY);
+    let out = omc()
+        .arg(&path)
+        .args(["lint", "--json"])
+        .output()
+        .expect("run omc");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("{\"file\":"), "{text}");
+    assert!(text.contains("\"code\":\"OM020\""), "{text}");
+    assert!(text.contains("\"summary\":{\"error\":0,\"warning\":2,\"info\":0}"), "{text}");
+}
+
+#[test]
+fn lint_rejects_bad_deny_class() {
+    let path = write_model("lint_baddeny", OSC);
+    let out = omc()
+        .arg(&path)
+        .args(["lint", "--deny", "everything"])
+        .output()
+        .expect("run omc");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--deny"));
+}
+
+#[test]
 fn bad_model_reports_position() {
     let path = write_model("bad", "model M;\n  Real ;\nend M;");
     let out = omc().arg(&path).arg("analyze").output().expect("run omc");

@@ -1,0 +1,82 @@
+//! Seeded-bad fixture models under `tests/lint/`: each `.om` file carries
+//! `// expect: OMxxx @ line:col` comments and must produce *exactly* that
+//! diagnostic set — same codes, same positions, nothing extra. `0:0`
+//! means a position-less diagnostic (whole-system findings).
+
+use objectmath::lint::lint_source;
+use std::path::Path;
+
+/// Parse every `// expect: OMxxx @ line:col` comment in a fixture.
+fn parse_expectations(source: &str, file: &Path) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let Some(rest) = line.trim().strip_prefix("// expect:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (code, pos) = rest
+            .split_once('@')
+            .unwrap_or_else(|| panic!("{}:{}: malformed expectation `{rest}`", file.display(), i + 1));
+        let (l, c) = pos
+            .trim()
+            .split_once(':')
+            .unwrap_or_else(|| panic!("{}:{}: expected line:col in `{rest}`", file.display(), i + 1));
+        out.push((
+            code.trim().to_string(),
+            l.trim().parse().expect("line number"),
+            c.trim().parse().expect("column number"),
+        ));
+    }
+    assert!(
+        !out.is_empty(),
+        "{}: fixture has no `// expect:` comments",
+        file.display()
+    );
+    out
+}
+
+#[test]
+fn every_fixture_fires_exactly_its_expected_diagnostics() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint");
+    let mut fixtures = 0;
+    let mut codes_seen: Vec<String> = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/lint directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("om"))
+        .collect();
+    entries.sort();
+
+    for path in entries {
+        fixtures += 1;
+        let source = std::fs::read_to_string(&path).expect("read fixture");
+        let mut expected = parse_expectations(&source, &path);
+        let report = lint_source(&source);
+        let mut actual: Vec<(String, usize, usize)> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.code.to_string(), d.pos.line as usize, d.pos.col as usize))
+            .collect();
+        expected.sort();
+        actual.sort();
+        assert_eq!(
+            actual,
+            expected,
+            "{}: diagnostics differ from expectations; actual report:\n{}",
+            path.display(),
+            report.render_text(path.to_str().unwrap())
+        );
+        codes_seen.extend(expected.into_iter().map(|(c, _, _)| c));
+    }
+
+    // The fixture corpus must exercise a healthy slice of the code table.
+    codes_seen.sort();
+    codes_seen.dedup();
+    assert!(fixtures >= 10, "only {fixtures} fixtures");
+    assert!(
+        codes_seen.len() >= 10,
+        "fixtures cover only {} distinct codes: {:?}",
+        codes_seen.len(),
+        codes_seen
+    );
+}
