@@ -78,10 +78,8 @@ mod tests {
     #[test]
     fn states_are_prefixed_with_d() {
         let ir = causalize(
-            &om_lang::compile(
-                "model M; Real x; Real f; equation der(x) = f; f = -x; end M;",
-            )
-            .unwrap(),
+            &om_lang::compile("model M; Real x; Real f; equation der(x) = f; f = -x; end M;")
+                .unwrap(),
         )
         .unwrap();
         let dot = to_dot(&build_dependency_graph(&ir), "t");

@@ -273,7 +273,10 @@ mod tests {
             (1, vec![]),
             (2, vec![(0, 1)]),
             (2, vec![(0, 1), (1, 0)]),
-            (6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]),
+            (
+                6,
+                vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+            ),
             (4, vec![(0, 0), (1, 1), (2, 3)]),
         ];
         for (n, edges) in cases {

@@ -111,10 +111,12 @@ pub fn partition_by_scc(dep: &DepGraph) -> Partition {
     let partition = Partition { subsystems, levels };
     if om_obs::is_enabled() {
         let m = om_obs::metrics();
-        m.gauge("analysis.scc_count").set(partition.subsystems.len() as f64);
+        m.gauge("analysis.scc_count")
+            .set(partition.subsystems.len() as f64);
         m.gauge("analysis.scc_largest")
             .set(partition.scc_sizes().first().copied().unwrap_or(0) as f64);
-        m.gauge("analysis.pipeline_levels").set(partition.levels.len() as f64);
+        m.gauge("analysis.pipeline_levels")
+            .set(partition.levels.len() as f64);
         m.gauge("analysis.max_parallel_width")
             .set(partition.max_parallel_width() as f64);
     }

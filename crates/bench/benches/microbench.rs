@@ -48,12 +48,7 @@ fn bench_symbolic(c: &mut Criterion) {
         b.iter(|| black_box(&ir).inlined_rhs())
     });
     g.bench_function("flops_inlined_rhs", |b| {
-        b.iter(|| {
-            inlined
-                .iter()
-                .map(om_expr::flops)
-                .sum::<u64>()
-        })
+        b.iter(|| inlined.iter().map(om_expr::flops).sum::<u64>())
     });
     g.finish();
 }
@@ -156,18 +151,11 @@ fn bench_rhs(c: &mut Criterion) {
         b.iter_batched(
             || om_ir::IrEvaluator::new(&ir).expect("verified"),
             |evaluator| {
-                let mut sys =
-                    om_solver::FnSystem::new(dim, move |t, y: &[f64], d: &mut [f64]| {
-                        evaluator.rhs(t, y, d);
-                    });
-                om_solver::dopri5(
-                    &mut sys,
-                    0.0,
-                    &y0,
-                    2e-5,
-                    &om_solver::Tolerances::default(),
-                )
-                .expect("solves")
+                let mut sys = om_solver::FnSystem::new(dim, move |t, y: &[f64], d: &mut [f64]| {
+                    evaluator.rhs(t, y, d);
+                });
+                om_solver::dopri5(&mut sys, 0.0, &y0, 2e-5, &om_solver::Tolerances::default())
+                    .expect("solves")
             },
             BatchSize::SmallInput,
         )

@@ -26,7 +26,10 @@ fn main() {
     );
     println!("strongly connected components: {}", scc.count());
     println!();
-    println!("{:<6} {:<6} {:<8} members (first few)", "scc", "size", "level");
+    println!(
+        "{:<6} {:<6} {:<8} members (first few)",
+        "scc", "size", "level"
+    );
     let mut rows = Vec::new();
     let mut by_size: Vec<&om_analysis::Subsystem> = part.subsystems.iter().collect();
     by_size.sort_by_key(|s| std::cmp::Reverse(s.states.len() + s.algebraics.len()));
@@ -39,15 +42,16 @@ fn main() {
             .map(|s| s.name())
             .collect();
         names.sort();
-        let preview = names
-            .iter()
-            .take(4)
-            .cloned()
-            .collect::<Vec<_>>()
-            .join(" ");
+        let preview = names.iter().take(4).cloned().collect::<Vec<_>>().join(" ");
         let more = if names.len() > 4 { " …" } else { "" };
         println!("{:<6} {:<6} {:<8} {preview}{more}", sub.id, size, sub.level);
-        rows.push(format!("{},{},{},{}", sub.id, size, sub.level, names.join(";")));
+        rows.push(format!(
+            "{},{},{},{}",
+            sub.id,
+            size,
+            sub.level,
+            names.join(";")
+        ));
     }
     println!();
     println!("pipeline levels (subsystems per level):");

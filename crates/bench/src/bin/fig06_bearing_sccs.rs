@@ -65,5 +65,8 @@ fn main() {
     let dot = to_dot(&small_dep, "Bearing2D (2 rollers)");
     let dot_path = om_bench::experiments_dir().join("fig06_bearing.dot");
     std::fs::write(&dot_path, dot).expect("write dot");
-    println!("[graphviz (2-roller close-up) written to {}]", dot_path.display());
+    println!(
+        "[graphviz (2-roller close-up) written to {}]",
+        dot_path.display()
+    );
 }

@@ -42,7 +42,10 @@ fn main() {
         "{:<6} {:>22} {:>22}",
         "procs", machines[0].name, machines[1].name
     );
-    println!("{:<6} {:>11} {:>10} {:>11} {:>10}", "", "calls/s", "speedup", "calls/s", "speedup");
+    println!(
+        "{:<6} {:>11} {:>10} {:>11} {:>10}",
+        "", "calls/s", "speedup", "calls/s", "speedup"
+    );
     let mut rows = Vec::new();
     let max_procs = 17;
     for w in 1..=max_procs {
@@ -121,7 +124,10 @@ fn main() {
         let busy = busy_total().saturating_sub(busy_before);
         let util = busy as f64 / (wall.as_nanos() as f64 * w as f64);
         let rate = calls as f64 / wall.as_secs_f64();
-        println!("  {w} worker(s): {rate:>10.0} RHS calls/s, {:>5.1}% worker utilization", 100.0 * util);
+        println!(
+            "  {w} worker(s): {rate:>10.0} RHS calls/s, {:>5.1}% worker utilization",
+            100.0 * util
+        );
         host_rows.push(format!("{w},{rate:.0},{util:.4}"));
     }
     om_obs::init(&om_obs::ObsConfig::disabled());

@@ -26,7 +26,10 @@ fn main() {
     let machine = MachineSpec::sparc_center_2000();
     let workers = 6;
 
-    println!("== E10 ablations (2D bearing, {} workers on {}) ==\n", workers, machine.name);
+    println!(
+        "== E10 ablations (2D bearing, {} workers on {}) ==\n",
+        workers, machine.name
+    );
     println!(
         "{:<34} {:>8} {:>12} {:>12} {:>12}",
         "configuration", "tasks", "instrs", "flops", "sim µs/call"

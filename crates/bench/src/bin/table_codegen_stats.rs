@@ -23,7 +23,10 @@ fn main() {
     println!("{}", om_bench::rule(84));
 
     let mut rows = Vec::new();
-    for (label, waviness) in [("2D bearing (plain)", 0usize), ("2D bearing (heavy RHS)", 12)] {
+    for (label, waviness) in [
+        ("2D bearing (plain)", 0usize),
+        ("2D bearing (heavy RHS)", 12),
+    ] {
         let cfg = BearingConfig {
             waviness,
             ..BearingConfig::default()
@@ -38,7 +41,11 @@ fn main() {
         let ser_kb = stats.serial_f90.text.len() as f64 / 1024.0;
         println!(
             "{:<28} {:>10} {:>12.1} {:>10} {:>10.1} {:>8}   (parallel, per-task CSE)",
-            label, src_lines, interm_kb, stats.parallel_f90.total_lines, par_kb,
+            label,
+            src_lines,
+            interm_kb,
+            stats.parallel_f90.total_lines,
+            par_kb,
             stats.parallel_f90.cse_count
         );
         println!(
@@ -81,10 +88,8 @@ fn main() {
     let generator = CodeGenerator::default();
     let stats = generator.stats(&ir, 8);
     let dir = om_bench::experiments_dir();
-    std::fs::write(dir.join("bearing_parallel.f90"), &stats.parallel_f90.text)
-        .expect("write f90");
-    std::fs::write(dir.join("bearing_serial.f90"), &stats.serial_f90.text)
-        .expect("write f90");
+    std::fs::write(dir.join("bearing_parallel.f90"), &stats.parallel_f90.text).expect("write f90");
+    std::fs::write(dir.join("bearing_serial.f90"), &stats.serial_f90.text).expect("write f90");
     std::fs::write(
         dir.join("bearing_intermediate.m"),
         generator.intermediate_code(&ir),

@@ -147,7 +147,11 @@ fn main() {
         .collect();
     let steady_us = mean_us(&steady);
     let after: Vec<f64> = samples[(spike_idx + 6).min(calls - 1)..].to_vec();
-    let after_us = if after.is_empty() { steady_us } else { mean_us(&after) };
+    let after_us = if after.is_empty() {
+        steady_us
+    } else {
+        mean_us(&after)
+    };
     let recovery_us = spike_us - steady_us;
 
     println!("\nkill worker 1 at job {kill_at}:");

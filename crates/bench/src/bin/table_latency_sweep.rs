@@ -52,8 +52,7 @@ fn main() {
             let (best_p, best_s) = (1..=32)
                 .map(|w| {
                     let sched = lpt(&costs, w);
-                    let sim =
-                        simulate_rhs_time(&graph, &sched.assignment, w, &machine, policy);
+                    let sim = simulate_rhs_time(&graph, &sched.assignment, w, &machine, policy);
                     (w, serial / sim.total)
                 })
                 .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))

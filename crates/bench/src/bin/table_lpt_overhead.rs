@@ -142,7 +142,10 @@ fn main() {
     };
     let overhead = median(&mut rel).max(0.0);
     let (t_off, t_on) = (median(&mut off), median(&mut on));
-    println!("disabled: {t_off:.4}s   enabled: {t_on:.4}s   overhead: {:.3}%", 100.0 * overhead);
+    println!(
+        "disabled: {t_off:.4}s   enabled: {t_on:.4}s   overhead: {:.3}%",
+        100.0 * overhead
+    );
     om_bench::write_csv(
         "table_obs_overhead",
         "disabled_seconds,enabled_seconds,overhead_fraction",

@@ -36,8 +36,9 @@ fn part_c_pipeline() {
     let servo_states: Vec<usize> = (1..=hydro::N_ANGLE_SECTIONS)
         .map(|k| sys.find_state(&format!("servo.a[{k}]")).expect("state"))
         .collect();
-    let other_states: Vec<usize> =
-        (0..sys.dim()).filter(|i| !servo_states.contains(i)).collect();
+    let other_states: Vec<usize> = (0..sys.dim())
+        .filter(|i| !servo_states.contains(i))
+        .collect();
     let y0 = sys.initial_state();
     let dim = sys.dim();
 
@@ -79,10 +80,7 @@ fn part_c_pipeline() {
         .collect();
     let r = run_pipeline(stages, &couplings, 0.0, 200.0, 40, Tolerances::default())
         .expect("pipeline runs");
-    println!(
-        "{:<12} {:>10} {:>8}",
-        "stage", "RHS calls", "steps"
-    );
+    println!("{:<12} {:>10} {:>8}", "stage", "RHS calls", "steps");
     println!("{}", om_bench::rule(34));
     for (k, name) in ["actuators", "plant"].iter().enumerate() {
         println!(
@@ -98,7 +96,9 @@ fn part_c_pipeline() {
         "\ndam level after 200 s: {:.3} m (set point 10.0)",
         r.finals[1][level_slot]
     );
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     println!(
         "wall {:?} vs summed stage busy {:?} on a {cores}-CPU host \
          (stages overlap when cores >= stages)",
@@ -161,27 +161,41 @@ fn part_a_step_sizes() {
         .expect("monolithic solve");
     let mono_step = t_end / mono.stats.steps as f64;
 
-    println!("{:<12} {:>8} {:>14} {:>12}", "subsystem", "states", "mean step (s)", "RHS calls");
+    println!(
+        "{:<12} {:>8} {:>14} {:>12}",
+        "subsystem", "states", "mean step (s)", "RHS calls"
+    );
     println!("{}", om_bench::rule(50));
     let labels = ["fast", "slow"];
     let mut rows = Vec::new();
     for (k, g) in groups.iter().enumerate() {
         println!(
             "{:<12} {:>8} {:>14.5} {:>12}",
-            labels[k], g.len(), result.mean_steps[k], result.stats[k].rhs_calls
+            labels[k],
+            g.len(),
+            result.mean_steps[k],
+            result.stats[k].rhs_calls
         );
         rows.push(format!(
             "{},{},{:.6},{}",
-            labels[k], g.len(), result.mean_steps[k], result.stats[k].rhs_calls
+            labels[k],
+            g.len(),
+            result.mean_steps[k],
+            result.stats[k].rhs_calls
         ));
     }
     println!(
         "{:<12} {:>8} {:>14.5} {:>12}",
-        "monolithic", sys.dim(), mono_step, mono.stats.rhs_calls
+        "monolithic",
+        sys.dim(),
+        mono_step,
+        mono.stats.rhs_calls
     );
     rows.push(format!(
         "monolithic,{},{:.6},{}",
-        sys.dim(), mono_step, mono.stats.rhs_calls
+        sys.dim(),
+        mono_step,
+        mono.stats.rhs_calls
     ));
     let partitioned_evals: usize = result
         .stats
@@ -230,7 +244,10 @@ fn part_a2_hydro_negative() {
         .expect("monolithic solve");
     let mono_step = t_end / mono.stats.steps as f64;
 
-    println!("\n{:<10} {:>8} {:>14} {:>14}", "subsystem", "states", "mean step (s)", "RHS calls");
+    println!(
+        "\n{:<10} {:>8} {:>14} {:>14}",
+        "subsystem", "states", "mean step (s)", "RHS calls"
+    );
     println!("{}", om_bench::rule(50));
     let mut rows = Vec::new();
     for (k, g) in groups.iter().enumerate() {
@@ -339,7 +356,12 @@ fn part_b_jacobian() {
 
     println!("{:<26} {:>12} {:>12}", "", "monolithic", "partitioned");
     println!("{}", om_bench::rule(52));
-    println!("{:<26} {:>12} {:>12}", "state dimension", n, format!("2×{sub_n}"));
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "state dimension",
+        n,
+        format!("2×{sub_n}")
+    );
     println!(
         "{:<26} {:>12} {:>12}",
         "LU factorizations", mono.stats.lu_factorizations, part_stats.lu_factorizations

@@ -27,9 +27,14 @@ fn main() {
     // Reaction kinetics per cell emulate the chemistry source terms of
     // real fluid-dynamics codes; pure diffusion (first row) is too cheap
     // to parallelize at 1995 latencies — itself an instructive data point.
-    for (cells, reaction_terms) in
-        [(128usize, 0usize), (128, 8), (128, 24), (256, 24), (512, 24), (512, 48)]
-    {
+    for (cells, reaction_terms) in [
+        (128usize, 0usize),
+        (128, 8),
+        (128, 24),
+        (256, 24),
+        (512, 24),
+        (512, 48),
+    ] {
         let cfg = HeatConfig {
             cells,
             reaction_terms,

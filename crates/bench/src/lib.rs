@@ -17,10 +17,9 @@ use std::path::PathBuf;
 
 /// Directory where experiment CSVs land.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned()))
+            .join("experiments");
     std::fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }
@@ -28,13 +27,48 @@ pub fn experiments_dir() -> PathBuf {
 /// Write `rows` (already comma-joined) to `target/experiments/<name>.csv`
 /// with a header line.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = write_csv_quiet(name, header, rows);
+    println!("[csv written to {}]", path.display());
+}
+
+/// [`write_csv`] without the stdout notice — for binaries whose stdout
+/// is machine-readable (`--json`). Returns the path written.
+pub fn write_csv_quiet(name: &str, header: &str, rows: &[String]) -> PathBuf {
     let path = experiments_dir().join(format!("{name}.csv"));
     let mut f = std::fs::File::create(&path).expect("create csv");
     writeln!(f, "{header}").expect("write header");
     for r in rows {
         writeln!(f, "{r}").expect("write row");
     }
-    println!("[csv written to {}]", path.display());
+    path
+}
+
+/// Every built-in model as `(name, verified internal form)` — the sweep
+/// set for cross-model experiments like E12b.
+pub fn builtin_models() -> Vec<(&'static str, om_ir::OdeIr)> {
+    let sources = [
+        ("oscillator", om_models::oscillator::source()),
+        ("servo", om_models::servo::source()),
+        ("hydro", om_models::hydro::source()),
+        (
+            "heat1d",
+            om_models::heat1d::source(&om_models::heat1d::HeatConfig::default()),
+        ),
+        ("bearing2d", bearing2d::source(&BearingConfig::default())),
+        (
+            "bearing3d",
+            om_models::bearing3d::source(&om_models::bearing3d::Bearing3dConfig::default()),
+        ),
+    ];
+    sources
+        .into_iter()
+        .map(|(name, src)| {
+            (
+                name,
+                om_models::compile_to_ir(&src).unwrap_or_else(|e| panic!("{name}: {e}")),
+            )
+        })
+        .collect()
 }
 
 /// The bearing task graph used by the performance experiments.
@@ -84,10 +118,7 @@ pub fn rule(width: usize) -> String {
 /// from the subsystem state vector and every other state supplied as a
 /// (zero-order-hold) input — conservative but always correct coupling,
 /// ordered as given (upstream groups first for Gauss–Seidel freshness).
-pub fn cosim_from_ir(
-    ir: &om_ir::OdeIr,
-    groups: &[Vec<usize>],
-) -> om_solver::CoSimulation {
+pub fn cosim_from_ir(ir: &om_ir::OdeIr, groups: &[Vec<usize>]) -> om_solver::CoSimulation {
     let dim = ir.dim();
     let y0_full = ir.initial_state();
     let mut subsystems = Vec::with_capacity(groups.len());
@@ -100,9 +131,7 @@ pub fn cosim_from_ir(
             let (src_sub, src_state) = groups
                 .iter()
                 .enumerate()
-                .find_map(|(sg, sts)| {
-                    sts.iter().position(|&s| s == other).map(|p| (sg, p))
-                })
+                .find_map(|(sg, sts)| sts.iter().position(|&s| s == other).map(|p| (sg, p)))
                 .expect("every state is in some group");
             couplings.push(om_solver::Coupling {
                 dst_sub: g,
@@ -173,13 +202,8 @@ mod tests {
 
     #[test]
     fn csv_files_are_written() {
-        write_csv(
-            "selftest",
-            "a,b",
-            &["1,2".to_owned(), "3,4".to_owned()],
-        );
-        let content =
-            std::fs::read_to_string(experiments_dir().join("selftest.csv")).unwrap();
+        write_csv("selftest", "a,b", &["1,2".to_owned(), "3,4".to_owned()]);
+        let content = std::fs::read_to_string(experiments_dir().join("selftest.csv")).unwrap();
         assert_eq!(content, "a,b\n1,2\n3,4\n");
     }
 }

@@ -32,29 +32,86 @@ pub enum VarRef {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Instr {
     /// `r[dst] = consts[idx]`
-    Const { dst: u32, idx: u32 },
+    Const {
+        dst: u32,
+        idx: u32,
+    },
     /// `r[dst] = y[idx]`
-    State { dst: u32, idx: u32 },
+    State {
+        dst: u32,
+        idx: u32,
+    },
     /// `r[dst] = shared[idx]`
-    Shared { dst: u32, idx: u32 },
+    Shared {
+        dst: u32,
+        idx: u32,
+    },
     /// `r[dst] = t`
-    Time { dst: u32 },
-    Add { dst: u32, a: u32, b: u32 },
-    Mul { dst: u32, a: u32, b: u32 },
+    Time {
+        dst: u32,
+    },
+    Add {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Mul {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
     /// `r[dst] = r[a] ^ n` by repeated multiplication (n may be negative).
-    PowI { dst: u32, a: u32, n: i32 },
+    PowI {
+        dst: u32,
+        a: u32,
+        n: i32,
+    },
     /// `r[dst] = r[a] ^ r[b]` via `powf`.
-    Powf { dst: u32, a: u32, b: u32 },
-    Call1 { f: Func, dst: u32, a: u32 },
-    Call2 { f: Func, dst: u32, a: u32, b: u32 },
+    Powf {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Call1 {
+        f: Func,
+        dst: u32,
+        a: u32,
+    },
+    Call2 {
+        f: Func,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
     /// `r[dst] = r[a] <op> r[b] ? 1.0 : 0.0`
-    Cmp { op: CmpOp, dst: u32, a: u32, b: u32 },
+    Cmp {
+        op: CmpOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
     /// Boolean ops over 0/1-normalized operands.
-    BoolAnd { dst: u32, a: u32, b: u32 },
-    BoolOr { dst: u32, a: u32, b: u32 },
-    BoolNot { dst: u32, a: u32 },
+    BoolAnd {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    BoolOr {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    BoolNot {
+        dst: u32,
+        a: u32,
+    },
     /// `r[dst] = r[c] != 0 ? r[a] : r[b]`
-    Select { dst: u32, c: u32, a: u32, b: u32 },
+    Select {
+        dst: u32,
+        c: u32,
+        a: u32,
+        b: u32,
+    },
 }
 
 /// A compiled straight-line program.
@@ -125,10 +182,7 @@ impl<'d> Compiler<'d> {
         // indistinguishable from re-reading memory, and duplicating the
         // register would not change the instruction count of interest).
         let cacheable = !matches!(self.mode, CseMode::Off)
-            || matches!(
-                self.dag.node(id),
-                DagNode::Const(_) | DagNode::Var(_)
-            );
+            || matches!(self.dag.node(id), DagNode::Const(_) | DagNode::Var(_));
         if cacheable {
             if let Some(r) = self.reg_of[id.index()] {
                 return r;
@@ -275,10 +329,7 @@ mod tests {
     use om_expr::{num, simplify, var};
 
     fn vars(pairs: &[(&str, VarRef)]) -> HashMap<Symbol, VarRef> {
-        pairs
-            .iter()
-            .map(|(n, v)| (Symbol::intern(n), *v))
-            .collect()
+        pairs.iter().map(|(n, v)| (Symbol::intern(n), *v)).collect()
     }
 
     fn run1(p: &Program, t: f64, y: &[f64]) -> f64 {
@@ -303,7 +354,10 @@ mod tests {
         let root = dag.import(&simplify(&var("x").powi(3)));
         let v = vars(&[("x", VarRef::State(0))]);
         let p = compile_roots(&dag, &[root], &v, CseMode::PerTask);
-        assert!(p.instrs.iter().any(|i| matches!(i, Instr::PowI { n: 3, .. })));
+        assert!(p
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::PowI { n: 3, .. })));
         assert_eq!(run1(&p, 0.0, &[2.0]), 8.0);
         // Negative exponent.
         let mut dag = Dag::new();

@@ -70,9 +70,10 @@ pub fn analyze(
     let mut cross_worker = 0usize;
     for (task, &w) in graph.tasks.iter().zip(assignment) {
         for slot in &task.reads_shared {
-            let writer = graph.tasks.iter().position(|t| {
-                t.writes.contains(&OutSlot::Shared(*slot as usize))
-            });
+            let writer = graph
+                .tasks
+                .iter()
+                .position(|t| t.writes.contains(&OutSlot::Shared(*slot as usize)));
             if let Some(writer) = writer {
                 if assignment[writer] != w {
                     cross_worker += 1;

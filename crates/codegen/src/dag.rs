@@ -233,10 +233,7 @@ impl Dag {
             c
         }
         let mut memo = vec![None; self.len()];
-        roots
-            .iter()
-            .map(|&r| cost_of(self, r, m, &mut memo))
-            .sum()
+        roots.iter().map(|&r| cost_of(self, r, m, &mut memo)).sum()
     }
 
     /// Nodes reachable from `roots`, in a topological order (children

@@ -160,10 +160,7 @@ mod tests {
     #[test]
     fn functions_use_std_namespace() {
         let ir = causalize(
-            &om_lang::compile(
-                "model M; Real x; equation der(x) = sin(x) + x^2.5; end M;",
-            )
-            .unwrap(),
+            &om_lang::compile("model M; Real x; equation der(x) = sin(x) + x^2.5; end M;").unwrap(),
         )
         .unwrap();
         let src = emit_serial(&ir, &CostModel::default());

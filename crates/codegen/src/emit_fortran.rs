@@ -173,21 +173,19 @@ impl Renderer<'_> {
                     if c.fract() == 0.0 && (2.0..=4.0).contains(&c.abs()) {
                         let reps = vec![base.clone(); c.abs() as usize].join("*");
                         if c < 0.0 {
-                            return (
-                                format!("{}/({reps})", fmt_const(1.0, self.lang)),
-                                MUL,
-                            );
+                            return (format!("{}/({reps})", fmt_const(1.0, self.lang)), MUL);
                         }
                         return (reps, MUL);
                     }
                     if c == -1.0 {
-                        return (
-                            format!("{}/{base}", fmt_const(1.0, self.lang)),
-                            MUL,
-                        );
+                        return (format!("{}/{base}", fmt_const(1.0, self.lang)), MUL);
                     }
                     if c == 0.5 {
-                        let f = if self.lang == Lang::F90 { "sqrt" } else { "std::sqrt" };
+                        let f = if self.lang == Lang::F90 {
+                            "sqrt"
+                        } else {
+                            "std::sqrt"
+                        };
                         return (format!("{f}({})", self.render(*a, 0, true)), ATOM);
                     }
                 }
@@ -213,8 +211,7 @@ impl Renderer<'_> {
                     (Lang::Cpp, Func::Max) => "std::fmax".to_owned(),
                     (Lang::Cpp, _) => format!("std::{}", f.name()),
                 };
-                let args: Vec<String> =
-                    kids.iter().map(|&k| self.render(k, 0, true)).collect();
+                let args: Vec<String> = kids.iter().map(|&k| self.render(k, 0, true)).collect();
                 (format!("{name}({})", args.join(", ")), ATOM)
             }
             DagNode::Cmp(op, a, b) => {
@@ -439,12 +436,7 @@ pub fn emit_serial(ir: &OdeIr, model: &CostModel) -> SourceStats {
         .filter(|s| state_index.contains_key(s))
         .map(|s| mangle(*s))
         .chain(rendered.temps.iter().map(|(n, _)| n.clone()))
-        .chain(
-            rendered
-                .outputs
-                .iter()
-                .map(|(t, _)| target_name(t, ir)),
-        )
+        .chain(rendered.outputs.iter().map(|(t, _)| target_name(t, ir)))
         .collect();
     declared.sort();
     declared.dedup();
@@ -504,7 +496,10 @@ mod tests {
         let sched = lpt(&costs, 2);
         let src = emit_parallel(&tasks, &sched.assignment, 2, &ir, &model);
         let text = &src.text;
-        assert!(text.contains("subroutine RHS(workerid, yin, yout)"), "{text}");
+        assert!(
+            text.contains("subroutine RHS(workerid, yin, yout)"),
+            "{text}"
+        );
         assert!(text.contains("integer workerid"));
         assert!(text.contains("real(double) yin(2), yout(2)"));
         assert!(text.contains("select case (workerid)"));
@@ -523,8 +518,11 @@ mod tests {
         let model = CostModel::default();
         let tasks = equation_tasks(&ir, true);
         let src = emit_parallel(&tasks, &[0, 1], 2, &ir, &model);
-        assert!(src.text.contains("ydot = -x") || src.text.contains("ydot = -1.0d0*x"),
-            "{}", src.text);
+        assert!(
+            src.text.contains("ydot = -x") || src.text.contains("ydot = -1.0d0*x"),
+            "{}",
+            src.text
+        );
     }
 
     #[test]

@@ -228,10 +228,7 @@ mod tests {
         assert!(program.graph.is_independent());
         let s = program.schedule(2);
         assert_eq!(s.loads.len(), 2);
-        assert_eq!(
-            s.loads.iter().sum::<u64>(),
-            program.graph.total_cost()
-        );
+        assert_eq!(s.loads.iter().sum::<u64>(), program.graph.total_cost());
     }
 
     #[test]
@@ -286,7 +283,10 @@ mod tests {
     fn intermediate_code_is_fullform_typed() {
         let sys = ir("model M; Real x; equation der(x) = -x; end M;");
         let text = CodeGenerator::default().intermediate_code(&sys);
-        assert!(text.contains("Derivative[1][om$Type[x, om$Real]]"), "{text}");
+        assert!(
+            text.contains("Derivative[1][om$Type[x, om$Real]]"),
+            "{text}"
+        );
         assert!(text.contains("List["));
         assert!(text.contains("om$Type[tstart, om$Real]"));
     }

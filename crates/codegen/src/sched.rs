@@ -102,17 +102,13 @@ pub fn list_schedule(costs: &[u64], deps: &[Vec<usize>], m: usize) -> Schedule {
     while scheduled < n {
         assert!(!ready.is_empty(), "dependency cycle in task graph");
         // Earliest-free worker.
-        let w = (0..m)
-            .min_by_key(|&w| (worker_free[w], w))
-            .expect("m > 0");
+        let w = (0..m).min_by_key(|&w| (worker_free[w], w)).expect("m > 0");
         // Among ready tasks, pick the one that can start earliest on `w`;
         // break ties by LPT priority (largest cost), then by index.
         let (pos, &task) = ready
             .iter()
             .enumerate()
-            .min_by_key(|(_, &t)| {
-                (worker_free[w].max(avail[t]), std::cmp::Reverse(costs[t]), t)
-            })
+            .min_by_key(|(_, &t)| (worker_free[w].max(avail[t]), std::cmp::Reverse(costs[t]), t))
             .expect("ready nonempty");
         ready.swap_remove(pos);
         let start = worker_free[w].max(avail[task]);

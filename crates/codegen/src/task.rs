@@ -152,6 +152,31 @@ impl TaskGraph {
         out
     }
 
+    /// Edge-granularity successor lists: `successors()[i]` are the tasks
+    /// that directly depend on task `i` (the inverse of [`TaskGraph::deps`],
+    /// sorted). This is the view the dependency-driven work-stealing
+    /// executor consumes: completing task `i` decrements the predecessor
+    /// counter of every successor instead of waiting for a level barrier.
+    pub fn successors(&self) -> Vec<Vec<usize>> {
+        let mut succ = vec![Vec::new(); self.tasks.len()];
+        for (i, deps) in self.deps.iter().enumerate() {
+            for &d in deps {
+                succ[d].push(i);
+            }
+        }
+        for s in &mut succ {
+            s.sort_unstable();
+        }
+        succ
+    }
+
+    /// Number of direct predecessors per task (the initial values of the
+    /// work-stealing executor's atomic dependency counters). Tasks with a
+    /// count of zero are ready immediately.
+    pub fn pred_counts(&self) -> Vec<u32> {
+        self.deps.iter().map(|d| d.len() as u32).collect()
+    }
+
     /// Evaluate the whole task graph sequentially (reference semantics,
     /// also the serial baseline of the benchmarks).
     pub fn eval_serial(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
@@ -286,8 +311,7 @@ pub fn split_large(
         }
         let mut combine_terms = Vec::with_capacity(chunks.len());
         for (k, chunk) in chunks.into_iter().enumerate() {
-            let part_sym =
-                Symbol::intern(&format!("om$part${split_counter}${k}"));
+            let part_sym = Symbol::intern(&format!("om$part${split_counter}${k}"));
             let body = simplify(&Expr::Add(chunk));
             out.push(SymbolicTask {
                 label: format!("{}#part{k}", task.label),
@@ -323,35 +347,28 @@ pub fn merge_small(
     let is_mergeable = |t: &SymbolicTask| {
         t.outputs.iter().all(|(target, e)| {
             matches!(target, OutTarget::Deriv(_))
-                && !e
-                    .free_vars()
-                    .iter()
-                    .any(|s| s.name().starts_with("om$"))
+                && !e.free_vars().iter().any(|s| s.name().starts_with("om$"))
         })
     };
-    let flush =
-        |bucket: &mut Vec<SymbolicTask>, out: &mut Vec<SymbolicTask>| {
-            if bucket.is_empty() {
-                return;
-            }
-            if bucket.len() == 1 {
-                out.push(bucket.pop().expect("len 1"));
-                return;
-            }
-            let label = format!(
-                "group({})",
-                bucket
-                    .iter()
-                    .map(|t| t.label.as_str())
-                    .collect::<Vec<_>>()
-                    .join(",")
-            );
-            let outputs = bucket
-                .drain(..)
-                .flat_map(|t| t.outputs)
-                .collect::<Vec<_>>();
-            out.push(SymbolicTask { label, outputs });
-        };
+    let flush = |bucket: &mut Vec<SymbolicTask>, out: &mut Vec<SymbolicTask>| {
+        if bucket.is_empty() {
+            return;
+        }
+        if bucket.len() == 1 {
+            out.push(bucket.pop().expect("len 1"));
+            return;
+        }
+        let label = format!(
+            "group({})",
+            bucket
+                .iter()
+                .map(|t| t.label.as_str())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let outputs = bucket.drain(..).flat_map(|t| t.outputs).collect::<Vec<_>>();
+        out.push(SymbolicTask { label, outputs });
+    };
     for task in tasks {
         let c = task.cost(model);
         if c >= threshold || !is_mergeable(&task) {
@@ -415,13 +432,19 @@ pub fn extract_shared_cse(
                 .iter()
                 .enumerate()
                 .filter(|(_, t)| {
-                    t.outputs.iter().any(|(_, e)| contains_subexpr(e, &candidate))
+                    t.outputs
+                        .iter()
+                        .any(|(_, e)| contains_subexpr(e, &candidate))
                 })
                 .map(|(i, _)| i)
                 .collect();
             let in_producers = producers
                 .iter()
-                .filter(|t| t.outputs.iter().any(|(_, e)| contains_subexpr(e, &candidate)))
+                .filter(|t| {
+                    t.outputs
+                        .iter()
+                        .any(|(_, e)| contains_subexpr(e, &candidate))
+                })
                 .count();
             if holders.len() + in_producers < 2 {
                 continue;
@@ -785,19 +808,19 @@ mod tests {
         }
         // The producer count: extraction reduced total task cost versus
         // the plain inline tasks.
-        let plain = compile_tasks(
-            &equation_tasks(&sys, true),
-            &sys,
-            CseMode::PerTask,
-            &m,
-        );
+        let plain = compile_tasks(&equation_tasks(&sys, true), &sys, CseMode::PerTask, &m);
         assert!(tg.total_cost() < plain.total_cost());
     }
 
     #[test]
     fn reads_and_writes_are_tracked() {
         let sys = ir(COUPLED);
-        let tg = compile_tasks(&equation_tasks(&sys, true), &sys, CseMode::PerTask, &model());
+        let tg = compile_tasks(
+            &equation_tasks(&sys, true),
+            &sys,
+            CseMode::PerTask,
+            &model(),
+        );
         let dx = tg.tasks.iter().find(|t| t.label == "dx").unwrap();
         // der(x) = v reads only state 1 (v).
         assert_eq!(dx.reads_states, vec![1]);

@@ -31,12 +31,8 @@ pub fn execute_with_regs(
             Instr::State { dst, idx } => regs[dst as usize] = y[idx as usize],
             Instr::Shared { dst, idx } => regs[dst as usize] = shared[idx as usize],
             Instr::Time { dst } => regs[dst as usize] = t,
-            Instr::Add { dst, a, b } => {
-                regs[dst as usize] = regs[a as usize] + regs[b as usize]
-            }
-            Instr::Mul { dst, a, b } => {
-                regs[dst as usize] = regs[a as usize] * regs[b as usize]
-            }
+            Instr::Add { dst, a, b } => regs[dst as usize] = regs[a as usize] + regs[b as usize],
+            Instr::Mul { dst, a, b } => regs[dst as usize] = regs[a as usize] * regs[b as usize],
             Instr::PowI { dst, a, n } => {
                 regs[dst as usize] = powi(regs[a as usize], n);
             }
@@ -57,20 +53,18 @@ pub fn execute_with_regs(
                 };
             }
             Instr::BoolAnd { dst, a, b } => {
-                regs[dst as usize] =
-                    if regs[a as usize] != 0.0 && regs[b as usize] != 0.0 {
-                        1.0
-                    } else {
-                        0.0
-                    };
+                regs[dst as usize] = if regs[a as usize] != 0.0 && regs[b as usize] != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                };
             }
             Instr::BoolOr { dst, a, b } => {
-                regs[dst as usize] =
-                    if regs[a as usize] != 0.0 || regs[b as usize] != 0.0 {
-                        1.0
-                    } else {
-                        0.0
-                    };
+                regs[dst as usize] = if regs[a as usize] != 0.0 || regs[b as usize] != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                };
             }
             Instr::BoolNot { dst, a } => {
                 regs[dst as usize] = if regs[a as usize] == 0.0 { 1.0 } else { 0.0 };
@@ -125,8 +119,9 @@ mod tests {
     fn register_file_reuse() {
         let mut dag = Dag::new();
         let root = dag.import(&simplify(&(var("x") * num(3.0))));
-        let vars: HashMap<Symbol, VarRef> =
-            [(Symbol::intern("x"), VarRef::State(0))].into_iter().collect();
+        let vars: HashMap<Symbol, VarRef> = [(Symbol::intern("x"), VarRef::State(0))]
+            .into_iter()
+            .collect();
         let p = compile_roots(&dag, &[root], &vars, CseMode::PerTask);
         let mut regs = vec![0.0; p.n_regs as usize + 8];
         let mut out = vec![0.0];
@@ -139,8 +134,9 @@ mod tests {
     fn undersized_register_file_panics() {
         let mut dag = Dag::new();
         let root = dag.import(&simplify(&(var("x") * num(3.0))));
-        let vars: HashMap<Symbol, VarRef> =
-            [(Symbol::intern("x"), VarRef::State(0))].into_iter().collect();
+        let vars: HashMap<Symbol, VarRef> = [(Symbol::intern("x"), VarRef::State(0))]
+            .into_iter()
+            .collect();
         let p = compile_roots(&dag, &[root], &vars, CseMode::PerTask);
         let mut regs = vec![0.0; 0];
         let mut out = vec![0.0];

@@ -85,9 +85,7 @@ impl CostModel {
                 inner + self.func_cost(*f)
             }
             Expr::Cmp(_, a, b) => self.cost(a) + self.cost(b) + self.cmp,
-            Expr::And(xs) | Expr::Or(xs) => {
-                xs.iter().map(|x| self.cost(x)).sum::<u64>() + self.cmp
-            }
+            Expr::And(xs) | Expr::Or(xs) => xs.iter().map(|x| self.cost(x)).sum::<u64>() + self.cmp,
             Expr::Not(a) => self.cost(a) + self.cmp,
             Expr::If(c, t, e2) => self.cost(c) + self.cost(t).max(self.cost(e2)),
             Expr::Tuple(xs) => xs.iter().map(|x| self.cost(x)).sum(),

@@ -69,10 +69,7 @@ fn diff_raw(e: &Expr, x: Symbol) -> Expr {
                 None => {
                     // General case: d/dx u^v = u^v · (v'·ln u + v·u'/u)
                     let v = n;
-                    let term1 = Expr::Mul(vec![
-                        diff_raw(v, x),
-                        Expr::call1(Func::Ln, u.clone()),
-                    ]);
+                    let term1 = Expr::Mul(vec![diff_raw(v, x), Expr::call1(Func::Ln, u.clone())]);
                     let term2 = Expr::Mul(vec![
                         v.clone(),
                         diff_raw(u, x),
@@ -114,10 +111,7 @@ fn diff_call(f: Func, args: &[Expr], original: &Expr, x: Symbol) -> Expr {
                 Expr::one(),
                 Expr::Mul(vec![Expr::Const(-1.0), u.clone().powi(2)]),
             ]);
-            chain(
-                Expr::Pow(Box::new(inner), Box::new(Expr::Const(-0.5))),
-                du,
-            )
+            chain(Expr::Pow(Box::new(inner), Box::new(Expr::Const(-0.5))), du)
         }
         Func::Acos => {
             let inner = Expr::Add(vec![
@@ -132,10 +126,7 @@ fn diff_call(f: Func, args: &[Expr], original: &Expr, x: Symbol) -> Expr {
         Func::Atan => {
             // 1/(1+u²)
             let inner = Expr::Add(vec![Expr::one(), u.clone().powi(2)]);
-            chain(
-                Expr::Pow(Box::new(inner), Box::new(Expr::Const(-1.0))),
-                du,
-            )
+            chain(Expr::Pow(Box::new(inner), Box::new(Expr::Const(-1.0))), du)
         }
         Func::Atan2 => {
             // atan2(y, x): d = (y'·x − y·x') / (x² + y²)
@@ -219,8 +210,8 @@ fn diff_call(f: Func, args: &[Expr], original: &Expr, x: Symbol) -> Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{num, var};
     use crate::eval::eval;
+    use crate::{num, var};
     use std::collections::HashMap;
 
     fn x() -> Symbol {

@@ -151,10 +151,7 @@ mod tests {
     use crate::{num, var};
 
     fn env(pairs: &[(&str, f64)]) -> HashMap<Symbol, f64> {
-        pairs
-            .iter()
-            .map(|(n, v)| (Symbol::intern(n), *v))
-            .collect()
+        pairs.iter().map(|(n, v)| (Symbol::intern(n), *v)).collect()
     }
 
     #[test]

@@ -434,14 +434,12 @@ mod tests {
     #[test]
     fn normal_form_matches_figure_11() {
         // x'[t] and y[t] with x, y time-dependent.
-        let time_vars: BTreeSet<Symbol> =
-            [Symbol::intern("x"), Symbol::intern("y")].into_iter().collect();
+        let time_vars: BTreeSet<Symbol> = [Symbol::intern("x"), Symbol::intern("y")]
+            .into_iter()
+            .collect();
         assert_eq!(normal_form(&der("x"), &time_vars), "x'[t]");
         assert_eq!(normal_form(&var("y"), &time_vars), "y[t]");
-        assert_eq!(
-            normal_form(&var("x").neg(), &time_vars),
-            "-x[t]"
-        );
+        assert_eq!(normal_form(&var("x").neg(), &time_vars), "-x[t]");
     }
 
     #[test]

@@ -102,8 +102,8 @@ pub fn solve_linear(lhs: &Expr, rhs: &Expr, x: Symbol) -> Option<Expr> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{num, var};
     use crate::expr::{CmpOp, Func};
+    use crate::{num, var};
 
     fn x() -> Symbol {
         Symbol::intern("x")

@@ -185,7 +185,11 @@ mod tests {
     #[test]
     fn free_vars_are_collected_and_sorted() {
         let e = var("z") * var("a") + Expr::call1(Func::Sin, var("m"));
-        let names: Vec<&str> = e.free_vars_by_name().into_iter().map(|s| s.name()).collect();
+        let names: Vec<&str> = e
+            .free_vars_by_name()
+            .into_iter()
+            .map(|s| s.name())
+            .collect();
         assert_eq!(names, vec!["a", "m", "z"]);
     }
 

@@ -166,22 +166,21 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
                     });
                 }
                 // Fast path: lhs is exactly der(x).
-                let rhs = if matches!(&eq.lhs, Expr::Der(s) if *s == state)
-                    && !eq.rhs.contains_der()
-                {
-                    eq.rhs.clone()
-                } else {
-                    let fresh = Symbol::intern(&format!("om$der${}", state.name()));
-                    let lhs = replace_der(&eq.lhs, state, fresh);
-                    let rhs = replace_der(&eq.rhs, state, fresh);
-                    solve_linear(&lhs, &rhs, fresh).ok_or_else(|| {
-                        CausalizeError::UnsolvableDerivative {
-                            origin: eq.origin.clone(),
-                            state: state.name().to_owned(),
-                            pos: eq.pos,
-                        }
-                    })?
-                };
+                let rhs =
+                    if matches!(&eq.lhs, Expr::Der(s) if *s == state) && !eq.rhs.contains_der() {
+                        eq.rhs.clone()
+                    } else {
+                        let fresh = Symbol::intern(&format!("om$der${}", state.name()));
+                        let lhs = replace_der(&eq.lhs, state, fresh);
+                        let rhs = replace_der(&eq.rhs, state, fresh);
+                        solve_linear(&lhs, &rhs, fresh).ok_or_else(|| {
+                            CausalizeError::UnsolvableDerivative {
+                                origin: eq.origin.clone(),
+                                state: state.name().to_owned(),
+                                pos: eq.pos,
+                            }
+                        })?
+                    };
                 if deriv_rhs
                     .insert(state, (simplify(&rhs), eq.origin.clone(), eq.pos))
                     .is_some()
@@ -472,20 +471,27 @@ mod tests {
                           a = -x;
                       end M;");
         let rhs = sys.inlined_rhs();
-        assert_eq!(rhs[0], om_expr::simplify(&(om_expr::num(-2.0) * om_expr::var("x"))));
+        assert_eq!(
+            rhs[0],
+            om_expr::simplify(&(om_expr::num(-2.0) * om_expr::var("x")))
+        );
     }
 
     #[test]
     fn rejects_two_derivatives_in_one_equation() {
-        let e = ir_err("model M; Real x; Real y;
-                        equation der(x) + der(y) = 1.0; der(y) = x; end M;");
+        let e = ir_err(
+            "model M; Real x; Real y;
+                        equation der(x) + der(y) = 1.0; der(y) = x; end M;",
+        );
         assert!(matches!(e, CausalizeError::MultipleDerivatives { .. }));
     }
 
     #[test]
     fn rejects_duplicate_derivative_definitions() {
-        let e = ir_err("model M; Real x; Real y;
-                        equation der(x) = 1.0; der(x) = 2.0; y = x; end M;");
+        let e = ir_err(
+            "model M; Real x; Real y;
+                        equation der(x) = 1.0; der(x) = 2.0; y = x; end M;",
+        );
         // The second der(x) makes the system unbalanced OR duplicate,
         // depending on detection order; duplicate fires first.
         assert!(matches!(e, CausalizeError::DuplicateDerivative { .. }));
@@ -502,7 +508,9 @@ mod tests {
         let e = ir_err("model M; Real x; Real y; equation der(x) = y; end M;");
         match e {
             CausalizeError::UnbalancedSystem {
-                equations, unknowns, ..
+                equations,
+                unknowns,
+                ..
             } => {
                 assert_eq!((equations, unknowns), (0, 1));
             }
@@ -512,19 +520,23 @@ mod tests {
 
     #[test]
     fn rejects_overdetermined_model() {
-        let e = ir_err("model M; Real x;
-                        equation der(x) = 1.0; x + 1.0 = 2.0; end M;");
+        let e = ir_err(
+            "model M; Real x;
+                        equation der(x) = 1.0; x + 1.0 = 2.0; end M;",
+        );
         assert!(matches!(e, CausalizeError::UnbalancedSystem { .. }));
     }
 
     #[test]
     fn rejects_algebraic_loop() {
-        let e = ir_err("model M; Real x; Real a; Real b;
+        let e = ir_err(
+            "model M; Real x; Real a; Real b;
                         equation
                           der(x) = a;
                           a = b + x;
                           b = a - x;
-                        end M;");
+                        end M;",
+        );
         // a = b + x and b = a - x: the matching may pair either equation
         // with either unknown, but every assignment is cyclic.
         assert!(
@@ -537,12 +549,14 @@ mod tests {
     #[test]
     fn rejects_structurally_singular_system() {
         // Two equations constrain only `a`; `b` appears in none.
-        let e = ir_err("model M; Real x; Real a; Real b;
+        let e = ir_err(
+            "model M; Real x; Real a; Real b;
                         equation
                           der(x) = a + b;
                           a = x;
                           a = 2.0 * x;
-                        end M;");
+                        end M;",
+        );
         assert!(matches!(e, CausalizeError::StructurallySingular { .. }));
     }
 

@@ -80,12 +80,20 @@ impl IrEvaluator {
         let algebraics = ir
             .algebraics
             .iter()
-            .map(|a| Ok(ResolvedExpr { expr: resolve(&a.rhs, &slots)? }))
+            .map(|a| {
+                Ok(ResolvedExpr {
+                    expr: resolve(&a.rhs, &slots)?,
+                })
+            })
             .collect::<Result<Vec<_>, EvalError>>()?;
         let derivs = ir
             .derivs
             .iter()
-            .map(|d| Ok(ResolvedExpr { expr: resolve(&d.rhs, &slots)? }))
+            .map(|d| {
+                Ok(ResolvedExpr {
+                    expr: resolve(&d.rhs, &slots)?,
+                })
+            })
             .collect::<Result<Vec<_>, EvalError>>()?;
         Ok(IrEvaluator {
             dim: ir.dim(),
@@ -212,10 +220,9 @@ mod tests {
 
     #[test]
     fn unknown_symbol_is_detected_at_build_time() {
-        let ir = causalize(
-            &om_lang::compile("model M; Real x; equation der(x) = x; end M;").unwrap(),
-        )
-        .unwrap();
+        let ir =
+            causalize(&om_lang::compile("model M; Real x; equation der(x) = x; end M;").unwrap())
+                .unwrap();
         let mut broken = ir.clone();
         broken.derivs[0].rhs = om_expr::var("ghost");
         assert!(IrEvaluator::new(&broken).is_err());

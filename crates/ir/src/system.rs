@@ -140,13 +140,13 @@ mod tests {
                     rhs: var("v"),
                     origin: String::new(),
                     pos: SourcePos::default(),
-},
+                },
                 DerivEq {
                     state: Symbol::intern("v"),
                     rhs: var("a"),
                     origin: String::new(),
                     pos: SourcePos::default(),
-},
+                },
             ],
             algebraics: vec![AlgebraicEq {
                 var: Symbol::intern("a"),

@@ -51,10 +51,7 @@ impl fmt::Display for VerifyError {
                 write!(f, "states/derivs arrays disagree at index {index}")
             }
             VerifyError::OrderViolation { var, reads } => {
-                write!(
-                    f,
-                    "algebraic `{var}` reads `{reads}` before it is computed"
-                )
+                write!(f, "algebraic `{var}` reads `{reads}` before it is computed")
             }
         }
     }
@@ -80,11 +77,7 @@ impl fmt::Display for Violation {
     }
 }
 
-fn check_expr(
-    e: &Expr,
-    context: &str,
-    known: &HashSet<Symbol>,
-) -> Result<(), VerifyError> {
+fn check_expr(e: &Expr, context: &str, known: &HashSet<Symbol>) -> Result<(), VerifyError> {
     let mut err: Option<VerifyError> = None;
     e.walk(&mut |n| {
         if err.is_some() {

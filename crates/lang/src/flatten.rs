@@ -113,7 +113,13 @@ pub fn flatten(unit: &Unit) -> Result<FlatModel, LangError> {
         name: unit.model.name.clone(),
         ..FlatModel::default()
     };
-    let root = instantiate(&table, &unit.model, String::new(), &HashMap::new(), &mut out)?;
+    let root = instantiate(
+        &table,
+        &unit.model,
+        String::new(),
+        &HashMap::new(),
+        &mut out,
+    )?;
     apply_initial_equations(&table, &root, &mut out)?;
     emit_equations(&table, &root, &mut out)?;
     Ok(out)
@@ -287,7 +293,10 @@ fn instantiate<'u>(
     // Pass 1: parameters, in declaration order (base classes first), so
     // defaults may reference previously declared parameters.
     for (m, owner) in &members {
-        if let Member::Parameter { name, ty, default, .. } = m {
+        if let Member::Parameter {
+            name, ty, default, ..
+        } = m
+        {
             if !ty.is_scalar() {
                 return Err(LangError::flatten(format!(
                     "vector parameters are not supported (`{}` in `{owner}`)",
@@ -316,12 +325,22 @@ fn instantiate<'u>(
 
     // Pass 2: variables.
     for (m, owner) in &members {
-        if let Member::Variable { name, ty, start, pos } = m {
+        if let Member::Variable {
+            name,
+            ty,
+            start,
+            pos,
+        } = m
+        {
             let mut explicit_start = true;
             let start_value = if let Some(v) = ov.starts.get(name) {
                 *v
             } else if let Some(b) = extends_bindings.iter().find(|b| b.name == *name) {
-                eval_const(&b.value, &inst.params, &format!("start override of `{name}`"))?
+                eval_const(
+                    &b.value,
+                    &inst.params,
+                    &format!("start override of `{name}`"),
+                )?
             } else if let Some(s) = start {
                 eval_const(s, &inst.params, &format!("start value of `{name}`"))?
             } else {
@@ -342,7 +361,11 @@ fn instantiate<'u>(
                     start: start_value,
                     origin: format!(
                         "{} : {}",
-                        if inst.path.is_empty() { "<model>" } else { &inst.path },
+                        if inst.path.is_empty() {
+                            "<model>"
+                        } else {
+                            &inst.path
+                        },
                         owner
                     ),
                     pos: *pos,
@@ -402,11 +425,7 @@ fn instantiate<'u>(
 
 /// Evaluate a source expression to a compile-time constant (parameters of
 /// the current instance are in scope; no variables, no time).
-fn eval_const(
-    e: &SExpr,
-    params: &HashMap<String, f64>,
-    what: &str,
-) -> Result<f64, LangError> {
+fn eval_const(e: &SExpr, params: &HashMap<String, f64>, what: &str) -> Result<f64, LangError> {
     match e {
         SExpr::Num(n) => Ok(*n),
         SExpr::Neg(a) => Ok(-eval_const(a, params, what)?),
@@ -461,7 +480,11 @@ fn emit_equations(
 ) -> Result<(), LangError> {
     let origin = format!(
         "{} : {}",
-        if inst.path.is_empty() { "<model>" } else { &inst.path },
+        if inst.path.is_empty() {
+            "<model>"
+        } else {
+            &inst.path
+        },
         inst.class.name
     );
     let equations = table.effective_equations(inst.class);
@@ -491,9 +514,7 @@ fn emit_equation(
             let (l, r) = broadcast_pair(l, r).map_err(|(nl, nr)| {
                 LangError::flatten_at(
                     *pos,
-                    format!(
-                        "{origin}: equation sides have incompatible dimensions {nl} and {nr}"
-                    ),
+                    format!("{origin}: equation sides have incompatible dimensions {nl} and {nr}"),
                 )
             })?;
             for (le, re) in l.into_iter().zip(r) {
@@ -528,10 +549,7 @@ fn emit_equation(
 /// Broadcast two component vectors to a common length, or report the two
 /// lengths on failure.
 #[allow(clippy::type_complexity)]
-fn broadcast_pair(
-    l: Vec<Expr>,
-    r: Vec<Expr>,
-) -> Result<(Vec<Expr>, Vec<Expr>), (usize, usize)> {
+fn broadcast_pair(l: Vec<Expr>, r: Vec<Expr>) -> Result<(Vec<Expr>, Vec<Expr>), (usize, usize)> {
     match (l.len(), r.len()) {
         (a, b) if a == b => Ok((l, r)),
         (1, n) => Ok((vec![l[0].clone(); n], r)),
@@ -565,9 +583,8 @@ fn scalarize(
             Resolved::Components(syms) => Ok(syms.into_iter().map(Expr::Der).collect()),
         },
         SExpr::Call(name, args, pos) => {
-            let f = Func::from_name(name).ok_or_else(|| {
-                LangError::flatten_at(*pos, format!("unknown function `{name}`"))
-            })?;
+            let f = Func::from_name(name)
+                .ok_or_else(|| LangError::flatten_at(*pos, format!("unknown function `{name}`")))?;
             let mut scalar_args = Vec::with_capacity(args.len());
             for a in args {
                 let mut comps = scalarize(inst, a, loop_env)?;
@@ -582,15 +599,13 @@ fn scalarize(
             Ok(vec![Expr::Call(f, scalar_args)])
         }
         SExpr::Bin(op, a, b) => {
-            let (l, r) = broadcast_pair(
-                scalarize(inst, a, loop_env)?,
-                scalarize(inst, b, loop_env)?,
-            )
-            .map_err(|(nl, nr)| {
-                LangError::flatten(format!(
-                    "operands have incompatible dimensions {nl} and {nr}"
-                ))
-            })?;
+            let (l, r) =
+                broadcast_pair(scalarize(inst, a, loop_env)?, scalarize(inst, b, loop_env)?)
+                    .map_err(|(nl, nr)| {
+                        LangError::flatten(format!(
+                            "operands have incompatible dimensions {nl} and {nr}"
+                        ))
+                    })?;
             Ok(l.into_iter()
                 .zip(r)
                 .map(|(x, y)| match op {
@@ -1073,14 +1088,15 @@ mod tests {
         assert_eq!(m.equations.len(), 2);
         let eq = &m.equations[1];
         assert!(eq.lhs.as_var().is_none() || eq.lhs.as_var().is_some());
-        assert_eq!(simplify(&eq.lhs), simplify(&(om_expr::var("x") + om_expr::var("y"))));
+        assert_eq!(
+            simplify(&eq.lhs),
+            simplify(&(om_expr::var("x") + om_expr::var("y")))
+        );
     }
 
     #[test]
     fn errors_on_dimension_mismatch() {
-        let e = flat_err(
-            "model M; Real[3] v; Real[2] w; equation v = w; end M;",
-        );
+        let e = flat_err("model M; Real[3] v; Real[2] w; equation v = w; end M;");
         assert!(e.message.contains("incompatible dimensions"));
     }
 
@@ -1104,9 +1120,7 @@ mod tests {
 
     #[test]
     fn errors_on_der_of_parameter() {
-        let e = flat_err(
-            "model M; parameter Real k = 1.0; Real x; equation der(k) = x; end M;",
-        );
+        let e = flat_err("model M; parameter Real k = 1.0; Real x; equation der(k) = x; end M;");
         assert!(e.message.contains("der() of parameter") || e.message.contains("parameter"));
     }
 
@@ -1119,11 +1133,7 @@ mod tests {
                part A a (k = base * 2.0);
              end M;",
         );
-        let a_k = m
-            .parameters
-            .iter()
-            .find(|p| p.sym.name() == "a.k")
-            .unwrap();
+        let a_k = m.parameters.iter().find(|p| p.sym.name() == "a.k").unwrap();
         assert_eq!(a_k.value, 10.0);
     }
 }

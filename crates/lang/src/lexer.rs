@@ -46,7 +46,7 @@ pub enum Tok {
     Semicolon,
     Colon,
     Dot,
-    Assign,  // '='
+    Assign, // '='
     Plus,
     Minus,
     Star,
@@ -56,8 +56,8 @@ pub enum Tok {
     Le,
     Gt,
     Ge,
-    EqEq,   // '=='
-    Ne,     // '<>'
+    EqEq, // '=='
+    Ne,   // '<>'
     /// End of input sentinel.
     Eof,
 }
@@ -175,10 +175,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LangError> {
             ',' => push!(Tok::Comma, 1),
             ';' => push!(Tok::Semicolon, 1),
             ':' => push!(Tok::Colon, 1),
-            '.' if !bytes
-                .get(i + 1)
-                .is_some_and(|b| b.is_ascii_digit()) =>
-            {
+            '.' if !bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) => {
                 push!(Tok::Dot, 1)
             }
             '+' => push!(Tok::Plus, 1),

@@ -210,9 +210,7 @@ impl Parser {
         self.expect(Tok::KwEnd)?;
         let end_name = self.ident()?;
         if end_name != name {
-            return Err(self.err(format!(
-                "`end {end_name}` does not match `{name}`"
-            )));
+            return Err(self.err(format!("`end {end_name}` does not match `{name}`")));
         }
         self.expect(Tok::Semicolon)?;
         Ok(ClassDef {
@@ -644,7 +642,11 @@ mod tests {
         let unit = parse_unit(src).unwrap();
         match &unit.model.equations[0] {
             Equation::For {
-                index, from, to, body, ..
+                index,
+                from,
+                to,
+                body,
+                ..
             } => {
                 assert_eq!(index, "i");
                 assert_eq!((*from, *to), (1, 10));

@@ -67,10 +67,7 @@ impl<'a> ClassTable<'a> {
         seen.insert(&class.name);
         while let Some(ext) = &current.extends {
             let base = self.get(&ext.base).ok_or_else(|| {
-                LangError::scope(
-                    Some(ext.pos),
-                    format!("unknown base class `{}`", ext.base),
-                )
+                LangError::scope(Some(ext.pos), format!("unknown base class `{}`", ext.base))
             })?;
             if !seen.insert(&base.name) {
                 return Err(LangError::scope(
@@ -246,7 +243,12 @@ fn check_class(table: &ClassTable<'_>, class: &ClassDef) -> Result<(), LangError
         }
     }
     for (m, _) in &members {
-        if let Member::Part { class: pc, bindings, .. } = m {
+        if let Member::Part {
+            class: pc,
+            bindings,
+            ..
+        } = m
+        {
             for b in bindings {
                 check_binding_target(table, b, pc)?;
             }
@@ -288,8 +290,7 @@ fn check_binding_target(
         return Ok(());
     };
     let ok = table.effective_members(target).iter().any(|(m, _)| {
-        m.name() == b.name
-            && matches!(m, Member::Parameter { .. } | Member::Variable { .. })
+        m.name() == b.name && matches!(m, Member::Parameter { .. } | Member::Variable { .. })
     });
     if !ok {
         return Err(LangError::scope(
@@ -519,19 +520,15 @@ mod tests {
 
     #[test]
     fn rejects_inheritance_cycle() {
-        let err = check_src(
-            "class A extends B; end A; class B extends A; end B; model M; end M;",
-        )
-        .unwrap_err();
+        let err = check_src("class A extends B; end A; class B extends A; end B; model M; end M;")
+            .unwrap_err();
         assert!(err.message.contains("cycle"));
     }
 
     #[test]
     fn rejects_composition_cycle() {
-        let err = check_src(
-            "class A; part B b; end A; class B; part A a; end B; model M; end M;",
-        )
-        .unwrap_err();
+        let err = check_src("class A; part B b; end A; class B; part A a; end B; model M; end M;")
+            .unwrap_err();
         assert!(err.message.contains("composition cycle"));
     }
 
@@ -564,8 +561,7 @@ mod tests {
 
     #[test]
     fn rejects_indexing_scalar_variable() {
-        let err =
-            check_src("model M; Real x; equation der(x) = x[1]; end M;").unwrap_err();
+        let err = check_src("model M; Real x; equation der(x) = x[1]; end M;").unwrap_err();
         assert!(err.message.contains("cannot be indexed"));
     }
 
@@ -622,10 +618,8 @@ mod tests {
 
     #[test]
     fn rejects_empty_loop_range() {
-        let err = check_src(
-            "model M; Real s; equation for i in 3:1 loop s = i; end for; end M;",
-        )
-        .unwrap_err();
+        let err = check_src("model M; Real s; equation for i in 3:1 loop s = i; end for; end M;")
+            .unwrap_err();
         assert!(err.message.contains("empty loop range"));
     }
 }

@@ -44,26 +44,106 @@ pub struct CodeInfo {
 /// [`Diagnostic::new`] assigns; it is part of the stable interface
 /// documented in DESIGN.md.
 pub const CODES: &[CodeInfo] = &[
-    CodeInfo { code: "OM001", severity: Severity::Error, summary: "parse error" },
-    CodeInfo { code: "OM002", severity: Severity::Error, summary: "flattening failed" },
-    CodeInfo { code: "OM010", severity: Severity::Error, summary: "unresolved reference or unknown function" },
-    CodeInfo { code: "OM011", severity: Severity::Error, summary: "duplicate member in one class" },
-    CodeInfo { code: "OM012", severity: Severity::Error, summary: "member shadows an inherited member" },
-    CodeInfo { code: "OM013", severity: Severity::Error, summary: "structurally singular (unmatched equations/unknowns)" },
-    CodeInfo { code: "OM014", severity: Severity::Error, summary: "unbalanced system (equations vs unknowns)" },
-    CodeInfo { code: "OM015", severity: Severity::Error, summary: "duplicate derivative definition" },
-    CodeInfo { code: "OM020", severity: Severity::Warn, summary: "unused variable (affects no derivative)" },
-    CodeInfo { code: "OM021", severity: Severity::Warn, summary: "dead equation (defines an unused variable)" },
-    CodeInfo { code: "OM022", severity: Severity::Info, summary: "state has no explicit start value" },
-    CodeInfo { code: "OM030", severity: Severity::Warn, summary: "division by a constant zero" },
-    CodeInfo { code: "OM031", severity: Severity::Warn, summary: "sqrt/log of a provably negative constant" },
-    CodeInfo { code: "OM032", severity: Severity::Info, summary: "constant-foldable subexpression" },
-    CodeInfo { code: "OM040", severity: Severity::Error, summary: "write-write race between same-level tasks" },
-    CodeInfo { code: "OM041", severity: Severity::Error, summary: "read-write race between same-level tasks" },
-    CodeInfo { code: "OM042", severity: Severity::Error, summary: "coverage violation (slot not written exactly once)" },
-    CodeInfo { code: "OM043", severity: Severity::Warn, summary: "false dependency (edge not justified by dataflow)" },
-    CodeInfo { code: "OM050", severity: Severity::Error, summary: "compilable-subset violation" },
-    CodeInfo { code: "OM051", severity: Severity::Error, summary: "causalization failed" },
+    CodeInfo {
+        code: "OM001",
+        severity: Severity::Error,
+        summary: "parse error",
+    },
+    CodeInfo {
+        code: "OM002",
+        severity: Severity::Error,
+        summary: "flattening failed",
+    },
+    CodeInfo {
+        code: "OM010",
+        severity: Severity::Error,
+        summary: "unresolved reference or unknown function",
+    },
+    CodeInfo {
+        code: "OM011",
+        severity: Severity::Error,
+        summary: "duplicate member in one class",
+    },
+    CodeInfo {
+        code: "OM012",
+        severity: Severity::Error,
+        summary: "member shadows an inherited member",
+    },
+    CodeInfo {
+        code: "OM013",
+        severity: Severity::Error,
+        summary: "structurally singular (unmatched equations/unknowns)",
+    },
+    CodeInfo {
+        code: "OM014",
+        severity: Severity::Error,
+        summary: "unbalanced system (equations vs unknowns)",
+    },
+    CodeInfo {
+        code: "OM015",
+        severity: Severity::Error,
+        summary: "duplicate derivative definition",
+    },
+    CodeInfo {
+        code: "OM020",
+        severity: Severity::Warn,
+        summary: "unused variable (affects no derivative)",
+    },
+    CodeInfo {
+        code: "OM021",
+        severity: Severity::Warn,
+        summary: "dead equation (defines an unused variable)",
+    },
+    CodeInfo {
+        code: "OM022",
+        severity: Severity::Info,
+        summary: "state has no explicit start value",
+    },
+    CodeInfo {
+        code: "OM030",
+        severity: Severity::Warn,
+        summary: "division by a constant zero",
+    },
+    CodeInfo {
+        code: "OM031",
+        severity: Severity::Warn,
+        summary: "sqrt/log of a provably negative constant",
+    },
+    CodeInfo {
+        code: "OM032",
+        severity: Severity::Info,
+        summary: "constant-foldable subexpression",
+    },
+    CodeInfo {
+        code: "OM040",
+        severity: Severity::Error,
+        summary: "write-write race between same-level tasks",
+    },
+    CodeInfo {
+        code: "OM041",
+        severity: Severity::Error,
+        summary: "read-write race between same-level tasks",
+    },
+    CodeInfo {
+        code: "OM042",
+        severity: Severity::Error,
+        summary: "coverage violation (slot not written exactly once)",
+    },
+    CodeInfo {
+        code: "OM043",
+        severity: Severity::Warn,
+        summary: "false dependency (edge not justified by dataflow)",
+    },
+    CodeInfo {
+        code: "OM050",
+        severity: Severity::Error,
+        summary: "compilable-subset violation",
+    },
+    CodeInfo {
+        code: "OM051",
+        severity: Severity::Error,
+        summary: "causalization failed",
+    },
 ];
 
 /// Look up the registry entry for a code.
@@ -249,7 +329,11 @@ mod tests {
     #[test]
     fn text_render_includes_position_and_summary() {
         let mut r = Report::default();
-        r.push(Diagnostic::new("OM030", SourcePos::new(3, 7), "division by zero"));
+        r.push(Diagnostic::new(
+            "OM030",
+            SourcePos::new(3, 7),
+            "division by zero",
+        ));
         let text = r.render_text("m.om");
         assert!(text.contains("m.om:3:7: warning[OM030]: division by zero"));
         assert!(text.contains("0 error(s), 1 warning(s), 0 info"));
@@ -258,7 +342,11 @@ mod tests {
     #[test]
     fn json_render_escapes_and_counts() {
         let mut r = Report::default();
-        r.push(Diagnostic::new("OM010", SourcePos::new(1, 2), "bad \"name\""));
+        r.push(Diagnostic::new(
+            "OM010",
+            SourcePos::new(1, 2),
+            "bad \"name\"",
+        ));
         let json = r.render_json("a\\b.om");
         assert!(json.contains("\"file\":\"a\\\\b.om\""));
         assert!(json.contains("\"message\":\"bad \\\"name\\\"\""));

@@ -14,8 +14,10 @@
 //!   The existing `om_ir::verify` checks fold in as a pass
 //!   ([`om_ir::verify_all`] → `OM050`).
 //! * **Schedule passes** ([`schedule`]) on the generated task DAG: a
-//!   race detector over per-task read/write sets at barrier-level
-//!   granularity, an exactly-once coverage check, and a
+//!   race detector over per-task read/write sets at *edge granularity*
+//!   (any dependency-unordered pair, the concurrency the work-stealing
+//!   executor permits — which subsumes the barrier executor's
+//!   level granularity), an exactly-once coverage check, and a
 //!   false-dependency report.
 //!
 //! Entry point: [`lint_source`]. Every diagnostic is also counted into
@@ -27,7 +29,7 @@ pub mod model;
 pub mod schedule;
 
 pub use diag::{code_info, CodeInfo, Diagnostic, Report, Severity, CODES};
-pub use schedule::{check_schedule, ScheduleView, TaskAccess};
+pub use schedule::{check_schedule, check_schedule_at, Granularity, ScheduleView, TaskAccess};
 
 use om_codegen::{CodeGenerator, GenOptions};
 use om_ir::causalize::CausalizeError;
@@ -108,7 +110,7 @@ pub const PASSES: &[PassInfo] = &[
         name: "schedule",
         stage: Stage::Schedule,
         codes: &["OM040", "OM041", "OM042", "OM043"],
-        description: "race detection at barrier-level granularity, exactly-once coverage, false dependencies",
+        description: "race detection at edge granularity (no-barrier safe), exactly-once coverage, false dependencies",
     },
 ];
 
@@ -203,7 +205,9 @@ fn run_pipeline(source: &str, report: &mut Report) {
     // Stage 5: schedule passes on the generated task DAG.
     let program = CodeGenerator::new(GenOptions::default()).generate(&ir);
     let view = ScheduleView::from_graph(&program.graph);
-    check_schedule(&view, report);
+    // Edge granularity: the verdict must license the work-stealing
+    // executor (no barrier), which also covers the barrier executor.
+    schedule::check_schedule_at(&view, Granularity::Edge, report);
 }
 
 /// Count diagnostics per code and per severity into the om-obs metrics

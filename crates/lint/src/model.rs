@@ -113,7 +113,12 @@ impl Resolver<'_, '_> {
         }
         // Only the class's *own* equations: inherited ones are linted in
         // their defining class, so each problem is reported once.
-        for eq in self.class.equations.iter().chain(&self.class.initial_equations) {
+        for eq in self
+            .class
+            .equations
+            .iter()
+            .chain(&self.class.initial_equations)
+        {
             self.check_equation(eq);
         }
     }
@@ -225,7 +230,10 @@ impl Resolver<'_, '_> {
                         self.out.push(Diagnostic::new(
                             "OM010",
                             path.pos,
-                            format!("reference `{}` names a part, not a variable", path.display()),
+                            format!(
+                                "reference `{}` names a part, not a variable",
+                                path.display()
+                            ),
                         ));
                         return;
                     }
@@ -281,7 +289,9 @@ fn hazard_expr(e: &SExpr, pos: SourcePos, in_initial: bool, out: &mut Report) {
             out.push(Diagnostic::new(
                 "OM032",
                 pos,
-                format!("subexpression is constant (folds to {v}); consider writing the value directly"),
+                format!(
+                    "subexpression is constant (folds to {v}); consider writing the value directly"
+                ),
             ));
             return;
         }
@@ -585,10 +595,7 @@ pub fn liveness_passes(ir: &om_ir::OdeIr, flat: &FlatModel, out: &mut Report) {
             out.push(Diagnostic::new(
                 "OM020",
                 pos,
-                format!(
-                    "variable `{}` does not affect any derivative",
-                    a.var.name()
-                ),
+                format!("variable `{}` does not affect any derivative", a.var.name()),
             ));
             out.push(Diagnostic::new(
                 "OM021",

@@ -1,16 +1,26 @@
 //! Schedule passes: race detection, exactly-once coverage, and false
 //! dependencies on the generated task DAG.
 //!
-//! The parallel runtime executes the task graph level by level with a
-//! barrier between levels ([`om_codegen::task::TaskGraph::levels`] — the
-//! same function the executor calls), so *tasks within one level may run
-//! concurrently*. These passes check that the generated schedule is
-//! hazard-free at exactly that granularity:
+//! The runtime has two execution strategies, and each permits a
+//! different set of task pairs to run concurrently — so the race passes
+//! run at a selectable [`Granularity`]:
 //!
-//! * **OM040** — two same-level tasks write the same slot (write-write),
-//! * **OM041** — a same-level pair writes and reads the same shared slot
-//!   (read-write; state reads never conflict, `y` is input-only during a
-//!   right-hand-side evaluation),
+//! * [`Granularity::Level`] — the barrier executor runs the graph level
+//!   by level ([`om_codegen::task::TaskGraph::levels`] — the same
+//!   function the executor calls); tasks *within one level* may overlap.
+//! * [`Granularity::Edge`] — the work-stealing executor has no barrier:
+//!   any two tasks with **no dependency path between them** may overlap.
+//!   Same-level pairs are always unordered, so an edge-granularity
+//!   race-free verdict implies the level-granularity one — this is the
+//!   verdict that must hold for the barrier to be removable at all.
+//!
+//! The passes:
+//!
+//! * **OM040** — two concurrency-eligible tasks write the same slot
+//!   (write-write),
+//! * **OM041** — a concurrency-eligible pair writes and reads the same
+//!   shared slot (read-write; state reads never conflict, `y` is
+//!   input-only during a right-hand-side evaluation),
 //! * **OM042** — a derivative or shared slot is not written exactly once
 //!   across the whole graph (coverage: every equation in exactly one
 //!   task),
@@ -134,44 +144,120 @@ fn slot_name(s: OutSlot) -> String {
     }
 }
 
-/// Run all schedule passes, appending findings to `out`.
-pub fn check_schedule(view: &ScheduleView, out: &mut Report) {
-    let pos = SourcePos::default(); // generated code has no source span
+/// Which task pairs the race passes treat as potentially concurrent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Granularity {
+    /// Barrier executor: tasks within one level may overlap.
+    #[default]
+    Level,
+    /// Work-stealing executor: any pair with no dependency path between
+    /// them may overlap (a strict superset of the level pairs).
+    Edge,
+}
 
-    // OM040 + OM041: conflicts within each barrier level.
-    for level in &view.levels {
-        for (k, &a) in level.iter().enumerate() {
-            for &b in &level[k + 1..] {
-                let ta = &view.tasks[a];
-                let tb = &view.tasks[b];
-                for &wa in &ta.writes {
-                    if tb.writes.contains(&wa) {
-                        out.push(Diagnostic::new(
-                            "OM040",
-                            pos,
-                            format!(
-                                "write-write race: tasks `{}` and `{}` both write {} in the same parallel level",
-                                ta.label, tb.label, slot_name(wa)
-                            ),
-                        ));
+/// Ancestor sets as bitsets: `anc[i]` has bit `j` set iff there is a
+/// dependency path from task `j` to task `i`.
+fn ancestor_sets(n: usize, deps: &[Vec<usize>]) -> Vec<Vec<u64>> {
+    let words = n.div_ceil(64);
+    let mut anc = vec![vec![0u64; words]; n];
+    // Dependencies point at predecessors; iterate to fixpoint (graphs
+    // are small DAGs, and edges may not be index-ordered).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            for &d in &deps[i] {
+                let mut grew = anc[i][d / 64] & (1 << (d % 64)) == 0;
+                anc[i][d / 64] |= 1 << (d % 64);
+                let dset = anc[d].clone();
+                for (slot, dv) in anc[i].iter_mut().zip(dset) {
+                    let merged = *slot | dv;
+                    if merged != *slot {
+                        *slot = merged;
+                        grew = true;
                     }
                 }
-                // Read-write in either direction; only shared slots are
-                // readable cross-task.
-                for (writer, reader) in [(ta, tb), (tb, ta)] {
-                    for &w in &writer.writes {
-                        if let OutSlot::Shared(s) = w {
-                            if reader.reads_shared.contains(&s) {
-                                out.push(Diagnostic::new(
-                                    "OM041",
-                                    pos,
-                                    format!(
-                                        "read-write race: task `{}` reads shared[{s}] while task `{}` writes it in the same parallel level",
-                                        reader.label, writer.label
-                                    ),
-                                ));
-                            }
-                        }
+                changed |= grew;
+            }
+        }
+    }
+    anc
+}
+
+/// Task pairs `(a, b)`, `a < b`, that may execute concurrently at the
+/// given granularity.
+fn concurrent_pairs(view: &ScheduleView, granularity: Granularity) -> Vec<(usize, usize)> {
+    match granularity {
+        Granularity::Level => {
+            let mut pairs = Vec::new();
+            for level in &view.levels {
+                for (k, &a) in level.iter().enumerate() {
+                    for &b in &level[k + 1..] {
+                        pairs.push((a.min(b), a.max(b)));
+                    }
+                }
+            }
+            pairs
+        }
+        Granularity::Edge => {
+            let n = view.tasks.len();
+            let anc = ancestor_sets(n, &view.deps);
+            let mut pairs = Vec::new();
+            for a in 0..n {
+                for b in a + 1..n {
+                    let ordered = anc[b][a / 64] & (1 << (a % 64)) != 0
+                        || anc[a][b / 64] & (1 << (b % 64)) != 0;
+                    if !ordered {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+            pairs
+        }
+    }
+}
+
+/// Run all schedule passes at the given granularity, appending findings
+/// to `out`.
+pub fn check_schedule_at(view: &ScheduleView, granularity: Granularity, out: &mut Report) {
+    let pos = SourcePos::default(); // generated code has no source span
+    let overlap_phrase = match granularity {
+        Granularity::Level => "in the same parallel level",
+        Granularity::Edge => "with no dependency path ordering them",
+    };
+
+    // OM040 + OM041: conflicts between concurrency-eligible pairs.
+    for (a, b) in concurrent_pairs(view, granularity) {
+        let ta = &view.tasks[a];
+        let tb = &view.tasks[b];
+        for &wa in &ta.writes {
+            if tb.writes.contains(&wa) {
+                out.push(Diagnostic::new(
+                    "OM040",
+                    pos,
+                    format!(
+                        "write-write race: tasks `{}` and `{}` both write {} {overlap_phrase}",
+                        ta.label,
+                        tb.label,
+                        slot_name(wa)
+                    ),
+                ));
+            }
+        }
+        // Read-write in either direction; only shared slots are
+        // readable cross-task.
+        for (writer, reader) in [(ta, tb), (tb, ta)] {
+            for &w in &writer.writes {
+                if let OutSlot::Shared(s) = w {
+                    if reader.reads_shared.contains(&s) {
+                        out.push(Diagnostic::new(
+                            "OM041",
+                            pos,
+                            format!(
+                                "read-write race: task `{}` reads shared[{s}] while task `{}` writes it {overlap_phrase}",
+                                reader.label, writer.label
+                            ),
+                        ));
                     }
                 }
             }
@@ -195,9 +281,10 @@ pub fn check_schedule(view: &ScheduleView, out: &mut Report) {
     // OM043: edges not justified by dataflow.
     for (i, deps) in view.deps.iter().enumerate() {
         for &d in deps {
-            let justified = view.tasks[d].writes.iter().any(|w| {
-                matches!(w, OutSlot::Shared(s) if view.tasks[i].reads_shared.contains(s))
-            });
+            let justified = view.tasks[d]
+                .writes
+                .iter()
+                .any(|w| matches!(w, OutSlot::Shared(s) if view.tasks[i].reads_shared.contains(s)));
             if !justified {
                 out.push(Diagnostic::new(
                     "OM043",
@@ -210,6 +297,12 @@ pub fn check_schedule(view: &ScheduleView, out: &mut Report) {
             }
         }
     }
+}
+
+/// Run all schedule passes at barrier-level granularity (the historical
+/// default; the CLI pipeline checks at [`Granularity::Edge`]).
+pub fn check_schedule(view: &ScheduleView, out: &mut Report) {
+    check_schedule_at(view, Granularity::Level, out);
 }
 
 fn check_coverage(
@@ -226,10 +319,7 @@ fn check_coverage(
         )),
         Some([_]) => {}
         Some(many) => {
-            let labels: Vec<&str> = many
-                .iter()
-                .map(|&i| view.tasks[i].label.as_str())
-                .collect();
+            let labels: Vec<&str> = many.iter().map(|&i| view.tasks[i].label.as_str()).collect();
             out.push(Diagnostic::new(
                 "OM042",
                 SourcePos::default(),
@@ -305,6 +395,69 @@ mod tests {
         let mut r = Report::default();
         check_schedule(&v, &mut r);
         assert!(r.has_code("OM042"));
+    }
+
+    #[test]
+    fn clean_pipeline_passes_at_edge_granularity_too() {
+        // The dep edges order producer before consumers, so removing the
+        // barrier introduces no hazard.
+        let mut r = Report::default();
+        check_schedule_at(&pipeline_view(), Granularity::Edge, &mut r);
+        assert!(r.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn cross_level_unordered_read_write_is_only_caught_at_edge_granularity() {
+        // p (level 0) writes shared[0]; x reads it but is ordered only
+        // after the unrelated q, so p and x land in *different* levels
+        // while having no dependency path between them. The barrier
+        // serializes them by accident; without the barrier this is a
+        // read-write race — exactly the hazard class edge granularity
+        // exists to catch.
+        let v = ScheduleView::from_parts(
+            vec![
+                task("p", vec![OutSlot::Shared(0)], vec![]),
+                task("q", vec![OutSlot::Deriv(0)], vec![]),
+                task("x", vec![OutSlot::Deriv(1)], vec![0]),
+            ],
+            vec![vec![], vec![], vec![1]],
+        );
+        let mut level_report = Report::default();
+        check_schedule_at(&v, Granularity::Level, &mut level_report);
+        assert!(
+            !level_report.has_code("OM041"),
+            "{:?}",
+            level_report.diagnostics
+        );
+        let mut edge_report = Report::default();
+        check_schedule_at(&v, Granularity::Edge, &mut edge_report);
+        assert!(
+            edge_report.has_code("OM041"),
+            "{:?}",
+            edge_report.diagnostics
+        );
+    }
+
+    #[test]
+    fn edge_pairs_subsume_level_pairs() {
+        // With levels *derived from the deps* (the executor's rule),
+        // same-level pairs are unordered, so any race found at level
+        // granularity is also found at edge granularity. Here the
+        // producer → consumer edge is missing entirely: both tasks land
+        // in level 0 and both passes must flag the read-write race.
+        let v = ScheduleView::from_parts(
+            vec![
+                task("p", vec![OutSlot::Shared(0)], vec![]),
+                task("c", vec![OutSlot::Deriv(0)], vec![0]),
+            ],
+            vec![vec![], vec![]],
+        );
+        let mut level_report = Report::default();
+        check_schedule_at(&v, Granularity::Level, &mut level_report);
+        let mut edge_report = Report::default();
+        check_schedule_at(&v, Granularity::Edge, &mut edge_report);
+        assert!(level_report.has_code("OM041"));
+        assert!(edge_report.has_code("OM041"));
     }
 
     #[test]

@@ -37,6 +37,54 @@ fn builtin_models_lint_clean() {
     );
 }
 
+/// Acceptance gate for the work-stealing executor: every built-in
+/// model's generated schedule must pass OM040–OM043 at *edge*
+/// granularity — i.e. the race-free verdict holds without the level
+/// barrier, in both algebraic-inlining modes (inline = independent
+/// graphs, no-inline = multi-level producer/consumer graphs).
+#[test]
+fn builtin_schedules_are_race_free_at_edge_granularity() {
+    use om_codegen::{CodeGenerator, GenOptions};
+    use om_lint::{check_schedule_at, Granularity, Report, ScheduleView};
+
+    let sources = [
+        ("oscillator", om_models::oscillator::source()),
+        ("servo", om_models::servo::source()),
+        ("hydro", om_models::hydro::source()),
+        (
+            "bearing2d",
+            om_models::bearing2d::source(&om_models::bearing2d::BearingConfig::default()),
+        ),
+        (
+            "heat1d",
+            om_models::heat1d::source(&om_models::heat1d::HeatConfig::default()),
+        ),
+        (
+            "bearing3d",
+            om_models::bearing3d::source(&om_models::bearing3d::Bearing3dConfig::default()),
+        ),
+    ];
+    for (name, src) in sources {
+        for inline in [true, false] {
+            let ir = om_models::compile_to_ir(&src).unwrap();
+            let graph = CodeGenerator::new(GenOptions {
+                inline_algebraics: inline,
+                ..GenOptions::default()
+            })
+            .generate(&ir)
+            .graph;
+            let view = ScheduleView::from_graph(&graph);
+            let mut report = Report::default();
+            check_schedule_at(&view, Granularity::Edge, &mut report);
+            assert!(
+                report.is_empty(),
+                "{name} (inline={inline}) has edge-granularity schedule findings:\n{}",
+                report.render_text(name)
+            );
+        }
+    }
+}
+
 #[test]
 fn shipped_examples_lint_clean() {
     for entry in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples")).unwrap()

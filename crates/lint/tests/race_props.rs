@@ -10,7 +10,7 @@
 
 use om_codegen::list_schedule;
 use om_codegen::task::OutSlot;
-use om_lint::{check_schedule, Report, ScheduleView, TaskAccess};
+use om_lint::{check_schedule, check_schedule_at, Granularity, Report, ScheduleView, TaskAccess};
 use proptest::prelude::*;
 
 /// Build a random dataflow DAG: task `k` writes `Deriv(k)` and
@@ -66,6 +66,46 @@ proptest! {
         let mut report = Report::default();
         check_schedule(&view, &mut report);
         prop_assert!(report.is_empty(), "spurious findings: {:?}", report.diagnostics);
+    }
+
+    /// Edge-granularity soundness: because dependencies derive exactly
+    /// from dataflow, every unordered pair is access-disjoint — the
+    /// race-free verdict holds even with the barrier removed, which is
+    /// what licenses the work-stealing executor on generated schedules.
+    #[test]
+    fn detector_accepts_every_pipeline_schedule_at_edge_granularity(
+        n in 2usize..=10,
+        raw_edges in prop::collection::vec(0usize..10_000, 0..=25),
+    ) {
+        let view = random_view(n, &raw_edges, false);
+        let mut report = Report::default();
+        check_schedule_at(&view, Granularity::Edge, &mut report);
+        prop_assert!(report.is_empty(), "spurious findings: {:?}", report.diagnostics);
+    }
+
+    /// Edge-granularity sensitivity: erase *all* dependency edges of one
+    /// consumer (keeping its shared-slot reads). The consumer becomes a
+    /// root with no path from its former producer, so the pair is
+    /// unordered and the read-write hazard must surface as OM041 — even
+    /// though the barrier schedule may hide it across levels.
+    #[test]
+    fn detector_rejects_dropped_dependency_edges(
+        n in 2usize..=10,
+        raw_edges in prop::collection::vec(0usize..10_000, 0..=25),
+    ) {
+        let view = random_view(n, &raw_edges, true);
+        let j = (0..n).find(|&j| !view.deps[j].is_empty()).expect("forced edge");
+        let mut deps = view.deps.clone();
+        deps[j].clear();
+        let mutated = ScheduleView::from_parts(view.tasks.clone(), deps);
+        let mut report = Report::default();
+        check_schedule_at(&mutated, Granularity::Edge, &mut report);
+        prop_assert!(
+            report.has_code("OM041"),
+            "dropped deps of t{} not detected: {:?}",
+            j,
+            report.diagnostics
+        );
     }
 
     /// Sensitivity: merging one level into its predecessor always

@@ -157,10 +157,7 @@ pub fn source(cfg: &BearingConfig) -> String {
     );
 
     for k in 1..=n {
-        let _ = writeln!(
-            src,
-            "        w{k}.xin = x; w{k}.yin = y; w{k}.wc = wc;"
-        );
+        let _ = writeln!(src, "        w{k}.xin = x; w{k}.yin = y; w{k}.wc = wc;");
     }
     let _ = writeln!(src, "        sfx[1] = w1.fi * cos(w1.phi);");
     let _ = writeln!(src, "        sfy[1] = w1.fi * sin(w1.phi);");
@@ -262,7 +259,11 @@ mod tests {
         assert!(yv.iter().all(|v| v.is_finite()));
         // The ring settles inside the clearance, pushed down by the load.
         let y_idx = sys.find_state("y").unwrap();
-        assert!(yv[y_idx] < 0.0, "ring should sit below center: {}", yv[y_idx]);
+        assert!(
+            yv[y_idx] < 0.0,
+            "ring should sit below center: {}",
+            yv[y_idx]
+        );
         assert!(yv[y_idx] > -3.0e-4, "ring fell through: {}", yv[y_idx]);
         // The shaft keeps spinning and accumulates revolutions.
         let wi_idx = sys.find_state("wi").unwrap();
@@ -308,9 +309,7 @@ mod tests {
             waviness: 8,
             ..BearingConfig::default()
         });
-        let cost = |sys: &OdeIr| -> u64 {
-            sys.inlined_rhs().iter().map(om_expr::flops).sum()
-        };
+        let cost = |sys: &OdeIr| -> u64 { sys.inlined_rhs().iter().map(om_expr::flops).sum() };
         assert!(
             cost(&heavy) > 2 * cost(&plain),
             "heavy {} plain {}",

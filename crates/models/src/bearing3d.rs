@@ -210,8 +210,14 @@ pub fn source(cfg: &Bearing3dConfig) -> String {
     let _ = writeln!(src, "        sfm[1] = w1.fi;");
     for k in 2..=n {
         let p = k - 1;
-        let _ = writeln!(src, "        sfx[{k}] = sfx[{p}] + w{k}.fi * cos(w{k}.phi);");
-        let _ = writeln!(src, "        sfy[{k}] = sfy[{p}] + w{k}.fi * sin(w{k}.phi);");
+        let _ = writeln!(
+            src,
+            "        sfx[{k}] = sfx[{p}] + w{k}.fi * cos(w{k}.phi);"
+        );
+        let _ = writeln!(
+            src,
+            "        sfy[{k}] = sfy[{p}] + w{k}.fi * sin(w{k}.phi);"
+        );
         let _ = writeln!(src, "        sfz[{k}] = sfz[{p}] + w{k}.fz;");
         let _ = writeln!(src, "        sfm[{k}] = sfm[{p}] + w{k}.fi;");
     }
@@ -279,10 +285,7 @@ mod tests {
             .iter()
             .map(om_expr::flops)
             .sum();
-        assert!(
-            flops3d > 2 * flops2d,
-            "3D {flops3d} flops vs 2D {flops2d}"
-        );
+        assert!(flops3d > 2 * flops2d, "3D {flops3d} flops vs 2D {flops2d}");
     }
 
     #[test]
@@ -307,7 +310,11 @@ mod tests {
         let y_idx = sys.find_state("y").unwrap();
         assert!(yv[y_idx] < 0.0 && yv[y_idx] > -3.0e-4, "y = {}", yv[y_idx]);
         let zr_idx = sys.find_state("zr").unwrap();
-        assert!(yv[zr_idx] < 0.0 && yv[zr_idx] > -3.0e-4, "zr = {}", yv[zr_idx]);
+        assert!(
+            yv[zr_idx] < 0.0 && yv[zr_idx] > -3.0e-4,
+            "zr = {}",
+            yv[zr_idx]
+        );
         // The shaft keeps spinning.
         let wi_idx = sys.find_state("wi").unwrap();
         assert!(yv[wi_idx] > 50.0);
@@ -333,8 +340,7 @@ mod tests {
                 max_steps: 5_000_000,
                 ..Tolerances::default()
             };
-            let sol =
-                dopri5(&mut wrapped, 0.0, &sys.initial_state(), 2e-3, &tol).unwrap();
+            let sol = dopri5(&mut wrapped, 0.0, &sys.initial_state(), 2e-3, &tol).unwrap();
             (1..=cfg.rollers)
                 .map(|k| {
                     let idx = sys.find_state(&format!("w{k}.tilt")).unwrap();

@@ -82,9 +82,9 @@ pub fn source(cfg: &HeatConfig) -> String {
     let h = cfg.h();
     let d = cfg.alpha / (h * h); // diffusion coefficient
     let a = cfg.velocity / h; // upwind advection coefficient
-    // Reaction source: Σ_j r_j · u(1−u) · exp(−E_j/(u² + 1)) — bounded on
-    // u ∈ [0, 1] and zero at both boundary values, so it perturbs the
-    // diffusion solution without destabilizing it.
+                              // Reaction source: Σ_j r_j · u(1−u) · exp(−E_j/(u² + 1)) — bounded on
+                              // u ∈ [0, 1] and zero at both boundary values, so it perturbs the
+                              // diffusion solution without destabilizing it.
     let mut reaction = String::new();
     for j in 1..=cfg.reaction_terms {
         let rate = cfg.reaction_rate / j as f64;

@@ -149,7 +149,10 @@ pub fn validate_chrome_json(doc: &str) -> Result<TraceCheck, String> {
         }
         if ph == "M" {
             if name == "thread_name" {
-                if let Some(n) = ev.get("args").and_then(|a| a.get("name")).and_then(Value::as_str)
+                if let Some(n) = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
                 {
                     check.tracks.entry(tid).or_default().name = Some(n.to_owned());
                 }

@@ -37,7 +37,9 @@ pub mod metrics;
 pub mod span;
 
 pub use metrics::{metrics, Counter, Gauge, Histogram, MetricsRegistry};
-pub use span::{collect, counter_value, flush_thread, instant, span, span_arg, Event, Phase, SpanGuard, Trace};
+pub use span::{
+    collect, counter_value, flush_thread, instant, span, span_arg, Event, Phase, SpanGuard, Trace,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
@@ -160,7 +162,11 @@ pub fn summary(trace: &Trace) -> String {
         }
     }
     let _ = writeln!(out, "== spans ==");
-    let _ = writeln!(out, "{:<12} {:<28} {:>10} {:>14}", "category", "name", "count", "total");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<28} {:>10} {:>14}",
+        "category", "name", "count", "total"
+    );
     for ((cat, name), (count, ns)) in &totals {
         let _ = writeln!(
             out,

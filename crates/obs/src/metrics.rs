@@ -129,7 +129,10 @@ impl Histogram {
 
     /// Per-bucket counts, overflow last.
     pub fn counts(&self) -> Vec<u64> {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Total observations.
@@ -220,7 +223,10 @@ impl MetricsRegistry {
 
     /// Number of registered metrics of all kinds.
     pub fn len(&self) -> usize {
-        self.counters.lock().unwrap_or_else(|p| p.into_inner()).len()
+        self.counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
             + self.gauges.lock().unwrap_or_else(|p| p.into_inner()).len()
             + self
                 .histograms
@@ -241,7 +247,10 @@ impl MetricsRegistry {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .clear();
-        self.gauges.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        self.gauges
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
         self.histograms
             .lock()
             .unwrap_or_else(|p| p.into_inner())

@@ -225,10 +225,7 @@ pub fn collect() -> Trace {
     flush_thread();
     let (mut events, threads) = {
         let mut sink = SINK.lock().unwrap_or_else(|p| p.into_inner());
-        (
-            std::mem::take(&mut sink.events),
-            sink.threads.clone(),
-        )
+        (std::mem::take(&mut sink.events), sink.threads.clone())
     };
     // Stable by timestamp: per-thread chunks are chronological already, so
     // relative order within a thread survives.
@@ -281,10 +278,7 @@ mod tests {
         assert!(trace.events.len() >= 6, "{:?}", trace.events);
         // Two distinct threads registered.
         assert_eq!(trace.threads.len(), 2, "{:?}", trace.threads);
-        assert!(trace
-            .threads
-            .iter()
-            .any(|(_, n)| n == "obs-test-worker"));
+        assert!(trace.threads.iter().any(|(_, n)| n == "obs-test-worker"));
         // Per-thread timestamps non-decreasing.
         use std::collections::BTreeMap;
         let mut last: BTreeMap<u64, u64> = BTreeMap::new();

@@ -387,7 +387,9 @@ pub mod strategy {
             match parse_class_repeat(self) {
                 Some((alphabet, min, max)) => {
                     let len = min + rng.below(max - min + 1);
-                    (0..len).map(|_| alphabet[rng.below(alphabet.len())]).collect()
+                    (0..len)
+                        .map(|_| alphabet[rng.below(alphabet.len())])
+                        .collect()
                 }
                 None => (*self).to_string(),
             }

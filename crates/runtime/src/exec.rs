@@ -393,8 +393,8 @@ impl WorkerPool {
         // a deterministic sampling schedule; the always-on signals above
         // keep every call visible at low cost.
         #[allow(clippy::manual_is_multiple_of)] // is_multiple_of is past our 1.85 MSRV
-        let detailed = om_obs::is_enabled()
-            && self.obs_calls % u64::from(om_obs::detail_every()) == 0;
+        let detailed =
+            om_obs::is_enabled() && self.obs_calls % u64::from(om_obs::detail_every()) == 0;
         self.obs_calls += 1;
         let y = Arc::new(y.to_vec());
         self.shared_scratch.iter_mut().for_each(|v| *v = 0.0);
@@ -540,7 +540,9 @@ impl WorkerPool {
             // genuine non-finite value reproduces it exactly).
             self.recovery.nan_repairs += bad;
             om_obs::instant("result.nan_repair", "runtime");
-            om_obs::metrics().counter("runtime.nan_repairs").add(bad as u64);
+            om_obs::metrics()
+                .counter("runtime.nan_repairs")
+                .add(bad as u64);
             self.compute_outputs(tasks, t, y, shared)
         } else {
             done.outputs.clone()
@@ -562,7 +564,11 @@ impl WorkerPool {
                 self.obs.task_seconds.observe(secs);
             }
             let old = self.measured[task];
-            self.measured[task] = if old == 0.0 { secs } else { 0.8 * old + 0.2 * secs };
+            self.measured[task] = if old == 0.0 {
+                secs
+            } else {
+                0.8 * old + 0.2 * secs
+            };
         }
         self.obs.tasks_executed.add(done.timings.len() as u64);
     }
@@ -712,7 +718,9 @@ impl WorkerPool {
             .map(|(&s, _)| s)
             .collect();
         for seq in expired {
-            let Some(p) = pending.remove(&seq) else { continue };
+            let Some(p) = pending.remove(&seq) else {
+                continue;
+            };
             if self.workers[p.worker].is_live()
                 && !p.resent
                 && self.fault_config.retry_before_failing
@@ -813,7 +821,9 @@ impl Drop for WorkerPool {
         }
         let deadline = Instant::now() + Duration::from_secs(2);
         for slot in &mut self.workers {
-            let Some(join) = slot.join.take() else { continue };
+            let Some(join) = slot.join.take() else {
+                continue;
+            };
             while !join.is_finished() && Instant::now() < deadline {
                 std::thread::sleep(Duration::from_micros(200));
             }
@@ -964,9 +974,11 @@ mod tests {
         let (ir, g) = graph(MODEL, false);
         assert!(!g.is_independent());
         let reference = om_ir::IrEvaluator::new(&ir).unwrap();
-        let sched =
-            om_codegen::list_schedule(&g.tasks.iter().map(|t| t.static_cost).collect::<Vec<_>>(),
-                &g.deps, 3);
+        let sched = om_codegen::list_schedule(
+            &g.tasks.iter().map(|t| t.static_cost).collect::<Vec<_>>(),
+            &g.deps,
+            3,
+        );
         let mut pool = WorkerPool::new(g, 3, sched.assignment);
         let y = [0.4, -0.3];
         let mut expect = [0.0; 2];
@@ -1219,7 +1231,13 @@ mod tests {
         let mut pool = WorkerPool::new(g, 2, vec![0, 1]);
         let mut got = [0.0; 3];
         let err = pool.try_rhs(0.0, &[0.4, -0.3, 0.0], &mut got).unwrap_err();
-        assert_eq!(err, RuntimeError::DimensionMismatch { expected: 2, got: 3 });
+        assert_eq!(
+            err,
+            RuntimeError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
     }
 
     #[test]
@@ -1237,8 +1255,16 @@ mod tests {
         assert_eq!(&got[..], &expect[..]);
         assert_eq!(pool.live_workers(), 2);
         // After the loss the assignment must avoid the failed worker.
-        assert!(pool.assignment().iter().all(|&w| w != 1), "{:?}", pool.assignment());
+        assert!(
+            pool.assignment().iter().all(|&w| w != 1),
+            "{:?}",
+            pool.assignment()
+        );
         pool.rebalance(&[100, 100]);
-        assert!(pool.assignment().iter().all(|&w| w != 1), "{:?}", pool.assignment());
+        assert!(
+            pool.assignment().iter().all(|&w| w != 1),
+            "{:?}",
+            pool.assignment()
+        );
     }
 }

@@ -1,0 +1,606 @@
+//! Dependency-driven work-stealing executor.
+//!
+//! The second execution strategy of the runtime (see
+//! [`crate::Strategy`]): instead of running the task graph level by
+//! level with a global barrier and an mpsc round-trip per level (the
+//! supervisor/worker design of [`crate::exec`], paper Figure 10), every
+//! task carries an atomic predecessor counter. Completing a task
+//! decrements the counter of each successor
+//! ([`om_codegen::task::TaskGraph::successors`]); a counter reaching
+//! zero makes the successor *ready* and pushes it onto the finishing
+//! worker's deque. Workers pop their own deque from the back (LIFO, hot
+//! caches) and steal from other workers' fronts (FIFO, oldest —
+//! typically largest — batches first). There is no barrier: a worker
+//! that exhausts one "level" immediately starts on whatever became
+//! ready, so wide-but-irregular graphs (hydro's six parallel gate
+//! groups, the 3D bearing) no longer idle workers at each wave.
+//!
+//! Scheduling heritage: the static LPT assignment survives as the
+//! *initial queue seeding* — initially-ready tasks land on the deque of
+//! their LPT-assigned worker, ordered so each worker pops its longest
+//! task first (LPT order). Work stealing then absorbs whatever imbalance
+//! the static estimate got wrong, which is exactly the role the paper's
+//! semi-dynamic rescheduler plays between iterations — here it happens
+//! *within* one evaluation.
+//!
+//! # Threading model
+//!
+//! The supervisor thread participates as worker 0; `n_workers - 1`
+//! helper threads park on a condvar between RHS calls. This matters on
+//! small graphs and oversubscribed hosts: the supervisor starts
+//! executing immediately (no wake-up latency on the critical path) and
+//! helpers contribute whenever the OS schedules them. All
+//! synchronisation is std: `AtomicU32`/`AtomicU64`/`AtomicUsize`,
+//! `Mutex<VecDeque>` deques, and two condvars (call start, ready work).
+//!
+//! # Determinism
+//!
+//! Every task is a pure function of `(t, y, shared)` and every output
+//! slot is written by exactly one task (lint pass OM042), so the result
+//! is bitwise-identical regardless of which worker runs which task in
+//! which order. The required happens-before edges are: a producer's
+//! shared-slot `store(Release)` is ordered before its `fetch_sub(AcqRel)`
+//! on the successor's predecessor counter; RMW chains on the same
+//! counter order *all* producers before the final decrement; the ready
+//! push / pop pair synchronises through the deque mutex; and consumers
+//! load shared slots with `Acquire`. The race-freedom argument is
+//! checked statically at exactly this granularity by `om-lint`'s
+//! edge-granularity OM040/OM041 passes.
+//!
+//! # Faults
+//!
+//! This executor is *not* fault-tolerant: there is no respawn/retry
+//! ladder, and a helper thread dying mid-task surfaces as
+//! [`RuntimeError::WorkerDied`]. The barrier executor remains the
+//! recovery-capable oracle; [`crate::ExecutorPool`] routes any
+//! configuration with an active fault plan to it.
+
+use crate::error::RuntimeError;
+use om_codegen::task::{OutSlot, TaskGraph};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long an idle worker parks waiting for ready work before
+/// rechecking the deques (bounds the cost of a lost condvar wakeup).
+const IDLE_PARK: Duration = Duration::from_micros(200);
+
+/// How long the supervisor waits without progress before suspecting a
+/// dead helper (a helper can only wedge the call by dying mid-task).
+const STALL_CHECK: Duration = Duration::from_millis(500);
+
+/// State shared between the supervisor and the helper threads.
+struct WsShared {
+    graph: Arc<TaskGraph>,
+    /// `succ[i]` — tasks whose predecessor counter task `i` decrements.
+    succ: Vec<Vec<usize>>,
+    /// Initial predecessor counts (reset template for `preds`).
+    pred_init: Vec<u32>,
+    /// Live predecessor counters, reset each call.
+    preds: Vec<AtomicU32>,
+    /// Tasks not yet executed this call; 0 = call complete.
+    remaining: AtomicUsize,
+    /// Per-worker deques: own end is the back (LIFO), steal end the
+    /// front (FIFO).
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Shared intermediate slots, written Release / read Acquire.
+    shared_vals: Vec<AtomicU64>,
+    /// Derivative slots, copied out by the supervisor after completion.
+    dydt: Vec<AtomicU64>,
+    /// Last per-task elapsed nanoseconds (EWMA-folded by the supervisor).
+    timings_ns: Vec<AtomicU64>,
+    /// Current `t`, as bits.
+    t_bits: AtomicU64,
+    /// Current state vector; helpers clone the Arc once per call.
+    y: Mutex<Arc<Vec<f64>>>,
+    /// Call generation, bumped (Release) *before* the deques are seeded
+    /// so a worker that pops a task can detect it belongs to a newer
+    /// call than the one it captured `(t, y)` for.
+    call_fast: AtomicU64,
+    /// Call generation + start condvar for parked helpers.
+    call: Mutex<u64>,
+    start_cv: Condvar,
+    /// Ready-work condvar: notified on every ready push and when
+    /// `remaining` hits zero.
+    idle: Mutex<()>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Record fine-grained spans for the current call (detail-sampled).
+    detailed: AtomicBool,
+}
+
+impl WsShared {
+    /// Pop from the back of worker `w`'s own deque (LIFO).
+    fn pop_own(&self, w: usize) -> Option<usize> {
+        self.deques[w].lock().ok()?.pop_back()
+    }
+
+    /// Steal from the front of another worker's deque (FIFO), scanning
+    /// round-robin from `w + 1`.
+    fn steal(&self, w: usize) -> Option<(usize, usize)> {
+        let n = self.deques.len();
+        for k in 1..n {
+            let v = (w + k) % n;
+            if let Some(tid) = self.deques[v].lock().ok()?.pop_front() {
+                return Some((tid, v));
+            }
+        }
+        None
+    }
+
+    /// Return a stale-popped task to the steal end of deque `v`.
+    fn unpop(&self, v: usize, tid: usize) {
+        if let Ok(mut q) = self.deques[v].lock() {
+            q.push_front(tid);
+        }
+        self.work_cv.notify_all();
+    }
+}
+
+/// Per-thread scratch + cached metric handles for the execute loop.
+struct WorkerCtx {
+    regs: Vec<f64>,
+    out_buf: Vec<f64>,
+    /// Local copy of the shared slots a task reads (filled per task).
+    shared_local: Vec<f64>,
+    tasks_executed: Arc<om_obs::Counter>,
+    steals: Arc<om_obs::Counter>,
+    ready_pushed: Arc<om_obs::Counter>,
+    busy_ns: Arc<om_obs::Counter>,
+}
+
+impl WorkerCtx {
+    fn new(worker: usize, graph: &TaskGraph) -> WorkerCtx {
+        let max_regs = graph
+            .tasks
+            .iter()
+            .map(|t| t.program.n_regs as usize)
+            .max()
+            .unwrap_or(0);
+        let m = om_obs::metrics();
+        WorkerCtx {
+            regs: vec![0.0; max_regs],
+            out_buf: Vec::new(),
+            shared_local: vec![0.0; graph.n_shared],
+            tasks_executed: m.counter("runtime.ws.tasks_executed"),
+            steals: m.counter("runtime.ws.steals"),
+            ready_pushed: m.counter("runtime.ws.ready_pushed"),
+            busy_ns: m.counter(&format!("runtime.ws.worker{worker}.busy_ns")),
+        }
+    }
+}
+
+/// The dependency-driven work-stealing pool.
+pub struct WorkStealPool {
+    shared: Arc<WsShared>,
+    helpers: Vec<std::thread::JoinHandle<()>>,
+    n_workers: usize,
+    /// task → preferred worker for the initial seeding (LPT schedule).
+    assignment: Vec<usize>,
+    /// EWMA of measured per-task seconds (same semantics as the barrier
+    /// pool's, consumed by the semi-dynamic rescheduler).
+    pub measured: Vec<f64>,
+    /// Supervisor-side scratch (worker 0 context).
+    ctx: WorkerCtx,
+    rhs_calls: Arc<om_obs::Counter>,
+    obs_calls: u64,
+}
+
+impl WorkStealPool {
+    /// Spawn a pool with `n_workers` total workers (the supervisor is
+    /// worker 0, so `n_workers - 1` helper threads are created). Panics
+    /// on an invalid configuration; see [`WorkStealPool::try_new`].
+    pub fn new(graph: TaskGraph, n_workers: usize, assignment: Vec<usize>) -> WorkStealPool {
+        WorkStealPool::try_new(graph, n_workers, assignment)
+            .unwrap_or_else(|e| panic!("work-stealing pool construction failed: {e}"))
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(
+        graph: TaskGraph,
+        n_workers: usize,
+        assignment: Vec<usize>,
+    ) -> Result<WorkStealPool, RuntimeError> {
+        if n_workers < 1 {
+            return Err(RuntimeError::InvalidConfig {
+                reason: "work-stealing pool needs at least one worker".into(),
+            });
+        }
+        if assignment.len() != graph.tasks.len() {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!(
+                    "assignment covers {} tasks but the graph has {}",
+                    assignment.len(),
+                    graph.tasks.len()
+                ),
+            });
+        }
+        if let Some(&w) = assignment.iter().find(|&&w| w >= n_workers) {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!("assignment references worker {w} of {n_workers}"),
+            });
+        }
+        let graph = Arc::new(graph);
+        let n_tasks = graph.tasks.len();
+        let measured = graph
+            .tasks
+            .iter()
+            .map(|t| t.static_cost as f64 * 1e-9)
+            .collect();
+        let shared = Arc::new(WsShared {
+            succ: graph.successors(),
+            pred_init: graph.pred_counts(),
+            preds: (0..n_tasks).map(|_| AtomicU32::new(0)).collect(),
+            remaining: AtomicUsize::new(0),
+            deques: (0..n_workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            shared_vals: (0..graph.n_shared).map(|_| AtomicU64::new(0)).collect(),
+            dydt: (0..graph.dim).map(|_| AtomicU64::new(0)).collect(),
+            timings_ns: (0..n_tasks).map(|_| AtomicU64::new(0)).collect(),
+            t_bits: AtomicU64::new(0),
+            y: Mutex::new(Arc::new(Vec::new())),
+            call_fast: AtomicU64::new(0),
+            call: Mutex::new(0),
+            start_cv: Condvar::new(),
+            idle: Mutex::new(()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            detailed: AtomicBool::new(false),
+            graph: Arc::clone(&graph),
+        });
+        let mut helpers = Vec::with_capacity(n_workers.saturating_sub(1));
+        for w in 1..n_workers {
+            let shared2 = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("om-ws-{w}"))
+                .spawn(move || helper_main(w, &shared2))
+                .map_err(|e| RuntimeError::SpawnFailed {
+                    worker: w,
+                    reason: e.to_string(),
+                })?;
+            helpers.push(handle);
+        }
+        let ctx = WorkerCtx::new(0, &graph);
+        let m = om_obs::metrics();
+        m.gauge("runtime.ws.workers").set(n_workers as f64);
+        om_obs::instant("ws.pool.spawn", "runtime");
+        Ok(WorkStealPool {
+            shared,
+            helpers,
+            n_workers,
+            assignment,
+            measured,
+            ctx,
+            rhs_calls: m.counter("runtime.ws.rhs_calls"),
+            obs_calls: 0,
+        })
+    }
+
+    /// Number of workers (supervisor included).
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// The task graph being executed.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.shared.graph
+    }
+
+    /// Current task → worker seeding preference.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Replace the seeding preference (semi-dynamic rescheduling).
+    pub fn set_assignment(&mut self, assignment: Vec<usize>) {
+        assert_eq!(assignment.len(), self.shared.graph.tasks.len());
+        assert!(assignment.iter().all(|&w| w < self.n_workers));
+        self.assignment = assignment;
+    }
+
+    /// Recompute the seeding preference from per-task costs (LPT for
+    /// independent graphs, list scheduling otherwise).
+    pub fn rebalance(&mut self, costs: &[u64]) {
+        if costs.len() != self.shared.graph.tasks.len() {
+            return;
+        }
+        let _span = om_obs::span("sched.rebalance", "sched");
+        let sched = if self.shared.graph.is_independent() {
+            om_codegen::lpt(costs, self.n_workers)
+        } else {
+            om_codegen::list_schedule(costs, &self.shared.graph.deps, self.n_workers)
+        };
+        self.assignment = sched.assignment;
+    }
+
+    /// Evaluate the parallel RHS; panics on failure (benchmark/example
+    /// convenience, mirroring [`crate::WorkerPool::rhs`]).
+    pub fn rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        if let Err(e) = self.try_rhs(t, y, dydt) {
+            panic!("work-stealing RHS evaluation failed: {e}");
+        }
+    }
+
+    /// Evaluate the parallel RHS: fills `dydt` (length = ODE dimension).
+    pub fn try_rhs(&mut self, t: f64, y: &[f64], dydt: &mut [f64]) -> Result<(), RuntimeError> {
+        let graph = Arc::clone(&self.shared.graph);
+        if y.len() != graph.dim {
+            return Err(RuntimeError::DimensionMismatch {
+                expected: graph.dim,
+                got: y.len(),
+            });
+        }
+        if dydt.len() != graph.dim {
+            return Err(RuntimeError::DimensionMismatch {
+                expected: graph.dim,
+                got: dydt.len(),
+            });
+        }
+        let _span = om_obs::span("ws.rhs", "runtime");
+        self.rhs_calls.inc();
+        #[allow(clippy::manual_is_multiple_of)] // is_multiple_of is past our 1.85 MSRV
+        let detailed =
+            om_obs::is_enabled() && self.obs_calls % u64::from(om_obs::detail_every()) == 0;
+        self.obs_calls += 1;
+
+        let s = &*self.shared;
+        // --- reset per-call state (no worker is active: remaining == 0).
+        for (p, &init) in s.preds.iter().zip(&s.pred_init) {
+            p.store(init, Ordering::Relaxed);
+        }
+        for v in &s.shared_vals {
+            v.store(0, Ordering::Relaxed);
+        }
+        s.t_bits.store(t.to_bits(), Ordering::Relaxed);
+        let y_arc = Arc::new(y.to_vec());
+        *s.y.lock().expect("y lock") = Arc::clone(&y_arc);
+        s.detailed.store(detailed, Ordering::Relaxed);
+        s.remaining.store(graph.tasks.len(), Ordering::Release);
+        // Bump the fast generation *before* seeding so a worker popping a
+        // seeded task always observes the new call id (see module docs).
+        s.call_fast.fetch_add(1, Ordering::Release);
+        let call_id = s.call_fast.load(Ordering::Relaxed);
+
+        // --- seed: initially-ready tasks go to their LPT-assigned
+        // worker's deque, cheapest pushed first so the LIFO own-end pops
+        // the longest task first (LPT order).
+        let mut ready: Vec<usize> = (0..graph.tasks.len())
+            .filter(|&i| s.pred_init[i] == 0)
+            .collect();
+        ready.sort_by(|&a, &b| {
+            self.measured[a]
+                .total_cmp(&self.measured[b])
+                .then(a.cmp(&b))
+        });
+        let mut seeded = 0usize;
+        for &tid in &ready {
+            let w = self.assignment[tid];
+            s.deques[w].lock().expect("deque lock").push_back(tid);
+            seeded += 1;
+        }
+        if detailed {
+            om_obs::counter_value("runtime.ws.seeded_ready", seeded as f64);
+        }
+
+        // --- wake helpers and work the call as worker 0.
+        if self.n_workers > 1 {
+            let mut g = s.call.lock().expect("call lock");
+            *g = call_id;
+            drop(g);
+            s.start_cv.notify_all();
+        }
+        work_call(0, s, call_id, t, &y_arc, &mut self.ctx, detailed);
+
+        // --- wait for stragglers (helpers still draining their deques).
+        let mut stalled_since: Option<Instant> = None;
+        while s.remaining.load(Ordering::Acquire) > 0 {
+            // A task may have become ready while we were idling; help out.
+            work_call(0, s, call_id, t, &y_arc, &mut self.ctx, detailed);
+            if s.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let guard = s.idle.lock().expect("idle lock");
+            let _ = s.work_cv.wait_timeout(guard, IDLE_PARK).expect("idle wait");
+            // Progress watchdog: the only way the call can wedge is a
+            // helper dying while holding a popped task.
+            let now = Instant::now();
+            match stalled_since {
+                None => stalled_since = Some(now),
+                Some(since) if now.duration_since(since) > STALL_CHECK => {
+                    if let Some(w) = self.dead_helper() {
+                        return Err(RuntimeError::WorkerDied { worker: w });
+                    }
+                    stalled_since = Some(now);
+                }
+                Some(_) => {}
+            }
+        }
+
+        // --- gather: every derivative slot was written exactly once.
+        for (i, out) in dydt.iter_mut().enumerate() {
+            *out = f64::from_bits(s.dydt[i].load(Ordering::Acquire));
+        }
+        // Fold the workers' timing measurements into the EWMA (paper
+        // §3.2.3: previous elapsed times predict the next step).
+        for (tid, m) in self.measured.iter_mut().enumerate() {
+            let ns = s.timings_ns[tid].load(Ordering::Relaxed);
+            if ns > 0 {
+                let secs = ns as f64 * 1e-9;
+                *m = if *m == 0.0 {
+                    secs
+                } else {
+                    0.8 * *m + 0.2 * secs
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// Index of the first helper whose thread has exited, if any.
+    fn dead_helper(&self) -> Option<usize> {
+        self.helpers
+            .iter()
+            .position(|h| h.is_finished())
+            .map(|i| i + 1)
+    }
+}
+
+impl Drop for WorkStealPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Helpers park on the start condvar between calls.
+        {
+            let _g = self.shared.call.lock();
+        }
+        self.shared.start_cv.notify_all();
+        self.shared.work_cv.notify_all();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for h in self.helpers.drain(..) {
+            while !h.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            if h.is_finished() {
+                let _ = h.join();
+            }
+            // else: detached; a hung helper cannot wedge the supervisor.
+        }
+    }
+}
+
+/// Helper thread main: park between calls, work each call to completion.
+fn helper_main(worker: usize, s: &WsShared) {
+    let mut ctx = WorkerCtx::new(worker, &s.graph);
+    let mut last_call = 0u64;
+    loop {
+        let call_id = {
+            let mut g = s.call.lock().expect("call lock");
+            loop {
+                if s.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if *g != last_call {
+                    break *g;
+                }
+                g = s.start_cv.wait(g).expect("start wait");
+            }
+        };
+        last_call = call_id;
+        let t = f64::from_bits(s.t_bits.load(Ordering::Relaxed));
+        let y = s.y.lock().expect("y lock").clone();
+        let detailed = s.detailed.load(Ordering::Relaxed);
+        work_call(worker, s, call_id, t, &y, &mut ctx, detailed);
+    }
+}
+
+/// Execute tasks of call `call_id` until none remain. Safe against the
+/// next call starting concurrently: a popped task whose generation is
+/// newer than `call_id` is returned to its deque untouched.
+fn work_call(
+    worker: usize,
+    s: &WsShared,
+    call_id: u64,
+    t: f64,
+    y: &[f64],
+    ctx: &mut WorkerCtx,
+    detailed: bool,
+) {
+    let span = (detailed && worker > 0)
+        .then(|| om_obs::span_arg("ws.worker", "worker", "id", worker as i64));
+    let busy_start = Instant::now();
+    let mut executed = 0u64;
+    let mut stolen = 0u64;
+    loop {
+        let (tid, src) = match s.pop_own(worker) {
+            Some(tid) => (tid, worker),
+            None => match s.steal(worker) {
+                Some((tid, v)) => (tid, v),
+                None => {
+                    if s.remaining.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    if s.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    // Supervisor returns to its own wait loop; helpers
+                    // park briefly for ready work.
+                    if worker == 0 {
+                        break;
+                    }
+                    let guard = s.idle.lock().expect("idle lock");
+                    let _ = s.work_cv.wait_timeout(guard, IDLE_PARK).expect("idle wait");
+                    continue;
+                }
+            },
+        };
+        // Stale-pop guard: the task belongs to a newer call than the
+        // (t, y) this loop captured. Put it back and bail out.
+        if s.call_fast.load(Ordering::Acquire) != call_id {
+            s.unpop(src, tid);
+            break;
+        }
+        if src != worker {
+            stolen += 1;
+        }
+        execute_task(s, worker, tid, t, y, ctx);
+        executed += 1;
+        if s.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task of the call: wake the supervisor (and any parked
+            // helpers, so they fall out of their idle loops promptly).
+            s.work_cv.notify_all();
+            break;
+        }
+    }
+    if executed > 0 {
+        ctx.tasks_executed.add(executed);
+        ctx.busy_ns.add(busy_start.elapsed().as_nanos() as u64);
+    }
+    if stolen > 0 {
+        ctx.steals.add(stolen);
+    }
+    drop(span);
+}
+
+/// Run one task: gather its shared reads, execute the bytecode, publish
+/// outputs, decrement successor counters, push newly-ready tasks onto
+/// the finishing worker's own deque (LIFO end — hot caches).
+fn execute_task(s: &WsShared, worker: usize, tid: usize, t: f64, y: &[f64], ctx: &mut WorkerCtx) {
+    let task = &s.graph.tasks[tid];
+    for &slot in &task.reads_shared {
+        ctx.shared_local[slot as usize] =
+            f64::from_bits(s.shared_vals[slot as usize].load(Ordering::Acquire));
+    }
+    ctx.out_buf.resize(task.program.outputs.len(), 0.0);
+    let start = Instant::now();
+    om_codegen::vm::execute_with_regs(
+        &task.program,
+        t,
+        y,
+        &ctx.shared_local,
+        &mut ctx.out_buf,
+        &mut ctx.regs,
+    );
+    s.timings_ns[tid].store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    for (value, slot) in ctx.out_buf.iter().zip(&task.writes) {
+        match slot {
+            OutSlot::Deriv(i) => s.dydt[*i].store(value.to_bits(), Ordering::Release),
+            OutSlot::Shared(i) => s.shared_vals[*i].store(value.to_bits(), Ordering::Release),
+        }
+    }
+    // Dependency-counter scheduling: the AcqRel RMW chain on each
+    // counter orders every producer's stores before the final decrement.
+    let mut pushed = 0u64;
+    for &succ in &s.succ[tid] {
+        if s.preds[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Ok(mut q) = s.deques[worker].lock() {
+                q.push_back(succ);
+                pushed += 1;
+            }
+        }
+    }
+    if pushed > 0 {
+        s.work_cv.notify_all();
+        ctx.ready_pushed.add(pushed);
+    }
+}

@@ -232,8 +232,9 @@ mod tests {
         assert!(a.len() <= 6);
         // Different seeds should (almost always) differ in some way; check
         // a handful to make sure the generator isn't constant.
-        let distinct: std::collections::HashSet<usize> =
-            (0..16).map(|s| FaultPlan::from_seed(s, 4, 6).len()).collect();
+        let distinct: std::collections::HashSet<usize> = (0..16)
+            .map(|s| FaultPlan::from_seed(s, 4, 6).len())
+            .collect();
         assert!(distinct.len() > 1);
     }
 

@@ -17,6 +17,11 @@
 //!   fully failed pool degrades to sequential in-supervisor evaluation.
 //!   [`fault`] provides the deterministic fault-injection plan used by
 //!   the chaos tests, and [`error`] the typed failure taxonomy.
+//! * [`exec_ws`] — a second real-thread strategy: dependency-counter
+//!   work stealing with per-worker deques and no level barrier.
+//!   [`strategy`] selects between the two ([`Strategy`]) and dispatches
+//!   through [`ExecutorPool`]; the barrier executor remains the oracle
+//!   and the fault-recovery fallback.
 //! * [`sim`] — a deterministic machine model that *computes* the time one
 //!   RHS call takes on a parametrized machine (per-message latency,
 //!   bandwidth, flop rate, core count, time-sharing). This replaces the
@@ -36,18 +41,22 @@
 
 pub mod error;
 pub mod exec;
+pub mod exec_ws;
 pub mod fault;
 pub mod machine;
 pub mod pipeline;
 pub mod rhs;
 pub mod sched_dyn;
 pub mod sim;
+pub mod strategy;
 
 pub use error::RuntimeError;
 pub use exec::WorkerPool;
+pub use exec_ws::WorkStealPool;
 pub use fault::{FaultConfig, FaultKind, FaultPlan, RecoveryStats};
 pub use machine::MachineSpec;
 pub use pipeline::{run_pipeline, PipelineCoupling, PipelineResult, PipelineStage};
 pub use rhs::ParallelRhs;
-pub use sched_dyn::SemiDynamicScheduler;
-pub use sim::{simulate_rhs_time, SimBreakdown};
+pub use sched_dyn::{Reschedulable, SemiDynamicScheduler};
+pub use sim::{simulate_rhs_time, simulate_rhs_time_with, SimBreakdown};
+pub use strategy::{ExecutorPool, Strategy};

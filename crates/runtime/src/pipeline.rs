@@ -98,9 +98,7 @@ fn validate(
             return Err(RuntimeError::InvalidCoupling {
                 reason: format!(
                     "dst_input {} out of range for stage '{}' ({} inputs)",
-                    c.dst_input,
-                    stages[c.dst_stage].name,
-                    stages[c.dst_stage].n_inputs
+                    c.dst_input, stages[c.dst_stage].name, stages[c.dst_stage].n_inputs
                 ),
             });
         }
@@ -108,9 +106,7 @@ fn validate(
             return Err(RuntimeError::InvalidCoupling {
                 reason: format!(
                     "src_state {} out of range for stage '{}' (dim {})",
-                    c.src_state,
-                    stages[c.src_stage].name,
-                    stages[c.src_stage].dim
+                    c.src_state, stages[c.src_stage].name, stages[c.src_stage].dim
                 ),
             });
         }
@@ -142,10 +138,8 @@ pub fn run_pipeline(
         .collect();
     pairs.sort_unstable();
     pairs.dedup();
-    let mut senders: Vec<Vec<(usize, SyncSender<Vec<f64>>)>> =
-        (0..n).map(|_| Vec::new()).collect();
-    let mut receivers: Vec<Vec<(usize, Receiver<Vec<f64>>)>> =
-        (0..n).map(|_| Vec::new()).collect();
+    let mut senders: Vec<Vec<(usize, SyncSender<Vec<f64>>)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut receivers: Vec<Vec<(usize, Receiver<Vec<f64>>)>> = (0..n).map(|_| Vec::new()).collect();
     for &(src, dst) in &pairs {
         // Capacity 1: classic pipeline back-pressure (a stage may run at
         // most one macro step ahead of its consumers).
@@ -157,45 +151,44 @@ pub fn run_pipeline(
     let couplings: Vec<PipelineCoupling> = couplings.to_vec();
     let wall_start = Instant::now();
     let results: Vec<StageOutcome> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for (idx, stage) in stages.drain(..).enumerate() {
-                let my_senders = std::mem::take(&mut senders[idx]);
-                let my_receivers = std::mem::take(&mut receivers[idx]);
-                let couplings = &couplings;
-                handles.push(scope.spawn(move || {
-                    stage_main(
-                        idx,
-                        stage,
-                        my_senders,
-                        my_receivers,
-                        couplings,
-                        t0,
-                        tend,
-                        macro_steps,
-                        tol,
-                    )
-                }));
-            }
-            handles
-                .into_iter()
-                .enumerate()
-                .map(|(idx, h)| match h.join() {
-                    Ok(r) => r,
-                    // A panicking stage drops its channel endpoints, which
-                    // unblocks its peers; here we just type the report.
-                    Err(_) => Err(RuntimeError::StagePanicked {
-                        stage: names[idx].clone(),
-                    }),
-                })
-                .collect()
-        });
+        let mut handles = Vec::with_capacity(n);
+        for (idx, stage) in stages.drain(..).enumerate() {
+            let my_senders = std::mem::take(&mut senders[idx]);
+            let my_receivers = std::mem::take(&mut receivers[idx]);
+            let couplings = &couplings;
+            handles.push(scope.spawn(move || {
+                stage_main(
+                    idx,
+                    stage,
+                    my_senders,
+                    my_receivers,
+                    couplings,
+                    t0,
+                    tend,
+                    macro_steps,
+                    tol,
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(idx, h)| match h.join() {
+                Ok(r) => r,
+                // A panicking stage drops its channel endpoints, which
+                // unblocks its peers; here we just type the report.
+                Err(_) => Err(RuntimeError::StagePanicked {
+                    stage: names[idx].clone(),
+                }),
+            })
+            .collect()
+    });
     let wall = wall_start.elapsed();
 
     // A stage failure makes its peers see channel disconnects; report the
     // root cause (solver error / panic) in preference to the knock-ons.
     if results.iter().any(|r| r.is_err()) {
-        let mut errors: Vec<RuntimeError> =
-            results.into_iter().filter_map(Result::err).collect();
+        let mut errors: Vec<RuntimeError> = results.into_iter().filter_map(Result::err).collect();
         let root = errors
             .iter()
             .position(|e| !matches!(e, RuntimeError::ChannelClosed { .. }))
@@ -236,16 +229,16 @@ fn stage_main(
     let mut stats = SolveStats::default();
     let mut busy = Duration::ZERO;
     // Latest received upstream snapshots by source stage.
-    let mut upstream: std::collections::HashMap<usize, Vec<f64>> =
-        std::collections::HashMap::new();
+    let mut upstream: std::collections::HashMap<usize, Vec<f64>> = std::collections::HashMap::new();
     // Upstream initial states arrive as the first message.
     let dt = (tend - t0) / macro_steps as f64;
 
     // Send own initial state downstream before the first step.
     for (_, tx) in &senders {
-        tx.send(y.clone()).map_err(|_| RuntimeError::ChannelClosed {
-            what: "pipeline downstream stage",
-        })?;
+        tx.send(y.clone())
+            .map_err(|_| RuntimeError::ChannelClosed {
+                what: "pipeline downstream stage",
+            })?;
     }
 
     for step in 0..macro_steps {
@@ -295,9 +288,10 @@ fn stage_main(
         // Send the new state downstream (not needed after the last step).
         if step + 1 < macro_steps {
             for (_, tx) in &senders {
-                tx.send(y.clone()).map_err(|_| RuntimeError::ChannelClosed {
-                    what: "pipeline downstream stage",
-                })?;
+                tx.send(y.clone())
+                    .map_err(|_| RuntimeError::ChannelClosed {
+                        what: "pipeline downstream stage",
+                    })?;
             }
         }
     }
@@ -349,8 +343,7 @@ mod tests {
     #[test]
     fn pipeline_converges_to_the_cascade_fixed_point() {
         let (stages, couplings) = cascade(Duration::ZERO);
-        let r = run_pipeline(stages, &couplings, 0.0, 30.0, 60, Tolerances::default())
-            .unwrap();
+        let r = run_pipeline(stages, &couplings, 0.0, 30.0, 60, Tolerances::default()).unwrap();
         // Every stage relaxes to 1 through the cascade.
         for (k, f) in r.finals.iter().enumerate() {
             assert!((f[0] - 1.0).abs() < 0.05, "stage {k}: {}", f[0]);
@@ -414,8 +407,7 @@ mod tests {
         let (stages, mut couplings) = cascade(Duration::ZERO);
         couplings[0].src_stage = 2;
         couplings[0].dst_stage = 0;
-        let err = run_pipeline(stages, &couplings, 0.0, 1.0, 2, Tolerances::default())
-            .unwrap_err();
+        let err = run_pipeline(stages, &couplings, 0.0, 1.0, 2, Tolerances::default()).unwrap_err();
         match err {
             RuntimeError::InvalidCoupling { reason } => {
                 assert!(reason.contains("downstream"), "{reason}");
@@ -428,8 +420,7 @@ mod tests {
     fn panicking_stage_is_reported_not_deadlocked() {
         let (mut stages, couplings) = cascade(Duration::ZERO);
         stages[1].rhs = Box::new(|_t, _y, _u, _d| panic!("stage blew up"));
-        let err = run_pipeline(stages, &couplings, 0.0, 1.0, 4, Tolerances::default())
-            .unwrap_err();
+        let err = run_pipeline(stages, &couplings, 0.0, 1.0, 4, Tolerances::default()).unwrap_err();
         match err {
             RuntimeError::StagePanicked { stage } => assert_eq!(stage, "s1"),
             other => panic!("expected StagePanicked, got {other:?}"),
@@ -441,8 +432,7 @@ mod tests {
         let (mut stages, couplings) = cascade(Duration::ZERO);
         // NaN derivatives force the adaptive solver to shrink h to death.
         stages[2].rhs = Box::new(|_t, _y, _u, d: &mut [f64]| d[0] = f64::NAN);
-        let err = run_pipeline(stages, &couplings, 0.0, 1.0, 4, Tolerances::default())
-            .unwrap_err();
+        let err = run_pipeline(stages, &couplings, 0.0, 1.0, 4, Tolerances::default()).unwrap_err();
         assert!(
             matches!(err, RuntimeError::Solve(_)),
             "expected Solve, got {err:?}"

@@ -7,15 +7,15 @@
 //! rebalances between calls.
 
 use crate::error::RuntimeError;
-use crate::exec::WorkerPool;
 use crate::sched_dyn::SemiDynamicScheduler;
+use crate::strategy::ExecutorPool;
 use om_solver::{OdeSystem, RhsError};
 use std::time::Instant;
 
-/// A parallel right-hand side: worker pool + semi-dynamic scheduler,
-/// usable as an [`OdeSystem`].
+/// A parallel right-hand side: executor pool (either strategy) +
+/// semi-dynamic scheduler, usable as an [`OdeSystem`].
 pub struct ParallelRhs {
-    pub pool: WorkerPool,
+    pub pool: ExecutorPool,
     pub scheduler: SemiDynamicScheduler,
     /// Total RHS calls made.
     pub calls: usize,
@@ -27,11 +27,11 @@ pub struct ParallelRhs {
 }
 
 impl ParallelRhs {
-    /// Wrap a pool with rescheduling every `resched_every` calls
-    /// (0 = static schedule).
-    pub fn new(pool: WorkerPool, resched_every: usize) -> ParallelRhs {
+    /// Wrap a pool (either executor strategy) with rescheduling every
+    /// `resched_every` calls (0 = static schedule).
+    pub fn new(pool: impl Into<ExecutorPool>, resched_every: usize) -> ParallelRhs {
         ParallelRhs {
-            pool,
+            pool: pool.into(),
             scheduler: SemiDynamicScheduler::new(resched_every),
             calls: 0,
             rhs_time: std::time::Duration::ZERO,
@@ -86,6 +86,7 @@ impl OdeSystem for ParallelRhs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::WorkerPool;
     use om_codegen::CodeGenerator;
     use om_ir::causalize;
     use om_solver::{dopri5, Tolerances};

@@ -14,7 +14,48 @@
 //! so experiment E6 can report the overhead fraction.
 
 use crate::exec::WorkerPool;
+use crate::exec_ws::WorkStealPool;
+use crate::strategy::ExecutorPool;
 use std::time::{Duration, Instant};
+
+/// Anything the semi-dynamic scheduler can rebalance: exposes EWMA
+/// per-task times and accepts a recomputed schedule. Implemented by both
+/// executors and the strategy-dispatching [`ExecutorPool`], so solver
+/// seams stay executor-agnostic.
+pub trait Reschedulable {
+    /// EWMA of measured per-task times, seconds (index = task id).
+    fn measured_times(&self) -> &[f64];
+    /// Recompute the schedule (LPT / list scheduling) from integer
+    /// nanosecond costs.
+    fn rebalance_costs(&mut self, costs: &[u64]);
+}
+
+impl Reschedulable for WorkerPool {
+    fn measured_times(&self) -> &[f64] {
+        &self.measured
+    }
+    fn rebalance_costs(&mut self, costs: &[u64]) {
+        self.rebalance(costs);
+    }
+}
+
+impl Reschedulable for WorkStealPool {
+    fn measured_times(&self) -> &[f64] {
+        &self.measured
+    }
+    fn rebalance_costs(&mut self, costs: &[u64]) {
+        self.rebalance(costs);
+    }
+}
+
+impl Reschedulable for ExecutorPool {
+    fn measured_times(&self) -> &[f64] {
+        self.measured()
+    }
+    fn rebalance_costs(&mut self, costs: &[u64]) {
+        self.rebalance(costs);
+    }
+}
 
 /// Semi-dynamic scheduler state.
 pub struct SemiDynamicScheduler {
@@ -40,7 +81,7 @@ impl SemiDynamicScheduler {
 
     /// Notify the scheduler that one RHS call completed; reschedules the
     /// pool when due. Returns `true` if a reschedule happened.
-    pub fn after_rhs_call(&mut self, pool: &mut WorkerPool) -> bool {
+    pub fn after_rhs_call(&mut self, pool: &mut impl Reschedulable) -> bool {
         if self.resched_every == 0 {
             return false;
         }
@@ -55,11 +96,11 @@ impl SemiDynamicScheduler {
         // pool runs LPT / list scheduling over its *live* workers only, so
         // rescheduling composes with fault recovery.
         let costs: Vec<u64> = pool
-            .measured
+            .measured_times()
             .iter()
             .map(|&s| (s * 1e9).max(1.0) as u64)
             .collect();
-        pool.rebalance(&costs);
+        pool.rebalance_costs(&costs);
         self.sched_time += start.elapsed();
         self.reschedules += 1;
         om_obs::metrics().counter("sched.reschedules").inc();
@@ -160,6 +201,10 @@ mod tests {
         // The paper claims < 1 %; allow a loose 20 % margin here because
         // the toy model's RHS is tiny compared to bearing right-hand
         // sides — the benchmark (E6) measures the realistic case.
-        assert!(s.overhead_fraction(total) < 0.2, "{}", s.overhead_fraction(total));
+        assert!(
+            s.overhead_fraction(total) < 0.2,
+            "{}",
+            s.overhead_fraction(total)
+        );
     }
 }

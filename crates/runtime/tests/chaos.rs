@@ -7,7 +7,9 @@
 //! in the supervisor — reproduces exactly the same floating-point values.
 //! That makes "identical trajectory" an `assert_eq!`, not a tolerance.
 
-use om_runtime::{FaultConfig, FaultKind, FaultPlan, ParallelRhs, RuntimeError, WorkerPool};
+use om_runtime::{
+    ExecutorPool, FaultConfig, FaultKind, FaultPlan, ParallelRhs, RuntimeError, Strategy,
+};
 use om_solver::{dopri5, Tolerances};
 use proptest::prelude::*;
 use std::time::Duration;
@@ -21,17 +23,46 @@ const MODEL: &str = "model Chaos;
     end Chaos;";
 
 fn build_rhs(n_workers: usize, plan: FaultPlan, config: FaultConfig) -> (ParallelRhs, Vec<f64>) {
+    build_rhs_with(n_workers, plan, config, Strategy::Barrier)
+}
+
+fn build_rhs_with(
+    n_workers: usize,
+    plan: FaultPlan,
+    config: FaultConfig,
+    strategy: Strategy,
+) -> (ParallelRhs, Vec<f64>) {
     let ir = om_ir::causalize(&om_lang::compile(MODEL).unwrap()).unwrap();
     let program = om_codegen::CodeGenerator::default().generate(&ir);
     let sched = program.schedule(n_workers);
-    let pool =
-        WorkerPool::with_faults(program.graph, n_workers, sched.assignment, plan, config).unwrap();
+    let pool = ExecutorPool::with_faults(
+        program.graph,
+        n_workers,
+        sched.assignment,
+        plan,
+        config,
+        strategy,
+    )
+    .unwrap();
     (ParallelRhs::new(pool, 0), ir.initial_state())
 }
 
 /// Integrate the model and return the full `(ts, ys)` trajectory.
 fn trajectory(plan: FaultPlan, config: FaultConfig, tend: f64) -> (Vec<f64>, Vec<Vec<f64>>) {
-    let (mut rhs, y0) = build_rhs(3, plan, config);
+    trajectory_with(plan, config, tend, Strategy::Barrier)
+}
+
+/// Same, under an explicit execution strategy (`--executor ws` re-run:
+/// an active fault plan routes back to the barrier recovery ladder, a
+/// clean run executes with work stealing — either way the trajectory
+/// must be the same bits).
+fn trajectory_with(
+    plan: FaultPlan,
+    config: FaultConfig,
+    tend: f64,
+    strategy: Strategy,
+) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let (mut rhs, y0) = build_rhs_with(3, plan, config, strategy);
     let sol = dopri5(&mut rhs, 0.0, &y0, tend, &Tolerances::default()).unwrap();
     assert!(
         rhs.last_error.is_none(),
@@ -128,6 +159,48 @@ fn exhausted_pool_returns_err_not_deadlock() {
     assert_eq!(result, Err(RuntimeError::PoolExhausted { workers: 3 }));
 }
 
+#[test]
+fn ws_clean_trajectory_matches_barrier_bitwise() {
+    let barrier = trajectory_with(
+        FaultPlan::none(),
+        FaultConfig::default(),
+        1.0,
+        Strategy::Barrier,
+    );
+    let ws = trajectory_with(
+        FaultPlan::none(),
+        FaultConfig::default(),
+        1.0,
+        Strategy::WorkStealing,
+    );
+    assert_eq!(barrier.0, ws.0, "time grids differ across strategies");
+    assert_eq!(barrier.1, ws.1, "states differ across strategies");
+}
+
+#[test]
+fn ws_with_faults_recovers_through_barrier_fallback_identically() {
+    // The `--executor ws` re-run of the fault suite: an active plan
+    // falls back to the recovery-capable barrier executor, so the
+    // trajectory still matches the clean work-stealing run bitwise.
+    let clean_ws = trajectory_with(
+        FaultPlan::none(),
+        short_timeout(),
+        1.0,
+        Strategy::WorkStealing,
+    );
+    let plans = [
+        FaultPlan::kill(0, 5),
+        FaultPlan::none().inject(1, 3, FaultKind::DropResult),
+        FaultPlan::none().inject(2, 2, FaultKind::Straggle(Duration::from_millis(200))),
+        FaultPlan::none().inject(0, 4, FaultKind::CorruptNaN),
+    ];
+    for plan in plans {
+        let faulty = trajectory_with(plan, short_timeout(), 1.0, Strategy::WorkStealing);
+        assert_eq!(clean_ws.0, faulty.0);
+        assert_eq!(clean_ws.1, faulty.1);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -143,6 +216,23 @@ proptest! {
         let clean = trajectory(FaultPlan::none(), config.clone(), 0.5);
         let plan = FaultPlan::from_seed(seed, 3, 4);
         let faulty = trajectory(plan, config, 0.5);
+        prop_assert_eq!(&clean.0, &faulty.0);
+        prop_assert_eq!(&clean.1, &faulty.1);
+    }
+
+    /// The same property holds when the user asked for `--executor ws`:
+    /// whatever mix of strategy (clean → work stealing) and fallback
+    /// (faulty → barrier recovery) actually runs, the bits match.
+    #[test]
+    fn any_seeded_fault_plan_preserves_trajectory_under_ws(seed in 0u64..10_000) {
+        let config = FaultConfig {
+            task_timeout: Duration::from_millis(80),
+            ..FaultConfig::default()
+        };
+        let clean = trajectory_with(
+            FaultPlan::none(), config.clone(), 0.5, Strategy::WorkStealing);
+        let plan = FaultPlan::from_seed(seed, 3, 4);
+        let faulty = trajectory_with(plan, config, 0.5, Strategy::WorkStealing);
         prop_assert_eq!(&clean.0, &faulty.0);
         prop_assert_eq!(&clean.1, &faulty.1);
     }

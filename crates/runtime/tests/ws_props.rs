@@ -1,0 +1,219 @@
+//! Work-stealing executor correctness properties.
+//!
+//! The dependency-driven executor has no barrier, so its correctness
+//! rests on the determinism argument of `exec_ws`: every task is a pure
+//! function of `(t, y, shared)` and every output slot is written exactly
+//! once, so the result must be *bitwise identical* to the sequential
+//! in-order evaluation (`TaskGraph::eval_serial`) and to the barrier
+//! executor — for every built-in model, every worker count, and any
+//! state vector. These tests check exactly that, plus agreement with the
+//! tree-walking `IrEvaluator` oracle and full-trajectory equality
+//! through the solver.
+
+use om_codegen::{CodeGenerator, GenOptions};
+use om_models::{bearing2d, bearing3d, heat1d, hydro, oscillator, servo};
+use om_runtime::{ExecutorPool, ParallelRhs, Strategy, WorkStealPool, WorkerPool};
+use om_solver::{dopri5, Tolerances};
+use proptest::prelude::*;
+
+/// Every built-in model as `(name, source)`.
+fn builtin_sources() -> Vec<(&'static str, String)> {
+    vec![
+        ("oscillator", oscillator::source()),
+        ("servo", servo::source()),
+        ("hydro", hydro::source()),
+        ("heat1d", heat1d::source(&heat1d::HeatConfig::default())),
+        (
+            "bearing2d",
+            bearing2d::source(&bearing2d::BearingConfig::default()),
+        ),
+        (
+            "bearing3d",
+            bearing3d::source(&bearing3d::Bearing3dConfig::default()),
+        ),
+    ]
+}
+
+fn graph_for(src: &str, inline: bool) -> (om_ir::OdeIr, om_codegen::TaskGraph) {
+    let ir = om_models::compile_to_ir(src).unwrap();
+    let program = CodeGenerator::new(GenOptions {
+        inline_algebraics: inline,
+        ..GenOptions::default()
+    })
+    .generate(&ir);
+    (ir, program.graph)
+}
+
+/// Deterministic pseudo-random state perturbation (no external RNG).
+fn perturb(y0: &[f64], seed: u64) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    y0.iter()
+        .map(|&v| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let u = (s >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+            v + (u - 0.5) * 0.2
+        })
+        .collect()
+}
+
+/// One RHS evaluation through the work-stealing pool must be bitwise
+/// identical to the sequential in-order oracle and to the barrier pool,
+/// for all models × worker counts × inline modes.
+#[test]
+fn ws_rhs_is_bitwise_identical_to_serial_and_barrier() {
+    for (name, src) in builtin_sources() {
+        for inline in [true, false] {
+            let (ir, graph) = graph_for(&src, inline);
+            let n = graph.tasks.len();
+            let y0 = ir.initial_state();
+            for workers in [1usize, 2, 3, 4] {
+                let assignment: Vec<usize> = (0..n).map(|i| i % workers).collect();
+                let mut ws = WorkStealPool::new(graph.clone(), workers, assignment.clone());
+                let mut barrier = WorkerPool::new(graph.clone(), workers, assignment);
+                for seed in 0..3u64 {
+                    let y = perturb(&y0, seed);
+                    let t = 0.1 * seed as f64;
+                    let mut d_serial = vec![0.0; graph.dim];
+                    let mut d_ws = vec![0.0; graph.dim];
+                    let mut d_barrier = vec![0.0; graph.dim];
+                    graph.eval_serial(t, &y, &mut d_serial);
+                    ws.rhs(t, &y, &mut d_ws);
+                    barrier.rhs(t, &y, &mut d_barrier);
+                    assert_eq!(
+                        d_ws, d_serial,
+                        "{name} inline={inline} workers={workers} seed={seed}: ws vs serial"
+                    );
+                    assert_eq!(
+                        d_ws, d_barrier,
+                        "{name} inline={inline} workers={workers} seed={seed}: ws vs barrier"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The VM-based executors must agree with the tree-walking IR evaluator
+/// (the semantic oracle) on every built-in model.
+#[test]
+fn ws_rhs_matches_ir_evaluator_oracle() {
+    for (name, src) in builtin_sources() {
+        let (ir, graph) = graph_for(&src, true);
+        let reference = om_ir::IrEvaluator::new(&ir).unwrap();
+        let n = graph.tasks.len();
+        let y0 = ir.initial_state();
+        let mut ws = WorkStealPool::new(graph.clone(), 4, (0..n).map(|i| i % 4).collect());
+        for seed in 0..3u64 {
+            let y = perturb(&y0, seed);
+            let t = 0.05 * seed as f64;
+            let mut d_ref = vec![0.0; graph.dim];
+            let mut d_ws = vec![0.0; graph.dim];
+            reference.rhs(t, &y, &mut d_ref);
+            ws.rhs(t, &y, &mut d_ws);
+            for i in 0..graph.dim {
+                assert!(
+                    (d_ws[i] - d_ref[i]).abs() <= 1e-12 * (1.0 + d_ref[i].abs()),
+                    "{name} seed={seed} component {i}: ws {} vs oracle {}",
+                    d_ws[i],
+                    d_ref[i]
+                );
+            }
+        }
+    }
+}
+
+/// Full solver trajectories through `ParallelRhs` must be bitwise
+/// identical between the two strategies (both at several worker counts).
+#[test]
+fn ws_trajectories_are_bitwise_identical_to_barrier() {
+    for (name, src) in [
+        ("oscillator", oscillator::source()),
+        ("servo", servo::source()),
+        ("hydro", hydro::source()),
+    ] {
+        let ir = om_models::compile_to_ir(&src).unwrap();
+        let program = CodeGenerator::default().generate(&ir);
+        let y0 = ir.initial_state();
+        let mut reference: Option<(Vec<f64>, Vec<Vec<f64>>)> = None;
+        for strategy in Strategy::ALL {
+            for workers in [2usize, 4] {
+                let sched = program.schedule(workers);
+                let pool =
+                    ExecutorPool::build(program.graph.clone(), workers, sched.assignment, strategy)
+                        .unwrap();
+                let mut rhs = ParallelRhs::new(pool, 8);
+                let sol = dopri5(&mut rhs, 0.0, &y0, 0.5, &Tolerances::default()).unwrap();
+                match &reference {
+                    None => reference = Some((sol.ts, sol.ys)),
+                    Some((ts, ys)) => {
+                        assert_eq!(ts, &sol.ts, "{name} {strategy} w={workers}: grids");
+                        assert_eq!(ys, &sol.ys, "{name} {strategy} w={workers}: states");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The semi-dynamic rescheduler must not perturb work-stealing results
+/// (seeding changes; values must not).
+#[test]
+fn ws_rescheduling_preserves_results() {
+    let src = hydro::source();
+    let (ir, graph) = graph_for(&src, false);
+    let n = graph.tasks.len();
+    let y0 = ir.initial_state();
+    let mut ws = WorkStealPool::new(graph.clone(), 3, (0..n).map(|i| i % 3).collect());
+    let mut sched = om_runtime::SemiDynamicScheduler::new(1);
+    let mut reference = vec![0.0; graph.dim];
+    graph.eval_serial(0.0, &y0, &mut reference);
+    for _ in 0..10 {
+        let mut dydt = vec![0.0; graph.dim];
+        ws.rhs(0.0, &y0, &mut dydt);
+        assert_eq!(dydt, reference);
+        sched.after_rhs_call(&mut ws);
+    }
+    assert_eq!(sched.reschedules, 10);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random states, times, worker counts: work stealing equals the
+    /// sequential oracle bitwise on the multi-level hydro graph.
+    #[test]
+    fn prop_ws_matches_serial_on_hydro(
+        seed in 0u64..1_000_000,
+        workers in 1usize..5,
+        t in 0.0f64..10.0,
+    ) {
+        let (ir, graph) = graph_for(&hydro::source(), false);
+        let n = graph.tasks.len();
+        let y = perturb(&ir.initial_state(), seed);
+        let mut ws = WorkStealPool::new(graph.clone(), workers, (0..n).map(|i| i % workers).collect());
+        let mut d_serial = vec![0.0; graph.dim];
+        let mut d_ws = vec![0.0; graph.dim];
+        graph.eval_serial(t, &y, &mut d_serial);
+        ws.rhs(t, &y, &mut d_ws);
+        prop_assert_eq!(d_ws, d_serial);
+    }
+
+    /// Repeated calls through one pool stay self-consistent (no state
+    /// leaks between calls; counters and deques reset correctly).
+    #[test]
+    fn prop_ws_repeated_calls_are_stable(seed in 0u64..1_000_000) {
+        let (ir, graph) = graph_for(&bearing2d::source(&bearing2d::BearingConfig::default()), true);
+        let n = graph.tasks.len();
+        let y = perturb(&ir.initial_state(), seed);
+        let mut ws = WorkStealPool::new(graph.clone(), 4, (0..n).map(|i| i % 4).collect());
+        let mut first = vec![0.0; graph.dim];
+        ws.rhs(0.3, &y, &mut first);
+        for _ in 0..5 {
+            let mut again = vec![0.0; graph.dim];
+            ws.rhs(0.3, &y, &mut again);
+            prop_assert_eq!(&again, &first);
+        }
+    }
+}

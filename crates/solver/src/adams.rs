@@ -16,7 +16,7 @@
 //! (multi-step methods)").
 
 use crate::ode::{
-    check_finite, eval_rhs, obs_step, OdeSystem, SolveError, Solution, SolveStats, Tolerances,
+    check_finite, eval_rhs, obs_step, OdeSystem, Solution, SolveError, SolveStats, Tolerances,
 };
 use crate::rk::rk4;
 
@@ -115,8 +115,7 @@ pub fn abm4(
         // Predict (AB4).
         let (f0, f1, f2, f3) = (&history[0], &history[1], &history[2], &history[3]);
         for i in 0..n {
-            yp[i] = y[i]
-                + h / 24.0 * (55.0 * f0[i] - 59.0 * f1[i] + 37.0 * f2[i] - 9.0 * f3[i]);
+            yp[i] = y[i] + h / 24.0 * (55.0 * f0[i] - 59.0 * f1[i] + 37.0 * f2[i] - 9.0 * f3[i]);
         }
         // Evaluate.
         eval_rhs(sys, t + h, &yp, &mut fp, &mut sol.stats)?;
@@ -200,9 +199,7 @@ mod tests {
     #[test]
     fn time_dependent_rhs() {
         // y' = 3t² → y = t³.
-        let mut sys = FnSystem::new(1, |t: f64, _y: &[f64], d: &mut [f64]| {
-            d[0] = 3.0 * t * t
-        });
+        let mut sys = FnSystem::new(1, |t: f64, _y: &[f64], d: &mut [f64]| d[0] = 3.0 * t * t);
         let sol = abm4(&mut sys, 0.0, &[0.0], 2.0, &Tolerances::default()).unwrap();
         assert!((sol.y_end()[0] - 8.0).abs() < 1e-6);
     }

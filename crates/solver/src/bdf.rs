@@ -18,7 +18,7 @@
 
 use crate::linalg::{LuFactors, Matrix};
 use crate::ode::{
-    check_finite, eval_rhs, obs_step, OdeSystem, SolveError, Solution, SolveStats, Tolerances,
+    check_finite, eval_rhs, obs_step, OdeSystem, Solution, SolveError, SolveStats, Tolerances,
 };
 
 /// `(a-coefficients, b)` for BDF-k, k = 1..=5.
@@ -143,9 +143,7 @@ pub fn bdf(
                 eval_rhs(sys, t_new, &y_new, &mut f_buf, &mut sol.stats)?;
                 sol.stats.newton_iters += 1;
                 // Residual G(y).
-                let mut g: Vec<f64> = (0..n)
-                    .map(|i| y_new[i] - hb * f_buf[i] - c[i])
-                    .collect();
+                let mut g: Vec<f64> = (0..n).map(|i| y_new[i] - hb * f_buf[i] - c[i]).collect();
                 cache.lu.solve_in_place(&mut g);
                 for i in 0..n {
                     y_new[i] -= g[i];
@@ -207,8 +205,7 @@ pub fn bdf(
                 // new step size, so the restart keeps order ⌈k/2⌉ instead
                 // of falling back to backward Euler.
                 h *= 2.0;
-                let subsampled: Vec<Vec<f64>> =
-                    history.iter().step_by(2).cloned().collect();
+                let subsampled: Vec<Vec<f64>> = history.iter().step_by(2).cloned().collect();
                 history = subsampled;
                 jac = None;
             }
@@ -236,13 +233,7 @@ fn extrapolate(history: &[Vec<f64>], n: usize) -> Vec<f64> {
         binom = binom * (m - j - 1) as f64 / (j + 2) as f64; // C(m, j+2)
     }
     (0..n)
-        .map(|i| {
-            history
-                .iter()
-                .zip(&coeff)
-                .map(|(y, c)| c * y[i])
-                .sum()
-        })
+        .map(|i| history.iter().zip(&coeff).map(|(y, c)| c * y[i]).sum())
         .collect()
 }
 
@@ -321,7 +312,11 @@ mod tests {
             d[0] = -1000.0 * (y[0] - t.cos()) - t.sin();
         });
         let sol = bdf(&mut sys, 0.0, &[1.0], 1.0, &BdfOptions::default()).unwrap();
-        assert!((sol.y_end()[0] - 1.0f64.cos()).abs() < 1e-3, "{}", sol.y_end()[0]);
+        assert!(
+            (sol.y_end()[0] - 1.0f64.cos()).abs() < 1e-3,
+            "{}",
+            sol.y_end()[0]
+        );
         assert!(
             sol.stats.steps + sol.stats.rejected < 600,
             "too many steps: {:?}",

@@ -32,6 +32,6 @@ pub use adams::abm4;
 pub use bdf::{bdf, BdfOptions};
 pub use linalg::{LuFactors, Matrix};
 pub use lsoda::{lsoda, LsodaOptions, Phase};
-pub use ode::{FnSystem, OdeSystem, RhsError, SolveError, SolveStats, Solution, Tolerances};
+pub use ode::{FnSystem, OdeSystem, RhsError, Solution, SolveError, SolveStats, Tolerances};
 pub use partitioned::{CoSimulation, Coupling, SubsystemSpec};
 pub use rk::{dopri5, rk4};

@@ -201,7 +201,9 @@ mod tests {
         let mut a = Matrix::zeros(n, n);
         let mut seed = 42u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..n {
@@ -214,7 +216,12 @@ mod tests {
         let x = a.lu().unwrap().solve(&b);
         let r = a.mul_vec(&x);
         for i in 0..n {
-            assert!((r[i] - b[i]).abs() < 1e-12, "residual {i}: {} vs {}", r[i], b[i]);
+            assert!(
+                (r[i] - b[i]).abs() < 1e-12,
+                "residual {i}: {} vs {}",
+                r[i],
+                b[i]
+            );
         }
     }
 

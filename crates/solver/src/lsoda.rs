@@ -19,7 +19,7 @@
 
 use crate::adams::abm4;
 use crate::bdf::{bdf, BdfOptions};
-use crate::ode::{OdeSystem, SolveError, Solution, SolveStats, Tolerances};
+use crate::ode::{OdeSystem, Solution, SolveError, SolveStats, Tolerances};
 
 /// Which method family is active.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,8 +131,7 @@ pub fn lsoda(
         };
         let chunk = match result {
             Ok(chunk) => chunk,
-            Err(SolveError::StepSizeUnderflow { .. })
-            | Err(SolveError::TooMuchWork { .. })
+            Err(SolveError::StepSizeUnderflow { .. }) | Err(SolveError::TooMuchWork { .. })
                 if phase == Phase::NonStiff =>
             {
                 // The non-stiff method died: classic stiffness signature.

@@ -202,12 +202,17 @@ pub struct Solution {
 impl Solution {
     /// Final time.
     pub fn t_end(&self) -> f64 {
-        *self.ts.last().expect("solution has at least the start point")
+        *self
+            .ts
+            .last()
+            .expect("solution has at least the start point")
     }
 
     /// Final state.
     pub fn y_end(&self) -> &[f64] {
-        self.ys.last().expect("solution has at least the start point")
+        self.ys
+            .last()
+            .expect("solution has at least the start point")
     }
 
     /// Linear interpolation of the state at `t` (for comparisons between
@@ -261,8 +266,10 @@ pub(crate) fn eval_rhs(
     if om_obs::is_enabled() {
         om_obs::metrics().counter("solver.rhs_calls").inc();
     }
-    sys.try_rhs(t, y, dydt)
-        .map_err(|e| SolveError::RhsFailure { t, reason: e.reason })
+    sys.try_rhs(t, y, dydt).map_err(|e| SolveError::RhsFailure {
+        t,
+        reason: e.reason,
+    })
 }
 
 /// Step-size histogram bounds shared by every adaptive stepper: 1e-12 s

@@ -16,7 +16,7 @@
 //! pattern between subsystems.
 
 use crate::bdf::{bdf, BdfOptions};
-use crate::ode::{OdeSystem, SolveError, Solution, SolveStats, Tolerances};
+use crate::ode::{OdeSystem, Solution, SolveError, SolveStats, Tolerances};
 use crate::rk::dopri5;
 
 /// RHS of one subsystem: `(t, y, inputs, dydt)`.
@@ -299,10 +299,7 @@ mod tests {
         };
         let coarse = err_of(4);
         let fine = err_of(64);
-        assert!(
-            fine < coarse || fine < 1e-9,
-            "coarse {coarse} fine {fine}"
-        );
+        assert!(fine < coarse || fine < 1e-9, "coarse {coarse} fine {fine}");
         assert!(fine < 1e-2, "fine error {fine}");
     }
 
@@ -315,9 +312,7 @@ mod tests {
                     name: "fast".into(),
                     dim: 1,
                     n_inputs: 0,
-                    rhs: Box::new(|t: f64, _y, _u, d: &mut [f64]| {
-                        d[0] = (50.0 * t).cos() * 50.0
-                    }),
+                    rhs: Box::new(|t: f64, _y, _u, d: &mut [f64]| d[0] = (50.0 * t).cos() * 50.0),
                     y0: vec![0.0],
                 },
                 SubsystemSpec {
@@ -373,10 +368,8 @@ mod tests {
         assert!((r.finals[0][0] - exact).abs() < 1e-2);
         // …but the partitioned run pays ~2 RHS calls per Jacobian per
         // subsystem, vs 4 per Jacobian for the glued system.
-        let rhs_per_jac_part = part_stats.rhs_calls as f64
-            / part_stats.jac_evals.max(1) as f64;
-        let rhs_per_jac_mono =
-            mono.stats.rhs_calls as f64 / mono.stats.jac_evals.max(1) as f64;
+        let rhs_per_jac_part = part_stats.rhs_calls as f64 / part_stats.jac_evals.max(1) as f64;
+        let rhs_per_jac_mono = mono.stats.rhs_calls as f64 / mono.stats.jac_evals.max(1) as f64;
         assert!(
             rhs_per_jac_part < rhs_per_jac_mono,
             "part {rhs_per_jac_part} mono {rhs_per_jac_mono}"

@@ -6,7 +6,7 @@
 //! throughput measured in Figure 12 directly bounds simulation speed.
 
 use crate::ode::{
-    check_finite, eval_rhs, obs_step, OdeSystem, SolveError, Solution, SolveStats, Tolerances,
+    check_finite, eval_rhs, obs_step, OdeSystem, Solution, SolveError, SolveStats, Tolerances,
 };
 
 /// Integrate with the classic fourth-order Runge–Kutta method at fixed
@@ -359,12 +359,7 @@ mod tests {
             fn rhs(&mut self, _t: f64, _y: &[f64], dydt: &mut [f64]) {
                 dydt[0] = f64::NAN;
             }
-            fn try_rhs(
-                &mut self,
-                _t: f64,
-                y: &[f64],
-                dydt: &mut [f64],
-            ) -> Result<(), RhsError> {
+            fn try_rhs(&mut self, _t: f64, y: &[f64], dydt: &mut [f64]) -> Result<(), RhsError> {
                 self.calls += 1;
                 if self.calls > 10 {
                     return Err(RhsError::new("injected failure"));

@@ -35,7 +35,10 @@ fn main() {
     // partition (one giant SCC plus the revolutions counter).
     let dep = build_dependency_graph(&sys);
     let part = partition_by_scc(&dep);
-    println!("SCC sizes: {:?}  (paper: all equations but one in one SCC)", part.scc_sizes());
+    println!(
+        "SCC sizes: {:?}  (paper: all equations but one in one SCC)",
+        part.scc_sizes()
+    );
 
     // Equation-level parallel code.
     let generator = CodeGenerator::new(GenOptions {

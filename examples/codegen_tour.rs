@@ -20,8 +20,7 @@ fn main() {
     });
 
     println!("== Normal form (paper Figure 11, top panel) ==");
-    let time_vars: std::collections::BTreeSet<_> =
-        sys.states.iter().map(|s| s.sym).collect();
+    let time_vars: std::collections::BTreeSet<_> = sys.states.iter().map(|s| s.sym).collect();
     print!("{{ {{ ");
     for (k, d) in sys.derivs.iter().enumerate() {
         if k > 0 {

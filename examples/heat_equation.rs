@@ -23,7 +23,10 @@ fn main() {
     };
     println!("== 1D heat equation, {cells} cells (method of lines) ==");
     let sys = heat1d::ir(&cfg);
-    println!("ODE system: {} equations, all derivable in parallel", sys.dim());
+    println!(
+        "ODE system: {} equations, all derivable in parallel",
+        sys.dim()
+    );
 
     let generator = CodeGenerator::new(GenOptions {
         merge_threshold: 24,
@@ -45,8 +48,8 @@ fn main() {
         atol: 1e-11,
         ..Tolerances::default()
     };
-    let sol = dopri5(&mut rhs, 0.0, &sys.initial_state(), t_end, &tol)
-        .expect("integration succeeds");
+    let sol =
+        dopri5(&mut rhs, 0.0, &sys.initial_state(), t_end, &tol).expect("integration succeeds");
     println!(
         "integrated to t = {t_end} in {} steps ({} RHS calls)",
         sol.stats.steps, sol.stats.rhs_calls
@@ -56,7 +59,9 @@ fn main() {
     // the known discrete rate, so the PDE solve has an exact answer.
     let lambda = cfg.discrete_eigenvalue(1);
     let decay = (-lambda * t_end).exp();
-    let mid = sys.find_state(&format!("u[{}]", cells.div_ceil(2))).expect("state");
+    let mid = sys
+        .find_state(&format!("u[{}]", cells.div_ceil(2)))
+        .expect("state");
     println!(
         "peak temperature: computed {:.8}, analytic {:.8} (λ₁ = {lambda:.3})",
         sol.y_end()[mid],
@@ -72,7 +77,11 @@ fn main() {
         for s in 0..samples {
             let cell = 1 + s * (cells - 1) / (samples - 1);
             let idx = sys.find_state(&format!("u[{cell}]")).expect("state");
-            line.push(if sol.y_end()[idx] >= threshold * decay { '#' } else { ' ' });
+            line.push(if sol.y_end()[idx] >= threshold * decay {
+                '#'
+            } else {
+                ' '
+            });
         }
         println!("  |{line}|");
     }

@@ -57,8 +57,9 @@ fn main() {
     let servo_states: Vec<usize> = (1..=hydro::N_ANGLE_SECTIONS)
         .map(|k| sys.find_state(&format!("servo.a[{k}]")).expect("state"))
         .collect();
-    let other_states: Vec<usize> =
-        (0..sys.dim()).filter(|i| !servo_states.contains(i)).collect();
+    let other_states: Vec<usize> = (0..sys.dim())
+        .filter(|i| !servo_states.contains(i))
+        .collect();
     let y0 = sys.initial_state();
 
     // Subsystem 0: the actuator chain (self-contained).
@@ -150,9 +151,10 @@ fn main() {
     );
 
     // Sequential full-system solve for reference.
-    let mut mono = objectmath::solver::FnSystem::new(sys.dim(), move |t, y: &[f64], d: &mut [f64]| {
-        full.rhs(t, y, d);
-    });
+    let mut mono =
+        objectmath::solver::FnSystem::new(sys.dim(), move |t, y: &[f64], d: &mut [f64]| {
+            full.rhs(t, y, d);
+        });
     let sol = objectmath::solver::dopri5(&mut mono, 0.0, &y0, 200.0, &Tolerances::default())
         .expect("monolithic solve");
     let level_idx = sys.find_state("level").expect("state");

@@ -35,7 +35,11 @@ fn main() {
 
     // 2. Frontend: parse → scope-check → flatten → causalize.
     let flat = objectmath::lang::compile(source).expect("model compiles");
-    println!("flattened: {} variables, {} equations", flat.variables.len(), flat.equations.len());
+    println!(
+        "flattened: {} variables, {} equations",
+        flat.variables.len(),
+        flat.equations.len()
+    );
     let ir = causalize(&flat).expect("model causalizes");
     println!(
         "internal form: {} states, {} algebraic assignments",
@@ -62,15 +66,25 @@ fn main() {
     // 5. Run: the ODE solver (supervisor) drives the parallel RHS.
     let pool = WorkerPool::new(program.graph, workers, schedule.assignment);
     let mut rhs = ParallelRhs::new(pool, 16);
-    let sol = dopri5(&mut rhs, 0.0, &ir.initial_state(), 10.0, &Tolerances::default())
-        .expect("integration succeeds");
+    let sol = dopri5(
+        &mut rhs,
+        0.0,
+        &ir.initial_state(),
+        10.0,
+        &Tolerances::default(),
+    )
+    .expect("integration succeeds");
     println!(
         "integrated to t = {} in {} steps ({} RHS calls)",
         sol.t_end(),
         sol.stats.steps,
         sol.stats.rhs_calls
     );
-    println!("final state: x = {:+.6}, v = {:+.6}", sol.y_end()[0], sol.y_end()[1]);
+    println!(
+        "final state: x = {:+.6}, v = {:+.6}",
+        sol.y_end()[0],
+        sol.y_end()[1]
+    );
 
     // Damped oscillation: analytic check for the curious.
     let (m, k, c) = (2.0, 8.0, 0.4);

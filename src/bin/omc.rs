@@ -16,7 +16,9 @@
 use objectmath::analysis::{build_dependency_graph, partition_by_scc, to_dot};
 use objectmath::codegen::{emit_cpp, emit_fortran, CodeGenerator};
 use objectmath::ir::{causalize, OdeIr};
-use objectmath::runtime::{FaultConfig, FaultPlan, ParallelRhs, RuntimeError, WorkerPool};
+use objectmath::runtime::{
+    ExecutorPool, FaultConfig, FaultPlan, ParallelRhs, RuntimeError, Strategy,
+};
 use objectmath::solver::{
     abm4, bdf, dopri5, lsoda, rk4, BdfOptions, LsodaOptions, OdeSystem, SolveError, Tolerances,
 };
@@ -98,6 +100,8 @@ fn usage() -> String {
          --tend T                  end time (default 1.0)\n\
          --solver NAME             dopri5|rk4|abm|bdf|lsoda (default dopri5)\n\
          --workers N               parallel RHS workers (default 1 = serial)\n\
+         --executor barrier|ws     parallel execution strategy (default barrier;\n\
+                                   ws = dependency-driven work stealing)\n\
          --set state=value         override a start value (repeatable)\n\
          --rtol R --atol A         tolerances (default 1e-6 / 1e-9)\n\
          --h H                     fixed step for rk4 (default (tend-t0)/1000)\n\
@@ -186,6 +190,7 @@ struct Flags {
     deny: Option<String>,
     lang: String,
     solver: String,
+    executor: Strategy,
     workers: usize,
     tend: f64,
     rtol: f64,
@@ -223,6 +228,11 @@ fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
             "--trace" => f.trace = Some(value("--trace")?),
             "--lang" => f.lang = value("--lang")?,
             "--solver" => f.solver = value("--solver")?,
+            "--executor" => {
+                f.executor = value("--executor")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--executor: {e}")))?
+            }
             "--workers" => {
                 f.workers = value("--workers")?
                     .parse()
@@ -407,7 +417,10 @@ fn tasks(ir: &OdeIr, opts: &Flags) -> Result<(), CliError> {
         sched.makespan,
         sched.imbalance()
     );
-    println!("{:<5} {:<28} {:>10} {:>7}", "id", "label", "flops", "worker");
+    println!(
+        "{:<5} {:<28} {:>10} {:>7}",
+        "id", "label", "flops", "worker"
+    );
     for task in &program.graph.tasks {
         println!(
             "{:<5} {:<28} {:>10} {:>7}",
@@ -480,21 +493,24 @@ fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), CliError> {
     let sol = if opts.workers <= 1 {
         let evaluator =
             objectmath::ir::IrEvaluator::new(ir).map_err(|e| CliError::Compile(e.to_string()))?;
-        let mut sys = objectmath::solver::FnSystem::new(ir.dim(), move |t, y: &[f64], d: &mut [f64]| {
-            evaluator.rhs(t, y, d);
-        });
+        let mut sys =
+            objectmath::solver::FnSystem::new(ir.dim(), move |t, y: &[f64], d: &mut [f64]| {
+                evaluator.rhs(t, y, d);
+            });
         solve(&mut sys)?
     } else {
         let program = CodeGenerator::default().generate(ir);
         let sched = program.schedule(opts.workers);
-        let pool = WorkerPool::with_faults(
+        let pool = ExecutorPool::with_faults(
             program.graph,
             opts.workers,
             sched.assignment,
             FaultPlan::none(),
             FaultConfig::default(),
+            opts.executor,
         )
         .map_err(CliError::Runtime)?;
+        let strategy = pool.strategy();
         let mut rhs = ParallelRhs::new(pool, 16);
         let sol = match solve(&mut rhs) {
             Ok(sol) => sol,
@@ -508,7 +524,7 @@ fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), CliError> {
             }
         };
         eprintln!(
-            "[parallel RHS: {} calls, {:.0} calls/s, scheduler overhead {:.3}%]",
+            "[parallel RHS ({strategy}): {} calls, {:.0} calls/s, scheduler overhead {:.3}%]",
             rhs.calls,
             rhs.rhs_calls_per_sec(),
             100.0 * rhs.scheduler.overhead_fraction(rhs.rhs_time)
@@ -542,11 +558,24 @@ mod tests {
     }
 
     #[test]
+    fn parse_flags_executor() {
+        let f = parse_flags(&args(&["--executor", "ws"])).expect("ws executor");
+        assert_eq!(f.executor, Strategy::WorkStealing);
+        let f = parse_flags(&args(&["--executor", "barrier"])).expect("barrier executor");
+        assert_eq!(f.executor, Strategy::Barrier);
+        assert!(matches!(
+            parse_flags(&args(&["--executor", "hybrid"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn parse_flags_defaults() {
         let f = parse_flags(&[]).expect("empty flags");
         assert_eq!(f.lang, "f90");
         assert_eq!(f.solver, "dopri5");
         assert_eq!(f.workers, 0);
+        assert_eq!(f.executor, Strategy::Barrier);
         assert!(f.trace.is_none());
         assert!(!f.metrics);
     }
@@ -561,15 +590,19 @@ mod tests {
     #[test]
     fn parse_flags_simulate_options() {
         let f = parse_flags(&args(&[
-            "--workers", "4", "--tend", "2.5", "--set", "x=1.5", "--set", "y=-2",
+            "--workers",
+            "4",
+            "--tend",
+            "2.5",
+            "--set",
+            "x=1.5",
+            "--set",
+            "y=-2",
         ]))
         .expect("parse");
         assert_eq!(f.workers, 4);
         assert_eq!(f.tend, 2.5);
-        assert_eq!(
-            f.sets,
-            vec![("x".to_owned(), 1.5), ("y".to_owned(), -2.0)]
-        );
+        assert_eq!(f.sets, vec![("x".to_owned(), 1.5), ("y".to_owned(), -2.0)]);
     }
 
     #[test]
@@ -577,14 +610,29 @@ mod tests {
         let f = parse_flags(&args(&["--json", "--deny", "warnings"])).expect("parse");
         assert!(f.json);
         assert_eq!(f.deny.as_deref(), Some("warnings"));
-        assert!(matches!(parse_flags(&args(&["--deny"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_flags(&args(&["--deny"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
     fn parse_flags_rejects_bad_input() {
-        assert!(matches!(parse_flags(&args(&["--trace"])), Err(CliError::Usage(_))));
-        assert!(matches!(parse_flags(&args(&["--workers", "no"])), Err(CliError::Usage(_))));
-        assert!(matches!(parse_flags(&args(&["--set", "novalue"])), Err(CliError::Usage(_))));
-        assert!(matches!(parse_flags(&args(&["--bogus"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_flags(&args(&["--trace"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_flags(&args(&["--workers", "no"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_flags(&args(&["--set", "novalue"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_flags(&args(&["--bogus"])),
+            Err(CliError::Usage(_))
+        ));
     }
 }

@@ -76,7 +76,10 @@ fn simulate_solves_the_oscillator() {
         .expect("run omc");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    let x_line = text.lines().find(|l| l.trim_start().starts_with("x ")).expect("x line");
+    let x_line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("x "))
+        .expect("x line");
     let value: f64 = x_line.split('=').nth(1).unwrap().trim().parse().unwrap();
     assert!((value + 1.0).abs() < 1e-5, "{value}");
 }
@@ -99,10 +102,17 @@ fn simulate_with_parallel_workers_and_overrides() {
         ])
         .output()
         .expect("run omc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     // x(t) = 2 sin t with x(0)=0, y(0)=2.
-    let x_line = text.lines().find(|l| l.trim_start().starts_with("x ")).expect("x line");
+    let x_line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("x "))
+        .expect("x line");
     let value: f64 = x_line.split('=').nth(1).unwrap().trim().parse().unwrap();
     assert!((value - 2.0 * 1.0f64.sin()).abs() < 1e-4, "{value}");
 }
@@ -124,7 +134,11 @@ fn tasks_prints_schedule() {
 fn lint_clean_model_exits_zero() {
     let path = write_model("lint_clean", OSC);
     let out = omc().arg(&path).arg("lint").output().expect("run omc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
 }
@@ -157,7 +171,11 @@ fn lint_deny_warnings_exits_6() {
     let path = write_model("lint_warn", WARNY);
     // Without --deny, warnings do not fail the run…
     let out = omc().arg(&path).arg("lint").output().expect("run omc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     // …with it, they do.
     let out = omc()
         .arg(&path)
@@ -204,7 +222,10 @@ fn lint_json_is_machine_readable() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.starts_with("{\"file\":"), "{text}");
     assert!(text.contains("\"code\":\"OM020\""), "{text}");
-    assert!(text.contains("\"summary\":{\"error\":0,\"warning\":2,\"info\":0}"), "{text}");
+    assert!(
+        text.contains("\"summary\":{\"error\":0,\"warning\":2,\"info\":0}"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -243,7 +264,8 @@ fn unknown_state_override_fails_cleanly() {
 #[test]
 fn simulate_trace_writes_valid_chrome_json() {
     let path = write_model("trace", OSC);
-    let trace_path = std::env::temp_dir().join(format!("omc_test_{}.trace.json", std::process::id()));
+    let trace_path =
+        std::env::temp_dir().join(format!("omc_test_{}.trace.json", std::process::id()));
     let out = omc()
         .arg(&path)
         .args(["simulate", "--tend", "0.5", "--workers", "2", "--trace"])
@@ -251,7 +273,11 @@ fn simulate_trace_writes_valid_chrome_json() {
         .args(["--metrics"])
         .output()
         .expect("run omc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("== metrics =="), "{stderr}");
     assert!(stderr.contains("runtime.rhs_calls"), "{stderr}");
@@ -289,7 +315,11 @@ fn metrics_without_workers_reports_solver_counters() {
         .args(["simulate", "--tend", "0.5", "--metrics"])
         .output()
         .expect("run omc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("solver.rhs_calls"), "{stderr}");
     assert!(stderr.contains("solver.steps_accepted"), "{stderr}");

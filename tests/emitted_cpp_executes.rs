@@ -23,11 +23,7 @@ fn cxx() -> Option<&'static str> {
 }
 
 fn compile_and_run(source_cpp: &str, dim: usize, t: f64, y: &[f64]) -> Vec<f64> {
-    let dir = std::env::temp_dir().join(format!(
-        "om_cpp_test_{}_{}",
-        std::process::id(),
-        dim
-    ));
+    let dir = std::env::temp_dir().join(format!("om_cpp_test_{}_{}", std::process::id(), dim));
     std::fs::create_dir_all(&dir).expect("create temp dir");
     let src_path = dir.join("rhs.cpp");
     let bin_path = dir.join("rhs_test");

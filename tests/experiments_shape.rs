@@ -136,10 +136,7 @@ fn codegen_statistics_directionality() {
     // paper (4 709 of 10 913 lines).
     let decl_fraction =
         stats.parallel_f90.decl_lines as f64 / stats.parallel_f90.total_lines as f64;
-    assert!(
-        decl_fraction > 0.15,
-        "declaration fraction {decl_fraction}"
-    );
+    assert!(decl_fraction > 0.15, "declaration fraction {decl_fraction}");
     // The intermediate form is much larger than the source, which is
     // larger than nothing — sanity of the reported pipeline expansion.
     assert!(stats.intermediate_lines > 100);
@@ -157,8 +154,13 @@ fn composed_messages_never_lose() {
     ] {
         for w in [2, 4, 8] {
             let sched = lpt(&costs, w);
-            let whole =
-                simulate_rhs_time(&g, &sched.assignment, w, &machine, MessagePolicy::WholeState);
+            let whole = simulate_rhs_time(
+                &g,
+                &sched.assignment,
+                w,
+                &machine,
+                MessagePolicy::WholeState,
+            );
             let composed =
                 simulate_rhs_time(&g, &sched.assignment, w, &machine, MessagePolicy::Composed);
             assert!(

@@ -14,13 +14,20 @@ fn parse_expectations(source: &str, file: &Path) -> Vec<(String, usize, usize)> 
             continue;
         };
         let rest = rest.trim();
-        let (code, pos) = rest
-            .split_once('@')
-            .unwrap_or_else(|| panic!("{}:{}: malformed expectation `{rest}`", file.display(), i + 1));
-        let (l, c) = pos
-            .trim()
-            .split_once(':')
-            .unwrap_or_else(|| panic!("{}:{}: expected line:col in `{rest}`", file.display(), i + 1));
+        let (code, pos) = rest.split_once('@').unwrap_or_else(|| {
+            panic!(
+                "{}:{}: malformed expectation `{rest}`",
+                file.display(),
+                i + 1
+            )
+        });
+        let (l, c) = pos.trim().split_once(':').unwrap_or_else(|| {
+            panic!(
+                "{}:{}: expected line:col in `{rest}`",
+                file.display(),
+                i + 1
+            )
+        });
         out.push((
             code.trim().to_string(),
             l.trim().parse().expect("line number"),

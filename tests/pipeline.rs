@@ -13,7 +13,10 @@ fn pipeline(source: &str, options: GenOptions, workers: usize) -> ParallelRhs {
     objectmath::ir::verify_compilable(&ir).expect("verifies");
     let program = CodeGenerator::new(options).generate(&ir);
     let schedule = program.schedule(workers);
-    ParallelRhs::new(WorkerPool::new(program.graph, workers, schedule.assignment), 16)
+    ParallelRhs::new(
+        WorkerPool::new(program.graph, workers, schedule.assignment),
+        16,
+    )
 }
 
 #[test]
@@ -159,8 +162,7 @@ fn all_paper_models_run_through_the_parallel_pipeline() {
         let reference = objectmath::ir::IrEvaluator::new(&ir).unwrap();
         let program = CodeGenerator::default().generate(&ir);
         let schedule = program.schedule(3);
-        let mut rhs =
-            ParallelRhs::new(WorkerPool::new(program.graph, 3, schedule.assignment), 8);
+        let mut rhs = ParallelRhs::new(WorkerPool::new(program.graph, 3, schedule.assignment), 8);
         let y0 = ir.initial_state();
         let mut expect = vec![0.0; ir.dim()];
         let mut got = vec![0.0; ir.dim()];

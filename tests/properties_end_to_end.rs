@@ -46,10 +46,7 @@ impl RandomModel {
 fn arb_model() -> impl Strategy<Value = RandomModel> {
     (2usize..6).prop_flat_map(|n| {
         (
-            prop::collection::vec(
-                prop::collection::vec(-3i32..=3, n),
-                n,
-            ),
+            prop::collection::vec(prop::collection::vec(-3i32..=3, n), n),
             prop::collection::vec(5i32..20, n),
             prop::collection::vec(1i32..4, n),
             prop::collection::vec(-4i32..=4, n),
