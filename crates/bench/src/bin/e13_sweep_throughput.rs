@@ -1,0 +1,178 @@
+//! **Experiment E13** — ensemble sweep throughput: scenarios/second and
+//! per-scenario latency percentiles of the `omc sweep` driver
+//! ([`om_runtime::ensemble`]) as scenario-worker concurrency grows.
+//!
+//! One oscillator model is compiled once through the content-hashed
+//! model registry and shared by every scenario (the registry is the
+//! point: compile cost is paid once per batch, not per scenario). Each
+//! row runs the same N-scenario batch at a different concurrency and
+//! reports wall-clock throughput plus p50/p99 scenario latency straight
+//! from the driver's [`SweepReport`].
+//!
+//! The CI gate is correctness, not speed (shared runners are too noisy
+//! for a scaling gate): every scenario of every row must complete and
+//! the manifest must account for the batch exactly once. The binary
+//! exits nonzero otherwise.
+//!
+//! Flags:
+//! * `--quick` — smaller batch (the CI smoke setting),
+//! * `--json`  — machine-readable JSON on stdout (human table moves to
+//!   stderr; CI redirects stdout to `BENCH_6.json`),
+//! * `--concurrency a,b,c` — override the default 1,2,4 sweep.
+
+use om_codegen::registry::ModelRegistry;
+use om_runtime::{run_sweep, ScenarioRunConfig, ScenarioSpec, SweepConfig};
+use std::fmt::Write as _;
+
+const OSC: &str = "model Osc;
+    Real x(start=1.0); Real y;
+    equation der(x) = y; der(y) = -x; end Osc;";
+
+struct Row {
+    concurrency: usize,
+    scenarios: usize,
+    completed: usize,
+    unaccounted: usize,
+    throughput: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let concurrency_list: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--concurrency")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.split(',')
+                .map(|c| c.parse().expect("--concurrency takes e.g. 1,2,4"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let n = if quick { 64 } else { 256 };
+
+    let registry = ModelRegistry::new();
+    let scenarios: Vec<ScenarioSpec> = (0..n)
+        .map(|i| ScenarioSpec::new(i, vec![("x".into(), 1.0 + i as f64 * 0.003)]))
+        .collect();
+    // ~8000 RHS calls per scenario: long enough that scenario work, not
+    // driver bookkeeping, dominates the measurement.
+    let run = ScenarioRunConfig {
+        tend: 2.0,
+        h: 1e-3,
+        ..ScenarioRunConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    let mut gate_failed = false;
+    for &concurrency in &concurrency_list {
+        // Every row goes through the registry; only the first compiles.
+        let model = registry.get_or_compile(OSC).expect("compile oscillator");
+        let cfg = SweepConfig {
+            run,
+            concurrency,
+            ..SweepConfig::default()
+        };
+        let result = run_sweep(&model, &scenarios, &cfg).expect("sweep");
+        let m = &result.manifest;
+        let r = &result.report;
+        if m.completed() != n || m.unaccounted() != 0 {
+            gate_failed = true;
+        }
+        rows.push(Row {
+            concurrency,
+            scenarios: m.scenarios(),
+            completed: m.completed(),
+            unaccounted: m.unaccounted(),
+            throughput: r.throughput_per_sec(),
+            p50_ms: r.latency_percentile_ns(0.50) as f64 / 1e6,
+            p99_ms: r.latency_percentile_ns(0.99) as f64 / 1e6,
+        });
+    }
+    // One hit per row past the first proves the compile was reused.
+    let (hits, misses) = (registry.hits(), registry.misses());
+
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "== E13: ensemble sweep throughput ({n} oscillator scenarios{}) ==",
+        if quick { ", quick" } else { "" }
+    );
+    let _ = writeln!(
+        table,
+        "{:>11} {:>10} {:>10} {:>14} {:>9} {:>9}",
+        "concurrency", "scenarios", "completed", "scenarios/s", "p50 ms", "p99 ms"
+    );
+    let mut csv_rows = Vec::new();
+    for row in &rows {
+        let _ = writeln!(
+            table,
+            "{:>11} {:>10} {:>10} {:>14.1} {:>9.2} {:>9.2}",
+            row.concurrency, row.scenarios, row.completed, row.throughput, row.p50_ms, row.p99_ms
+        );
+        csv_rows.push(format!(
+            "{},{},{},{:.2},{:.3},{:.3}",
+            row.concurrency, row.scenarios, row.completed, row.throughput, row.p50_ms, row.p99_ms
+        ));
+    }
+    let _ = writeln!(table, "registry: {misses} compile(s), {hits} reuse(s)");
+    if json {
+        eprint!("{table}");
+    } else {
+        print!("{table}");
+    }
+    om_bench::write_csv_quiet(
+        "e13_sweep_throughput",
+        "concurrency,scenarios,completed,scenarios_per_sec,p50_ms,p99_ms",
+        &csv_rows,
+    );
+
+    if json {
+        // Hand-rolled JSON (the workspace carries no serde): the CI
+        // sweep-smoke job redirects this to BENCH_6.json.
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"experiment\": \"E13\",");
+        let _ = writeln!(
+            out,
+            "  \"mode\": \"{}\",",
+            if quick { "quick" } else { "full" }
+        );
+        let _ = writeln!(out, "  \"model\": \"oscillator\",");
+        let _ = writeln!(out, "  \"scenarios\": {n},");
+        let _ = writeln!(out, "  \"registry_compiles\": {misses},");
+        let _ = writeln!(out, "  \"registry_reuses\": {hits},");
+        let _ = writeln!(out, "  \"rows\": [");
+        for (i, row) in rows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"concurrency\": {}, \"scenarios\": {}, \"completed\": {}, \
+                 \"unaccounted\": {}, \"scenarios_per_sec\": {:.2}, \"p50_ms\": {:.3}, \
+                 \"p99_ms\": {:.3}}}{}",
+                row.concurrency,
+                row.scenarios,
+                row.completed,
+                row.unaccounted,
+                row.throughput,
+                row.p50_ms,
+                row.p99_ms,
+                if i + 1 < rows.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(
+            out,
+            "  \"gate\": \"{}\"",
+            if gate_failed { "fail" } else { "pass" }
+        );
+        out.push_str("}\n");
+        print!("{out}");
+    }
+
+    if gate_failed {
+        eprintln!("E13 GATE FAILED: a sweep row left scenarios incomplete or unaccounted");
+        std::process::exit(1);
+    }
+}

@@ -33,6 +33,7 @@ pub mod dag;
 pub mod emit_cpp;
 pub mod emit_fortran;
 pub mod generator;
+pub mod registry;
 pub mod sched;
 pub mod task;
 pub mod vm;
@@ -41,6 +42,7 @@ pub use bytecode::{Instr, Program};
 pub use cse::{CseMode, CseProgram};
 pub use dag::{Dag, NodeId};
 pub use generator::{CodeGenerator, GenOptions, GenStats, ParallelProgram};
+pub use registry::{fnv1a64, CompiledModel, ModelKey, ModelRegistry, RegistryError};
 pub use sched::{list_schedule, lpt, Schedule};
 pub use task::{CompiledTask, OutSlot, TaskGraph};
 pub use vm::execute;

@@ -1,0 +1,341 @@
+//! Content-hashed model registry: compile once, reuse across a batch.
+//!
+//! The ensemble workload ("millions of users" = parameter sweeps and
+//! Monte-Carlo batches over the *same* model) makes compilation a shared,
+//! cacheable prefix: N scenarios differ only in their parameter vectors,
+//! never in the compiled artifact. [`ModelRegistry`] maps a
+//! [`ModelKey`] — an FNV-1a hash of the model source (salted with a
+//! registry format version so a pipeline change invalidates old keys) —
+//! to an immutable [`CompiledModel`] holding the causalized internal
+//! form, the generated task graph + bytecode, and a per-worker-count
+//! schedule cache.
+//!
+//! Every [`CompiledModel`] also exposes a *structural identity*: a hash
+//! over the compiled bytecode instructions, task dependence edges, and
+//! output slots. The ensemble checkpoint format stores this identity so
+//! `omc sweep --resume` can refuse to splice results produced by a
+//! different compilation of a same-named model.
+
+use crate::generator::{CodeGenerator, ParallelProgram};
+use crate::sched::Schedule;
+use crate::task::TaskGraph;
+use om_ir::OdeIr;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Bump when the compile pipeline changes in a way that invalidates
+/// previously recorded keys/identities (checkpoints store both).
+const REGISTRY_FORMAT_VERSION: u64 = 1;
+
+/// 64-bit FNV-1a. Tiny, dependency-free, stable across platforms and
+/// runs — exactly what an on-disk checkpoint needs (`DefaultHasher`
+/// explicitly is not stable across releases).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Content hash of a model source text (the registry lookup key).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ModelKey(pub u64);
+
+impl ModelKey {
+    /// Key of a source text: FNV-1a over the bytes, salted with the
+    /// registry format version.
+    pub fn of_source(source: &str) -> ModelKey {
+        let mut h = fnv1a64(source.as_bytes());
+        h ^= REGISTRY_FORMAT_VERSION.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        ModelKey(h)
+    }
+}
+
+impl fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A registry failure: the model does not compile.
+#[derive(Clone, Debug)]
+pub struct RegistryError {
+    pub message: String,
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model registry: {}", self.message)
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// An immutable compiled model: source key, causalized IR, generated
+/// task graph + bytecode, structural identity, and a schedule cache.
+pub struct CompiledModel {
+    key: ModelKey,
+    identity: u64,
+    ir: OdeIr,
+    program: ParallelProgram,
+    /// LPT/list schedules per worker count, computed once per `m`.
+    schedules: Mutex<HashMap<usize, Arc<Schedule>>>,
+}
+
+impl CompiledModel {
+    /// Compile `source` through the full pipeline (flatten → causalize →
+    /// verify → generate) with the given generator options.
+    pub fn compile_with(
+        source: &str,
+        generator: &CodeGenerator,
+    ) -> Result<CompiledModel, RegistryError> {
+        let flat = om_lang::compile(source).map_err(|e| RegistryError {
+            message: e.to_string(),
+        })?;
+        let ir = om_ir::causalize(&flat).map_err(|e| RegistryError {
+            message: e.to_string(),
+        })?;
+        om_ir::verify_compilable(&ir).map_err(|e| RegistryError {
+            message: e.to_string(),
+        })?;
+        let program = generator.generate(&ir);
+        let identity = graph_identity(&program.graph);
+        Ok(CompiledModel {
+            key: ModelKey::of_source(source),
+            identity,
+            ir,
+            program,
+            schedules: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// [`CompiledModel::compile_with`] under default generator options.
+    pub fn compile(source: &str) -> Result<CompiledModel, RegistryError> {
+        CompiledModel::compile_with(source, &CodeGenerator::default())
+    }
+
+    /// The source content key.
+    pub fn key(&self) -> ModelKey {
+        self.key
+    }
+
+    /// Structural identity of the compiled artifact: a stable hash over
+    /// bytecode instructions, task writes/reads, and dependence edges.
+    /// Two sources compiling to the same graph share an identity; the
+    /// same source under a different pipeline does not.
+    pub fn identity(&self) -> u64 {
+        self.identity
+    }
+
+    /// The causalized internal form.
+    pub fn ir(&self) -> &OdeIr {
+        &self.ir
+    }
+
+    /// The generated parallel program (symbolic tasks + compiled graph).
+    pub fn program(&self) -> &ParallelProgram {
+        &self.program
+    }
+
+    /// ODE dimension.
+    pub fn dim(&self) -> usize {
+        self.ir.dim()
+    }
+
+    /// The static schedule for `m` workers, computed once and cached.
+    pub fn schedule(&self, m: usize) -> Arc<Schedule> {
+        let mut cache = match self.schedules.lock() {
+            Ok(guard) => guard,
+            // A panic while holding the lock can only leave a fully
+            // written entry or none: recompute through the poison.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        cache
+            .entry(m)
+            .or_insert_with(|| Arc::new(self.program.schedule(m)))
+            .clone()
+    }
+}
+
+impl fmt::Debug for CompiledModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledModel")
+            .field("key", &self.key)
+            .field("identity", &format_args!("{:016x}", self.identity))
+            .field("model", &self.ir.name)
+            .field("dim", &self.ir.dim())
+            .field("tasks", &self.program.graph.tasks.len())
+            .finish()
+    }
+}
+
+/// Stable structural hash of a compiled task graph (bytecode + task
+/// graph identity). Uses the `Debug` rendering of instructions — stable
+/// within this crate, and any rendering change is a pipeline change that
+/// *should* alter identities.
+pub fn graph_identity(graph: &TaskGraph) -> u64 {
+    let mut text = String::new();
+    text.push_str(&format!(
+        "v{REGISTRY_FORMAT_VERSION};dim={};shared={};",
+        graph.dim, graph.n_shared
+    ));
+    for task in &graph.tasks {
+        text.push_str(&format!(
+            "task{}:{:?}:{:?}:{:?}:{:?}:{:?};",
+            task.id,
+            task.program.consts,
+            task.program.instrs,
+            task.writes,
+            task.reads_states,
+            task.reads_shared
+        ));
+    }
+    for (i, deps) in graph.deps.iter().enumerate() {
+        text.push_str(&format!("dep{i}:{deps:?};"));
+    }
+    fnv1a64(text.as_bytes())
+}
+
+/// A process-wide (or per-batch) cache of compiled models.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: Mutex<HashMap<ModelKey, Arc<CompiledModel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelRegistry {
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Look up `source` by content hash, compiling (once) on miss.
+    /// Concurrent callers of the same source race to compile but the
+    /// first registered artifact wins, so every caller shares one `Arc`.
+    pub fn get_or_compile(&self, source: &str) -> Result<Arc<CompiledModel>, RegistryError> {
+        let key = ModelKey::of_source(source);
+        if let Some(found) = self.lookup(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(CompiledModel::compile(source)?);
+        let mut models = match self.models.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Ok(models.entry(key).or_insert(compiled).clone())
+    }
+
+    fn lookup(&self, key: ModelKey) -> Option<Arc<CompiledModel>> {
+        let models = match self.models.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        models.get(&key).cloned()
+    }
+
+    /// Number of distinct compiled models held.
+    pub fn len(&self) -> usize {
+        match self.models.lock() {
+            Ok(guard) => guard.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// True when nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= compilations attempted) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OSC: &str = "model Osc;
+        Real x(start=1.0); Real y;
+        equation der(x) = y; der(y) = -x; end Osc;";
+
+    #[test]
+    fn keys_are_stable_and_content_sensitive() {
+        assert_eq!(ModelKey::of_source(OSC), ModelKey::of_source(OSC));
+        assert_ne!(
+            ModelKey::of_source(OSC),
+            ModelKey::of_source("model Osc2; Real x; equation der(x) = -x; end Osc2;")
+        );
+        // Key renders as fixed-width hex (checkpoint format relies on it).
+        assert_eq!(ModelKey(0xff).to_string(), "00000000000000ff");
+    }
+
+    #[test]
+    fn registry_compiles_once_and_shares() {
+        let reg = ModelRegistry::new();
+        let a = reg.get_or_compile(OSC).unwrap();
+        let b = reg.get_or_compile(OSC).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.misses(), 1);
+        assert_eq!(reg.hits(), 1);
+        assert_eq!(a.dim(), 2);
+    }
+
+    #[test]
+    fn registry_surfaces_compile_errors() {
+        let reg = ModelRegistry::new();
+        let err = reg
+            .get_or_compile("model Broken; Real x; equation end")
+            .unwrap_err();
+        assert!(!err.to_string().is_empty());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn identity_tracks_compiled_structure_not_text() {
+        let a = CompiledModel::compile(OSC).unwrap();
+        // Whitespace-only change: same pipeline output, different key.
+        let spaced = OSC.replace("equation", "equation\n");
+        let b = CompiledModel::compile(&spaced).unwrap();
+        assert_ne!(a.key(), b.key());
+        assert_eq!(a.identity(), b.identity());
+        // A different model has a different identity.
+        let c = CompiledModel::compile(
+            "model Osc; Real x(start=1.0); Real y;
+             equation der(x) = 2.0*y; der(y) = -x; end Osc;",
+        )
+        .unwrap();
+        assert_ne!(a.identity(), c.identity());
+    }
+
+    #[test]
+    fn schedules_are_cached_per_worker_count() {
+        let m = CompiledModel::compile(OSC).unwrap();
+        let s2a = m.schedule(2);
+        let s2b = m.schedule(2);
+        let s4 = m.schedule(4);
+        assert!(Arc::ptr_eq(&s2a, &s2b));
+        assert_eq!(s2a.assignment.len(), m.program().graph.tasks.len());
+        assert_eq!(s4.loads.len(), 4);
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // FNV-1a reference vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

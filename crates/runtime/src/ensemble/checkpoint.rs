@@ -1,0 +1,413 @@
+//! Append-only JSONL checkpointing for `omc sweep --resume`.
+//!
+//! Layout: one header line identifying the batch, then one record line
+//! per scenario that reached a terminal state. Appending one line per
+//! result makes the file crash-tolerant by construction — a process
+//! killed mid-write corrupts at most the final line, which the loader
+//! discards. Every float crosses the file boundary as an IEEE-754 bit
+//! pattern in hex (`"3ff0000000000000"`), so a resumed run reproduces
+//! completed results *bit-for-bit*, not merely to parser precision.
+//!
+//! The header pins the model's content key **and** its compiled
+//! structural identity (see [`om_codegen::registry`]): resuming against
+//! a model whose source or compile pipeline changed is refused rather
+//! than silently splicing incompatible results.
+
+use super::json::{escape, parse, Json};
+use super::scenario::ScenarioOutcome;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::Path;
+
+/// Checkpoint format version (bump on layout change).
+pub const CHECKPOINT_FORMAT: u64 = 1;
+
+/// Identity of the batch a checkpoint belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    pub model_key: u64,
+    pub identity: u64,
+    pub scenarios: usize,
+}
+
+impl CheckpointHeader {
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"format\":{CHECKPOINT_FORMAT},\"model_key\":\"{:016x}\",\"identity\":\"{:016x}\",\"scenarios\":{}}}",
+            self.model_key, self.identity, self.scenarios
+        )
+    }
+}
+
+/// Render one terminal scenario as a checkpoint/manifest record line.
+pub fn render_record(index: usize, outcome: &ScenarioOutcome) -> String {
+    let mut line = String::with_capacity(96);
+    let _ = write!(
+        line,
+        "{{\"index\":{index},\"status\":\"{}\"",
+        outcome.status()
+    );
+    match outcome {
+        ScenarioOutcome::Completed {
+            retries,
+            rhs_calls,
+            t_bits,
+            y_bits,
+        } => {
+            let _ = write!(
+                line,
+                ",\"retries\":{retries},\"rhs_calls\":{rhs_calls},\"t_bits\":\"{t_bits:016x}\",\"y_bits\":["
+            );
+            for (i, bits) in y_bits.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                let _ = write!(line, "\"{bits:016x}\"");
+            }
+            line.push(']');
+        }
+        ScenarioOutcome::Quarantined { attempts, error } => {
+            let _ = write!(
+                line,
+                ",\"attempts\":{attempts},\"error\":\"{}\"",
+                escape(error)
+            );
+        }
+        ScenarioOutcome::DeadlineExceeded { attempts } => {
+            let _ = write!(line, ",\"attempts\":{attempts}");
+        }
+    }
+    line.push('}');
+    line
+}
+
+fn hex_bits(value: &Json) -> Result<u64, String> {
+    let text = value.as_str().ok_or("bit pattern must be a string")?;
+    u64::from_str_radix(text, 16).map_err(|_| format!("bad bit pattern '{text}'"))
+}
+
+fn parse_record(doc: &Json) -> Result<(usize, ScenarioOutcome), String> {
+    let index = doc
+        .get("index")
+        .and_then(Json::as_usize)
+        .ok_or("record missing index")?;
+    let status = doc
+        .get("status")
+        .and_then(Json::as_str)
+        .ok_or("record missing status")?;
+    let outcome = match status {
+        "completed" => {
+            let y_bits = doc
+                .get("y_bits")
+                .and_then(Json::as_arr)
+                .ok_or("completed record missing y_bits")?
+                .iter()
+                .map(hex_bits)
+                .collect::<Result<Vec<u64>, String>>()?;
+            ScenarioOutcome::Completed {
+                retries: doc.get("retries").and_then(Json::as_u64).unwrap_or(0) as u32,
+                rhs_calls: doc.get("rhs_calls").and_then(Json::as_u64).unwrap_or(0),
+                t_bits: hex_bits(doc.get("t_bits").ok_or("completed record missing t_bits")?)?,
+                y_bits,
+            }
+        }
+        "quarantined" => ScenarioOutcome::Quarantined {
+            attempts: doc.get("attempts").and_then(Json::as_u64).unwrap_or(0) as u32,
+            error: doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+        },
+        "deadline" => ScenarioOutcome::DeadlineExceeded {
+            attempts: doc.get("attempts").and_then(Json::as_u64).unwrap_or(0) as u32,
+        },
+        other => return Err(format!("unknown status '{other}'")),
+    };
+    Ok((index, outcome))
+}
+
+/// The loaded content of a checkpoint file.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    pub header: CheckpointHeader,
+    /// Terminal outcomes by scenario index (later records win, so a
+    /// record appended after an earlier crash overrides it).
+    pub outcomes: HashMap<usize, ScenarioOutcome>,
+    /// True when the final line was discarded as torn (crash mid-write).
+    pub torn_tail: bool,
+}
+
+/// Load a checkpoint, tolerating a torn final line. A malformed line
+/// anywhere *else* is a hard error: that is corruption, not a crash
+/// artifact.
+pub fn load(path: &Path) -> Result<LoadedCheckpoint, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    // A file not ending in a newline has a possibly-torn final line.
+    let clean_tail = text.ends_with('\n') || text.is_empty();
+    let header_line = if lines.is_empty() {
+        return Err("checkpoint is empty".into());
+    } else {
+        lines.remove(0)
+    };
+    let header_doc = parse(header_line).map_err(|e| format!("checkpoint header: {e}"))?;
+    let format = header_doc.get("format").and_then(Json::as_u64).unwrap_or(0);
+    if format != CHECKPOINT_FORMAT {
+        return Err(format!(
+            "checkpoint format {format} (this build reads {CHECKPOINT_FORMAT})"
+        ));
+    }
+    let header = CheckpointHeader {
+        model_key: hex_bits(
+            header_doc
+                .get("model_key")
+                .ok_or("header missing model_key")?,
+        )?,
+        identity: hex_bits(
+            header_doc
+                .get("identity")
+                .ok_or("header missing identity")?,
+        )?,
+        scenarios: header_doc
+            .get("scenarios")
+            .and_then(Json::as_usize)
+            .ok_or("header missing scenarios")?,
+    };
+    let mut outcomes = HashMap::new();
+    let mut torn_tail = false;
+    let last = lines.len();
+    for (i, line) in lines.into_iter().enumerate() {
+        match parse(line).and_then(|doc| parse_record(&doc)) {
+            Ok((index, outcome)) => {
+                outcomes.insert(index, outcome);
+            }
+            Err(e) if i + 1 == last && !clean_tail => {
+                // Torn tail from a mid-write crash: drop it; the scenario
+                // simply re-runs on resume.
+                torn_tail = true;
+                let _ = e;
+            }
+            Err(e) => return Err(format!("checkpoint line {}: {e}", i + 2)),
+        }
+    }
+    Ok(LoadedCheckpoint {
+        header,
+        outcomes,
+        torn_tail,
+    })
+}
+
+/// An append-only checkpoint writer.
+pub struct CheckpointWriter {
+    out: BufWriter<File>,
+    pending: usize,
+    flush_every: usize,
+}
+
+impl CheckpointWriter {
+    /// Create a fresh checkpoint (truncates) and write the header.
+    pub fn create(
+        path: &Path,
+        header: &CheckpointHeader,
+        flush_every: usize,
+    ) -> Result<CheckpointWriter, String> {
+        let file = File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+        let mut writer = CheckpointWriter {
+            out: BufWriter::new(file),
+            pending: 0,
+            flush_every: flush_every.max(1),
+        };
+        writer
+            .write_line(&header.render())
+            .and_then(|_| writer.flush())?;
+        Ok(writer)
+    }
+
+    /// Open an existing checkpoint for appending (resume). If the file
+    /// ends mid-line (torn tail), the debris is truncated away first so
+    /// reloads never see a malformed middle line.
+    pub fn append(
+        path: &Path,
+        repair_tail: bool,
+        flush_every: usize,
+    ) -> Result<CheckpointWriter, String> {
+        if repair_tail {
+            let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            let keep = bytes
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map(|pos| pos + 1)
+                .unwrap_or(0) as u64;
+            let file = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| format!("open {}: {e}", path.display()))?;
+            file.set_len(keep)
+                .map_err(|e| format!("truncate {}: {e}", path.display()))?;
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("append {}: {e}", path.display()))?;
+        Ok(CheckpointWriter {
+            out: BufWriter::new(file),
+            pending: 0,
+            flush_every: flush_every.max(1),
+        })
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), String> {
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|_| self.out.write_all(b"\n"))
+            .map_err(|e| format!("checkpoint write: {e}"))
+    }
+
+    /// Append one terminal outcome, flushing every `flush_every` records.
+    pub fn record(&mut self, index: usize, outcome: &ScenarioOutcome) -> Result<(), String> {
+        self.write_line(&render_record(index, outcome))?;
+        self.pending += 1;
+        if self.pending >= self.flush_every {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    pub fn flush(&mut self) -> Result<(), String> {
+        self.pending = 0;
+        self.out
+            .flush()
+            .map_err(|e| format!("checkpoint flush: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("om-ckpt-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample_outcomes() -> Vec<(usize, ScenarioOutcome)> {
+        vec![
+            (
+                0,
+                ScenarioOutcome::Completed {
+                    retries: 1,
+                    rhs_calls: 2000,
+                    t_bits: 1.0f64.to_bits(),
+                    y_bits: vec![(0.5f64).to_bits(), (-0.25f64).to_bits()],
+                },
+            ),
+            (
+                3,
+                ScenarioOutcome::Quarantined {
+                    attempts: 3,
+                    error: "non-finite state at t = 0.25 \"quoted\"".into(),
+                },
+            ),
+            (5, ScenarioOutcome::DeadlineExceeded { attempts: 1 }),
+        ]
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exact() {
+        let path = tmp("roundtrip");
+        let header = CheckpointHeader {
+            model_key: 0xdead_beef,
+            identity: 0x1234_5678_9abc_def0,
+            scenarios: 8,
+        };
+        let mut w = CheckpointWriter::create(&path, &header, 2).unwrap();
+        for (i, o) in &sample_outcomes() {
+            w.record(*i, o).unwrap();
+        }
+        w.flush().unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.header, header);
+        assert!(!loaded.torn_tail);
+        for (i, o) in sample_outcomes() {
+            assert_eq!(loaded.outcomes.get(&i), Some(&o), "scenario {i}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_midfile_corruption_rejected() {
+        let path = tmp("torn");
+        let header = CheckpointHeader {
+            model_key: 1,
+            identity: 2,
+            scenarios: 4,
+        };
+        let mut w = CheckpointWriter::create(&path, &header, 1).unwrap();
+        for (i, o) in &sample_outcomes() {
+            w.record(*i, o).unwrap();
+        }
+        w.flush().unwrap();
+        drop(w);
+        // Simulate a crash mid-write: append half a record, no newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"index\":7,\"status\":\"comp");
+        std::fs::write(&path, &text).unwrap();
+        let loaded = load(&path).unwrap();
+        assert!(loaded.torn_tail);
+        assert_eq!(loaded.outcomes.len(), 3);
+        assert!(!loaded.outcomes.contains_key(&7));
+        // Mid-file corruption is a hard error.
+        let corrupt = text.replace("\"attempts\":3", "\"attempts\":garbage");
+        std::fs::write(&path, &corrupt).unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_after_torn_tail_repairs_the_line_boundary() {
+        let path = tmp("repair");
+        let header = CheckpointHeader {
+            model_key: 9,
+            identity: 9,
+            scenarios: 4,
+        };
+        let mut w = CheckpointWriter::create(&path, &header, 1).unwrap();
+        w.record(0, &sample_outcomes()[0].1).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let mut raw = std::fs::read_to_string(&path).unwrap();
+        raw.push_str("{\"index\":1,\"sta"); // torn
+        std::fs::write(&path, &raw).unwrap();
+        let loaded = load(&path).unwrap();
+        assert!(loaded.torn_tail);
+        let mut w = CheckpointWriter::append(&path, loaded.torn_tail, 1).unwrap();
+        w.record(2, &sample_outcomes()[2].1).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let reloaded = load(&path).unwrap();
+        assert_eq!(reloaded.outcomes.len(), 2);
+        assert!(reloaded.outcomes.contains_key(&0));
+        assert!(reloaded.outcomes.contains_key(&2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_format_version_is_refused() {
+        let path = tmp("format");
+        std::fs::write(
+            &path,
+            "{\"format\":99,\"model_key\":\"00\",\"identity\":\"00\",\"scenarios\":1}\n",
+        )
+        .unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("format 99"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

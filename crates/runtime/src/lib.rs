@@ -39,6 +39,7 @@
 //! next step", §3.2.3) and tracks its own overhead, which experiment E6
 //! compares against the paper's <1 % claim.
 
+pub mod ensemble;
 pub mod error;
 pub mod exec;
 pub mod exec_ws;
@@ -50,6 +51,10 @@ pub mod sched_dyn;
 pub mod sim;
 pub mod strategy;
 
+pub use ensemble::{
+    run_sweep, Manifest, ScenarioFault, ScenarioOutcome, ScenarioRunConfig, ScenarioSpec,
+    SweepConfig, SweepError, SweepFaultKind, SweepFaultPlan, SweepReport, SweepResult,
+};
 pub use error::RuntimeError;
 pub use exec::WorkerPool;
 pub use exec_ws::WorkStealPool;

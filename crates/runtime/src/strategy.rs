@@ -93,8 +93,10 @@ impl ExecutorPool {
     }
 
     /// Build a pool with fault injection. The work-stealing executor has
-    /// no recovery ladder, so an *active* fault plan silently falls back
-    /// to the barrier executor — the documented fault-recovery path.
+    /// no recovery ladder, so an *active* fault plan falls back to the
+    /// barrier executor — the documented fault-recovery path. Use
+    /// [`ExecutorPool::with_faults_reported`] when the caller needs to
+    /// know (and tell the user) that the fallback happened.
     pub fn with_faults(
         graph: TaskGraph,
         n_workers: usize,
@@ -103,12 +105,34 @@ impl ExecutorPool {
         config: FaultConfig,
         strategy: Strategy,
     ) -> Result<ExecutorPool, RuntimeError> {
+        ExecutorPool::with_faults_reported(graph, n_workers, assignment, plan, config, strategy)
+            .map(|(pool, _)| pool)
+    }
+
+    /// [`ExecutorPool::with_faults`] plus an explicit fallback flag: the
+    /// second element is `true` when the requested strategy was
+    /// work-stealing but an active fault plan forced the barrier
+    /// executor. The fallback is also recorded in the metrics registry
+    /// (`runtime.strategy_fallback`) so `--metrics` output shows the
+    /// effective strategy even when stderr is discarded.
+    pub fn with_faults_reported(
+        graph: TaskGraph,
+        n_workers: usize,
+        assignment: Vec<usize>,
+        plan: FaultPlan,
+        config: FaultConfig,
+        strategy: Strategy,
+    ) -> Result<(ExecutorPool, bool), RuntimeError> {
         if strategy == Strategy::WorkStealing && plan.is_empty() {
             return WorkStealPool::try_new(graph, n_workers, assignment)
-                .map(|p| ExecutorPool::WorkStealing(Box::new(p)));
+                .map(|p| (ExecutorPool::WorkStealing(Box::new(p)), false));
+        }
+        let fell_back = strategy == Strategy::WorkStealing;
+        if fell_back && om_obs::is_enabled() {
+            om_obs::metrics().counter("runtime.strategy_fallback").inc();
         }
         WorkerPool::with_faults(graph, n_workers, assignment, plan, config)
-            .map(|p| ExecutorPool::Barrier(Box::new(p)))
+            .map(|p| (ExecutorPool::Barrier(Box::new(p)), fell_back))
     }
 
     /// The strategy this pool actually executes with (after any

@@ -59,6 +59,7 @@ pub fn abm4(
         if h < 1e-14 * t.abs().max(1.0) + 1e-300 {
             return Err(SolveError::StepSizeUnderflow { t });
         }
+        tol.budget.check(t, &sol.stats)?;
         // Never step past tend; if close, shrink h for the final stretch
         // (bootstrap will rebuild the history at the smaller h).
         if t + 4.0 * h > tend && t + h < tend {

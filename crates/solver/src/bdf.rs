@@ -99,6 +99,7 @@ pub fn bdf(
         if h < 1e-14 * t.abs().max(1.0) + 1e-300 {
             return Err(SolveError::StepSizeUnderflow { t });
         }
+        tol.budget.check(t, &sol.stats)?;
         if t + h > tend {
             h = tend - t;
             history.truncate(1);
@@ -136,7 +137,11 @@ pub fn bdf(
             if jac.as_ref().map(|j| j.hb != hb).unwrap_or(true) {
                 jac = Some(JacCache::build(sys, t_new, &y_new, hb, &mut sol.stats)?);
             }
-            let cache = jac.as_ref().expect("just built");
+            let Some(cache) = jac.as_ref() else {
+                return Err(SolveError::Internal {
+                    what: "bdf: Jacobian cache missing right after build",
+                });
+            };
             let mut norm_prev = f64::INFINITY;
             converged = false;
             for _ in 0..opts.max_newton {

@@ -20,6 +20,11 @@
 //! * [`partitioned`] — co-simulation of independently-stepped subsystems
 //!   (paper §2.3: independent step sizes, smaller Jacobians).
 
+// A numerical failure inside one scenario of an ensemble must surface as
+// a typed `SolveError`, never a panic that poisons the worker pool
+// (matching the `om-ir` precedent).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod adams;
 pub mod bdf;
 pub mod linalg;
@@ -32,6 +37,8 @@ pub use adams::abm4;
 pub use bdf::{bdf, BdfOptions};
 pub use linalg::{LuFactors, Matrix};
 pub use lsoda::{lsoda, LsodaOptions, Phase};
-pub use ode::{FnSystem, OdeSystem, RhsError, Solution, SolveError, SolveStats, Tolerances};
+pub use ode::{
+    Budget, FnSystem, OdeSystem, RhsError, Solution, SolveError, SolveStats, Tolerances,
+};
 pub use partitioned::{CoSimulation, Coupling, SubsystemSpec};
-pub use rk::{dopri5, rk4};
+pub use rk::{dopri5, rk4, rk4_budgeted};

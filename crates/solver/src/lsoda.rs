@@ -138,7 +138,9 @@ pub fn lsoda(
                 // Redo the window with BDF.
                 phase = Phase::Stiff;
                 obs_switch(phase);
-                *phases.last_mut().expect("pushed above") = (t, phase);
+                if let Some(last) = phases.last_mut() {
+                    *last = (t, phase);
+                }
                 let bo = BdfOptions {
                     tol: opts.tol,
                     ..BdfOptions::default()

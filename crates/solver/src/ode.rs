@@ -55,6 +55,67 @@ impl<F: FnMut(f64, &[f64], &mut [f64])> OdeSystem for FnSystem<F> {
     }
 }
 
+/// A per-solve resource envelope: wall-clock deadline and RHS-call cap.
+///
+/// The ensemble driver wraps every scenario in one of these so a single
+/// never-converging or straggling integration cannot stall the batch:
+/// the budget is consulted once per step attempt by every integrator
+/// loop in this crate, and a violation surfaces as a *typed*
+/// [`SolveError`] ([`SolveError::DeadlineExceeded`] /
+/// [`SolveError::RhsBudgetExhausted`]) the supervisor can classify,
+/// instead of a hang or a kill signal.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Absolute wall-clock instant after which the solve must stop.
+    pub deadline: Option<std::time::Instant>,
+    /// Cap on total RHS evaluations (0 = unlimited). Checked per step
+    /// attempt, so a multi-stage step may overshoot by one step's worth
+    /// of calls.
+    pub max_rhs_calls: u64,
+}
+
+impl Budget {
+    /// No limits — the default for every direct solver call.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A budget whose deadline is `d` from now.
+    pub fn deadline_in(d: std::time::Duration) -> Budget {
+        Budget {
+            deadline: Some(std::time::Instant::now() + d),
+            max_rhs_calls: 0,
+        }
+    }
+
+    /// Builder: cap total RHS evaluations.
+    pub fn with_max_rhs_calls(mut self, n: u64) -> Budget {
+        self.max_rhs_calls = n;
+        self
+    }
+
+    /// True when neither limit is set (the check short-circuits).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_rhs_calls == 0
+    }
+
+    /// Enforce the envelope at time `t` given the work done so far.
+    pub fn check(&self, t: f64, stats: &SolveStats) -> Result<(), SolveError> {
+        if self.max_rhs_calls > 0 && stats.rhs_calls as u64 >= self.max_rhs_calls {
+            return Err(SolveError::RhsBudgetExhausted {
+                t,
+                calls: stats.rhs_calls,
+            });
+        }
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Err(SolveError::DeadlineExceeded { t });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Error and step tolerances.
 #[derive(Clone, Copy, Debug)]
 pub struct Tolerances {
@@ -66,6 +127,8 @@ pub struct Tolerances {
     pub h0: f64,
     /// Safety cap on the number of accepted+rejected steps.
     pub max_steps: usize,
+    /// Wall-clock / RHS-call envelope (default: unlimited).
+    pub budget: Budget,
 }
 
 impl Default for Tolerances {
@@ -75,6 +138,7 @@ impl Default for Tolerances {
             atol: 1e-9,
             h0: 0.0,
             max_steps: 1_000_000,
+            budget: Budget::default(),
         }
     }
 }
@@ -161,6 +225,14 @@ pub enum SolveError {
     /// The RHS function itself failed (e.g. a worker pool with no live
     /// workers left). The step is rejected; the caller sees the reason.
     RhsFailure { t: f64, reason: String },
+    /// The wall-clock deadline of the solve's [`Budget`] passed.
+    DeadlineExceeded { t: f64 },
+    /// The RHS-call cap of the solve's [`Budget`] was reached.
+    RhsBudgetExhausted { t: f64, calls: usize },
+    /// An internal invariant was violated (a bug in this crate, surfaced
+    /// as a typed error instead of a panic so one bad scenario cannot
+    /// poison a whole ensemble).
+    Internal { what: &'static str },
 }
 
 impl fmt::Display for SolveError {
@@ -184,7 +256,32 @@ impl fmt::Display for SolveError {
             SolveError::RhsFailure { t, reason } => {
                 write!(f, "RHS evaluation failed at t = {t}: {reason}")
             }
+            SolveError::DeadlineExceeded { t } => {
+                write!(f, "wall-clock deadline exceeded at t = {t}")
+            }
+            SolveError::RhsBudgetExhausted { t, calls } => {
+                write!(
+                    f,
+                    "RHS-call budget exhausted at t = {t} after {calls} calls"
+                )
+            }
+            SolveError::Internal { what } => {
+                write!(f, "internal solver invariant violated: {what}")
+            }
         }
+    }
+}
+
+impl SolveError {
+    /// True for failures that are a property of the scenario itself
+    /// (numerics, budgets) rather than of the machinery evaluating it.
+    /// The ensemble supervisor quarantines these instead of retrying:
+    /// a singular Jacobian is still singular on the third attempt.
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(
+            self,
+            SolveError::RhsFailure { .. } | SolveError::DeadlineExceeded { .. }
+        )
     }
 }
 
@@ -200,19 +297,17 @@ pub struct Solution {
 }
 
 impl Solution {
-    /// Final time.
+    /// Final time. Every solver seeds its solution with the start point,
+    /// so the fallback (NaN for a malformed empty solution) is
+    /// unreachable through this crate's public API.
     pub fn t_end(&self) -> f64 {
-        *self
-            .ts
-            .last()
-            .expect("solution has at least the start point")
+        self.ts.last().copied().unwrap_or(f64::NAN)
     }
 
-    /// Final state.
+    /// Final state (empty slice for a malformed empty solution; see
+    /// [`Solution::t_end`]).
     pub fn y_end(&self) -> &[f64] {
-        self.ys
-            .last()
-            .expect("solution has at least the start point")
+        self.ys.last().map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Linear interpolation of the state at `t` (for comparisons between
@@ -343,6 +438,49 @@ mod tests {
         assert_eq!(a.steps, 3);
         assert_eq!(a.rhs_calls, 12);
         assert_eq!(a.newton_iters, 3);
+    }
+
+    #[test]
+    fn budget_caps_rhs_calls_with_typed_error() {
+        let tol = Tolerances {
+            budget: Budget::unlimited().with_max_rhs_calls(20),
+            ..Tolerances::default()
+        };
+        let mut sys = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = -y[0]);
+        let err = crate::rk::dopri5(&mut sys, 0.0, &[1.0], 50.0, &tol).unwrap_err();
+        match err {
+            SolveError::RhsBudgetExhausted { calls, .. } => assert!(calls >= 20),
+            other => panic!("expected RhsBudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_deadline_fires_with_typed_error() {
+        let tol = Tolerances {
+            budget: Budget::deadline_in(std::time::Duration::ZERO),
+            ..Tolerances::default()
+        };
+        let mut sys = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = -y[0]);
+        let err = crate::rk::dopri5(&mut sys, 0.0, &[1.0], 1.0, &tol).unwrap_err();
+        assert!(
+            matches!(err, SolveError::DeadlineExceeded { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn budget_classification_separates_poison_from_transient() {
+        assert!(SolveError::SingularJacobian { t: 0.0 }.is_deterministic());
+        assert!(SolveError::NonFiniteState { t: 0.0 }.is_deterministic());
+        assert!(SolveError::RhsBudgetExhausted { t: 0.0, calls: 9 }.is_deterministic());
+        assert!(!SolveError::DeadlineExceeded { t: 0.0 }.is_deterministic());
+        assert!(!SolveError::RhsFailure {
+            t: 0.0,
+            reason: "pool died".into()
+        }
+        .is_deterministic());
+        assert!(Budget::unlimited().is_unlimited());
+        assert!(!Budget::deadline_in(std::time::Duration::from_secs(1)).is_unlimited());
     }
 
     #[test]

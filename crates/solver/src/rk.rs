@@ -6,7 +6,8 @@
 //! throughput measured in Figure 12 directly bounds simulation speed.
 
 use crate::ode::{
-    check_finite, eval_rhs, obs_step, OdeSystem, Solution, SolveError, SolveStats, Tolerances,
+    check_finite, eval_rhs, obs_step, Budget, OdeSystem, Solution, SolveError, SolveStats,
+    Tolerances,
 };
 
 /// Integrate with the classic fourth-order Runge–Kutta method at fixed
@@ -17,6 +18,20 @@ pub fn rk4(
     y0: &[f64],
     tend: f64,
     h: f64,
+) -> Result<Solution, SolveError> {
+    rk4_budgeted(sys, t0, y0, tend, h, &Budget::unlimited())
+}
+
+/// [`rk4`] under a resource [`Budget`]. RK4 takes no [`Tolerances`] (and
+/// hence no embedded budget), so the ensemble driver passes the scenario
+/// envelope explicitly through this variant.
+pub fn rk4_budgeted(
+    sys: &mut dyn OdeSystem,
+    t0: f64,
+    y0: &[f64],
+    tend: f64,
+    h: f64,
+    budget: &Budget,
 ) -> Result<Solution, SolveError> {
     assert!(h > 0.0 && tend > t0, "forward integration only");
     let n = sys.dim();
@@ -34,6 +49,7 @@ pub fn rk4(
     let mut k4 = vec![0.0; n];
     let mut tmp = vec![0.0; n];
     while t < tend - 1e-14 * tend.abs().max(1.0) {
+        budget.check(t, &sol.stats)?;
         let h_step = h.min(tend - t);
         eval_rhs(sys, t, &y, &mut k1, &mut sol.stats)?;
         for i in 0..n {
@@ -152,6 +168,7 @@ pub fn dopri5(
                 steps: tol.max_steps,
             });
         }
+        tol.budget.check(t, &sol.stats)?;
         h = h.min(tend - t);
         if h < 1e-14 * t.abs().max(1.0) {
             return Err(SolveError::StepSizeUnderflow { t });

@@ -14,16 +14,19 @@
 //! ```
 
 use objectmath::analysis::{build_dependency_graph, partition_by_scc, to_dot};
-use objectmath::codegen::{emit_cpp, emit_fortran, CodeGenerator};
+use objectmath::codegen::{emit_cpp, emit_fortran, CodeGenerator, ModelRegistry};
 use objectmath::ir::{causalize, OdeIr};
+use objectmath::runtime::ensemble::json;
 use objectmath::runtime::{
-    ExecutorPool, FaultConfig, FaultPlan, ParallelRhs, RuntimeError, Strategy,
+    run_sweep, ExecutorPool, FaultConfig, FaultPlan, ParallelRhs, RuntimeError, ScenarioRunConfig,
+    ScenarioSpec, Strategy, SweepConfig, SweepError, SweepFaultPlan,
 };
 use objectmath::solver::{
     abm4, bdf, dopri5, lsoda, rk4, BdfOptions, LsodaOptions, OdeSystem, SolveError, Tolerances,
 };
 use std::fmt;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Typed CLI failure; each class maps to a distinct exit code so scripts
 /// can tell a user error from a numerical failure from a runtime fault.
@@ -42,6 +45,13 @@ enum CliError {
     /// `lint` found problems; the code separates errors (5) from denied
     /// warnings (6) and denied info (7) so CI can gate on each class.
     Lint { code: u8, summary: String },
+    /// The sweep driver could not run at all (bad checkpoint, bad
+    /// config): exit 2 for configuration, 1 for checkpoint I/O.
+    Sweep(SweepError),
+    /// The sweep ran to the end but not every scenario completed: the
+    /// documented partial-failure exit code 8. The manifest (written
+    /// before this error is raised) accounts for every scenario.
+    SweepPartial { summary: String },
 }
 
 impl CliError {
@@ -52,6 +62,9 @@ impl CliError {
             CliError::Solve(_) => 3,
             CliError::Runtime(_) => 4,
             CliError::Lint { code, .. } => *code,
+            CliError::Sweep(SweepError::Config(_)) => 2,
+            CliError::Sweep(_) => 1,
+            CliError::SweepPartial { .. } => 8,
         }
     }
 }
@@ -65,6 +78,8 @@ impl fmt::Display for CliError {
             CliError::Solve(e) => write!(f, "solver error: {e}"),
             CliError::Runtime(e) => write!(f, "runtime error: {e}"),
             CliError::Lint { summary, .. } => write!(f, "lint: {summary}"),
+            CliError::Sweep(e) => write!(f, "{e}"),
+            CliError::SweepPartial { summary } => write!(f, "sweep partial failure: {summary}"),
         }
     }
 }
@@ -81,7 +96,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: omc <model.om> <analyze|emit|tasks|simulate> [options]\n\
+    "usage: omc <model.om> <analyze|lint|emit|tasks|simulate|sweep> [options]\n\
      \n\
      commands:\n\
        analyze                     dependency graph, SCCs, pipeline levels\n\
@@ -105,10 +120,36 @@ fn usage() -> String {
          --set state=value         override a start value (repeatable)\n\
          --rtol R --atol A         tolerances (default 1e-6 / 1e-9)\n\
          --h H                     fixed step for rk4 (default (tend-t0)/1000)\n\
+         --fault-seed SEED         seeded worker-level fault plan (chaos runs;\n\
+                                   forces the barrier executor's recovery path)\n\
+       sweep                       run N parameter scenarios over one compiled model\n\
+         --params FILE             scenario vectors: .json (array of objects) or\n\
+                                   .csv (header = state names)\n\
+         --grid state=a:b:n        linspace scenarios (repeatable; flags combine\n\
+                                   as a cartesian product)\n\
+         --tend T --h H            fixed-step RK4 span per scenario (bit-reproducible)\n\
+         --concurrency N           scenario workers (default 4)\n\
+         --workers N               ODE workers per scenario (default 1 = serial)\n\
+         --executor barrier|ws     executor when --workers > 1\n\
+         --deadline-ms MS          per-scenario wall-clock deadline\n\
+         --max-rhs N               per-scenario RHS call budget\n\
+         --retries N               retries for transient faults (default 2)\n\
+         --checkpoint FILE         append-only JSONL checkpoint\n\
+         --resume                  carry terminal outcomes forward from --checkpoint\n\
+         --manifest FILE           write the deterministic manifest JSON\n\
+         --stop-after N            admit only N scenarios (interruption test hook)\n\
+         --fault-seed SEED         seeded per-scenario fault plan (panic/straggle/NaN)\n\
+         --fault-rates P,S,N       per-mille rates for the seeded plan (default 60,40,50)\n\
+         --straggle-ms MS          injected straggler sleep (default 50)\n\
      \n\
      observability (any command):\n\
        --trace FILE.json           write a chrome://tracing / Perfetto trace\n\
-       --metrics                   print span totals and metrics to stderr"
+       --metrics                   print span totals and metrics to stderr\n\
+     \n\
+     exit codes: 0 ok; 1 io/compile/checkpoint; 2 usage; 3 solver; 4 runtime;\n\
+                 5/6/7 lint errors/denied warnings/denied info;\n\
+                 8 sweep partial failure (some scenarios quarantined, past\n\
+                 deadline, or skipped — see the manifest)"
         .to_owned()
 }
 
@@ -133,6 +174,14 @@ fn run(args: &[String]) -> Result<(), CliError> {
     // point is producing diagnostics for models the pipeline rejects.
     if command == "lint" {
         let result = lint(path, &source, &opts);
+        let export = export_obs(&opts);
+        return result.and(export);
+    }
+
+    // `sweep` compiles through the content-hashed model registry (compile
+    // once, reuse across scenarios) instead of the one-shot path below.
+    if command == "sweep" {
+        let result = sweep(&source, &opts);
         let export = export_obs(&opts);
         return result.and(export);
     }
@@ -199,6 +248,20 @@ struct Flags {
     sets: Vec<(String, f64)>,
     trace: Option<String>,
     metrics: bool,
+    // sweep / chaos options
+    params: Option<String>,
+    grid: Vec<String>,
+    concurrency: usize,
+    deadline_ms: u64,
+    max_rhs: u64,
+    retries: u32,
+    checkpoint: Option<String>,
+    resume: bool,
+    manifest: Option<String>,
+    stop_after: Option<usize>,
+    fault_seed: Option<u64>,
+    fault_rates: (u32, u32, u32),
+    straggle_ms: u64,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
@@ -210,6 +273,10 @@ fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
         rtol: 1e-6,
         atol: 1e-9,
         h: 0.0,
+        concurrency: 4,
+        retries: 2,
+        fault_rates: (60, 40, 50),
+        straggle_ms: 50,
         ..Flags::default()
     };
     let mut it = rest.iter();
@@ -267,6 +334,65 @@ fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
                     .parse()
                     .map_err(|e| CliError::Usage(format!("--set {name}: {e}")))?;
                 f.sets.push((name.to_owned(), val));
+            }
+            "--params" => f.params = Some(value("--params")?),
+            "--grid" => f.grid.push(value("--grid")?),
+            "--concurrency" => {
+                f.concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--concurrency: {e}")))?
+            }
+            "--deadline-ms" => {
+                f.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--deadline-ms: {e}")))?
+            }
+            "--max-rhs" => {
+                f.max_rhs = value("--max-rhs")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--max-rhs: {e}")))?
+            }
+            "--retries" => {
+                f.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--retries: {e}")))?
+            }
+            "--checkpoint" => f.checkpoint = Some(value("--checkpoint")?),
+            "--resume" => f.resume = true,
+            "--manifest" => f.manifest = Some(value("--manifest")?),
+            "--stop-after" => {
+                f.stop_after = Some(
+                    value("--stop-after")?
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--stop-after: {e}")))?,
+                )
+            }
+            "--fault-seed" => {
+                f.fault_seed = Some(
+                    value("--fault-seed")?
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--fault-seed: {e}")))?,
+                )
+            }
+            "--fault-rates" => {
+                let spec = value("--fault-rates")?;
+                let parts: Vec<&str> = spec.split(',').collect();
+                let parse = |s: &str| -> Result<u32, CliError> {
+                    s.trim()
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--fault-rates `{spec}`: {e}")))
+                };
+                if parts.len() != 3 {
+                    return Err(CliError::Usage(format!(
+                        "--fault-rates expects panic,straggle,nan per-mille, got `{spec}`"
+                    )));
+                }
+                f.fault_rates = (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?);
+            }
+            "--straggle-ms" => {
+                f.straggle_ms = value("--straggle-ms")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--straggle-ms: {e}")))?
             }
             other => {
                 return Err(CliError::Usage(format!(
@@ -442,6 +568,251 @@ fn truncate(s: &str, n: usize) -> String {
     }
 }
 
+/// Parse `--grid state=a:b:n` into `(name, linspace)`.
+fn parse_grid(spec: &str) -> Result<(String, Vec<f64>), CliError> {
+    let err = || {
+        CliError::Usage(format!(
+            "--grid expects state=start:end:count, got `{spec}`"
+        ))
+    };
+    let (name, range) = spec.split_once('=').ok_or_else(err)?;
+    let parts: Vec<&str> = range.split(':').collect();
+    if parts.len() != 3 {
+        return Err(err());
+    }
+    let a: f64 = parts[0].parse().map_err(|_| err())?;
+    let b: f64 = parts[1].parse().map_err(|_| err())?;
+    let n: usize = parts[2].parse().map_err(|_| err())?;
+    if n == 0 {
+        return Err(err());
+    }
+    let values = if n == 1 {
+        vec![a]
+    } else {
+        (0..n)
+            .map(|i| a + (b - a) * i as f64 / (n - 1) as f64)
+            .collect()
+    };
+    Ok((name.to_owned(), values))
+}
+
+/// Scenario vectors from `--grid` flags: the cartesian product of the
+/// per-state linspaces, in flag order (last flag varies fastest).
+fn grid_scenarios(grids: &[String]) -> Result<Vec<Vec<(String, f64)>>, CliError> {
+    let axes: Vec<(String, Vec<f64>)> = grids
+        .iter()
+        .map(|g| parse_grid(g))
+        .collect::<Result<_, _>>()?;
+    let mut combos: Vec<Vec<(String, f64)>> = vec![Vec::new()];
+    for (name, values) in &axes {
+        let mut next = Vec::with_capacity(combos.len() * values.len());
+        for combo in &combos {
+            for v in values {
+                let mut extended = combo.clone();
+                extended.push((name.clone(), *v));
+                next.push(extended);
+            }
+        }
+        combos = next;
+    }
+    Ok(combos)
+}
+
+/// Scenario vectors from a `--params` file: JSON (array of objects) or
+/// CSV (header row of state names).
+fn params_scenarios(path: &str) -> Result<Vec<Vec<(String, f64)>>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
+    if path.ends_with(".json") {
+        let doc =
+            json::parse(&text).map_err(|e| CliError::Usage(format!("--params {path}: {e}")))?;
+        let rows = doc
+            .as_arr()
+            .ok_or_else(|| CliError::Usage(format!("--params {path}: expected a JSON array")))?;
+        rows.iter()
+            .map(|row| {
+                let fields = row.as_obj().ok_or_else(|| {
+                    CliError::Usage(format!("--params {path}: each element must be an object"))
+                })?;
+                fields
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_f64().map(|x| (k.clone(), x)).ok_or_else(|| {
+                            CliError::Usage(format!("--params {path}: `{k}` must be a number"))
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
+    } else {
+        // CSV: header = state names, one scenario per row.
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header: Vec<&str> = lines
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("--params {path}: empty file")))?
+            .split(',')
+            .map(str::trim)
+            .collect();
+        lines
+            .enumerate()
+            .map(|(row, line)| {
+                let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+                if cells.len() != header.len() {
+                    return Err(CliError::Usage(format!(
+                        "--params {path}: row {} has {} cells, header has {}",
+                        row + 2,
+                        cells.len(),
+                        header.len()
+                    )));
+                }
+                header
+                    .iter()
+                    .zip(&cells)
+                    .map(|(name, cell)| {
+                        cell.parse::<f64>()
+                            .map(|x| (name.to_string(), x))
+                            .map_err(|e| {
+                                CliError::Usage(format!("--params {path}: row {}: {e}", row + 2))
+                            })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// The resilient ensemble driver: compile once through the registry, run
+/// every scenario to a terminal typed state, account for all of them.
+fn sweep(source: &str, opts: &Flags) -> Result<(), CliError> {
+    let registry = ModelRegistry::new();
+    let model = registry
+        .get_or_compile(source)
+        .map_err(|e| CliError::Compile(e.to_string()))?;
+
+    let mut vectors = Vec::new();
+    if let Some(path) = &opts.params {
+        vectors.extend(params_scenarios(path)?);
+    }
+    if !opts.grid.is_empty() {
+        vectors.extend(grid_scenarios(&opts.grid)?);
+    }
+    if vectors.is_empty() {
+        return Err(CliError::Usage(
+            "sweep needs scenarios: --params FILE and/or --grid state=a:b:n".into(),
+        ));
+    }
+    // Fail fast on unknown state names (before spinning anything up).
+    for vector in &vectors {
+        for (name, _) in vector {
+            if model.ir().find_state(name).is_none() {
+                return Err(CliError::Usage(format!(
+                    "sweep: no state named `{name}` in model `{}`",
+                    model.ir().name
+                )));
+            }
+        }
+    }
+    let scenarios: Vec<ScenarioSpec> = vectors
+        .into_iter()
+        .enumerate()
+        .map(|(i, overrides)| ScenarioSpec::new(i, overrides))
+        .collect();
+
+    let faults = match opts.fault_seed {
+        Some(seed) => {
+            let (p, s, n) = opts.fault_rates;
+            SweepFaultPlan::seeded(
+                seed,
+                scenarios.len(),
+                p,
+                s,
+                n,
+                Duration::from_millis(opts.straggle_ms),
+            )
+        }
+        None => SweepFaultPlan::none(),
+    };
+    let h = if opts.h > 0.0 {
+        opts.h
+    } else {
+        opts.tend / 1000.0
+    };
+    let cfg = SweepConfig {
+        run: ScenarioRunConfig {
+            t0: 0.0,
+            tend: opts.tend,
+            h,
+            deadline: (opts.deadline_ms > 0).then(|| Duration::from_millis(opts.deadline_ms)),
+            max_rhs_calls: opts.max_rhs,
+            max_retries: opts.retries,
+            ..ScenarioRunConfig::default()
+        },
+        concurrency: opts.concurrency.max(1),
+        workers: opts.workers.max(1),
+        strategy: opts.executor,
+        faults,
+        checkpoint: opts.checkpoint.as_ref().map(std::path::PathBuf::from),
+        resume: opts.resume,
+        stop_after: opts.stop_after,
+        ..SweepConfig::default()
+    };
+
+    let result = run_sweep(&model, &scenarios, &cfg).map_err(CliError::Sweep)?;
+    let manifest = &result.manifest;
+    let report = &result.report;
+
+    if let Some(path) = &opts.manifest {
+        std::fs::write(path, manifest.render_json())
+            .map_err(|e| CliError::Io(format!("cannot write `{path}`: {e}")))?;
+    }
+    println!(
+        "sweep `{}` [{}]: {} scenarios = {} completed, {} quarantined, \
+         {} deadline-exceeded, {} skipped ({} unaccounted)",
+        model.ir().name,
+        model.key(),
+        manifest.scenarios(),
+        manifest.completed(),
+        manifest.quarantined(),
+        manifest.deadline_exceeded(),
+        manifest.skipped(),
+        manifest.unaccounted(),
+    );
+    println!(
+        "  {} fresh + {} from checkpoint in {:.3}s ({:.1} scenarios/s, p50 {:.2}ms, \
+         p99 {:.2}ms, strategy {}, registry {} hit(s) {} miss(es))",
+        report.fresh,
+        report.from_checkpoint,
+        report.wall.as_secs_f64(),
+        report.throughput_per_sec(),
+        report.latency_percentile_ns(0.50) as f64 / 1e6,
+        report.latency_percentile_ns(0.99) as f64 / 1e6,
+        report.effective_strategy,
+        registry.hits(),
+        registry.misses(),
+    );
+    if report.degraded {
+        eprintln!(
+            "[sweep degraded: concurrency shed to {} after deadline storms]",
+            report.final_concurrency
+        );
+    }
+
+    if manifest.completed() == manifest.scenarios() {
+        Ok(())
+    } else {
+        Err(CliError::SweepPartial {
+            summary: format!(
+                "{} of {} scenarios did not complete ({} quarantined, {} past deadline, {} skipped)",
+                manifest.scenarios() - manifest.completed(),
+                manifest.scenarios(),
+                manifest.quarantined(),
+                manifest.deadline_exceeded(),
+                manifest.skipped(),
+            ),
+        })
+    }
+}
+
 fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), CliError> {
     for (name, value) in &opts.sets {
         if !ir.set_start(name, *value) {
@@ -501,16 +872,33 @@ fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), CliError> {
     } else {
         let program = CodeGenerator::default().generate(ir);
         let sched = program.schedule(opts.workers);
-        let pool = ExecutorPool::with_faults(
+        let plan = match opts.fault_seed {
+            Some(seed) => FaultPlan::from_seed(seed, opts.workers, opts.workers),
+            None => FaultPlan::none(),
+        };
+        let (pool, fell_back) = ExecutorPool::with_faults_reported(
             program.graph,
             opts.workers,
             sched.assignment,
-            FaultPlan::none(),
+            plan,
             FaultConfig::default(),
             opts.executor,
         )
         .map_err(CliError::Runtime)?;
         let strategy = pool.strategy();
+        if fell_back {
+            eprintln!(
+                "warning: --executor ws has no fault-recovery ladder; an active fault \
+                 plan falls back to the barrier executor (effective strategy: {strategy})"
+            );
+        }
+        // Record the *effective* strategy where `--metrics` can see it,
+        // so scripts need not parse stderr to learn about the fallback.
+        if om_obs::is_enabled() {
+            om_obs::metrics()
+                .counter(&format!("runtime.strategy.{strategy}"))
+                .inc();
+        }
         let mut rhs = ParallelRhs::new(pool, 16);
         let sol = match solve(&mut rhs) {
             Ok(sol) => sol,
