@@ -17,6 +17,15 @@
 //! summarised by the median per-call time across rounds, so drift hits
 //! both executors symmetrically.
 //!
+//! Every model also gets a measured *serial* baseline (`eval_serial`,
+//! no pool at all), recorded as `serial_ns_per_call` and used for the
+//! `barrier_vs_serial` / `ws_vs_serial` columns. `ws_speedup` is ws
+//! relative to *barrier* — at 1 worker it mostly measures barrier
+//! synchronization overhead, not parallel speedup (an earlier
+//! BENCH_5.json reported a 10x oscillator "speedup" at 1 worker that
+//! was exactly this artifact), which is why both baselines are now
+//! labeled explicitly.
+//!
 //! Flags:
 //! * `--quick` — fewer rounds / shorter batches (the CI smoke setting),
 //! * `--json`  — machine-readable JSON on stdout (the human table moves
@@ -44,6 +53,8 @@ struct ModelRow {
     name: &'static str,
     tasks: usize,
     levels: usize,
+    /// Pool-free `eval_serial` baseline, ns per RHS call.
+    serial_ns: f64,
     cells: Vec<Cell>,
 }
 
@@ -100,6 +111,22 @@ fn main() {
         .generate(&ir);
         let graph = program.graph.clone();
         let y0 = ir.initial_state();
+        // Serial baseline: the same bytecode without any pool.
+        let serial_ns = {
+            let mut dydt = vec![0.0; graph.dim];
+            let warm = time_batch(|t| graph.eval_serial(t, &y0, &mut dydt), 0.0, 30);
+            let batch = ((target_batch_ns / warm) as usize).clamp(20, 5000);
+            let mut serial_rounds = Vec::with_capacity(rounds);
+            for r in 0..rounds {
+                let t0 = 0.01 * r as f64;
+                serial_rounds.push(time_batch(
+                    |t| graph.eval_serial(t, &y0, &mut dydt),
+                    t0,
+                    batch,
+                ));
+            }
+            median(serial_rounds)
+        };
         let mut cells = Vec::new();
         for &w in &workers_list {
             let sched = program.schedule(w);
@@ -131,6 +158,7 @@ fn main() {
             name,
             tasks: graph.tasks.len(),
             levels: graph.levels().len(),
+            serial_ns,
             cells,
         });
     }
@@ -144,32 +172,47 @@ fn main() {
     );
     let _ = writeln!(
         table,
-        "{:<12} {:>5} {:>6} {:>3}  {:>12} {:>12} {:>8}",
-        "model", "tasks", "levels", "w", "barrier", "ws", "speedup"
+        "{:<12} {:>5} {:>6} {:>3}  {:>10} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "model",
+        "tasks",
+        "levels",
+        "w",
+        "serial",
+        "barrier",
+        "ws",
+        "ws/barrier",
+        "bar/serial",
+        "ws/serial"
     );
     let mut csv_rows = Vec::new();
     for row in &rows {
         for c in &row.cells {
             let _ = writeln!(
                 table,
-                "{:<12} {:>5} {:>6} {:>3}  {:>12.0} {:>12.0} {:>7.2}x",
+                "{:<12} {:>5} {:>6} {:>3}  {:>10.0} {:>12.0} {:>12.0} {:>9.2}x {:>9.2}x {:>9.2}x",
                 row.name,
                 row.tasks,
                 row.levels,
                 c.workers,
+                row.serial_ns,
                 c.barrier_ns,
                 c.ws_ns,
-                c.speedup()
+                c.speedup(),
+                row.serial_ns / c.barrier_ns,
+                row.serial_ns / c.ws_ns,
             );
             csv_rows.push(format!(
-                "{},{},{},{},{:.0},{:.0},{:.4}",
+                "{},{},{},{},{:.0},{:.0},{:.0},{:.4},{:.4},{:.4}",
                 row.name,
                 row.tasks,
                 row.levels,
                 c.workers,
+                row.serial_ns,
                 c.barrier_ns,
                 c.ws_ns,
-                c.speedup()
+                c.speedup(),
+                row.serial_ns / c.barrier_ns,
+                row.serial_ns / c.ws_ns,
             ));
         }
     }
@@ -180,7 +223,8 @@ fn main() {
     }
     om_bench::write_csv_quiet(
         "e12b_ws_sweep",
-        "model,tasks,levels,workers,barrier_ns_per_call,ws_ns_per_call,ws_speedup",
+        "model,tasks,levels,workers,serial_ns_per_call,barrier_ns_per_call,ws_ns_per_call,\
+         ws_speedup_vs_barrier,barrier_vs_serial,ws_vs_serial",
         &csv_rows,
     );
 
@@ -201,22 +245,33 @@ fn main() {
             Strategy::Barrier,
             Strategy::WorkStealing
         );
+        let _ = writeln!(out, "  \"baseline\": \"serial_eval\",");
+        let _ = writeln!(
+            out,
+            "  \"note\": \"ws_speedup is ws vs barrier (at 1 worker it measures \
+             barrier overhead, not parallelism); *_vs_serial columns use the \
+             measured pool-free serial baseline\","
+        );
         let _ = writeln!(out, "  \"models\": [");
         for (i, row) in rows.iter().enumerate() {
             let _ = writeln!(out, "    {{");
             let _ = writeln!(out, "      \"model\": \"{}\",", row.name);
             let _ = writeln!(out, "      \"tasks\": {},", row.tasks);
             let _ = writeln!(out, "      \"levels\": {},", row.levels);
+            let _ = writeln!(out, "      \"serial_ns_per_call\": {:.0},", row.serial_ns);
             let _ = writeln!(out, "      \"results\": [");
             for (j, c) in row.cells.iter().enumerate() {
                 let _ = writeln!(
                     out,
                     "        {{\"workers\": {}, \"barrier_ns_per_call\": {:.0}, \
-                     \"ws_ns_per_call\": {:.0}, \"ws_speedup\": {:.4}}}{}",
+                     \"ws_ns_per_call\": {:.0}, \"ws_speedup\": {:.4}, \
+                     \"barrier_vs_serial\": {:.4}, \"ws_vs_serial\": {:.4}}}{}",
                     c.workers,
                     c.barrier_ns,
                     c.ws_ns,
                     c.speedup(),
+                    row.serial_ns / c.barrier_ns,
+                    row.serial_ns / c.ws_ns,
                     if j + 1 < row.cells.len() { "," } else { "" }
                 );
             }

@@ -44,5 +44,5 @@ pub use dag::{Dag, NodeId};
 pub use generator::{CodeGenerator, GenOptions, GenStats, ParallelProgram};
 pub use registry::{fnv1a64, CompiledModel, ModelKey, ModelRegistry, RegistryError};
 pub use sched::{list_schedule, lpt, Schedule};
-pub use task::{CompiledTask, OutSlot, TaskGraph};
-pub use vm::execute;
+pub use task::{BatchScratch, CompiledTask, OutSlot, TaskGraph};
+pub use vm::{execute, execute_batch, LANE_CHUNK};

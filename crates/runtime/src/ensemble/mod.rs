@@ -26,7 +26,15 @@
 //! Interrupted sweeps leave unstarted scenarios `skipped` in the
 //! manifest; `--resume` re-queues exactly those while carrying every
 //! terminal outcome forward bit-for-bit.
+//!
+//! With `batch > 1` (and `workers == 1`), compatible scenarios are
+//! packed K at a time into one structure-of-arrays integration (see
+//! [`mod@batch`]): the bytecode VM and the RK4 stepper advance all K
+//! lanes per instruction/step, which amortizes dispatch and turns each
+//! op into an auto-vectorizable loop — while every lane stays bitwise
+//! identical to its scalar run.
 
+pub mod batch;
 pub mod checkpoint;
 pub mod json;
 pub mod scenario;
@@ -62,6 +70,11 @@ pub struct SweepConfig {
     pub workers: usize,
     /// Executor strategy when `workers > 1`.
     pub strategy: Strategy,
+    /// Scenarios evaluated per batched integration (lane width). Only
+    /// effective with `workers == 1`: intra-scenario pools and
+    /// inter-scenario batching are competing uses of the same cores, so
+    /// `workers > 1` falls back to scalar scenarios (batch 1).
+    pub batch: usize,
     pub faults: SweepFaultPlan,
     pub checkpoint: Option<PathBuf>,
     /// Flush the checkpoint every this many records.
@@ -83,6 +96,7 @@ impl Default for SweepConfig {
             min_concurrency: 1,
             workers: 1,
             strategy: Strategy::Barrier,
+            batch: 1,
             faults: SweepFaultPlan::none(),
             checkpoint: None,
             checkpoint_every: 8,
@@ -254,6 +268,9 @@ pub struct SweepReport {
     pub final_concurrency: usize,
     /// The executor strategy scenarios actually ran with.
     pub effective_strategy: Strategy,
+    /// The batch lane width scenarios actually ran with (1 = scalar;
+    /// `workers > 1` forces 1 regardless of the requested width).
+    pub effective_batch: usize,
 }
 
 impl SweepReport {
@@ -290,9 +307,58 @@ struct WorkerMsg {
     latency_ns: u64,
 }
 
-fn lock_queue(
-    queue: &Mutex<VecDeque<ScenarioSpec>>,
-) -> std::sync::MutexGuard<'_, VecDeque<ScenarioSpec>> {
+/// One unit a scenario worker pulls off the shared queue: a scalar
+/// scenario or a pre-packed batch of compatible ones.
+enum WorkItem {
+    Single(ScenarioSpec),
+    Batch(Vec<ScenarioSpec>),
+}
+
+impl WorkItem {
+    /// Scenarios this item accounts for (admission is per scenario, not
+    /// per item, so `stop_after` keeps its exact meaning under batching).
+    fn len(&self) -> usize {
+        match self {
+            WorkItem::Single(_) => 1,
+            WorkItem::Batch(specs) => specs.len(),
+        }
+    }
+}
+
+/// Pack pending scenarios into work items, preserving index order:
+/// batchable scenarios (see [`batch::batchable`]) accumulate into
+/// batches of `width`; non-batchable ones pass through as singles. A
+/// leftover batch of one degrades to a single (the scalar path is the
+/// same computation without the SoA detour).
+fn pack_work_items(
+    pending: VecDeque<ScenarioSpec>,
+    width: usize,
+    faults: &SweepFaultPlan,
+) -> VecDeque<WorkItem> {
+    if width <= 1 {
+        return pending.into_iter().map(WorkItem::Single).collect();
+    }
+    let mut items = VecDeque::new();
+    let mut acc: Vec<ScenarioSpec> = Vec::with_capacity(width);
+    for spec in pending {
+        if batch::batchable(faults.get(spec.index)) {
+            acc.push(spec);
+            if acc.len() == width {
+                items.push_back(WorkItem::Batch(std::mem::take(&mut acc)));
+            }
+        } else {
+            items.push_back(WorkItem::Single(spec));
+        }
+    }
+    match acc.len() {
+        0 => {}
+        1 => items.push_back(WorkItem::Single(acc.swap_remove(0))),
+        _ => items.push_back(WorkItem::Batch(acc)),
+    }
+    items
+}
+
+fn lock_queue(queue: &Mutex<VecDeque<WorkItem>>) -> std::sync::MutexGuard<'_, VecDeque<WorkItem>> {
     match queue.lock() {
         Ok(guard) => guard,
         // Nothing under this lock can leave a half-written state: a
@@ -327,6 +393,9 @@ pub fn run_sweep(
         return Err(SweepError::Config(
             "concurrency and workers must be at least 1".into(),
         ));
+    }
+    if cfg.batch == 0 {
+        return Err(SweepError::Config("batch width must be at least 1".into()));
     }
     if cfg.min_concurrency == 0 || cfg.min_concurrency > cfg.concurrency {
         return Err(SweepError::Config(format!(
@@ -390,6 +459,12 @@ pub fn run_sweep(
     let n_pending = pending.len();
     let n_threads = cfg.concurrency.min(n_pending.max(1));
 
+    // Batching composes with scenario-worker concurrency but not with
+    // intra-scenario pools: both eat the same cores, and pooled RHS
+    // evaluation is not lane-sliced. `workers > 1` falls back to scalar.
+    let batch_width = if cfg.workers > 1 { 1 } else { cfg.batch };
+    let pending = pack_work_items(pending, batch_width, &cfg.faults);
+
     // Scenario-private executor pools are built up front so a pool
     // construction failure is a sweep error, not a scenario outcome.
     let mut pools: Vec<Option<ExecutorPool>> = Vec::with_capacity(n_threads);
@@ -436,31 +511,70 @@ pub fn run_sweep(
         let builder = std::thread::Builder::new().name(format!("om-sweep-{wid}"));
         let handle = builder
             .spawn(move || {
-                loop {
+                'work: loop {
                     // Degradation gate: shed workers stop admitting work.
                     if stop.load(Ordering::Relaxed) || wid >= target.load(Ordering::Relaxed) {
                         break;
                     }
-                    if admitted.fetch_add(1, Ordering::Relaxed) >= admission_cap {
+                    let Some(item) = lock_queue(&queue).pop_front() else {
+                        break;
+                    };
+                    // Admission is counted in scenarios, not items: a
+                    // batch straddling the cap is truncated to the
+                    // granted lanes (the rest end `skipped`, exactly as
+                    // an un-admitted scalar scenario would).
+                    let want = item.len();
+                    let prev = admitted.fetch_add(want, Ordering::Relaxed);
+                    let granted = if prev >= admission_cap {
+                        0
+                    } else {
+                        want.min(admission_cap - prev)
+                    };
+                    if granted == 0 {
                         break;
                     }
-                    let Some(spec) = lock_queue(&queue).pop_front() else {
-                        break;
-                    };
-                    let mut substrate = match pool.as_mut() {
-                        Some(p) => Substrate::Pool(p),
-                        None => Substrate::Serial(&model.program().graph),
-                    };
-                    let begun = Instant::now();
-                    let outcome =
-                        run_scenario(&model, &spec, faults.get(spec.index), &run, &mut substrate);
-                    let msg = WorkerMsg {
-                        index: spec.index,
-                        outcome,
-                        latency_ns: begun.elapsed().as_nanos() as u64,
-                    };
-                    if tx.send(msg).is_err() {
-                        break;
+                    match item {
+                        WorkItem::Single(spec) => {
+                            let mut substrate = match pool.as_mut() {
+                                Some(p) => Substrate::Pool(p),
+                                None => Substrate::Serial(&model.program().graph),
+                            };
+                            let begun = Instant::now();
+                            let outcome = run_scenario(
+                                &model,
+                                &spec,
+                                faults.get(spec.index),
+                                &run,
+                                &mut substrate,
+                            );
+                            let msg = WorkerMsg {
+                                index: spec.index,
+                                outcome,
+                                latency_ns: begun.elapsed().as_nanos() as u64,
+                            };
+                            if tx.send(msg).is_err() {
+                                break;
+                            }
+                        }
+                        WorkItem::Batch(mut specs) => {
+                            specs.truncate(granted);
+                            let begun = Instant::now();
+                            let outcomes = batch::run_scenario_batch(&model, &specs, &faults, &run);
+                            // The batch's wall time was shared by all
+                            // lanes; attribute an even share to each.
+                            let per_lane =
+                                begun.elapsed().as_nanos() as u64 / specs.len().max(1) as u64;
+                            for (index, outcome) in outcomes {
+                                let msg = WorkerMsg {
+                                    index,
+                                    outcome,
+                                    latency_ns: per_lane,
+                                };
+                                if tx.send(msg).is_err() {
+                                    break 'work;
+                                }
+                            }
+                        }
                     }
                 }
             })
@@ -554,6 +668,7 @@ pub fn run_sweep(
             degraded,
             final_concurrency: target.load(Ordering::Relaxed),
             effective_strategy,
+            effective_batch: batch_width,
         },
     })
 }
@@ -778,6 +893,81 @@ mod tests {
                 .map(<[_]>::len),
             Some(5)
         );
+    }
+
+    #[test]
+    fn batched_sweep_matches_scalar_sweep_bitwise() {
+        let model = model();
+        let mut scalar_cfg = quick_cfg();
+        scalar_cfg.concurrency = 1;
+        let oracle = run_sweep(&model, &specs(13), &scalar_cfg).unwrap();
+        // 13 scenarios over widths that divide unevenly: ragged tails,
+        // degenerate width 1, width > N.
+        for width in [1usize, 2, 3, 8, 16] {
+            let mut cfg = quick_cfg();
+            cfg.batch = width;
+            let batched = run_sweep(&model, &specs(13), &cfg).unwrap();
+            assert_eq!(batched.report.effective_batch, width);
+            assert_eq!(
+                oracle.manifest.render_json(),
+                batched.manifest.render_json(),
+                "batch width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_falls_back_to_scalar_under_pooled_workers() {
+        let model = model();
+        let mut cfg = quick_cfg();
+        cfg.batch = 8;
+        cfg.workers = 2;
+        cfg.concurrency = 2;
+        let result = run_sweep(&model, &specs(6), &cfg).unwrap();
+        assert_eq!(result.report.effective_batch, 1);
+        assert_eq!(result.manifest.completed(), 6);
+    }
+
+    #[test]
+    fn zero_batch_width_is_a_config_error() {
+        let model = model();
+        let mut cfg = quick_cfg();
+        cfg.batch = 0;
+        let err = run_sweep(&model, &specs(2), &cfg).unwrap_err();
+        assert!(matches!(err, SweepError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn batched_sweep_interrupt_and_resume_stays_exact() {
+        let model = model();
+        let path = std::env::temp_dir().join(format!(
+            "om-sweep-batch-resume-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut scalar_cfg = quick_cfg();
+        scalar_cfg.concurrency = 1;
+        let oracle = run_sweep(&model, &specs(10), &scalar_cfg).unwrap();
+
+        let mut first_cfg = quick_cfg();
+        first_cfg.batch = 4;
+        first_cfg.concurrency = 1;
+        first_cfg.checkpoint = Some(path.clone());
+        first_cfg.checkpoint_every = 1;
+        first_cfg.stop_after = Some(6);
+        let partial = run_sweep(&model, &specs(10), &first_cfg).unwrap();
+        assert!(partial.manifest.skipped() > 0, "stop_after must interrupt");
+
+        let mut resume_cfg = quick_cfg();
+        resume_cfg.batch = 4;
+        resume_cfg.checkpoint = Some(path.clone());
+        resume_cfg.resume = true;
+        let resumed = run_sweep(&model, &specs(10), &resume_cfg).unwrap();
+        assert_eq!(
+            resumed.manifest.render_json(),
+            oracle.manifest.render_json()
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   user-supplied Jacobian) and solution/statistics types,
 //! * [`linalg`] — dense matrices, LU decomposition with partial pivoting,
 //! * [`rk`] — fixed-step RK4 and adaptive Dormand–Prince 5(4),
+//! * [`mod@batch`] — lockstep batched RK4 advancing K ensemble members
+//!   per RHS call (structure-of-arrays, bitwise-identical per lane),
 //! * [`adams`] — Adams-Bashforth-Moulton PECE predictor-corrector,
 //! * [`mod@bdf`] — variable-step BDF(1–5) with modified Newton iteration,
 //! * [`mod@lsoda`] — the stiff/non-stiff auto-switching driver,
@@ -26,6 +28,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod adams;
+pub mod batch;
 pub mod bdf;
 pub mod linalg;
 pub mod lsoda;
@@ -34,6 +37,7 @@ pub mod partitioned;
 pub mod rk;
 
 pub use adams::abm4;
+pub use batch::{rk4_batch, BatchSolution, BatchedOdeSystem};
 pub use bdf::{bdf, BdfOptions};
 pub use linalg::{LuFactors, Matrix};
 pub use lsoda::{lsoda, LsodaOptions, Phase};

@@ -131,6 +131,9 @@ fn usage() -> String {
          --concurrency N           scenario workers (default 4)\n\
          --workers N               ODE workers per scenario (default 1 = serial)\n\
          --executor barrier|ws     executor when --workers > 1\n\
+         --batch K                 evaluate K scenarios per batched integration\n\
+                                   (SoA lanes, bitwise-identical to --batch 1;\n\
+                                   requires --workers 1, else falls back to 1)\n\
          --deadline-ms MS          per-scenario wall-clock deadline\n\
          --max-rhs N               per-scenario RHS call budget\n\
          --retries N               retries for transient faults (default 2)\n\
@@ -252,6 +255,7 @@ struct Flags {
     params: Option<String>,
     grid: Vec<String>,
     concurrency: usize,
+    batch: usize,
     deadline_ms: u64,
     max_rhs: u64,
     retries: u32,
@@ -274,6 +278,7 @@ fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
         atol: 1e-9,
         h: 0.0,
         concurrency: 4,
+        batch: 1,
         retries: 2,
         fault_rates: (60, 40, 50),
         straggle_ms: 50,
@@ -341,6 +346,11 @@ fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
                 f.concurrency = value("--concurrency")?
                     .parse()
                     .map_err(|e| CliError::Usage(format!("--concurrency: {e}")))?
+            }
+            "--batch" => {
+                f.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--batch: {e}")))?
             }
             "--deadline-ms" => {
                 f.deadline_ms = value("--deadline-ms")?
@@ -750,6 +760,7 @@ fn sweep(source: &str, opts: &Flags) -> Result<(), CliError> {
         concurrency: opts.concurrency.max(1),
         workers: opts.workers.max(1),
         strategy: opts.executor,
+        batch: opts.batch.max(1),
         faults,
         checkpoint: opts.checkpoint.as_ref().map(std::path::PathBuf::from),
         resume: opts.resume,
@@ -757,6 +768,13 @@ fn sweep(source: &str, opts: &Flags) -> Result<(), CliError> {
         ..SweepConfig::default()
     };
 
+    if opts.batch > 1 && opts.workers > 1 {
+        eprintln!(
+            "[sweep: --batch {} ignored with --workers {} — batching and \
+             per-scenario pools compete for the same cores; running scalar]",
+            opts.batch, opts.workers
+        );
+    }
     let result = run_sweep(&model, &scenarios, &cfg).map_err(CliError::Sweep)?;
     let manifest = &result.manifest;
     let report = &result.report;
@@ -779,7 +797,7 @@ fn sweep(source: &str, opts: &Flags) -> Result<(), CliError> {
     );
     println!(
         "  {} fresh + {} from checkpoint in {:.3}s ({:.1} scenarios/s, p50 {:.2}ms, \
-         p99 {:.2}ms, strategy {}, registry {} hit(s) {} miss(es))",
+         p99 {:.2}ms, strategy {}, batch {}, registry {} hit(s) {} miss(es))",
         report.fresh,
         report.from_checkpoint,
         report.wall.as_secs_f64(),
@@ -787,6 +805,7 @@ fn sweep(source: &str, opts: &Flags) -> Result<(), CliError> {
         report.latency_percentile_ns(0.50) as f64 / 1e6,
         report.latency_percentile_ns(0.99) as f64 / 1e6,
         report.effective_strategy,
+        report.effective_batch,
         registry.hits(),
         registry.misses(),
     );
@@ -964,8 +983,23 @@ mod tests {
         assert_eq!(f.solver, "dopri5");
         assert_eq!(f.workers, 0);
         assert_eq!(f.executor, Strategy::Barrier);
+        assert_eq!(f.batch, 1);
         assert!(f.trace.is_none());
         assert!(!f.metrics);
+    }
+
+    #[test]
+    fn parse_flags_batch_width() {
+        let f = parse_flags(&args(&["--batch", "8"])).expect("parse");
+        assert_eq!(f.batch, 8);
+        assert!(matches!(
+            parse_flags(&args(&["--batch", "wide"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_flags(&args(&["--batch"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
