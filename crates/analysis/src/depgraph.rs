@@ -44,6 +44,11 @@ impl DepGraph {
 /// algebraic assignments (in topological order) — stable and
 /// deterministic for golden tests.
 pub fn build_dependency_graph(ir: &OdeIr) -> DepGraph {
+    if ir.has_classes() {
+        // Equation-level analyses want one node per scalar equation;
+        // expand array classes into their members first.
+        return build_dependency_graph(&ir.expand_classes());
+    }
     let mut nodes: Vec<EqNode> = Vec::with_capacity(ir.derivs.len() + ir.algebraics.len());
     let mut def_index: HashMap<Symbol, usize> = HashMap::new();
     for d in &ir.derivs {

@@ -1,0 +1,283 @@
+//! **Experiment E15** — array-aware compile scaling: compile time and
+//! task-DAG size versus model size N, array-aware versus the fully
+//! scalarized oracle pipeline.
+//!
+//! Array-aware flattening keeps uniform `for`-equation groups as one
+//! symbolic *array class*; causalization matches one representative per
+//! class and code generation emits a bounded number of loop tasks (one
+//! bytecode body, per-iteration slot patching). Compile cost then scales
+//! with the number of array *classes*, not *elements*: the oracle
+//! pipeline simplifies and compiles N right-hand sides where the aware
+//! pipeline handles one representative plus O(N) cheap bookkeeping
+//! (class rows, enumerated write slots).
+//!
+//! Measured per N rung on the distributed-stencil heat1d model
+//! (`velocity != 0`, so the interior rows classify):
+//! * wall-clock compile time (parse → flatten → causalize → generate),
+//! * peak task-DAG node count,
+//!
+//! and, on the smallest rung, bitwise identity of the aware graph's
+//! serial evaluation against the oracle graph (both compiled in-process
+//! from the same source).
+//!
+//! The bearing model's rollers are individual `part`s with per-instance
+//! start angles — deliberately *not* classifiable — so it rides along as
+//! the fallback-parity dataset: array-aware compilation of a
+//! non-classifiable model must cost about the same as the oracle.
+//!
+//! Gates (CI fails on regression):
+//! * aware task-DAG node count stays bounded while the oracle's grows
+//!   linearly (sublinear scaling),
+//! * aware compile time beats the oracle by ≥3x in `--quick` mode and
+//!   ≥10x at the largest full rung,
+//! * bitwise identity of the small-N derivatives,
+//! * bearing fallback parity within 2.5x.
+//!
+//! Flags: `--quick` (CI smoke ladder), `--json` (BENCH_8.json on stdout,
+//! human table on stderr).
+
+use om_codegen::{CodeGenerator, GenOptions};
+use om_models::bearing2d::{self, BearingConfig};
+use om_models::heat1d::{self, HeatConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Rung {
+    n: usize,
+    oracle_ms: f64,
+    aware_ms: f64,
+    oracle_tasks: usize,
+    aware_tasks: usize,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// Full pipeline: source text → compiled task graph. Returns the graph
+/// so the caller can count tasks / evaluate.
+fn compile_graph(source: &str, array_aware: bool) -> om_codegen::TaskGraph {
+    let flat = if array_aware {
+        om_lang::compile_arrays(source).expect("compiles")
+    } else {
+        om_lang::compile(source).expect("compiles")
+    };
+    let ir = om_ir::causalize(&flat).expect("causalizes");
+    CodeGenerator::new(GenOptions::default())
+        .generate(&ir)
+        .graph
+}
+
+/// Median wall-clock of `repeats` full compiles, in milliseconds.
+fn time_compile(source: &str, array_aware: bool, repeats: usize) -> f64 {
+    let mut times = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let graph = compile_graph(source, array_aware);
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(graph);
+    }
+    median(times)
+}
+
+fn heat_source(n: usize) -> String {
+    heat1d::source_distributed(&HeatConfig {
+        cells: n,
+        velocity: 0.4,
+        ..HeatConfig::default()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let (ladder, repeats) = if quick {
+        (vec![64usize, 256, 1024], 3usize)
+    } else {
+        (vec![64usize, 256, 1024, 4096, 16384], 5usize)
+    };
+
+    // Bitwise identity on the smallest rung: the aware graph (loop
+    // tasks) and the oracle graph (element tasks) from the same source
+    // must produce identical derivative bits.
+    let n0 = ladder[0];
+    let src0 = heat_source(n0);
+    let aware_graph = compile_graph(&src0, true);
+    let oracle_graph = compile_graph(&src0, false);
+    assert!(
+        aware_graph.tasks.iter().any(|t| t.loop_info.is_some()),
+        "heat1d(distributed, v!=0) must produce loop tasks"
+    );
+    let y: Vec<f64> = (0..n0).map(|i| (0.21 * i as f64).sin() + 0.1).collect();
+    let mut fa = vec![0.0; n0];
+    let mut fo = vec![0.0; n0];
+    aware_graph.eval_serial(0.37, &y, &mut fa);
+    oracle_graph.eval_serial(0.37, &y, &mut fo);
+    let bitwise_ok = fa.iter().zip(&fo).all(|(a, o)| a.to_bits() == o.to_bits());
+
+    let mut rungs: Vec<Rung> = Vec::new();
+    for &n in &ladder {
+        let src = heat_source(n);
+        let oracle_ms = time_compile(&src, false, repeats);
+        let aware_ms = time_compile(&src, true, repeats);
+        let oracle_tasks = compile_graph(&src, false).tasks.len();
+        let aware_tasks = compile_graph(&src, true).tasks.len();
+        rungs.push(Rung {
+            n,
+            oracle_ms,
+            aware_ms,
+            oracle_tasks,
+            aware_tasks,
+        });
+    }
+
+    // Fallback parity: bearing rollers are individual parts, nothing
+    // classifies, and the aware pipeline must not add meaningful cost.
+    let bearing_src = bearing2d::source(&BearingConfig::default());
+    let bearing_oracle_ms = time_compile(&bearing_src, false, repeats);
+    let bearing_aware_ms = time_compile(&bearing_src, true, repeats);
+    let bearing_parity = bearing_aware_ms / bearing_oracle_ms;
+
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "== E15: array-aware compile scaling (heat1d distributed, v=0.4; \
+         median of {repeats} compiles{}) ==",
+        if quick { ", quick" } else { "" }
+    );
+    let _ = writeln!(
+        table,
+        "{:>6} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+        "N", "oracle_ms", "aware_ms", "speedup", "oracle_tasks", "aware_tasks", "ratio"
+    );
+    let mut csv_rows = Vec::new();
+    for r in &rungs {
+        let _ = writeln!(
+            table,
+            "{:>6} {:>12.2} {:>12.2} {:>7.1}x {:>12} {:>12} {:>7.1}x",
+            r.n,
+            r.oracle_ms,
+            r.aware_ms,
+            r.oracle_ms / r.aware_ms,
+            r.oracle_tasks,
+            r.aware_tasks,
+            r.oracle_tasks as f64 / r.aware_tasks as f64,
+        );
+        csv_rows.push(format!(
+            "{},{:.3},{:.3},{},{}",
+            r.n, r.oracle_ms, r.aware_ms, r.oracle_tasks, r.aware_tasks
+        ));
+    }
+    let _ = writeln!(
+        table,
+        "bearing2d fallback parity: aware {bearing_aware_ms:.2} ms vs oracle \
+         {bearing_oracle_ms:.2} ms ({bearing_parity:.2}x)"
+    );
+    let _ = writeln!(
+        table,
+        "bitwise identity at N={n0}: {}",
+        if bitwise_ok { "ok" } else { "FAILED" }
+    );
+    if json {
+        eprint!("{table}");
+    } else {
+        print!("{table}");
+    }
+    om_bench::write_csv_quiet(
+        "e15_compile_scale",
+        "n,oracle_compile_ms,aware_compile_ms,oracle_tasks,aware_tasks",
+        &csv_rows,
+    );
+
+    if json {
+        // Hand-rolled JSON (no serde in the workspace): CI redirects
+        // stdout to BENCH_8.json.
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"experiment\": \"E15\",");
+        let _ = writeln!(
+            out,
+            "  \"mode\": \"{}\",",
+            if quick { "quick" } else { "full" }
+        );
+        let _ = writeln!(out, "  \"model\": \"heat1d_distributed_v0.4\",");
+        let _ = writeln!(out, "  \"bitwise_identity_n\": {n0},");
+        let _ = writeln!(out, "  \"bitwise_identity_ok\": {bitwise_ok},");
+        let _ = writeln!(out, "  \"rungs\": [");
+        for (i, r) in rungs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"n\": {}, \"oracle_compile_ms\": {:.3}, \
+                 \"aware_compile_ms\": {:.3}, \"compile_speedup\": {:.2}, \
+                 \"oracle_tasks\": {}, \"aware_tasks\": {}}}{}",
+                r.n,
+                r.oracle_ms,
+                r.aware_ms,
+                r.oracle_ms / r.aware_ms,
+                r.oracle_tasks,
+                r.aware_tasks,
+                if i + 1 < rungs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"bearing_fallback_parity\": {bearing_parity:.3}");
+        let _ = writeln!(out, "}}");
+        print!("{out}");
+    }
+
+    // --- Gates -----------------------------------------------------
+    let mut failed = false;
+    if !bitwise_ok {
+        eprintln!("[e15] FAIL: aware graph not bitwise identical to oracle at N={n0}");
+        failed = true;
+    }
+    // Sublinear DAG size: the oracle's task count grows with N while the
+    // aware count stays bounded (boundary tasks + a capped chunk fan).
+    let first = &rungs[0];
+    let last = &rungs[rungs.len() - 1];
+    if last.aware_tasks > 2 * first.aware_tasks {
+        eprintln!(
+            "[e15] FAIL: aware task count grew {} -> {} (expected bounded)",
+            first.aware_tasks, last.aware_tasks
+        );
+        failed = true;
+    }
+    // The oracle merges ~3 element tasks per group, so its task count is
+    // roughly n/3; anything under n/4 means the scaling baseline broke.
+    if last.oracle_tasks < last.n / 4 {
+        eprintln!(
+            "[e15] FAIL: oracle task count {} suspiciously small at N={} \
+             (scaling baseline broken?)",
+            last.oracle_tasks, last.n
+        );
+        failed = true;
+    }
+    // Compile-time win at the largest rung.
+    let need = if quick { 3.0 } else { 10.0 };
+    let speedup = last.oracle_ms / last.aware_ms;
+    eprintln!(
+        "[e15] N={}: aware {:.2} ms vs oracle {:.2} ms ({speedup:.1}x, need >= {need:.0}x); \
+         tasks {} vs {}",
+        last.n, last.aware_ms, last.oracle_ms, last.aware_tasks, last.oracle_tasks
+    );
+    if speedup < need {
+        eprintln!("[e15] FAIL: compile speedup {speedup:.1}x below the {need:.0}x gate");
+        failed = true;
+    }
+    if bearing_parity > 2.5 {
+        eprintln!(
+            "[e15] FAIL: bearing fallback parity {bearing_parity:.2}x (aware pipeline \
+             slows down non-classifiable models)"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -7,9 +7,8 @@
 
 use crate::emit_fortran::{mangle, render_task, target_name, Lang, SourceStats};
 use crate::task::{OutTarget, SymbolicTask};
-use om_expr::{CostModel, Symbol};
+use om_expr::CostModel;
 use om_ir::OdeIr;
-use std::collections::HashMap;
 use std::fmt::Write as _;
 
 fn finish_stats(text: String, cse_count: usize) -> SourceStats {
@@ -35,7 +34,7 @@ pub fn emit_parallel(
     model: &CostModel,
 ) -> SourceStats {
     assert_eq!(tasks.len(), assignment.len());
-    let state_index: HashMap<Symbol, usize> = ir.state_index();
+    let state_index = ir.state_index();
     let mut out = String::new();
     let _ = writeln!(out, "#include <cmath>");
     let _ = writeln!(out, "namespace om {{ inline double sign(double x) {{ return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); }} }}");
@@ -91,9 +90,10 @@ pub fn emit_serial(ir: &OdeIr, model: &CostModel) -> SourceStats {
             .enumerate()
             .map(|(i, e)| (OutTarget::Deriv(i), e))
             .collect(),
+        array_loop: None,
     };
     let rendered = render_task(&all, model, Lang::Cpp, "t");
-    let state_index: HashMap<Symbol, usize> = ir.state_index();
+    let state_index = ir.state_index();
     let mut out = String::new();
     let _ = writeln!(out, "#include <cmath>");
     let _ = writeln!(out, "namespace om {{ inline double sign(double x) {{ return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); }} }}");

@@ -344,7 +344,7 @@ pub fn emit_parallel(
 ) -> SourceStats {
     assert_eq!(tasks.len(), assignment.len());
     let dim = ir.dim();
-    let state_index: HashMap<Symbol, usize> = ir.state_index();
+    let state_index = ir.state_index();
     let mut out = String::new();
     let _ = writeln!(out, "subroutine RHS(workerid, yin, yout)");
     let _ = writeln!(out, "  integer workerid");
@@ -423,9 +423,10 @@ pub fn emit_serial(ir: &OdeIr, model: &CostModel) -> SourceStats {
             .enumerate()
             .map(|(i, e)| (OutTarget::Deriv(i), e))
             .collect(),
+        array_loop: None,
     };
     let rendered = render_task(&all, model, Lang::F90, "t");
-    let state_index: HashMap<Symbol, usize> = ir.state_index();
+    let state_index = ir.state_index();
 
     let mut out = String::new();
     let _ = writeln!(out, "subroutine RHS(yin, yout)");

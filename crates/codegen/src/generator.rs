@@ -123,6 +123,10 @@ impl CodeGenerator {
     /// middle panel): one `Equal[Derivative[1][…]…]` per equation wrapped
     /// in a `List[…]`.
     pub fn intermediate_code(&self, ir: &OdeIr) -> String {
+        if ir.has_classes() {
+            // The textual forms enumerate every scalar equation.
+            return self.intermediate_code(&ir.expand_classes());
+        }
         let mut out = String::new();
         let _ = writeln!(out, "List[");
         let _ = writeln!(out, "  List[");
@@ -154,6 +158,9 @@ impl CodeGenerator {
     /// Generate the §3.3 statistics: intermediate code size, parallel vs
     /// serial Fortran with their CSE counts.
     pub fn stats(&self, ir: &OdeIr, m: usize) -> GenStats {
+        if ir.has_classes() {
+            return self.stats(&ir.expand_classes(), m);
+        }
         let program = self.generate(ir);
         let sched = program.schedule(m);
         let parallel_f90 = emit_fortran::emit_parallel(
@@ -176,6 +183,9 @@ impl CodeGenerator {
 
     /// Parallel C++ rendering (same schedule as `stats`).
     pub fn emit_cpp(&self, ir: &OdeIr, m: usize) -> SourceStats {
+        if ir.has_classes() {
+            return self.emit_cpp(&ir.expand_classes(), m);
+        }
         let program = self.generate(ir);
         let sched = program.schedule(m);
         emit_cpp::emit_parallel(

@@ -27,7 +27,8 @@ use std::sync::{Arc, Mutex};
 
 /// Bump when the compile pipeline changes in a way that invalidates
 /// previously recorded keys/identities (checkpoints store both).
-const REGISTRY_FORMAT_VERSION: u64 = 1;
+/// v2: array-loop tasks (trip counts + patch tables enter the identity).
+const REGISTRY_FORMAT_VERSION: u64 = 2;
 
 /// 64-bit FNV-1a. Tiny, dependency-free, stable across platforms and
 /// runs — exactly what an on-disk checkpoint needs (`DefaultHasher`
@@ -193,6 +194,13 @@ pub fn graph_identity(graph: &TaskGraph) -> u64 {
             task.reads_states,
             task.reads_shared
         ));
+        // Array-loop tasks: the trip count and per-iteration slot patch
+        // tables are part of the compiled artifact. Two models differing
+        // only in an array dimension produce different patch tables, so
+        // their identities never collide.
+        if let Some(li) = &task.loop_info {
+            text.push_str(&format!("loop:{}:{:?};", li.count, li.patches));
+        }
     }
     for (i, deps) in graph.deps.iter().enumerate() {
         text.push_str(&format!("dep{i}:{deps:?};"));
@@ -319,6 +327,38 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a.identity(), c.identity());
+    }
+
+    #[test]
+    fn array_dimension_changes_the_identity() {
+        // Same class structure, different cardinality: the loop tasks'
+        // patch tables (and enumerated writes) must keep the identities
+        // distinct, and the array-aware graph must not collide with the
+        // scalarized oracle graph of the same model.
+        fn heat(n: usize) -> String {
+            format!(
+                "model H; Real[{n}] u; equation
+                   der(u[1]) = 3.5*u[2] - 8.0*u[1];
+                   for i in 2:{m} loop
+                     der(u[i]) = 4.5*u[i-1] - 8.0*u[i] + 3.5*u[i+1];
+                   end for;
+                   der(u[{n}]) = 4.5*u[{m}] - 8.0*u[{n}];
+                 end H;",
+                m = n - 1
+            )
+        }
+        let generator = CodeGenerator::default();
+        let id_aware = |n: usize| {
+            let ir = om_ir::causalize(&om_lang::compile_arrays(&heat(n)).unwrap()).unwrap();
+            assert!(ir.has_classes());
+            graph_identity(&generator.generate(&ir).graph)
+        };
+        assert_ne!(id_aware(12), id_aware(13));
+        let oracle = om_ir::causalize(&om_lang::compile(&heat(12)).unwrap()).unwrap();
+        assert_ne!(
+            id_aware(12),
+            graph_identity(&generator.generate(&oracle).graph)
+        );
     }
 
     #[test]

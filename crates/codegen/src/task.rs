@@ -31,9 +31,9 @@ use crate::bytecode::{compile_roots, Program, VarRef};
 use crate::cse::{self, CseMode};
 use crate::dag::Dag;
 use om_expr::expr::Expr;
-use om_expr::{simplify, CostModel, Symbol};
+use om_expr::{simplify, substitute_map, CostModel, Symbol};
 use om_ir::OdeIr;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Where a task output lands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -49,6 +49,30 @@ pub enum OutSlot {
 pub struct SymbolicTask {
     pub label: String,
     pub outputs: Vec<(OutTarget, Expr)>,
+    /// When set, this is an *array-loop task*: `outputs` holds the single
+    /// class-representative body, executed once per iteration with the
+    /// varying state reads and the output slot renumbered per
+    /// [`SymLoop`]. The partitioning passes leave loop tasks untouched.
+    pub array_loop: Option<SymLoop>,
+}
+
+/// Symbolic loop payload of an array-loop task (one chunk of an
+/// [`om_lang::EqClass`]'s index range).
+#[derive(Clone, Debug)]
+pub struct SymLoop {
+    /// Derivative slot written per iteration.
+    pub out_slots: Vec<u32>,
+    /// For each varying symbol of the representative body: the state slot
+    /// it reads per iteration (each `Vec<u32>` is parallel to
+    /// `out_slots`).
+    pub rows: Vec<(Symbol, Vec<u32>)>,
+}
+
+impl SymLoop {
+    /// Trip count of the loop.
+    pub fn count(&self) -> usize {
+        self.out_slots.len()
+    }
 }
 
 /// Symbolic output target (shared slots are still symbols here; they are
@@ -76,14 +100,31 @@ impl SymbolicTask {
     }
 }
 
+/// Compiled loop payload: the task's single program runs `count()` times,
+/// with the listed `State` load instructions repointed before each
+/// iteration.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// For each patched instruction: its index in `program.instrs` and
+    /// the state slot it must load at each iteration.
+    pub patches: Vec<(u32, Vec<u32>)>,
+    /// Trip count (equals `writes.len() / program.outputs.len()`).
+    pub count: u32,
+}
+
 /// A compiled task ready for the runtime.
 #[derive(Clone, Debug)]
 pub struct CompiledTask {
     pub id: usize,
     pub label: String,
     pub program: Program,
-    /// One slot per program output, in order.
+    /// One slot per produced value, in order. For loop tasks this is
+    /// fully enumerated iteration-major (`count × program outputs`), so
+    /// dependence, race, and coverage analyses stay exact without
+    /// understanding loops.
     pub writes: Vec<OutSlot>,
+    /// Loop payload for array-loop tasks; `None` for plain tasks.
+    pub loop_info: Option<LoopInfo>,
     /// State indices the task reads.
     pub reads_states: Vec<u32>,
     /// Shared slots the task reads.
@@ -94,6 +135,91 @@ pub struct CompiledTask {
     pub static_cost: u64,
     /// Common subexpressions extracted within this task (statistics).
     pub cse_count: usize,
+}
+
+impl CompiledTask {
+    /// Number of values the task produces (loop tasks produce one set of
+    /// program outputs per iteration).
+    pub fn n_out(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Execute the task into `out` (length `n_out()`), reusing a
+    /// caller-provided register file and a program scratch buffer. Plain
+    /// tasks run their program once; loop tasks clone the program into
+    /// `prog_scratch`, then repoint the patched `State` loads and run it
+    /// once per iteration. Each iteration performs exactly the operation
+    /// sequence the fully scalarized oracle would, so results are bitwise
+    /// identical to per-element tasks.
+    pub fn run_with_regs(
+        &self,
+        t: f64,
+        y: &[f64],
+        shared: &[f64],
+        out: &mut [f64],
+        regs: &mut [f64],
+        prog_scratch: &mut Program,
+    ) {
+        match &self.loop_info {
+            None => crate::vm::execute_with_regs(&self.program, t, y, shared, out, regs),
+            Some(li) => {
+                prog_scratch.clone_from(&self.program);
+                let n = self.program.outputs.len();
+                for k in 0..li.count as usize {
+                    for (instr, slots) in &li.patches {
+                        prog_scratch.patch_state(*instr as usize, slots[k]);
+                    }
+                    crate::vm::execute_with_regs(
+                        prog_scratch,
+                        t,
+                        y,
+                        shared,
+                        &mut out[k * n..(k + 1) * n],
+                        regs,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Batched (structure-of-arrays) counterpart of
+    /// [`CompiledTask::run_with_regs`]: `out` holds `n_out() × lanes`
+    /// values, lane index innermost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_batch_with_regs(
+        &self,
+        t: f64,
+        ys: &[f64],
+        shared: &[f64],
+        out: &mut [f64],
+        regs: &mut [f64],
+        lanes: usize,
+        prog_scratch: &mut Program,
+    ) {
+        match &self.loop_info {
+            None => {
+                crate::vm::execute_batch_with_regs(&self.program, t, ys, shared, out, regs, lanes)
+            }
+            Some(li) => {
+                prog_scratch.clone_from(&self.program);
+                let n = self.program.outputs.len();
+                for k in 0..li.count as usize {
+                    for (instr, slots) in &li.patches {
+                        prog_scratch.patch_state(*instr as usize, slots[k]);
+                    }
+                    crate::vm::execute_batch_with_regs(
+                        prog_scratch,
+                        t,
+                        ys,
+                        shared,
+                        &mut out[k * n * lanes..(k + 1) * n * lanes],
+                        regs,
+                        lanes,
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// The compiled task graph: tasks plus dependence edges.
@@ -182,11 +308,14 @@ impl TaskGraph {
     pub fn eval_serial(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
         let mut shared = vec![0.0f64; self.n_shared];
         let mut out_buf: Vec<f64> = Vec::new();
+        let mut regs: Vec<f64> = Vec::new();
+        let mut prog_scratch = Program::default();
         // Tasks are emitted in dependency order by construction; verify in
         // debug builds.
         for task in &self.tasks {
-            out_buf.resize(task.program.outputs.len(), 0.0);
-            crate::vm::execute(&task.program, t, y, &shared, &mut out_buf);
+            out_buf.resize(task.n_out(), 0.0);
+            regs.resize(task.program.n_regs as usize, 0.0);
+            task.run_with_regs(t, y, &shared, &mut out_buf, &mut regs, &mut prog_scratch);
             for (val, slot) in out_buf.iter().zip(&task.writes) {
                 match slot {
                     OutSlot::Deriv(i) => dydt[*i] = *val,
@@ -212,15 +341,15 @@ impl TaskGraph {
             "derivative batch length mismatch"
         );
         for task in &self.tasks {
-            let n_out = task.program.outputs.len();
-            crate::vm::execute_batch_with_regs(
-                &task.program,
+            let n_out = task.n_out();
+            task.run_batch_with_regs(
                 t,
                 ys,
                 &scratch.shared,
                 &mut scratch.out[..n_out * lanes],
                 &mut scratch.regs,
                 lanes,
+                &mut scratch.prog,
             );
             for (o, slot) in task.writes.iter().enumerate() {
                 let src = &scratch.out[o * lanes..(o + 1) * lanes];
@@ -244,6 +373,7 @@ pub struct BatchScratch {
     shared: Vec<f64>,
     out: Vec<f64>,
     regs: Vec<f64>,
+    prog: Program,
     lanes: usize,
 }
 
@@ -258,16 +388,12 @@ impl BatchScratch {
             .map(|t| t.program.n_regs as usize)
             .max()
             .unwrap_or(0);
-        let max_outs = graph
-            .tasks
-            .iter()
-            .map(|t| t.program.outputs.len())
-            .max()
-            .unwrap_or(0);
+        let max_outs = graph.tasks.iter().map(|t| t.n_out()).max().unwrap_or(0);
         BatchScratch {
             shared: vec![0.0; graph.n_shared * lanes],
             out: vec![0.0; max_outs * lanes],
             regs: vec![0.0; max_regs * stride],
+            prog: Program::default(),
             lanes,
         }
     }
@@ -286,6 +412,9 @@ impl BatchScratch {
 /// parallel" (§2.3). `inline = false` keeps algebraic assignments as
 /// separate producer tasks (dependencies appear).
 pub fn equation_tasks(ir: &OdeIr, inline: bool) -> Vec<SymbolicTask> {
+    if ir.has_classes() {
+        return equation_tasks_classes(ir, inline);
+    }
     if inline {
         ir.inlined_rhs()
             .into_iter()
@@ -293,6 +422,7 @@ pub fn equation_tasks(ir: &OdeIr, inline: bool) -> Vec<SymbolicTask> {
             .map(|(i, rhs)| SymbolicTask {
                 label: format!("d{}", ir.states[i].sym.name()),
                 outputs: vec![(OutTarget::Deriv(i), rhs)],
+                array_loop: None,
             })
             .collect()
     } else {
@@ -302,14 +432,168 @@ pub fn equation_tasks(ir: &OdeIr, inline: bool) -> Vec<SymbolicTask> {
             .map(|a| SymbolicTask {
                 label: a.var.name().to_owned(),
                 outputs: vec![(OutTarget::Shared(a.var), a.rhs.clone())],
+                array_loop: None,
             })
             .collect();
         tasks.extend(ir.derivs.iter().enumerate().map(|(i, d)| SymbolicTask {
             label: format!("d{}", d.state.name()),
             outputs: vec![(OutTarget::Deriv(i), d.rhs.clone())],
+            array_loop: None,
         }));
         tasks
     }
+}
+
+/// Target number of loop tasks an array class is chunked into, so the
+/// scheduler has parallelism to distribute across workers.
+const LOOP_TASK_CHUNKS: usize = 8;
+
+/// Class-aware task creation: one chunked set of array-loop tasks per
+/// class whose representative survives the fixed-point guards, and plain
+/// scalar tasks for everything else (boundary equations, algebraics, and
+/// classes that fail a guard — those expand element-by-element, bitwise
+/// equal to the oracle).
+fn equation_tasks_classes(ir: &OdeIr, inline: bool) -> Vec<SymbolicTask> {
+    let index = ir.state_index();
+    // Grounded algebraic definitions (same construction as
+    // `OdeIr::inlined_rhs`), used both for inlining scalar equations and
+    // for inlining class representatives.
+    let defs: HashMap<Symbol, Expr> = if inline {
+        let mut defs: HashMap<Symbol, Expr> = HashMap::new();
+        for alg in &ir.algebraics {
+            let grounded = substitute_map(&alg.rhs, &defs);
+            defs.insert(alg.var, grounded);
+        }
+        defs
+    } else {
+        HashMap::new()
+    };
+    let inline_one = |rhs: &Expr| -> Expr {
+        if inline {
+            simplify(&substitute_map(rhs, &defs))
+        } else {
+            rhs.clone()
+        }
+    };
+
+    let mut tasks: Vec<SymbolicTask> = Vec::new();
+    if !inline {
+        tasks.extend(ir.algebraics.iter().map(|a| SymbolicTask {
+            label: a.var.name().to_owned(),
+            outputs: vec![(OutTarget::Shared(a.var), a.rhs.clone())],
+            array_loop: None,
+        }));
+    }
+    for d in &ir.derivs {
+        tasks.push(SymbolicTask {
+            label: format!("d{}", d.state.name()),
+            outputs: vec![(OutTarget::Deriv(index[&d.state]), inline_one(&d.rhs))],
+            array_loop: None,
+        });
+    }
+    for class in &ir.classes {
+        match class_loop_tasks(class, &index, inline, &defs) {
+            Some(mut loop_tasks) => tasks.append(&mut loop_tasks),
+            None => {
+                // Element-wise expansion, identical to what the oracle
+                // pipeline builds for these states.
+                for (k, &state) in class.states.iter().enumerate() {
+                    tasks.push(SymbolicTask {
+                        label: format!("d{}", state.name()),
+                        outputs: vec![(
+                            OutTarget::Deriv(index[&state]),
+                            inline_one(&class.rhs_at(k)),
+                        )],
+                        array_loop: None,
+                    });
+                }
+            }
+        }
+    }
+    tasks
+}
+
+/// Try to turn one class into chunked array-loop tasks. Returns `None`
+/// when a guard fails and the class must be expanded element-wise:
+///
+/// 1. every varying symbol (and everything it renames to) must be a
+///    state — per-element *algebraic* references cannot be stepped by
+///    state-slot patching;
+/// 2. when inlining, no substituted algebraic definition may mention a
+///    varying symbol (renaming the inlined representative would capture
+///    it);
+/// 3. renaming the (re-simplified) representative must still be a
+///    simplify fixed point for every iteration: injective rows and
+///    iteration-invariant canonical operand order. Flatten established
+///    this for the raw representative; inlining can disturb it, so it is
+///    re-checked on the inlined body.
+fn class_loop_tasks(
+    class: &om_lang::EqClass,
+    index: &om_expr::SymbolMap<usize>,
+    inline: bool,
+    defs: &HashMap<Symbol, Expr>,
+) -> Option<Vec<SymbolicTask>> {
+    // Guard 1: rows are state-to-state renamings.
+    for (rep, elems) in &class.rows {
+        if !index.contains_key(rep) || elems.iter().any(|e| !index.contains_key(e)) {
+            return None;
+        }
+    }
+    let rep = if inline {
+        // Guard 2: substituted definitions are iteration-invariant.
+        let row_syms: HashSet<Symbol> = class.rows.iter().map(|(r, _)| *r).collect();
+        for v in class.rhs.free_vars() {
+            if let Some(body) = defs.get(&v) {
+                if body.free_vars().iter().any(|s| row_syms.contains(s)) {
+                    return None;
+                }
+            }
+        }
+        simplify(&substitute_map(&class.rhs, defs))
+    } else {
+        class.rhs.clone()
+    };
+    // Rows still present in the body (the derivative target, for one,
+    // often only appears on the left-hand side; cancelled terms can drop
+    // others).
+    let free = rep.free_vars();
+    let rows: Vec<(Symbol, Vec<Symbol>)> = class
+        .rows
+        .iter()
+        .filter(|(r, _)| free.contains(r))
+        .cloned()
+        .collect();
+    // Guard 3: renaming stays a simplify fixed point.
+    let reps: HashSet<Symbol> = rows.iter().map(|(r, _)| *r).collect();
+    let invariant: HashSet<Symbol> = free.iter().copied().filter(|s| !reps.contains(s)).collect();
+    if !om_expr::rows_injective(&invariant, &rows) || !om_expr::stable_under_rows(&rep, &rows) {
+        return None;
+    }
+
+    let card = class.cardinality();
+    let n_chunks = (card / 4).clamp(1, LOOP_TASK_CHUNKS);
+    let mut out = Vec::with_capacity(n_chunks);
+    for c in 0..n_chunks {
+        let lo = card * c / n_chunks;
+        let hi = card * (c + 1) / n_chunks;
+        let out_slots: Vec<u32> = class.states[lo..hi]
+            .iter()
+            .map(|s| index[s] as u32)
+            .collect();
+        let slot_rows: Vec<(Symbol, Vec<u32>)> = rows
+            .iter()
+            .map(|(r, elems)| (*r, elems[lo..hi].iter().map(|e| index[e] as u32).collect()))
+            .collect();
+        out.push(SymbolicTask {
+            label: format!("loop:{}[{lo}..{hi}]", class.origin),
+            outputs: vec![(OutTarget::Deriv(index[&class.states[lo]]), rep.clone())],
+            array_loop: Some(SymLoop {
+                out_slots,
+                rows: slot_rows,
+            }),
+        });
+    }
+    Some(out)
 }
 
 /// Split tasks whose single output is a top-level sum more expensive than
@@ -322,7 +606,7 @@ pub fn split_large(
     let mut out = Vec::with_capacity(tasks.len());
     let mut split_counter = 0usize;
     for task in tasks {
-        if task.outputs.len() != 1 || task.cost(model) <= threshold {
+        if task.array_loop.is_some() || task.outputs.len() != 1 || task.cost(model) <= threshold {
             out.push(task);
             continue;
         }
@@ -355,6 +639,7 @@ pub fn split_large(
                     out.push(SymbolicTask {
                         label: task.label,
                         outputs: vec![(target, expr.clone())],
+                        array_loop: None,
                     });
                     continue;
                 }
@@ -363,6 +648,7 @@ pub fn split_large(
                 out.push(SymbolicTask {
                     label: task.label,
                     outputs: vec![(target, expr)],
+                    array_loop: None,
                 });
                 continue;
             }
@@ -387,6 +673,7 @@ pub fn split_large(
             out.push(SymbolicTask {
                 label: task.label,
                 outputs: vec![(target, expr.clone())],
+                array_loop: None,
             });
             continue;
         }
@@ -397,6 +684,7 @@ pub fn split_large(
             out.push(SymbolicTask {
                 label: format!("{}#part{k}", task.label),
                 outputs: vec![(OutTarget::Shared(part_sym), body)],
+                array_loop: None,
             });
             combine_terms.push(Expr::Var(part_sym));
         }
@@ -409,6 +697,7 @@ pub fn split_large(
         out.push(SymbolicTask {
             label: format!("{}#combine", task.label),
             outputs: vec![(target, combined)],
+            array_loop: None,
         });
         split_counter += 1;
     }
@@ -426,10 +715,11 @@ pub fn merge_small(
     let mut bucket: Vec<SymbolicTask> = Vec::new();
     let mut bucket_cost = 0u64;
     let is_mergeable = |t: &SymbolicTask| {
-        t.outputs.iter().all(|(target, e)| {
-            matches!(target, OutTarget::Deriv(_))
-                && !e.free_vars().iter().any(|s| s.name().starts_with("om$"))
-        })
+        t.array_loop.is_none()
+            && t.outputs.iter().all(|(target, e)| {
+                matches!(target, OutTarget::Deriv(_))
+                    && !e.free_vars().iter().any(|s| s.name().starts_with("om$"))
+            })
     };
     let flush = |bucket: &mut Vec<SymbolicTask>, out: &mut Vec<SymbolicTask>| {
         if bucket.is_empty() {
@@ -448,7 +738,11 @@ pub fn merge_small(
                 .join(",")
         );
         let outputs = bucket.drain(..).flat_map(|t| t.outputs).collect::<Vec<_>>();
-        out.push(SymbolicTask { label, outputs });
+        out.push(SymbolicTask {
+            label,
+            outputs,
+            array_loop: None,
+        });
     };
     for task in tasks {
         let c = task.cost(model);
@@ -484,6 +778,11 @@ pub fn extract_shared_cse(
     {
         let mut occurrences: HashMap<Expr, Vec<usize>> = HashMap::new();
         for (ti, task) in tasks.iter().enumerate() {
+            // A loop task's body is re-evaluated per iteration with
+            // varying state reads; its subexpressions are not shareable.
+            if task.array_loop.is_some() {
+                continue;
+            }
             for (_, e) in &task.outputs {
                 e.walk(&mut |sub| {
                     if model.cost(sub) >= min_cost {
@@ -513,9 +812,10 @@ pub fn extract_shared_cse(
                 .iter()
                 .enumerate()
                 .filter(|(_, t)| {
-                    t.outputs
-                        .iter()
-                        .any(|(_, e)| contains_subexpr(e, &candidate))
+                    t.array_loop.is_none()
+                        && t.outputs
+                            .iter()
+                            .any(|(_, e)| contains_subexpr(e, &candidate))
                 })
                 .map(|(i, _)| i)
                 .collect();
@@ -546,6 +846,7 @@ pub fn extract_shared_cse(
             producers.push(SymbolicTask {
                 label: format!("cse${}", sym.name()),
                 outputs: vec![(OutTarget::Shared(sym), candidate)],
+                array_loop: None,
             });
         }
     }
@@ -665,7 +966,7 @@ pub fn compile_tasks(
             .collect();
         let cse_program = cse::eliminate(&dag, &roots, model);
         let program = compile_roots(&dag, &roots, &vars, mode);
-        let static_cost = match mode {
+        let body_cost = match mode {
             CseMode::Off => dag.tree_cost(&roots, model),
             _ => dag.shared_cost(&roots, model),
         };
@@ -681,17 +982,78 @@ pub fn compile_tasks(
                 None => panic!("task `{}` reads unresolved symbol `{sym}`", task.label),
             }
         }
+
+        let (writes, loop_info, static_cost, cse_count) = match &task.array_loop {
+            None => {
+                let writes: Vec<OutSlot> = task
+                    .outputs
+                    .iter()
+                    .map(|(target, _)| match target {
+                        OutTarget::Deriv(i) => OutSlot::Deriv(*i),
+                        OutTarget::Shared(s) => OutSlot::Shared(shared_slot[s]),
+                    })
+                    .collect();
+                (writes, None, body_cost, cse_program.cse_count())
+            }
+            Some(sl) => {
+                let count = sl.count();
+                // The patched reads are the row slots, enumerated over
+                // every iteration; the representative's own slots are
+                // repointed before the first iteration ever runs, so only
+                // invariant loads stay from the body's free variables.
+                let rep_slots: HashSet<u32> = sl
+                    .rows
+                    .iter()
+                    .map(|(sym, _)| match vars.get(sym) {
+                        Some(VarRef::State(i)) => *i,
+                        _ => panic!(
+                            "loop task `{}` row symbol `{sym}` is not a state",
+                            task.label
+                        ),
+                    })
+                    .collect();
+                let mut enumerated: BTreeSet<u32> = reads_states
+                    .iter()
+                    .copied()
+                    .filter(|s| !rep_slots.contains(s))
+                    .collect();
+                let patches: Vec<(u32, Vec<u32>)> = sl
+                    .rows
+                    .iter()
+                    .map(|(sym, slots)| {
+                        let rep_slot = match vars.get(sym) {
+                            Some(VarRef::State(i)) => *i,
+                            _ => unreachable!("checked above"),
+                        };
+                        let instr = program.find_state_load(rep_slot).unwrap_or_else(|| {
+                            panic!(
+                                "loop task `{}` has no State load for row `{sym}`",
+                                task.label
+                            )
+                        }) as u32;
+                        enumerated.extend(slots.iter().copied());
+                        (instr, slots.clone())
+                    })
+                    .collect();
+                reads_states = enumerated.into_iter().collect();
+                let writes: Vec<OutSlot> = sl
+                    .out_slots
+                    .iter()
+                    .map(|&s| OutSlot::Deriv(s as usize))
+                    .collect();
+                (
+                    writes,
+                    Some(LoopInfo {
+                        patches,
+                        count: count as u32,
+                    }),
+                    body_cost * count as u64,
+                    cse_program.cse_count() * count,
+                )
+            }
+        };
         reads_states.sort_unstable();
         reads_shared.sort_unstable();
-
-        let writes: Vec<OutSlot> = task
-            .outputs
-            .iter()
-            .map(|(target, _)| match target {
-                OutTarget::Deriv(i) => OutSlot::Deriv(*i),
-                OutTarget::Shared(s) => OutSlot::Shared(shared_slot[s]),
-            })
-            .collect();
 
         for w in &writes {
             if let OutSlot::Shared(slot) = w {
@@ -704,11 +1066,12 @@ pub fn compile_tasks(
             label: task.label.clone(),
             program,
             writes,
+            loop_info,
             reads_states,
             reads_shared,
             reads_time,
             static_cost,
-            cse_count: cse_program.cse_count(),
+            cse_count,
         });
     }
 
@@ -949,6 +1312,166 @@ mod tests {
         let mut second = vec![0.0; 2 * lanes];
         tg.eval_batch(0.3, &ys, &mut second, &mut scratch);
         assert_eq!(first, second, "scratch reuse changed results");
+    }
+
+    /// Parameterized advection-diffusion stencil. Every indexed term has
+    /// a distinct constant coefficient so n-ary sibling ordering is
+    /// decided by constants, never by `u[k]` names (whose lexicographic
+    /// order flips at digit boundaries and would force scalarization).
+    fn heat_src(n: usize) -> String {
+        format!(
+            "model H; Real[{n}] u; Real k;
+             equation
+               k = 0.5*time;
+               der(u[1]) = 3.5*u[2] - 8.0*u[1] + k;
+               for i in 2:{m} loop
+                 der(u[i]) = 4.5*u[i-1] - 8.0*u[i] + 3.5*u[i+1] + k;
+               end for;
+               der(u[{n}]) = 4.5*u[{m}] - 8.0*u[{n}] + k;
+             end H;",
+            m = n - 1
+        )
+    }
+
+    fn heat_y0(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (0.3 * i as f64).sin() + 0.1).collect()
+    }
+
+    /// The class-carrying task graph (with loop tasks) is bitwise equal
+    /// to the fully scalarized oracle graph, serially and batched, in
+    /// both inline modes.
+    #[test]
+    fn class_graph_is_bitwise_equal_to_oracle() {
+        let n = 32;
+        let src = heat_src(n);
+        let aware = causalize(&om_lang::compile_arrays(&src).unwrap()).unwrap();
+        let oracle = causalize(&om_lang::compile(&src).unwrap()).unwrap();
+        assert!(aware.has_classes());
+        let y = heat_y0(n);
+        for inline in [true, false] {
+            let ta = compile_tasks(
+                &equation_tasks(&aware, inline),
+                &aware,
+                CseMode::PerTask,
+                &model(),
+            );
+            let to = compile_tasks(
+                &equation_tasks(&oracle, inline),
+                &oracle,
+                CseMode::PerTask,
+                &model(),
+            );
+            assert!(
+                ta.tasks.iter().any(|t| t.loop_info.is_some()),
+                "inline={inline}: expected at least one loop task"
+            );
+            assert!(ta.tasks.len() < to.tasks.len());
+            let mut got = vec![0.0; n];
+            let mut expect = vec![0.0; n];
+            ta.eval_serial(0.7, &y, &mut got);
+            to.eval_serial(0.7, &y, &mut expect);
+            for i in 0..n {
+                assert_eq!(
+                    expect[i].to_bits(),
+                    got[i].to_bits(),
+                    "inline={inline} slot {i}: {} vs {}",
+                    expect[i],
+                    got[i]
+                );
+            }
+            // Batched path with a ragged lane count.
+            let lanes = 5;
+            let mut ys = vec![0.0; n * lanes];
+            for l in 0..lanes {
+                for i in 0..n {
+                    ys[i * lanes + l] = y[i] + 0.01 * l as f64;
+                }
+            }
+            let mut ba = vec![0.0; n * lanes];
+            let mut bo = vec![0.0; n * lanes];
+            let mut sa = BatchScratch::new(&ta, lanes);
+            let mut so = BatchScratch::new(&to, lanes);
+            ta.eval_batch(0.7, &ys, &mut ba, &mut sa);
+            to.eval_batch(0.7, &ys, &mut bo, &mut so);
+            for (i, (a, o)) in ba.iter().zip(&bo).enumerate() {
+                assert_eq!(o.to_bits(), a.to_bits(), "inline={inline} batch elem {i}");
+            }
+        }
+    }
+
+    /// Loop tasks carry enumerated reads/writes and trip-count-scaled
+    /// static costs, and the class is chunked for parallelism.
+    #[test]
+    fn loop_tasks_are_chunked_and_costed() {
+        let n = 32; // interior class cardinality 30 -> 7 chunks
+        let aware = causalize(&om_lang::compile_arrays(&heat_src(n)).unwrap()).unwrap();
+        let tg = compile_tasks(
+            &equation_tasks(&aware, true),
+            &aware,
+            CseMode::PerTask,
+            &model(),
+        );
+        let loops: Vec<_> = tg.tasks.iter().filter(|t| t.loop_info.is_some()).collect();
+        assert_eq!(loops.len(), 7, "expected (30/4).clamp(1,8) chunks");
+        let mut total = 0usize;
+        for t in &loops {
+            let li = t.loop_info.as_ref().unwrap();
+            let per_iter = t.program.outputs.len();
+            assert_eq!(t.writes.len(), per_iter * li.count as usize);
+            assert!(!li.patches.is_empty());
+            for (_, slots) in &li.patches {
+                assert_eq!(slots.len(), li.count as usize);
+            }
+            // Static cost scales with the trip count.
+            assert_eq!(t.static_cost % li.count as u64, 0);
+            total += li.count as usize;
+        }
+        assert_eq!(total, 30);
+        // Every state slot is written exactly once across the graph.
+        let mut seen = vec![0usize; n];
+        for t in &tg.tasks {
+            for w in &t.writes {
+                if let OutSlot::Deriv(i) = w {
+                    seen[*i] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "coverage: {seen:?}");
+    }
+
+    /// The partitioning passes must pass loop tasks through untouched
+    /// (they are already cost-balanced by chunking).
+    #[test]
+    fn partition_passes_skip_loop_tasks() {
+        let aware = causalize(&om_lang::compile_arrays(&heat_src(16)).unwrap()).unwrap();
+        let tasks = equation_tasks(&aware, true);
+        let n_loops = tasks.iter().filter(|t| t.array_loop.is_some()).count();
+        assert!(n_loops >= 1);
+        let m = model();
+        let after = merge_small(
+            split_large(extract_shared_cse(tasks, 1, &m), 1, &m),
+            1_000_000,
+            &m,
+        );
+        let still: Vec<_> = after.iter().filter(|t| t.array_loop.is_some()).collect();
+        assert_eq!(still.len(), n_loops);
+        // And the surviving graph still evaluates correctly.
+        let oracle = causalize(&om_lang::compile(&heat_src(16)).unwrap()).unwrap();
+        let tg = compile_tasks(&after, &aware, CseMode::PerTask, &m);
+        let to = compile_tasks(
+            &equation_tasks(&oracle, true),
+            &oracle,
+            CseMode::PerTask,
+            &m,
+        );
+        let y = heat_y0(16);
+        let mut got = vec![0.0; 16];
+        let mut expect = vec![0.0; 16];
+        tg.eval_serial(1.3, &y, &mut got);
+        to.eval_serial(1.3, &y, &mut expect);
+        for i in 0..16 {
+            assert_eq!(expect[i].to_bits(), got[i].to_bits(), "slot {i}");
+        }
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Substitution-stability checks for array equation classes.
+//!
+//! Array-aware flattening keeps one *representative* equation per array
+//! class and a set of substitution rows mapping each representative
+//! symbol to its per-iteration symbols. Downstream passes then reason
+//! about the representative once instead of `n` scalarized copies —
+//! but only if doing so is *bitwise* equivalent to the scalarizing
+//! oracle, which simplifies every copy independently.
+//!
+//! [`simplify`](crate::simplify::simplify) is structural, yet three of
+//! its steps are *name-sensitive*: n-ary operands are sorted with
+//! [`compare`](crate::visit::compare) (which orders variables by name),
+//! like terms are collected by structural equality, and product bases
+//! are merged by structural equality. Renaming a representative can
+//! therefore change the result — `u[9]` sorts before `u[10]` at one
+//! iteration and after it at another — unless:
+//!
+//! 1. the substitution is injective at every iteration (no two distinct
+//!    symbols of the representative collapse into one, so like-term
+//!    groups neither merge nor split), and
+//! 2. every name comparison that decides the order of two siblings in a
+//!    sorted n-ary node has the *same outcome at every iteration* (so
+//!    the canonical sort produces the same permutation).
+//!
+//! Under these two conditions, substituting iteration `k` into the
+//! simplified representative is a fixed point of `simplify` and equals
+//! `simplify` of the freshly scalarized copy — the oracle result — bit
+//! for bit. The checks here are what flattening and task generation use
+//! to decide "keep the class symbolic" vs "fall back to scalarization".
+
+use crate::expr::Expr;
+use crate::subst::rename_map;
+use crate::symbol::Symbol;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+
+/// Substitution rows of an array class: `(representative symbol,
+/// per-iteration symbols)`. All rows must have equal cardinality; by
+/// convention `elems[0]` is the representative iteration.
+pub type SubRows = [(Symbol, Vec<Symbol>)];
+
+/// Number of iterations the rows describe (0 if there are no rows).
+pub fn rows_cardinality(rows: &SubRows) -> Option<usize> {
+    let mut card = None;
+    for (_, elems) in rows {
+        match card {
+            None => card = Some(elems.len()),
+            Some(c) if c != elems.len() => return None,
+            Some(_) => {}
+        }
+    }
+    card
+}
+
+/// Is the substitution injective at every iteration?
+///
+/// `invariant` holds the symbols of the representative tree that are
+/// *not* mapped by any row (absolute references, shared scalars). At
+/// every iteration `k`, the mapped values must be pairwise distinct and
+/// distinct from every invariant symbol — otherwise two terms that are
+/// different in the representative become structurally equal in some
+/// copy (or vice versa), and like-term collection diverges from the
+/// oracle.
+pub fn rows_injective(invariant: &HashSet<Symbol>, rows: &SubRows) -> bool {
+    let Some(card) = rows_cardinality(rows) else {
+        return false;
+    };
+    // Representative symbols must be pairwise distinct to begin with.
+    let mut reps: HashSet<Symbol> = HashSet::with_capacity(rows.len());
+    for (rep, _) in rows {
+        if !reps.insert(*rep) {
+            return false;
+        }
+    }
+    // Classes have a handful of rows but thousands of iterations:
+    // pairwise compares against a flat invariant list beat hashing by a
+    // wide margin at that shape. Semantics are identical to the hashed
+    // path below.
+    if rows.len() <= 8 && invariant.len() <= 32 {
+        let inv: Vec<Symbol> = invariant.iter().copied().collect();
+        for k in 0..card {
+            for (i, (_, elems)) in rows.iter().enumerate() {
+                let v = elems[k];
+                if inv.contains(&v) || rows[..i].iter().any(|(_, prev)| prev[k] == v) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+    let mut seen: HashSet<Symbol> = HashSet::with_capacity(rows.len());
+    for k in 0..card {
+        seen.clear();
+        for (_, elems) in rows {
+            let v = elems[k];
+            if invariant.contains(&v) || !seen.insert(v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Does `simplify` commute with every per-iteration renaming of `e`?
+///
+/// `e` must already be simplified. The check walks every n-ary node
+/// (sums, products, boolean chains) and verifies that each adjacent
+/// sibling pair keeps its canonical order under the renaming of every
+/// iteration. Because [`compare`](crate::visit::compare) is a total
+/// order and a simplified node has no duplicate siblings, adjacent-pair
+/// invariance implies the whole sorted sequence is invariant.
+///
+/// Pairs whose order is decided structurally or by constants are
+/// iteration-independent and cost O(1); only pairs decided by a name
+/// comparison involving a mapped symbol are re-checked per iteration.
+pub fn stable_under_rows(e: &Expr, rows: &SubRows) -> bool {
+    let Some(card) = rows_cardinality(rows) else {
+        return false;
+    };
+    let map: HashMap<Symbol, &Vec<Symbol>> =
+        rows.iter().map(|(rep, elems)| (*rep, elems)).collect();
+    stable_walk(e, &map, card)
+}
+
+fn stable_walk(e: &Expr, map: &HashMap<Symbol, &Vec<Symbol>>, card: usize) -> bool {
+    let siblings: Option<&[Expr]> = match e {
+        Expr::Add(xs) | Expr::Mul(xs) | Expr::And(xs) | Expr::Or(xs) => Some(xs),
+        _ => None,
+    };
+    if let Some(xs) = siblings {
+        for pair in xs.windows(2) {
+            let mut sensitive = false;
+            let at_rep = compare_at(&pair[0], &pair[1], map, 0, &mut sensitive);
+            if sensitive {
+                for k in 1..card {
+                    let mut _s = false;
+                    if compare_at(&pair[0], &pair[1], map, k, &mut _s) != at_rep {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    let mut ok = true;
+    e.for_each_child(|c| {
+        if ok && !stable_walk(c, map, card) {
+            ok = false;
+        }
+    });
+    ok
+}
+
+/// [`compare`](crate::visit::compare) with variable names resolved
+/// through the substitution rows at iteration `k`. Mirrors the real
+/// comparison exactly; `sensitive` is set when the outcome involved a
+/// name comparison with at least one mapped symbol.
+fn compare_at(
+    a: &Expr,
+    b: &Expr,
+    map: &HashMap<Symbol, &Vec<Symbol>>,
+    k: usize,
+    sensitive: &mut bool,
+) -> Ordering {
+    let name_at = |s: Symbol, sens: &mut bool| -> &str {
+        match map.get(&s) {
+            Some(elems) => {
+                *sens = true;
+                elems[k].name()
+            }
+            None => s.name(),
+        }
+    };
+    match (a, b) {
+        (Expr::Const(x), Expr::Const(y)) => x
+            .partial_cmp(y)
+            .unwrap_or_else(|| x.to_bits().cmp(&y.to_bits())),
+        (Expr::Var(x), Expr::Var(y)) | (Expr::Der(x), Expr::Der(y)) => {
+            name_at(*x, sensitive).cmp(name_at(*y, sensitive))
+        }
+        _ => {
+            let (ra, rb) = (a.kind_rank(), b.kind_rank());
+            if ra != rb {
+                return ra.cmp(&rb);
+            }
+            match (a, b) {
+                (Expr::Add(xs), Expr::Add(ys))
+                | (Expr::Mul(xs), Expr::Mul(ys))
+                | (Expr::And(xs), Expr::And(ys))
+                | (Expr::Or(xs), Expr::Or(ys))
+                | (Expr::Tuple(xs), Expr::Tuple(ys)) => {
+                    compare_slices_at(xs, ys, map, k, sensitive)
+                }
+                (Expr::Pow(a1, a2), Expr::Pow(b1, b2)) => compare_at(a1, b1, map, k, sensitive)
+                    .then_with(|| compare_at(a2, b2, map, k, sensitive)),
+                (Expr::Call(f, xs), Expr::Call(g, ys)) => f
+                    .cmp(g)
+                    .then_with(|| compare_slices_at(xs, ys, map, k, sensitive)),
+                (Expr::Cmp(o1, a1, a2), Expr::Cmp(o2, b1, b2)) => o1
+                    .cmp(o2)
+                    .then_with(|| compare_at(a1, b1, map, k, sensitive))
+                    .then_with(|| compare_at(a2, b2, map, k, sensitive)),
+                (Expr::Not(x), Expr::Not(y)) => compare_at(x, y, map, k, sensitive),
+                (Expr::If(c1, t1, e1), Expr::If(c2, t2, e2)) => {
+                    compare_at(c1, c2, map, k, sensitive)
+                        .then_with(|| compare_at(t1, t2, map, k, sensitive))
+                        .then_with(|| compare_at(e1, e2, map, k, sensitive))
+                }
+                _ => Ordering::Equal,
+            }
+        }
+    }
+}
+
+fn compare_slices_at(
+    xs: &[Expr],
+    ys: &[Expr],
+    map: &HashMap<Symbol, &Vec<Symbol>>,
+    k: usize,
+    sensitive: &mut bool,
+) -> Ordering {
+    for (x, y) in xs.iter().zip(ys) {
+        let o = compare_at(x, y, map, k, sensitive);
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    xs.len().cmp(&ys.len())
+}
+
+/// Lockstep structural diff of two scalarized copies of one equation.
+///
+/// Succeeds when the trees are identical except possibly at variable /
+/// derivative leaves, returning the aligned symbol pairs (including the
+/// ones that did not change). Any other difference — constants, node
+/// kinds, operand counts, functions — means the iterations are not
+/// uniform (e.g. a loop index used as a value) and the class must be
+/// scalarized.
+pub fn match_structure(a: &Expr, b: &Expr) -> Option<Vec<(Symbol, Symbol)>> {
+    let mut pairs = Vec::new();
+    if match_walk(a, b, &mut pairs) {
+        Some(pairs)
+    } else {
+        None
+    }
+}
+
+fn match_walk(a: &Expr, b: &Expr, pairs: &mut Vec<(Symbol, Symbol)>) -> bool {
+    match (a, b) {
+        (Expr::Const(x), Expr::Const(y)) => x.to_bits() == y.to_bits(),
+        (Expr::Var(x), Expr::Var(y)) | (Expr::Der(x), Expr::Der(y)) => {
+            pairs.push((*x, *y));
+            true
+        }
+        (Expr::Add(xs), Expr::Add(ys))
+        | (Expr::Mul(xs), Expr::Mul(ys))
+        | (Expr::And(xs), Expr::And(ys))
+        | (Expr::Or(xs), Expr::Or(ys))
+        | (Expr::Tuple(xs), Expr::Tuple(ys)) => match_slices(xs, ys, pairs),
+        (Expr::Pow(a1, a2), Expr::Pow(b1, b2)) => {
+            match_walk(a1, b1, pairs) && match_walk(a2, b2, pairs)
+        }
+        (Expr::Call(f, xs), Expr::Call(g, ys)) => f == g && match_slices(xs, ys, pairs),
+        (Expr::Cmp(o1, a1, a2), Expr::Cmp(o2, b1, b2)) => {
+            o1 == o2 && match_walk(a1, b1, pairs) && match_walk(a2, b2, pairs)
+        }
+        (Expr::Not(x), Expr::Not(y)) => match_walk(x, y, pairs),
+        (Expr::If(c1, t1, e1), Expr::If(c2, t2, e2)) => {
+            match_walk(c1, c2, pairs) && match_walk(t1, t2, pairs) && match_walk(e1, e2, pairs)
+        }
+        _ => false,
+    }
+}
+
+fn match_slices(xs: &[Expr], ys: &[Expr], pairs: &mut Vec<(Symbol, Symbol)>) -> bool {
+    xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| match_walk(x, y, pairs))
+}
+
+/// Instantiate iteration `k` of a class: rename every mapped symbol
+/// (variables *and* derivative markers) of the representative to its
+/// iteration-`k` counterpart.
+pub fn instantiate_row(e: &Expr, rows: &SubRows, k: usize) -> Expr {
+    let map: HashMap<Symbol, Symbol> = rows.iter().map(|(rep, elems)| (*rep, elems[k])).collect();
+    rename_map(e, &map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visit::compare;
+    use crate::{num, simplify, var};
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn row(rep: &str, elems: &[&str]) -> (Symbol, Vec<Symbol>) {
+        (sym(rep), elems.iter().map(|e| sym(e)).collect())
+    }
+
+    #[test]
+    fn injective_rows_pass() {
+        let rows = vec![
+            row("u[1]", &["u[1]", "u[2]"]),
+            row("u[2]", &["u[2]", "u[3]"]),
+        ];
+        assert!(rows_injective(&HashSet::new(), &rows));
+    }
+
+    #[test]
+    fn colliding_rows_fail() {
+        // u[i] and u[4-i] coincide at i = 2.
+        let rows = vec![
+            row("u[1]", &["u[1]", "u[2]"]),
+            row("u[3]", &["u[3]", "u[2]"]),
+        ];
+        assert!(!rows_injective(&HashSet::new(), &rows));
+    }
+
+    #[test]
+    fn collision_with_invariant_symbol_fails() {
+        let rows = vec![row("u[2]", &["u[2]", "u[5]"])];
+        let invariant: HashSet<Symbol> = [sym("u[5]")].into_iter().collect();
+        assert!(!rows_injective(&invariant, &rows));
+    }
+
+    #[test]
+    fn constant_decided_order_is_stable() {
+        // 2·a + 3·b: sibling order decided by the coefficients, so any
+        // renaming keeps it.
+        let e = simplify(&(num(2.0) * var("u[8]") + num(3.0) * var("u[9]")));
+        let rows = vec![
+            row("u[8]", &["u[8]", "u[9]", "u[10]"]),
+            row("u[9]", &["u[9]", "u[10]", "u[11]"]),
+        ];
+        assert!(stable_under_rows(&e, &rows));
+    }
+
+    #[test]
+    fn digit_boundary_order_flip_is_detected() {
+        // u[8] + u[9] sorts that way by name, but the renamed copy
+        // u[9] + u[10] sorts the other way ("u[10]" < "u[9]").
+        let e = simplify(&(var("u[8]") + var("u[9]")));
+        let rows = vec![
+            row("u[8]", &["u[8]", "u[9]"]),
+            row("u[9]", &["u[9]", "u[10]"]),
+        ];
+        assert!(!stable_under_rows(&e, &rows));
+    }
+
+    #[test]
+    fn stability_matches_brute_force_rename() {
+        // Differential check: when the checker accepts, renaming the
+        // simplified representative must equal simplifying the renamed
+        // raw tree, for every iteration.
+        let raw = var("c") * var("u[2]") + num(2.0) * var("u[3]") + num(-1.0) * var("u[1]");
+        let e = simplify(&raw);
+        let rows = vec![
+            row("u[1]", &["u[1]", "u[2]", "u[3]"]),
+            row("u[2]", &["u[2]", "u[3]", "u[4]"]),
+            row("u[3]", &["u[3]", "u[4]", "u[5]"]),
+        ];
+        let invariant: HashSet<Symbol> = [sym("c")].into_iter().collect();
+        assert!(rows_injective(&invariant, &rows));
+        if stable_under_rows(&e, &rows) {
+            for k in 0..3 {
+                let ours = instantiate_row(&e, &rows, k);
+                let oracle = simplify(&instantiate_row(&raw, &rows, k));
+                assert_eq!(ours, oracle, "iteration {k}");
+                // And the instantiated copy is a simplify fixed point.
+                assert_eq!(simplify(&ours), ours);
+            }
+        }
+    }
+
+    #[test]
+    fn compare_at_mirrors_compare_under_explicit_rename() {
+        let rows = vec![
+            row("u[1]", &["u[1]", "u[9]"]),
+            row("u[2]", &["u[2]", "u[10]"]),
+        ];
+        let samples = vec![
+            var("u[1]"),
+            var("u[2]"),
+            var("v"),
+            num(3.0),
+            var("u[1]") + var("v"),
+            var("u[2]") * num(2.0),
+            crate::expr::Expr::call1(crate::expr::Func::Sin, var("u[1]")),
+        ];
+        for a in &samples {
+            for b in &samples {
+                for k in 0..2 {
+                    let mut s = false;
+                    let fast = compare_at(
+                        a,
+                        b,
+                        &rows.iter().map(|(r, e)| (*r, e)).collect(),
+                        k,
+                        &mut s,
+                    );
+                    let slow =
+                        compare(&instantiate_row(a, &rows, k), &instantiate_row(b, &rows, k));
+                    assert_eq!(fast, slow, "a={a:?} b={b:?} k={k}");
+                }
+            }
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! between the compiler crates exactly like the shared symbol table of the
 //! ObjectMath 4.0 architecture (Figure 8).
 
+pub mod arrays;
 pub mod cost;
 pub mod diff;
 pub mod eval;
@@ -31,6 +32,7 @@ pub mod subst;
 pub mod symbol;
 pub mod visit;
 
+pub use arrays::{instantiate_row, match_structure, rows_injective, stable_under_rows};
 pub use cost::{flops, CostModel};
 pub use diff::diff;
 pub use eval::{eval, EvalError};
@@ -39,7 +41,7 @@ pub use print::{full_form, full_form_typed, infix};
 pub use simplify::simplify;
 pub use solve::solve_linear;
 pub use subst::{substitute, substitute_map};
-pub use symbol::Symbol;
+pub use symbol::{Symbol, SymbolHasher, SymbolMap, SymbolSet};
 
 /// Convenience constructor: an interned variable reference.
 pub fn var(name: &str) -> Expr {

@@ -62,6 +62,38 @@ impl Symbol {
     }
 }
 
+/// A fast, deterministic hasher for [`Symbol`] keys.
+///
+/// Symbols are dense `u32` interner ids, so the default SipHash is pure
+/// overhead in the compiler's hot maps (state indices, substitution
+/// rows, dependence sets). This is a Fibonacci-multiply mix with an
+/// avalanche shift — two arithmetic ops per key — good enough for ids
+/// that are already well distributed and never attacker-controlled.
+#[derive(Default, Clone)]
+pub struct SymbolHasher(u64);
+
+impl std::hash::Hasher for SymbolHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u32 key parts (tuples, derived structs).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u32(&mut self, n: u32) {
+        let h = (self.0 ^ u64::from(n)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+/// A `HashMap` keyed by [`Symbol`] using [`SymbolHasher`].
+pub type SymbolMap<V> = HashMap<Symbol, V, std::hash::BuildHasherDefault<SymbolHasher>>;
+
+/// A `HashSet` of [`Symbol`]s using [`SymbolHasher`].
+pub type SymbolSet = std::collections::HashSet<Symbol, std::hash::BuildHasherDefault<SymbolHasher>>;
+
 impl fmt::Debug for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Symbol({:?})", self.name())

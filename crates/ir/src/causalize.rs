@@ -19,9 +19,9 @@
 
 use crate::system::{AlgebraicEq, DerivEq, OdeIr, StateVar};
 use om_expr::expr::Expr;
-use om_expr::{simplify, solve_linear, Symbol};
+use om_expr::{simplify, solve_linear, Symbol, SymbolMap, SymbolSet};
 use om_lang::{FlatEquation, FlatModel, SourcePos};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Errors produced by causalization.
@@ -146,13 +146,42 @@ fn der_states(eq: &FlatEquation) -> Vec<Symbol> {
     found
 }
 
+/// How a state's derivative is defined: by its own scalar equation, or as
+/// one member of a symbolic array-equation class.
+enum DerivDef {
+    Scalar(Expr, String, SourcePos),
+    Class,
+}
+
 /// Causalize a flattened model into the ODE internal form.
+///
+/// When the model carries array-equation classes (array-aware flattening),
+/// each class is causalized *once through its representative*: every
+/// member state is registered as derivative-defined for the duplicate and
+/// balance checks, but no per-element equation is materialized — the
+/// class rides through symbolically on [`OdeIr::classes`].
 pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
-    let declared: HashSet<Symbol> = model.variables.iter().map(|v| v.sym).collect();
+    let declared: SymbolSet = model.variables.iter().map(|v| v.sym).collect();
 
     // Phase 1: differential equations.
-    let mut deriv_rhs: HashMap<Symbol, (Expr, String, SourcePos)> = HashMap::new();
+    let mut deriv_rhs: SymbolMap<DerivDef> = SymbolMap::default();
     let mut algebraic_eqs: Vec<&FlatEquation> = Vec::new();
+    for class in &model.classes {
+        for &state in &class.states {
+            if !declared.contains(&state) {
+                return Err(CausalizeError::UnknownState {
+                    state: state.name().to_owned(),
+                    pos: class.pos,
+                });
+            }
+            if deriv_rhs.insert(state, DerivDef::Class).is_some() {
+                return Err(CausalizeError::DuplicateDerivative {
+                    state: state.name().to_owned(),
+                    pos: class.pos,
+                });
+            }
+        }
+    }
     for eq in &model.equations {
         let ders = der_states(eq);
         match ders.len() {
@@ -182,7 +211,10 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
                         })?
                     };
                 if deriv_rhs
-                    .insert(state, (simplify(&rhs), eq.origin.clone(), eq.pos))
+                    .insert(
+                        state,
+                        DerivDef::Scalar(simplify(&rhs), eq.origin.clone(), eq.pos),
+                    )
                     .is_some()
                 {
                     return Err(CausalizeError::DuplicateDerivative {
@@ -203,29 +235,38 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
 
     // Phase 2: split variables into states and algebraic unknowns,
     // preserving declaration order for a deterministic state layout.
+    // Class-covered states enter `states` (the solver layout is always
+    // full) but get no scalar DerivEq — the class defines them.
     let mut states: Vec<StateVar> = Vec::new();
     let mut derivs: Vec<DerivEq> = Vec::new();
     let mut alg_vars: Vec<Symbol> = Vec::new();
     for v in &model.variables {
-        if let Some((rhs, origin, pos)) = deriv_rhs.remove(&v.sym) {
-            states.push(StateVar {
-                sym: v.sym,
-                start: v.start,
-            });
-            derivs.push(DerivEq {
-                state: v.sym,
-                rhs,
-                origin,
-                pos,
-            });
-        } else {
-            alg_vars.push(v.sym);
+        match deriv_rhs.remove(&v.sym) {
+            Some(DerivDef::Scalar(rhs, origin, pos)) => {
+                states.push(StateVar {
+                    sym: v.sym,
+                    start: v.start,
+                });
+                derivs.push(DerivEq {
+                    state: v.sym,
+                    rhs,
+                    origin,
+                    pos,
+                });
+            }
+            Some(DerivDef::Class) => {
+                states.push(StateVar {
+                    sym: v.sym,
+                    start: v.start,
+                });
+            }
+            None => alg_vars.push(v.sym),
         }
     }
 
     if algebraic_eqs.len() != alg_vars.len() {
         let details = if algebraic_eqs.len() < alg_vars.len() {
-            let defined: HashSet<Symbol> = states.iter().map(|s| s.sym).collect();
+            let defined: SymbolSet = states.iter().map(|s| s.sym).collect();
             let undefined: Vec<&str> = alg_vars
                 .iter()
                 .filter(|v| !defined.contains(v))
@@ -247,8 +288,7 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
     // when the unknown occurs in the equation and can be isolated
     // symbolically; the solved expression is cached.
     let n = algebraic_eqs.len();
-    let var_index: HashMap<Symbol, usize> =
-        alg_vars.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+    let var_index: SymbolMap<usize> = alg_vars.iter().enumerate().map(|(i, v)| (*v, i)).collect();
     let mut edges: Vec<Vec<(usize, Expr)>> = Vec::with_capacity(n);
     for eq in &algebraic_eqs {
         let mut row = Vec::new();
@@ -377,6 +417,7 @@ pub fn causalize(model: &FlatModel) -> Result<OdeIr, CausalizeError> {
         states,
         derivs,
         algebraics: ordered,
+        classes: model.classes.clone(),
     })
 }
 
@@ -558,6 +599,64 @@ mod tests {
                         end M;",
         );
         assert!(matches!(e, CausalizeError::StructurallySingular { .. }));
+    }
+
+    const HEAT: &str = "model Heat;
+        parameter Real d = 4.0;
+        parameter Real a = 0.5;
+        Real[8] u;
+        equation
+          der(u[1]) = d*(0.0 - 2.0*u[1] + u[2]) - a*(u[1] - 0.0);
+          for i in 2:7 loop
+            der(u[i]) = d*(u[i-1] - 2.0*u[i] + u[i+1]) - a*(u[i] - u[i-1]);
+          end for;
+          der(u[8]) = d*(u[7] - 2.0*u[8] + 0.0) - a*(u[8] - u[7]);
+        end Heat;";
+
+    #[test]
+    fn array_classes_ride_through_causalization() {
+        let aware = causalize(&om_lang::compile_arrays(HEAT).unwrap()).unwrap();
+        let oracle = causalize(&om_lang::compile(HEAT).unwrap()).unwrap();
+        assert!(aware.has_classes());
+        assert_eq!(aware.classes.len(), 1);
+        // The state layout is always full and identical to the oracle;
+        // only the boundary equations stay scalar.
+        assert_eq!(aware.states.len(), 8);
+        assert_eq!(aware.derivs.len(), 2);
+        let names: Vec<&str> = aware.states.iter().map(|s| s.sym.name()).collect();
+        let onames: Vec<&str> = oracle.states.iter().map(|s| s.sym.name()).collect();
+        assert_eq!(names, onames);
+    }
+
+    #[test]
+    fn expand_classes_is_bitwise_equal_to_oracle() {
+        let aware = causalize(&om_lang::compile_arrays(HEAT).unwrap()).unwrap();
+        let oracle = causalize(&om_lang::compile(HEAT).unwrap()).unwrap();
+        let expanded = aware.expand_classes();
+        assert!(!expanded.has_classes());
+        assert_eq!(expanded.derivs.len(), oracle.derivs.len());
+        for (e, o) in expanded.derivs.iter().zip(&oracle.derivs) {
+            assert_eq!(e.state, o.state);
+            assert_eq!(e.rhs, o.rhs, "der({})", o.state.name());
+        }
+        // Inlined form (what the Jacobian and code generators consume)
+        // agrees as well.
+        assert_eq!(aware.inlined_rhs(), oracle.inlined_rhs());
+    }
+
+    #[test]
+    fn class_member_clashing_with_scalar_derivative_is_rejected() {
+        let e = causalize(
+            &om_lang::compile_arrays(
+                "model M; Real[4] u; equation
+                   for i in 1:4 loop der(u[i]) = 0.0 - u[i]; end for;
+                   der(u[2]) = 1.0;
+                 end M;",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, CausalizeError::DuplicateDerivative { .. }));
     }
 
     #[test]

@@ -68,6 +68,11 @@ impl IrEvaluator {
     /// Build an evaluator; fails if any expression references an unknown
     /// symbol (run [`crate::verify_compilable`] first for better errors).
     pub fn new(ir: &OdeIr) -> Result<IrEvaluator, EvalError> {
+        if ir.has_classes() {
+            // The reference evaluator is the bitwise oracle; expand array
+            // classes to the oracle-equal scalar form and evaluate that.
+            return IrEvaluator::new(&ir.expand_classes());
+        }
         let mut slots: HashMap<Symbol, u32> = HashMap::new();
         for (i, s) in ir.states.iter().enumerate() {
             slots.insert(s.sym, i as u32);
@@ -215,6 +220,30 @@ mod tests {
         for i in 0..2 {
             let direct = om_expr::eval(&inlined[i], &env).unwrap();
             assert!((dydt[i] - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn array_class_rhs_matches_oracle_bitwise() {
+        let src = "model H; Real[6] u; equation
+                     der(u[1]) = 3.0 * (u[2] - u[1]);
+                     for i in 2:5 loop
+                       der(u[i]) = 3.0*(u[i-1] - 2.0*u[i] + u[i+1]) - 0.25*(u[i] - u[i-1]);
+                     end for;
+                     der(u[6]) = 3.0 * (u[5] - u[6]);
+                   end H;";
+        let aware = causalize(&om_lang::compile_arrays(src).unwrap()).unwrap();
+        let oracle = causalize(&om_lang::compile(src).unwrap()).unwrap();
+        assert!(aware.has_classes());
+        let ea = IrEvaluator::new(&aware).unwrap();
+        let eo = IrEvaluator::new(&oracle).unwrap();
+        let y: Vec<f64> = (0..6).map(|i| 0.3 + 0.7 * i as f64).collect();
+        let mut da = [0.0; 6];
+        let mut do_ = [0.0; 6];
+        ea.rhs(0.5, &y, &mut da);
+        eo.rhs(0.5, &y, &mut do_);
+        for i in 0..6 {
+            assert_eq!(da[i].to_bits(), do_[i].to_bits(), "dydt[{i}]");
         }
     }
 

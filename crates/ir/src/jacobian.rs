@@ -63,6 +63,7 @@ impl SymbolicJacobian {
             states,
             derivs,
             algebraics: Vec::<AlgebraicEq>::new(),
+            classes: Vec::new(),
         };
         // IrEvaluator requires parallel states/derivs only for indexing
         // of *inputs*; outputs are positional. Build a raw evaluator that
@@ -161,6 +162,24 @@ mod tests {
                       equation der(x) = a; a = -3.0*x; end M;");
         let jac = symbolic_jacobian(&sys);
         assert_eq!(jac.entries[0][0], om_expr::num(-3.0));
+    }
+
+    #[test]
+    fn array_class_jacobian_matches_oracle() {
+        let src = "model H; Real[5] u; equation
+                     der(u[1]) = 0.0 - u[1];
+                     for i in 2:4 loop
+                       der(u[i]) = 2.0*(u[i-1] - 2.0*u[i] + u[i+1]);
+                     end for;
+                     der(u[5]) = 0.0 - u[5];
+                   end H;";
+        let aware = causalize(&om_lang::compile_arrays(src).unwrap()).unwrap();
+        let oracle = causalize(&om_lang::compile(src).unwrap()).unwrap();
+        assert!(aware.has_classes());
+        let ja = symbolic_jacobian(&aware);
+        let jo = symbolic_jacobian(&oracle);
+        assert_eq!(ja.nnz, jo.nnz);
+        assert_eq!(ja.entries, jo.entries);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The ODE internal form data structures.
 
-use om_expr::{Expr, Symbol};
-use om_lang::SourcePos;
+use om_expr::{Expr, Symbol, SymbolMap};
+use om_lang::{EqClass, SourcePos};
 use std::collections::HashMap;
 
 /// A state variable: one slot of the solver's state vector `y`.
@@ -40,7 +40,15 @@ pub struct AlgebraicEq {
 /// Invariants (established by [`crate::causalize()`], checked by
 /// [`crate::verify`]):
 ///
-/// * `states` and `derivs` are parallel: `derivs[i].state == states[i].sym`,
+/// * `states` always holds *every* state in declaration order (the solver
+///   state layout never depends on array-awareness),
+/// * when `classes` is empty, `states` and `derivs` are parallel:
+///   `derivs[i].state == states[i].sym`,
+/// * when `classes` is non-empty, each class covers a set of states whose
+///   derivatives are given by the class representative (one symbolic
+///   equation per class); `derivs` then holds only the remaining *scalar*
+///   derivative equations, still in state declaration order, and each
+///   state is covered exactly once (by a class or by a scalar equation),
 /// * `algebraics` are ordered so each assignment only reads states, time,
 ///   and *earlier* algebraic variables,
 /// * right-hand sides contain no `Der` markers and no tuples.
@@ -50,6 +58,9 @@ pub struct OdeIr {
     pub states: Vec<StateVar>,
     pub derivs: Vec<DerivEq>,
     pub algebraics: Vec<AlgebraicEq>,
+    /// Symbolic array-equation classes (array-aware compilation). Empty
+    /// for the fully scalarized oracle form.
+    pub classes: Vec<EqClass>,
 }
 
 impl OdeIr {
@@ -59,7 +70,7 @@ impl OdeIr {
     }
 
     /// Map from state symbol to its index in the state vector.
-    pub fn state_index(&self) -> HashMap<Symbol, usize> {
+    pub fn state_index(&self) -> SymbolMap<usize> {
         self.states
             .iter()
             .enumerate()
@@ -72,6 +83,54 @@ impl OdeIr {
         self.states.iter().map(|s| s.start).collect()
     }
 
+    /// True when the system carries symbolic array-equation classes.
+    pub fn has_classes(&self) -> bool {
+        !self.classes.is_empty()
+    }
+
+    /// Expand every array-equation class into scalar [`DerivEq`]s,
+    /// producing the fully scalarized system the oracle pipeline builds.
+    ///
+    /// Expansion is *bitwise-exact*: flatten only forms a class when
+    /// renaming the simplified representative per iteration is provably a
+    /// simplify fixed point, so each member right-hand side here is
+    /// structurally `==` to what `causalize(flatten(unit))` produces for
+    /// the same source.
+    pub fn expand_classes(&self) -> OdeIr {
+        if !self.has_classes() {
+            return self.clone();
+        }
+        let mut by_state: HashMap<Symbol, DerivEq> = HashMap::new();
+        for d in &self.derivs {
+            by_state.insert(d.state, d.clone());
+        }
+        for c in &self.classes {
+            for (k, &state) in c.states.iter().enumerate() {
+                by_state.insert(
+                    state,
+                    DerivEq {
+                        state,
+                        rhs: c.rhs_at(k),
+                        origin: c.origin.clone(),
+                        pos: c.pos,
+                    },
+                );
+            }
+        }
+        let derivs = self
+            .states
+            .iter()
+            .filter_map(|s| by_state.remove(&s.sym))
+            .collect();
+        OdeIr {
+            name: self.name.clone(),
+            states: self.states.clone(),
+            derivs,
+            algebraics: self.algebraics.clone(),
+            classes: Vec::new(),
+        }
+    }
+
     /// Derivative right-hand sides with every algebraic variable inlined
     /// (substituted in reverse topological order), so each RHS depends
     /// only on states and time.
@@ -82,6 +141,11 @@ impl OdeIr {
     /// the duplication the paper measures as extra common subexpressions
     /// in the parallel code (§3.3).
     pub fn inlined_rhs(&self) -> Vec<Expr> {
+        if self.has_classes() {
+            // Expand to the oracle-equal scalar form first so the result
+            // is parallel to `states` regardless of array-awareness.
+            return self.expand_classes().inlined_rhs();
+        }
         let mut defs: HashMap<Symbol, Expr> = HashMap::new();
         // Algebraics are topologically ordered, so substituting earlier
         // definitions into later ones fully grounds every definition.
@@ -154,6 +218,7 @@ mod tests {
                 origin: String::new(),
                 pos: SourcePos::default(),
             }],
+            classes: Vec::new(),
         }
     }
 

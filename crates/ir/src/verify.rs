@@ -132,21 +132,57 @@ pub fn verify_compilable(ir: &OdeIr) -> Result<(), VerifyError> {
 pub fn verify_all(ir: &OdeIr) -> Vec<Violation> {
     let mut out: Vec<Violation> = Vec::new();
 
-    // Parallel layout.
-    for (i, (s, d)) in ir.states.iter().zip(&ir.derivs).enumerate() {
-        if s.sym != d.state {
-            out.push(Violation {
-                error: VerifyError::LayoutMismatch { index: i },
-                pos: d.pos,
-            });
+    // Class coverage: every class member must be a declared state, and no
+    // state may be covered by two classes.
+    let state_set: HashSet<Symbol> = ir.states.iter().map(|s| s.sym).collect();
+    let mut covered: HashSet<Symbol> = HashSet::new();
+    for c in &ir.classes {
+        for &s in &c.states {
+            if !state_set.contains(&s) {
+                out.push(Violation {
+                    error: VerifyError::UnknownSymbol {
+                        context: format!("array class `{}`", c.origin),
+                        symbol: s.name().to_owned(),
+                    },
+                    pos: c.pos,
+                });
+            }
+            if !covered.insert(s) {
+                out.push(Violation {
+                    error: VerifyError::LayoutMismatch {
+                        index: ir.states.iter().position(|sv| sv.sym == s).unwrap_or(0),
+                    },
+                    pos: c.pos,
+                });
+            }
         }
     }
-    if ir.states.len() != ir.derivs.len() {
+
+    // Layout: `derivs` must be parallel to the subsequence of states not
+    // covered by a class (when `classes` is empty this is the plain
+    // states/derivs parallelism invariant).
+    let mut di = 0usize;
+    let mut layout_ok = true;
+    for (i, s) in ir.states.iter().enumerate() {
+        if covered.contains(&s.sym) {
+            continue;
+        }
+        match ir.derivs.get(di) {
+            Some(d) if d.state == s.sym => di += 1,
+            other => {
+                out.push(Violation {
+                    error: VerifyError::LayoutMismatch { index: i },
+                    pos: other.map(|d| d.pos).unwrap_or_default(),
+                });
+                layout_ok = false;
+                break;
+            }
+        }
+    }
+    if layout_ok && di != ir.derivs.len() {
         out.push(Violation {
-            error: VerifyError::LayoutMismatch {
-                index: ir.states.len().min(ir.derivs.len()),
-            },
-            pos: SourcePos::default(),
+            error: VerifyError::LayoutMismatch { index: di },
+            pos: ir.derivs[di].pos,
         });
     }
 
@@ -184,6 +220,30 @@ pub fn verify_all(ir: &OdeIr) -> Vec<Violation> {
         let context = format!("der({})", d.state.name());
         if let Err(error) = check_expr(&d.rhs, &context, &known) {
             out.push(Violation { error, pos: d.pos });
+        }
+    }
+
+    // Array classes: check the representative right-hand side once, plus
+    // every symbol a row renames it to — flatten guarantees renaming is
+    // structure-preserving, so the representative check covers all
+    // members' shapes and the row check covers all members' symbols.
+    for c in &ir.classes {
+        let context = format!("array class `{}`", c.origin);
+        if let Err(error) = check_expr(&c.rhs, &context, &known) {
+            out.push(Violation { error, pos: c.pos });
+        }
+        for (_, elems) in &c.rows {
+            for &e in elems {
+                if !known.contains(&e) {
+                    out.push(Violation {
+                        error: VerifyError::UnknownSymbol {
+                            context: context.clone(),
+                            symbol: e.name().to_owned(),
+                        },
+                        pos: c.pos,
+                    });
+                }
+            }
         }
     }
     out
@@ -290,11 +350,33 @@ mod tests {
                     pos: SourcePos::default(),
                 },
             ],
+            classes: Vec::new(),
         };
         assert!(matches!(
             verify_compilable(&ir),
             Err(VerifyError::OrderViolation { .. })
         ));
+    }
+
+    #[test]
+    fn accepts_array_class_ir_and_detects_broken_member() {
+        let ir = causalize(
+            &om_lang::compile_arrays(
+                "model H; Real[5] u; equation
+                   der(u[1]) = 0.0 - u[1];
+                   for i in 2:4 loop der(u[i]) = u[i-1] - u[i]; end for;
+                   der(u[5]) = 0.0 - u[5];
+                 end H;",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(ir.has_classes());
+        verify_compilable(&ir).unwrap();
+        // A class member that is not a declared state is a violation.
+        let mut broken = ir.clone();
+        broken.classes[0].states[0] = om_expr::Symbol::intern("ghost");
+        assert!(verify_compilable(&broken).is_err());
     }
 
     #[test]

@@ -154,16 +154,50 @@ impl RefPath {
         }
     }
 
-    /// Render like the source (`a[i].b`) for error messages.
+    /// Render like the source (`a[i].b`, `u[i+1]`, `rollers[3].x`) for
+    /// error messages. Index expressions outside the literal/loop-index
+    /// arithmetic subset render as `·`.
     pub fn display(&self) -> String {
+        fn push_index(s: &mut String, e: &SExpr) {
+            use std::fmt::Write as _;
+            match e {
+                SExpr::Num(n) if n.fract() == 0.0 => {
+                    let _ = write!(s, "{}", *n as i64);
+                }
+                SExpr::Num(n) => {
+                    let _ = write!(s, "{n}");
+                }
+                SExpr::Ref(p) if p.segs.len() == 1 && p.segs[0].indices.is_empty() => {
+                    s.push_str(&p.segs[0].name);
+                }
+                SExpr::Bin(op, a, b) => {
+                    push_index(s, a);
+                    s.push(match op {
+                        BinOp::Add => '+',
+                        BinOp::Sub => '-',
+                        BinOp::Mul => '*',
+                        BinOp::Div => '/',
+                        BinOp::Pow => '^',
+                    });
+                    push_index(s, b);
+                }
+                SExpr::Neg(a) => {
+                    s.push('-');
+                    push_index(s, a);
+                }
+                _ => s.push('·'),
+            }
+        }
         let mut s = String::new();
         for (i, seg) in self.segs.iter().enumerate() {
             if i > 0 {
                 s.push('.');
             }
             s.push_str(&seg.name);
-            for _ in &seg.indices {
-                s.push_str("[·]");
+            for idx in &seg.indices {
+                s.push('[');
+                push_index(&mut s, idx);
+                s.push(']');
             }
         }
         s
@@ -258,7 +292,35 @@ mod tests {
             ],
             pos: SourcePos::default(),
         };
-        assert_eq!(p.display(), "rollers[·].x");
+        assert_eq!(p.display(), "rollers[1].x");
+    }
+
+    #[test]
+    fn refpath_display_renders_index_arithmetic() {
+        let idx = SExpr::Bin(
+            BinOp::Add,
+            Box::new(SExpr::Ref(RefPath::simple("i", SourcePos::default()))),
+            Box::new(SExpr::Num(1.0)),
+        );
+        let p = RefPath {
+            segs: vec![RefSeg {
+                name: "u".into(),
+                indices: vec![idx],
+            }],
+            pos: SourcePos::default(),
+        };
+        assert_eq!(p.display(), "u[i+1]");
+        // Outside the arithmetic subset the index degrades to a dot,
+        // not to nothing.
+        let call = SExpr::Call("floor".into(), vec![SExpr::Time], SourcePos::default());
+        let q = RefPath {
+            segs: vec![RefSeg {
+                name: "u".into(),
+                indices: vec![call],
+            }],
+            pos: SourcePos::default(),
+        };
+        assert_eq!(q.display(), "u[·]");
     }
 
     #[test]

@@ -84,6 +84,73 @@ pub enum VarKind {
     Algebraic,
 }
 
+/// An array equation class: one representative differential equation
+/// standing for a whole iteration range.
+///
+/// Produced only by array-aware flattening ([`FlattenOptions`] with
+/// `scalarize_all = false`), and only when substituting any iteration
+/// into the representative is provably bitwise-identical to scalarizing
+/// that iteration from source (see [`om_expr::arrays`]). `rows` maps
+/// each symbol of the representative right-hand side to its
+/// per-iteration symbols; `states[k]` is the state whose derivative
+/// iteration `k` defines.
+#[derive(Clone, Debug)]
+pub struct EqClass {
+    /// Derivative targets, one per iteration (`states[0]` is the
+    /// representative's).
+    pub states: Vec<Symbol>,
+    /// Simplified representative right-hand side.
+    pub rhs: Expr,
+    /// Representative symbol → per-iteration symbols. Includes the
+    /// state row; symbols of `rhs` not listed here are
+    /// iteration-invariant.
+    pub rows: Vec<(Symbol, Vec<Symbol>)>,
+    pub origin: String,
+    pub pos: SourcePos,
+}
+
+impl EqClass {
+    /// Number of iterations the class covers.
+    pub fn cardinality(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The scalarized right-hand side of iteration `k`, bitwise equal
+    /// to what the scalarizing oracle would have produced.
+    pub fn rhs_at(&self, k: usize) -> Expr {
+        om_expr::arrays::instantiate_row(&self.rhs, &self.rows, k)
+    }
+}
+
+/// A differential array equation that array-aware flattening had to
+/// scalarize after all. Recorded so diagnostics (lint `OM060`) can tell
+/// the user exactly which equation fell off the fast path and why.
+#[derive(Clone, Debug)]
+pub struct ClassFallback {
+    pub origin: String,
+    pub pos: SourcePos,
+    pub reason: String,
+}
+
+/// Options controlling how flattening treats instance arrays and
+/// `for`-equations.
+#[derive(Clone, Copy, Debug)]
+pub struct FlattenOptions {
+    /// Expand every array equation into scalar copies (the oracle — the
+    /// paper's original behavior). When false, uniform differential
+    /// array equations are kept as symbolic [`EqClass`]es and only
+    /// non-uniform patterns are scalarized.
+    pub scalarize_all: bool,
+}
+
+impl Default for FlattenOptions {
+    fn default() -> FlattenOptions {
+        FlattenOptions {
+            scalarize_all: true,
+        }
+    }
+}
+
 /// A flat system of scalar equations.
 #[derive(Clone, Debug, Default)]
 pub struct FlatModel {
@@ -91,6 +158,11 @@ pub struct FlatModel {
     pub variables: Vec<FlatVar>,
     pub parameters: Vec<FlatParam>,
     pub equations: Vec<FlatEquation>,
+    /// Symbolic array equation classes (empty under the scalarizing
+    /// oracle).
+    pub classes: Vec<EqClass>,
+    /// Differential array equations that fell back to scalarization.
+    pub class_fallbacks: Vec<ClassFallback>,
 }
 
 impl FlatModel {
@@ -106,8 +178,25 @@ impl FlatModel {
     }
 }
 
-/// Flatten a scope-checked unit into a [`FlatModel`].
+/// Flatten a scope-checked unit into a [`FlatModel`] with every array
+/// equation scalarized (the paper's original pipeline; the oracle the
+/// array-aware path is checked against).
 pub fn flatten(unit: &Unit) -> Result<FlatModel, LangError> {
+    flatten_with(unit, &FlattenOptions::default())
+}
+
+/// Flatten keeping uniform array equations symbolic as [`EqClass`]es.
+pub fn flatten_arrays(unit: &Unit) -> Result<FlatModel, LangError> {
+    flatten_with(
+        unit,
+        &FlattenOptions {
+            scalarize_all: false,
+        },
+    )
+}
+
+/// Flatten a scope-checked unit under explicit [`FlattenOptions`].
+pub fn flatten_with(unit: &Unit, opts: &FlattenOptions) -> Result<FlatModel, LangError> {
     let table = ClassTable::build(unit)?;
     let mut out = FlatModel {
         name: unit.model.name.clone(),
@@ -120,8 +209,14 @@ pub fn flatten(unit: &Unit) -> Result<FlatModel, LangError> {
         &HashMap::new(),
         &mut out,
     )?;
-    apply_initial_equations(&table, &root, &mut out)?;
-    emit_equations(&table, &root, &mut out)?;
+    let var_index: om_expr::SymbolMap<usize> = out
+        .variables
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.sym, i))
+        .collect();
+    apply_initial_equations(&table, &root, &var_index, &mut out)?;
+    emit_equations(&table, &root, &mut out, opts)?;
     Ok(out)
 }
 
@@ -135,15 +230,19 @@ pub fn flatten(unit: &Unit) -> Result<FlatModel, LangError> {
 fn apply_initial_equations(
     table: &ClassTable<'_>,
     inst: &Instance<'_>,
+    var_index: &om_expr::SymbolMap<usize>,
     out: &mut FlatModel,
 ) -> Result<(), LangError> {
     let mut loop_env: HashMap<String, i64> = HashMap::new();
+    // Parameter scope for right-hand sides, extended in place with loop
+    // indices (which shadow parameters) as loops are entered.
+    let mut params = inst.params.clone();
     for eq in table.effective_initial_equations(inst.class) {
-        apply_initial_equation(inst, eq, &mut loop_env, out)?;
+        apply_initial_equation(inst, eq, &mut loop_env, &mut params, var_index, out)?;
     }
     for slot in inst.parts.values() {
         for child in &slot.instances {
-            apply_initial_equations(table, child, out)?;
+            apply_initial_equations(table, child, var_index, out)?;
         }
     }
     Ok(())
@@ -153,6 +252,8 @@ fn apply_initial_equation(
     inst: &Instance<'_>,
     eq: &Equation,
     loop_env: &mut HashMap<String, i64>,
+    params: &mut HashMap<String, f64>,
+    var_index: &om_expr::SymbolMap<usize>,
     out: &mut FlatModel,
 ) -> Result<(), LangError> {
     match eq {
@@ -169,13 +270,10 @@ fn apply_initial_equation(
                     "initial equation assigns to a parameter",
                 ));
             };
-            let value = eval_initial_rhs(inst, rhs, loop_env)?;
+            let value = eval_const(rhs, params, "initial equation")?;
             for sym in syms {
-                let var = out
-                    .variables
-                    .iter_mut()
-                    .find(|v| v.sym == sym)
-                    .expect("variable was instantiated");
+                let var =
+                    &mut out.variables[*var_index.get(&sym).expect("variable was instantiated")];
                 var.start = value;
                 var.explicit_start = true;
             }
@@ -188,31 +286,31 @@ fn apply_initial_equation(
             body,
             ..
         } => {
+            // The loop index shadows any same-named parameter for the
+            // duration of the loop. Insert the bindings once and update
+            // them in place per iteration.
+            let shadowed = params.get(index).copied();
+            loop_env.insert(index.clone(), *from);
+            params.insert(index.clone(), *from as f64);
             for value in *from..=*to {
-                loop_env.insert(index.clone(), value);
+                *loop_env.get_mut(index).expect("inserted above") = value;
+                *params.get_mut(index).expect("inserted above") = value as f64;
                 for e in body {
-                    apply_initial_equation(inst, e, loop_env, out)?;
+                    apply_initial_equation(inst, e, loop_env, params, var_index, out)?;
                 }
             }
             loop_env.remove(index);
+            match shadowed {
+                Some(v) => {
+                    params.insert(index.clone(), v);
+                }
+                None => {
+                    params.remove(index);
+                }
+            }
             Ok(())
         }
     }
-}
-
-/// Evaluate an initial-equation right-hand side: constants, parameters,
-/// loop indices, and arithmetic/functions over them.
-fn eval_initial_rhs(
-    inst: &Instance<'_>,
-    e: &SExpr,
-    loop_env: &HashMap<String, i64>,
-) -> Result<f64, LangError> {
-    // Loop indices shadow parameters; extend the parameter map.
-    let mut params = inst.params.clone();
-    for (k, v) in loop_env {
-        params.insert(k.clone(), *v as f64);
-    }
-    eval_const(e, &params, "initial equation")
 }
 
 /// One instantiated object: parameter values, variable component symbols,
@@ -477,6 +575,7 @@ fn emit_equations(
     table: &ClassTable<'_>,
     inst: &Instance<'_>,
     out: &mut FlatModel,
+    opts: &FlattenOptions,
 ) -> Result<(), LangError> {
     let origin = format!(
         "{} : {}",
@@ -490,11 +589,30 @@ fn emit_equations(
     let equations = table.effective_equations(inst.class);
     let mut loop_env: HashMap<String, i64> = HashMap::new();
     for eq in equations {
-        emit_equation(inst, eq, &mut loop_env, &origin, out)?;
+        emit_equation(inst, eq, &mut loop_env, &origin, out, opts)?;
     }
     for slot in inst.parts.values() {
+        // Instance arrays: the sibling instances of one part array share
+        // their class, parameter bindings, and equations, so their raw
+        // equation streams are structurally identical up to the instance
+        // prefix (`name[1].` vs `name[j].`). Classify them as one group
+        // instead of emitting n copies.
+        if !opts.scalarize_all && slot.is_array && slot.instances.len() >= 2 {
+            let mut streams = Vec::with_capacity(slot.instances.len());
+            for child in &slot.instances {
+                let mut s = Vec::new();
+                collect_instance_raw(table, child, &mut s)?;
+                streams.push(s);
+            }
+            if streams.iter().all(|s| s.len() == streams[0].len()) {
+                classify_streams(streams, out);
+                continue;
+            }
+            // Ragged streams cannot happen for sibling instances, but if
+            // they ever do, scalarize — never guess.
+        }
         for child in &slot.instances {
-            emit_equations(table, child, out)?;
+            emit_equations(table, child, out, opts)?;
         }
     }
     Ok(())
@@ -506,6 +624,86 @@ fn emit_equation(
     loop_env: &mut HashMap<String, i64>,
     origin: &str,
     out: &mut FlatModel,
+    opts: &FlattenOptions,
+) -> Result<(), LangError> {
+    match eq {
+        Equation::Simple { .. } => {
+            let mut raw = Vec::new();
+            collect_raw(inst, eq, loop_env, origin, &mut raw)?;
+            for r in raw {
+                out.equations.push(FlatEquation {
+                    lhs: simplify(&r.lhs),
+                    rhs: simplify(&r.rhs),
+                    origin: r.origin,
+                    pos: r.pos,
+                });
+            }
+            Ok(())
+        }
+        Equation::For {
+            index,
+            from,
+            to,
+            body,
+            ..
+        } => {
+            // Array-aware: scalarize each iteration *raw* (no simplify),
+            // then classify each equation position across iterations.
+            if !opts.scalarize_all && *to - *from + 1 >= 2 {
+                // Fast path: for scalar bodies whose loop index appears
+                // only inside reference indices, classify from
+                // per-iteration leaf renamings without building every
+                // iteration's trees. Falls back to the stream path below
+                // on any mismatch, so behavior is unchanged.
+                let fast = classify_for_fast(inst, index, *from, *to, body, origin, loop_env, out);
+                loop_env.remove(index);
+                if fast {
+                    return Ok(());
+                }
+                let mut streams = Vec::with_capacity((*to - *from + 1) as usize);
+                for value in *from..=*to {
+                    loop_env.insert(index.clone(), value);
+                    let mut s = Vec::new();
+                    for e in body {
+                        collect_raw(inst, e, loop_env, origin, &mut s)?;
+                    }
+                    streams.push(s);
+                }
+                loop_env.remove(index);
+                if streams.iter().all(|s| s.len() == streams[0].len()) {
+                    classify_streams(streams, out);
+                    return Ok(());
+                }
+            }
+            for value in *from..=*to {
+                loop_env.insert(index.clone(), value);
+                for e in body {
+                    emit_equation(inst, e, loop_env, origin, out, opts)?;
+                }
+            }
+            loop_env.remove(index);
+            Ok(())
+        }
+    }
+}
+
+/// A scalarized equation component before simplification. Simplifying
+/// `lhs`/`rhs` yields exactly what the oracle would have pushed.
+struct RawEq {
+    lhs: Expr,
+    rhs: Expr,
+    origin: String,
+    pos: SourcePos,
+}
+
+/// Scalarize one equation (unrolling nested `for` loops) into raw
+/// components, mirroring the oracle's traversal order exactly.
+fn collect_raw(
+    inst: &Instance<'_>,
+    eq: &Equation,
+    loop_env: &mut HashMap<String, i64>,
+    origin: &str,
+    out: &mut Vec<RawEq>,
 ) -> Result<(), LangError> {
     match eq {
         Equation::Simple { lhs, rhs, pos } => {
@@ -518,9 +716,9 @@ fn emit_equation(
                 )
             })?;
             for (le, re) in l.into_iter().zip(r) {
-                out.equations.push(FlatEquation {
-                    lhs: simplify(&le),
-                    rhs: simplify(&re),
+                out.push(RawEq {
+                    lhs: le,
+                    rhs: re,
                     origin: origin.to_owned(),
                     pos: *pos,
                 });
@@ -537,13 +735,616 @@ fn emit_equation(
             for value in *from..=*to {
                 loop_env.insert(index.clone(), value);
                 for e in body {
-                    emit_equation(inst, e, loop_env, origin, out)?;
+                    collect_raw(inst, e, loop_env, origin, out)?;
                 }
             }
             loop_env.remove(index);
             Ok(())
         }
     }
+}
+
+/// Raw equations of a whole instance subtree (own equations, then
+/// parts), in the oracle's emission order.
+fn collect_instance_raw(
+    table: &ClassTable<'_>,
+    inst: &Instance<'_>,
+    out: &mut Vec<RawEq>,
+) -> Result<(), LangError> {
+    let origin = format!(
+        "{} : {}",
+        if inst.path.is_empty() {
+            "<model>"
+        } else {
+            &inst.path
+        },
+        inst.class.name
+    );
+    let mut loop_env: HashMap<String, i64> = HashMap::new();
+    for eq in table.effective_equations(inst.class) {
+        collect_raw(inst, eq, &mut loop_env, &origin, out)?;
+    }
+    for slot in inst.parts.values() {
+        for child in &slot.instances {
+            collect_instance_raw(table, child, out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Classify each equation position of an iteration group: `streams[k]`
+/// holds the raw equations of iteration `k`, all streams the same
+/// length. Equations that pass every check become an [`EqClass`];
+/// everything else is scalarized exactly like the oracle.
+fn classify_streams(streams: Vec<Vec<RawEq>>, out: &mut FlatModel) {
+    let n_eqs = streams[0].len();
+    for e in 0..n_eqs {
+        match try_class(&streams, e) {
+            Ok(class) => out.classes.push(class),
+            Err(reason) => {
+                if let Some(reason) = reason {
+                    let rep = &streams[0][e];
+                    out.class_fallbacks.push(ClassFallback {
+                        origin: rep.origin.clone(),
+                        pos: rep.pos,
+                        reason,
+                    });
+                }
+                for stream in &streams {
+                    let r = &stream[e];
+                    out.equations.push(FlatEquation {
+                        lhs: simplify(&r.lhs),
+                        rhs: simplify(&r.rhs),
+                        origin: r.origin.clone(),
+                        pos: r.pos,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Does `e` syntactically mention `name` — as a bare reference, a path
+/// segment, or inside an index expression?
+fn sexpr_mentions(e: &SExpr, name: &str) -> bool {
+    match e {
+        SExpr::Num(_) | SExpr::Time => false,
+        SExpr::Ref(p) | SExpr::Der(p) => p
+            .segs
+            .iter()
+            .any(|s| s.name == name || s.indices.iter().any(|ix| sexpr_mentions(ix, name))),
+        SExpr::Call(_, args, _) | SExpr::Tuple(args) => {
+            args.iter().any(|a| sexpr_mentions(a, name))
+        }
+        SExpr::Bin(_, a, b) | SExpr::Rel(_, a, b) | SExpr::And(a, b) | SExpr::Or(a, b) => {
+            sexpr_mentions(a, name) || sexpr_mentions(b, name)
+        }
+        SExpr::Neg(a) | SExpr::Not(a) => sexpr_mentions(a, name),
+        SExpr::If(c, t, e2) => {
+            sexpr_mentions(c, name) || sexpr_mentions(t, name) || sexpr_mentions(e2, name)
+        }
+    }
+}
+
+/// A prospective `Var`/`Der` leaf of a `for`-body expression, in the
+/// order `scalarize` emits leaves.
+enum FastLeaf<'a> {
+    /// The built-in `time` variable.
+    Time,
+    /// A reference with no occurrence of the loop index: resolves the
+    /// same at every iteration. `true` for `der(...)` references.
+    Fixed(&'a RefPath, bool),
+    /// A reference whose index expressions mention the loop index: must
+    /// be re-resolved at every iteration.
+    Varying(&'a RefPath, bool),
+}
+
+/// Collect the leaves `scalarize` would produce for `e`, in order,
+/// without building trees. Returns `false` when the expression is
+/// outside the fast subset — the loop index used as a value or as a
+/// path segment name.
+fn collect_fast_leaves<'a>(e: &'a SExpr, index: &str, out: &mut Vec<FastLeaf<'a>>) -> bool {
+    fn push_ref<'a>(
+        p: &'a RefPath,
+        is_der: bool,
+        index: &str,
+        out: &mut Vec<FastLeaf<'a>>,
+    ) -> bool {
+        if p.segs.iter().any(|s| s.name == index) {
+            return false; // loop index used as a value
+        }
+        let varying = p
+            .segs
+            .iter()
+            .any(|s| s.indices.iter().any(|ix| sexpr_mentions(ix, index)));
+        out.push(if varying {
+            FastLeaf::Varying(p, is_der)
+        } else {
+            FastLeaf::Fixed(p, is_der)
+        });
+        true
+    }
+    match e {
+        SExpr::Num(_) => true,
+        SExpr::Time => {
+            out.push(FastLeaf::Time);
+            true
+        }
+        SExpr::Ref(p) => push_ref(p, false, index, out),
+        SExpr::Der(p) => push_ref(p, true, index, out),
+        SExpr::Call(_, args, _) | SExpr::Tuple(args) => {
+            args.iter().all(|a| collect_fast_leaves(a, index, out))
+        }
+        SExpr::Bin(_, a, b) | SExpr::Rel(_, a, b) | SExpr::And(a, b) | SExpr::Or(a, b) => {
+            collect_fast_leaves(a, index, out) && collect_fast_leaves(b, index, out)
+        }
+        SExpr::Neg(a) | SExpr::Not(a) => collect_fast_leaves(a, index, out),
+        SExpr::If(c, t, e2) => {
+            collect_fast_leaves(c, index, out)
+                && collect_fast_leaves(t, index, out)
+                && collect_fast_leaves(e2, index, out)
+        }
+    }
+}
+
+/// How one representative leaf's symbol is recomputed per iteration.
+enum LeafKind<'a> {
+    /// The leaf does not mention the loop index: the representative
+    /// symbol is reused every iteration.
+    Fixed,
+    /// Single-segment indexed variable whose index is affine in the loop
+    /// index: `syms[value + offset - 1]`, bounds-checked against `dim`.
+    Affine {
+        syms: &'a [Symbol],
+        dim: usize,
+        offset: i64,
+    },
+    /// Single-segment indexed variable with a general index expression:
+    /// evaluate the index, then look up the component table.
+    Indexed {
+        syms: &'a [Symbol],
+        dim: usize,
+        idx: &'a SExpr,
+    },
+    /// Anything else (nested parts, …): full reference resolution.
+    General(&'a RefPath),
+}
+
+/// One leaf of the representative, ready for per-iteration resolution.
+struct ResolvedLeaf<'a> {
+    /// The symbol at the representative iteration.
+    rep: Symbol,
+    kind: LeafKind<'a>,
+}
+
+/// Detect index expressions affine in the loop index — `i`, `i + c`,
+/// `c + i`, `i - c` with integer `c` — returning the constant offset.
+/// These cover stencil references; anything else goes through
+/// [`eval_index`] per iteration.
+fn affine_offset(e: &SExpr, index: &str) -> Option<i64> {
+    let is_idx = |e: &SExpr| {
+        matches!(e, SExpr::Ref(p)
+            if p.segs.len() == 1 && p.segs[0].indices.is_empty() && p.segs[0].name == index)
+    };
+    let int = |e: &SExpr| match e {
+        SExpr::Num(n) if n.fract() == 0.0 => Some(*n as i64),
+        _ => None,
+    };
+    if is_idx(e) {
+        return Some(0);
+    }
+    if let SExpr::Bin(op, a, b) = e {
+        match op {
+            BinOp::Add if is_idx(a) => return int(b),
+            BinOp::Add if is_idx(b) => return int(a),
+            BinOp::Sub if is_idx(a) => return int(b).map(|c| -c),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Classify an array-aware `for` group without scalarizing every
+/// iteration.
+///
+/// The stream path below builds every iteration's raw trees
+/// (`collect_raw` per iteration) and lockstep-diffs them in
+/// [`try_class`]; that is O(n · tree size) and dominates compile time
+/// for large arrays. For the common shape — scalar body equations whose
+/// loop index appears only inside reference index expressions — every
+/// iteration's tree is the representative's tree with the
+/// index-dependent leaves renamed. So this path scalarizes only the
+/// representative iteration, re-resolves the varying leaves at each
+/// other iteration (an integer index evaluation plus a component table
+/// lookup), builds the substitution rows directly, and enters the
+/// shared tail [`class_checks`].
+///
+/// Returns `true` only when **every** equation position classified and
+/// the classes were pushed. Any other case — shape outside the fast
+/// subset, a resolution error, a parameter leaf that varies, a renaming
+/// conflict, or a classification fallback — returns `false` *without
+/// touching `out`*; the caller then runs the stream path, which
+/// reproduces the oracle behavior (scalarized equations, fallback
+/// diagnostics, and errors) exactly.
+///
+/// Leaves `index` in `loop_env`; the caller removes it.
+#[allow(clippy::too_many_arguments)]
+fn classify_for_fast(
+    inst: &Instance<'_>,
+    index: &str,
+    from: i64,
+    to: i64,
+    body: &[Equation],
+    origin: &str,
+    loop_env: &mut HashMap<String, i64>,
+    out: &mut FlatModel,
+) -> bool {
+    // Applicability: plain equations whose loop index occurs only
+    // inside reference indices.
+    let mut leaves_per_eq: Vec<Vec<FastLeaf<'_>>> = Vec::with_capacity(body.len());
+    for eq in body {
+        let Equation::Simple { lhs, rhs, .. } = eq else {
+            return false;
+        };
+        let mut leaves = Vec::new();
+        if !collect_fast_leaves(lhs, index, &mut leaves)
+            || !collect_fast_leaves(rhs, index, &mut leaves)
+        {
+            return false;
+        }
+        leaves_per_eq.push(leaves);
+    }
+
+    // Representative iteration: real trees (the class needs the
+    // simplified rhs, and the stability checks run on it).
+    loop_env.insert(index.to_owned(), from);
+    let mut rep_eqs: Vec<RawEq> = Vec::with_capacity(body.len());
+    for eq in body {
+        let mut raw = Vec::new();
+        if collect_raw(inst, eq, loop_env, origin, &mut raw).is_err() || raw.len() != 1 {
+            return false; // error or a vector equation: stream path
+        }
+        rep_eqs.push(raw.pop().expect("len 1"));
+    }
+    for rep in &rep_eqs {
+        // Only solved differential equations classify; bail before the
+        // per-iteration work if any position cannot.
+        if !matches!(&rep.lhs, Expr::Der(_)) || rep.rhs.contains_der() {
+            return false;
+        }
+    }
+
+    // Resolve the representative's leaves and check they line up 1:1,
+    // in order, with the Var/Der leaves of the representative trees.
+    // This guards the whole construction: when it holds, pairing leaf k
+    // of iteration j against leaf k of the representative is exactly
+    // what `match_structure` would have paired.
+    let mut resolved_per_eq: Vec<Vec<ResolvedLeaf<'_>>> = Vec::with_capacity(body.len());
+    for (rep, leaves) in rep_eqs.iter().zip(&leaves_per_eq) {
+        let mut resolved: Vec<ResolvedLeaf<'_>> = Vec::with_capacity(leaves.len());
+        for leaf in leaves {
+            let (path, is_der, varying) = match leaf {
+                FastLeaf::Time => {
+                    resolved.push(ResolvedLeaf {
+                        rep: time_symbol(),
+                        kind: LeafKind::Fixed,
+                    });
+                    continue;
+                }
+                FastLeaf::Fixed(p, d) => (*p, *d, false),
+                FastLeaf::Varying(p, d) => (*p, *d, true),
+            };
+            match resolve_ref(inst, path, loop_env) {
+                Ok(Resolved::Components(syms)) if syms.len() == 1 => {
+                    let kind = if !varying {
+                        LeafKind::Fixed
+                    } else if path.segs.len() == 1 && path.segs[0].indices.len() == 1 {
+                        // Params are never indexed, so `resolve_ref`
+                        // lands on the component table for this shape.
+                        let seg = &path.segs[0];
+                        match inst.vars.get(&seg.name) {
+                            Some((ty, table)) => match affine_offset(&seg.indices[0], index) {
+                                Some(offset) => LeafKind::Affine {
+                                    syms: table,
+                                    dim: ty.dim,
+                                    offset,
+                                },
+                                None => LeafKind::Indexed {
+                                    syms: table,
+                                    dim: ty.dim,
+                                    idx: &seg.indices[0],
+                                },
+                            },
+                            None => LeafKind::General(path),
+                        }
+                    } else {
+                        LeafKind::General(path)
+                    };
+                    resolved.push(ResolvedLeaf { rep: syms[0], kind });
+                }
+                // A fixed parameter constant produces no Var leaf. A
+                // *varying* constant breaks uniformity and `der()` of a
+                // parameter is an error: both go to the stream path.
+                Ok(Resolved::Const(_)) if !varying && !is_der => {}
+                _ => return false,
+            }
+        }
+        let mut tree_syms: Vec<Symbol> = Vec::with_capacity(resolved.len());
+        let mut push = |t: &Expr| {
+            t.walk(&mut |n| {
+                if let Expr::Var(s) | Expr::Der(s) = n {
+                    tree_syms.push(*s);
+                }
+            });
+        };
+        push(&rep.lhs);
+        push(&rep.rhs);
+        if tree_syms.len() != resolved.len()
+            || tree_syms.iter().zip(&resolved).any(|(t, r)| *t != r.rep)
+        {
+            return false;
+        }
+        resolved_per_eq.push(resolved);
+    }
+
+    // Build the substitution rows directly, one column per iteration.
+    // The row layout (representative symbols deduplicated in leaf
+    // order) matches what `class_from_renamings` derives from the
+    // per-iteration maps: the alignment guard above established that
+    // leaf order *is* tree-traversal order.
+    let card = (to - from + 1) as usize;
+    struct EqRows {
+        /// leaf position → row (first-occurrence dedup of rep symbols)
+        leaf_row: Vec<usize>,
+        rows: Vec<(Symbol, Vec<Symbol>)>,
+    }
+    let mut eq_rows: Vec<EqRows> = Vec::with_capacity(resolved_per_eq.len());
+    for resolved in &resolved_per_eq {
+        let mut rows: Vec<(Symbol, Vec<Symbol>)> = Vec::new();
+        let mut leaf_row = Vec::with_capacity(resolved.len());
+        for leaf in resolved {
+            let at = match rows.iter().position(|(r, _)| *r == leaf.rep) {
+                Some(at) => at,
+                None => {
+                    let mut elems = Vec::with_capacity(card);
+                    elems.push(leaf.rep);
+                    rows.push((leaf.rep, elems));
+                    rows.len() - 1
+                }
+            };
+            leaf_row.push(at);
+        }
+        eq_rows.push(EqRows { leaf_row, rows });
+    }
+    for (ki, value) in (from..=to).enumerate().skip(1) {
+        *loop_env.get_mut(index).expect("inserted above") = value;
+        for (resolved, er) in resolved_per_eq.iter().zip(&mut eq_rows) {
+            for (leaf, &ri) in resolved.iter().zip(&er.leaf_row) {
+                let target = match &leaf.kind {
+                    LeafKind::Fixed => leaf.rep,
+                    LeafKind::Affine { syms, dim, offset } => {
+                        let k = value + offset;
+                        if k < 1 || k as usize > *dim {
+                            return false; // out of bounds: stream path reports it
+                        }
+                        syms[k as usize - 1]
+                    }
+                    LeafKind::Indexed { syms, dim, idx } => {
+                        let Ok(k) = eval_index(inst, idx, loop_env) else {
+                            return false;
+                        };
+                        if k < 1 || k as usize > *dim {
+                            return false;
+                        }
+                        syms[k as usize - 1]
+                    }
+                    LeafKind::General(path) => match resolve_ref(inst, path, loop_env) {
+                        Ok(Resolved::Components(syms)) if syms.len() == 1 => syms[0],
+                        _ => return false,
+                    },
+                };
+                // Two leaves sharing a representative symbol land on
+                // the same row; diverging targets are the "conflicting
+                // index pattern" case the map-based path rejects.
+                let (_, elems) = &mut er.rows[ri];
+                if elems.len() == ki {
+                    elems.push(target);
+                } else if elems[ki] != target {
+                    return false;
+                }
+            }
+        }
+    }
+
+    // Shared tail; all-or-nothing so a partial success still replays
+    // identically through the stream path.
+    let mut classes = Vec::with_capacity(rep_eqs.len());
+    for (rep, er) in rep_eqs.iter().zip(eq_rows) {
+        let mut rows = Vec::new();
+        let mut invariant = Vec::new();
+        for (sym, elems) in er.rows {
+            debug_assert_eq!(elems.len(), card);
+            if elems.iter().any(|t| *t != sym) {
+                rows.push((sym, elems));
+            } else {
+                invariant.push(sym);
+            }
+        }
+        match class_checks(rep, rows, &invariant) {
+            Ok(class) => classes.push(class),
+            Err(_) => return false,
+        }
+    }
+    out.classes.extend(classes);
+    true
+}
+
+/// Attempt to turn equation position `e` of the group into a class.
+/// `Err(None)` means "not a candidate" (not a plain differential
+/// equation — the acausal path is expected to scalarize); `Err(Some)`
+/// carries a diagnostic reason for a differential equation that *had*
+/// to fall back.
+fn try_class(streams: &[Vec<RawEq>], e: usize) -> Result<EqClass, Option<String>> {
+    let card = streams.len();
+    let rep = &streams[0][e];
+    // Checked again in `class_from_renamings`; repeated here so a
+    // non-differential equation bails before any structure diffing.
+    if !matches!(&rep.lhs, Expr::Der(_)) {
+        return Err(None);
+    }
+    if rep.rhs.contains_der() {
+        return Err(Some(
+            "right-hand side contains der(); solved derivatives are causalized per element"
+                .to_owned(),
+        ));
+    }
+
+    // Lockstep diff against every iteration: identical structure up to
+    // symbol names, with a consistent per-iteration renaming.
+    let mut per_k: Vec<HashMap<Symbol, Symbol>> = Vec::with_capacity(card);
+    per_k.push(HashMap::new()); // iteration 0 is the identity
+    for stream in streams.iter().skip(1) {
+        let other = &stream[e];
+        let pairs_l = om_expr::match_structure(&rep.lhs, &other.lhs);
+        let pairs_r = om_expr::match_structure(&rep.rhs, &other.rhs);
+        let (Some(pairs_l), Some(pairs_r)) = (pairs_l, pairs_r) else {
+            return Err(Some(
+                "iterations are not structurally uniform (an index is used as a value, \
+                 or the expression shape changes)"
+                    .to_owned(),
+            ));
+        };
+        let mut map = HashMap::new();
+        for (a, b) in pairs_l.into_iter().chain(pairs_r) {
+            match map.insert(a, b) {
+                Some(prev) if prev != b => {
+                    return Err(Some(format!(
+                        "conflicting index pattern: `{}` maps to both `{}` and `{}` \
+                         in one iteration",
+                        a.name(),
+                        prev.name(),
+                        b.name()
+                    )));
+                }
+                _ => {}
+            }
+        }
+        per_k.push(map);
+    }
+    class_from_renamings(rep, &per_k)
+}
+
+/// Shared classification tail: from the representative raw equation and
+/// one complete symbol renaming per iteration (`per_k[0]` is the empty
+/// identity map for the representative itself), run the row layout,
+/// injectivity, and order-stability checks and build the class. Both the
+/// stream path ([`try_class`]) and the leaf path ([`classify_for_fast`])
+/// end here, so their accept/reject decisions cannot drift apart.
+fn class_from_renamings(
+    rep: &RawEq,
+    per_k: &[HashMap<Symbol, Symbol>],
+) -> Result<EqClass, Option<String>> {
+    let card = per_k.len();
+    if !matches!(&rep.lhs, Expr::Der(_)) {
+        return Err(None);
+    }
+    if rep.rhs.contains_der() {
+        return Err(Some(
+            "right-hand side contains der(); solved derivatives are causalized per element"
+                .to_owned(),
+        ));
+    }
+
+    // Split representative symbols into substitution rows (those that
+    // vary with the iteration) and invariant symbols. Collect them in
+    // tree traversal order so the row layout is deterministic.
+    let mut rep_syms: Vec<Symbol> = Vec::new();
+    let mut push_leaves = |t: &Expr| {
+        t.walk(&mut |n| {
+            if let Expr::Var(s) | Expr::Der(s) = n {
+                if !rep_syms.contains(s) {
+                    rep_syms.push(*s);
+                }
+            }
+        });
+    };
+    push_leaves(&rep.lhs);
+    push_leaves(&rep.rhs);
+    let mut rows: Vec<(Symbol, Vec<Symbol>)> = Vec::new();
+    let mut invariant: Vec<Symbol> = Vec::new();
+    for sym in rep_syms {
+        let mut elems = Vec::with_capacity(card);
+        elems.push(sym);
+        let mut varies = false;
+        for map in per_k.iter().skip(1) {
+            let Some(&target) = map.get(&sym) else {
+                return Err(Some(format!(
+                    "`{}` is missing from an iteration's renaming",
+                    sym.name()
+                )));
+            };
+            if target != sym {
+                varies = true;
+            }
+            elems.push(target);
+        }
+        if varies {
+            rows.push((sym, elems));
+        } else {
+            invariant.push(sym);
+        }
+    }
+    class_checks(rep, rows, &invariant)
+}
+
+/// Final classification checks and class construction, from fully built
+/// substitution rows (`rows` in tree-traversal order, `invariant` the
+/// non-varying representative symbols). Split out so the fast leaf path
+/// can enter with directly-built rows.
+fn class_checks(
+    rep: &RawEq,
+    rows: Vec<(Symbol, Vec<Symbol>)>,
+    invariant: &[Symbol],
+) -> Result<EqClass, Option<String>> {
+    let Expr::Der(rep_state) = &rep.lhs else {
+        return Err(None);
+    };
+    let rep_state = *rep_state;
+    let invariant: std::collections::HashSet<Symbol> = invariant.iter().copied().collect();
+
+    if !rows.iter().any(|(r, _)| *r == rep_state) {
+        return Err(Some(
+            "derivative target does not vary with the iteration".to_owned(),
+        ));
+    }
+    if !om_expr::rows_injective(&invariant, &rows) {
+        return Err(Some(
+            "index pattern collides across iterations (two references name \
+             the same element in some iteration)"
+                .to_owned(),
+        ));
+    }
+    let rhs = simplify(&rep.rhs);
+    if !om_expr::stable_under_rows(&rhs, &rows) {
+        return Err(Some(
+            "canonical operand order varies across iterations (renamed terms \
+             would sort differently)"
+                .to_owned(),
+        ));
+    }
+
+    let states = rows
+        .iter()
+        .find(|(r, _)| *r == rep_state)
+        .map(|(_, elems)| elems.clone())
+        .expect("state row exists");
+    Ok(EqClass {
+        states,
+        rhs,
+        rows,
+        origin: rep.origin.clone(),
+        pos: rep.pos,
+    })
 }
 
 /// Broadcast two component vectors to a common length, or report the two
@@ -1135,6 +1936,199 @@ mod tests {
         );
         let a_k = m.parameters.iter().find(|p| p.sym.name() == "a.k").unwrap();
         assert_eq!(a_k.value, 10.0);
+    }
+}
+
+#[cfg(test)]
+mod array_class_tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    fn flat_both(src: &str) -> (FlatModel, FlatModel) {
+        let unit = parse_unit(src).unwrap();
+        crate::scope::check(&unit).unwrap();
+        (flatten(&unit).unwrap(), flatten_arrays(&unit).unwrap())
+    }
+
+    /// Every class iteration, instantiated from the representative, must
+    /// be bitwise what the oracle scalarized: same derivative target,
+    /// same right-hand side tree.
+    fn assert_matches_oracle(oracle: &FlatModel, aware: &FlatModel) {
+        let mut covered = 0;
+        for class in &aware.classes {
+            for k in 0..class.cardinality() {
+                let state = class.states[k];
+                let o = oracle
+                    .equations
+                    .iter()
+                    .find(|eq| matches!(&eq.lhs, Expr::Der(s) if *s == state))
+                    .unwrap_or_else(|| panic!("oracle has no der({})", state.name()));
+                assert_eq!(class.rhs_at(k), o.rhs, "rhs of der({})", state.name());
+                covered += 1;
+            }
+        }
+        assert_eq!(
+            aware.equations.len() + covered,
+            oracle.equations.len(),
+            "class coverage plus scalar equations must account for every oracle equation"
+        );
+        // Scalarized equations are shared verbatim with the oracle.
+        for eq in &aware.equations {
+            let o = oracle
+                .equations
+                .iter()
+                .find(|o| o.lhs == eq.lhs && o.rhs == eq.rhs);
+            assert!(o.is_some(), "equation {:?} not in oracle", eq.lhs);
+        }
+    }
+
+    const HEAT: &str = "model Heat;
+        parameter Real d = 4.0;
+        parameter Real a = 0.5;
+        Real[8] u;
+        equation
+          der(u[1]) = d*(0.0 - 2.0*u[1] + u[2]) - a*(u[1] - 0.0);
+          for i in 2:7 loop
+            der(u[i]) = d*(u[i-1] - 2.0*u[i] + u[i+1]) - a*(u[i] - u[i-1]);
+          end for;
+          der(u[8]) = d*(u[7] - 2.0*u[8] + 0.0) - a*(u[8] - u[7]);
+        end Heat;";
+
+    #[test]
+    fn uniform_stencil_loop_becomes_one_class() {
+        let (oracle, aware) = flat_both(HEAT);
+        assert_eq!(aware.classes.len(), 1);
+        assert!(aware.class_fallbacks.is_empty());
+        let class = &aware.classes[0];
+        assert_eq!(class.cardinality(), 6);
+        assert_eq!(class.states[0].name(), "u[2]");
+        assert_eq!(class.states[5].name(), "u[7]");
+        // Only the two boundary equations remain scalar.
+        assert_eq!(aware.equations.len(), 2);
+        assert_matches_oracle(&oracle, &aware);
+    }
+
+    #[test]
+    fn part_array_bodies_become_classes() {
+        let (oracle, aware) = flat_both(
+            "class Osc;
+               parameter Real w = 2.0;
+               Real x(start = 1.0); Real v;
+               equation
+                 der(x) = v;
+                 der(v) = 0.0 - w*x;
+             end Osc;
+             model M;
+               part Osc cells[5];
+             end M;",
+        );
+        assert_eq!(aware.classes.len(), 2, "one class per body equation");
+        assert!(aware.equations.is_empty());
+        assert_eq!(aware.classes[0].cardinality(), 5);
+        assert_eq!(aware.classes[0].states[2].name(), "cells[3].x");
+        assert_matches_oracle(&oracle, &aware);
+    }
+
+    #[test]
+    fn index_as_value_falls_back_with_reason() {
+        let (oracle, aware) = flat_both(
+            "model M;
+               Real[4] x;
+               equation
+                 for i in 1:4 loop
+                   der(x[i]) = i * 10.0 - x[i];
+                 end for;
+             end M;",
+        );
+        assert!(aware.classes.is_empty());
+        assert_eq!(aware.class_fallbacks.len(), 1);
+        assert!(aware.class_fallbacks[0]
+            .reason
+            .contains("index is used as a value"));
+        assert_eq!(aware.equations.len(), oracle.equations.len());
+        assert_matches_oracle(&oracle, &aware);
+    }
+
+    #[test]
+    fn colliding_index_pattern_falls_back() {
+        // x[i] and x[4-i] both name x[2] at i = 2.
+        let (oracle, aware) = flat_both(
+            "model M;
+               Real[4] x;
+               equation
+                 der(x[4]) = 0.0 - x[4];
+                 for i in 1:3 loop
+                   der(x[i]) = x[i] + x[4-i];
+                 end for;
+             end M;",
+        );
+        assert!(aware.classes.is_empty());
+        assert_eq!(aware.class_fallbacks.len(), 1);
+        assert!(aware.class_fallbacks[0].reason.contains("collides"));
+        assert_matches_oracle(&oracle, &aware);
+    }
+
+    #[test]
+    fn digit_boundary_order_flip_falls_back_bitwise() {
+        // Equal coefficients on u[i-1] and u[i+1] make the canonical
+        // order depend on the names, which flips at the 9→10 digit
+        // boundary. The class must not engage — and scalarization must
+        // still match the oracle exactly.
+        let (oracle, aware) = flat_both(
+            "model M;
+               Real[12] u;
+               equation
+                 der(u[1]) = 0.0 - u[1];
+                 der(u[12]) = 0.0 - u[12];
+                 for i in 2:11 loop
+                   der(u[i]) = u[i-1] + u[i+1] - 2.0*u[i];
+                 end for;
+             end M;",
+        );
+        assert!(aware.classes.is_empty(), "order-flip must be detected");
+        assert_eq!(aware.class_fallbacks.len(), 1);
+        assert!(aware.class_fallbacks[0].reason.contains("order"));
+        assert_matches_oracle(&oracle, &aware);
+    }
+
+    #[test]
+    fn algebraic_loop_equations_scalarize_silently() {
+        let (oracle, aware) = flat_both(
+            "model M;
+               Real[3] s; Real x;
+               equation
+                 der(x) = s[3];
+                 s[1] = x;
+                 for i in 2:3 loop
+                   s[i] = s[i-1] + x;
+                 end for;
+             end M;",
+        );
+        assert!(aware.classes.is_empty());
+        assert!(
+            aware.class_fallbacks.is_empty(),
+            "non-differential equations are not fallback diagnostics"
+        );
+        assert_eq!(aware.equations.len(), oracle.equations.len());
+    }
+
+    #[test]
+    fn oracle_flatten_never_produces_classes() {
+        let unit = parse_unit(HEAT).unwrap();
+        crate::scope::check(&unit).unwrap();
+        let m = flatten(&unit).unwrap();
+        assert!(m.classes.is_empty());
+        assert!(m.class_fallbacks.is_empty());
+    }
+
+    #[test]
+    fn instantiated_iterations_are_simplify_fixed_points() {
+        let (_, aware) = flat_both(HEAT);
+        let class = &aware.classes[0];
+        for k in 0..class.cardinality() {
+            let inst = class.rhs_at(k);
+            assert_eq!(simplify(&inst), inst, "iteration {k} must be canonical");
+        }
     }
 }
 

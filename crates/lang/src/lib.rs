@@ -28,7 +28,10 @@ pub mod parser;
 pub mod scope;
 
 pub use error::{LangError, SourcePos};
-pub use flatten::{flatten, FlatEquation, FlatModel, FlatVar, VarKind};
+pub use flatten::{
+    flatten, flatten_arrays, ClassFallback, EqClass, FlatEquation, FlatModel, FlatVar,
+    FlattenOptions, VarKind,
+};
 pub use parser::parse_unit;
 
 /// Convenience: parse, scope-check, and flatten a source text in one step.
@@ -36,4 +39,12 @@ pub fn compile(source: &str) -> Result<FlatModel, LangError> {
     let unit = parser::parse_unit(source)?;
     scope::check(&unit)?;
     flatten::flatten(&unit)
+}
+
+/// Like [`compile`], but keep uniform array equations symbolic as
+/// [`flatten::EqClass`]es instead of scalarizing them.
+pub fn compile_arrays(source: &str) -> Result<FlatModel, LangError> {
+    let unit = parser::parse_unit(source)?;
+    scope::check(&unit)?;
+    flatten::flatten_arrays(&unit)
 }

@@ -144,6 +144,11 @@ pub const CODES: &[CodeInfo] = &[
         severity: Severity::Error,
         summary: "causalization failed",
     },
+    CodeInfo {
+        code: "OM060",
+        severity: Severity::Info,
+        summary: "array equation scalarized (no uniform class)",
+    },
 ];
 
 /// Look up the registry entry for a code.

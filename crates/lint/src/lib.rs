@@ -89,6 +89,12 @@ pub const PASSES: &[PassInfo] = &[
         description: "flattening failures (positions point at the defining class)",
     },
     PassInfo {
+        name: "arrays",
+        stage: Stage::Flat,
+        codes: &["OM060"],
+        description: "array equations that fall back to scalarization under array-aware flattening (non-uniform index pattern, row conflicts, unstable ordering)",
+    },
+    PassInfo {
         name: "causalize",
         stage: Stage::Ir,
         codes: &["OM051"],
@@ -170,6 +176,19 @@ fn run_pipeline(source: &str, report: &mut Report) {
         }
     };
     model::flat_passes(&flat, report);
+
+    // Arrays pass: re-flatten with array classes enabled and report any
+    // equation group that *could not* be kept symbolic. These are Info —
+    // the fallback is bitwise-equivalent, just compiled element-wise.
+    if let Ok(aware) = om_lang::flatten_arrays(&unit) {
+        for fb in &aware.class_fallbacks {
+            report.push(Diagnostic::new(
+                "OM060",
+                fb.pos,
+                format!("`{}` scalarized: {}", fb.origin, fb.reason),
+            ));
+        }
+    }
 
     // Stage 4: causalize + IR passes.
     let ir = match om_ir::causalize(&flat) {

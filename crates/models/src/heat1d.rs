@@ -129,6 +129,67 @@ pub fn source(cfg: &HeatConfig) -> String {
     s
 }
 
+/// Generate the same discretized PDE with the stencil written in
+/// *distributed* form: one `coefficient*u[…]` product per neighbor,
+/// coefficients precomputed.
+///
+/// Semantically this is the same scheme as [`source`], but the flattened
+/// right-hand sides differ in association order (so trajectories are not
+/// bitwise-comparable between the two forms). The distributed form is
+/// what array-aware flattening needs: sibling terms of the stencil sum
+/// are ordered by their constant coefficients, never by element *names*
+/// (whose lexicographic order flips at digit boundaries, e.g.
+/// `u[10] < u[9]`). With `velocity != 0` the three coefficients are
+/// pairwise distinct and the interior rows classify into one array
+/// class; with `velocity == 0` the two neighbor coefficients tie and
+/// flattening falls back to scalarization.
+pub fn source_distributed(cfg: &HeatConfig) -> String {
+    let n = cfg.cells;
+    assert!(n >= 3, "need at least 3 cells");
+    let h = cfg.h();
+    let d = cfg.alpha / (h * h);
+    let a = cfg.velocity / h;
+    // d*(u[i-1] - 2u[i] + u[i+1]) - a*(u[i] - u[i-1]), distributed:
+    let c_prev = d + a;
+    let c_mid = -(2.0 * d + a);
+    let c_next = d;
+    let mut reaction = String::new();
+    for j in 1..=cfg.reaction_terms {
+        let rate = cfg.reaction_rate / j as f64;
+        let energy = 0.5 + 0.1 * j as f64;
+        let _ = write!(
+            reaction,
+            " + {rate}*u[i]*(1.0 - u[i])*exp(-{energy}/(u[i]*u[i] + 1.0))"
+        );
+    }
+    let reaction_edge = |cell: &str| reaction.replace("u[i]", cell);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "model Heat1D;
+           Real[{n}] u;
+           initial equation
+             for i in 1:{n} loop
+               u[i] = sin(3.14159265358979312 * i * {h});
+             end for;
+           equation
+             der(u[1]) = ({bc1}) + ({c_mid})*u[1] + ({c_next})*u[2]{r1};
+             for i in 2:{m} loop
+               der(u[i]) = ({c_prev})*u[i-1] + ({c_mid})*u[i] + ({c_next})*u[i+1]{ri};
+             end for;
+             der(u[{n}]) = ({c_prev})*u[{m}] + ({c_mid})*u[{n}] + ({bcn}){rn};
+         end Heat1D;
+        ",
+        m = n - 1,
+        bc1 = c_prev * cfg.u_left,
+        bcn = c_next * cfg.u_right,
+        r1 = reaction_edge("u[1]"),
+        ri = reaction,
+        rn = reaction_edge(&format!("u[{n}]")),
+    );
+    s
+}
+
 /// Compile to internal form. The source's `initial equation` section sets
 /// the profile `u₀(x) = sin(πx)` — the first discrete eigenmode.
 pub fn ir(cfg: &HeatConfig) -> OdeIr {
@@ -159,6 +220,44 @@ mod tests {
         let sys = ir(&cfg);
         assert_eq!(sys.dim(), 16);
         assert!(sys.algebraics.is_empty());
+    }
+
+    #[test]
+    fn distributed_form_classifies_with_advection() {
+        let cfg = HeatConfig {
+            cells: 24,
+            velocity: 0.4,
+            ..HeatConfig::default()
+        };
+        let src = source_distributed(&cfg);
+        let aware = om_lang::compile_arrays(&src).unwrap();
+        assert_eq!(aware.classes.len(), 1, "{:?}", aware.class_fallbacks);
+        assert_eq!(aware.classes[0].cardinality(), 22);
+        // The aware and oracle compilations of the same source agree
+        // bitwise on every right-hand side.
+        let aware_ir = om_ir::causalize(&aware).unwrap();
+        let oracle_ir = om_ir::causalize(&om_lang::compile(&src).unwrap()).unwrap();
+        let ea = om_ir::IrEvaluator::new(&aware_ir).unwrap();
+        let eo = om_ir::IrEvaluator::new(&oracle_ir).unwrap();
+        let y: Vec<f64> = (0..24).map(|i| (0.13 * i as f64).cos()).collect();
+        let mut fa = vec![0.0; 24];
+        let mut fo = vec![0.0; 24];
+        ea.rhs(0.3, &y, &mut fa);
+        eo.rhs(0.3, &y, &mut fo);
+        for i in 0..24 {
+            assert_eq!(fo[i].to_bits(), fa[i].to_bits(), "slot {i}");
+        }
+        // Pure diffusion ties the neighbor coefficients: name-ordered
+        // siblings are unstable across digit boundaries, so flattening
+        // must take the scalarization fallback (bitwise-safe).
+        let tied = source_distributed(&HeatConfig {
+            cells: 24,
+            velocity: 0.0,
+            ..HeatConfig::default()
+        });
+        let fb = om_lang::compile_arrays(&tied).unwrap();
+        assert!(fb.classes.is_empty());
+        assert_eq!(fb.class_fallbacks.len(), 1);
     }
 
     #[test]

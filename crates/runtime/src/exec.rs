@@ -177,6 +177,7 @@ pub struct WorkerPool {
     /// Supervisor-side scratch for inline (degraded / repair) execution.
     inline_regs: Vec<f64>,
     inline_out: Vec<f64>,
+    inline_prog: om_codegen::Program,
     /// Cached observability handles (see [`PoolMetrics`]).
     obs: PoolMetrics,
     /// RHS calls seen, driving the deterministic detail-sampling schedule.
@@ -300,6 +301,7 @@ impl WorkerPool {
             reassign_cursor: 0,
             inline_regs: Vec::new(),
             inline_out: Vec::new(),
+            inline_prog: om_codegen::Program::default(),
             obs,
             obs_calls: 0,
         })
@@ -793,14 +795,14 @@ impl WorkerPool {
             if self.inline_regs.len() < n_regs {
                 self.inline_regs.resize(n_regs, 0.0);
             }
-            self.inline_out.resize(task.program.outputs.len(), 0.0);
-            om_codegen::vm::execute_with_regs(
-                &task.program,
+            self.inline_out.resize(task.n_out(), 0.0);
+            task.run_with_regs(
                 t,
                 y,
                 shared,
                 &mut self.inline_out,
                 &mut self.inline_regs,
+                &mut self.inline_prog,
             );
             for (value, slot) in self.inline_out.iter().zip(&task.writes) {
                 outputs.push((*slot, *value));
@@ -856,6 +858,7 @@ fn worker_main(
         .unwrap_or(0);
     let mut regs = vec![0.0f64; max_regs];
     let mut out_buf: Vec<f64> = Vec::new();
+    let mut prog_scratch = om_codegen::Program::default();
     let mut jobs_done: u64 = 0;
     // Per-worker utilization metrics, resolved once per incarnation. The
     // name is keyed by worker id (not epoch) so respawns keep accumulating
@@ -883,15 +886,15 @@ fn worker_main(
         let batch_start = Instant::now();
         for &tid in &run.tasks {
             let task = &graph.tasks[tid];
-            out_buf.resize(task.program.outputs.len(), 0.0);
+            out_buf.resize(task.n_out(), 0.0);
             let start = Instant::now();
-            om_codegen::vm::execute_with_regs(
-                &task.program,
+            task.run_with_regs(
                 run.t,
                 &run.y,
                 &run.shared,
                 &mut out_buf,
                 &mut regs,
+                &mut prog_scratch,
             );
             timings.push((tid, start.elapsed()));
             for (value, slot) in out_buf.iter().zip(&task.writes) {

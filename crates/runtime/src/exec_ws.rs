@@ -142,6 +142,8 @@ impl WsShared {
 struct WorkerCtx {
     regs: Vec<f64>,
     out_buf: Vec<f64>,
+    /// Program clone scratch for array-loop tasks (slot patching).
+    prog_scratch: om_codegen::Program,
     /// Local copy of the shared slots a task reads (filled per task).
     shared_local: Vec<f64>,
     tasks_executed: Arc<om_obs::Counter>,
@@ -162,6 +164,7 @@ impl WorkerCtx {
         WorkerCtx {
             regs: vec![0.0; max_regs],
             out_buf: Vec::new(),
+            prog_scratch: om_codegen::Program::default(),
             shared_local: vec![0.0; graph.n_shared],
             tasks_executed: m.counter("runtime.ws.tasks_executed"),
             steals: m.counter("runtime.ws.steals"),
@@ -571,15 +574,15 @@ fn execute_task(s: &WsShared, worker: usize, tid: usize, t: f64, y: &[f64], ctx:
         ctx.shared_local[slot as usize] =
             f64::from_bits(s.shared_vals[slot as usize].load(Ordering::Acquire));
     }
-    ctx.out_buf.resize(task.program.outputs.len(), 0.0);
+    ctx.out_buf.resize(task.n_out(), 0.0);
     let start = Instant::now();
-    om_codegen::vm::execute_with_regs(
-        &task.program,
+    task.run_with_regs(
         t,
         y,
         &ctx.shared_local,
         &mut ctx.out_buf,
         &mut ctx.regs,
+        &mut ctx.prog_scratch,
     );
     s.timings_ns[tid].store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     for (value, slot) in ctx.out_buf.iter().zip(&task.writes) {

@@ -98,6 +98,14 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage: omc <model.om> <analyze|lint|emit|tasks|simulate|sweep> [options]\n\
      \n\
+     model: a .om file path, or a parameterized builtin name\n\
+            (heat1d | bearing2d | bearing3d)\n\
+       --size N                    override the builtin's size: heat1d\n\
+                                   interior cells, bearing roller count\n\
+       --array-aware               keep instance arrays symbolic (array\n\
+                                   classes + loop tasks); default fully\n\
+                                   scalarizes, the bitwise oracle\n\
+     \n\
      commands:\n\
        analyze                     dependency graph, SCCs, pipeline levels\n\
          --dot                     print Graphviz instead of the table\n\
@@ -156,6 +164,52 @@ fn usage() -> String {
         .to_owned()
 }
 
+/// Resolve a builtin model name (`heat1d`, `bearing2d`, `bearing3d`) to
+/// generated source, applying the `--size` override. A path that names a
+/// real file always wins, so a model file called `heat1d` still loads.
+fn builtin_source(path: &str, opts: &Flags) -> Result<Option<String>, CliError> {
+    if std::path::Path::new(path).exists() {
+        return Ok(None);
+    }
+    if matches!(path, "heat1d" | "bearing2d" | "bearing3d") && opts.size == Some(0) {
+        return Err(CliError::Usage("--size must be >= 1".to_owned()));
+    }
+    let source = match path {
+        "heat1d" => {
+            // The builtin uses the *distributed* stencil with advection on
+            // (the E15 configuration): its sibling terms are ordered by
+            // pairwise-distinct constant coefficients, so `--array-aware`
+            // classifies the interior rows into one array class. The
+            // nested form from `source()` deliberately falls back to
+            // scalarization (tied neighbor coefficients).
+            let mut cfg = objectmath::models::heat1d::HeatConfig {
+                velocity: 0.4,
+                ..Default::default()
+            };
+            if let Some(n) = opts.size {
+                cfg.cells = n;
+            }
+            objectmath::models::heat1d::source_distributed(&cfg)
+        }
+        "bearing2d" => {
+            let mut cfg = objectmath::models::bearing2d::BearingConfig::default();
+            if let Some(n) = opts.size {
+                cfg.rollers = n;
+            }
+            objectmath::models::bearing2d::source(&cfg)
+        }
+        "bearing3d" => {
+            let mut cfg = objectmath::models::bearing3d::Bearing3dConfig::default();
+            if let Some(n) = opts.size {
+                cfg.rollers = n;
+            }
+            objectmath::models::bearing3d::source(&cfg)
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(source))
+}
+
 fn run(args: &[String]) -> Result<(), CliError> {
     if args.len() < 2 {
         return Err(CliError::Usage(usage()));
@@ -170,8 +224,11 @@ fn run(args: &[String]) -> Result<(), CliError> {
         om_obs::init(&om_obs::ObsConfig::enabled());
     }
 
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?;
+    let source = match builtin_source(path, &opts)? {
+        Some(generated) => generated,
+        None => std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("cannot read `{path}`: {e}")))?,
+    };
 
     // `lint` runs before (and instead of) the normal compile: its whole
     // point is producing diagnostics for models the pipeline rejects.
@@ -189,7 +246,12 @@ fn run(args: &[String]) -> Result<(), CliError> {
         return result.and(export);
     }
 
-    let flat = objectmath::lang::compile(&source).map_err(|e| CliError::Compile(e.to_string()))?;
+    let flat = if opts.array_aware {
+        objectmath::lang::compile_arrays(&source)
+    } else {
+        objectmath::lang::compile(&source)
+    }
+    .map_err(|e| CliError::Compile(e.to_string()))?;
     let mut ir = causalize(&flat).map_err(|e| CliError::Compile(e.to_string()))?;
     objectmath::ir::verify_compilable(&ir).map_err(|e| CliError::Compile(e.to_string()))?;
 
@@ -266,6 +328,8 @@ struct Flags {
     fault_seed: Option<u64>,
     fault_rates: (u32, u32, u32),
     straggle_ms: u64,
+    size: Option<usize>,
+    array_aware: bool,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
@@ -292,6 +356,14 @@ fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
                 .ok_or_else(|| CliError::Usage(format!("flag {name} needs a value")))
         };
         match flag.as_str() {
+            "--size" => {
+                f.size = Some(
+                    value("--size")?
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--size: {e}")))?,
+                )
+            }
+            "--array-aware" => f.array_aware = true,
             "--dot" => f.dot = true,
             "--serial" => f.serial = true,
             "--json" => f.json = true,
