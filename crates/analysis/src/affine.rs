@@ -1,0 +1,659 @@
+//! Symbolic affine access patterns and the dependence test lattice.
+//!
+//! Array-loop tasks access slots as affine functions of their iteration
+//! number: iteration `k` writes `base + stride·k` for `0 ≤ k < count`.
+//! This module recognizes such sequences from enumerated slot vectors
+//! and decides *whether two access patterns can touch the same slot*
+//! without expanding either — the pairwise test is O(1), so schedule
+//! verification scales with the number of array classes, not elements.
+//!
+//! The dependence tests form a lattice, tried strongest-first; every
+//! verdict is tagged with the test that produced it:
+//!
+//! 1. **Exact** — for a pair of affine sequences, the single-index linear
+//!    Diophantine system `a·i + b = c·j + d` is solved exactly (extended
+//!    GCD + range clamping): the verdict is never approximate and comes
+//!    with a witness slot. Small enumerable pairs are also decided
+//!    exactly, by membership.
+//! 2. **Banerjee** — value-range disjointness: if `[min,max]` intervals
+//!    do not intersect, the accesses cannot conflict.
+//! 3. **GCD** — residue-class disjointness: all elements of a pattern
+//!    are congruent to `r (mod g)`; if the two residues differ modulo
+//!    `gcd(g_a, g_b)`, the accesses cannot conflict.
+//! 4. **Conservative** — the bottom: assume a conflict. Reached only
+//!    when both tests above are inconclusive and the patterns are too
+//!    large to enumerate (non-affine sets beyond [`EXACT_SET_BUDGET`]).
+
+/// Enumeration budget for the exact set-membership fallback. Non-affine
+/// patterns larger than this get the conservative verdict instead.
+pub const EXACT_SET_BUDGET: usize = 1 << 16;
+
+/// The arithmetic sequence `{ base + stride·k | 0 ≤ k < count }`, in
+/// iteration order. `stride` may be zero (a repeated slot) or negative
+/// (a descending row).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AffineSeq {
+    pub base: i64,
+    pub stride: i64,
+    pub count: u32,
+}
+
+impl AffineSeq {
+    /// The slot accessed at iteration `k`.
+    pub fn at(&self, k: u32) -> i64 {
+        self.base + self.stride * k as i64
+    }
+
+    /// Smallest accessed slot (`None` when empty).
+    pub fn min(&self) -> Option<i64> {
+        match self.count {
+            0 => None,
+            n if self.stride < 0 => Some(self.at(n - 1)),
+            _ => Some(self.base),
+        }
+    }
+
+    /// Largest accessed slot (`None` when empty).
+    pub fn max(&self) -> Option<i64> {
+        match self.count {
+            0 => None,
+            n if self.stride >= 0 => Some(self.at(n - 1)),
+            _ => Some(self.base),
+        }
+    }
+
+    /// Exact membership test, O(1).
+    pub fn contains(&self, v: i64) -> bool {
+        if self.count == 0 {
+            return false;
+        }
+        if self.stride == 0 {
+            return v == self.base;
+        }
+        let d = v - self.base;
+        d % self.stride == 0 && {
+            let k = d / self.stride;
+            (0..self.count as i64).contains(&k)
+        }
+    }
+
+    /// The iteration that accesses `v`, if any.
+    pub fn iteration_of(&self, v: i64) -> Option<u32> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.stride == 0 {
+            return (v == self.base).then_some(0);
+        }
+        let d = v - self.base;
+        if d % self.stride != 0 {
+            return None;
+        }
+        let k = d / self.stride;
+        (0..self.count as i64).contains(&k).then_some(k as u32)
+    }
+}
+
+/// A symbolic access pattern: an affine sequence when the enumerated
+/// slots have constant stride, an explicit set otherwise (kept in
+/// iteration order, so enumeration reproduces the original vector).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    Affine(AffineSeq),
+    Set(Vec<u32>),
+}
+
+impl Pattern {
+    /// Recognize a constant-stride sequence in an enumerated slot
+    /// vector. Vectors of length ≤ 2 are always affine.
+    pub fn from_slots(slots: &[u32]) -> Pattern {
+        match slots {
+            [] => Pattern::Affine(AffineSeq {
+                base: 0,
+                stride: 1,
+                count: 0,
+            }),
+            [one] => Pattern::Affine(AffineSeq {
+                base: *one as i64,
+                stride: 1,
+                count: 1,
+            }),
+            [first, rest @ ..] => {
+                let base = *first as i64;
+                let stride = rest[0] as i64 - base;
+                let mut prev = base;
+                for &s in rest {
+                    if s as i64 - prev != stride {
+                        return Pattern::Set(slots.to_vec());
+                    }
+                    prev = s as i64;
+                }
+                Pattern::Affine(AffineSeq {
+                    base,
+                    stride,
+                    count: slots.len() as u32,
+                })
+            }
+        }
+    }
+
+    /// A single-slot pattern.
+    pub fn singleton(slot: u32) -> Pattern {
+        Pattern::Affine(AffineSeq {
+            base: slot as i64,
+            stride: 1,
+            count: 1,
+        })
+    }
+
+    /// Number of accesses (multiset size; a zero-stride affine sequence
+    /// accesses one slot `count` times).
+    pub fn len(&self) -> usize {
+        match self {
+            Pattern::Affine(a) => a.count as usize,
+            Pattern::Set(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value range `[min, max]`, `None` when empty.
+    pub fn bounds(&self) -> Option<(i64, i64)> {
+        match self {
+            Pattern::Affine(a) => Some((a.min()?, a.max()?)),
+            Pattern::Set(v) => {
+                let min = *v.iter().min()? as i64;
+                let max = *v.iter().max()? as i64;
+                Some((min, max))
+            }
+        }
+    }
+
+    /// Exact membership. O(1) for affine patterns, O(n) for sets.
+    pub fn contains(&self, v: i64) -> bool {
+        match self {
+            Pattern::Affine(a) => a.contains(v),
+            Pattern::Set(s) => v >= 0 && v <= u32::MAX as i64 && s.contains(&(v as u32)),
+        }
+    }
+
+    /// Whether each access hits a distinct slot (write patterns must be
+    /// injective for exactly-once coverage).
+    pub fn is_injective(&self) -> bool {
+        match self {
+            Pattern::Affine(a) => a.count <= 1 || a.stride != 0,
+            Pattern::Set(v) => {
+                let mut sorted = v.clone();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            }
+        }
+    }
+
+    /// Enumerate the accessed slots in iteration order. For a pattern
+    /// recognized by [`Pattern::from_slots`] this reproduces the
+    /// original vector exactly. Slots outside `u32` range are clamped
+    /// into it only by the caller's construction (recognized patterns
+    /// never leave it).
+    pub fn iter_slots(&self) -> Box<dyn Iterator<Item = u32> + '_> {
+        match self {
+            Pattern::Affine(a) => {
+                let a = *a;
+                Box::new((0..a.count).map(move |k| a.at(k) as u32))
+            }
+            Pattern::Set(v) => Box::new(v.iter().copied()),
+        }
+    }
+
+    /// Residue structure `(modulus, residue)`: every element is
+    /// `≡ residue (mod modulus)`. `None` when no nontrivial modulus
+    /// exists (fewer than two distinct elements, or modulus 1).
+    fn residue_class(&self) -> Option<(i64, i64)> {
+        let g = match self {
+            Pattern::Affine(a) if a.count >= 2 => a.stride.abs(),
+            Pattern::Affine(_) => 0,
+            Pattern::Set(v) => {
+                let first = *v.first()? as i64;
+                v.iter().map(|&x| (x as i64 - first).abs()).fold(0i64, gcd)
+            }
+        };
+        if g <= 1 {
+            return None;
+        }
+        let base = self.bounds()?.0;
+        Some((g, base.rem_euclid(g)))
+    }
+
+    /// Compact human-readable form: `base + stride·k (k < count)` or an
+    /// explicit list for small sets.
+    pub fn render(&self) -> String {
+        match self {
+            Pattern::Affine(a) if a.count == 0 => "∅".to_string(),
+            Pattern::Affine(a) if a.count == 1 => format!("{}", a.base),
+            Pattern::Affine(a) => format!("{} + {}·k (k < {})", a.base, a.stride, a.count),
+            Pattern::Set(v) if v.len() <= 8 => format!("{v:?}"),
+            Pattern::Set(v) => format!("{{{} slots}}", v.len()),
+        }
+    }
+}
+
+/// Which lattice tier produced a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepTest {
+    Exact,
+    Banerjee,
+    Gcd,
+    Conservative,
+}
+
+impl DepTest {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DepTest::Exact => "exact",
+            DepTest::Banerjee => "banerjee",
+            DepTest::Gcd => "gcd",
+            DepTest::Conservative => "conservative",
+        }
+    }
+}
+
+/// The outcome of a pairwise dependence query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dependence {
+    /// Can the two patterns touch a common slot? Exact/Banerjee/GCD
+    /// verdicts are definitive; a Conservative verdict over-approximates
+    /// (`true` may be spurious, `false` never occurs).
+    pub overlaps: bool,
+    /// A common slot, when one is known.
+    pub witness: Option<i64>,
+    pub test: DepTest,
+}
+
+const fn verdict(overlaps: bool, witness: Option<i64>, test: DepTest) -> Dependence {
+    Dependence {
+        overlaps,
+        witness,
+        test,
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Extended GCD: returns `(g, x, y)` with `a·x + b·y = g`.
+fn ext_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = ext_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Exact intersection of two affine sequences: the smallest common
+/// value, found by solving `base_a + stride_a·i = base_b + stride_b·j`
+/// over the two iteration ranges (CRT over the strides, then clamping
+/// to the overlapping value range). All internal arithmetic is i128 —
+/// `lcm` of two u32-sized strides can exceed i64.
+fn affine_intersect(a: &AffineSeq, b: &AffineSeq) -> Option<i64> {
+    let (amin, amax) = (a.min()?, a.max()?);
+    let (bmin, bmax) = (b.min()?, b.max()?);
+    let lo = amin.max(bmin);
+    let hi = amax.min(bmax);
+    if lo > hi {
+        return None;
+    }
+    // Zero strides degenerate to membership checks.
+    if a.stride == 0 {
+        return b.contains(a.base).then_some(a.base);
+    }
+    if b.stride == 0 {
+        return a.contains(b.base).then_some(b.base);
+    }
+    let (sa, sb) = (
+        a.stride.unsigned_abs() as i128,
+        b.stride.unsigned_abs() as i128,
+    );
+    let (g, _, _) = ext_gcd(sa, sb);
+    let diff = b.base as i128 - a.base as i128;
+    if diff % g != 0 {
+        return None;
+    }
+    // Common values form an arithmetic progression with period lcm(sa, sb);
+    // find one member, then the smallest member ≥ lo.
+    let lcm = sa / g * sb;
+    // Solve sa·x ≡ diff (mod sb) for x: one common value is base_a + sa·x.
+    let (sb_red, diff_red) = (sb / g, diff / g);
+    let (_, inv, _) = ext_gcd((sa / g).rem_euclid(sb_red), sb_red);
+    let x = (diff_red.rem_euclid(sb_red) * inv.rem_euclid(sb_red)).rem_euclid(sb_red);
+    let v0 = a.base as i128 + sa * x;
+    // Step v0 into [lo, hi].
+    let lo = lo as i128;
+    let v = if v0 >= lo {
+        v0 - (v0 - lo) / lcm * lcm
+    } else {
+        v0 + (lo - v0 + lcm - 1) / lcm * lcm
+    };
+    (v <= hi as i128 && a.contains(v as i64) && b.contains(v as i64)).then_some(v as i64)
+}
+
+/// Decide whether two access patterns can touch a common slot, walking
+/// the lattice strongest-first. See the module docs for the tiers.
+pub fn dependence(a: &Pattern, b: &Pattern) -> Dependence {
+    if a.is_empty() || b.is_empty() {
+        return verdict(false, None, DepTest::Exact);
+    }
+    // Tier 1: exact Diophantine solve for affine pairs.
+    if let (Pattern::Affine(sa), Pattern::Affine(sb)) = (a, b) {
+        return match affine_intersect(sa, sb) {
+            Some(w) => verdict(true, Some(w), DepTest::Exact),
+            None => verdict(false, None, DepTest::Exact),
+        };
+    }
+    // Tier 2: Banerjee-style range disjointness.
+    let (amin, amax) = a.bounds().expect("non-empty");
+    let (bmin, bmax) = b.bounds().expect("non-empty");
+    if amax < bmin || bmax < amin {
+        return verdict(false, None, DepTest::Banerjee);
+    }
+    // Tier 3: GCD residue-class disjointness.
+    if let (Some((ga, ra)), Some((gb, rb))) = (a.residue_class(), b.residue_class()) {
+        let g = gcd(ga, gb);
+        if g > 1 && ra.rem_euclid(g) != rb.rem_euclid(g) {
+            return verdict(false, None, DepTest::Gcd);
+        }
+    }
+    // Exact membership for enumerable pairs (still the exact tier: the
+    // verdict is definitive, just decided by enumeration).
+    if a.len() + b.len() <= EXACT_SET_BUDGET {
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        let hit = small.iter_slots().find(|&s| large.contains(s as i64));
+        return match hit {
+            Some(w) => verdict(true, Some(w as i64), DepTest::Exact),
+            None => verdict(false, None, DepTest::Exact),
+        };
+    }
+    // Bottom: assume conflict.
+    verdict(true, None, DepTest::Conservative)
+}
+
+/// Loop-carried dependence inside one loop task: does iteration `k` of
+/// the write map touch the slot iteration `k' ≠ k` of the read map
+/// touches? Returns the smallest such `(write_iter, read_iter)` pair's
+/// distance `read_iter − write_iter` when one exists.
+pub fn loop_carried_distance(write: &AffineSeq, read: &AffineSeq) -> Option<i64> {
+    if write.count == 0 || read.count == 0 {
+        return None;
+    }
+    // Same stride: w.base + s·k = r.base + s·k' ⟺ k − k' is the constant
+    // (r.base − w.base)/s — a uniform dependence distance.
+    if write.stride == read.stride && write.stride != 0 {
+        let diff = write.base - read.base;
+        if diff % write.stride != 0 {
+            return None;
+        }
+        let d = diff / write.stride; // read_iter − write_iter
+        if d == 0 {
+            return None;
+        }
+        let reachable = (0..write.count as i64).any(|k| (0..read.count as i64).contains(&(k + d)));
+        return reachable.then_some(d);
+    }
+    // Different strides: scan write iterations for a cross-iteration hit
+    // (loop trip counts are chunk-sized; this path is not hot).
+    for k in 0..write.count {
+        let slot = write.at(k);
+        if let Some(kr) = read.iteration_of(slot) {
+            if kr != k {
+                return Some(kr as i64 - k as i64);
+            }
+        }
+    }
+    None
+}
+
+/// A closed integer interval, for abstract interpretation of affine
+/// index expressions over loop ranges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    pub lo: i64,
+    pub hi: i64,
+}
+
+impl Interval {
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        Interval { lo, hi }
+    }
+
+    /// The image of `[lo, hi]` under `x ↦ x + offset`.
+    pub fn shift(self, offset: i64) -> Interval {
+        Interval {
+            lo: self.lo + offset,
+            hi: self.hi + offset,
+        }
+    }
+
+    pub fn contains(self, v: i64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+
+    /// Is this interval entirely inside `other`?
+    pub fn within(self, other: Interval) -> bool {
+        self.lo >= other.lo && self.hi <= other.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aff(base: i64, stride: i64, count: u32) -> Pattern {
+        Pattern::Affine(AffineSeq {
+            base,
+            stride,
+            count,
+        })
+    }
+
+    #[test]
+    fn recognizes_affine_and_set_vectors() {
+        assert_eq!(
+            Pattern::from_slots(&[4, 7, 10]),
+            Pattern::Affine(AffineSeq {
+                base: 4,
+                stride: 3,
+                count: 3
+            })
+        );
+        assert_eq!(
+            Pattern::from_slots(&[9, 6, 3]),
+            Pattern::Affine(AffineSeq {
+                base: 9,
+                stride: -3,
+                count: 3
+            })
+        );
+        assert_eq!(Pattern::from_slots(&[1, 2, 4]), Pattern::Set(vec![1, 2, 4]));
+        assert_eq!(Pattern::from_slots(&[5]).len(), 1);
+        assert!(Pattern::from_slots(&[]).is_empty());
+    }
+
+    #[test]
+    fn enumeration_reproduces_the_input_vector() {
+        for slots in [
+            vec![0u32, 1, 2, 3],
+            vec![10, 8, 6],
+            vec![3, 3, 3],
+            vec![7, 1, 4],
+        ] {
+            let p = Pattern::from_slots(&slots);
+            assert_eq!(p.iter_slots().collect::<Vec<_>>(), slots, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn exact_tier_decides_affine_pairs() {
+        // Disjoint interleaved combs: evens vs odds.
+        let d = dependence(&aff(0, 2, 100), &aff(1, 2, 100));
+        assert_eq!(d.test, DepTest::Exact);
+        assert!(!d.overlaps);
+        // Strides 3 and 5 starting apart: first common value is 6.
+        let d = dependence(&aff(0, 3, 10), &aff(1, 5, 10));
+        assert_eq!(d.test, DepTest::Exact);
+        assert!(d.overlaps);
+        assert_eq!(d.witness, Some(6));
+        // Adjacent chunks of one class: [0..8) and [8..16).
+        let d = dependence(&aff(0, 1, 8), &aff(8, 1, 8));
+        assert!(!d.overlaps);
+        // Off-by-one overlap.
+        let d = dependence(&aff(0, 1, 9), &aff(8, 1, 8));
+        assert!(d.overlaps);
+        assert_eq!(d.witness, Some(8));
+        // Descending vs ascending.
+        let d = dependence(&aff(20, -2, 5), &aff(13, 1, 3));
+        assert!(d.overlaps); // 20,18,16,14,12 vs 13,14,15 → 14
+        assert_eq!(d.witness, Some(14));
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_a_grid() {
+        // Exhaustive cross-check of the Diophantine solve.
+        for base_a in -3..4i64 {
+            for stride_a in -4..5i64 {
+                for base_b in -3..4i64 {
+                    for stride_b in -4..5i64 {
+                        let a = AffineSeq {
+                            base: base_a,
+                            stride: stride_a,
+                            count: 5,
+                        };
+                        let b = AffineSeq {
+                            base: base_b,
+                            stride: stride_b,
+                            count: 4,
+                        };
+                        let brute = (0..a.count)
+                            .flat_map(|i| (0..b.count).map(move |j| (i, j)))
+                            .any(|(i, j)| a.at(i) == b.at(j));
+                        let got = affine_intersect(&a, &b);
+                        assert_eq!(got.is_some(), brute, "a={a:?} b={b:?} got={got:?}");
+                        if let Some(w) = got {
+                            assert!(a.contains(w) && b.contains(w));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banerjee_tier_separates_disjoint_ranges() {
+        let a = Pattern::Set(vec![1, 2, 4]); // non-affine forces past tier 1
+        let b = aff(100, 1, 50);
+        let d = dependence(&a, &b);
+        assert_eq!(d.test, DepTest::Banerjee);
+        assert!(!d.overlaps);
+    }
+
+    #[test]
+    fn gcd_tier_separates_residue_classes() {
+        // {0,4,8,20} ≡ 0 (mod 4) vs odd slots ≡ 1 (mod 2): ranges overlap,
+        // set is non-affine, residues differ mod gcd(4,2)=2.
+        let a = Pattern::Set(vec![0, 4, 8, 20]);
+        let b = aff(1, 2, 12);
+        let d = dependence(&a, &b);
+        assert_eq!(d.test, DepTest::Gcd);
+        assert!(!d.overlaps);
+    }
+
+    #[test]
+    fn enumeration_fallback_is_exact_for_small_sets() {
+        let a = Pattern::Set(vec![0, 1, 7]);
+        let b = Pattern::Set(vec![2, 7, 9]);
+        let d = dependence(&a, &b);
+        assert_eq!(d.test, DepTest::Exact);
+        assert!(d.overlaps);
+        assert_eq!(d.witness, Some(7));
+        let c = Pattern::Set(vec![2, 3, 9]);
+        let d = dependence(&a, &c);
+        assert_eq!(d.test, DepTest::Exact);
+        assert!(!d.overlaps);
+    }
+
+    #[test]
+    fn conservative_bottom_assumes_conflict() {
+        // Two huge interleaved non-affine sets with compatible residues:
+        // nothing above the bottom can decide them.
+        let a = Pattern::Set(
+            (0..40_000u32)
+                .map(|i| i * 2 + (i % 7 == 0) as u32)
+                .collect(),
+        );
+        let b = Pattern::Set(
+            (0..40_000u32)
+                .map(|i| i * 2 + (i % 5 == 0) as u32)
+                .collect(),
+        );
+        let d = dependence(&a, &b);
+        assert_eq!(d.test, DepTest::Conservative);
+        assert!(d.overlaps);
+    }
+
+    #[test]
+    fn loop_carried_distance_finds_uniform_recurrences() {
+        // write k ↦ 8+k, read k ↦ 7+k: iteration k reads what k−1 wrote.
+        let w = AffineSeq {
+            base: 8,
+            stride: 1,
+            count: 8,
+        };
+        let r = AffineSeq {
+            base: 7,
+            stride: 1,
+            count: 8,
+        };
+        assert_eq!(loop_carried_distance(&w, &r), Some(1));
+        // Same map: no carried dependence (distance 0 is intra-iteration).
+        assert_eq!(loop_carried_distance(&w, &w), None);
+        // Disjoint maps: none.
+        let far = AffineSeq {
+            base: 100,
+            stride: 1,
+            count: 8,
+        };
+        assert_eq!(loop_carried_distance(&w, &far), None);
+        // Distance present but unreachable within the trip range.
+        let r2 = AffineSeq {
+            base: 0,
+            stride: 1,
+            count: 8,
+        };
+        assert_eq!(loop_carried_distance(&w, &r2), None);
+    }
+
+    #[test]
+    fn interval_abstract_interpretation_of_index_shifts() {
+        // i ∈ [2, 9], index i+1 ∈ [3, 10]: in range for dim 10 (1-based),
+        // out of range for dim 9.
+        let idx = Interval::new(2, 9).shift(1);
+        assert!(idx.within(Interval::new(1, 10)));
+        assert!(!idx.within(Interval::new(1, 9)));
+        assert!(idx.contains(10));
+    }
+
+    #[test]
+    fn injectivity_and_multiplicity() {
+        assert!(aff(3, 2, 10).is_injective());
+        assert!(!aff(3, 0, 2).is_injective());
+        assert!(aff(3, 0, 1).is_injective());
+        assert!(!Pattern::Set(vec![1, 2, 1]).is_injective());
+        assert_eq!(aff(3, 0, 4).len(), 4);
+    }
+}

@@ -11,11 +11,13 @@
 //! export) that the paper highlights as "very helpful tools for the model
 //! implementor".
 
+pub mod affine;
 pub mod depgraph;
 pub mod dot;
 pub mod graph;
 pub mod partition;
 
+pub use affine::{dependence, AffineSeq, DepTest, Dependence, Interval, Pattern};
 pub use depgraph::{build_dependency_graph, DepGraph, EqNode};
 pub use dot::to_dot;
 pub use graph::{DiGraph, SccResult};

@@ -46,6 +46,10 @@ struct Rung {
     n: usize,
     oracle_ms: f64,
     aware_ms: f64,
+    /// Symbolic schedule verification (lint stage 5) on the prebuilt
+    /// aware graph: patterns are recognized at codegen time, so this
+    /// must be N-independent.
+    lint_ms: f64,
     oracle_tasks: usize,
     aware_tasks: usize,
 }
@@ -82,6 +86,26 @@ fn time_compile(source: &str, array_aware: bool, repeats: usize) -> f64 {
         let graph = compile_graph(source, array_aware);
         times.push(start.elapsed().as_secs_f64() * 1e3);
         std::hint::black_box(graph);
+    }
+    median(times)
+}
+
+/// Median wall-clock of the symbolic schedule passes over a prebuilt
+/// aware graph, in milliseconds. A clean schedule must never expand, so
+/// the verdict cost depends on the class count, not on N.
+fn time_sym_lint(graph: &om_codegen::TaskGraph, repeats: usize) -> f64 {
+    let mut times = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let view = om_lint::SymScheduleView::from_graph(graph);
+        let mut report = om_lint::Report::default();
+        let outcome = om_lint::check_schedule_sym(&view, om_lint::Granularity::Edge, &mut report);
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        assert!(
+            report.is_empty() && !outcome.expanded,
+            "heat1d aware schedule must verify symbolically: {:?}",
+            report.diagnostics
+        );
     }
     median(times)
 }
@@ -128,11 +152,14 @@ fn main() {
         let oracle_ms = time_compile(&src, false, repeats);
         let aware_ms = time_compile(&src, true, repeats);
         let oracle_tasks = compile_graph(&src, false).tasks.len();
-        let aware_tasks = compile_graph(&src, true).tasks.len();
+        let aware_graph = compile_graph(&src, true);
+        let aware_tasks = aware_graph.tasks.len();
+        let lint_ms = time_sym_lint(&aware_graph, repeats);
         rungs.push(Rung {
             n,
             oracle_ms,
             aware_ms,
+            lint_ms,
             oracle_tasks,
             aware_tasks,
         });
@@ -154,25 +181,26 @@ fn main() {
     );
     let _ = writeln!(
         table,
-        "{:>6} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
-        "N", "oracle_ms", "aware_ms", "speedup", "oracle_tasks", "aware_tasks", "ratio"
+        "{:>6} {:>12} {:>12} {:>8} {:>10} {:>12} {:>12} {:>8}",
+        "N", "oracle_ms", "aware_ms", "speedup", "lint_ms", "oracle_tasks", "aware_tasks", "ratio"
     );
     let mut csv_rows = Vec::new();
     for r in &rungs {
         let _ = writeln!(
             table,
-            "{:>6} {:>12.2} {:>12.2} {:>7.1}x {:>12} {:>12} {:>7.1}x",
+            "{:>6} {:>12.2} {:>12.2} {:>7.1}x {:>10.3} {:>12} {:>12} {:>7.1}x",
             r.n,
             r.oracle_ms,
             r.aware_ms,
             r.oracle_ms / r.aware_ms,
+            r.lint_ms,
             r.oracle_tasks,
             r.aware_tasks,
             r.oracle_tasks as f64 / r.aware_tasks as f64,
         );
         csv_rows.push(format!(
-            "{},{:.3},{:.3},{},{}",
-            r.n, r.oracle_ms, r.aware_ms, r.oracle_tasks, r.aware_tasks
+            "{},{:.3},{:.3},{:.4},{},{}",
+            r.n, r.oracle_ms, r.aware_ms, r.lint_ms, r.oracle_tasks, r.aware_tasks
         ));
     }
     let _ = writeln!(
@@ -192,7 +220,7 @@ fn main() {
     }
     om_bench::write_csv_quiet(
         "e15_compile_scale",
-        "n,oracle_compile_ms,aware_compile_ms,oracle_tasks,aware_tasks",
+        "n,oracle_compile_ms,aware_compile_ms,sym_lint_ms,oracle_tasks,aware_tasks",
         &csv_rows,
     );
 
@@ -215,11 +243,13 @@ fn main() {
                 out,
                 "    {{\"n\": {}, \"oracle_compile_ms\": {:.3}, \
                  \"aware_compile_ms\": {:.3}, \"compile_speedup\": {:.2}, \
+                 \"sym_lint_ms\": {:.4}, \
                  \"oracle_tasks\": {}, \"aware_tasks\": {}}}{}",
                 r.n,
                 r.oracle_ms,
                 r.aware_ms,
                 r.oracle_ms / r.aware_ms,
+                r.lint_ms,
                 r.oracle_tasks,
                 r.aware_tasks,
                 if i + 1 < rungs.len() { "," } else { "" }
@@ -268,6 +298,24 @@ fn main() {
     );
     if speedup < need {
         eprintln!("[e15] FAIL: compile speedup {speedup:.1}x below the {need:.0}x gate");
+        failed = true;
+    }
+    // Symbolic lint-time scaling: the schedule verdict at the largest N
+    // must stay within 2x of the smallest rung (patterns are prebuilt at
+    // codegen time, so the pass never touches O(N) data on a clean
+    // schedule). A 0.5 ms noise floor keeps micro-jitter on
+    // sub-millisecond timings from tripping the gate.
+    let lint_bound = (2.0 * first.lint_ms).max(0.5);
+    eprintln!(
+        "[e15] sym lint: {:.4} ms at N={} vs {:.4} ms at N={} (bound {:.4} ms)",
+        last.lint_ms, last.n, first.lint_ms, first.n, lint_bound
+    );
+    if last.lint_ms > lint_bound {
+        eprintln!(
+            "[e15] FAIL: symbolic lint time {:.4} ms at N={} exceeds {:.4} ms \
+             (2x of N={} or noise floor) — schedule verification is scaling with N",
+            last.lint_ms, last.n, lint_bound, first.n
+        );
         failed = true;
     }
     if bearing_parity > 2.5 {

@@ -110,6 +110,14 @@ pub struct LoopInfo {
     pub patches: Vec<(u32, Vec<u32>)>,
     /// Trip count (equals `writes.len() / program.outputs.len()`).
     pub count: u32,
+    /// Symbolic summary of the derivative slots written per iteration
+    /// (`base + stride·k` for affine rows), recognized from the
+    /// enumerated write vector at compile time so analyses can reason
+    /// about the loop in O(1) instead of O(count).
+    pub out_pattern: om_analysis::Pattern,
+    /// Symbolic summaries of the per-iteration state reads, one per
+    /// patched load, parallel to `patches`.
+    pub read_patterns: Vec<om_analysis::Pattern>,
 }
 
 /// A compiled task ready for the runtime.
@@ -142,6 +150,24 @@ impl CompiledTask {
     /// program outputs per iteration).
     pub fn n_out(&self) -> usize {
         self.writes.len()
+    }
+
+    /// Symbolic access summary of an array-loop task, e.g.
+    /// `writes deriv[8 + 1·k (k < 2048)]; reads y[7 + 1·k (k < 2048)], …`.
+    /// `None` for plain tasks (their access sets are already explicit).
+    pub fn access_summary(&self) -> Option<String> {
+        let li = self.loop_info.as_ref()?;
+        let reads: Vec<String> = li
+            .read_patterns
+            .iter()
+            .map(|p| format!("y[{}]", p.render()))
+            .collect();
+        Some(format!(
+            "writes deriv[{}]{}{}",
+            li.out_pattern.render(),
+            if reads.is_empty() { "" } else { "; reads " },
+            reads.join(", ")
+        ))
     }
 
     /// Execute the task into `out` (length `n_out()`), reusing a
@@ -1041,11 +1067,18 @@ pub fn compile_tasks(
                     .iter()
                     .map(|&s| OutSlot::Deriv(s as usize))
                     .collect();
+                let out_pattern = om_analysis::Pattern::from_slots(&sl.out_slots);
+                let read_patterns = patches
+                    .iter()
+                    .map(|(_, slots)| om_analysis::Pattern::from_slots(slots))
+                    .collect();
                 (
                     writes,
                     Some(LoopInfo {
                         patches,
                         count: count as u32,
+                        out_pattern,
+                        read_patterns,
                     }),
                     body_cost * count as u64,
                     cse_program.cse_count() * count,

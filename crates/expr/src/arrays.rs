@@ -52,6 +52,21 @@ pub fn rows_cardinality(rows: &SubRows) -> Option<usize> {
     card
 }
 
+/// First symbol two write-target rows have in common, if any.
+///
+/// Used by the lint structural passes to decide *between-class* row
+/// injectivity symbolically: two array classes whose state rows share a
+/// symbol would both define that element's derivative. O(|a|+|b|) with a
+/// linear fallback for the tiny rows that dominate in practice.
+pub fn targets_overlap(a: &[Symbol], b: &[Symbol]) -> Option<Symbol> {
+    // `b`'s ordering drives the scan, so diagnostics are deterministic.
+    if a.len() <= 16 {
+        return b.iter().find(|s| a.contains(s)).copied();
+    }
+    let set: HashSet<Symbol> = a.iter().copied().collect();
+    b.iter().find(|s| set.contains(s)).copied()
+}
+
 /// Is the substitution injective at every iteration?
 ///
 /// `invariant` holds the symbols of the representative tree that are
@@ -321,6 +336,22 @@ mod tests {
         let rows = vec![row("u[2]", &["u[2]", "u[5]"])];
         let invariant: HashSet<Symbol> = [sym("u[5]")].into_iter().collect();
         assert!(!rows_injective(&invariant, &rows));
+    }
+
+    #[test]
+    fn overlapping_target_rows_name_the_shared_symbol() {
+        let a: Vec<Symbol> = ["u[1]", "u[2]", "u[3]"].iter().map(|s| sym(s)).collect();
+        let b: Vec<Symbol> = ["u[3]", "u[4]"].iter().map(|s| sym(s)).collect();
+        let c: Vec<Symbol> = ["u[4]", "u[5]"].iter().map(|s| sym(s)).collect();
+        assert_eq!(targets_overlap(&a, &b), Some(sym("u[3]")));
+        assert_eq!(targets_overlap(&a, &c), None);
+        // Scan order follows the second argument.
+        let d: Vec<Symbol> = ["u[2]", "u[1]"].iter().map(|s| sym(s)).collect();
+        assert_eq!(targets_overlap(&a, &d), Some(sym("u[2]")));
+        // Large first argument exercises the hashed path.
+        let big: Vec<Symbol> = (0..40).map(|i| sym(&format!("w[{i}]"))).collect();
+        assert_eq!(targets_overlap(&big, &[sym("w[17]")]), Some(sym("w[17]")));
+        assert_eq!(targets_overlap(&big, &[sym("x")]), None);
     }
 
     #[test]

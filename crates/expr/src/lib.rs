@@ -32,7 +32,9 @@ pub mod subst;
 pub mod symbol;
 pub mod visit;
 
-pub use arrays::{instantiate_row, match_structure, rows_injective, stable_under_rows};
+pub use arrays::{
+    instantiate_row, match_structure, rows_injective, stable_under_rows, targets_overlap,
+};
 pub use cost::{flops, CostModel};
 pub use diff::diff;
 pub use eval::{eval, EvalError};

@@ -28,6 +28,13 @@ pub enum VerifyError {
     UnknownSymbol { context: String, symbol: String },
     /// `states` and `derivs` are not parallel arrays.
     LayoutMismatch { index: usize },
+    /// An array class's substitution rows disagree with its state count
+    /// (rows of unequal length, or cardinality ≠ number of states).
+    RowCardinalityMismatch {
+        class: String,
+        expected: usize,
+        found: Option<usize>,
+    },
     /// An algebraic assignment reads a *later* algebraic variable.
     OrderViolation { var: String, reads: String },
 }
@@ -50,6 +57,20 @@ impl fmt::Display for VerifyError {
             VerifyError::LayoutMismatch { index } => {
                 write!(f, "states/derivs arrays disagree at index {index}")
             }
+            VerifyError::RowCardinalityMismatch {
+                class,
+                expected,
+                found,
+            } => match found {
+                Some(found) => write!(
+                    f,
+                    "array class `{class}`: substitution rows describe {found} iteration(s) but the class has {expected} state(s)"
+                ),
+                None => write!(
+                    f,
+                    "array class `{class}`: substitution rows have unequal lengths"
+                ),
+            },
             VerifyError::OrderViolation { var, reads } => {
                 write!(f, "algebraic `{var}` reads `{reads}` before it is computed")
             }
@@ -137,6 +158,23 @@ pub fn verify_all(ir: &OdeIr) -> Vec<Violation> {
     let state_set: HashSet<Symbol> = ir.states.iter().map(|s| s.sym).collect();
     let mut covered: HashSet<Symbol> = HashSet::new();
     for c in &ir.classes {
+        // Row shape: every substitution row must describe exactly one
+        // symbol per iteration, i.e. cardinality == number of states.
+        // `rhs_at(k)` and the loop-task codegen both index rows by k up
+        // to that count.
+        if !c.rows.is_empty() {
+            let card = om_expr::arrays::rows_cardinality(&c.rows);
+            if card != Some(c.cardinality()) {
+                out.push(Violation {
+                    error: VerifyError::RowCardinalityMismatch {
+                        class: c.origin.clone(),
+                        expected: c.cardinality(),
+                        found: card,
+                    },
+                    pos: c.pos,
+                });
+            }
+        }
         for &s in &c.states {
             if !state_set.contains(&s) {
                 out.push(Violation {
@@ -377,6 +415,14 @@ mod tests {
         let mut broken = ir.clone();
         broken.classes[0].states[0] = om_expr::Symbol::intern("ghost");
         assert!(verify_compilable(&broken).is_err());
+        // A substitution row whose length disagrees with the state count
+        // is a violation (rhs_at / loop-task codegen index rows by k).
+        let mut short_row = ir.clone();
+        short_row.classes[0].rows[0].1.pop();
+        assert!(matches!(
+            verify_compilable(&short_row),
+            Err(VerifyError::RowCardinalityMismatch { .. })
+        ));
     }
 
     #[test]

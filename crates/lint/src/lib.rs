@@ -25,11 +25,14 @@
 //! `--metrics` output covers compile-time analysis.
 
 pub mod diag;
+pub mod loops;
 pub mod model;
 pub mod schedule;
+pub mod sym;
 
-pub use diag::{code_info, CodeInfo, Diagnostic, Report, Severity, CODES};
+pub use diag::{code_info, CodeInfo, Diagnostic, Report, ScheduleSummary, Severity, CODES};
 pub use schedule::{check_schedule, check_schedule_at, Granularity, ScheduleView, TaskAccess};
+pub use sym::{check_schedule_sym, LoopMaps, Space, SymOutcome, SymScheduleView, SymTaskAccess};
 
 use om_codegen::{CodeGenerator, GenOptions};
 use om_ir::causalize::CausalizeError;
@@ -77,6 +80,12 @@ pub const PASSES: &[PassInfo] = &[
         description: "syntactic division by zero, sqrt/log of negative constants, constant-foldable subexpressions",
     },
     PassInfo {
+        name: "loops",
+        stage: Stage::Ast,
+        codes: &["OM071", "OM072"],
+        description: "interval abstract interpretation of for-equation indices (out-of-bounds at some iteration, with if-guard refinement) and loop-carried algebraic recurrences",
+    },
+    PassInfo {
         name: "structure",
         stage: Stage::Flat,
         codes: &["OM013", "OM014", "OM015", "OM022"],
@@ -115,23 +124,39 @@ pub const PASSES: &[PassInfo] = &[
     PassInfo {
         name: "schedule",
         stage: Stage::Schedule,
-        codes: &["OM040", "OM041", "OM042", "OM043"],
-        description: "race detection at edge granularity (no-barrier safe), exactly-once coverage, false dependencies",
+        codes: &["OM040", "OM041", "OM042", "OM043", "OM070"],
+        description: "race detection at edge granularity (no-barrier safe), exactly-once coverage, false dependencies; in array-aware mode decided symbolically on affine access maps (exact/Banerjee/GCD lattice) plus loop-carried dependence detection inside loop tasks",
     },
 ];
+
+/// Options for [`lint_source_with`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LintOptions {
+    /// Lint the array-aware compilation pipeline: flatten with symbolic
+    /// array classes, carry them through causalization and codegen, and
+    /// verify the resulting loop-task schedule with the symbolic affine
+    /// engine ([`check_schedule_sym`]) instead of the oracle (scalarized)
+    /// schedule. Default `false` lints the oracle pipeline.
+    pub array_aware: bool,
+}
 
 /// Lint a source text end to end. Never panics on malformed input: every
 /// failure mode is a diagnostic. Later stages are skipped once an
 /// earlier stage reports an error (their input would be meaningless).
 pub fn lint_source(source: &str) -> Report {
+    lint_source_with(source, LintOptions::default())
+}
+
+/// [`lint_source`] with explicit [`LintOptions`].
+pub fn lint_source_with(source: &str, opts: LintOptions) -> Report {
     let mut report = Report::default();
-    run_pipeline(source, &mut report);
+    run_pipeline(source, opts, &mut report);
     report.sort();
     record_metrics(&report);
     report
 }
 
-fn run_pipeline(source: &str, report: &mut Report) {
+fn run_pipeline(source: &str, opts: LintOptions, report: &mut Report) {
     // Stage 1: parse.
     let unit = match om_lang::parse_unit(source) {
         Ok(u) => u,
@@ -163,24 +188,61 @@ fn run_pipeline(source: &str, report: &mut Report) {
         return;
     }
 
-    // Stage 3: flatten + structural passes.
-    let flat = match om_lang::flatten(&unit) {
-        Ok(f) => f,
-        Err(e) => {
-            report.push(Diagnostic::new(
-                "OM002",
-                e.pos.unwrap_or_default(),
-                e.message,
-            ));
-            return;
+    // Loop passes: prove every for-equation index in range over the whole
+    // trip count (interval abstract interpretation with if-guard
+    // refinement) and flag loop-carried algebraic recurrences. An OM071
+    // is an out-of-bounds access at some iteration — flattening the model
+    // would either fail or fabricate slots, so stop here.
+    loops::loop_passes(&unit, report);
+    if report.has_errors() {
+        return;
+    }
+
+    // Stage 3: flatten + structural passes. Array-aware mode flattens
+    // with symbolic array classes (the pipeline under test is the one
+    // that compiles in O(classes), not O(elements)); oracle mode
+    // scalarizes as before.
+    let flat = if opts.array_aware {
+        match om_lang::flatten_arrays(&unit) {
+            Ok(f) => f,
+            Err(e) => {
+                report.push(Diagnostic::new(
+                    "OM002",
+                    e.pos.unwrap_or_default(),
+                    e.message,
+                ));
+                return;
+            }
+        }
+    } else {
+        match om_lang::flatten(&unit) {
+            Ok(f) => f,
+            Err(e) => {
+                report.push(Diagnostic::new(
+                    "OM002",
+                    e.pos.unwrap_or_default(),
+                    e.message,
+                ));
+                return;
+            }
         }
     };
     model::flat_passes(&flat, report);
 
-    // Arrays pass: re-flatten with array classes enabled and report any
-    // equation group that *could not* be kept symbolic. These are Info —
-    // the fallback is bitwise-equivalent, just compiled element-wise.
-    if let Ok(aware) = om_lang::flatten_arrays(&unit) {
+    // Arrays pass: report any equation group that *could not* be kept
+    // symbolic under array-aware flattening. These are Info — the
+    // fallback is bitwise-equivalent, just compiled element-wise. In
+    // aware mode the fallbacks are already on `flat`; in oracle mode we
+    // re-flatten to learn them.
+    if opts.array_aware {
+        for fb in &flat.class_fallbacks {
+            report.push(Diagnostic::new(
+                "OM060",
+                fb.pos,
+                format!("`{}` scalarized: {}", fb.origin, fb.reason),
+            ));
+        }
+    } else if let Ok(aware) = om_lang::flatten_arrays(&unit) {
         for fb in &aware.class_fallbacks {
             report.push(Diagnostic::new(
                 "OM060",
@@ -221,12 +283,43 @@ fn run_pipeline(source: &str, report: &mut Report) {
         return; // don't generate code from unverified IR
     }
 
-    // Stage 5: schedule passes on the generated task DAG.
-    let program = CodeGenerator::new(GenOptions::default()).generate(&ir);
-    let view = ScheduleView::from_graph(&program.graph);
-    // Edge granularity: the verdict must license the work-stealing
+    // Stage 5: schedule passes on the generated task DAG. Edge
+    // granularity throughout: the verdict must license the work-stealing
     // executor (no barrier), which also covers the barrier executor.
-    schedule::check_schedule_at(&view, Granularity::Edge, report);
+    let program = CodeGenerator::new(GenOptions::default()).generate(&ir);
+    let n_tasks = program.graph.tasks.len();
+    let loop_tasks = program
+        .graph
+        .tasks
+        .iter()
+        .filter(|t| t.loop_info.is_some())
+        .count();
+    if opts.array_aware {
+        // Symbolic engine: affine screens decide whether anything could
+        // fire; only a screen hit expands (and then the expansion IS the
+        // concrete detector, so diagnostics stay byte-identical).
+        let view = SymScheduleView::from_graph(&program.graph);
+        let outcome = check_schedule_sym(&view, Granularity::Edge, report);
+        report.schedule = Some(ScheduleSummary {
+            mode: "array-aware",
+            engine: if outcome.expanded {
+                "symbolic (expanded)"
+            } else {
+                "symbolic"
+            },
+            tasks: n_tasks,
+            loop_tasks,
+        });
+    } else {
+        let view = ScheduleView::from_graph(&program.graph);
+        schedule::check_schedule_at(&view, Granularity::Edge, report);
+        report.schedule = Some(ScheduleSummary {
+            mode: "oracle",
+            engine: "concrete",
+            tasks: n_tasks,
+            loop_tasks,
+        });
+    }
 }
 
 /// Count diagnostics per code and per severity into the om-obs metrics
@@ -273,6 +366,56 @@ mod tests {
                 info.code
             );
         }
+    }
+
+    #[test]
+    fn every_code_has_explanation_and_a_live_example() {
+        for info in CODES {
+            assert!(
+                !info.explain.trim().is_empty(),
+                "{} lacks an explanation",
+                info.code
+            );
+            assert!(
+                !info.example.trim().is_empty(),
+                "{} lacks an example",
+                info.code
+            );
+            // Lintable examples must actually fire their code — the
+            // `--explain` output cannot show a model that lints clean.
+            // Prose examples (schedule-level codes that well-formed
+            // source cannot trigger) are exempt by construction.
+            if info.example.starts_with("model") || info.example.starts_with("class") {
+                let report = lint_source(info.example);
+                assert!(
+                    report.has_code(info.code),
+                    "{}'s example does not fire it; report:\n{}",
+                    info.code,
+                    report.render_text("example")
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn array_aware_lint_verifies_loop_schedules_symbolically() {
+        let source = "model H; Real[32] u(start=0.1);
+             equation
+               der(u[1]) = -u[1];
+               for i in 2:31 loop der(u[i]) = 4.5*u[i-1] - 8.0*u[i] + 3.5*u[i+1]; end for;
+               der(u[32]) = -u[32];
+             end H;";
+        let aware = lint_source_with(source, LintOptions { array_aware: true });
+        assert_eq!(aware.count(Severity::Error), 0, "{:?}", aware.diagnostics);
+        let s = aware.schedule.as_ref().expect("schedule summary");
+        assert_eq!(s.mode, "array-aware");
+        assert_eq!(s.engine, "symbolic");
+        assert!(s.loop_tasks > 0, "{s:?}");
+        // The oracle pipeline on the same source agrees there is nothing
+        // to report, through the concrete detector.
+        let oracle = lint_source(source);
+        assert_eq!(oracle.count(Severity::Error), 0, "{:?}", oracle.diagnostics);
+        assert_eq!(oracle.schedule.as_ref().unwrap().engine, "concrete");
     }
 
     #[test]

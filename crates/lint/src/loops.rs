@@ -1,0 +1,662 @@
+//! Loop passes on the AST: interval abstract interpretation of affine
+//! index expressions over `for`-equation ranges.
+//!
+//! * **OM071** — an affine index (`u[i+1]`, `u[i-1]`, …) leaves the
+//!   declared array range for *some* iteration of an enclosing loop. The
+//!   flattening pass only catches constant out-of-bounds indices (OM002);
+//!   this pass proves or refutes `1 ≤ i+c ≤ dim` for every `i` in the
+//!   trip range symbolically, and names the violating iteration.
+//! * **OM072** — a loop-carried recurrence in an algebraic
+//!   `for`-equation: `w[i] = … w[i−d] …` makes iteration `i` depend on
+//!   iteration `i−d`, so the group can never form a parallel array class
+//!   (it either scalarizes or serializes).
+//!
+//! Index intervals are refined under relational `if`-guards on the loop
+//! variable (`if i == 1 then 0 else u[i-1]` is in range), so guarded
+//! boundary stencils lint clean. Where a guard involves the loop
+//! variable in a form the refinement cannot interpret, the guarded
+//! branch's loop-variable checks are skipped — conservative silence, an
+//! error pass must not report spurious errors.
+
+use crate::diag::{Diagnostic, Report};
+use om_analysis::affine::Interval;
+use om_lang::ast::{BinOp, ClassDef, Equation, Member, RefPath, RelOp, SExpr, Unit};
+use om_lang::scope::ClassTable;
+
+/// One enclosing loop binding: the index name and the interval its value
+/// ranges over. `None` for the interval means "unknown" — the variable
+/// is bound, but a guard made its range uninterpretable, so index checks
+/// involving it are skipped.
+type Env = Vec<(String, Option<Interval>)>;
+
+/// Run both loop passes over every class of the unit.
+pub fn loop_passes(unit: &Unit, out: &mut Report) {
+    let Ok(table) = ClassTable::build(unit) else {
+        return; // symbol passes already reported the broken table
+    };
+    for class in unit.classes.iter().chain(std::iter::once(&unit.model)) {
+        let mut env: Env = Vec::new();
+        for eq in &class.equations {
+            check_equation(&table, class, eq, &mut env, false, out);
+        }
+        // Initial equations run once, sequentially, at t0: recurrences
+        // there are evaluation order, not lost parallelism — only the
+        // bounds check applies.
+        for eq in &class.initial_equations {
+            check_equation(&table, class, eq, &mut env, true, out);
+        }
+    }
+}
+
+fn check_equation(
+    table: &ClassTable<'_>,
+    class: &ClassDef,
+    eq: &Equation,
+    env: &mut Env,
+    in_initial: bool,
+    out: &mut Report,
+) {
+    match eq {
+        Equation::Simple { lhs, rhs, .. } => {
+            if !env.is_empty() && !in_initial {
+                check_recurrence(lhs, rhs, env, out);
+            }
+            check_expr(table, class, lhs, env, out);
+            check_expr(table, class, rhs, env, out);
+        }
+        Equation::For {
+            index,
+            from,
+            to,
+            body,
+            ..
+        } => {
+            env.push((index.clone(), Some(Interval::new(*from, *to))));
+            for e in body {
+                check_equation(table, class, e, env, in_initial, out);
+            }
+            env.pop();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OM071: interval bounds of affine indices
+// ---------------------------------------------------------------------------
+
+fn check_expr(table: &ClassTable<'_>, class: &ClassDef, e: &SExpr, env: &Env, out: &mut Report) {
+    match e {
+        SExpr::Num(_) | SExpr::Time => {}
+        SExpr::Ref(path) | SExpr::Der(path) => check_path(table, class, path, env, out),
+        SExpr::If(c, t, el) => {
+            check_expr(table, class, c, env, out);
+            let (then_env, else_env) = refine(env, c);
+            if let Some(te) = then_env {
+                check_expr(table, class, t, &te, out);
+            }
+            if let Some(ee) = else_env {
+                check_expr(table, class, el, &ee, out);
+            }
+        }
+        SExpr::Call(_, args, _) | SExpr::Tuple(args) => {
+            for a in args {
+                check_expr(table, class, a, env, out);
+            }
+        }
+        SExpr::Bin(_, a, b) | SExpr::Rel(_, a, b) | SExpr::And(a, b) | SExpr::Or(a, b) => {
+            check_expr(table, class, a, env, out);
+            check_expr(table, class, b, env, out);
+        }
+        SExpr::Neg(a) | SExpr::Not(a) => check_expr(table, class, a, env, out),
+    }
+}
+
+/// Walk a dotted path like the resolver does, checking every indexed
+/// segment whose index is affine in a loop variable against the
+/// segment's declared extent.
+fn check_path(
+    table: &ClassTable<'_>,
+    class: &ClassDef,
+    path: &RefPath,
+    env: &Env,
+    out: &mut Report,
+) {
+    let first = &path.segs[0];
+    if path.segs.len() == 1 && first.indices.is_empty() && env.iter().any(|(n, _)| n == &first.name)
+    {
+        return; // the loop index used as a value
+    }
+    let mut current = class;
+    for (i, seg) in path.segs.iter().enumerate() {
+        for idx in &seg.indices {
+            check_expr(table, class, idx, env, out);
+        }
+        let members = table.effective_members(current);
+        let Some((member, _)) = members.iter().find(|(m, _)| m.name() == seg.name) else {
+            return; // unresolved: OM010's business
+        };
+        let extent = match member {
+            Member::Parameter { ty, .. } | Member::Variable { ty, .. } => ty.dim,
+            Member::Part { count, .. } => count.unwrap_or(1),
+        };
+        if extent > 1 {
+            if let Some(idx) = seg.indices.first() {
+                check_index(&seg.name, path, idx, extent, env, out);
+            }
+        }
+        let is_last = i + 1 == path.segs.len();
+        match member {
+            Member::Part {
+                class: class_name, ..
+            } if !is_last => match table.get(class_name) {
+                Some(c) => current = c,
+                None => return,
+            },
+            _ if !is_last => return, // select into scalar: OM010's business
+            _ => {}
+        }
+    }
+}
+
+/// Decide `1 ≤ idx ≤ extent` for every iteration. The index must be
+/// affine (`v + c`) in a loop variable with a known interval; anything
+/// else is out of scope (constant indices are flattening's OM002,
+/// non-affine forms stay silent).
+fn check_index(
+    name: &str,
+    path: &RefPath,
+    idx: &SExpr,
+    extent: usize,
+    env: &Env,
+    out: &mut Report,
+) {
+    let Some((var, offset)) = affine_of(idx, env) else {
+        return;
+    };
+    let Some(iv) = env
+        .iter()
+        .rev()
+        .find(|(n, _)| n == &var)
+        .and_then(|(_, i)| *i)
+    else {
+        return; // range made unknown by an uninterpretable guard
+    };
+    if iv.lo > iv.hi {
+        return; // refined to empty: the branch is dead code
+    }
+    let image = iv.shift(offset);
+    let declared = Interval::new(1, extent as i64);
+    if image.within(declared) {
+        return;
+    }
+    // Name the violating iteration: the endpoint whose image escapes.
+    let (at, bad) = if image.hi > declared.hi {
+        (iv.hi, image.hi)
+    } else {
+        (iv.lo, image.lo)
+    };
+    out.push(Diagnostic::new(
+        "OM071",
+        path.pos,
+        format!(
+            "array index out of bounds for some loop iteration: `{}` reaches index {bad} at {var} = {at}, outside `{name}`'s declared range 1:{extent}",
+            path.display()
+        ),
+    ));
+}
+
+/// Recognize `v`, `v + c`, `v - c`, `c + v` for a loop variable `v`
+/// bound in `env`; returns the variable name and the constant offset.
+fn affine_of(e: &SExpr, env: &Env) -> Option<(String, i64)> {
+    let loop_var = |e: &SExpr| -> Option<String> {
+        if let SExpr::Ref(p) = e {
+            if p.segs.len() == 1 && p.segs[0].indices.is_empty() {
+                let name = &p.segs[0].name;
+                if env.iter().any(|(n, _)| n == name) {
+                    return Some(name.clone());
+                }
+            }
+        }
+        None
+    };
+    match e {
+        _ if loop_var(e).is_some() => Some((loop_var(e).unwrap(), 0)),
+        SExpr::Bin(BinOp::Add, a, b) => match (loop_var(a), const_int(b)) {
+            (Some(v), Some(c)) => Some((v, c)),
+            _ => match (const_int(a), loop_var(b)) {
+                (Some(c), Some(v)) => Some((v, c)),
+                _ => None,
+            },
+        },
+        SExpr::Bin(BinOp::Sub, a, b) => match (loop_var(a), const_int(b)) {
+            (Some(v), Some(c)) => Some((v, -c)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Literal integer constant (including negated literals).
+fn const_int(e: &SExpr) -> Option<i64> {
+    match e {
+        SExpr::Num(v) if v.fract() == 0.0 => Some(*v as i64),
+        SExpr::Neg(a) => const_int(a).map(|v| -v),
+        _ => None,
+    }
+}
+
+/// Refine the loop-variable intervals under an `if` condition for the
+/// then/else branches. `None` means the branch is dead (its condition
+/// can never hold). A condition mentioning a loop variable in a form we
+/// cannot interpret degrades that variable's interval to unknown in
+/// both branches instead of guessing.
+fn refine(env: &Env, cond: &SExpr) -> (Option<Env>, Option<Env>) {
+    match cond {
+        SExpr::Rel(op, a, b) => {
+            // Normalize to `var <op> const`.
+            let normalized = match (as_loop_var(a, env), const_int(b)) {
+                (Some(v), Some(c)) => Some((v, *op, c)),
+                _ => match (const_int(a), as_loop_var(b, env)) {
+                    (Some(c), Some(v)) => Some((v, flip(*op), c)),
+                    _ => None,
+                },
+            };
+            match normalized {
+                Some((var, op, c)) => {
+                    let then_env = apply(env, &var, op, c);
+                    let else_env = apply(env, &var, negate(op), c);
+                    (then_env, else_env)
+                }
+                None => degrade(env, cond),
+            }
+        }
+        SExpr::Not(inner) => {
+            let (t, e) = refine(env, inner);
+            (e, t)
+        }
+        SExpr::And(a, b) => {
+            // then: both hold — refine sequentially. else: ¬A ∨ ¬B is
+            // not an interval; degrade the mentioned variables.
+            let then_env = match refine(env, a).0 {
+                Some(ea) => refine(&ea, b).0,
+                None => None,
+            };
+            let (_, else_env) = degrade(env, cond);
+            (then_env, else_env)
+        }
+        SExpr::Or(a, b) => {
+            // else: ¬A ∧ ¬B — refine sequentially. then: degrade.
+            let else_env = match refine(env, a).1 {
+                Some(ea) => refine(&ea, b).1,
+                None => None,
+            };
+            let (then_env, _) = degrade(env, cond);
+            (then_env, else_env)
+        }
+        _ => degrade(env, cond),
+    }
+}
+
+/// Both branches keep `env`, except loop variables mentioned by `cond`
+/// become unknown (their checks are skipped inside the branches).
+fn degrade(env: &Env, cond: &SExpr) -> (Option<Env>, Option<Env>) {
+    let mut mentioned: Vec<&str> = Vec::new();
+    collect_loop_vars(cond, env, &mut mentioned);
+    if mentioned.is_empty() {
+        return (Some(env.clone()), Some(env.clone()));
+    }
+    let degraded: Env = env
+        .iter()
+        .map(|(n, iv)| {
+            if mentioned.contains(&n.as_str()) {
+                (n.clone(), None)
+            } else {
+                (n.clone(), *iv)
+            }
+        })
+        .collect();
+    (Some(degraded.clone()), Some(degraded))
+}
+
+fn collect_loop_vars<'e>(e: &'e SExpr, env: &Env, out: &mut Vec<&'e str>) {
+    match e {
+        SExpr::Ref(p) if p.segs.len() == 1 && p.segs[0].indices.is_empty() => {
+            let name = p.segs[0].name.as_str();
+            if env.iter().any(|(n, _)| n == name) && !out.contains(&name) {
+                out.push(name);
+            }
+        }
+        SExpr::Ref(p) | SExpr::Der(p) => {
+            for seg in &p.segs {
+                for idx in &seg.indices {
+                    collect_loop_vars(idx, env, out);
+                }
+            }
+        }
+        SExpr::Num(_) | SExpr::Time => {}
+        SExpr::Call(_, args, _) | SExpr::Tuple(args) => {
+            for a in args {
+                collect_loop_vars(a, env, out);
+            }
+        }
+        SExpr::Bin(_, a, b) | SExpr::Rel(_, a, b) | SExpr::And(a, b) | SExpr::Or(a, b) => {
+            collect_loop_vars(a, env, out);
+            collect_loop_vars(b, env, out);
+        }
+        SExpr::Neg(a) | SExpr::Not(a) => collect_loop_vars(a, env, out),
+        SExpr::If(c, t, el) => {
+            collect_loop_vars(c, env, out);
+            collect_loop_vars(t, env, out);
+            collect_loop_vars(el, env, out);
+        }
+    }
+}
+
+fn as_loop_var(e: &SExpr, env: &Env) -> Option<String> {
+    if let SExpr::Ref(p) = e {
+        if p.segs.len() == 1 && p.segs[0].indices.is_empty() {
+            let name = &p.segs[0].name;
+            if env.iter().any(|(n, _)| n == name) {
+                return Some(name.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Mirror a relation for `const <op> var` → `var <flip(op)> const`.
+fn flip(op: RelOp) -> RelOp {
+    match op {
+        RelOp::Lt => RelOp::Gt,
+        RelOp::Le => RelOp::Ge,
+        RelOp::Gt => RelOp::Lt,
+        RelOp::Ge => RelOp::Le,
+        RelOp::Eq => RelOp::Eq,
+        RelOp::Ne => RelOp::Ne,
+    }
+}
+
+fn negate(op: RelOp) -> RelOp {
+    match op {
+        RelOp::Lt => RelOp::Ge,
+        RelOp::Le => RelOp::Gt,
+        RelOp::Gt => RelOp::Le,
+        RelOp::Ge => RelOp::Lt,
+        RelOp::Eq => RelOp::Ne,
+        RelOp::Ne => RelOp::Eq,
+    }
+}
+
+/// Apply `var <op> c` to the innermost binding of `var`. Returns `None`
+/// when the refined interval is empty (dead branch).
+fn apply(env: &Env, var: &str, op: RelOp, c: i64) -> Option<Env> {
+    let mut refined = env.clone();
+    let slot = refined.iter_mut().rev().find(|(n, _)| n == var)?;
+    let Some(iv) = slot.1 else {
+        return Some(refined); // already unknown; keep it unknown
+    };
+    let new = match op {
+        RelOp::Lt => Interval::new(iv.lo, iv.hi.min(c - 1)),
+        RelOp::Le => Interval::new(iv.lo, iv.hi.min(c)),
+        RelOp::Gt => Interval::new(iv.lo.max(c + 1), iv.hi),
+        RelOp::Ge => Interval::new(iv.lo.max(c), iv.hi),
+        RelOp::Eq => {
+            if iv.contains(c) {
+                Interval::new(c, c)
+            } else {
+                return None; // condition can never hold
+            }
+        }
+        RelOp::Ne => {
+            // Intervals cannot represent a hole; only endpoint holes
+            // tighten, interior holes keep the interval (sound: wider).
+            if c == iv.lo && c == iv.hi {
+                return None;
+            } else if c == iv.lo {
+                Interval::new(iv.lo + 1, iv.hi)
+            } else if c == iv.hi {
+                Interval::new(iv.lo, iv.hi - 1)
+            } else {
+                iv
+            }
+        }
+    };
+    if new.lo > new.hi {
+        return None;
+    }
+    slot.1 = Some(new);
+    Some(refined)
+}
+
+// ---------------------------------------------------------------------------
+// OM072: loop-carried recurrences in for-equation groups
+// ---------------------------------------------------------------------------
+
+/// `w[i+c1] = … w[i+c2] …` with `c1 ≠ c2` and both offsets reachable in
+/// the trip range: iteration `i` reads the element iteration `i+c2−c1`
+/// defines — a serializing recurrence. Derivative equations are exempt
+/// (`der(u[i]) = f(u[i−1])` is a stencil over the *frozen* state vector,
+/// the paper's normal case).
+fn check_recurrence(lhs: &SExpr, rhs: &SExpr, env: &Env, out: &mut Report) {
+    let SExpr::Ref(lp) = lhs else { return };
+    if lp.segs.len() != 1 {
+        return;
+    }
+    let seg = &lp.segs[0];
+    let Some(idx) = seg.indices.first() else {
+        return;
+    };
+    let Some((var, c1)) = affine_of(idx, env) else {
+        return;
+    };
+    let Some(iv) = env
+        .iter()
+        .rev()
+        .find(|(n, _)| n == &var)
+        .and_then(|(_, i)| *i)
+    else {
+        return;
+    };
+    let name = seg.name.clone();
+    let mut visit = |e: &SExpr| {
+        let SExpr::Ref(rp) = e else { return };
+        if rp.segs.len() != 1 || rp.segs[0].name != name {
+            return;
+        }
+        let Some(ridx) = rp.segs[0].indices.first() else {
+            return;
+        };
+        let Some((rvar, c2)) = affine_of(ridx, env) else {
+            return;
+        };
+        if rvar != var || c2 == c1 {
+            return;
+        }
+        // The read element is defined by iteration i + (c2 − c1); the
+        // recurrence is real only if that iteration exists for some i.
+        let d = c2 - c1;
+        if d.abs() > iv.hi - iv.lo {
+            return;
+        }
+        out.push(Diagnostic::new(
+            "OM072",
+            rp.pos,
+            format!(
+                "loop-carried recurrence: `{}` is defined by iteration {var}{d:+} of this for-equation, so the group serializes instead of forming a parallel array class",
+                rp.display()
+            ),
+        ));
+    };
+    walk_sexpr(rhs, &mut visit);
+}
+
+fn walk_sexpr(e: &SExpr, f: &mut impl FnMut(&SExpr)) {
+    f(e);
+    match e {
+        SExpr::Num(_) | SExpr::Time | SExpr::Ref(_) | SExpr::Der(_) => {}
+        SExpr::Call(_, args, _) | SExpr::Tuple(args) => {
+            for a in args {
+                walk_sexpr(a, f);
+            }
+        }
+        SExpr::Bin(_, a, b) | SExpr::Rel(_, a, b) | SExpr::And(a, b) | SExpr::Or(a, b) => {
+            walk_sexpr(a, f);
+            walk_sexpr(b, f);
+        }
+        SExpr::Neg(a) | SExpr::Not(a) => walk_sexpr(a, f),
+        SExpr::If(c, t, el) => {
+            walk_sexpr(c, f);
+            walk_sexpr(t, f);
+            walk_sexpr(el, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Report {
+        let unit = om_lang::parse_unit(src).expect("parse");
+        let mut out = Report::default();
+        loop_passes(&unit, &mut out);
+        out
+    }
+
+    #[test]
+    fn in_range_stencil_is_clean() {
+        let r = run("model M; Real[8] u(start=0.1);
+             equation
+               der(u[1]) = -u[1]; der(u[8]) = -u[8];
+               for i in 2:7 loop der(u[i]) = u[i-1] - 2.0*u[i] + u[i+1]; end for;
+             end M;");
+        assert!(r.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn max_iteration_overflow_is_om071() {
+        let r = run("model M; Real[8] u(start=0.1);
+             equation
+               der(u[1]) = -u[1];
+               for i in 2:8 loop der(u[i]) = u[i-1] + u[i+1]; end for;
+             end M;");
+        let found = crate::find(&r, "OM071");
+        assert_eq!(found.len(), 1, "{:?}", r.diagnostics);
+        assert!(
+            found[0].1.contains("reaches index 9 at i = 8"),
+            "{}",
+            found[0].1
+        );
+        assert!(found[0].1.contains("range 1:8"));
+    }
+
+    #[test]
+    fn min_iteration_underflow_is_om071() {
+        let r = run("model M; Real[4] u(start=0.1);
+             equation
+               der(u[4]) = -u[4];
+               for i in 1:3 loop der(u[i]) = u[i-1]; end for;
+             end M;");
+        let found = crate::find(&r, "OM071");
+        assert_eq!(found.len(), 1, "{:?}", r.diagnostics);
+        assert!(
+            found[0].1.contains("reaches index 0 at i = 1"),
+            "{}",
+            found[0].1
+        );
+    }
+
+    #[test]
+    fn guarded_boundary_stencil_is_clean() {
+        // The i==1 guard makes u[i-1] dead exactly where it would escape.
+        let r = run("model M; Real[4] u(start=0.1);
+             equation
+               for i in 1:4 loop
+                 der(u[i]) = if i == 1 then -u[i] else u[i-1] - u[i];
+               end for;
+             end M;");
+        assert!(r.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn relational_guard_refines_both_branches() {
+        // then: i > 1 → u[i-1] fine; else: i ≤ 1 → i = 1 → u[i+1] = u[2] fine.
+        let r = run("model M; Real[4] u(start=0.1);
+             equation
+               for i in 1:4 loop
+                 der(u[i]) = if i > 1 then u[i-1] else u[i+1];
+               end for;
+             end M;");
+        assert!(r.is_empty(), "{:?}", r.diagnostics);
+        // But a guard that does not actually protect still reports: the
+        // then branch admits i = 1, where u[i-1] = u[0].
+        let r = run("model M; Real[4] u(start=0.1);
+             equation
+               for i in 1:4 loop
+                 der(u[i]) = if i < 3 then u[i-1] else -u[i];
+               end for;
+             end M;");
+        let found = crate::find(&r, "OM071");
+        assert_eq!(found.len(), 1, "{:?}", r.diagnostics);
+        assert!(
+            found[0].1.contains("reaches index 0 at i = 1"),
+            "{}",
+            found[0].1
+        );
+    }
+
+    #[test]
+    fn algebraic_recurrence_is_om072() {
+        let r = run("model M; Real x(start=1.0); Real[4] w;
+             equation
+               der(x) = -x;
+               w[1] = x;
+               for i in 2:4 loop w[i] = 0.5*w[i-1]; end for;
+             end M;");
+        let found = crate::find(&r, "OM072");
+        assert_eq!(found.len(), 1, "{:?}", r.diagnostics);
+        assert!(found[0].1.contains("iteration i-1"), "{}", found[0].1);
+    }
+
+    #[test]
+    fn derivative_stencils_are_not_recurrences() {
+        let r = run("model M; Real[6] u(start=0.1);
+             equation
+               der(u[1]) = -u[1]; der(u[6]) = -u[6];
+               for i in 2:5 loop der(u[i]) = u[i-1] - u[i+1]; end for;
+             end M;");
+        assert!(!r.has_code("OM072"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn unreachable_offset_is_not_a_recurrence() {
+        // w[i] reads w[i-5] but the trip range is 3 wide: no iteration
+        // pair is d=5 apart... the read is out of bounds instead.
+        let r = run("model M; Real x(start=1.0); Real[9] w;
+             equation
+               der(x) = -x;
+               w[1]=x; w[2]=x; w[3]=x; w[4]=x; w[5]=x; w[6]=x;
+               for i in 7:9 loop w[i] = w[i-5]; end for;
+             end M;");
+        assert!(!r.has_code("OM072"), "{:?}", r.diagnostics);
+        assert!(!r.has_code("OM071"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn initial_equations_get_bounds_but_not_recurrence_checks() {
+        let r = run("model M; Real[4] u;
+             initial equation
+               for i in 1:4 loop u[i] = 0.5; end for;
+             equation
+               for i in 1:4 loop der(u[i]) = -u[i]; end for;
+             end M;");
+        assert!(!r.has_code("OM072"), "{:?}", r.diagnostics);
+        let r = run("model M; Real[4] u;
+             initial equation
+               for i in 1:4 loop u[i] = 0.5; end for;
+             equation
+               for i in 1:5 loop der(u[i]) = -u[i]; end for;
+             end M;");
+        assert!(r.has_code("OM071"), "{:?}", r.diagnostics);
+    }
+}

@@ -427,6 +427,44 @@ pub fn flat_passes(flat: &FlatModel, out: &mut Report) {
         }
     }
 
+    // Array-aware flattening keeps uniform equation groups as symbolic
+    // classes; their write rows never appear as scalar der() equations,
+    // so the exactly-once rule must be checked on the rows themselves.
+    for (ci, class) in flat.classes.iter().enumerate() {
+        // OM015 (between classes): two classes whose write rows share a
+        // state — decided on the symbolic row vectors, one diagnostic
+        // per offending pair, at the later class's position.
+        for prev in &flat.classes[..ci] {
+            if let Some(s) = om_expr::arrays::targets_overlap(&prev.states, &class.states) {
+                out.push(Diagnostic::new(
+                    "OM015",
+                    class.pos,
+                    format!(
+                        "array class overlaps the one at {}: both define der({})",
+                        prev.pos,
+                        s.name()
+                    ),
+                ));
+            }
+        }
+        // OM015 (class vs scalar equation) + state recording for OM022.
+        for &s in &class.states {
+            states.insert(s);
+            if let Some(first) = deriv_def.get(&s) {
+                out.push(Diagnostic::new(
+                    "OM015",
+                    class.pos,
+                    format!(
+                        "der({}) from array class `{}` is already defined by the equation at {}",
+                        s.name(),
+                        class.origin,
+                        first
+                    ),
+                ));
+            }
+        }
+    }
+
     // OM022: states without an explicit start value.
     for v in &flat.variables {
         if states.contains(&v.sym) && !v.explicit_start {
@@ -441,8 +479,9 @@ pub fn flat_passes(flat: &FlatModel, out: &mut Report) {
         }
     }
 
-    // OM014: equation/unknown balance over the whole flat system.
-    let n_eq = flat.equations.len();
+    // OM014: equation/unknown balance over the whole flat system. A
+    // symbolic class stands for `cardinality()` scalar equations.
+    let n_eq = flat.equations.len() + flat.classes.iter().map(|c| c.cardinality()).sum::<usize>();
     let n_var = flat.variables.len();
     if n_eq != n_var {
         let mut detail = String::new();
@@ -476,6 +515,15 @@ pub fn flat_passes(flat: &FlatModel, out: &mut Report) {
     // occurrence graph (Kuhn's augmenting paths). A deficiency means the
     // system is structurally singular even though it is balanced; report
     // the unmatched equations *and* the unmatched unknowns.
+    //
+    // With symbolic classes present the scalar occurrence graph is
+    // incomplete (a class's occurrences live in its row set), and
+    // expanding the rows here would defeat O(classes) linting — so the
+    // matching is skipped; causalization performs the per-element
+    // assignment and reports genuine singularity as OM051.
+    if !flat.classes.is_empty() {
+        return;
+    }
     let var_index: HashMap<Symbol, usize> = flat
         .variables
         .iter()
@@ -571,6 +619,19 @@ pub fn liveness_passes(ir: &om_ir::OdeIr, flat: &FlatModel, out: &mut Report) {
     for d in &ir.derivs {
         for v in d.rhs.free_vars() {
             live.insert(v);
+        }
+    }
+    // Symbolic classes: everything the template rhs or any substitution
+    // row mentions feeds a derivative by construction.
+    for c in &ir.classes {
+        for v in c.rhs.free_vars() {
+            live.insert(v);
+        }
+        for (row_sym, row) in &c.rows {
+            live.insert(*row_sym);
+            for v in row {
+                live.insert(*v);
+            }
         }
     }
     let mut changed = true;

@@ -115,7 +115,7 @@ impl ScheduleView {
 }
 
 /// Longest-path levels, identical to `TaskGraph::levels`.
-fn compute_levels(n: usize, deps: &[Vec<usize>]) -> Vec<Vec<usize>> {
+pub(crate) fn compute_levels(n: usize, deps: &[Vec<usize>]) -> Vec<Vec<usize>> {
     let mut level = vec![0usize; n];
     let mut changed = true;
     while changed {
@@ -137,7 +137,7 @@ fn compute_levels(n: usize, deps: &[Vec<usize>]) -> Vec<Vec<usize>> {
     out
 }
 
-fn slot_name(s: OutSlot) -> String {
+pub(crate) fn slot_name(s: OutSlot) -> String {
     match s {
         OutSlot::Deriv(i) => format!("deriv[{i}]"),
         OutSlot::Shared(i) => format!("shared[{i}]"),
@@ -185,12 +185,19 @@ fn ancestor_sets(n: usize, deps: &[Vec<usize>]) -> Vec<Vec<u64>> {
 }
 
 /// Task pairs `(a, b)`, `a < b`, that may execute concurrently at the
-/// given granularity.
-fn concurrent_pairs(view: &ScheduleView, granularity: Granularity) -> Vec<(usize, usize)> {
+/// given granularity. Shared between the concrete detector and the
+/// symbolic engine ([`crate::sym`]) so both reason about exactly the
+/// same concurrency relation.
+pub(crate) fn concurrent_pairs_of(
+    n: usize,
+    deps: &[Vec<usize>],
+    levels: &[Vec<usize>],
+    granularity: Granularity,
+) -> Vec<(usize, usize)> {
     match granularity {
         Granularity::Level => {
             let mut pairs = Vec::new();
-            for level in &view.levels {
+            for level in levels {
                 for (k, &a) in level.iter().enumerate() {
                     for &b in &level[k + 1..] {
                         pairs.push((a.min(b), a.max(b)));
@@ -200,8 +207,7 @@ fn concurrent_pairs(view: &ScheduleView, granularity: Granularity) -> Vec<(usize
             pairs
         }
         Granularity::Edge => {
-            let n = view.tasks.len();
-            let anc = ancestor_sets(n, &view.deps);
+            let anc = ancestor_sets(n, deps);
             let mut pairs = Vec::new();
             for a in 0..n {
                 for b in a + 1..n {
@@ -215,6 +221,10 @@ fn concurrent_pairs(view: &ScheduleView, granularity: Granularity) -> Vec<(usize
             pairs
         }
     }
+}
+
+fn concurrent_pairs(view: &ScheduleView, granularity: Granularity) -> Vec<(usize, usize)> {
+    concurrent_pairs_of(view.tasks.len(), &view.deps, &view.levels, granularity)
 }
 
 /// Run all schedule passes at the given granularity, appending findings

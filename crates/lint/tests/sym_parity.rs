@@ -1,0 +1,173 @@
+//! Differential property suite for the symbolic schedule engine.
+//!
+//! Ground truth is a concrete slot vector per task; the symbolic view is
+//! built from `Pattern::from_slots` of the same vectors and the concrete
+//! view from the vectors themselves. For every random schedule the
+//! symbolic verdict set must be byte-identical to the concrete
+//! detector's — same codes, same positions, same messages, same order.
+//! (OM070 is filtered out of the comparison: it is symbolic-only by
+//! design — expansion flattens the iteration structure it talks about.)
+
+use om_analysis::Pattern;
+use om_codegen::task::OutSlot;
+use om_lint::{
+    check_schedule_at, check_schedule_sym, Granularity, Report, ScheduleView, Space, SymOutcome,
+    SymScheduleView, SymTaskAccess, TaskAccess,
+};
+use proptest::prelude::*;
+
+/// Build both views from the same per-task write-slot vectors, run both
+/// engines at edge granularity, and return the two reports.
+fn run_case(
+    n: u32,
+    stencils: &[Vec<u32>],
+    with_producer: bool,
+    readers: bool,
+) -> (Report, Report, SymOutcome) {
+    let mut sym_tasks: Vec<SymTaskAccess> = Vec::new();
+    let mut conc_tasks: Vec<TaskAccess> = Vec::new();
+    let mut deps: Vec<Vec<usize>> = Vec::new();
+    if with_producer {
+        sym_tasks.push(SymTaskAccess {
+            label: "p".into(),
+            writes: vec![(Space::Shared, Pattern::singleton(0))],
+            reads_shared: vec![],
+            loop_maps: None,
+        });
+        conc_tasks.push(TaskAccess {
+            label: "p".into(),
+            writes: vec![OutSlot::Shared(0)],
+            reads_shared: vec![],
+        });
+        deps.push(vec![]);
+    }
+    for (i, slots) in stencils.iter().enumerate() {
+        let label = format!("chunk{i}");
+        let reads: Vec<u32> = if with_producer && readers {
+            vec![0]
+        } else {
+            vec![]
+        };
+        sym_tasks.push(SymTaskAccess {
+            label: label.clone(),
+            writes: vec![(Space::Deriv, Pattern::from_slots(slots))],
+            reads_shared: reads.iter().map(|&s| Pattern::singleton(s)).collect(),
+            loop_maps: None,
+        });
+        conc_tasks.push(TaskAccess {
+            label,
+            writes: slots.iter().map(|&s| OutSlot::Deriv(s as usize)).collect(),
+            reads_shared: reads.iter().map(|&s| s as usize).collect(),
+        });
+        // An edge to the producer even when the task reads nothing from
+        // it: the unjustified-edge screen (OM043) must agree too.
+        deps.push(if with_producer { vec![0] } else { vec![] });
+    }
+    let mut sv = SymScheduleView::from_parts(sym_tasks, deps.clone());
+    sv.dim = n as usize;
+    sv.n_shared = usize::from(with_producer);
+    let mut cv = ScheduleView::from_parts(conc_tasks, deps);
+    cv.dim = n as usize;
+    cv.n_shared = sv.n_shared;
+
+    let mut sym_r = Report::default();
+    let outcome = check_schedule_sym(&sv, Granularity::Edge, &mut sym_r);
+    let mut conc_r = Report::default();
+    check_schedule_at(&cv, Granularity::Edge, &mut conc_r);
+    (sym_r, conc_r, outcome)
+}
+
+type Key = (&'static str, om_lint::Severity, om_lang::SourcePos, String);
+
+fn keys(r: &Report, drop_om070: bool) -> Vec<Key> {
+    r.diagnostics
+        .iter()
+        .filter(|d| !(drop_om070 && d.code == "OM070"))
+        .map(|d| (d.code, d.severity, d.pos, d.message.clone()))
+        .collect()
+}
+
+/// Affine stencil with every slot < n: `base + stride·k` for k < count.
+fn stencil_slots(n: u32, base: u32, stride: u32, count: u32) -> Vec<u32> {
+    let base = base % n;
+    let max_count = 1 + (n - 1 - base) / stride;
+    (0..count.min(max_count))
+        .map(|k| base + stride * k)
+        .collect()
+}
+
+/// Contiguous k-way partition of [0, n): the canonical clean schedule.
+fn chunked_partition(n: u32, k: u32) -> Vec<Vec<u32>> {
+    (0..k)
+        .map(|i| (n * i / k..n * (i + 1) / k).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Random affine stencils over N ∈ {2..64}: overlaps, gaps, and
+    /// double-writes occur constantly, and the symbolic verdict set must
+    /// be byte-equal to the concrete detector's every single time.
+    #[test]
+    fn random_affine_stencils_agree_with_the_concrete_detector(
+        n in 2u32..=64,
+        specs in proptest::collection::vec((0u32..64, 1u32..4, 1u32..=64), 1..5),
+        with_producer in prop::bool::ANY,
+        readers in prop::bool::ANY,
+    ) {
+        let stencils: Vec<Vec<u32>> = specs
+            .iter()
+            .map(|&(b, s, c)| stencil_slots(n, b, s, c))
+            .collect();
+        let (sym_r, conc_r, _) = run_case(n, &stencils, with_producer, readers);
+        prop_assert_eq!(keys(&sym_r, true), keys(&conc_r, false));
+    }
+
+    /// Clean contiguous partitions (with a justified producer edge when
+    /// present) must verify symbolically — zero diagnostics AND zero
+    /// expansions, or the O(1)-per-pair claim is broken.
+    #[test]
+    fn clean_chunked_partitions_verify_without_expansion(
+        n in 2u32..=64,
+        k in 1u32..5,
+        with_producer in prop::bool::ANY,
+    ) {
+        let chunks = chunked_partition(n, k);
+        let (sym_r, conc_r, outcome) = run_case(n, &chunks, with_producer, true);
+        prop_assert_eq!(keys(&sym_r, true), keys(&conc_r, false));
+        prop_assert!(conc_r.is_empty(), "{:?}", conc_r.diagnostics);
+        prop_assert!(!outcome.expanded, "clean schedule expanded: {outcome:?}");
+    }
+
+    /// Interleaved strided writes (disjoint by residue class, overlapping
+    /// by range): the lattice must prove them apart without expansion.
+    #[test]
+    fn interleaved_strides_stay_symbolic(n in 1u32..=32) {
+        let evens: Vec<u32> = (0..n).map(|k| 2 * k).collect();
+        let odds: Vec<u32> = (0..n).map(|k| 2 * k + 1).collect();
+        let (sym_r, conc_r, outcome) = run_case(2 * n, &[evens, odds], false, false);
+        prop_assert_eq!(keys(&sym_r, true), keys(&conc_r, false));
+        prop_assert!(conc_r.is_empty(), "{:?}", conc_r.diagnostics);
+        prop_assert!(!outcome.expanded, "disjoint strides expanded: {outcome:?}");
+    }
+}
+
+/// Exhaustive small-N sweep: every (shift, chunk) pair over N ≤ 16.
+/// Deterministic companion to the proptest above, so a parity break is
+/// reproducible without a seed.
+#[test]
+fn exhaustive_shifted_chunk_pairs_agree() {
+    for n in 2u32..=16 {
+        for shift in 0..n {
+            let a: Vec<u32> = (0..n / 2).collect();
+            let b: Vec<u32> = (0..n - n / 2).map(|k| (k + shift).min(n - 1)).collect();
+            let (sym_r, conc_r, _) = run_case(n, &[a, b], false, false);
+            assert_eq!(
+                keys(&sym_r, true),
+                keys(&conc_r, false),
+                "parity break at n={n} shift={shift}"
+            );
+        }
+    }
+}

@@ -109,10 +109,17 @@ fn usage() -> String {
      commands:\n\
        analyze                     dependency graph, SCCs, pipeline levels\n\
          --dot                     print Graphviz instead of the table\n\
-       lint                        static analysis + schedule race detection\n\
+       lint                        static analysis + schedule race detection;\n\
+                                   with --array-aware, lints the symbolic\n\
+                                   array pipeline and verifies loop-task\n\
+                                   schedules with the affine dependence\n\
+                                   engine (no expansion on clean schedules)\n\
          --json                    machine-readable JSON report on stdout\n\
          --deny warnings|info      also fail on warnings (exit 6) or on\n\
                                    warnings+info (exit 7); errors always exit 5\n\
+       lint --explain OM0xx        describe a diagnostic code: severity,\n\
+                                   summary, explanation, minimal example\n\
+                                   (no model operand)\n\
        emit                        generated code on stdout\n\
          --lang f90|cpp|mma        target language (default f90)\n\
          --serial                  serial code with global CSE\n\
@@ -214,6 +221,15 @@ fn run(args: &[String]) -> Result<(), CliError> {
     if args.len() < 2 {
         return Err(CliError::Usage(usage()));
     }
+    // `omc lint --explain OM0xx` takes no model operand: the first arg
+    // IS the command.
+    if args[0] == "lint" && args[1] == "--explain" {
+        let code = args.get(2).ok_or_else(|| {
+            CliError::Usage("lint --explain needs a diagnostic code (e.g. OM040)".to_owned())
+        })?;
+        return explain(code);
+    }
+
     let path = &args[0];
     let command = args[1].as_str();
     let opts = parse_flags(&args[2..])?;
@@ -504,7 +520,12 @@ fn lint(path: &str, source: &str, opts: &Flags) -> Result<(), CliError> {
         }
     }
 
-    let report = objectmath::lint::lint_source(source);
+    let report = objectmath::lint::lint_source_with(
+        source,
+        objectmath::lint::LintOptions {
+            array_aware: opts.array_aware,
+        },
+    );
     if opts.json {
         println!("{}", report.render_json(path));
     } else {
@@ -532,6 +553,35 @@ fn lint(path: &str, source: &str, opts: &Flags) -> Result<(), CliError> {
     } else {
         Ok(())
     }
+}
+
+/// `omc lint --explain OM0xx`: print a code's registered severity,
+/// summary, longer explanation, owning pass, and minimal example — all
+/// straight from the registry, so the help cannot drift from the
+/// analyzer.
+fn explain(code: &str) -> Result<(), CliError> {
+    let Some(info) = objectmath::lint::code_info(code) else {
+        let known: Vec<&str> = objectmath::lint::CODES.iter().map(|c| c.code).collect();
+        return Err(CliError::Usage(format!(
+            "unknown diagnostic code `{code}`; known codes: {}",
+            known.join(", ")
+        )));
+    };
+    println!("{} ({}): {}", info.code, info.severity, info.summary);
+    if let Some(p) = objectmath::lint::PASSES
+        .iter()
+        .find(|p| p.codes.contains(&info.code))
+    {
+        println!("pass: {} — {}", p.name, p.description);
+    }
+    println!();
+    println!("{}", info.explain);
+    println!();
+    println!("example:");
+    for line in info.example.lines() {
+        println!("  {line}");
+    }
+    Ok(())
 }
 
 fn analyze(ir: &OdeIr, opts: &Flags) -> Result<(), CliError> {

@@ -2,8 +2,12 @@
 //! `// expect: OMxxx @ line:col` comments and must produce *exactly* that
 //! diagnostic set — same codes, same positions, nothing extra. `0:0`
 //! means a position-less diagnostic (whole-system findings).
+//!
+//! A fixture containing a `// lint: array-aware` line is linted through
+//! the array-aware pipeline (symbolic classes + loop-task schedules)
+//! instead of the scalarizing oracle.
 
-use objectmath::lint::lint_source;
+use objectmath::lint::{lint_source_with, LintOptions};
 use std::path::Path;
 
 /// Parse every `// expect: OMxxx @ line:col` comment in a fixture.
@@ -58,7 +62,8 @@ fn every_fixture_fires_exactly_its_expected_diagnostics() {
         fixtures += 1;
         let source = std::fs::read_to_string(&path).expect("read fixture");
         let mut expected = parse_expectations(&source, &path);
-        let report = lint_source(&source);
+        let array_aware = source.lines().any(|l| l.trim() == "// lint: array-aware");
+        let report = lint_source_with(&source, LintOptions { array_aware });
         let mut actual: Vec<(String, usize, usize)> = report
             .diagnostics
             .iter()
@@ -79,9 +84,9 @@ fn every_fixture_fires_exactly_its_expected_diagnostics() {
     // The fixture corpus must exercise a healthy slice of the code table.
     codes_seen.sort();
     codes_seen.dedup();
-    assert!(fixtures >= 10, "only {fixtures} fixtures");
+    assert!(fixtures >= 13, "only {fixtures} fixtures");
     assert!(
-        codes_seen.len() >= 10,
+        codes_seen.len() >= 12,
         "fixtures cover only {} distinct codes: {:?}",
         codes_seen.len(),
         codes_seen

@@ -43,10 +43,10 @@ fn defines_tests(src: &str) -> bool {
 fn every_test_file_defines_at_least_one_test() {
     let files = test_files();
     // Floor raised as suites land (PR 7 added vm_batch_props and
-    // ensemble_batch; PR 8 added array_loops); a drop below it means
-    // files went missing.
+    // ensemble_batch; PR 8 added array_loops; PR 9 added sym_parity);
+    // a drop below it means files went missing.
     assert!(
-        files.len() >= 26,
+        files.len() >= 27,
         "suite guard found only {} test files — the scan itself is broken",
         files.len()
     );
