@@ -283,8 +283,8 @@ fn main() {
         print!("{out}");
     }
 
-    // Gate summary: fail loudly (nonzero exit) if work stealing ever
-    // regresses past the barrier by more than the noise floor.
+    // Gate summary: fail loudly (named-column diff + nonzero exit) if
+    // work stealing ever regresses past the barrier beyond noise.
     let mut worst: Option<(&str, usize, f64)> = None;
     for row in &rows {
         for c in &row.cells {
@@ -294,11 +294,14 @@ fn main() {
             }
         }
     }
+    let mut gates = om_bench::GateDiff::new("e12b");
     if let Some((model, w, s)) = worst {
-        eprintln!("[e12b] worst ws speedup: {s:.2}x on {model} at {w} workers");
-        if s < 0.95 {
-            eprintln!("[e12b] FAIL: work stealing slower than barrier beyond noise");
-            std::process::exit(1);
-        }
+        gates.check(
+            &format!("ws_vs_barrier ({model}, {w} workers, worst cell)"),
+            format!("{s:.2}x"),
+            ">= 0.95x",
+            s >= 0.95,
+        );
     }
+    gates.finish();
 }

@@ -239,22 +239,18 @@ fn main() {
 
     // Gate: at K=8 the per-scenario cost must be strictly below the
     // scalar K=1 baseline on every model, or batching is not paying for
-    // itself and the exit code says so.
-    let mut failed = false;
+    // itself — the named-column diff says which model broke the bound.
+    let mut gates = om_bench::GateDiff::new("e14");
     for row in &rows {
         if let Some(c) = row.cells.iter().find(|c| c.lanes == 8) {
             let speedup = row.serial_ns / c.ns_per_scenario;
-            eprintln!(
-                "[e14] {}: K=8 at {:.1} ns/scenario vs serial {:.1} ns ({speedup:.2}x)",
-                row.name, c.ns_per_scenario, row.serial_ns
+            gates.check(
+                &format!("{} K=8 vs K=1", row.name),
+                format!("{:.1} ns/scn ({speedup:.2}x)", c.ns_per_scenario),
+                format!("< {:.1} ns/scn", row.serial_ns),
+                c.ns_per_scenario < row.serial_ns,
             );
-            if c.ns_per_scenario >= row.serial_ns {
-                eprintln!("[e14] FAIL: {} K=8 not below the K=1 baseline", row.name);
-                failed = true;
-            }
         }
     }
-    if failed {
-        std::process::exit(1);
-    }
+    gates.finish();
 }

@@ -261,71 +261,58 @@ fn main() {
         print!("{out}");
     }
 
-    // --- Gates -----------------------------------------------------
-    let mut failed = false;
-    if !bitwise_ok {
-        eprintln!("[e15] FAIL: aware graph not bitwise identical to oracle at N={n0}");
-        failed = true;
-    }
+    // --- Gates (named-column diff; any FAIL row exits nonzero) ------
+    let mut gates = om_bench::GateDiff::new("e15");
+    gates.check(
+        &format!("bitwise_identity N={n0}"),
+        if bitwise_ok { "identical" } else { "diverged" },
+        "identical",
+        bitwise_ok,
+    );
     // Sublinear DAG size: the oracle's task count grows with N while the
     // aware count stays bounded (boundary tasks + a capped chunk fan).
     let first = &rungs[0];
     let last = &rungs[rungs.len() - 1];
-    if last.aware_tasks > 2 * first.aware_tasks {
-        eprintln!(
-            "[e15] FAIL: aware task count grew {} -> {} (expected bounded)",
-            first.aware_tasks, last.aware_tasks
-        );
-        failed = true;
-    }
+    gates.check(
+        &format!("aware_tasks bounded N={}→{}", first.n, last.n),
+        last.aware_tasks,
+        format!("<= {}", 2 * first.aware_tasks),
+        last.aware_tasks <= 2 * first.aware_tasks,
+    );
     // The oracle merges ~3 element tasks per group, so its task count is
     // roughly n/3; anything under n/4 means the scaling baseline broke.
-    if last.oracle_tasks < last.n / 4 {
-        eprintln!(
-            "[e15] FAIL: oracle task count {} suspiciously small at N={} \
-             (scaling baseline broken?)",
-            last.oracle_tasks, last.n
-        );
-        failed = true;
-    }
+    gates.check(
+        &format!("oracle_tasks baseline N={}", last.n),
+        last.oracle_tasks,
+        format!(">= {}", last.n / 4),
+        last.oracle_tasks >= last.n / 4,
+    );
     // Compile-time win at the largest rung.
     let need = if quick { 3.0 } else { 10.0 };
     let speedup = last.oracle_ms / last.aware_ms;
-    eprintln!(
-        "[e15] N={}: aware {:.2} ms vs oracle {:.2} ms ({speedup:.1}x, need >= {need:.0}x); \
-         tasks {} vs {}",
-        last.n, last.aware_ms, last.oracle_ms, last.aware_tasks, last.oracle_tasks
+    gates.check(
+        &format!("compile_speedup N={}", last.n),
+        format!("{speedup:.1}x"),
+        format!(">= {need:.0}x"),
+        speedup >= need,
     );
-    if speedup < need {
-        eprintln!("[e15] FAIL: compile speedup {speedup:.1}x below the {need:.0}x gate");
-        failed = true;
-    }
     // Symbolic lint-time scaling: the schedule verdict at the largest N
     // must stay within 2x of the smallest rung (patterns are prebuilt at
     // codegen time, so the pass never touches O(N) data on a clean
     // schedule). A 0.5 ms noise floor keeps micro-jitter on
     // sub-millisecond timings from tripping the gate.
     let lint_bound = (2.0 * first.lint_ms).max(0.5);
-    eprintln!(
-        "[e15] sym lint: {:.4} ms at N={} vs {:.4} ms at N={} (bound {:.4} ms)",
-        last.lint_ms, last.n, first.lint_ms, first.n, lint_bound
+    gates.check(
+        &format!("sym_lint_ms N={}", last.n),
+        format!("{:.4} ms", last.lint_ms),
+        format!("<= {lint_bound:.4} ms"),
+        last.lint_ms <= lint_bound,
     );
-    if last.lint_ms > lint_bound {
-        eprintln!(
-            "[e15] FAIL: symbolic lint time {:.4} ms at N={} exceeds {:.4} ms \
-             (2x of N={} or noise floor) — schedule verification is scaling with N",
-            last.lint_ms, last.n, lint_bound, first.n
-        );
-        failed = true;
-    }
-    if bearing_parity > 2.5 {
-        eprintln!(
-            "[e15] FAIL: bearing fallback parity {bearing_parity:.2}x (aware pipeline \
-             slows down non-classifiable models)"
-        );
-        failed = true;
-    }
-    if failed {
-        std::process::exit(1);
-    }
+    gates.check(
+        "bearing_fallback_parity",
+        format!("{bearing_parity:.2}x"),
+        "<= 2.5x",
+        bearing_parity <= 2.5,
+    );
+    gates.finish();
 }

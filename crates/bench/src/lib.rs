@@ -111,6 +111,104 @@ pub fn rule(width: usize) -> String {
     "-".repeat(width)
 }
 
+/// One checked gate: a named measurement against a named bound.
+struct GateRow {
+    name: String,
+    measured: String,
+    required: String,
+    pass: bool,
+}
+
+/// Named-column gate reporting for the bench binaries.
+///
+/// Each experiment registers its regression gates with
+/// [`GateDiff::check`]; [`GateDiff::finish`] prints a
+/// gate/measured/required/verdict table to stderr and exits nonzero if
+/// any gate failed. CI logs then show *which* bound broke and by how
+/// much, instead of a bare `exit 1`.
+pub struct GateDiff {
+    experiment: &'static str,
+    rows: Vec<GateRow>,
+}
+
+impl GateDiff {
+    pub fn new(experiment: &'static str) -> GateDiff {
+        GateDiff {
+            experiment,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Record one gate. `measured` and `required` are display strings
+    /// (e.g. `"3.2x"` vs `">= 5x"`); `pass` is the verdict. Returns
+    /// `pass` so call sites can branch without re-deriving it.
+    pub fn check(
+        &mut self,
+        name: &str,
+        measured: impl std::fmt::Display,
+        required: impl std::fmt::Display,
+        pass: bool,
+    ) -> bool {
+        self.rows.push(GateRow {
+            name: name.to_owned(),
+            measured: measured.to_string(),
+            required: required.to_string(),
+            pass,
+        });
+        pass
+    }
+
+    /// Any gate failed so far?
+    pub fn failed(&self) -> bool {
+        self.rows.iter().any(|r| !r.pass)
+    }
+
+    /// Print the named-column gate table to stderr; exit 1 if any gate
+    /// failed.
+    pub fn finish(self) {
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .chain(["gate".len()])
+            .max()
+            .unwrap_or(4);
+        let meas_w = self
+            .rows
+            .iter()
+            .map(|r| r.measured.len())
+            .chain(["measured".len()])
+            .max()
+            .unwrap_or(8);
+        let req_w = self
+            .rows
+            .iter()
+            .map(|r| r.required.len())
+            .chain(["required".len()])
+            .max()
+            .unwrap_or(8);
+        eprintln!(
+            "[{}] {:<name_w$}  {:>meas_w$}  {:>req_w$}  verdict",
+            self.experiment, "gate", "measured", "required"
+        );
+        for r in &self.rows {
+            eprintln!(
+                "[{}] {:<name_w$}  {:>meas_w$}  {:>req_w$}  {}",
+                self.experiment,
+                r.name,
+                r.measured,
+                r.required,
+                if r.pass { "ok" } else { "FAIL" }
+            );
+        }
+        if self.failed() {
+            let n = self.rows.iter().filter(|r| !r.pass).count();
+            eprintln!("[{}] {n} gate(s) failed", self.experiment);
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Build a [`om_solver::CoSimulation`] from an internal form and a
 /// grouping of its *state indices* into subsystems.
 ///
@@ -198,6 +296,17 @@ mod tests {
         let m = MachineSpec::sparc_center_2000();
         let s = speedup(&g, 4, &m);
         assert!(s > 1.0, "speedup {s}");
+    }
+
+    #[test]
+    fn gate_diff_tracks_named_verdicts() {
+        let mut gates = GateDiff::new("selftest");
+        assert!(gates.check("speedup", "6.2x", ">= 5x", true));
+        assert!(!gates.failed());
+        assert!(!gates.check("parity", "3.1x", "<= 2.5x", false));
+        assert!(gates.failed());
+        // finish() would exit(1) here, so only the bookkeeping is
+        // asserted; the exit path is covered by the CI gate jobs.
     }
 
     #[test]

@@ -147,6 +147,23 @@ impl CompiledModel {
         self.ir.dim()
     }
 
+    /// Approximate warm-cache footprint of this artifact, in abstract
+    /// units (bytecode words + constants + patch-table slots + state
+    /// dims). Not bytes — a stable, platform-independent measure the
+    /// registry's eviction accounting and `omc serve` stats can report
+    /// without lying about allocator overhead.
+    pub fn footprint_units(&self) -> u64 {
+        let mut units = self.ir.dim() as u64;
+        for task in &self.program.graph.tasks {
+            units += task.program.instrs.len() as u64;
+            units += task.program.consts.len() as u64;
+            if let Some(li) = &task.loop_info {
+                units += li.count as u64 * li.patches.len().max(1) as u64;
+            }
+        }
+        units
+    }
+
     /// The static schedule for `m` workers, computed once and cached.
     pub fn schedule(&self, m: usize) -> Arc<Schedule> {
         let mut cache = match self.schedules.lock() {
@@ -208,17 +225,49 @@ pub fn graph_identity(graph: &TaskGraph) -> u64 {
     fnv1a64(text.as_bytes())
 }
 
+/// One warm registry entry: the shared artifact plus the bookkeeping
+/// the eviction policy needs (recency tick + footprint units).
+struct WarmEntry {
+    model: Arc<CompiledModel>,
+    last_used: u64,
+    footprint: u64,
+}
+
 /// A process-wide (or per-batch) cache of compiled models.
+///
+/// Batch drivers (`omc sweep`) use an unbounded registry: the batch
+/// names a fixed model set and the process exits when it is done. A
+/// *resident* process (`omc serve`) must not grow without bound under
+/// adversarial traffic, so it constructs the registry with a capacity:
+/// inserting past it evicts the least-recently-used entry. Eviction
+/// only drops the registry's `Arc` — in-flight requests holding a clone
+/// keep computing on the old artifact; it is freed when the last clone
+/// drops.
 #[derive(Default)]
 pub struct ModelRegistry {
-    models: Mutex<HashMap<ModelKey, Arc<CompiledModel>>>,
+    models: Mutex<HashMap<ModelKey, WarmEntry>>,
+    /// Maximum warm entries (0 = unbounded).
+    capacity: usize,
+    /// Monotonic recency clock for LRU (bumped on every touch).
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ModelRegistry {
+    /// Unbounded registry (the batch-driver configuration).
     pub fn new() -> ModelRegistry {
         ModelRegistry::default()
+    }
+
+    /// Registry holding at most `capacity` warm models, evicting the
+    /// least recently used past that. `capacity == 0` means unbounded.
+    pub fn with_capacity(capacity: usize) -> ModelRegistry {
+        ModelRegistry {
+            capacity,
+            ..ModelRegistry::default()
+        }
     }
 
     /// Look up `source` by content hash, compiling (once) on miss.
@@ -226,33 +275,80 @@ impl ModelRegistry {
     /// first registered artifact wins, so every caller shares one `Arc`.
     pub fn get_or_compile(&self, source: &str) -> Result<Arc<CompiledModel>, RegistryError> {
         let key = ModelKey::of_source(source);
-        if let Some(found) = self.lookup(key) {
+        if let Some(found) = self.touch(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(found);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let compiled = Arc::new(CompiledModel::compile(source)?);
-        let mut models = match self.models.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        Ok(models.entry(key).or_insert(compiled).clone())
+        let footprint = compiled.footprint_units();
+        let mut models = self.lock();
+        let entry = models.entry(key).or_insert(WarmEntry {
+            model: compiled,
+            last_used: self.clock.fetch_add(1, Ordering::Relaxed),
+            footprint,
+        });
+        let shared = entry.model.clone();
+        self.evict_past_capacity(&mut models, key);
+        Ok(shared)
     }
 
-    fn lookup(&self, key: ModelKey) -> Option<Arc<CompiledModel>> {
-        let models = match self.models.lock() {
+    /// Look up an already-compiled model by its content key (the `omc
+    /// serve` fast path: clients that learned a key from an earlier
+    /// response skip shipping the source again). Counts as a hit/miss
+    /// like `get_or_compile`, but never compiles.
+    pub fn get_by_key(&self, key: ModelKey) -> Option<Arc<CompiledModel>> {
+        match self.touch(key) {
+            Some(model) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(model)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<ModelKey, WarmEntry>> {
+        match self.models.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
-        };
-        models.get(&key).cloned()
+        }
+    }
+
+    /// Look up and bump recency.
+    fn touch(&self, key: ModelKey) -> Option<Arc<CompiledModel>> {
+        let mut models = self.lock();
+        let entry = models.get_mut(&key)?;
+        entry.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+        Some(entry.model.clone())
+    }
+
+    /// Drop least-recently-used entries until within capacity. The entry
+    /// just touched (`keep`) is never evicted, so a capacity of 1 still
+    /// serves the current request from the cache.
+    fn evict_past_capacity(&self, models: &mut HashMap<ModelKey, WarmEntry>, keep: ModelKey) {
+        if self.capacity == 0 {
+            return;
+        }
+        while models.len() > self.capacity {
+            let Some(victim) = models
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            else {
+                return;
+            };
+            models.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of distinct compiled models held.
     pub fn len(&self) -> usize {
-        match self.models.lock() {
-            Ok(guard) => guard.len(),
-            Err(poisoned) => poisoned.into_inner().len(),
-        }
+        self.lock().len()
     }
 
     /// True when nothing has been compiled yet.
@@ -268,6 +364,16 @@ impl ModelRegistry {
     /// Cache misses (= compilations attempted) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total footprint of the warm entries, in [`CompiledModel::footprint_units`].
+    pub fn warm_units(&self) -> u64 {
+        self.lock().values().map(|e| e.footprint).sum()
     }
 }
 
@@ -377,5 +483,76 @@ mod tests {
         // FNV-1a reference vectors.
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    /// Three structurally-distinct one-state models for eviction tests.
+    fn variant(coeff: u32) -> String {
+        format!("model V{coeff}; Real x(start=1.0); equation der(x) = -{coeff}.0*x; end V{coeff};")
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let reg = ModelRegistry::with_capacity(2);
+        let (a, b, c) = (variant(1), variant(2), variant(3));
+        reg.get_or_compile(&a).unwrap();
+        reg.get_or_compile(&b).unwrap();
+        // Touch `a` so `b` becomes the LRU victim when `c` lands.
+        reg.get_or_compile(&a).unwrap();
+        reg.get_or_compile(&c).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.evictions(), 1);
+        assert!(reg.get_by_key(ModelKey::of_source(&a)).is_some());
+        assert!(reg.get_by_key(ModelKey::of_source(&b)).is_none());
+        assert!(reg.get_by_key(ModelKey::of_source(&c)).is_some());
+        // The evicted model recompiles on demand (counted as a miss).
+        let misses_before = reg.misses();
+        reg.get_or_compile(&b).unwrap();
+        assert_eq!(reg.misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn capacity_one_still_serves_current_request() {
+        let reg = ModelRegistry::with_capacity(1);
+        let (a, b) = (variant(4), variant(5));
+        let first = reg.get_or_compile(&a).unwrap();
+        let second = reg.get_or_compile(&b).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.evictions(), 1);
+        // The in-flight Arc from before the eviction stays valid.
+        assert_eq!(first.dim(), 1);
+        assert_eq!(second.dim(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let reg = ModelRegistry::with_capacity(0);
+        for coeff in 1..=5 {
+            reg.get_or_compile(&variant(coeff)).unwrap();
+        }
+        assert_eq!(reg.len(), 5);
+        assert_eq!(reg.evictions(), 0);
+    }
+
+    #[test]
+    fn get_by_key_counts_hits_and_misses() {
+        let reg = ModelRegistry::new();
+        let compiled = reg.get_or_compile(OSC).unwrap();
+        let (h0, m0) = (reg.hits(), reg.misses());
+        let found = reg.get_by_key(compiled.key()).unwrap();
+        assert!(Arc::ptr_eq(&found, &compiled));
+        assert_eq!(reg.hits(), h0 + 1);
+        assert!(reg.get_by_key(ModelKey(0xdead_beef)).is_none());
+        assert_eq!(reg.misses(), m0 + 1);
+    }
+
+    #[test]
+    fn warm_units_track_footprints() {
+        let reg = ModelRegistry::new();
+        assert_eq!(reg.warm_units(), 0);
+        let a = reg.get_or_compile(OSC).unwrap();
+        assert_eq!(reg.warm_units(), a.footprint_units());
+        assert!(a.footprint_units() > 0);
+        let b = reg.get_or_compile(&variant(7)).unwrap();
+        assert_eq!(reg.warm_units(), a.footprint_units() + b.footprint_units());
     }
 }

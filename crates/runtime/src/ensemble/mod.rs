@@ -308,8 +308,10 @@ struct WorkerMsg {
 }
 
 /// One unit a scenario worker pulls off the shared queue: a scalar
-/// scenario or a pre-packed batch of compatible ones.
-enum WorkItem {
+/// scenario or a pre-packed batch of compatible ones. Shared with the
+/// resident service ([`crate::serve`]), whose pool multiplexes items
+/// from many requests onto one queue.
+pub(crate) enum WorkItem {
     Single(ScenarioSpec),
     Batch(Vec<ScenarioSpec>),
 }
@@ -317,7 +319,7 @@ enum WorkItem {
 impl WorkItem {
     /// Scenarios this item accounts for (admission is per scenario, not
     /// per item, so `stop_after` keeps its exact meaning under batching).
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             WorkItem::Single(_) => 1,
             WorkItem::Batch(specs) => specs.len(),
@@ -330,7 +332,7 @@ impl WorkItem {
 /// batches of `width`; non-batchable ones pass through as singles. A
 /// leftover batch of one degrades to a single (the scalar path is the
 /// same computation without the SoA detour).
-fn pack_work_items(
+pub(crate) fn pack_work_items(
     pending: VecDeque<ScenarioSpec>,
     width: usize,
     faults: &SweepFaultPlan,

@@ -48,6 +48,7 @@ pub mod machine;
 pub mod pipeline;
 pub mod rhs;
 pub mod sched_dyn;
+pub mod serve;
 pub mod sim;
 pub mod strategy;
 
@@ -63,5 +64,6 @@ pub use machine::MachineSpec;
 pub use pipeline::{run_pipeline, PipelineCoupling, PipelineResult, PipelineStage};
 pub use rhs::ParallelRhs;
 pub use sched_dyn::{Reschedulable, SemiDynamicScheduler};
+pub use serve::{ServeConfig, Server};
 pub use sim::{simulate_rhs_time, simulate_rhs_time_with, SimBreakdown};
 pub use strategy::{ExecutorPool, Strategy};

@@ -1,0 +1,220 @@
+//! Admission control for the resident service: per-client request-rate
+//! token buckets, per-request scenario quotas, and a global in-flight
+//! capacity reservation.
+//!
+//! Admission is **all-or-nothing at the request boundary**: a request is
+//! either shed before any of its scenarios are enqueued (typed
+//! [`ShedReason`] response, nothing executed) or admitted whole, in
+//! which case every one of its scenarios is guaranteed a terminal
+//! outcome record in the response stream. There is no partial admission,
+//! so shedding can never silently drop an admitted scenario — the
+//! property test in `serve_quota_props` pins exactly this.
+//!
+//! The token bucket takes explicit now-nanoseconds instead of reading a
+//! clock so tests can drive time deterministically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Why a request was shed instead of admitted. Stable protocol tokens —
+/// clients branch on these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The client's request-rate token bucket is empty.
+    Rate,
+    /// The request alone exceeds the per-client in-flight scenario quota.
+    InFlight,
+    /// Admitting the request would exceed the service-wide in-flight
+    /// scenario capacity.
+    Capacity,
+    /// The service received SIGTERM and is draining; it finishes
+    /// in-flight work but admits nothing new.
+    Draining,
+}
+
+impl ShedReason {
+    /// Stable JSON token used by the `overloaded` response.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::Rate => "rate",
+            ShedReason::InFlight => "inflight",
+            ShedReason::Capacity => "capacity",
+            ShedReason::Draining => "draining",
+        }
+    }
+
+    /// Suggested client backoff before retrying, in milliseconds.
+    /// Draining is terminal (the process is going away) — no retry.
+    pub fn retry_ms(self) -> Option<u64> {
+        match self {
+            ShedReason::Rate => Some(100),
+            ShedReason::InFlight | ShedReason::Capacity => Some(250),
+            ShedReason::Draining => None,
+        }
+    }
+}
+
+/// A classic token bucket: `capacity` burst, `refill_per_sec` sustained.
+/// Time is injected (`now_ns`) so admission decisions are a pure
+/// function of the call sequence.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    tokens: f64,
+    last_ns: u64,
+}
+
+impl TokenBucket {
+    /// A bucket starting full. `capacity <= 0` disables rate limiting
+    /// (every take succeeds).
+    pub fn new(capacity: f64, refill_per_sec: f64) -> TokenBucket {
+        TokenBucket {
+            capacity,
+            refill_per_sec,
+            tokens: capacity,
+            last_ns: 0,
+        }
+    }
+
+    /// Take one token at time `now_ns`, refilling for the elapsed
+    /// interval first. Returns false (and consumes nothing) when empty.
+    pub fn try_take(&mut self, now_ns: u64) -> bool {
+        if self.capacity <= 0.0 {
+            return true;
+        }
+        let elapsed_ns = now_ns.saturating_sub(self.last_ns);
+        self.last_ns = self.last_ns.max(now_ns);
+        self.tokens =
+            (self.tokens + elapsed_ns as f64 * 1e-9 * self.refill_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-connection admission state: the client's rate bucket plus its
+/// shed tally (reported back in `overloaded` responses and aggregated
+/// into service stats).
+#[derive(Clone, Debug)]
+pub struct ClientState {
+    pub bucket: TokenBucket,
+    /// Requests shed for this client, by any reason.
+    pub sheds: u64,
+}
+
+impl ClientState {
+    pub fn new(bucket: TokenBucket) -> ClientState {
+        ClientState { bucket, sheds: 0 }
+    }
+}
+
+/// A reservation against the global in-flight scenario capacity.
+/// Acquired before a request's scenarios enter the pool queue, released
+/// (RAII) after its last response line is built — the counter can never
+/// leak on an early return.
+pub(crate) struct InflightReservation<'a> {
+    counter: &'a AtomicUsize,
+    amount: usize,
+}
+
+impl<'a> InflightReservation<'a> {
+    /// Atomically reserve `amount` scenarios against `counter`, failing
+    /// (without reserving) if that would exceed `limit`.
+    pub(crate) fn acquire(
+        counter: &'a AtomicUsize,
+        amount: usize,
+        limit: usize,
+    ) -> Option<InflightReservation<'a>> {
+        let mut current = counter.load(Ordering::Relaxed);
+        loop {
+            if current + amount > limit {
+                return None;
+            }
+            match counter.compare_exchange_weak(
+                current,
+                current + amount,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(InflightReservation { counter, amount }),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+impl Drop for InflightReservation<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(self.amount, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bursts_then_throttles_then_refills() {
+        let mut b = TokenBucket::new(2.0, 1.0);
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(!b.try_take(0), "burst capacity is 2");
+        // 500ms refills half a token — still short.
+        assert!(!b.try_take(500_000_000));
+        // Another 600ms crosses 1.0.
+        assert!(b.try_take(1_100_000_000));
+        assert!(!b.try_take(1_100_000_000));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_capacity() {
+        let mut b = TokenBucket::new(3.0, 1000.0);
+        // A long idle period must clamp at capacity, not accumulate.
+        assert!(b.try_take(60_000_000_000));
+        assert!(b.try_take(60_000_000_000));
+        assert!(b.try_take(60_000_000_000));
+        assert!(!b.try_take(60_000_000_000));
+    }
+
+    #[test]
+    fn bucket_tolerates_time_going_backwards() {
+        let mut b = TokenBucket::new(1.0, 1.0);
+        assert!(b.try_take(5_000_000_000));
+        // Clock regression: no refill, no panic, no token minting.
+        assert!(!b.try_take(1_000_000_000));
+    }
+
+    #[test]
+    fn zero_capacity_disables_rate_limiting() {
+        let mut b = TokenBucket::new(0.0, 0.0);
+        for _ in 0..100 {
+            assert!(b.try_take(0));
+        }
+    }
+
+    #[test]
+    fn reservation_is_atomic_and_released_on_drop() {
+        let counter = AtomicUsize::new(0);
+        let first = InflightReservation::acquire(&counter, 6, 8).unwrap();
+        assert!(InflightReservation::acquire(&counter, 3, 8).is_none());
+        let second = InflightReservation::acquire(&counter, 2, 8).unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        drop(first);
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+        drop(second);
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn shed_reasons_have_stable_tokens() {
+        assert_eq!(ShedReason::Rate.as_str(), "rate");
+        assert_eq!(ShedReason::InFlight.as_str(), "inflight");
+        assert_eq!(ShedReason::Capacity.as_str(), "capacity");
+        assert_eq!(ShedReason::Draining.as_str(), "draining");
+        assert_eq!(ShedReason::Draining.retry_ms(), None);
+        assert!(ShedReason::Rate.retry_ms().is_some());
+    }
+}

@@ -1,0 +1,164 @@
+//! Quota/admission properties of the resident service.
+//!
+//! The core invariant: **shedding never drops an admitted scenario**.
+//! Admission is all-or-nothing — a request either sheds (typed
+//! `overloaded` line, nothing executed) or is accepted, and an accepted
+//! request's response stream carries *every* scenario exactly once plus
+//! a `done` line whose counts reconcile. No interleaving of oversized,
+//! rate-limited, and well-formed requests may break that accounting.
+
+use om_runtime::ensemble::json::{self, Json};
+use om_runtime::{ServeConfig, Server};
+use proptest::prelude::*;
+
+const OSC: &str = "model Osc;
+  Real x(start = 1.0);
+  Real y;
+  equation
+    der(x) = y;
+    der(y) = -x;
+end Osc;
+";
+
+fn run_request(id: usize, n: usize) -> String {
+    let scenarios: Vec<String> = (0..n)
+        .map(|i| format!("{{\"x\":{}}}", 1.0 + 0.01 * i as f64))
+        .collect();
+    format!(
+        "{{\"id\":{id},\"op\":\"run\",\"model\":{{\"source\":\"{}\"}},\
+         \"scenarios\":[{}],\"tend\":0.05,\"h\":0.01}}",
+        json::escape(OSC),
+        scenarios.join(","),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fire a random mix of request sizes (some deliberately over the
+    /// per-request cap) at a tightly-quota'd server, with a random rate
+    /// budget and a synthetic clock. Every response stream must be
+    /// either a complete accepted transcript or a typed shed — and the
+    /// total number of scenario lines must equal the total size of the
+    /// accepted requests, i.e. sheds drop whole requests, never
+    /// admitted scenarios.
+    #[test]
+    fn shedding_never_drops_an_admitted_scenario(
+        sizes in proptest::collection::vec(1usize..12, 1..10),
+        burst in 0u8..4,
+        advance_ms in proptest::collection::vec(0u64..200, 10),
+    ) {
+        let server = Server::new(ServeConfig {
+            pool_threads: 2,
+            max_scenarios_per_request: 8,
+            max_inflight: 8,
+            rate_burst: burst as f64,
+            rate_per_sec: 10.0,
+            ..ServeConfig::default()
+        });
+        let mut client = server.new_client();
+        let mut now_ns = 0u64;
+        let mut admitted_scenarios = 0usize;
+        let mut scenario_lines = 0usize;
+        let mut sheds = 0usize;
+
+        for (i, &n) in sizes.iter().enumerate() {
+            now_ns += advance_ms[i % advance_ms.len()] * 1_000_000;
+            let lines = server.handle_line(&run_request(i, n), &mut client, now_ns);
+            let first = json::parse(&lines[0]).expect("first line is JSON");
+            match first.get("type").and_then(Json::as_str) {
+                Some("overloaded") => {
+                    // Typed shed: exactly one line, a known reason, and
+                    // nothing executed for this request.
+                    prop_assert_eq!(lines.len(), 1, "shed must be the whole response");
+                    let reason = first.get("reason").and_then(Json::as_str).unwrap_or("");
+                    prop_assert!(
+                        ["rate", "inflight", "capacity", "draining"].contains(&reason),
+                        "untyped shed reason '{}'", reason
+                    );
+                    sheds += 1;
+                }
+                Some("accepted") => {
+                    admitted_scenarios += n;
+                    // Every admitted scenario answers exactly once, in
+                    // index order, then a reconciling `done`.
+                    let records: Vec<&String> = lines
+                        .iter()
+                        .filter(|l| l.contains("\"type\":\"scenario\""))
+                        .collect();
+                    prop_assert_eq!(records.len(), n, "request {} lost scenarios", i);
+                    scenario_lines += records.len();
+                    for (k, line) in records.iter().enumerate() {
+                        let doc = json::parse(line).expect("scenario line is JSON");
+                        let index = doc
+                            .get("record")
+                            .and_then(|r| r.get("index"))
+                            .and_then(Json::as_usize);
+                        prop_assert_eq!(index, Some(k), "out-of-order record");
+                    }
+                    let done = json::parse(lines.last().unwrap()).expect("done line");
+                    prop_assert_eq!(
+                        done.get("type").and_then(Json::as_str), Some("done"),
+                        "accepted request must terminate with done"
+                    );
+                    let completed = done.get("completed").and_then(Json::as_usize).unwrap_or(0);
+                    let quarantined = done.get("quarantined").and_then(Json::as_usize).unwrap_or(0);
+                    let deadline = done.get("deadline").and_then(Json::as_usize).unwrap_or(0);
+                    prop_assert_eq!(
+                        completed + quarantined + deadline, n,
+                        "done counts must reconcile with the admitted batch"
+                    );
+                }
+                other => prop_assert!(false, "unexpected first line type {:?}", other),
+            }
+        }
+
+        // Global accounting: scenario lines == admitted scenarios, and
+        // requests partition into admitted + shed.
+        prop_assert_eq!(scenario_lines, admitted_scenarios);
+        let stats = json::parse(
+            &server.handle_line(r#"{"id":"s","op":"stats"}"#, &mut client, now_ns)[0],
+        )
+        .expect("stats line");
+        prop_assert_eq!(
+            stats.get("scenarios").and_then(Json::as_usize),
+            Some(admitted_scenarios)
+        );
+        let shed_obj = stats.get("shed").expect("shed block");
+        let total_shed: usize = ["rate", "inflight", "capacity", "draining"]
+            .iter()
+            .map(|k| shed_obj.get(k).and_then(Json::as_usize).unwrap_or(0))
+            .sum();
+        prop_assert_eq!(total_shed, sheds);
+    }
+}
+
+/// After the drain flag flips, *every* run request sheds as `draining`
+/// (no retry hint) — but requests admitted before the flip already ran
+/// to completion, because `handle_line` is synchronous through the
+/// reply channel. Nothing is ever half-executed.
+#[test]
+fn draining_sheds_whole_requests_only() {
+    let server = Server::new(ServeConfig {
+        pool_threads: 2,
+        ..ServeConfig::default()
+    });
+    let mut client = server.new_client();
+    let before = server.handle_line(&run_request(0, 4), &mut client, 0);
+    assert!(before.last().unwrap().contains("\"type\":\"done\""));
+    assert_eq!(
+        before
+            .iter()
+            .filter(|l| l.contains("\"type\":\"scenario\""))
+            .count(),
+        4
+    );
+
+    server
+        .drain_flag()
+        .store(true, std::sync::atomic::Ordering::Relaxed);
+    let after = server.handle_line(&run_request(1, 4), &mut client, 0);
+    assert_eq!(after.len(), 1, "{after:?}");
+    assert!(after[0].contains("\"reason\":\"draining\""), "{after:?}");
+    assert!(!after[0].contains("retry_ms"), "{after:?}");
+}

@@ -19,7 +19,7 @@ use objectmath::ir::{causalize, OdeIr};
 use objectmath::runtime::ensemble::json;
 use objectmath::runtime::{
     run_sweep, ExecutorPool, FaultConfig, FaultPlan, ParallelRhs, RuntimeError, ScenarioRunConfig,
-    ScenarioSpec, Strategy, SweepConfig, SweepError, SweepFaultPlan,
+    ScenarioSpec, ServeConfig, Server, Strategy, SweepConfig, SweepError, SweepFaultPlan,
 };
 use objectmath::solver::{
     abm4, bdf, dopri5, lsoda, rk4, BdfOptions, LsodaOptions, OdeSystem, SolveError, Tolerances,
@@ -52,6 +52,10 @@ enum CliError {
     /// documented partial-failure exit code 8. The manifest (written
     /// before this error is raised) accounts for every scenario.
     SweepPartial { summary: String },
+    /// `omc request` was shed by the service's admission control: the
+    /// documented load-shedding exit code 9. Nothing executed; the
+    /// typed reason says which quota tripped.
+    Overloaded { reason: String },
 }
 
 impl CliError {
@@ -65,6 +69,7 @@ impl CliError {
             CliError::Sweep(SweepError::Config(_)) => 2,
             CliError::Sweep(_) => 1,
             CliError::SweepPartial { .. } => 8,
+            CliError::Overloaded { .. } => 9,
         }
     }
 }
@@ -80,6 +85,7 @@ impl fmt::Display for CliError {
             CliError::Lint { summary, .. } => write!(f, "lint: {summary}"),
             CliError::Sweep(e) => write!(f, "{e}"),
             CliError::SweepPartial { summary } => write!(f, "sweep partial failure: {summary}"),
+            CliError::Overloaded { reason } => write!(f, "request shed by service: {reason}"),
         }
     }
 }
@@ -96,7 +102,8 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: omc <model.om> <analyze|lint|emit|tasks|simulate|sweep> [options]\n\
+    "usage: omc <model.om> <analyze|lint|emit|tasks|simulate|sweep|request> [options]\n\
+     \x20      omc serve <--socket PATH|--stdio> [options]\n\
      \n\
      model: a .om file path, or a parameterized builtin name\n\
             (heat1d | bearing2d | bearing3d)\n\
@@ -159,6 +166,32 @@ fn usage() -> String {
          --fault-seed SEED         seeded per-scenario fault plan (panic/straggle/NaN)\n\
          --fault-rates P,S,N       per-mille rates for the seeded plan (default 60,40,50)\n\
          --straggle-ms MS          injected straggler sleep (default 50)\n\
+       serve                       resident ensemble service: JSONL requests over\n\
+                                   a Unix socket, compiled models stay warm across\n\
+                                   requests (no model operand; SIGTERM drains\n\
+                                   gracefully: in-flight requests finish, exit 0)\n\
+         --socket PATH             listen on a Unix socket at PATH\n\
+         --stdio                   serve stdin/stdout instead (CI and scripting;\n\
+                                   EOF drains)\n\
+         --concurrency N           resident scenario workers (default 4)\n\
+         --registry-cap N          warm compiled models kept (LRU eviction past\n\
+                                   this; 0 = unbounded; default 32)\n\
+         --max-scenarios N         per-request scenario quota (default 1024)\n\
+         --max-inflight N          service-wide in-flight scenario cap (default 4096)\n\
+         --rate-burst B            per-client token-bucket burst, in requests\n\
+                                   (0 = no rate limit; default 0)\n\
+         --rate-per-sec R          per-client sustained request rate (default 0)\n\
+       request                     client for `omc serve`: send the model + a\n\
+                                   scenario batch, print the JSONL response\n\
+                                   transcript on stdout\n\
+         --socket PATH             connect to a serving `omc serve --socket PATH`\n\
+         --grid/--params/--tend/--h/--deadline-ms/--max-rhs/--retries/\n\
+         --workers/--executor/--batch   exactly as for sweep\n\
+         --repeat N                send the request N times on one connection\n\
+                                   (the 2nd+ hit the warm registry; default 1)\n\
+         --stats                   also send an op:\"stats\" request at the end\n\
+                                   (`omc request --stats --socket PATH` alone\n\
+                                   queries stats without running anything)\n\
      \n\
      observability (any command):\n\
        --trace FILE.json           write a chrome://tracing / Perfetto trace\n\
@@ -166,8 +199,9 @@ fn usage() -> String {
      \n\
      exit codes: 0 ok; 1 io/compile/checkpoint; 2 usage; 3 solver; 4 runtime;\n\
                  5/6/7 lint errors/denied warnings/denied info;\n\
-                 8 sweep partial failure (some scenarios quarantined, past\n\
-                 deadline, or skipped — see the manifest)"
+                 8 sweep/request partial failure (some scenarios quarantined,\n\
+                 past deadline, or skipped — see the manifest/transcript);\n\
+                 9 request shed by service admission control (typed reason)"
         .to_owned()
 }
 
@@ -230,6 +264,32 @@ fn run(args: &[String]) -> Result<(), CliError> {
         return explain(code);
     }
 
+    // `omc serve` is a resident process, not a per-model invocation: no
+    // model operand (models arrive inside requests).
+    if args[0] == "serve" {
+        let opts = parse_flags(&args[1..])?;
+        if opts.trace.is_some() || opts.metrics {
+            om_obs::init(&om_obs::ObsConfig::enabled());
+        }
+        let result = serve_cmd(&opts);
+        let export = export_obs(&opts);
+        return result.and(export);
+    }
+
+    // `omc request --stats --socket PATH` queries service stats without
+    // a model operand; `omc MODEL request ...` (below) runs scenarios.
+    if args[0] == "request" {
+        let opts = parse_flags(&args[1..])?;
+        if !opts.stats {
+            return Err(CliError::Usage(
+                "request without a model operand needs --stats (to run scenarios: \
+                 omc MODEL request --socket PATH ...)"
+                    .into(),
+            ));
+        }
+        return request_cmd(None, &opts);
+    }
+
     let path = &args[0];
     let command = args[1].as_str();
     let opts = parse_flags(&args[2..])?;
@@ -258,6 +318,14 @@ fn run(args: &[String]) -> Result<(), CliError> {
     // once, reuse across scenarios) instead of the one-shot path below.
     if command == "sweep" {
         let result = sweep(&source, &opts);
+        let export = export_obs(&opts);
+        return result.and(export);
+    }
+
+    // `request` ships the raw source to a resident `omc serve` process —
+    // the service compiles (or reuses) it, not this client.
+    if command == "request" {
+        let result = request_cmd(Some(&source), &opts);
         let export = export_obs(&opts);
         return result.and(export);
     }
@@ -346,6 +414,16 @@ struct Flags {
     straggle_ms: u64,
     size: Option<usize>,
     array_aware: bool,
+    // serve / request options
+    socket: Option<String>,
+    stdio: bool,
+    registry_cap: usize,
+    max_scenarios: usize,
+    max_inflight: usize,
+    rate_burst: f64,
+    rate_per_sec: f64,
+    repeat: usize,
+    stats: bool,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
@@ -362,6 +440,10 @@ fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
         retries: 2,
         fault_rates: (60, 40, 50),
         straggle_ms: 50,
+        registry_cap: 32,
+        max_scenarios: 1024,
+        max_inflight: 4096,
+        repeat: 1,
         ..Flags::default()
     };
     let mut it = rest.iter();
@@ -492,6 +574,39 @@ fn parse_flags(rest: &[String]) -> Result<Flags, CliError> {
                     .parse()
                     .map_err(|e| CliError::Usage(format!("--straggle-ms: {e}")))?
             }
+            "--socket" => f.socket = Some(value("--socket")?),
+            "--stdio" => f.stdio = true,
+            "--registry-cap" => {
+                f.registry_cap = value("--registry-cap")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--registry-cap: {e}")))?
+            }
+            "--max-scenarios" => {
+                f.max_scenarios = value("--max-scenarios")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--max-scenarios: {e}")))?
+            }
+            "--max-inflight" => {
+                f.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--max-inflight: {e}")))?
+            }
+            "--rate-burst" => {
+                f.rate_burst = value("--rate-burst")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--rate-burst: {e}")))?
+            }
+            "--rate-per-sec" => {
+                f.rate_per_sec = value("--rate-per-sec")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--rate-per-sec: {e}")))?
+            }
+            "--repeat" => {
+                f.repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--repeat: {e}")))?
+            }
+            "--stats" => f.stats = true,
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown flag `{other}`\n{}",
@@ -952,6 +1067,247 @@ fn sweep(source: &str, opts: &Flags) -> Result<(), CliError> {
             ),
         })
     }
+}
+
+/// `omc serve`: run the resident ensemble service until SIGTERM/SIGINT
+/// (graceful drain) or, in `--stdio` mode, stdin EOF.
+fn serve_cmd(opts: &Flags) -> Result<(), CliError> {
+    let cfg = ServeConfig {
+        pool_threads: opts.concurrency.max(1),
+        registry_capacity: opts.registry_cap,
+        max_scenarios_per_request: opts.max_scenarios,
+        max_inflight: opts.max_inflight,
+        rate_burst: opts.rate_burst,
+        rate_per_sec: opts.rate_per_sec,
+    };
+    let server = Server::new(cfg);
+    sigterm::install(server.drain_flag());
+
+    if opts.stdio {
+        eprintln!(
+            "[omc serve: stdio mode, {} workers]",
+            opts.concurrency.max(1)
+        );
+        return server
+            .run_stdio()
+            .map_err(|e| CliError::Io(format!("serve: {e}")));
+    }
+    let socket = opts
+        .socket
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("serve needs --socket PATH or --stdio".into()))?;
+    eprintln!(
+        "[omc serve: listening on {socket}, {} workers, registry cap {}]",
+        opts.concurrency.max(1),
+        opts.registry_cap
+    );
+    server
+        .run_unix(std::path::Path::new(socket))
+        .map_err(|e| CliError::Io(format!("serve `{socket}`: {e}")))
+}
+
+/// Raw-FFI SIGTERM/SIGINT hook — the workspace has no libc crate, so
+/// `signal(2)` is declared directly. The handler only flips an atomic
+/// (async-signal-safe); the serve accept/read loops poll it.
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    static DRAIN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_term(_signum: i32) {
+        if let Some(flag) = DRAIN.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Route SIGTERM and SIGINT to a store into `flag`. Idempotent; a
+    /// second call keeps the first flag (one server per process).
+    pub fn install(flag: Arc<AtomicBool>) {
+        let _ = DRAIN.set(flag);
+        unsafe {
+            signal(SIGTERM, on_term);
+            signal(SIGINT, on_term);
+        }
+    }
+}
+
+/// Render the `op:"run"` request line `omc MODEL request` sends, from
+/// the same `--grid`/`--params` vectors and envelope flags sweep uses.
+fn render_request_line(id: &str, source: &str, opts: &Flags) -> Result<String, CliError> {
+    let mut vectors = Vec::new();
+    if let Some(path) = &opts.params {
+        vectors.extend(params_scenarios(path)?);
+    }
+    if !opts.grid.is_empty() {
+        vectors.extend(grid_scenarios(&opts.grid)?);
+    }
+    if vectors.is_empty() {
+        return Err(CliError::Usage(
+            "request needs scenarios: --params FILE and/or --grid state=a:b:n".into(),
+        ));
+    }
+    let scenarios: Vec<String> = vectors
+        .iter()
+        .map(|overrides| {
+            let fields: Vec<String> = overrides
+                .iter()
+                .map(|(name, v)| format!("\"{}\":{}", json::escape(name), fmt_f64(*v)))
+                .collect();
+            format!("{{{}}}", fields.join(","))
+        })
+        .collect();
+    let h = if opts.h > 0.0 {
+        opts.h
+    } else {
+        opts.tend / 1000.0
+    };
+    Ok(format!(
+        "{{\"id\":\"{id}\",\"op\":\"run\",\"model\":{{\"source\":\"{}\"}},\
+         \"scenarios\":[{}],\"tend\":{},\"h\":{},\"deadline_ms\":{},\"max_rhs\":{},\
+         \"retries\":{},\"workers\":{},\"executor\":\"{}\",\"batch\":{}}}",
+        json::escape(source),
+        scenarios.join(","),
+        fmt_f64(opts.tend),
+        fmt_f64(h),
+        opts.deadline_ms,
+        opts.max_rhs,
+        opts.retries,
+        opts.workers.max(1),
+        opts.executor.as_str(),
+        opts.batch.max(1),
+    ))
+}
+
+/// A float rendered so the service's JSON parser round-trips it (always
+/// with a decimal point or exponent — never bare `1`, which is fine for
+/// JSON but keeps the line self-describing).
+fn fmt_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// `omc [MODEL] request`: a thin JSONL client for `omc serve`. Prints
+/// every response line to stdout (the transcript IS the output) and maps
+/// the terminal line to an exit code: `done` with all scenarios
+/// completed → 0, partial → 8, `overloaded` → 9, `error` → 1.
+fn request_cmd(source: Option<&str>, opts: &Flags) -> Result<(), CliError> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let socket = opts
+        .socket
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("request needs --socket PATH".into()))?;
+    let stream = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| CliError::Io(format!("cannot connect to `{socket}`: {e}")))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| CliError::Io(format!("socket clone: {e}")))?;
+    let mut reader = BufReader::new(stream);
+    let io = |e: std::io::Error| CliError::Io(format!("request `{socket}`: {e}"));
+
+    let mut shed: Option<String> = None;
+    let mut failed: Option<String> = None;
+    let mut incomplete = 0usize;
+    let mut scenarios_sent = 0usize;
+
+    if let Some(source) = source {
+        for rep in 0..opts.repeat.max(1) {
+            let line = render_request_line(&format!("r{rep}"), source, opts)?;
+            writer.write_all(line.as_bytes()).map_err(io)?;
+            writer.write_all(b"\n").map_err(io)?;
+            // Read this request's response stream to its terminal line.
+            let mut reply = String::new();
+            loop {
+                reply.clear();
+                if reader.read_line(&mut reply).map_err(io)? == 0 {
+                    return Err(CliError::Io(format!(
+                        "service closed `{socket}` mid-response"
+                    )));
+                }
+                let trimmed = reply.trim_end();
+                println!("{trimmed}");
+                let doc = json::parse(trimmed)
+                    .map_err(|e| CliError::Io(format!("unparseable response: {e}")))?;
+                match doc.get("type").and_then(json::Json::as_str) {
+                    Some("accepted") => {
+                        scenarios_sent += doc
+                            .get("scenarios")
+                            .and_then(json::Json::as_usize)
+                            .unwrap_or(0);
+                    }
+                    Some("scenario") => {}
+                    Some("done") => {
+                        let completed = doc
+                            .get("completed")
+                            .and_then(json::Json::as_usize)
+                            .unwrap_or(0);
+                        incomplete += scenarios_sent.saturating_sub(completed);
+                        scenarios_sent = 0;
+                        break;
+                    }
+                    Some("overloaded") => {
+                        let reason = doc
+                            .get("reason")
+                            .and_then(json::Json::as_str)
+                            .unwrap_or("unknown")
+                            .to_string();
+                        shed.get_or_insert(reason);
+                        break;
+                    }
+                    Some("error") => {
+                        let message = doc
+                            .get("message")
+                            .and_then(json::Json::as_str)
+                            .unwrap_or("unknown error")
+                            .to_string();
+                        failed.get_or_insert(message);
+                        break;
+                    }
+                    other => {
+                        return Err(CliError::Io(format!("unexpected response type {other:?}")));
+                    }
+                }
+            }
+        }
+    }
+
+    if opts.stats {
+        writer
+            .write_all(b"{\"id\":\"stats\",\"op\":\"stats\"}\n")
+            .map_err(io)?;
+        let mut reply = String::new();
+        if reader.read_line(&mut reply).map_err(io)? == 0 {
+            return Err(CliError::Io(format!(
+                "service closed `{socket}` before stats reply"
+            )));
+        }
+        println!("{}", reply.trim_end());
+    }
+
+    if let Some(message) = failed {
+        return Err(CliError::Io(format!("service error: {message}")));
+    }
+    if let Some(reason) = shed {
+        return Err(CliError::Overloaded { reason });
+    }
+    if incomplete > 0 {
+        return Err(CliError::SweepPartial {
+            summary: format!("{incomplete} scenario(s) did not complete"),
+        });
+    }
+    Ok(())
 }
 
 fn simulate(ir: &mut OdeIr, opts: &Flags) -> Result<(), CliError> {

@@ -1,0 +1,46 @@
+//! Shared helpers for the CLI integration suites (`sweep_cli`,
+//! `serve_cli`): locating the built `omc` binary, per-process temp
+//! paths, and the canonical oscillator model fixture.
+//!
+//! Lives in `tests/common/` (not `tests/common.rs`) so the harness does
+//! not compile it as a test target of its own.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// The freshly built `omc` under test.
+pub fn omc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_omc"))
+}
+
+/// A temp path namespaced by test process id (parallel test binaries
+/// must not collide).
+pub fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("omc_it_{}_{name}", std::process::id()))
+}
+
+/// Write the canonical two-state oscillator fixture and return its path.
+pub fn write_model(name: &str) -> PathBuf {
+    let path = tmp(&format!("{name}.om"));
+    let mut f = std::fs::File::create(&path).expect("create model file");
+    f.write_all(
+        b"model Osc;
+  Real x(start = 1.0);
+  Real y;
+  equation
+    der(x) = y;
+    der(y) = -x;
+end Osc;
+",
+    )
+    .expect("write model");
+    path
+}
+
+/// Run `omc` with `args`, capturing output.
+pub fn run(args: &[&str]) -> Output {
+    let mut cmd = omc();
+    cmd.args(args);
+    cmd.output().expect("run omc")
+}

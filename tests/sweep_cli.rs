@@ -1,40 +1,9 @@
 //! Integration tests for `omc sweep`: exit codes, manifest files, and
 //! the checkpoint/resume cycle, exercised through the real binary.
 
-use std::io::Write as _;
-use std::path::PathBuf;
-use std::process::{Command, Output};
+mod common;
 
-fn omc() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_omc"))
-}
-
-fn tmp(name: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("omc_sweep_{}_{name}", std::process::id()))
-}
-
-fn write_model(name: &str) -> PathBuf {
-    let path = tmp(&format!("{name}.om"));
-    let mut f = std::fs::File::create(&path).expect("create model file");
-    f.write_all(
-        b"model Osc;
-  Real x(start = 1.0);
-  Real y;
-  equation
-    der(x) = y;
-    der(y) = -x;
-end Osc;
-",
-    )
-    .expect("write model");
-    path
-}
-
-fn run(args: &[&str]) -> Output {
-    let mut cmd = omc();
-    cmd.args(args);
-    cmd.output().expect("run omc")
-}
+use common::{run, tmp, write_model};
 
 #[test]
 fn clean_sweep_exits_zero_and_writes_manifest() {
